@@ -1,0 +1,93 @@
+//! Criterion benchmarks that exercise every experiment family of the paper's
+//! evaluation (one benchmark per table/figure), so `cargo bench` runs the same
+//! code paths that regenerate the paper's results. Reduced parameterisations
+//! are used where the full sweep would take too long inside Criterion's
+//! sampling loop; the full sweeps are produced by the `themis-experiments`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use themis_bench::experiments;
+use themis_net::DataSize;
+use themis_workloads::Workload;
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_topologies", |b| {
+        b.iter(|| black_box(experiments::table2::run()))
+    });
+}
+
+fn bench_fig04(c: &mut Criterion) {
+    c.bench_function("fig04_motivation_resnet", |b| {
+        b.iter(|| black_box(experiments::fig04::curves_for(Workload::ResNet152)))
+    });
+}
+
+fn bench_fig05(c: &mut Criterion) {
+    c.bench_function("fig05_pipeline_example", |b| {
+        b.iter(|| black_box(experiments::fig05::run()))
+    });
+}
+
+fn bench_fig08(c: &mut Criterion) {
+    c.bench_function("fig08_allreduce_time_quick", |b| {
+        b.iter(|| black_box(experiments::fig08::run_with(&experiments::quick_sizes())))
+    });
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    c.bench_function("fig09_activity_256mib", |b| {
+        b.iter(|| black_box(experiments::fig09::run_with(DataSize::from_mib(256.0))))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("fig10_chunk_sensitivity_quick", |b| {
+        b.iter(|| black_box(experiments::fig10::run_with(&[4, 64])))
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    c.bench_function("fig11_utilization_quick", |b| {
+        b.iter(|| black_box(experiments::fig11::run_with(&experiments::quick_sizes())))
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    c.bench_function("fig12_training_resnet", |b| {
+        b.iter(|| black_box(experiments::fig12::run_with(&[Workload::ResNet152])))
+    });
+}
+
+fn bench_sec63(c: &mut Criterion) {
+    c.bench_function("sec63_provisioning_sweep", |b| {
+        b.iter(|| black_box(experiments::sec63::run_sweep(&[100.0, 200.0])))
+    });
+}
+
+fn bench_summary(c: &mut Criterion) {
+    c.bench_function("summary_headline_quick", |b| {
+        b.iter(|| {
+            black_box(experiments::summary::compute_with(
+                &[DataSize::from_mib(256.0)],
+                &[Workload::ResNet152],
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2,
+        bench_fig04,
+        bench_fig05,
+        bench_fig08,
+        bench_fig09,
+        bench_fig10,
+        bench_fig11,
+        bench_fig12,
+        bench_sec63,
+        bench_summary
+);
+criterion_main!(benches);

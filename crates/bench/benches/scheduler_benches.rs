@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the scheduling and simulation substrate itself:
+//! how fast the Themis scheduler produces chunk schedules and how fast the
+//! chunk-pipeline simulator executes them. These are throughput benchmarks of
+//! the reproduction's code (the experiment results live in the
+//! `experiment_benches` target and the `themis-experiments` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use themis_core::{
+    BaselineScheduler, CollectiveRequest, CollectiveScheduler, SchedulerKind, ThemisScheduler,
+};
+use themis_net::presets::PresetTopology;
+use themis_sim::{PipelineSimulator, SimOptions};
+
+fn bench_schedule_generation(c: &mut Criterion) {
+    let topo = PresetTopology::RingFcRingSw4d.build();
+    let request = CollectiveRequest::all_reduce_mib(1024.0);
+    let mut group = c.benchmark_group("schedule_generation");
+    for chunks in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("themis", chunks), &chunks, |b, &chunks| {
+            b.iter(|| {
+                let mut scheduler = ThemisScheduler::new(chunks);
+                black_box(scheduler.schedule(&request, &topo).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", chunks), &chunks, |b, &chunks| {
+            b.iter(|| {
+                let mut scheduler = BaselineScheduler::new(chunks);
+                black_box(scheduler.schedule(&request, &topo).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_simulation");
+    for preset in [PresetTopology::SwSwSw3dHomo, PresetTopology::RingFcRingSw4d] {
+        let topo = preset.build();
+        let request = CollectiveRequest::all_reduce_mib(1024.0);
+        let schedule = ThemisScheduler::new(64).schedule(&request, &topo).unwrap();
+        let simulator = PipelineSimulator::new(&topo, SimOptions::default());
+        group.bench_function(BenchmarkId::new("themis_scf_1gib", topo.name()), |b| {
+            b.iter(|| black_box(simulator.run(&schedule).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_enforced_order(c: &mut Criterion) {
+    let topo = PresetTopology::SwSwSw3dHetero.build();
+    let request = CollectiveRequest::all_reduce_mib(512.0);
+    let schedule = ThemisScheduler::new(64).schedule(&request, &topo).unwrap();
+    c.bench_function("consistency_pre_simulation", |b| {
+        b.iter(|| black_box(themis_core::enforced_intra_dim_order(&schedule, &topo).unwrap()))
+    });
+    let _ = SchedulerKind::all();
+}
+
+criterion_group!(
+    benches,
+    bench_schedule_generation,
+    bench_pipeline_simulation,
+    bench_enforced_order
+);
+criterion_main!(benches);

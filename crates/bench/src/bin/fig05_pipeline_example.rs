@@ -1,0 +1,5 @@
+//! Prints the `fig05` experiment of the Themis reproduction.
+
+fn main() {
+    println!("{}", themis_bench::experiments::fig05::run());
+}

@@ -1,0 +1,5 @@
+//! Prints the `fig08` experiment of the Themis reproduction.
+
+fn main() {
+    println!("{}", themis_bench::experiments::fig08::run());
+}

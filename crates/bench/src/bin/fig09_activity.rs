@@ -1,0 +1,5 @@
+//! Prints the `fig09` experiment of the Themis reproduction.
+
+fn main() {
+    println!("{}", themis_bench::experiments::fig09::run());
+}

@@ -1,0 +1,5 @@
+//! Prints the `fig10` experiment of the Themis reproduction.
+
+fn main() {
+    println!("{}", themis_bench::experiments::fig10::run());
+}

@@ -1,0 +1,5 @@
+//! Prints the `fig11` experiment of the Themis reproduction.
+
+fn main() {
+    println!("{}", themis_bench::experiments::fig11::run());
+}

@@ -1,0 +1,5 @@
+//! Prints the `fig12` experiment of the Themis reproduction.
+
+fn main() {
+    println!("{}", themis_bench::experiments::fig12::run());
+}

@@ -1,0 +1,5 @@
+//! Prints the `sec63` experiment of the Themis reproduction.
+
+fn main() {
+    println!("{}", themis_bench::experiments::sec63::run());
+}

@@ -1,0 +1,5 @@
+//! Prints the `summary` experiment of the Themis reproduction.
+
+fn main() {
+    println!("{}", themis_bench::experiments::summary::run());
+}

@@ -1,0 +1,5 @@
+//! Prints the `table2` experiment of the Themis reproduction.
+
+fn main() {
+    println!("{}", themis_bench::experiments::table2::run());
+}

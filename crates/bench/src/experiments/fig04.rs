@@ -1,0 +1,169 @@
+//! Fig. 4: normalized training runtime vs average network BW utilisation
+//! (the motivation experiment).
+//!
+//! For ResNet-152, GNMT and Transformer-1T on the current platform and the six
+//! next-generation platforms, the runtime is plotted as a function of the
+//! achieved average BW utilisation: `runtime(u) = compute + ideal_comm / u`.
+//! The bold dot of the paper — the utilisation actually achieved by the
+//! baseline collective scheduling — is reproduced from the simulator.
+
+use crate::report::{fmt_pct, Report, Table};
+use themis_net::presets::{current_generation_2d, next_generation_suite};
+use themis_net::NetworkTopology;
+use themis_workloads::{CommunicationPolicy, TrainingSimulator, Workload};
+
+/// The runtime-vs-utilisation curve of one workload on one topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig04Curve {
+    /// Topology name.
+    pub topology: String,
+    /// Compute time per iteration (utilisation-independent), ns.
+    pub compute_ns: f64,
+    /// Exposed communication under baseline collective scheduling, ns.
+    pub baseline_comm_ns: f64,
+    /// Average weighted BW utilisation (Sec. 3 definition) achieved by the
+    /// baseline scheduling — the bold dot of Fig. 4.
+    pub baseline_utilization: f64,
+    /// The Table 3 ideal communication time (`size / total BW`), ns.
+    pub ideal_comm_ns: f64,
+}
+
+impl Fig04Curve {
+    /// The exposed communication time the workload would see if the network
+    /// sustained 100 % weighted BW utilisation for the same traffic.
+    pub fn comm_at_full_utilization(&self) -> f64 {
+        self.baseline_comm_ns * self.baseline_utilization
+    }
+
+    /// Iteration runtime when the network achieves `utilization` (0, 1].
+    pub fn runtime_at(&self, utilization: f64) -> f64 {
+        self.compute_ns + self.comm_at_full_utilization() / utilization.clamp(1e-6, 1.0)
+    }
+
+    /// Iteration runtime under baseline collective scheduling
+    /// (by construction this lies on the curve at `baseline_utilization`).
+    pub fn baseline_runtime(&self) -> f64 {
+        self.compute_ns + self.baseline_comm_ns
+    }
+}
+
+/// The workloads shown in Fig. 4.
+pub fn fig04_workloads() -> [Workload; 3] {
+    [Workload::ResNet152, Workload::Gnmt, Workload::Transformer1T]
+}
+
+/// The platform list of Fig. 4: the current system followed by the Table 2
+/// suite.
+pub fn fig04_topologies() -> Vec<NetworkTopology> {
+    let mut topologies = vec![current_generation_2d()];
+    topologies.extend(next_generation_suite());
+    topologies
+}
+
+/// Computes the Fig. 4 curves of one workload across all platforms.
+pub fn curves_for(workload: Workload) -> Vec<Fig04Curve> {
+    let sim = TrainingSimulator::new(workload.config());
+    fig04_topologies()
+        .iter()
+        .map(|topo| {
+            let ideal = sim
+                .simulate_iteration(topo, CommunicationPolicy::Ideal)
+                .expect("evaluation configurations are valid");
+            let baseline = sim
+                .simulate_iteration(topo, CommunicationPolicy::Baseline)
+                .expect("evaluation configurations are valid");
+            Fig04Curve {
+                topology: topo.name().to_string(),
+                compute_ns: ideal.compute_ns(),
+                baseline_comm_ns: baseline.exposed_comm_ns(),
+                baseline_utilization: baseline.comm_utilization,
+                ideal_comm_ns: ideal.exposed_comm_ns(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the Fig. 4 experiment.
+pub fn run() -> Report {
+    let utilization_points = [0.1, 0.25, 0.5, 0.75, 1.0];
+    let mut report = Report::new("Fig. 4 — normalized runtime vs average BW utilisation");
+    report.push_note(
+        "runtimes are normalized to the current (1200/100 Gbps) platform at 10% utilisation; \
+         'dot' columns give the utilisation/runtime reached by baseline collective scheduling",
+    );
+    for workload in fig04_workloads() {
+        let curves = curves_for(workload);
+        // Normalisation reference: the current platform at 10 % utilisation.
+        let reference = curves[0].runtime_at(0.1);
+        let mut table = Table::new(
+            format!("{workload} — normalized iteration runtime"),
+            &[
+                "Topology",
+                "u=10%",
+                "u=25%",
+                "u=50%",
+                "u=75%",
+                "u=100% (Ideal)",
+                "Inf BW",
+                "Baseline dot (util)",
+                "Baseline dot (runtime)",
+            ],
+        );
+        for curve in &curves {
+            let mut row = vec![curve.topology.clone()];
+            for &u in &utilization_points {
+                row.push(format!("{:.3}", curve.runtime_at(u) / reference));
+            }
+            row.push(format!("{:.3}", curve.compute_ns / reference));
+            row.push(fmt_pct(curve.baseline_utilization));
+            row.push(format!("{:.3}", curve.baseline_runtime() / reference));
+            table.push_row(row);
+        }
+        report.push_table(table);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_platform_reaches_high_baseline_utilization() {
+        // Sec. 3.2: the current topology achieves ~97.7% utilisation with the
+        // baseline scheduling because of the huge dim1/dim2 bandwidth gap;
+        // next-gen platforms fall well below that.
+        let curves = curves_for(Workload::ResNet152);
+        let current = &curves[0];
+        assert!(current.baseline_utilization > 0.9, "{}", current.baseline_utilization);
+        let homo = curves.iter().find(|c| c.topology == "3D-SW_SW_SW_homo").unwrap();
+        assert!(homo.baseline_utilization < 0.6, "{}", homo.baseline_utilization);
+    }
+
+    #[test]
+    fn runtime_decreases_monotonically_with_utilization() {
+        let curves = curves_for(Workload::Gnmt);
+        for curve in &curves {
+            let mut last = f64::INFINITY;
+            for u in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+                let runtime = curve.runtime_at(u);
+                assert!(runtime <= last);
+                last = runtime;
+            }
+            assert!(curve.runtime_at(1.0) >= curve.compute_ns);
+            assert!(curve.baseline_runtime() >= curve.runtime_at(1.0) * 0.999);
+        }
+    }
+
+    #[test]
+    fn next_gen_platforms_are_faster_than_current_at_equal_utilization() {
+        // Adding network dimensions increases total bandwidth, so at the same
+        // utilisation the next-gen platforms finish sooner (the motivation for
+        // building them).
+        let curves = curves_for(Workload::ResNet152);
+        let current = curves[0].runtime_at(0.5);
+        for curve in &curves[1..] {
+            assert!(curve.runtime_at(0.5) < current, "{}", curve.topology);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Fig. 5 / Fig. 7: the 2-dimensional running example.
+//!
+//! A 256 MB All-Reduce broken into 4 × 64 MB chunks on a 4×4 network where
+//! BW(dim1) = 2 × BW(dim2). The baseline leaves dim2 idle half of the time and
+//! needs 8 time units; Themis rebalances the chunk schedules (Fig. 7) and
+//! finishes in 7 units.
+
+use crate::report::{fmt_pct, fmt_us, Report, Table};
+use themis_core::{
+    BaselineScheduler, ChunkSchedule, CollectiveRequest, CollectiveScheduler, ThemisScheduler,
+};
+use themis_net::{DimensionSpec, NetworkTopology, TopologyKind};
+use themis_sim::{PipelineSimulator, SimOptions, SimReport};
+
+/// Builds the Fig. 5 example network: 4×4, aggregate bandwidths 800 and
+/// 400 Gbps, negligible step latency.
+pub fn example_topology() -> NetworkTopology {
+    NetworkTopology::builder("Fig5-4x4-2to1")
+        .dimension(
+            DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, 4, 800.0, 0.0)
+                .expect("static dimension is valid"),
+        )
+        .dimension(
+            DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, 4, 400.0, 0.0)
+                .expect("static dimension is valid"),
+        )
+        .build()
+        .expect("static topology is valid")
+}
+
+/// The latency of one 64 MB Reduce-Scatter on dim 1 — the "1 unit" of Fig. 5.
+fn unit_ns() -> f64 {
+    48.0 * 1024.0 * 1024.0 / 100.0
+}
+
+fn describe_orders(chunks: &[ChunkSchedule]) -> Vec<String> {
+    chunks
+        .iter()
+        .map(|chunk| {
+            let stages: Vec<String> = chunk.stages.iter().map(|s| s.to_string()).collect();
+            stages.join(" -> ")
+        })
+        .collect()
+}
+
+fn per_dim_row(name: &str, report: &SimReport) -> Vec<String> {
+    let mut row = vec![
+        name.to_string(),
+        format!("{:.2}", report.total_time_ns / unit_ns()),
+        fmt_us(report.total_time_ns),
+        fmt_pct(report.average_bw_utilization()),
+    ];
+    for (dim, util) in report.per_dim_utilization().iter().enumerate() {
+        row.push(format!("dim{}: {}", dim + 1, fmt_pct(*util)));
+    }
+    row
+}
+
+/// Runs the Fig. 5 / Fig. 7 example and reports pipeline latencies, idle time
+/// and the per-chunk schedules chosen by each policy.
+pub fn run() -> Report {
+    let topo = example_topology();
+    let request = CollectiveRequest::all_reduce_mib(256.0);
+    let simulator = PipelineSimulator::new(&topo, SimOptions::default());
+
+    let baseline_schedule = BaselineScheduler::new(4)
+        .schedule(&request, &topo)
+        .expect("static example schedules");
+    let themis_schedule =
+        ThemisScheduler::new(4).schedule(&request, &topo).expect("static example schedules");
+    let baseline = simulator.run(&baseline_schedule).expect("static example simulates");
+    let themis = simulator.run(&themis_schedule).expect("static example simulates");
+
+    let mut report = Report::new("Fig. 5 / Fig. 7 — 256 MB All-Reduce on a 4x4 2D network");
+    report.push_note("BW(dim1) = 2 x BW(dim2); the collective is split into 4 x 64 MB chunks");
+    report.push_note(
+        "one time unit = the latency of a 64 MB Reduce-Scatter (or 16 MB All-Gather) on dim1",
+    );
+
+    let mut timing = Table::new(
+        "Pipeline completion (paper: baseline 8 units, Themis 7 units)",
+        &["Scheduler", "Time (units)", "Time (us)", "Avg BW util", "Per-dim util"],
+    );
+    timing.push_row(per_dim_row("Baseline", &baseline));
+    timing.push_row(per_dim_row("Themis+SCF", &themis));
+    report.push_table(timing);
+
+    let mut orders = Table::new(
+        "Per-chunk schedules (Fig. 7: chunk 2 starts on dim2, chunks 3-4 on dim1)",
+        &["Chunk", "Baseline", "Themis"],
+    );
+    let baseline_orders = describe_orders(baseline_schedule.chunks());
+    let themis_orders = describe_orders(themis_schedule.chunks());
+    for (index, (b, t)) in baseline_orders.iter().zip(themis_orders.iter()).enumerate() {
+        orders.push_row([format!("chunk {}", index + 1), b.clone(), t.clone()]);
+    }
+    report.push_table(orders);
+
+    // The op-level pipeline trace (the boxes of Fig. 5), in time units.
+    for (name, sim_report) in [("Baseline", &baseline), ("Themis+SCF", &themis)] {
+        let mut trace = Table::new(
+            format!("{name} pipeline trace (times in units of a 64 MB RS on dim1)"),
+            &["Dimension", "Op", "Chunk", "Start", "End"],
+        );
+        for dim in 0..sim_report.num_dims() {
+            for op in sim_report.ops_on_dim(dim) {
+                trace.push_row([
+                    format!("dim{}", dim + 1),
+                    op.label.clone(),
+                    format!("{}", op.chunk + 1),
+                    format!("{:.2}", op.start_ns / unit_ns()),
+                    format!("{:.2}", op.end_ns / unit_ns()),
+                ]);
+            }
+        }
+        report.push_table(trace);
+        report.push_note(format!(
+            "{name} timeline: {}",
+            sim_report.ascii_timeline(64).replace('\n', "  |  ")
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_8_vs_7_unit_result() {
+        let report = run();
+        let timing = &report.tables()[0];
+        assert_eq!(timing.num_rows(), 2);
+        let baseline_units: f64 = timing.rows()[0][1].parse().unwrap();
+        let themis_units: f64 = timing.rows()[1][1].parse().unwrap();
+        assert!((baseline_units - 8.0).abs() < 0.05);
+        assert!((themis_units - 7.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn chunk2_starts_on_dim2_under_themis() {
+        let report = run();
+        let orders = &report.tables()[1];
+        assert_eq!(orders.num_rows(), 4);
+        // Fig. 7 step c: the second chunk's first stage is a Reduce-Scatter on dim2.
+        assert!(orders.rows()[1][2].starts_with("RS@dim2"));
+        // The baseline always starts on dim1.
+        for row in orders.rows() {
+            assert!(row[1].starts_with("RS@dim1"));
+        }
+    }
+}

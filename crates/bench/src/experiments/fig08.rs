@@ -1,0 +1,122 @@
+//! Fig. 8: total All-Reduce communication time for 100 MB – 1 GB collectives
+//! on the six next-generation topologies under the three Table 3 schedulers.
+
+use super::{evaluation_topologies, microbenchmark_sizes, run_allreduce};
+use crate::report::{fmt_speedup, fmt_us, Report, Table};
+use themis_core::SchedulerKind;
+use themis_net::DataSize;
+
+/// One data point of the Fig. 8 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig08Point {
+    /// Topology name.
+    pub topology: String,
+    /// Collective size.
+    pub size: DataSize,
+    /// Communication time per scheduler, µs, in Table 3 order
+    /// (Baseline, Themis+FIFO, Themis+SCF).
+    pub time_us: [f64; 3],
+}
+
+impl Fig08Point {
+    /// Speedup of Themis+SCF over the baseline at this point.
+    pub fn scf_speedup(&self) -> f64 {
+        self.time_us[0] / self.time_us[2]
+    }
+
+    /// Speedup of Themis+FIFO over the baseline at this point.
+    pub fn fifo_speedup(&self) -> f64 {
+        self.time_us[0] / self.time_us[1]
+    }
+}
+
+/// Runs the sweep for the given sizes (use [`super::microbenchmark_sizes`] for
+/// the paper's full range).
+pub fn run_with(sizes: &[DataSize]) -> Vec<Fig08Point> {
+    let mut points = Vec::new();
+    for topo in evaluation_topologies() {
+        for &size in sizes {
+            let mut times = [0.0; 3];
+            for (slot, kind) in SchedulerKind::all().into_iter().enumerate() {
+                times[slot] = run_allreduce(&topo, kind, size).total_time_us();
+            }
+            points.push(Fig08Point {
+                topology: topo.name().to_string(),
+                size,
+                time_us: times,
+            });
+        }
+    }
+    points
+}
+
+/// Renders the full Fig. 8 sweep as a report.
+pub fn run() -> Report {
+    let points = run_with(&microbenchmark_sizes());
+    let mut report = Report::new("Fig. 8 — All-Reduce communication time (100 MB to 1 GB)");
+    report.push_note(
+        "paper result: Themis+FIFO and Themis+SCF reduce communication time by 1.58x and \
+         1.72x on average across topologies and sizes",
+    );
+    let mut table = Table::new(
+        "Communication time by scheduler",
+        &[
+            "Topology",
+            "Size (MiB)",
+            "Baseline (us)",
+            "Themis+FIFO (us)",
+            "Themis+SCF (us)",
+            "SCF speedup",
+        ],
+    );
+    let mut speedups = Vec::new();
+    for point in &points {
+        speedups.push(point.scf_speedup());
+        table.push_row([
+            point.topology.clone(),
+            format!("{:.0}", point.size.as_mib()),
+            fmt_us(point.time_us[0] * 1_000.0),
+            fmt_us(point.time_us[1] * 1_000.0),
+            fmt_us(point.time_us[2] * 1_000.0),
+            fmt_speedup(point.scf_speedup()),
+        ]);
+    }
+    let geo_mean = speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64;
+    let max = speedups.iter().cloned().fold(f64::MIN, f64::max);
+    report.push_note(format!(
+        "measured: Themis+SCF speedup over baseline {} on average ({} max)",
+        fmt_speedup(geo_mean.exp()),
+        fmt_speedup(max)
+    ));
+    report.push_table(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::quick_sizes;
+
+    #[test]
+    fn scf_beats_baseline_at_the_gigabyte_scale() {
+        let points = run_with(&[DataSize::from_mib(1024.0)]);
+        assert_eq!(points.len(), 6);
+        for point in &points {
+            assert!(
+                point.scf_speedup() > 1.05,
+                "{}: SCF speedup only {:.2}",
+                point.topology,
+                point.scf_speedup()
+            );
+            assert!(point.time_us.iter().all(|t| *t > 0.0));
+        }
+    }
+
+    #[test]
+    fn report_contains_all_rows() {
+        let points = run_with(&quick_sizes());
+        assert_eq!(points.len(), 12);
+        let sample = &points[0];
+        assert!(sample.fifo_speedup() > 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Fig. 10: sensitivity of BW utilisation to the number of chunks per
+//! collective (4 – 512) for a 100 MB All-Reduce on 3D-SW_SW_SW_hetero and
+//! 4D-Ring_FC_Ring_SW.
+
+use super::run_allreduce_with_chunks;
+use crate::report::{fmt_pct, Report, Table};
+use themis_core::SchedulerKind;
+use themis_net::presets::PresetTopology;
+use themis_net::DataSize;
+
+/// The chunk granularities swept by the paper.
+pub fn chunk_sweep() -> Vec<usize> {
+    vec![4, 8, 16, 32, 64, 128, 256, 512]
+}
+
+/// The two topologies shown in Fig. 10.
+pub fn fig10_topologies() -> [PresetTopology; 2] {
+    [PresetTopology::SwSwSw3dHetero, PresetTopology::RingFcRingSw4d]
+}
+
+/// One data point of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10Point {
+    /// Topology name.
+    pub topology: String,
+    /// Chunks per collective.
+    pub chunks: usize,
+    /// Average BW utilisation per scheduler (Baseline, Themis+FIFO, Themis+SCF).
+    pub utilization: [f64; 3],
+}
+
+/// Runs the sweep for the given chunk counts.
+pub fn run_with(chunk_counts: &[usize]) -> Vec<Fig10Point> {
+    let size = DataSize::from_mib(100.0);
+    let mut points = Vec::new();
+    for preset in fig10_topologies() {
+        let topo = preset.build();
+        for &chunks in chunk_counts {
+            let mut utilization = [0.0; 3];
+            for (slot, kind) in SchedulerKind::all().into_iter().enumerate() {
+                utilization[slot] =
+                    run_allreduce_with_chunks(&topo, kind, size, chunks).average_bw_utilization();
+            }
+            points.push(Fig10Point { topology: topo.name().to_string(), chunks, utilization });
+        }
+    }
+    points
+}
+
+/// Renders the full Fig. 10 sweep.
+pub fn run() -> Report {
+    let points = run_with(&chunk_sweep());
+    let mut report = Report::new("Fig. 10 — BW utilisation vs chunks per collective (100 MB AR)");
+    report.push_note(
+        "paper result: increasing the chunk count lets Themis balance loads better, while the \
+         baseline is insensitive because dim1 always receives every chunk first",
+    );
+    let mut table = Table::new(
+        "Average BW utilisation",
+        &["Topology", "Chunks", "Baseline", "Themis+FIFO", "Themis+SCF"],
+    );
+    for point in &points {
+        table.push_row([
+            point.topology.clone(),
+            point.chunks.to_string(),
+            fmt_pct(point.utilization[0]),
+            fmt_pct(point.utilization[1]),
+            fmt_pct(point.utilization[2]),
+        ]);
+    }
+    report.push_table(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_chunks_improve_themis_but_not_the_baseline() {
+        let points = run_with(&[4, 64]);
+        for preset in fig10_topologies() {
+            let name = preset.build().name().to_string();
+            let few = points.iter().find(|p| p.topology == name && p.chunks == 4).unwrap();
+            let many = points.iter().find(|p| p.topology == name && p.chunks == 64).unwrap();
+            // Themis+SCF gains from finer chunking.
+            assert!(
+                many.utilization[2] > few.utilization[2] + 0.05,
+                "{name}: {:?} -> {:?}",
+                few.utilization,
+                many.utilization
+            );
+            // The baseline stays within a narrow band.
+            assert!((many.utilization[0] - few.utilization[0]).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn sweep_covers_both_topologies() {
+        let points = run_with(&[8]);
+        assert_eq!(points.len(), 2);
+        assert_ne!(points[0].topology, points[1].topology);
+    }
+}

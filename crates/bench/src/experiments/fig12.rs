@@ -1,0 +1,159 @@
+//! Fig. 12: end-to-end training iteration breakdown for ResNet-152, GNMT,
+//! DLRM and Transformer-1T under Baseline, Themis+SCF and Ideal scheduling.
+
+use super::evaluation_topologies;
+use crate::report::{fmt_speedup, fmt_us, Report, Table};
+use themis_workloads::{CommunicationPolicy, IterationBreakdown, TrainingSimulator, Workload};
+
+/// The breakdown of one (workload, topology, policy) cell of Fig. 12.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12Cell {
+    /// Workload name.
+    pub workload: Workload,
+    /// Topology name.
+    pub topology: String,
+    /// Scheduling policy.
+    pub policy: CommunicationPolicy,
+    /// The iteration latency breakdown.
+    pub breakdown: IterationBreakdown,
+}
+
+/// Runs Fig. 12 for the given workloads over all six next-generation
+/// topologies and the three Fig. 12 policies.
+pub fn run_with(workloads: &[Workload]) -> Vec<Fig12Cell> {
+    let mut cells = Vec::new();
+    for &workload in workloads {
+        let sim = TrainingSimulator::new(workload.config());
+        for topo in evaluation_topologies() {
+            for policy in CommunicationPolicy::fig12_rows() {
+                let breakdown = sim
+                    .simulate_iteration(&topo, policy)
+                    .expect("evaluation configurations are valid");
+                cells.push(Fig12Cell {
+                    workload,
+                    topology: topo.name().to_string(),
+                    policy,
+                    breakdown,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Average and maximum speedup of `policy` over the baseline for one workload,
+/// across topologies.
+pub fn speedup_over_baseline(
+    cells: &[Fig12Cell],
+    workload: Workload,
+    policy: CommunicationPolicy,
+) -> (f64, f64) {
+    let mut speedups = Vec::new();
+    for topo_cells in cells.iter().filter(|c| c.workload == workload && c.policy == policy) {
+        let baseline = cells
+            .iter()
+            .find(|c| {
+                c.workload == workload
+                    && c.topology == topo_cells.topology
+                    && c.policy == CommunicationPolicy::Baseline
+            })
+            .expect("baseline cell exists for every topology");
+        speedups.push(topo_cells.breakdown.speedup_over(&baseline.breakdown));
+    }
+    let mean = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
+    let max = speedups.iter().cloned().fold(f64::MIN, f64::max);
+    (mean, max)
+}
+
+/// Renders the full Fig. 12 experiment.
+pub fn run() -> Report {
+    let cells = run_with(&Workload::all());
+    let mut report = Report::new("Fig. 12 — training iteration time breakdown");
+    report.push_note(
+        "per workload and topology, iteration latency decomposes into forward compute, backward \
+         compute, exposed model-parallel communication and exposed data-parallel communication; \
+         'norm' is relative to the baseline on the same topology (baseline = 1.0)",
+    );
+    for workload in Workload::all() {
+        let mut table = Table::new(
+            format!("{workload} — iteration breakdown (us)"),
+            &["Topology", "Policy", "Fwd", "Bwd", "Exposed MP", "Exposed DP", "Total", "Norm"],
+        );
+        for topo in evaluation_topologies() {
+            let baseline_total = cells
+                .iter()
+                .find(|c| {
+                    c.workload == workload
+                        && c.topology == topo.name()
+                        && c.policy == CommunicationPolicy::Baseline
+                })
+                .map(|c| c.breakdown.total_ns())
+                .unwrap_or(1.0);
+            for cell in cells
+                .iter()
+                .filter(|c| c.workload == workload && c.topology == topo.name())
+            {
+                let b = &cell.breakdown;
+                table.push_row([
+                    cell.topology.clone(),
+                    cell.policy.label().to_string(),
+                    fmt_us(b.forward_compute_ns),
+                    fmt_us(b.backward_compute_ns),
+                    fmt_us(b.exposed_mp_comm_ns),
+                    fmt_us(b.exposed_dp_comm_ns),
+                    fmt_us(b.total_ns()),
+                    format!("{:.3}", b.total_ns() / baseline_total),
+                ]);
+            }
+        }
+        report.push_table(table);
+    }
+
+    let mut speedups = Table::new(
+        "Training iteration speedup over baseline (paper: ResNet-152 1.49x, GNMT 1.30x, \
+         DLRM 1.30x, Transformer-1T 1.25x for Themis; Ideal 1.54x / 1.32x / 1.33x / 1.26x)",
+        &["Workload", "Themis+SCF avg", "Themis+SCF max", "Ideal avg", "Ideal max"],
+    );
+    for workload in Workload::all() {
+        let (themis_avg, themis_max) =
+            speedup_over_baseline(&cells, workload, CommunicationPolicy::ThemisScf);
+        let (ideal_avg, ideal_max) =
+            speedup_over_baseline(&cells, workload, CommunicationPolicy::Ideal);
+        speedups.push_row([
+            workload.name().to_string(),
+            fmt_speedup(themis_avg),
+            fmt_speedup(themis_max),
+            fmt_speedup(ideal_avg),
+            fmt_speedup(ideal_max),
+        ]);
+    }
+    report.push_table(speedups);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn themis_speeds_up_training_and_stays_below_ideal() {
+        let cells = run_with(&[Workload::ResNet152]);
+        let (themis_avg, themis_max) =
+            speedup_over_baseline(&cells, Workload::ResNet152, CommunicationPolicy::ThemisScf);
+        let (ideal_avg, _) =
+            speedup_over_baseline(&cells, Workload::ResNet152, CommunicationPolicy::Ideal);
+        assert!(themis_avg > 1.1, "avg speedup {themis_avg}");
+        assert!(themis_max >= themis_avg);
+        assert!(ideal_avg >= themis_avg * 0.999, "ideal {ideal_avg} vs themis {themis_avg}");
+    }
+
+    #[test]
+    fn every_cell_has_positive_compute() {
+        let cells = run_with(&[Workload::Dlrm]);
+        assert_eq!(cells.len(), 6 * 3);
+        for cell in &cells {
+            assert!(cell.breakdown.compute_ns() > 0.0);
+            assert!(cell.breakdown.total_ns() >= cell.breakdown.compute_ns());
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! The experiment implementations, one module per figure/table of the paper.
+
+pub mod fig04;
+pub mod fig05;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod sec63;
+pub mod summary;
+pub mod table2;
+
+use themis_core::{CollectiveRequest, SchedulerKind};
+use themis_net::presets::next_generation_suite;
+use themis_net::{DataSize, NetworkTopology};
+use themis_sim::{CollectiveExecutor, SimOptions, SimReport};
+
+/// The six next-generation topologies of Table 2 (the x-axis of most figures).
+pub fn evaluation_topologies() -> Vec<NetworkTopology> {
+    next_generation_suite()
+}
+
+/// The All-Reduce sizes swept by the microbenchmark figures (Fig. 8 / Fig. 11):
+/// 100 MB to 1 GB.
+pub fn microbenchmark_sizes() -> Vec<DataSize> {
+    vec![
+        DataSize::from_mib(100.0),
+        DataSize::from_mib(250.0),
+        DataSize::from_mib(500.0),
+        DataSize::from_mib(750.0),
+        DataSize::from_mib(1024.0),
+    ]
+}
+
+/// A reduced size sweep used by tests and the criterion benches.
+pub fn quick_sizes() -> Vec<DataSize> {
+    vec![DataSize::from_mib(100.0), DataSize::from_mib(1024.0)]
+}
+
+/// Runs one All-Reduce of `size` under `kind` scheduling on `topo` with the
+/// paper's default 64 chunks per collective.
+///
+/// # Panics
+///
+/// Panics if scheduling or simulation fails — the evaluation configurations
+/// are all statically valid, so a failure indicates a bug worth surfacing
+/// loudly in the harness.
+pub fn run_allreduce(topo: &NetworkTopology, kind: SchedulerKind, size: DataSize) -> SimReport {
+    run_allreduce_with_chunks(topo, kind, size, 64)
+}
+
+/// Runs one All-Reduce with an explicit chunk granularity.
+///
+/// # Panics
+///
+/// Panics if scheduling or simulation fails (see [`run_allreduce`]).
+pub fn run_allreduce_with_chunks(
+    topo: &NetworkTopology,
+    kind: SchedulerKind,
+    size: DataSize,
+    chunks: usize,
+) -> SimReport {
+    let request = CollectiveRequest::new(themis_collectives::CollectiveKind::AllReduce, size);
+    CollectiveExecutor::new(topo)
+        .with_options(SimOptions::default())
+        .run_kind(kind, chunks, &request)
+        .unwrap_or_else(|err| panic!("experiment run failed on {}: {err}", topo.name()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_return_paper_configurations() {
+        assert_eq!(evaluation_topologies().len(), 6);
+        let sizes = microbenchmark_sizes();
+        assert_eq!(sizes.first().unwrap().as_mib().round() as u64, 100);
+        assert_eq!(sizes.last().unwrap().as_mib().round() as u64, 1024);
+        assert_eq!(quick_sizes().len(), 2);
+    }
+
+    #[test]
+    fn run_allreduce_produces_a_report() {
+        let topo = &evaluation_topologies()[0];
+        let report =
+            run_allreduce_with_chunks(topo, SchedulerKind::Baseline, DataSize::from_mib(64.0), 8);
+        assert!(report.total_time_ns > 0.0);
+        assert_eq!(report.num_dims(), topo.num_dims());
+    }
+}

@@ -1,0 +1,147 @@
+//! Sec. 6.3: bandwidth-distribution insights for future system design.
+//!
+//! Three provisioning scenarios for a two-dimensional 4×4 platform with a
+//! fixed 400 Gbps dim1 budget, plus the classification of every Table 2
+//! platform. The simulation shows that:
+//!
+//! * *just enough* — baseline and Themis both saturate the network;
+//! * *over-provisioned* — only Themis exploits the extra outer-dimension BW;
+//! * *under-provisioned* — neither policy can fully drive both dimensions,
+//!   so the design point should be avoided.
+
+use crate::report::{fmt_pct, Report, Table};
+use themis_core::SchedulerKind;
+use themis_net::presets::PresetTopology;
+use themis_net::provisioning::{classify_topology, ProvisioningClass};
+use themis_net::{DataSize, DimensionSpec, NetworkTopology, TopologyKind};
+
+/// One provisioning scenario of the 2D design-space sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvisioningScenario {
+    /// Scenario label.
+    pub label: String,
+    /// dim2 aggregate bandwidth, Gbps.
+    pub dim2_gbps: f64,
+    /// Classification of the (dim1, dim2) pair.
+    pub class: ProvisioningClass,
+    /// Average BW utilisation under baseline scheduling.
+    pub baseline_utilization: f64,
+    /// Average BW utilisation under Themis+SCF scheduling.
+    pub themis_utilization: f64,
+}
+
+fn two_dim_topology(dim2_gbps: f64) -> NetworkTopology {
+    NetworkTopology::builder(format!("4x4 design point ({dim2_gbps} Gbps dim2)"))
+        .dimension(
+            DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, 4, 400.0, 0.0)
+                .expect("static dimension is valid"),
+        )
+        .dimension(
+            DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, 4, dim2_gbps, 0.0)
+                .expect("static dimension is valid"),
+        )
+        .build()
+        .expect("static topology is valid")
+}
+
+/// Runs the 2D design-space sweep. `dim2_gbps` values below 100 Gbps are
+/// under-provisioned, 100 Gbps is just enough (dim1 = 400 Gbps, P1 = 4), and
+/// anything above is over-provisioned.
+pub fn run_sweep(dim2_values_gbps: &[f64]) -> Vec<ProvisioningScenario> {
+    let size = DataSize::from_mib(512.0);
+    dim2_values_gbps
+        .iter()
+        .map(|&dim2_gbps| {
+            let topo = two_dim_topology(dim2_gbps);
+            let class = classify_topology(&topo).pairs[0].class;
+            let baseline = super::run_allreduce(&topo, SchedulerKind::Baseline, size);
+            let themis = super::run_allreduce(&topo, SchedulerKind::ThemisScf, size);
+            let label = match class {
+                ProvisioningClass::JustEnough => "just enough",
+                ProvisioningClass::OverProvisioned => "over-provisioned",
+                ProvisioningClass::UnderProvisioned => "under-provisioned",
+            };
+            ProvisioningScenario {
+                label: label.to_string(),
+                dim2_gbps,
+                class,
+                baseline_utilization: baseline.average_bw_utilization(),
+                themis_utilization: themis.average_bw_utilization(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the Sec. 6.3 experiment.
+pub fn run() -> Report {
+    let mut report = Report::new("Sec. 6.3 — BW distribution scenarios for future system design");
+    report.push_note(
+        "design-space sweep: a 4x4 2D platform with 400 Gbps on dim1 and a varying dim2 budget; \
+         just-enough corresponds to BW(dim1) = P1 x BW(dim2) = 4 x 100 Gbps",
+    );
+
+    let scenarios = run_sweep(&[50.0, 100.0, 200.0, 400.0]);
+    let mut sweep = Table::new(
+        "Design-space sweep (512 MB All-Reduce)",
+        &["dim2 BW (Gbps)", "Scenario", "Baseline util", "Themis+SCF util"],
+    );
+    for scenario in &scenarios {
+        sweep.push_row([
+            format!("{}", scenario.dim2_gbps),
+            scenario.label.clone(),
+            fmt_pct(scenario.baseline_utilization),
+            fmt_pct(scenario.themis_utilization),
+        ]);
+    }
+    report.push_table(sweep);
+
+    let mut presets = Table::new(
+        "Provisioning classification of the Table 2 platforms",
+        &["Topology", "Dim pair", "Ratio", "Class"],
+    );
+    for preset in PresetTopology::all() {
+        let topo = preset.build();
+        for pair in classify_topology(&topo).pairs {
+            presets.push_row([
+                topo.name().to_string(),
+                format!("dim{} vs dim{}", pair.inner + 1, pair.outer + 1),
+                format!("{:.2}", pair.provisioning_ratio),
+                pair.class.to_string(),
+            ]);
+        }
+    }
+    report.push_table(presets);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_match_sec63_predictions() {
+        let scenarios = run_sweep(&[50.0, 100.0, 400.0]);
+        assert_eq!(scenarios[0].class, ProvisioningClass::UnderProvisioned);
+        assert_eq!(scenarios[1].class, ProvisioningClass::JustEnough);
+        assert_eq!(scenarios[2].class, ProvisioningClass::OverProvisioned);
+
+        // Just enough: the baseline already achieves high utilisation and
+        // Themis cannot add much.
+        assert!(scenarios[1].baseline_utilization > 0.85);
+        assert!(scenarios[1].themis_utilization >= scenarios[1].baseline_utilization - 0.02);
+
+        // Over-provisioned: Themis recovers the bandwidth the baseline wastes.
+        assert!(scenarios[2].baseline_utilization < 0.75);
+        assert!(scenarios[2].themis_utilization > scenarios[2].baseline_utilization + 0.1);
+
+        // Under-provisioned: even Themis cannot fully drive both dimensions.
+        assert!(scenarios[0].themis_utilization < 0.95);
+    }
+
+    #[test]
+    fn report_includes_table2_classification() {
+        let report = run();
+        assert_eq!(report.tables().len(), 2);
+        assert!(report.tables()[1].num_rows() >= 7);
+    }
+}

@@ -1,0 +1,64 @@
+//! Table 2: the evaluated topologies and their per-dimension configuration.
+
+use crate::report::{Report, Table};
+use themis_net::presets::PresetTopology;
+
+/// Regenerates Table 2 (plus the "current" reference platform of Fig. 4).
+pub fn run() -> Report {
+    let mut report = Report::new("Table 2 — target topologies");
+    report.push_note(
+        "all platforms have 1024 NPUs; bandwidths are uni-directional, as in the paper",
+    );
+    let mut table = Table::new(
+        "Topology configuration",
+        &[
+            "Name",
+            "Size",
+            "BW/link (Gbps)",
+            "Links/NPU",
+            "Aggr BW/NPU (Gbps)",
+            "Latency (ns)",
+        ],
+    );
+    for preset in PresetTopology::all() {
+        let topo = preset.build();
+        let sizes: Vec<String> = topo.dims().iter().map(|d| d.size().to_string()).collect();
+        let link_bw: Vec<String> =
+            topo.dims().iter().map(|d| format!("{}", d.link_bandwidth().as_gbps())).collect();
+        let links: Vec<String> =
+            topo.dims().iter().map(|d| d.links_per_npu().to_string()).collect();
+        let aggr: Vec<String> = topo
+            .dims()
+            .iter()
+            .map(|d| format!("{}", d.aggregate_bandwidth().as_gbps()))
+            .collect();
+        let lat: Vec<String> =
+            topo.dims().iter().map(|d| format!("{}", d.step_latency_ns())).collect();
+        table.push_row([
+            topo.name().to_string(),
+            sizes.join("x"),
+            format!("({})", link_bw.join(", ")),
+            format!("({})", links.join(", ")),
+            format!("({})", aggr.join(", ")),
+            format!("({})", lat.join(", ")),
+        ]);
+    }
+    report.push_table(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lists_all_seven_platforms() {
+        let report = run();
+        assert_eq!(report.tables().len(), 1);
+        assert_eq!(report.tables()[0].num_rows(), 7);
+        let text = report.to_string();
+        assert!(text.contains("3D-FC_Ring_SW"));
+        assert!(text.contains("16x64"));
+        assert!(text.contains("(2000, 1600, 800, 400)"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Plain-text / markdown report formatting for the experiment runners.
+
+use std::fmt;
+
+/// A simple table: a header row plus data rows, rendered as GitHub-flavoured
+/// markdown (which is also readable as plain text).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row. Missing cells are rendered empty; extra cells are
+    /// kept (markdown tolerates ragged rows).
+    pub fn push_row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let columns = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; columns];
+        for (i, header) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(header.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.column_widths();
+        writeln!(f, "### {}", self.title)?;
+        writeln!(f)?;
+        let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, width) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                write!(f, " {cell:width$} |")?;
+            }
+            writeln!(f)
+        };
+        render_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for width in &widths {
+            write!(f, "{:-<1$}|", "", width + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// An experiment report: a title, free-text notes and a list of tables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Report {
+    title: String,
+    notes: Vec<String>,
+    tables: Vec<Table>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>) -> Self {
+        Report { title: title.into(), notes: Vec::new(), tables: Vec::new() }
+    }
+
+    /// Appends a free-text note (rendered as a bullet).
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Appends a table.
+    pub fn push_table(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// The report title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The attached tables.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// The attached notes.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        writeln!(f)?;
+        for note in &self.notes {
+            writeln!(f, "* {note}")?;
+        }
+        if !self.notes.is_empty() {
+            writeln!(f)?;
+        }
+        for table in &self.tables {
+            writeln!(f, "{table}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a nanosecond duration as microseconds with two decimals.
+pub fn fmt_us(ns: f64) -> String {
+    format!("{:.2}", ns / 1_000.0)
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn fmt_pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats a speedup factor with two decimals and a trailing `x`.
+pub fn fmt_speedup(factor: f64) -> String {
+    format!("{factor:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut table = Table::new("Example", &["name", "value"]);
+        table.push_row(["alpha", "1"]);
+        table.push_row(["beta", "22"]);
+        let text = table.to_string();
+        assert!(text.contains("### Example"));
+        assert!(text.contains("| name "));
+        assert!(text.contains("| alpha"));
+        assert!(text.contains("| beta "));
+        assert!(text.contains("|---"));
+        assert_eq!(table.num_rows(), 2);
+        assert_eq!(table.title(), "Example");
+        assert_eq!(table.rows()[1][1], "22");
+    }
+
+    #[test]
+    fn report_renders_notes_and_tables() {
+        let mut report = Report::new("Fig. X");
+        report.push_note("simulated, not measured on hardware");
+        let mut table = Table::new("data", &["a"]);
+        table.push_row(["1"]);
+        report.push_table(table);
+        let text = report.to_string();
+        assert!(text.contains("## Fig. X"));
+        assert!(text.contains("* simulated"));
+        assert!(text.contains("### data"));
+        assert_eq!(report.tables().len(), 1);
+        assert_eq!(report.notes().len(), 1);
+        assert_eq!(report.title(), "Fig. X");
+    }
+
+    #[test]
+    fn ragged_rows_are_tolerated() {
+        let mut table = Table::new("ragged", &["a", "b", "c"]);
+        table.push_row(["1"]);
+        table.push_row(["1", "2", "3", "4"]);
+        let text = table.to_string();
+        assert!(text.contains("| 1"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_us(1_500.0), "1.50");
+        assert_eq!(fmt_pct(0.9514), "95.1%");
+        assert_eq!(fmt_speedup(1.724), "1.72x");
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for collective algorithm execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the functional collective implementations and cost model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CollectiveError {
+    /// The number of participating NPUs must be at least two.
+    TooFewParticipants {
+        /// The offending participant count.
+        participants: usize,
+    },
+    /// Halving-doubling requires a power-of-two participant count.
+    NonPowerOfTwoParticipants {
+        /// The offending participant count.
+        participants: usize,
+    },
+    /// The per-NPU data length must be divisible by the participant count.
+    IndivisibleData {
+        /// Data length per NPU.
+        elements: usize,
+        /// Participant count.
+        participants: usize,
+    },
+    /// Participants presented inconsistent data shapes (lengths or index sets).
+    InconsistentShards {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// A requested dimension order is not a permutation of the topology dims.
+    InvalidDimensionOrder {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A chunk or data size was invalid (zero, negative, NaN).
+    InvalidSize {
+        /// The rejected size in bytes.
+        bytes: f64,
+    },
+}
+
+impl fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveError::TooFewParticipants { participants } => {
+                write!(f, "collective requires at least 2 participants, got {participants}")
+            }
+            CollectiveError::NonPowerOfTwoParticipants { participants } => {
+                write!(f, "halving-doubling requires a power-of-two participant count, got {participants}")
+            }
+            CollectiveError::IndivisibleData { elements, participants } => {
+                write!(f, "per-NPU data of {elements} elements is not divisible by {participants} participants")
+            }
+            CollectiveError::InconsistentShards { reason } => {
+                write!(f, "inconsistent participant data: {reason}")
+            }
+            CollectiveError::InvalidDimensionOrder { reason } => {
+                write!(f, "invalid dimension order: {reason}")
+            }
+            CollectiveError::InvalidSize { bytes } => write!(f, "invalid data size: {bytes} bytes"),
+        }
+    }
+}
+
+impl Error for CollectiveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let cases = [
+            CollectiveError::TooFewParticipants { participants: 1 },
+            CollectiveError::NonPowerOfTwoParticipants { participants: 6 },
+            CollectiveError::IndivisibleData { elements: 10, participants: 3 },
+            CollectiveError::InconsistentShards { reason: "length mismatch".to_string() },
+            CollectiveError::InvalidDimensionOrder { reason: "duplicate dim".to_string() },
+            CollectiveError::InvalidSize { bytes: -1.0 },
+        ];
+        for case in cases {
+            assert!(!case.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_trait_bounds() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CollectiveError>();
+    }
+}

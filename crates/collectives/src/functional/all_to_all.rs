@@ -1,0 +1,77 @@
+//! Functional All-To-All (personalised exchange).
+//!
+//! Used by the DLRM workload model: each NPU holds one block destined for
+//! every other NPU (embedding lookups / pooled embeddings), and after the
+//! exchange NPU `i` holds the `i`-th block of every peer.
+
+use super::validate_equal_inputs;
+use crate::error::CollectiveError;
+
+/// All-To-All: `data[i]` is node `i`'s send buffer, interpreted as `P`
+/// equal-size blocks; the result's `[i]` entry is node `i`'s receive buffer,
+/// the concatenation of block `i` from node `0`, node `1`, ..., node `P−1`.
+///
+/// # Errors
+///
+/// Returns an error for fewer than two participants, ragged inputs, or a
+/// per-node buffer that is not divisible by the participant count.
+pub fn all_to_all(data: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, CollectiveError> {
+    let (participants, elements) = validate_equal_inputs(data)?;
+    let block = elements / participants;
+    Ok((0..participants)
+        .map(|receiver| {
+            let mut buffer = Vec::with_capacity(elements);
+            for sender in data {
+                buffer.extend_from_slice(&sender[receiver * block..(receiver + 1) * block]);
+            }
+            buffer
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functional::assert_close;
+
+    #[test]
+    fn two_node_exchange() {
+        let data = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let result = all_to_all(&data).unwrap();
+        assert_close(&result[0], &[1.0, 3.0]);
+        assert_close(&result[1], &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn four_node_exchange_is_a_block_transpose() {
+        let data: Vec<Vec<f64>> = (0..4)
+            .map(|sender| (0..4).map(|block| (sender * 10 + block) as f64).collect())
+            .collect();
+        let result = all_to_all(&data).unwrap();
+        for (receiver, row) in result.iter().enumerate() {
+            let expected: Vec<f64> =
+                (0..4).map(|sender| (sender * 10 + receiver) as f64).collect();
+            assert_close(row, &expected);
+        }
+    }
+
+    #[test]
+    fn applying_twice_with_single_element_blocks_is_identity() {
+        let data = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ];
+        let once = all_to_all(&data).unwrap();
+        let twice = all_to_all(&once).unwrap();
+        for (row, original) in twice.iter().zip(data.iter()) {
+            assert_close(row, original);
+        }
+    }
+
+    #[test]
+    fn rejects_indivisible_buffers() {
+        let data = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        assert!(all_to_all(&data).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Direct (single-step) collectives for fully-connected dimensions.
+//!
+//! On a fully-connected dimension every NPU pair has a dedicated link, so the
+//! whole phase is performed in one step: each node sends the `j`-th segment of
+//! its data directly to node `j` (Reduce-Scatter) or its own shard directly to
+//! every other node (All-Gather).
+
+use super::{validate_disjoint_cover, validate_equal_inputs, Shard};
+use crate::error::CollectiveError;
+
+/// Direct Reduce-Scatter: node `i` receives segment `i` from every peer and
+/// reduces it locally in a single step.
+///
+/// # Errors
+///
+/// Returns an error for fewer than two participants, ragged inputs, or a data
+/// length that is not divisible by the participant count.
+pub fn reduce_scatter(data: &[Vec<f64>]) -> Result<Vec<Shard>, CollectiveError> {
+    let (participants, elements) = validate_equal_inputs(data)?;
+    let seg = elements / participants;
+    Ok((0..participants)
+        .map(|node| {
+            let start = node * seg;
+            let values = (start..start + seg)
+                .map(|idx| data.iter().map(|row| row[idx]).sum())
+                .collect();
+            Shard { start, values }
+        })
+        .collect())
+}
+
+/// Direct All-Gather: every node broadcasts its shard to all peers in a single
+/// step; each node concatenates what it received in shard order.
+///
+/// # Errors
+///
+/// Returns an error if the shards do not form a disjoint contiguous cover.
+pub fn all_gather(shards: &[Shard]) -> Result<Vec<Vec<f64>>, CollectiveError> {
+    let total = validate_disjoint_cover(shards)?;
+    let mut ordered: Vec<&Shard> = shards.iter().collect();
+    ordered.sort_by_key(|s| s.start);
+    let mut full = Vec::with_capacity(total);
+    for shard in ordered {
+        full.extend_from_slice(&shard.values);
+    }
+    Ok(vec![full; shards.len()])
+}
+
+/// Direct All-Reduce: direct Reduce-Scatter followed by direct All-Gather.
+///
+/// # Errors
+///
+/// Propagates the validation errors of [`reduce_scatter`].
+pub fn all_reduce(data: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, CollectiveError> {
+    let shards = reduce_scatter(data)?;
+    all_gather(&shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functional::{
+        assert_close, reference_all_reduce, reference_reduce_scatter, test_data,
+    };
+
+    #[test]
+    fn reduce_scatter_matches_reference() {
+        for (p, n) in [(2usize, 8usize), (4, 16), (7, 28), (8, 8)] {
+            let data = test_data(p, n);
+            let shards = reduce_scatter(&data).unwrap();
+            let reference = reference_reduce_scatter(&data).unwrap();
+            assert_eq!(shards.len(), reference.len());
+            for (shard, expected) in shards.iter().zip(reference.iter()) {
+                assert_eq!(shard.start, expected.start);
+                assert_close(&shard.values, &expected.values);
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_matches_reference() {
+        for (p, n) in [(2usize, 2usize), (4, 16), (8, 64), (5, 15)] {
+            let data = test_data(p, n);
+            let result = all_reduce(&data).unwrap();
+            let reference = reference_all_reduce(&data).unwrap();
+            for (row, expected) in result.iter().zip(reference.iter()) {
+                assert_close(row, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_rejects_gaps() {
+        let shards = vec![
+            Shard { start: 0, values: vec![1.0, 2.0] },
+            Shard { start: 3, values: vec![4.0] },
+        ];
+        assert!(all_gather(&shards).is_err());
+    }
+
+    #[test]
+    fn rejects_too_few_participants() {
+        assert!(reduce_scatter(&[vec![1.0]]).is_err());
+        assert!(all_gather(&[Shard { start: 0, values: vec![1.0] }]).is_err());
+    }
+}

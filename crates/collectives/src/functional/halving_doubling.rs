@@ -1,0 +1,221 @@
+//! Recursive halving / doubling collectives for switch dimensions.
+//!
+//! Recursive halving (Reduce-Scatter) pairs nodes at distance `P/2`, `P/4`, …
+//! and exchanges half of the currently active range at every step, so the
+//! phase completes in `log2(P)` steps while remaining bandwidth-optimal.
+//! Recursive doubling (All-Gather) is its mirror image.
+
+use super::{validate_equal_inputs, Shard};
+use crate::error::CollectiveError;
+
+fn require_power_of_two(participants: usize) -> Result<(), CollectiveError> {
+    if !participants.is_power_of_two() {
+        return Err(CollectiveError::NonPowerOfTwoParticipants { participants });
+    }
+    Ok(())
+}
+
+/// Recursive-halving Reduce-Scatter.
+///
+/// Returns one [`Shard`] per node; the shard ownership follows the recursive
+/// bisection pattern (node `i` owns the range selected by reading its rank
+/// bits from the most significant to the least significant).
+///
+/// # Errors
+///
+/// Returns an error for fewer than two participants, a non-power-of-two
+/// participant count, ragged inputs, or an indivisible data length.
+pub fn reduce_scatter(data: &[Vec<f64>]) -> Result<Vec<Shard>, CollectiveError> {
+    let (participants, elements) = validate_equal_inputs(data)?;
+    require_power_of_two(participants)?;
+    let mut buffers: Vec<Vec<f64>> = data.to_vec();
+    let mut ranges: Vec<(usize, usize)> = vec![(0, elements); participants];
+    let nodes: Vec<usize> = (0..participants).collect();
+    halve(&nodes, (0, elements), &mut buffers, &mut ranges);
+    Ok(nodes
+        .iter()
+        .map(|&node| {
+            let (lo, hi) = ranges[node];
+            Shard { start: lo, values: buffers[node][lo..hi].to_vec() }
+        })
+        .collect())
+}
+
+/// One level of recursive halving: splits `group` into a lower and an upper
+/// half, exchanges/reduces the corresponding halves of `range`, then recurses.
+// Index-based loops deliberately mirror the pairwise exchange of index ranges.
+#[allow(clippy::needless_range_loop)]
+fn halve(
+    group: &[usize],
+    range: (usize, usize),
+    buffers: &mut [Vec<f64>],
+    ranges: &mut [(usize, usize)],
+) {
+    let (lo, hi) = range;
+    if group.len() == 1 {
+        ranges[group[0]] = range;
+        return;
+    }
+    let half = group.len() / 2;
+    let mid = lo + (hi - lo) / 2;
+    let (lower_nodes, upper_nodes) = group.split_at(half);
+    for (&low, &up) in lower_nodes.iter().zip(upper_nodes.iter()) {
+        // Exchange: the lower node keeps [lo, mid) and receives that range
+        // from its partner; the upper node keeps [mid, hi).
+        for idx in lo..mid {
+            let incoming = buffers[up][idx];
+            buffers[low][idx] += incoming;
+        }
+        for idx in mid..hi {
+            let incoming = buffers[low][idx];
+            buffers[up][idx] += incoming;
+        }
+    }
+    halve(lower_nodes, (lo, mid), buffers, ranges);
+    halve(upper_nodes, (mid, hi), buffers, ranges);
+}
+
+/// Recursive-doubling All-Gather.
+///
+/// The input must be one shard per node laid out by [`reduce_scatter`] (i.e.
+/// following the recursive bisection ownership); each node ends with the full
+/// vector after `log2(P)` doubling steps.
+///
+/// # Errors
+///
+/// Returns an error for fewer than two shards, a non-power-of-two count, or
+/// shards that do not tile a contiguous range following the bisection layout.
+pub fn all_gather(shards: &[Shard]) -> Result<Vec<Vec<f64>>, CollectiveError> {
+    let participants = shards.len();
+    if participants < 2 {
+        return Err(CollectiveError::TooFewParticipants { participants });
+    }
+    require_power_of_two(participants)?;
+    super::validate_disjoint_cover(shards)?;
+    let total: usize = shards.iter().map(Shard::len).sum();
+    // pieces[node] = shards currently held by the node.
+    let mut pieces: Vec<Vec<Shard>> = shards.iter().map(|s| vec![s.clone()]).collect();
+    let nodes: Vec<usize> = (0..participants).collect();
+    double(&nodes, &mut pieces);
+    nodes
+        .iter()
+        .map(|&node| {
+            let mut held = pieces[node].clone();
+            held.sort_by_key(|s| s.start);
+            let mut full = Vec::with_capacity(total);
+            for piece in held {
+                full.extend_from_slice(&piece.values);
+            }
+            if full.len() != total {
+                return Err(CollectiveError::InconsistentShards {
+                    reason: format!("node {node} gathered {} of {total} elements", full.len()),
+                });
+            }
+            Ok(full)
+        })
+        .collect()
+}
+
+/// One level of recursive doubling: recurse into halves first, then exchange
+/// everything each half holds with the partner in the other half.
+fn double(group: &[usize], pieces: &mut Vec<Vec<Shard>>) {
+    if group.len() == 1 {
+        return;
+    }
+    let half = group.len() / 2;
+    let (lower_nodes, upper_nodes) = group.split_at(half);
+    double(lower_nodes, pieces);
+    double(upper_nodes, pieces);
+    for (&low, &up) in lower_nodes.iter().zip(upper_nodes.iter()) {
+        let from_low = pieces[low].clone();
+        let from_up = pieces[up].clone();
+        pieces[low].extend(from_up);
+        pieces[up].extend(from_low);
+    }
+}
+
+/// Halving-doubling All-Reduce: recursive halving followed by recursive
+/// doubling.
+///
+/// # Errors
+///
+/// Propagates the validation errors of [`reduce_scatter`].
+pub fn all_reduce(data: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, CollectiveError> {
+    let shards = reduce_scatter(data)?;
+    all_gather(&shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functional::{
+        assert_close, reference_all_reduce, reference_reduce_scatter, test_data,
+    };
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let data = test_data(6, 12);
+        assert!(matches!(
+            reduce_scatter(&data),
+            Err(CollectiveError::NonPowerOfTwoParticipants { participants: 6 })
+        ));
+    }
+
+    #[test]
+    fn reduce_scatter_produces_disjoint_reduced_shards() {
+        for (p, n) in [(2usize, 8usize), (4, 16), (8, 32), (16, 64)] {
+            let data = test_data(p, n);
+            let shards = reduce_scatter(&data).unwrap();
+            let reference = reference_reduce_scatter(&data).unwrap();
+            // Every node's shard must equal the reference reduction of the
+            // same index range, and the shards together tile the vector.
+            let mut covered = vec![false; n];
+            for shard in &shards {
+                assert_eq!(shard.len(), n / p);
+                let matching = reference.iter().find(|r| r.start == shard.start).unwrap();
+                assert_close(&shard.values, &matching.values);
+                for idx in shard.start..shard.end() {
+                    assert!(!covered[idx], "index {idx} covered twice");
+                    covered[idx] = true;
+                }
+            }
+            assert!(covered.into_iter().all(|c| c));
+        }
+    }
+
+    #[test]
+    fn ownership_follows_bisection_pattern() {
+        // With 4 nodes and 8 elements, node ranks {0,1} own the lower half.
+        let data = test_data(4, 8);
+        let shards = reduce_scatter(&data).unwrap();
+        assert_eq!(shards[0].start, 0);
+        assert_eq!(shards[1].start, 2);
+        assert_eq!(shards[2].start, 4);
+        assert_eq!(shards[3].start, 6);
+    }
+
+    #[test]
+    fn all_reduce_matches_reference() {
+        for (p, n) in [(2usize, 4usize), (4, 16), (8, 64), (16, 16)] {
+            let data = test_data(p, n);
+            let result = all_reduce(&data).unwrap();
+            let reference = reference_all_reduce(&data).unwrap();
+            for (row, expected) in result.iter().zip(reference.iter()) {
+                assert_close(row, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_requires_power_of_two() {
+        let shards = vec![
+            Shard { start: 0, values: vec![1.0] },
+            Shard { start: 1, values: vec![2.0] },
+            Shard { start: 2, values: vec![3.0] },
+        ];
+        assert!(matches!(
+            all_gather(&shards),
+            Err(CollectiveError::NonPowerOfTwoParticipants { participants: 3 })
+        ));
+    }
+}

@@ -1,0 +1,377 @@
+//! Hierarchical multi-dimensional All-Reduce with arbitrary stage ordering.
+//!
+//! This module demonstrates, at the data level, **Observation 1** of the paper
+//! (Sec. 4.1): a chunk may traverse the Reduce-Scatter stages of the network
+//! dimensions in *any* order and the All-Gather stages in *any* order — the
+//! only synchronisation point is that every Reduce-Scatter stage must finish
+//! before the first All-Gather stage. The Themis scheduler relies on this
+//! freedom, and the property tests of this crate exercise it exhaustively for
+//! small machines.
+//!
+//! The per-dimension data movement is represented algorithm-agnostically (all
+//! Table 1 algorithms produce the same result for a stage); per-algorithm
+//! step-level fidelity is covered by the sibling `ring`, `direct` and
+//! `halving_doubling` modules.
+
+use crate::error::CollectiveError;
+use std::collections::BTreeMap;
+use themis_net::{NetworkTopology, NpuId};
+
+/// Per-NPU resident data: a mapping from global element index to value.
+type Resident = BTreeMap<usize, f64>;
+
+fn validate_order(topo: &NetworkTopology, order: &[usize]) -> Result<(), CollectiveError> {
+    let num_dims = topo.num_dims();
+    if order.len() != num_dims {
+        return Err(CollectiveError::InvalidDimensionOrder {
+            reason: format!("order has {} entries, topology has {num_dims} dimensions", order.len()),
+        });
+    }
+    let mut seen = vec![false; num_dims];
+    for &d in order {
+        if d >= num_dims {
+            return Err(CollectiveError::InvalidDimensionOrder {
+                reason: format!("dimension index {d} out of range"),
+            });
+        }
+        if seen[d] {
+            return Err(CollectiveError::InvalidDimensionOrder {
+                reason: format!("dimension {d} appears more than once"),
+            });
+        }
+        seen[d] = true;
+    }
+    Ok(())
+}
+
+fn validate_data(topo: &NetworkTopology, data: &[Vec<f64>]) -> Result<usize, CollectiveError> {
+    let num_npus = topo.num_npus();
+    if data.len() != num_npus {
+        return Err(CollectiveError::InconsistentShards {
+            reason: format!("expected data for {num_npus} NPUs, got {}", data.len()),
+        });
+    }
+    let elements = data[0].len();
+    for (i, row) in data.iter().enumerate() {
+        if row.len() != elements {
+            return Err(CollectiveError::InconsistentShards {
+                reason: format!("NPU 0 holds {elements} elements but NPU {i} holds {}", row.len()),
+            });
+        }
+    }
+    if elements == 0 || !elements.is_multiple_of(num_npus) {
+        return Err(CollectiveError::IndivisibleData { elements, participants: num_npus });
+    }
+    Ok(elements)
+}
+
+/// Groups the machine's NPUs into communicator groups along `dim`: every group
+/// contains the NPUs that differ only in their coordinate along `dim`, ordered
+/// by that coordinate.
+fn groups_along(topo: &NetworkTopology, dim: usize) -> Vec<Vec<usize>> {
+    let mut groups = Vec::new();
+    let mut assigned = vec![false; topo.num_npus()];
+    for npu in 0..topo.num_npus() {
+        if assigned[npu] {
+            continue;
+        }
+        let peers = topo
+            .peers_along(NpuId(npu), dim)
+            .expect("npu and dim indices are in range by construction");
+        for peer in &peers {
+            assigned[peer.0] = true;
+        }
+        groups.push(peers.into_iter().map(|p| p.0).collect());
+    }
+    groups
+}
+
+/// Performs one Reduce-Scatter stage along `dim`: within each communicator
+/// group, the (identical) resident index sets are split into `P` position-wise
+/// slices, and member `r` keeps slice `r` with values summed over the group.
+fn reduce_scatter_stage(
+    topo: &NetworkTopology,
+    dim: usize,
+    resident: &mut [Resident],
+) -> Result<(), CollectiveError> {
+    for group in groups_along(topo, dim) {
+        let p = group.len();
+        let keys: Vec<usize> = resident[group[0]].keys().copied().collect();
+        for &member in &group[1..] {
+            if resident[member].len() != keys.len()
+                || !resident[member].keys().copied().eq(keys.iter().copied())
+            {
+                return Err(CollectiveError::InconsistentShards {
+                    reason: format!(
+                        "NPUs {} and {member} entered a Reduce-Scatter stage with different \
+                         resident index sets",
+                        group[0]
+                    ),
+                });
+            }
+        }
+        if !keys.len().is_multiple_of(p) {
+            return Err(CollectiveError::IndivisibleData { elements: keys.len(), participants: p });
+        }
+        let slice_len = keys.len() / p;
+        // Sum each key across the group once.
+        let mut sums: BTreeMap<usize, f64> = BTreeMap::new();
+        for &key in &keys {
+            let total: f64 = group.iter().map(|&m| resident[m][&key]).sum();
+            sums.insert(key, total);
+        }
+        for (rank, &member) in group.iter().enumerate() {
+            let kept: Resident = keys[rank * slice_len..(rank + 1) * slice_len]
+                .iter()
+                .map(|&key| (key, sums[&key]))
+                .collect();
+            resident[member] = kept;
+        }
+    }
+    Ok(())
+}
+
+/// Performs one All-Gather stage along `dim`: within each communicator group,
+/// every member ends with the union of all members' resident data.
+fn all_gather_stage(
+    topo: &NetworkTopology,
+    dim: usize,
+    resident: &mut [Resident],
+) -> Result<(), CollectiveError> {
+    for group in groups_along(topo, dim) {
+        let mut union: Resident = BTreeMap::new();
+        let mut expected = 0usize;
+        for &member in &group {
+            expected += resident[member].len();
+            union.extend(resident[member].iter().map(|(&k, &v)| (k, v)));
+        }
+        if union.len() != expected {
+            return Err(CollectiveError::InconsistentShards {
+                reason: format!(
+                    "All-Gather stage along dim {dim} found overlapping resident data in a group"
+                ),
+            });
+        }
+        for &member in &group {
+            resident[member] = union.clone();
+        }
+    }
+    Ok(())
+}
+
+/// Hierarchical Reduce-Scatter over all dimensions of `topo` in the order
+/// given by `rs_order`. Returns, per NPU, the sorted `(index, value)` pairs it
+/// owns afterwards (each NPU owns `elements / num_npus` globally reduced
+/// values).
+///
+/// # Errors
+///
+/// Returns an error if `rs_order` is not a permutation of the dimensions or
+/// the data shape is invalid.
+pub fn reduce_scatter(
+    topo: &NetworkTopology,
+    data: &[Vec<f64>],
+    rs_order: &[usize],
+) -> Result<Vec<Vec<(usize, f64)>>, CollectiveError> {
+    validate_order(topo, rs_order)?;
+    let _ = validate_data(topo, data)?;
+    let mut resident: Vec<Resident> = data
+        .iter()
+        .map(|row| row.iter().copied().enumerate().collect())
+        .collect();
+    for &dim in rs_order {
+        reduce_scatter_stage(topo, dim, &mut resident)?;
+    }
+    Ok(resident
+        .into_iter()
+        .map(|r| r.into_iter().collect())
+        .collect())
+}
+
+/// Hierarchical All-Reduce: Reduce-Scatter stages in `rs_order`, then
+/// All-Gather stages in `ag_order` (both arbitrary permutations of the
+/// dimensions — Observation 1). Returns the full reduced vector per NPU.
+///
+/// # Errors
+///
+/// Returns an error if either order is not a permutation of the dimensions or
+/// the data shape is invalid.
+pub fn all_reduce(
+    topo: &NetworkTopology,
+    data: &[Vec<f64>],
+    rs_order: &[usize],
+    ag_order: &[usize],
+) -> Result<Vec<Vec<f64>>, CollectiveError> {
+    validate_order(topo, rs_order)?;
+    validate_order(topo, ag_order)?;
+    let elements = validate_data(topo, data)?;
+    let mut resident: Vec<Resident> = data
+        .iter()
+        .map(|row| row.iter().copied().enumerate().collect())
+        .collect();
+    for &dim in rs_order {
+        reduce_scatter_stage(topo, dim, &mut resident)?;
+    }
+    for &dim in ag_order {
+        all_gather_stage(topo, dim, &mut resident)?;
+    }
+    resident
+        .into_iter()
+        .enumerate()
+        .map(|(npu, r)| {
+            if r.len() != elements {
+                return Err(CollectiveError::InconsistentShards {
+                    reason: format!("NPU {npu} ended with {} of {elements} elements", r.len()),
+                });
+            }
+            Ok(r.into_values().collect())
+        })
+        .collect()
+}
+
+/// The baseline stage ordering of Sec. 2.3: Reduce-Scatter from dim 1 to dim D
+/// and All-Gather in the reverse order.
+pub fn baseline_orders(topo: &NetworkTopology) -> (Vec<usize>, Vec<usize>) {
+    let rs: Vec<usize> = (0..topo.num_dims()).collect();
+    let ag: Vec<usize> = rs.iter().rev().copied().collect();
+    (rs, ag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functional::assert_close;
+    use themis_net::{DimensionSpec, TopologyKind};
+
+    fn topo(sizes: &[usize]) -> NetworkTopology {
+        let mut builder = NetworkTopology::builder("functional-test");
+        for &size in sizes {
+            builder = builder.dimension(
+                DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, size, 100.0, 0.0)
+                    .unwrap(),
+            );
+        }
+        builder.build().unwrap()
+    }
+
+    fn data_for(topo: &NetworkTopology, elements: usize) -> Vec<Vec<f64>> {
+        (0..topo.num_npus())
+            .map(|npu| {
+                (0..elements)
+                    .map(|e| ((npu * 17 + e * 3 + 5) % 23) as f64 - 11.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn expected_sum(data: &[Vec<f64>]) -> Vec<f64> {
+        let mut out = vec![0.0; data[0].len()];
+        for row in data {
+            for (acc, v) in out.iter_mut().zip(row) {
+                *acc += v;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn baseline_order_all_reduce_is_correct() {
+        let topo = topo(&[2, 4]);
+        let data = data_for(&topo, 16);
+        let (rs, ag) = baseline_orders(&topo);
+        let result = all_reduce(&topo, &data, &rs, &ag).unwrap();
+        let expected = expected_sum(&data);
+        for row in result {
+            assert_close(&row, &expected);
+        }
+    }
+
+    #[test]
+    fn observation1_any_rs_and_ag_order_is_correct() {
+        // 3-dimensional 2×2×3 machine: all 6×6 = 36 (rs, ag) order pairs.
+        let topo = topo(&[2, 2, 3]);
+        let data = data_for(&topo, 24);
+        let expected = expected_sum(&data);
+        let orders: Vec<Vec<usize>> = vec![
+            vec![0, 1, 2],
+            vec![0, 2, 1],
+            vec![1, 0, 2],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![2, 1, 0],
+        ];
+        for rs in &orders {
+            for ag in &orders {
+                let result = all_reduce(&topo, &data, rs, ag).unwrap();
+                for row in result {
+                    assert_close(&row, &expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_shards_are_globally_reduced_and_disjoint() {
+        let topo = topo(&[2, 4]);
+        let data = data_for(&topo, 32);
+        let expected = expected_sum(&data);
+        for order in [vec![0, 1], vec![1, 0]] {
+            let shards = reduce_scatter(&topo, &data, &order).unwrap();
+            let per_npu = 32 / topo.num_npus();
+            let mut covered = vec![false; 32];
+            for shard in &shards {
+                assert_eq!(shard.len(), per_npu);
+                for &(idx, value) in shard {
+                    assert!(!covered[idx]);
+                    covered[idx] = true;
+                    assert!((value - expected[idx]).abs() < 1e-9);
+                }
+            }
+            assert!(covered.into_iter().all(|c| c));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_orders() {
+        let topo = topo(&[2, 2]);
+        let data = data_for(&topo, 8);
+        assert!(all_reduce(&topo, &data, &[0], &[0, 1]).is_err());
+        assert!(all_reduce(&topo, &data, &[0, 0], &[0, 1]).is_err());
+        assert!(all_reduce(&topo, &data, &[0, 2], &[0, 1]).is_err());
+        assert!(all_reduce(&topo, &data, &[0, 1], &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_data_shapes() {
+        let topo = topo(&[2, 2]);
+        let mut data = data_for(&topo, 8);
+        data.pop();
+        assert!(all_reduce(&topo, &data, &[0, 1], &[1, 0]).is_err());
+
+        let mut ragged = data_for(&topo, 8);
+        ragged[2].pop();
+        assert!(all_reduce(&topo, &ragged, &[0, 1], &[1, 0]).is_err());
+
+        let indivisible = data_for(&topo, 6);
+        assert!(all_reduce(&topo, &indivisible, &[0, 1], &[1, 0]).is_err());
+    }
+
+    #[test]
+    fn mismatched_ag_order_on_larger_machine() {
+        // 4-dimensional machine with mixed sizes; pick a few order pairs.
+        let topo = topo(&[2, 3, 2, 2]);
+        let data = data_for(&topo, 48);
+        let expected = expected_sum(&data);
+        let pairs = [
+            (vec![3, 1, 0, 2], vec![0, 3, 2, 1]),
+            (vec![2, 0, 3, 1], vec![1, 2, 3, 0]),
+            (vec![1, 3, 2, 0], vec![3, 0, 1, 2]),
+        ];
+        for (rs, ag) in pairs {
+            let result = all_reduce(&topo, &data, &rs, &ag).unwrap();
+            for row in result {
+                assert_close(&row, &expected);
+            }
+        }
+    }
+}

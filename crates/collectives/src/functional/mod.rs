@@ -1,0 +1,275 @@
+//! Executable, data-level collective implementations.
+//!
+//! The scheduler and simulator only need the *cost* of a collective, but this
+//! module implements the actual data movement of the Table 1 algorithms so
+//! that the library can prove (in tests and property tests) that:
+//!
+//! * each per-dimension algorithm produces the mathematically correct
+//!   Reduce-Scatter / All-Gather / All-Reduce result (Fig. 2 semantics), and
+//! * the hierarchical multi-dimensional All-Reduce is correct for **any**
+//!   ordering of Reduce-Scatter stages and **any** ordering of All-Gather
+//!   stages — Observation 1 of Sec. 4.1, which is the algorithmic freedom that
+//!   Themis exploits.
+//!
+//! All functions operate on `f64` vectors; node `i`'s initial data is
+//! `data[i]`.
+
+pub mod all_to_all;
+pub mod direct;
+pub mod halving_doubling;
+pub mod hierarchical;
+pub mod ring;
+
+use crate::error::CollectiveError;
+
+/// A contiguous shard of the (conceptual) global result vector owned by one
+/// node after a Reduce-Scatter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shard {
+    /// Index of the first element of the shard in the result vector.
+    pub start: usize,
+    /// The shard's values.
+    pub values: Vec<f64>,
+}
+
+impl Shard {
+    /// Exclusive end index of the shard.
+    pub fn end(&self) -> usize {
+        self.start + self.values.len()
+    }
+
+    /// Number of elements in the shard.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if the shard holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Validates that every participant holds a same-length, non-empty vector
+/// divisible by the participant count. Returns `(participants, elements)`.
+pub(crate) fn validate_equal_inputs(data: &[Vec<f64>]) -> Result<(usize, usize), CollectiveError> {
+    let participants = data.len();
+    if participants < 2 {
+        return Err(CollectiveError::TooFewParticipants { participants });
+    }
+    let elements = data[0].len();
+    for (i, row) in data.iter().enumerate() {
+        if row.len() != elements {
+            return Err(CollectiveError::InconsistentShards {
+                reason: format!(
+                    "participant 0 holds {elements} elements but participant {i} holds {}",
+                    row.len()
+                ),
+            });
+        }
+    }
+    if elements == 0 || !elements.is_multiple_of(participants) {
+        return Err(CollectiveError::IndivisibleData { elements, participants });
+    }
+    Ok((participants, elements))
+}
+
+/// Reference (mathematical) Reduce-Scatter: node `i` receives the element-wise
+/// sum of segment `i` (Fig. 2, middle row).
+pub fn reference_reduce_scatter(data: &[Vec<f64>]) -> Result<Vec<Shard>, CollectiveError> {
+    let (participants, elements) = validate_equal_inputs(data)?;
+    let seg = elements / participants;
+    Ok((0..participants)
+        .map(|i| {
+            let start = i * seg;
+            let values = (start..start + seg)
+                .map(|idx| data.iter().map(|row| row[idx]).sum())
+                .collect();
+            Shard { start, values }
+        })
+        .collect())
+}
+
+/// Reference All-Reduce: every node receives the element-wise sum of all
+/// inputs (Fig. 2, bottom row).
+pub fn reference_all_reduce(data: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, CollectiveError> {
+    // All-Reduce does not require the data length to be divisible by the
+    // participant count, so only check participant count and equal lengths.
+    let participants = data.len();
+    if participants < 2 {
+        return Err(CollectiveError::TooFewParticipants { participants });
+    }
+    let elements = data[0].len();
+    for (i, row) in data.iter().enumerate() {
+        if row.len() != elements {
+            return Err(CollectiveError::InconsistentShards {
+                reason: format!(
+                    "participant 0 holds {elements} elements but participant {i} holds {}",
+                    row.len()
+                ),
+            });
+        }
+    }
+    let mut reduced = vec![0.0; elements];
+    for row in data {
+        for (acc, value) in reduced.iter_mut().zip(row.iter()) {
+            *acc += value;
+        }
+    }
+    Ok(vec![reduced; participants])
+}
+
+/// Reference All-Gather: every node receives the concatenation of all shards,
+/// ordered by shard start index (Fig. 2, top row).
+pub fn reference_all_gather(shards: &[Shard]) -> Result<Vec<Vec<f64>>, CollectiveError> {
+    validate_disjoint_cover(shards)?;
+    let mut ordered: Vec<&Shard> = shards.iter().collect();
+    ordered.sort_by_key(|s| s.start);
+    let mut full = Vec::new();
+    for shard in ordered {
+        full.extend_from_slice(&shard.values);
+    }
+    Ok(vec![full; shards.len()])
+}
+
+/// Validates that the shards are non-empty, pairwise disjoint and cover a
+/// contiguous `[0, total)` range.
+pub(crate) fn validate_disjoint_cover(shards: &[Shard]) -> Result<usize, CollectiveError> {
+    if shards.len() < 2 {
+        return Err(CollectiveError::TooFewParticipants { participants: shards.len() });
+    }
+    let mut ordered: Vec<&Shard> = shards.iter().collect();
+    ordered.sort_by_key(|s| s.start);
+    let mut expected_start = 0usize;
+    for shard in ordered {
+        if shard.is_empty() {
+            return Err(CollectiveError::InconsistentShards {
+                reason: "empty shard".to_string(),
+            });
+        }
+        if shard.start != expected_start {
+            return Err(CollectiveError::InconsistentShards {
+                reason: format!(
+                    "shard starting at {} does not continue the previous shard (expected {})",
+                    shard.start, expected_start
+                ),
+            });
+        }
+        expected_start = shard.end();
+    }
+    Ok(expected_start)
+}
+
+/// Convenience helpers for tests: asserts two vectors are element-wise close.
+#[cfg(test)]
+pub(crate) fn assert_close(actual: &[f64], expected: &[f64]) {
+    assert_eq!(actual.len(), expected.len(), "length mismatch");
+    for (i, (a, e)) in actual.iter().zip(expected.iter()).enumerate() {
+        assert!(
+            (a - e).abs() < 1e-9 * (1.0 + e.abs()),
+            "element {i}: {a} != {e}"
+        );
+    }
+}
+
+/// Generates deterministic pseudo-random test data: `participants` vectors of
+/// `elements` values each.
+#[cfg(test)]
+pub(crate) fn test_data(participants: usize, elements: usize) -> Vec<Vec<f64>> {
+    (0..participants)
+        .map(|p| {
+            (0..elements)
+                .map(|e| ((p * 31 + e * 7 + 13) % 97) as f64 - 48.0 + 0.25 * (p as f64))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_reduce_scatter_matches_manual_sum() {
+        let data = vec![vec![1.0, 2.0, 3.0, 4.0], vec![10.0, 20.0, 30.0, 40.0]];
+        let shards = reference_reduce_scatter(&data).unwrap();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].start, 0);
+        assert_close(&shards[0].values, &[11.0, 22.0]);
+        assert_eq!(shards[1].start, 2);
+        assert_close(&shards[1].values, &[33.0, 44.0]);
+    }
+
+    #[test]
+    fn reference_all_reduce_matches_manual_sum() {
+        let data = vec![vec![1.0, -1.0], vec![2.0, 5.0], vec![3.0, 0.0], vec![4.0, 1.0]];
+        let result = reference_all_reduce(&data).unwrap();
+        assert_eq!(result.len(), 4);
+        for row in result {
+            assert_close(&row, &[10.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn reference_all_gather_concatenates_in_order() {
+        let shards = vec![
+            Shard { start: 2, values: vec![3.0, 4.0] },
+            Shard { start: 0, values: vec![1.0, 2.0] },
+        ];
+        let gathered = reference_all_gather(&shards).unwrap();
+        for row in gathered {
+            assert_close(&row, &[1.0, 2.0, 3.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(matches!(
+            validate_equal_inputs(&[vec![1.0]]),
+            Err(CollectiveError::TooFewParticipants { .. })
+        ));
+        assert!(matches!(
+            validate_equal_inputs(&[vec![1.0, 2.0], vec![1.0]]),
+            Err(CollectiveError::InconsistentShards { .. })
+        ));
+        assert!(matches!(
+            validate_equal_inputs(&[vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0]]),
+            Err(CollectiveError::IndivisibleData { .. })
+        ));
+        assert!(validate_equal_inputs(&[vec![1.0, 2.0], vec![3.0, 4.0]]).is_ok());
+    }
+
+    #[test]
+    fn disjoint_cover_validation() {
+        let good = vec![
+            Shard { start: 0, values: vec![1.0] },
+            Shard { start: 1, values: vec![2.0] },
+        ];
+        assert_eq!(validate_disjoint_cover(&good).unwrap(), 2);
+
+        let overlapping = vec![
+            Shard { start: 0, values: vec![1.0, 2.0] },
+            Shard { start: 1, values: vec![2.0] },
+        ];
+        assert!(validate_disjoint_cover(&overlapping).is_err());
+
+        let gap = vec![
+            Shard { start: 0, values: vec![1.0] },
+            Shard { start: 2, values: vec![2.0] },
+        ];
+        assert!(validate_disjoint_cover(&gap).is_err());
+
+        let empty = vec![
+            Shard { start: 0, values: vec![] },
+            Shard { start: 0, values: vec![1.0] },
+        ];
+        assert!(validate_disjoint_cover(&empty).is_err());
+    }
+
+    #[test]
+    fn shard_accessors() {
+        let shard = Shard { start: 4, values: vec![1.0, 2.0, 3.0] };
+        assert_eq!(shard.end(), 7);
+        assert_eq!(shard.len(), 3);
+        assert!(!shard.is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! Step-by-step ring Reduce-Scatter / All-Gather / All-Reduce (Fig. 3).
+//!
+//! Each phase takes `P − 1` synchronous steps. At every step each node sends
+//! exactly one segment to its clockwise neighbour and receives one segment
+//! from its counter-clockwise neighbour, which is what makes the ring
+//! algorithm bandwidth-optimal and contention-free on a physical ring.
+
+use super::{validate_disjoint_cover, validate_equal_inputs, Shard};
+use crate::error::CollectiveError;
+
+/// Ring Reduce-Scatter.
+///
+/// Returns one [`Shard`] per node: node `i` ends up owning the fully reduced
+/// segment `(i + 1) mod P` of the global vector, which is the natural resting
+/// place of the data after `P − 1` ring steps (Fig. 3, steps a–d).
+///
+/// # Errors
+///
+/// Returns an error if fewer than two participants are provided, the inputs
+/// have differing lengths, or the length is not divisible by the participant
+/// count.
+// Index-based loops deliberately mirror the per-node, per-step message
+// exchanges of the algorithm description.
+#[allow(clippy::needless_range_loop)]
+pub fn reduce_scatter(data: &[Vec<f64>]) -> Result<Vec<Shard>, CollectiveError> {
+    let (participants, elements) = validate_equal_inputs(data)?;
+    let seg = elements / participants;
+    // acc[node][segment][offset]
+    let mut acc: Vec<Vec<Vec<f64>>> = data
+        .iter()
+        .map(|row| row.chunks(seg).map(<[f64]>::to_vec).collect())
+        .collect();
+
+    for step in 0..participants - 1 {
+        // Compute all messages of this step from the current state, then apply
+        // them, so the exchange is synchronous.
+        let mut messages: Vec<(usize, usize, Vec<f64>)> = Vec::with_capacity(participants);
+        for node in 0..participants {
+            let send_segment =
+                (node + participants - (step % participants)) % participants;
+            let destination = (node + 1) % participants;
+            messages.push((destination, send_segment, acc[node][send_segment].clone()));
+        }
+        for (destination, segment, payload) in messages {
+            for (slot, value) in acc[destination][segment].iter_mut().zip(payload) {
+                *slot += value;
+            }
+        }
+    }
+
+    Ok((0..participants)
+        .map(|node| {
+            let owned = (node + 1) % participants;
+            Shard { start: owned * seg, values: acc[node][owned].clone() }
+        })
+        .collect())
+}
+
+/// Ring All-Gather.
+///
+/// Takes one shard per node (in node order) and returns, for every node, the
+/// full concatenated vector. The shards may start at arbitrary offsets as long
+/// as together they tile a contiguous `[0, total)` range (the ring simply
+/// circulates whole shards for `P − 1` steps, Fig. 3 steps e–g).
+///
+/// # Errors
+///
+/// Returns an error if the shards do not form a disjoint contiguous cover.
+#[allow(clippy::needless_range_loop)]
+pub fn all_gather(shards: &[Shard]) -> Result<Vec<Vec<f64>>, CollectiveError> {
+    let total = validate_disjoint_cover(shards)?;
+    let participants = shards.len();
+    // held[node] = list of shards currently resident on the node.
+    let mut held: Vec<Vec<Shard>> = shards.iter().map(|s| vec![s.clone()]).collect();
+    // most recently received (or initially owned) shard, which is what the
+    // ring algorithm forwards next.
+    let mut forward: Vec<Shard> = shards.to_vec();
+
+    for _step in 0..participants - 1 {
+        let outgoing: Vec<Shard> = forward.clone();
+        for node in 0..participants {
+            let destination = (node + 1) % participants;
+            let payload = outgoing[node].clone();
+            held[destination].push(payload.clone());
+            forward[destination] = payload;
+        }
+    }
+
+    let mut result = Vec::with_capacity(participants);
+    for mut pieces in held {
+        pieces.sort_by_key(|s| s.start);
+        let mut full = Vec::with_capacity(total);
+        for piece in pieces {
+            full.extend_from_slice(&piece.values);
+        }
+        if full.len() != total {
+            return Err(CollectiveError::InconsistentShards {
+                reason: format!("gathered {} elements, expected {total}", full.len()),
+            });
+        }
+        result.push(full);
+    }
+    Ok(result)
+}
+
+/// Ring All-Reduce: Reduce-Scatter followed by All-Gather (Fig. 3, a–h).
+///
+/// # Errors
+///
+/// Propagates the validation errors of [`reduce_scatter`].
+pub fn all_reduce(data: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, CollectiveError> {
+    let shards = reduce_scatter(data)?;
+    all_gather(&shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functional::{
+        assert_close, reference_all_reduce, reference_reduce_scatter, test_data,
+    };
+
+    #[test]
+    fn fig3_four_node_example() {
+        // Four nodes, four segments (a, b, c, d collapsed to one element each).
+        let data = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![5.0, 6.0, 7.0, 8.0],
+            vec![9.0, 10.0, 11.0, 12.0],
+            vec![13.0, 14.0, 15.0, 16.0],
+        ];
+        let result = all_reduce(&data).unwrap();
+        for row in result {
+            assert_close(&row, &[28.0, 32.0, 36.0, 40.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_matches_reference_segments() {
+        let data = test_data(4, 16);
+        let shards = reduce_scatter(&data).unwrap();
+        let reference = reference_reduce_scatter(&data).unwrap();
+        // The ring leaves segment (i+1) mod P on node i; compare by segment start.
+        for shard in &shards {
+            let matching = reference.iter().find(|r| r.start == shard.start).unwrap();
+            assert_close(&shard.values, &matching.values);
+        }
+        // Each node owns a distinct segment.
+        let mut starts: Vec<usize> = shards.iter().map(|s| s.start).collect();
+        starts.sort_unstable();
+        assert_eq!(starts, vec![0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn ownership_is_rotated_by_one() {
+        let data = test_data(4, 8);
+        let shards = reduce_scatter(&data).unwrap();
+        for (node, shard) in shards.iter().enumerate() {
+            let owned_segment = (node + 1) % 4;
+            assert_eq!(shard.start, owned_segment * 2);
+        }
+    }
+
+    #[test]
+    fn all_reduce_matches_reference_for_various_sizes() {
+        for (p, n) in [(2usize, 4usize), (3, 9), (4, 16), (5, 25), (8, 64), (7, 21)] {
+            let data = test_data(p, n);
+            let result = all_reduce(&data).unwrap();
+            let reference = reference_all_reduce(&data).unwrap();
+            for (row, expected) in result.iter().zip(reference.iter()) {
+                assert_close(row, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_from_reference_shards() {
+        let data = test_data(4, 12);
+        let shards = reference_reduce_scatter(&data).unwrap();
+        let gathered = all_gather(&shards).unwrap();
+        let reference = reference_all_reduce(&data).unwrap();
+        for (row, expected) in gathered.iter().zip(reference.iter()) {
+            assert_close(row, expected);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(reduce_scatter(&[vec![1.0, 2.0]]).is_err());
+        assert!(reduce_scatter(&[vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0]]).is_err());
+        assert!(all_reduce(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! # themis-collectives
+//!
+//! Topology-aware collective communication algorithms and their cost models,
+//! used by the Themis (ISCA 2022) reproduction.
+//!
+//! A multi-dimensional All-Reduce is executed as a pipeline of per-dimension
+//! *phase operations* (Reduce-Scatter and All-Gather stages, Sec. 2.3 of the
+//! paper). Each network dimension runs a contention-free, topology-aware
+//! algorithm (Table 1):
+//!
+//! | Dimension topology | Algorithm          |
+//! |--------------------|--------------------|
+//! | Ring               | Ring               |
+//! | Fully connected    | Direct             |
+//! | Switch             | Halving-Doubling   |
+//!
+//! This crate provides:
+//!
+//! * [`CollectiveKind`] / [`PhaseOp`] — the communication patterns.
+//! * [`AlgorithmKind`] and [`algorithm_for`] — the Table 1 mapping, with step
+//!   counts and bytes-on-wire per NPU for each phase op.
+//! * [`CostModel`] — the `A_K + N_K × B_K` latency model of Sec. 4.4, with
+//!   optional in-network (switch) collective offload (Sec. 4.5).
+//! * [`functional`] — executable, data-level implementations of the
+//!   algorithms used to prove algorithmic correctness in tests, including a
+//!   hierarchical All-Reduce that accepts *any* dimension ordering
+//!   (Observation 1 of the paper).
+//!
+//! ```
+//! use themis_collectives::{algorithm_for, AlgorithmKind, PhaseOp};
+//! use themis_net::TopologyKind;
+//!
+//! let alg = algorithm_for(TopologyKind::Switch);
+//! assert_eq!(alg, AlgorithmKind::HalvingDoubling);
+//! assert_eq!(alg.steps(PhaseOp::ReduceScatter, 16), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod algorithm;
+pub mod cost;
+pub mod error;
+pub mod functional;
+pub mod kind;
+
+pub use algorithm::{algorithm_for, AlgorithmKind};
+pub use cost::{ChunkCost, CostModel, OffloadConfig};
+pub use error::CollectiveError;
+pub use kind::{CollectiveKind, PhaseOp};

@@ -1,0 +1,169 @@
+//! The multi-rail hierarchical baseline scheduler (Sec. 2.3).
+//!
+//! This is the chunk scheduling used by state-of-the-art collective libraries
+//! on hierarchical topologies (BlueConnect-style): every chunk performs its
+//! Reduce-Scatter stages from dim 1 to dim D and its All-Gather stages in the
+//! reverse order, regardless of the current per-dimension loads. The schedule
+//! is identical for every chunk, which is exactly what causes the unbalanced
+//! pipeline stages quantified in Sec. 3.
+
+use crate::error::ScheduleError;
+use crate::intra_dim::IntraDimPolicy;
+use crate::schedule::{ChunkSchedule, CollectiveRequest, CollectiveSchedule, StageOp};
+use crate::scheduler::CollectiveScheduler;
+use crate::splitter::Splitter;
+use themis_collectives::{CollectiveKind, PhaseOp};
+use themis_net::NetworkTopology;
+
+/// Builds the fixed baseline stage order for one chunk of `kind` on a
+/// `num_dims`-dimensional network: RS on dims `1..D`, then AG on dims `D..1`
+/// (footnote 4: RS-only and AG-only collectives run just their half).
+pub fn baseline_stages(kind: CollectiveKind, num_dims: usize) -> Vec<StageOp> {
+    let mut stages = Vec::with_capacity(kind.num_stages(num_dims));
+    match kind {
+        CollectiveKind::AllReduce => {
+            stages.extend((0..num_dims).map(StageOp::rs));
+            stages.extend((0..num_dims).rev().map(StageOp::ag));
+        }
+        CollectiveKind::ReduceScatter => stages.extend((0..num_dims).map(StageOp::rs)),
+        CollectiveKind::AllGather => stages.extend((0..num_dims).rev().map(StageOp::ag)),
+        CollectiveKind::AllToAll => {
+            stages.extend((0..num_dims).map(|d| StageOp::new(d, PhaseOp::AllToAll)))
+        }
+    }
+    stages
+}
+
+/// The baseline collective scheduler of Table 3 (fixed schedule, FIFO
+/// intra-dimension execution).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Default)]
+pub struct BaselineScheduler {
+    splitter: Splitter,
+}
+
+impl BaselineScheduler {
+    /// Creates a baseline scheduler splitting each collective into
+    /// `chunks_per_collective` chunks (the paper uses 64 for both baseline and
+    /// Themis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks_per_collective` is zero; use
+    /// [`BaselineScheduler::try_new`] for a fallible constructor.
+    pub fn new(chunks_per_collective: usize) -> Self {
+        Self::try_new(chunks_per_collective).expect("chunks_per_collective must be non-zero")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::ZeroChunks`] if `chunks_per_collective` is zero.
+    pub fn try_new(chunks_per_collective: usize) -> Result<Self, ScheduleError> {
+        Ok(BaselineScheduler { splitter: Splitter::new(chunks_per_collective)? })
+    }
+
+    /// Number of chunks each collective is split into.
+    pub fn chunks_per_collective(&self) -> usize {
+        self.splitter.chunks_per_collective()
+    }
+}
+
+
+impl CollectiveScheduler for BaselineScheduler {
+    fn name(&self) -> String {
+        "Baseline".to_string()
+    }
+
+    fn intra_dim_policy(&self) -> IntraDimPolicy {
+        // Sec. 4.3: intra-dimension ordering has no effect on the baseline, so
+        // it uses plain FIFO.
+        IntraDimPolicy::Fifo
+    }
+
+    fn schedule(
+        &mut self,
+        request: &CollectiveRequest,
+        topo: &NetworkTopology,
+    ) -> Result<CollectiveSchedule, ScheduleError> {
+        let chunk_sizes = self.splitter.split(request.size())?;
+        let stages = baseline_stages(request.kind(), topo.num_dims());
+        let chunks = chunk_sizes
+            .into_iter()
+            .enumerate()
+            .map(|(chunk_index, initial_bytes)| ChunkSchedule {
+                chunk_index,
+                initial_bytes,
+                stages: stages.clone(),
+            })
+            .collect();
+        Ok(CollectiveSchedule::new(*request, self.name(), self.intra_dim_policy(), chunks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_net::presets::PresetTopology;
+    use themis_net::DataSize;
+
+    #[test]
+    fn baseline_stage_order_matches_sec23() {
+        let stages = baseline_stages(CollectiveKind::AllReduce, 3);
+        let expected = vec![
+            StageOp::rs(0),
+            StageOp::rs(1),
+            StageOp::rs(2),
+            StageOp::ag(2),
+            StageOp::ag(1),
+            StageOp::ag(0),
+        ];
+        assert_eq!(stages, expected);
+    }
+
+    #[test]
+    fn rs_only_and_ag_only_use_half_the_pipeline() {
+        assert_eq!(
+            baseline_stages(CollectiveKind::ReduceScatter, 2),
+            vec![StageOp::rs(0), StageOp::rs(1)]
+        );
+        assert_eq!(
+            baseline_stages(CollectiveKind::AllGather, 2),
+            vec![StageOp::ag(1), StageOp::ag(0)]
+        );
+        assert_eq!(baseline_stages(CollectiveKind::AllToAll, 2).len(), 2);
+    }
+
+    #[test]
+    fn every_chunk_gets_the_same_schedule() {
+        let topo = PresetTopology::SwSwSw3dHomo.build();
+        let mut scheduler = BaselineScheduler::new(16);
+        let request = CollectiveRequest::all_reduce_mib(512.0);
+        let schedule = scheduler.schedule(&request, &topo).unwrap();
+        schedule.validate(&topo).unwrap();
+        assert_eq!(schedule.chunks().len(), 16);
+        let first = &schedule.chunks()[0].stages;
+        for chunk in schedule.chunks() {
+            assert_eq!(&chunk.stages, first);
+        }
+        assert!((schedule.total_chunk_bytes() - request.size().as_bytes_f64()).abs() < 1.0);
+    }
+
+    #[test]
+    fn scheduler_metadata() {
+        let scheduler = BaselineScheduler::default();
+        assert_eq!(scheduler.chunks_per_collective(), 64);
+        assert_eq!(scheduler.name(), "Baseline");
+        assert_eq!(scheduler.intra_dim_policy(), IntraDimPolicy::Fifo);
+        assert!(BaselineScheduler::try_new(0).is_err());
+    }
+
+    #[test]
+    fn zero_size_collective_is_rejected() {
+        let topo = PresetTopology::Sw2d.build();
+        let mut scheduler = BaselineScheduler::new(4);
+        let request = CollectiveRequest::new(CollectiveKind::AllReduce, DataSize::ZERO);
+        assert!(scheduler.schedule(&request, &topo).is_err());
+    }
+}

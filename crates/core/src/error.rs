@@ -1,0 +1,91 @@
+//! Error type for collective scheduling.
+
+use std::error::Error;
+use std::fmt;
+use themis_collectives::CollectiveError;
+use themis_net::NetError;
+
+/// Errors produced while scheduling a collective.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// The collective size was zero bytes.
+    EmptyCollective,
+    /// The requested number of chunks per collective was zero.
+    ZeroChunks,
+    /// A scheduler configuration value was invalid.
+    InvalidConfig {
+        /// Human-readable description of the invalid configuration.
+        reason: String,
+    },
+    /// An underlying topology error.
+    Net(NetError),
+    /// An underlying collective/cost-model error.
+    Collective(CollectiveError),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::EmptyCollective => write!(f, "collective size must be non-zero"),
+            ScheduleError::ZeroChunks => {
+                write!(f, "chunks per collective must be at least one")
+            }
+            ScheduleError::InvalidConfig { reason } => {
+                write!(f, "invalid scheduler configuration: {reason}")
+            }
+            ScheduleError::Net(err) => write!(f, "topology error: {err}"),
+            ScheduleError::Collective(err) => write!(f, "collective error: {err}"),
+        }
+    }
+}
+
+impl Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScheduleError::Net(err) => Some(err),
+            ScheduleError::Collective(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for ScheduleError {
+    fn from(err: NetError) -> Self {
+        ScheduleError::Net(err)
+    }
+}
+
+impl From<CollectiveError> for ScheduleError {
+    fn from(err: CollectiveError) -> Self {
+        ScheduleError::Collective(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let cases: Vec<ScheduleError> = vec![
+            ScheduleError::EmptyCollective,
+            ScheduleError::ZeroChunks,
+            ScheduleError::InvalidConfig { reason: "bad threshold".to_string() },
+            ScheduleError::Net(NetError::EmptyTopology),
+            ScheduleError::Collective(CollectiveError::TooFewParticipants { participants: 1 }),
+        ];
+        for case in cases {
+            assert!(!case.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sources_are_preserved() {
+        let err = ScheduleError::from(NetError::EmptyTopology);
+        assert!(err.source().is_some());
+        let err = ScheduleError::from(CollectiveError::TooFewParticipants { participants: 0 });
+        assert!(err.source().is_some());
+        assert!(ScheduleError::EmptyCollective.source().is_none());
+    }
+}

@@ -1,0 +1,172 @@
+//! A minimal discrete-event engine: a time-ordered event queue with
+//! deterministic tie-breaking.
+//!
+//! The chunk-pipeline simulator ([`crate::PipelineSimulator`]) uses a
+//! rate-based loop because processor sharing changes op completion times as
+//! membership changes; the [`EventQueue`] here is used by the higher-level
+//! [`crate::timeline`] simulator and is exposed for users who want to build
+//! their own event-driven models on top of this crate.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a simulation time, carrying a user payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledEvent<T> {
+    /// Simulation time of the event, in nanoseconds.
+    pub time_ns: f64,
+    /// Monotonic sequence number used to break ties deterministically
+    /// (first-scheduled fires first).
+    pub sequence: u64,
+    /// The event payload.
+    pub payload: T,
+}
+
+impl<T> Eq for ScheduledEvent<T> where T: PartialEq {}
+
+impl<T: PartialEq> PartialOrd for ScheduledEvent<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: PartialEq> Ord for ScheduledEvent<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest time pops first;
+        // ties resolve by the lower sequence number.
+        other
+            .time_ns
+            .partial_cmp(&self.time_ns)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+/// A deterministic, time-ordered event queue.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T: PartialEq> {
+    heap: BinaryHeap<ScheduledEvent<T>>,
+    next_sequence: u64,
+    now_ns: f64,
+}
+
+impl<T: PartialEq> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_sequence: 0, now_ns: 0.0 }
+    }
+}
+
+impl<T: PartialEq> EventQueue<T> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time (the time of the last popped event).
+    pub fn now_ns(&self) -> f64 {
+        self.now_ns
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at absolute time `time_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_ns` is NaN or lies in the past of the current
+    /// simulation time (events may not be scheduled retroactively).
+    pub fn schedule_at(&mut self, time_ns: f64, payload: T) {
+        assert!(time_ns.is_finite(), "event time must be finite");
+        assert!(
+            time_ns >= self.now_ns,
+            "event scheduled at {time_ns} ns is before the current time {} ns",
+            self.now_ns
+        );
+        let event = ScheduledEvent { time_ns, sequence: self.next_sequence, payload };
+        self.next_sequence += 1;
+        self.heap.push(event);
+    }
+
+    /// Schedules `payload` at `delay_ns` after the current time.
+    pub fn schedule_after(&mut self, delay_ns: f64, payload: T) {
+        self.schedule_at(self.now_ns + delay_ns.max(0.0), payload);
+    }
+
+    /// Pops the earliest pending event and advances the clock to it.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<T>> {
+        let event = self.heap.pop()?;
+        self.now_ns = event.time_ns;
+        Some(event)
+    }
+
+    /// Peeks at the earliest pending event time without advancing the clock.
+    pub fn peek_time_ns(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut queue = EventQueue::new();
+        queue.schedule_at(30.0, "c");
+        queue.schedule_at(10.0, "a");
+        queue.schedule_at(20.0, "b");
+        assert_eq!(queue.len(), 3);
+        assert_eq!(queue.pop().unwrap().payload, "a");
+        assert_eq!(queue.pop().unwrap().payload, "b");
+        assert_eq!(queue.pop().unwrap().payload, "c");
+        assert!(queue.is_empty());
+        assert_eq!(queue.now_ns(), 30.0);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut queue = EventQueue::new();
+        queue.schedule_at(5.0, 1);
+        queue.schedule_at(5.0, 2);
+        queue.schedule_at(5.0, 3);
+        assert_eq!(queue.pop().unwrap().payload, 1);
+        assert_eq!(queue.pop().unwrap().payload, 2);
+        assert_eq!(queue.pop().unwrap().payload, 3);
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut queue = EventQueue::new();
+        queue.schedule_at(10.0, "first");
+        queue.pop();
+        queue.schedule_after(5.0, "second");
+        let event = queue.pop().unwrap();
+        assert_eq!(event.time_ns, 15.0);
+        assert_eq!(event.payload, "second");
+        assert_eq!(queue.peek_time_ns(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the current time")]
+    fn retroactive_events_panic() {
+        let mut queue = EventQueue::new();
+        queue.schedule_at(10.0, ());
+        queue.pop();
+        queue.schedule_at(5.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_times_panic() {
+        let mut queue: EventQueue<()> = EventQueue::new();
+        queue.schedule_at(f64::NAN, ());
+    }
+}

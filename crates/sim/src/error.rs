@@ -1,0 +1,102 @@
+//! Error type for the simulator.
+
+use std::error::Error;
+use std::fmt;
+use themis_core::ScheduleError;
+use themis_net::NetError;
+
+/// Errors produced while simulating collective schedules.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The schedule references a topology with a different number of
+    /// dimensions than the simulator was built for.
+    TopologyMismatch {
+        /// Dimensions expected by the simulator.
+        expected_dims: usize,
+        /// Dimensions referenced by the schedule.
+        found_dims: usize,
+    },
+    /// A simulator option was invalid.
+    InvalidOptions {
+        /// Human-readable description of the invalid option.
+        reason: String,
+    },
+    /// The simulation made no progress (e.g. an enforced ordering deadlock).
+    Stalled {
+        /// Simulation time at which progress stopped, ns.
+        at_ns: f64,
+        /// Number of chunk operations still outstanding.
+        outstanding_ops: usize,
+    },
+    /// An underlying scheduling error.
+    Schedule(ScheduleError),
+    /// An underlying topology error.
+    Net(NetError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TopologyMismatch { expected_dims, found_dims } => write!(
+                f,
+                "schedule references {found_dims} dimensions but the simulator topology has {expected_dims}"
+            ),
+            SimError::InvalidOptions { reason } => write!(f, "invalid simulator options: {reason}"),
+            SimError::Stalled { at_ns, outstanding_ops } => write!(
+                f,
+                "simulation stalled at {at_ns} ns with {outstanding_ops} chunk operations outstanding"
+            ),
+            SimError::Schedule(err) => write!(f, "scheduling error: {err}"),
+            SimError::Net(err) => write!(f, "topology error: {err}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Schedule(err) => Some(err),
+            SimError::Net(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScheduleError> for SimError {
+    fn from(err: ScheduleError) -> Self {
+        SimError::Schedule(err)
+    }
+}
+
+impl From<NetError> for SimError {
+    fn from(err: NetError) -> Self {
+        SimError::Net(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let cases = vec![
+            SimError::TopologyMismatch { expected_dims: 2, found_dims: 3 },
+            SimError::InvalidOptions { reason: "zero concurrency".to_string() },
+            SimError::Stalled { at_ns: 10.0, outstanding_ops: 4 },
+            SimError::Schedule(ScheduleError::EmptyCollective),
+            SimError::Net(NetError::EmptyTopology),
+        ];
+        for case in cases {
+            assert!(!case.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sources_are_preserved() {
+        assert!(SimError::from(ScheduleError::EmptyCollective).source().is_some());
+        assert!(SimError::from(NetError::EmptyTopology).source().is_some());
+        assert!(SimError::Stalled { at_ns: 0.0, outstanding_ops: 0 }.source().is_none());
+    }
+}

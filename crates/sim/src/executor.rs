@@ -1,0 +1,118 @@
+//! Convenience wrapper: schedule *and* simulate a collective in one call.
+
+use crate::error::SimError;
+use crate::options::SimOptions;
+use crate::pipeline::PipelineSimulator;
+use crate::stats::SimReport;
+use themis_core::{CollectiveRequest, CollectiveScheduler, SchedulerKind};
+use themis_net::NetworkTopology;
+
+/// Schedules and simulates collectives on a fixed topology.
+#[derive(Debug, Clone)]
+pub struct CollectiveExecutor<'a> {
+    topo: &'a NetworkTopology,
+    options: SimOptions,
+}
+
+impl<'a> CollectiveExecutor<'a> {
+    /// Creates an executor for `topo` with default simulation options.
+    pub fn new(topo: &'a NetworkTopology) -> Self {
+        CollectiveExecutor { topo, options: SimOptions::default() }
+    }
+
+    /// Replaces the simulation options.
+    #[must_use]
+    pub fn with_options(mut self, options: SimOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The topology the executor runs on.
+    pub fn topology(&self) -> &NetworkTopology {
+        self.topo
+    }
+
+    /// Schedules `request` with `scheduler` and simulates the resulting
+    /// schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and simulation errors.
+    pub fn run(
+        &self,
+        scheduler: &mut dyn CollectiveScheduler,
+        request: &CollectiveRequest,
+    ) -> Result<SimReport, SimError> {
+        let schedule = scheduler.schedule(request, self.topo)?;
+        PipelineSimulator::new(self.topo, self.options).run(&schedule)
+    }
+
+    /// Runs `request` under one of the Table 3 scheduler configurations with
+    /// the given chunk granularity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and simulation errors.
+    pub fn run_kind(
+        &self,
+        kind: SchedulerKind,
+        chunks_per_collective: usize,
+        request: &CollectiveRequest,
+    ) -> Result<SimReport, SimError> {
+        let mut scheduler = kind.build(chunks_per_collective);
+        self.run(scheduler.as_mut(), request)
+    }
+
+    /// Runs `request` under all three Table 3 scheduler configurations and
+    /// returns the reports in `[Baseline, Themis+FIFO, Themis+SCF]` order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and simulation errors.
+    pub fn run_all_kinds(
+        &self,
+        chunks_per_collective: usize,
+        request: &CollectiveRequest,
+    ) -> Result<Vec<SimReport>, SimError> {
+        SchedulerKind::all()
+            .iter()
+            .map(|kind| self.run_kind(*kind, chunks_per_collective, request))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_core::BaselineScheduler;
+    use themis_net::presets::PresetTopology;
+
+    #[test]
+    fn run_all_kinds_orders_match_table3() {
+        let topo = PresetTopology::SwSwSw3dHetero.build();
+        let executor = CollectiveExecutor::new(&topo);
+        // Use a large, bandwidth-bound collective (as in Fig. 8) so both
+        // Themis variants clearly beat the baseline.
+        let request = CollectiveRequest::all_reduce_mib(1024.0);
+        let reports = executor.run_all_kinds(32, &request).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].scheduler_name, "Baseline");
+        assert_eq!(reports[1].scheduler_name, "Themis+FIFO");
+        assert_eq!(reports[2].scheduler_name, "Themis+SCF");
+        // Themis variants beat the baseline on this over-provisioned topology.
+        assert!(reports[1].total_time_ns < reports[0].total_time_ns);
+        assert!(reports[2].total_time_ns < reports[0].total_time_ns);
+    }
+
+    #[test]
+    fn custom_options_are_used() {
+        let topo = PresetTopology::Sw2d.build();
+        let executor = CollectiveExecutor::new(&topo)
+            .with_options(SimOptions::default().with_enforced_order(true));
+        assert!(executor.options.enforce_intra_dim_order);
+        let request = CollectiveRequest::all_reduce_mib(64.0);
+        let report = executor.run(&mut BaselineScheduler::new(8), &request).unwrap();
+        assert!(report.total_time_ns > 0.0);
+        assert_eq!(executor.topology().name(), "2D-SW_SW");
+    }
+}

@@ -1,0 +1,111 @@
+//! Simulator configuration.
+
+use crate::error::SimError;
+
+/// Options controlling the chunk-pipeline simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimOptions {
+    /// Maximum number of chunk operations a dimension executes concurrently.
+    ///
+    /// `1` (the default) matches the pipeline model of Fig. 5: one chunk op at
+    /// a time at the dimension's full bandwidth. Values above one enable the
+    /// Sec. 4.3 provision of running multiple chunks per dimension in
+    /// parallel; concurrent ops share the dimension bandwidth equally
+    /// (processor sharing).
+    pub max_concurrent_ops_per_dim: usize,
+    /// If `true`, the simulator first derives the deterministic intra-dimension
+    /// execution order of Sec. 4.6.2 and enforces it during the run: a
+    /// dimension never starts an op out of that order even if it is ready
+    /// early.
+    pub enforce_intra_dim_order: bool,
+    /// Width of the windows used for the frontend-activity timeline of Fig. 9,
+    /// in nanoseconds (paper: 100 µs).
+    pub activity_window_ns: f64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            max_concurrent_ops_per_dim: 1,
+            enforce_intra_dim_order: false,
+            activity_window_ns: 100_000.0,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Validates the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidOptions`] for zero concurrency or a
+    /// non-positive activity window.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.max_concurrent_ops_per_dim == 0 {
+            return Err(SimError::InvalidOptions {
+                reason: "max_concurrent_ops_per_dim must be at least 1".to_string(),
+            });
+        }
+        if !self.activity_window_ns.is_finite() || self.activity_window_ns <= 0.0 {
+            return Err(SimError::InvalidOptions {
+                reason: format!("activity window must be positive, got {}", self.activity_window_ns),
+            });
+        }
+        Ok(())
+    }
+
+    /// Builder-style setter for the per-dimension concurrency limit.
+    #[must_use]
+    pub fn with_max_concurrent_ops(mut self, limit: usize) -> Self {
+        self.max_concurrent_ops_per_dim = limit;
+        self
+    }
+
+    /// Builder-style setter for intra-dimension order enforcement.
+    #[must_use]
+    pub fn with_enforced_order(mut self, enforce: bool) -> Self {
+        self.enforce_intra_dim_order = enforce;
+        self
+    }
+
+    /// Builder-style setter for the activity window width.
+    #[must_use]
+    pub fn with_activity_window_ns(mut self, window_ns: f64) -> Self {
+        self.activity_window_ns = window_ns;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_model() {
+        let options = SimOptions::default();
+        assert_eq!(options.max_concurrent_ops_per_dim, 1);
+        assert!(!options.enforce_intra_dim_order);
+        assert_eq!(options.activity_window_ns, 100_000.0);
+        options.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_setters() {
+        let options = SimOptions::default()
+            .with_max_concurrent_ops(4)
+            .with_enforced_order(true)
+            .with_activity_window_ns(50_000.0);
+        assert_eq!(options.max_concurrent_ops_per_dim, 4);
+        assert!(options.enforce_intra_dim_order);
+        assert_eq!(options.activity_window_ns, 50_000.0);
+        options.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(SimOptions::default().with_max_concurrent_ops(0).validate().is_err());
+        assert!(SimOptions::default().with_activity_window_ns(0.0).validate().is_err());
+        assert!(SimOptions::default().with_activity_window_ns(f64::NAN).validate().is_err());
+    }
+}

@@ -1,0 +1,586 @@
+//! The chunk-pipeline simulator.
+//!
+//! Executes a [`CollectiveSchedule`] on a multi-dimensional network. Every
+//! dimension is modelled as a channel that executes chunk phase operations
+//! using the `A_K + n × B_K` cost model; a chunk becomes ready on the next
+//! dimension of its schedule the moment its current stage completes. The
+//! simulator reproduces the pipeline behaviour of Fig. 5, including the idle
+//! (bubble) time that appears on over-provisioned dimensions under the
+//! baseline scheduling.
+
+use crate::error::SimError;
+use crate::options::SimOptions;
+use crate::stats::SimReport;
+use themis_collectives::CostModel;
+use themis_core::{enforced_intra_dim_order, CollectiveSchedule, IntraDimPolicy};
+use themis_net::NetworkTopology;
+
+/// Maximum number of zero-progress iterations tolerated before declaring the
+/// simulation stalled.
+const STALL_GUARD: usize = 64;
+
+#[derive(Debug, Clone, Copy)]
+struct PendingOp {
+    arrival: u64,
+    chunk: usize,
+    stage: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ActiveOp {
+    chunk: usize,
+    stage: usize,
+    remaining_work_ns: f64,
+    start_ns: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpCost {
+    fixed_ns: f64,
+    transfer_ns: f64,
+    wire_bytes: f64,
+}
+
+impl OpCost {
+    fn work_ns(&self) -> f64 {
+        self.fixed_ns + self.transfer_ns
+    }
+}
+
+/// Simulates the execution of collective schedules on a fixed topology.
+#[derive(Debug, Clone)]
+pub struct PipelineSimulator<'a> {
+    topo: &'a NetworkTopology,
+    options: SimOptions,
+    cost: CostModel,
+}
+
+impl<'a> PipelineSimulator<'a> {
+    /// Creates a simulator for `topo` with the given options.
+    pub fn new(topo: &'a NetworkTopology, options: SimOptions) -> Self {
+        PipelineSimulator { topo, options, cost: CostModel::new() }
+    }
+
+    /// Replaces the cost model (e.g. to simulate in-network collective
+    /// offload, Sec. 4.5).
+    #[must_use]
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// The topology this simulator executes on.
+    pub fn topology(&self) -> &NetworkTopology {
+        self.topo
+    }
+
+    /// The simulation options.
+    pub fn options(&self) -> &SimOptions {
+        &self.options
+    }
+
+    /// Executes `schedule` and returns the simulation report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the options or schedule are invalid, or if the
+    /// simulation fails to make progress.
+    pub fn run(&self, schedule: &CollectiveSchedule) -> Result<SimReport, SimError> {
+        self.options.validate()?;
+        schedule.validate(self.topo)?;
+        let num_dims = self.topo.num_dims();
+        let chunks = schedule.chunks();
+        let policy = schedule.intra_dim_policy();
+
+        // Pre-compute the cost of every (chunk, stage) op.
+        let mut op_costs: Vec<Vec<OpCost>> = Vec::with_capacity(chunks.len());
+        for chunk in chunks {
+            let entries = chunk.stage_entry_bytes(self.topo);
+            let mut costs = Vec::with_capacity(chunk.stages.len());
+            for (stage, &entry_bytes) in chunk.stages.iter().zip(entries.iter()) {
+                let spec = self.topo.dim(stage.dim)?;
+                let cost = self
+                    .cost
+                    .chunk_cost(spec, stage.op, entry_bytes)
+                    .map_err(themis_core::ScheduleError::from)?;
+                costs.push(OpCost {
+                    fixed_ns: cost.fixed_delay_ns,
+                    transfer_ns: cost.transfer_ns,
+                    wire_bytes: cost.wire_bytes,
+                });
+            }
+            op_costs.push(costs);
+        }
+
+        // Optional Sec. 4.6.2 enforced intra-dimension order.
+        let enforced = if self.options.enforce_intra_dim_order {
+            Some(enforced_intra_dim_order(schedule, self.topo)?)
+        } else {
+            None
+        };
+        let mut order_ptr = vec![0usize; num_dims];
+
+        let mut report =
+            SimReport::empty(self.topo, schedule.scheduler_name(), self.options.activity_window_ns);
+
+        let mut ready: Vec<Vec<PendingOp>> = vec![Vec::new(); num_dims];
+        let mut active: Vec<Vec<ActiveOp>> = vec![Vec::new(); num_dims];
+        // Time each dimension last finished executing an op; used to decide
+        // whether a newly started op pays the fixed delay `A_K` (Sec. 4.4
+        // charges `A_K` per dimension, not per chunk: chunks that pipeline
+        // back-to-back hide the per-step latency of their successors).
+        let mut last_busy_end = vec![f64::NEG_INFINITY; num_dims];
+        let mut arrival: u64 = 0;
+        let mut now = 0.0f64;
+        let mut outstanding = 0usize;
+        let mut stall_counter = 0usize;
+
+        for (chunk_idx, chunk) in chunks.iter().enumerate() {
+            outstanding += chunk.stages.len();
+            if let Some(first) = chunk.stages.first() {
+                ready[first.dim].push(PendingOp { arrival, chunk: chunk_idx, stage: 0 });
+                arrival += 1;
+            }
+        }
+
+        while outstanding > 0 {
+            // Start as many ops as the concurrency limit and (optionally) the
+            // enforced order allow.
+            for dim in 0..num_dims {
+                while active[dim].len() < self.options.max_concurrent_ops_per_dim
+                    && !ready[dim].is_empty()
+                {
+                    let picked = match &enforced {
+                        Some(order) => {
+                            let Some(&(chunk, stage)) = order.for_dim(dim).get(order_ptr[dim])
+                            else {
+                                break;
+                            };
+                            match ready[dim]
+                                .iter()
+                                .position(|op| op.chunk == chunk && op.stage == stage)
+                            {
+                                Some(pos) => {
+                                    order_ptr[dim] += 1;
+                                    pos
+                                }
+                                // The next op in the enforced order is not
+                                // ready yet: the dimension must wait.
+                                None => break,
+                            }
+                        }
+                        None => {
+                            let keys: Vec<(u64, f64)> = ready[dim]
+                                .iter()
+                                .map(|op| (op.arrival, op_costs[op.chunk][op.stage].transfer_ns))
+                                .collect();
+                            policy.pick(&keys).expect("ready queue is non-empty")
+                        }
+                    };
+                    let op = ready[dim].remove(picked);
+                    let cost = op_costs[op.chunk][op.stage];
+                    // Pay the fixed delay only when the dimension is (re)starting
+                    // its pipeline after an idle period; back-to-back chunk ops
+                    // overlap their step latencies with the predecessor's
+                    // transfer.
+                    let resuming_after_idle =
+                        active[dim].is_empty() && now > last_busy_end[dim] + 1e-6;
+                    let starting_cold = last_busy_end[dim] == f64::NEG_INFINITY;
+                    let work_ns = if resuming_after_idle || starting_cold {
+                        cost.work_ns()
+                    } else {
+                        cost.transfer_ns
+                    };
+                    active[dim].push(ActiveOp {
+                        chunk: op.chunk,
+                        stage: op.stage,
+                        remaining_work_ns: work_ns,
+                        start_ns: now,
+                    });
+                }
+            }
+
+            let any_active = active.iter().any(|a| !a.is_empty());
+            if !any_active {
+                let pending: usize = ready.iter().map(Vec::len).sum();
+                return Err(SimError::Stalled { at_ns: now, outstanding_ops: pending });
+            }
+
+            // Time until the earliest completion under processor sharing: an
+            // op with `k` siblings progresses at rate 1/k.
+            let mut delta = f64::INFINITY;
+            for dim_active in &active {
+                let k = dim_active.len() as f64;
+                for op in dim_active {
+                    delta = delta.min(op.remaining_work_ns * k);
+                }
+            }
+            if !delta.is_finite() {
+                delta = 0.0;
+            }
+
+            if delta <= 0.0 {
+                stall_counter += 1;
+                if stall_counter > STALL_GUARD {
+                    return Err(SimError::Stalled { at_ns: now, outstanding_ops: outstanding });
+                }
+            } else {
+                stall_counter = 0;
+            }
+
+            // Account statistics for the segment [now, now + delta).
+            if delta > 0.0 {
+                for (dim, dim_report) in report.dims.iter_mut().enumerate() {
+                    if !active[dim].is_empty() {
+                        dim_report.busy_ns += delta;
+                    }
+                    if !active[dim].is_empty() || !ready[dim].is_empty() {
+                        push_presence(&mut dim_report.presence_intervals, now, now + delta);
+                    }
+                }
+            }
+
+            // Advance all active ops.
+            for dim_active in active.iter_mut() {
+                let k = dim_active.len() as f64;
+                for op in dim_active.iter_mut() {
+                    op.remaining_work_ns -= delta / k;
+                }
+            }
+            now += delta;
+
+            // Collect completions deterministically (by dimension, then chunk).
+            let mut completions: Vec<(usize, ActiveOp)> = Vec::new();
+            for (dim, dim_active) in active.iter_mut().enumerate() {
+                let mut index = 0;
+                while index < dim_active.len() {
+                    if dim_active[index].remaining_work_ns <= 1e-6 {
+                        completions.push((dim, dim_active.remove(index)));
+                    } else {
+                        index += 1;
+                    }
+                }
+            }
+            completions.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.chunk.cmp(&b.1.chunk)));
+
+            for (dim, op) in completions {
+                let cost = op_costs[op.chunk][op.stage];
+                report.dims[dim].wire_bytes += cost.wire_bytes;
+                report.dims[dim].ops_executed += 1;
+                report.op_log.push(crate::stats::OpRecord {
+                    dim,
+                    chunk: op.chunk,
+                    stage: op.stage,
+                    label: chunks[op.chunk].stages[op.stage].to_string(),
+                    start_ns: op.start_ns,
+                    end_ns: now,
+                });
+                last_busy_end[dim] = now;
+                outstanding -= 1;
+                let next_stage = op.stage + 1;
+                if next_stage < chunks[op.chunk].stages.len() {
+                    let target = chunks[op.chunk].stages[next_stage].dim;
+                    ready[target].push(PendingOp { arrival, chunk: op.chunk, stage: next_stage });
+                    arrival += 1;
+                }
+            }
+        }
+
+        report.total_time_ns = now;
+        Ok(report)
+    }
+
+    /// Executes `schedule` with both intra-dimension policies and returns the
+    /// reports side by side (convenience for the Fig. 8 / Fig. 11 sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the individual runs.
+    pub fn run_with_policy(
+        &self,
+        schedule: &CollectiveSchedule,
+        policy: IntraDimPolicy,
+    ) -> Result<SimReport, SimError> {
+        let overridden = CollectiveSchedule::new(
+            *schedule.request(),
+            schedule.scheduler_name(),
+            policy,
+            schedule.chunks().to_vec(),
+        );
+        self.run(&overridden)
+    }
+}
+
+/// Appends `[start, end)` to `intervals`, merging with the previous interval
+/// when contiguous.
+fn push_presence(intervals: &mut Vec<(f64, f64)>, start: f64, end: f64) {
+    if let Some(last) = intervals.last_mut() {
+        if (last.1 - start).abs() < 1e-6 {
+            last.1 = end;
+            return;
+        }
+    }
+    intervals.push((start, end));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_core::{
+        BaselineScheduler, CollectiveRequest, CollectiveScheduler, IdealEstimator, ThemisScheduler,
+    };
+    use themis_net::presets::PresetTopology;
+    use themis_net::{DimensionSpec, TopologyKind};
+
+    /// The Fig. 5 network: 4×4, BW(dim1) = 2 × BW(dim2), zero latency.
+    fn fig5_topology() -> NetworkTopology {
+        NetworkTopology::builder("fig5-4x4")
+            .dimension(
+                DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, 4, 800.0, 0.0)
+                    .unwrap(),
+            )
+            .dimension(
+                DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, 4, 400.0, 0.0)
+                    .unwrap(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn run(
+        scheduler: &mut dyn CollectiveScheduler,
+        topo: &NetworkTopology,
+        request: &CollectiveRequest,
+        options: SimOptions,
+    ) -> SimReport {
+        let schedule = scheduler.schedule(request, topo).unwrap();
+        PipelineSimulator::new(topo, options).run(&schedule).unwrap()
+    }
+
+    #[test]
+    fn fig5_baseline_takes_eight_units_and_themis_seven() {
+        // Fig. 5: with 4 × 64 MB chunks, the baseline pipeline finishes after
+        // 8 "units" (one unit = 64 MB RS on dim1) while Themis finishes in 7.
+        let topo = fig5_topology();
+        let request = CollectiveRequest::all_reduce_mib(256.0);
+        let unit_ns = {
+            // 48 MB at 100 bytes/ns.
+            48.0 * 1024.0 * 1024.0 / 100.0
+        };
+
+        let baseline =
+            run(&mut BaselineScheduler::new(4), &topo, &request, SimOptions::default());
+        assert!(
+            (baseline.total_time_ns / unit_ns - 8.0).abs() < 0.05,
+            "baseline took {:.2} units",
+            baseline.total_time_ns / unit_ns
+        );
+
+        let themis = run(
+            &mut ThemisScheduler::new(4),
+            &topo,
+            &request,
+            SimOptions::default(),
+        );
+        assert!(
+            (themis.total_time_ns / unit_ns - 7.0).abs() < 0.05,
+            "Themis took {:.2} units",
+            themis.total_time_ns / unit_ns
+        );
+        assert!(themis.speedup_over(&baseline) > 1.1);
+    }
+
+    #[test]
+    fn themis_beats_baseline_on_all_next_gen_topologies() {
+        let request = CollectiveRequest::all_reduce_mib(500.0);
+        for preset in PresetTopology::next_generation() {
+            let topo = preset.build();
+            let baseline =
+                run(&mut BaselineScheduler::new(64), &topo, &request, SimOptions::default());
+            let themis =
+                run(&mut ThemisScheduler::new(64), &topo, &request, SimOptions::default());
+            assert!(
+                themis.total_time_ns <= baseline.total_time_ns * 1.001,
+                "{}: Themis {:.0} ns vs baseline {:.0} ns",
+                preset.name(),
+                themis.total_time_ns,
+                baseline.total_time_ns
+            );
+            assert!(themis.average_bw_utilization() >= baseline.average_bw_utilization() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_schedule_beats_the_ideal_bound() {
+        let request = CollectiveRequest::all_reduce_mib(512.0);
+        let ideal = IdealEstimator::new();
+        for preset in PresetTopology::all() {
+            let topo = preset.build();
+            let bound = ideal.communication_time_ns(&request, &topo).unwrap();
+            for chunks in [8usize, 64] {
+                let themis = run(
+                    &mut ThemisScheduler::new(chunks),
+                    &topo,
+                    &request,
+                    SimOptions::default(),
+                );
+                assert!(
+                    themis.total_time_ns >= bound * 0.999,
+                    "{}: Themis {:.0} ns beat the ideal bound {:.0} ns",
+                    preset.name(),
+                    themis.total_time_ns,
+                    bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_is_within_bounds_and_improves_with_themis() {
+        let topo = PresetTopology::SwSwSw3dHomo.build();
+        let request = CollectiveRequest::all_reduce_mib(1024.0);
+        let baseline =
+            run(&mut BaselineScheduler::new(64), &topo, &request, SimOptions::default());
+        let themis = run(&mut ThemisScheduler::new(64), &topo, &request, SimOptions::default());
+        for report in [&baseline, &themis] {
+            for util in report.per_dim_utilization() {
+                assert!((0.0..=1.0).contains(&util));
+            }
+        }
+        assert!(baseline.average_bw_utilization() < 0.75);
+        assert!(themis.average_bw_utilization() > baseline.average_bw_utilization() + 0.15);
+    }
+
+    #[test]
+    fn wire_bytes_match_schedule_prediction() {
+        let topo = PresetTopology::FcRingSw3d.build();
+        let request = CollectiveRequest::all_reduce_mib(128.0);
+        let schedule = ThemisScheduler::new(16).schedule(&request, &topo).unwrap();
+        let report = PipelineSimulator::new(&topo, SimOptions::default()).run(&schedule).unwrap();
+        let predicted = schedule.wire_bytes_per_dim(&topo);
+        for (dim, expected) in predicted.iter().enumerate() {
+            assert!(
+                (report.dims[dim].wire_bytes - expected).abs() < 1.0,
+                "dim {dim}: {} vs {}",
+                report.dims[dim].wire_bytes,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn enforced_order_does_not_change_results_for_deterministic_runs() {
+        let topo = PresetTopology::SwSwSw3dHetero.build();
+        let request = CollectiveRequest::all_reduce_mib(256.0);
+        let schedule = ThemisScheduler::new(32).schedule(&request, &topo).unwrap();
+        let plain = PipelineSimulator::new(&topo, SimOptions::default()).run(&schedule).unwrap();
+        let enforced = PipelineSimulator::new(
+            &topo,
+            SimOptions::default().with_enforced_order(true),
+        )
+        .run(&schedule)
+        .unwrap();
+        assert!((plain.total_time_ns - enforced.total_time_ns).abs() < 1.0);
+    }
+
+    #[test]
+    fn processor_sharing_concurrency_does_not_lose_work() {
+        let topo = fig5_topology();
+        let request = CollectiveRequest::all_reduce_mib(256.0);
+        let schedule = ThemisScheduler::new(8).schedule(&request, &topo).unwrap();
+        let serial = PipelineSimulator::new(&topo, SimOptions::default()).run(&schedule).unwrap();
+        let shared = PipelineSimulator::new(
+            &topo,
+            SimOptions::default().with_max_concurrent_ops(4),
+        )
+        .run(&schedule)
+        .unwrap();
+        // The same bytes move in both configurations, and the completion time
+        // stays in the same ballpark (processor sharing reorders completions
+        // but does not change any dimension's aggregate work).
+        assert!((serial.total_wire_bytes() - shared.total_wire_bytes()).abs() < 1.0);
+        assert!(shared.total_time_ns >= serial.total_time_ns * 0.7);
+        assert!(shared.total_time_ns <= serial.total_time_ns * 1.5);
+    }
+
+    #[test]
+    fn activity_timeline_shows_baseline_dim_underutilization() {
+        // Fig. 9's qualitative claim: under the baseline, the outer dimensions
+        // of 3D-SW_SW_SW_homo are active far less than dim 1.
+        let topo = PresetTopology::SwSwSw3dHomo.build();
+        let request = CollectiveRequest::all_reduce_mib(1024.0);
+        let baseline =
+            run(&mut BaselineScheduler::new(64), &topo, &request, SimOptions::default());
+        let busy_fraction: Vec<f64> = baseline
+            .dims
+            .iter()
+            .map(|d| d.busy_ns / baseline.total_time_ns)
+            .collect();
+        assert!(busy_fraction[0] > 0.9);
+        assert!(busy_fraction[1] < 0.6);
+        assert!(busy_fraction[2] < 0.4);
+        // Activity rates are well-formed.
+        for rates in baseline.activity_rates() {
+            for r in rates {
+                assert!((0.0..=1.0 + 1e-9).contains(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn op_trace_covers_every_chunk_stage_without_overlap() {
+        let topo = fig5_topology();
+        let request = CollectiveRequest::all_reduce_mib(256.0);
+        let schedule = ThemisScheduler::new(4).schedule(&request, &topo).unwrap();
+        let report = PipelineSimulator::new(&topo, SimOptions::default()).run(&schedule).unwrap();
+        // 4 chunks x 4 stages.
+        assert_eq!(report.op_log.len(), 16);
+        for op in &report.op_log {
+            assert!(op.end_ns > op.start_ns);
+            assert!(op.end_ns <= report.total_time_ns + 1.0);
+        }
+        // With one op at a time per dimension, ops on the same dimension never
+        // overlap.
+        for dim in 0..report.num_dims() {
+            let ops = report.ops_on_dim(dim);
+            for pair in ops.windows(2) {
+                assert!(pair[1].start_ns >= pair[0].end_ns - 1e-6);
+            }
+        }
+        // The ASCII timeline has one lane per dimension.
+        let timeline = report.ascii_timeline(64);
+        assert_eq!(timeline.lines().count(), 2);
+        assert!(timeline.contains('#'));
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let topo = fig5_topology();
+        let request = CollectiveRequest::all_reduce_mib(64.0);
+        let schedule = BaselineScheduler::new(4).schedule(&request, &topo).unwrap();
+        let sim = PipelineSimulator::new(&topo, SimOptions::default().with_max_concurrent_ops(0));
+        assert!(matches!(sim.run(&schedule), Err(SimError::InvalidOptions { .. })));
+    }
+
+    #[test]
+    fn schedule_for_wrong_topology_is_rejected() {
+        let topo2d = fig5_topology();
+        let topo3d = PresetTopology::SwSwSw3dHomo.build();
+        let request = CollectiveRequest::all_reduce_mib(64.0);
+        let schedule = BaselineScheduler::new(4).schedule(&request, &topo3d).unwrap();
+        let sim = PipelineSimulator::new(&topo2d, SimOptions::default());
+        assert!(sim.run(&schedule).is_err());
+    }
+
+    #[test]
+    fn run_with_policy_overrides_intra_dim_policy() {
+        let topo = PresetTopology::RingFcRingSw4d.build();
+        let request = CollectiveRequest::all_reduce_mib(256.0);
+        let schedule = ThemisScheduler::new(64).schedule(&request, &topo).unwrap();
+        let sim = PipelineSimulator::new(&topo, SimOptions::default());
+        let fifo = sim.run_with_policy(&schedule, IntraDimPolicy::Fifo).unwrap();
+        let scf = sim.run_with_policy(&schedule, IntraDimPolicy::SmallestChunkFirst).unwrap();
+        // SCF should never be slower than FIFO by more than noise (Sec. 4.3).
+        assert!(scf.total_time_ns <= fifo.total_time_ns * 1.05);
+    }
+}

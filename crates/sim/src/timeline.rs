@@ -1,0 +1,147 @@
+//! Sequential execution of a series of collectives.
+//!
+//! The training-loop model issues a sequence of collectives (per-layer
+//! model-parallel All-Reduces, the end-of-back-propagation data-parallel
+//! gradient All-Reduce, DLRM's All-To-Alls). On a dedicated training cluster
+//! (Sec. 5.2: single-tenant platforms) the collectives of one job execute
+//! back-to-back on the network, so the timeline simulator runs them
+//! sequentially: each collective starts when both its issue time has arrived
+//! and the network has finished the previous collective.
+
+use crate::engine::EventQueue;
+use crate::error::SimError;
+use crate::options::SimOptions;
+use crate::pipeline::PipelineSimulator;
+use crate::stats::SimReport;
+use themis_core::{CollectiveRequest, CollectiveScheduler};
+use themis_net::NetworkTopology;
+
+/// One collective in a timeline: issued at `issue_ns`, executed on `topo`
+/// (which may be a sub-topology of the machine, e.g. the data-parallel
+/// dimensions only).
+#[derive(Debug, Clone)]
+pub struct TimelineEntry {
+    /// Label used in reports (e.g. `"DP gradient All-Reduce"`).
+    pub label: String,
+    /// Time at which the workload issues the collective, ns.
+    pub issue_ns: f64,
+    /// The collective request.
+    pub request: CollectiveRequest,
+}
+
+/// The result of simulating a timeline of collectives.
+#[derive(Debug, Clone)]
+pub struct TimelineReport {
+    /// Per-collective reports, in completion order, with their start times.
+    pub entries: Vec<(TimelineEntry, f64, SimReport)>,
+    /// Time at which the last collective completed, ns.
+    pub finish_ns: f64,
+}
+
+impl TimelineReport {
+    /// Total time the network spent executing collectives, ns.
+    pub fn total_communication_ns(&self) -> f64 {
+        self.entries.iter().map(|(_, _, report)| report.total_time_ns).sum()
+    }
+
+    /// Total time between the first issue and the last completion, ns.
+    pub fn makespan_ns(&self) -> f64 {
+        let first_issue =
+            self.entries.iter().map(|(e, _, _)| e.issue_ns).fold(f64::INFINITY, f64::min);
+        if first_issue.is_finite() {
+            self.finish_ns - first_issue
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Executes a sequence of collectives with a shared scheduler on one topology.
+#[derive(Debug)]
+pub struct TimelineSimulator<'a> {
+    topo: &'a NetworkTopology,
+    options: SimOptions,
+}
+
+impl<'a> TimelineSimulator<'a> {
+    /// Creates a timeline simulator.
+    pub fn new(topo: &'a NetworkTopology, options: SimOptions) -> Self {
+        TimelineSimulator { topo, options }
+    }
+
+    /// Simulates `entries` (in issue order) using `scheduler` for every
+    /// collective. Returns the per-collective reports and the completion time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and simulation errors.
+    pub fn run(
+        &self,
+        scheduler: &mut dyn CollectiveScheduler,
+        entries: &[TimelineEntry],
+    ) -> Result<TimelineReport, SimError> {
+        let simulator = PipelineSimulator::new(self.topo, self.options);
+        // Order the issues through the event queue so ties resolve
+        // deterministically by insertion order.
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        for (index, entry) in entries.iter().enumerate() {
+            queue.schedule_at(entry.issue_ns.max(0.0), index);
+        }
+
+        let mut network_free_at = 0.0f64;
+        let mut results = Vec::with_capacity(entries.len());
+        while let Some(event) = queue.pop() {
+            let entry = &entries[event.payload];
+            let schedule = scheduler.schedule(&entry.request, self.topo)?;
+            let report = simulator.run(&schedule)?;
+            let start = network_free_at.max(entry.issue_ns);
+            network_free_at = start + report.total_time_ns;
+            results.push((entry.clone(), start, report));
+        }
+        Ok(TimelineReport { finish_ns: network_free_at, entries: results })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_core::ThemisScheduler;
+    use themis_net::presets::PresetTopology;
+
+    fn entry(label: &str, issue_ns: f64, mib: f64) -> TimelineEntry {
+        TimelineEntry {
+            label: label.to_string(),
+            issue_ns,
+            request: CollectiveRequest::all_reduce_mib(mib),
+        }
+    }
+
+    #[test]
+    fn collectives_serialize_on_the_network() {
+        let topo = PresetTopology::SwSwSw3dHomo.build();
+        let sim = TimelineSimulator::new(&topo, SimOptions::default());
+        let mut scheduler = ThemisScheduler::new(16);
+        let entries = vec![entry("first", 0.0, 128.0), entry("second", 0.0, 128.0)];
+        let report = sim.run(&mut scheduler, &entries).unwrap();
+        assert_eq!(report.entries.len(), 2);
+        let (_, start0, r0) = &report.entries[0];
+        let (_, start1, _r1) = &report.entries[1];
+        assert_eq!(*start0, 0.0);
+        assert!((start1 - r0.total_time_ns).abs() < 1e-6);
+        assert!((report.total_communication_ns() - report.finish_ns).abs() < 1e-6);
+    }
+
+    #[test]
+    fn late_issue_times_delay_execution() {
+        let topo = PresetTopology::Sw2d.build();
+        let sim = TimelineSimulator::new(&topo, SimOptions::default());
+        let mut scheduler = ThemisScheduler::new(8);
+        let late_issue = 50_000_000.0;
+        let entries = vec![entry("early", 0.0, 64.0), entry("late", late_issue, 64.0)];
+        let report = sim.run(&mut scheduler, &entries).unwrap();
+        let (_, start1, _) = &report.entries[1];
+        assert!(*start1 >= late_issue);
+        assert!(report.makespan_ns() <= report.finish_ns);
+        assert!(report.total_communication_ns() < report.finish_ns);
+    }
+}

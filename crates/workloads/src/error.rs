@@ -1,0 +1,97 @@
+//! Error type for workload modelling and training simulation.
+
+use std::error::Error;
+use std::fmt;
+use themis_net::NetError;
+use themis_sim::SimError;
+
+/// Errors produced while building workload models or simulating training.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A model, layer or compute parameter was invalid.
+    InvalidParameter {
+        /// Human-readable description of the invalid parameter.
+        reason: String,
+    },
+    /// The parallelization strategy cannot be mapped onto the topology
+    /// (e.g. the model-parallel group does not align with whole dimensions).
+    IncompatibleTopology {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+    /// An underlying topology error.
+    Net(NetError),
+    /// An underlying simulation error.
+    Sim(SimError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidParameter { reason } => {
+                write!(f, "invalid workload parameter: {reason}")
+            }
+            WorkloadError::IncompatibleTopology { reason } => {
+                write!(f, "parallelization strategy does not fit the topology: {reason}")
+            }
+            WorkloadError::Net(err) => write!(f, "topology error: {err}"),
+            WorkloadError::Sim(err) => write!(f, "simulation error: {err}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Net(err) => Some(err),
+            WorkloadError::Sim(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for WorkloadError {
+    fn from(err: NetError) -> Self {
+        WorkloadError::Net(err)
+    }
+}
+
+impl From<SimError> for WorkloadError {
+    fn from(err: SimError) -> Self {
+        WorkloadError::Sim(err)
+    }
+}
+
+impl From<themis_core::ScheduleError> for WorkloadError {
+    fn from(err: themis_core::ScheduleError) -> Self {
+        WorkloadError::Sim(SimError::Schedule(err))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let cases = vec![
+            WorkloadError::InvalidParameter { reason: "zero batch".to_string() },
+            WorkloadError::IncompatibleTopology { reason: "mp group".to_string() },
+            WorkloadError::Net(NetError::EmptyTopology),
+            WorkloadError::Sim(SimError::InvalidOptions { reason: "x".to_string() }),
+        ];
+        for case in cases {
+            assert!(!case.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sources_are_preserved() {
+        assert!(WorkloadError::from(NetError::EmptyTopology).source().is_some());
+        assert!(WorkloadError::from(SimError::InvalidOptions { reason: String::new() })
+            .source()
+            .is_some());
+        assert!(WorkloadError::InvalidParameter { reason: String::new() }.source().is_none());
+    }
+}

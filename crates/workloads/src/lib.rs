@@ -1,0 +1,52 @@
+//! # themis-workloads
+//!
+//! DNN workload models, parallelization strategies and a training-iteration
+//! simulator for the Themis (ISCA 2022) reproduction.
+//!
+//! The paper evaluates end-to-end training iterations of four workloads —
+//! ResNet-152, GNMT, DLRM and Transformer-1T — on 1024-NPU platforms, with
+//! compute modelled as roofline FP16 performance and communication simulated
+//! by ASTRA-sim. This crate reproduces that workload layer:
+//!
+//! * [`models`] — layer-level descriptions (parameters, FLOPs, activation
+//!   sizes) of the four DNNs, derived from their public architectures.
+//! * [`compute::ComputeModel`] — the roofline FP16 compute-time model.
+//! * [`parallelism::ParallelismStrategy`] — data-parallel, DLRM hybrid
+//!   (data-parallel MLPs + model-parallel embeddings with overlapped
+//!   All-To-All) and Transformer-1T model-parallel + ZeRO-2 data-parallel.
+//! * [`training::TrainingSimulator`] — produces the Fig. 12 breakdown
+//!   (forward compute, backward compute, exposed MP communication, exposed DP
+//!   communication) for a given topology and scheduling policy.
+//!
+//! ```
+//! use themis_net::presets::PresetTopology;
+//! use themis_workloads::{CommunicationPolicy, TrainingSimulator, Workload};
+//!
+//! # fn main() -> Result<(), themis_workloads::WorkloadError> {
+//! let topo = PresetTopology::SwSwSw3dHomo.build();
+//! let sim = TrainingSimulator::new(Workload::ResNet152.config());
+//! let baseline = sim.simulate_iteration(&topo, CommunicationPolicy::Baseline)?;
+//! let themis = sim.simulate_iteration(&topo, CommunicationPolicy::ThemisScf)?;
+//! assert!(themis.total_ns() <= baseline.total_ns());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod compute;
+pub mod error;
+pub mod layer;
+pub mod models;
+pub mod parallelism;
+pub mod training;
+pub mod workload;
+
+pub use compute::ComputeModel;
+pub use error::WorkloadError;
+pub use layer::{Layer, LayerKind};
+pub use models::DnnModel;
+pub use parallelism::ParallelismStrategy;
+pub use training::{CommunicationPolicy, IterationBreakdown, TrainingConfig, TrainingSimulator};
+pub use workload::Workload;

@@ -1,0 +1,59 @@
+//! All-Reduce microbenchmark sweep (the Fig. 8 / Fig. 11 scenario): compare
+//! the baseline, Themis+FIFO and Themis+SCF across collective sizes and all
+//! six next-generation platforms of Table 2.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example allreduce_sweep
+//! ```
+
+use themis::net::presets::next_generation_suite;
+use themis::{CollectiveExecutor, CollectiveRequest, DataSize, SchedulerKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sizes = [
+        DataSize::from_mib(100.0),
+        DataSize::from_mib(256.0),
+        DataSize::from_mib(512.0),
+        DataSize::from_gib(1.0),
+    ];
+
+    println!(
+        "{:<22} {:>9} {:>14} {:>14} {:>14} {:>9} {:>9}",
+        "topology", "size", "baseline (us)", "fifo (us)", "scf (us)", "speedup", "scf util"
+    );
+
+    let mut speedups = Vec::new();
+    for topo in next_generation_suite() {
+        let executor = CollectiveExecutor::new(&topo);
+        for size in sizes {
+            let request = CollectiveRequest::new(themis::CollectiveKind::AllReduce, size);
+            let reports: Vec<_> = SchedulerKind::all()
+                .iter()
+                .map(|kind| executor.run_kind(*kind, 64, &request))
+                .collect::<Result<_, _>>()?;
+            let speedup = reports[0].total_time_ns / reports[2].total_time_ns;
+            speedups.push(speedup);
+            println!(
+                "{:<22} {:>6.0} MB {:>14.1} {:>14.1} {:>14.1} {:>8.2}x {:>8.1}%",
+                topo.name(),
+                size.as_mib(),
+                reports[0].total_time_us(),
+                reports[1].total_time_us(),
+                reports[2].total_time_us(),
+                speedup,
+                reports[2].average_bw_utilization() * 100.0
+            );
+        }
+    }
+
+    let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    let max = speedups.iter().cloned().fold(f64::MIN, f64::max);
+    println!();
+    println!(
+        "Themis+SCF speedup over baseline: {mean:.2}x mean, {max:.2}x max \
+         (paper reports 1.72x mean, 2.70x max)"
+    );
+    Ok(())
+}

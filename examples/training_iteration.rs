@@ -1,0 +1,54 @@
+//! End-to-end training-iteration breakdown (the Fig. 12 scenario): simulate
+//! one training iteration of each paper workload on a chosen platform under
+//! the baseline, Themis+SCF and the ideal bound, and print the latency
+//! decomposition.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example training_iteration [topology-name]
+//! ```
+//!
+//! The optional argument is a Table 2 topology name
+//! (default: `3D-SW_SW_SW_hetero`).
+
+use themis::net::preset_by_name;
+use themis::{CommunicationPolicy, TrainingSimulator, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topo_name = std::env::args().nth(1).unwrap_or_else(|| "3D-SW_SW_SW_hetero".to_string());
+    let topo = preset_by_name(&topo_name)?;
+    println!("platform: {topo}");
+    println!();
+
+    for workload in Workload::all() {
+        println!(
+            "=== {workload} (per-NPU mini-batch {}, {}) ===",
+            workload.per_npu_minibatch(),
+            workload.strategy()
+        );
+        let simulator = TrainingSimulator::new(workload.config());
+        let mut baseline_total = None;
+        for policy in CommunicationPolicy::fig12_rows() {
+            let b = simulator.simulate_iteration(&topo, policy)?;
+            let total_ms = b.total_ns() / 1e6;
+            let norm = baseline_total.map(|t: f64| b.total_ns() / t).unwrap_or(1.0);
+            if baseline_total.is_none() {
+                baseline_total = Some(b.total_ns());
+            }
+            println!(
+                "  {:<11}  fwd {:8.2} ms | bwd {:8.2} ms | MP comm {:8.2} ms | DP comm {:8.2} ms \
+                 | total {:8.2} ms | norm {:.3}",
+                policy.label(),
+                b.forward_compute_ns / 1e6,
+                b.backward_compute_ns / 1e6,
+                b.exposed_mp_comm_ns / 1e6,
+                b.exposed_dp_comm_ns / 1e6,
+                total_ms,
+                norm
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

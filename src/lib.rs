@@ -1,0 +1,70 @@
+//! # themis
+//!
+//! A from-scratch Rust reproduction of **Themis: A Network Bandwidth-Aware
+//! Collective Scheduling Policy for Distributed Training of DL Models**
+//! (Rashidi, Won, Srinivasan, Sridharan, Krishna — ISCA 2022).
+//!
+//! Themis schedules the *chunks* of a collective communication operation
+//! (All-Reduce, Reduce-Scatter, All-Gather) across the dimensions of a
+//! hierarchical, multi-dimensional training platform so that every dimension's
+//! bandwidth stays busy. This facade crate re-exports the whole workspace:
+//!
+//! * [`net`] — the multi-dimensional network topology substrate (Table 2
+//!   platforms, bandwidth/latency units, provisioning analysis).
+//! * [`collectives`] — topology-aware collective algorithms, their cost model
+//!   and data-level functional implementations.
+//! * [`core`] — the schedulers: the multi-rail hierarchical baseline, Themis
+//!   (Algorithm 1), and the ideal 100 %-utilisation bound.
+//! * [`sim`] — the discrete-event chunk-pipeline simulator and its reports.
+//! * [`workloads`] — DNN workload models (ResNet-152, GNMT, DLRM,
+//!   Transformer-1T), parallelization strategies and the training-iteration
+//!   simulator.
+//!
+//! The most common types are re-exported at the crate root.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use themis::{
+//!     CollectiveRequest, CollectiveScheduler, PipelineSimulator, PresetTopology,
+//!     SchedulerKind, SimOptions,
+//! };
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 1024-NPU next-generation platform from Table 2 of the paper.
+//! let topo = PresetTopology::SwSwSw3dHomo.build();
+//!
+//! // Schedule a 256 MiB gradient All-Reduce with Themis and with the baseline.
+//! let request = CollectiveRequest::all_reduce_mib(256.0);
+//! let sim = PipelineSimulator::new(&topo, SimOptions::default());
+//!
+//! let baseline = sim.run(&SchedulerKind::Baseline.build(64).schedule(&request, &topo)?)?;
+//! let themis = sim.run(&SchedulerKind::ThemisScf.build(64).schedule(&request, &topo)?)?;
+//!
+//! assert!(themis.total_time_ns < baseline.total_time_ns);
+//! assert!(themis.average_bw_utilization() > baseline.average_bw_utilization());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use themis_collectives as collectives;
+pub use themis_core as core;
+pub use themis_net as net;
+pub use themis_sim as sim;
+pub use themis_workloads as workloads;
+
+pub use themis_collectives::{algorithm_for, AlgorithmKind, CollectiveKind, CostModel, PhaseOp};
+pub use themis_core::{
+    BaselineScheduler, ChunkSchedule, CollectiveRequest, CollectiveSchedule, CollectiveScheduler,
+    IdealEstimator, IntraDimPolicy, SchedulerKind, StageOp, ThemisConfig, ThemisScheduler,
+};
+pub use themis_net::{
+    presets::PresetTopology, Bandwidth, DataSize, DimensionSpec, NetworkTopology, TopologyKind,
+};
+pub use themis_sim::{CollectiveExecutor, PipelineSimulator, SimOptions, SimReport};
+pub use themis_workloads::{
+    CommunicationPolicy, ComputeModel, IterationBreakdown, TrainingConfig, TrainingSimulator,
+    Workload,
+};

@@ -1,0 +1,105 @@
+//! Smoke tests of the experiment harness (`themis-bench`): every figure/table
+//! runner produces well-formed output with the paper's qualitative shape, on
+//! reduced parameterisations so the suite stays fast.
+
+use themis::DataSize;
+use themis::Workload;
+use themis_bench::experiments;
+
+#[test]
+fn table2_report_lists_every_platform() {
+    let report = experiments::table2::run();
+    let text = report.to_string();
+    for name in [
+        "Current-2D",
+        "2D-SW_SW",
+        "3D-SW_SW_SW_homo",
+        "3D-SW_SW_SW_hetero",
+        "3D-FC_Ring_SW",
+        "4D-Ring_SW_SW_SW",
+        "4D-Ring_FC_Ring_SW",
+    ] {
+        assert!(text.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn fig04_curves_show_the_motivation_gap() {
+    let curves = experiments::fig04::curves_for(Workload::Gnmt);
+    assert_eq!(curves.len(), 7);
+    // The current platform's baseline dot sits near full utilisation; at least
+    // one next-gen platform drops below 65 % (the problem Themis solves).
+    assert!(curves[0].baseline_utilization > 0.9);
+    assert!(curves[1..].iter().any(|c| c.baseline_utilization < 0.65));
+}
+
+#[test]
+fn fig05_report_reproduces_the_running_example() {
+    let report = experiments::fig05::run();
+    let text = report.to_string();
+    assert!(text.contains("Baseline"));
+    assert!(text.contains("Themis"));
+    assert!(text.contains("chunk 2"));
+}
+
+#[test]
+fn fig08_and_fig11_sweeps_have_the_right_shape() {
+    let sizes = [DataSize::from_mib(512.0)];
+    let fig08 = experiments::fig08::run_with(&sizes);
+    assert_eq!(fig08.len(), 6);
+    for point in &fig08 {
+        assert!(point.scf_speedup() >= 1.0, "{}: {:?}", point.topology, point.time_us);
+    }
+    let fig11 = experiments::fig11::run_with(&sizes);
+    let means = experiments::fig11::mean_utilization(&fig11);
+    assert!(means[0] < means[2]);
+    assert!(means[2] > 0.85);
+}
+
+#[test]
+fn fig09_timelines_cover_all_dimensions() {
+    let timelines = experiments::fig09::run_with(DataSize::from_mib(128.0));
+    assert_eq!(timelines.len(), 3);
+    for timeline in &timelines {
+        assert_eq!(timeline.rates.len(), 3);
+        assert!(timeline.total_time_ns > 0.0);
+    }
+}
+
+#[test]
+fn fig10_chunk_sensitivity_reports_both_topologies() {
+    let points = experiments::fig10::run_with(&[8, 32]);
+    assert_eq!(points.len(), 4);
+    for point in &points {
+        for util in point.utilization {
+            assert!((0.0..=1.0).contains(&util));
+        }
+    }
+}
+
+#[test]
+fn fig12_and_summary_reproduce_the_headline_shape() {
+    let cells = experiments::fig12::run_with(&[Workload::Gnmt]);
+    let (avg, max) = experiments::fig12::speedup_over_baseline(
+        &cells,
+        Workload::Gnmt,
+        themis::CommunicationPolicy::ThemisScf,
+    );
+    assert!(avg > 1.05);
+    assert!(max >= avg);
+
+    let headline = experiments::summary::compute_with(
+        &[DataSize::from_mib(512.0)],
+        &[Workload::Gnmt],
+    );
+    assert!(headline.allreduce_speedup_mean > 1.2);
+    assert!(headline.mean_utilization[2] > headline.mean_utilization[0]);
+}
+
+#[test]
+fn sec63_scenarios_classify_and_simulate() {
+    let scenarios = experiments::sec63::run_sweep(&[100.0, 200.0]);
+    assert_eq!(scenarios.len(), 2);
+    assert!(scenarios[0].baseline_utilization > 0.8);
+    assert!(scenarios[1].themis_utilization > scenarios[1].baseline_utilization);
+}

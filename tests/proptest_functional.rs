@@ -1,0 +1,170 @@
+//! Property-based tests of the data-level collective algorithms and of the
+//! cost model: the Table 1 algorithms must compute mathematically correct
+//! results for arbitrary inputs, and the hierarchical All-Reduce must be
+//! correct for *any* stage ordering (Observation 1 of the paper).
+
+use proptest::prelude::*;
+use themis::collectives::functional::{
+    all_to_all, direct, halving_doubling, hierarchical, reference_all_reduce,
+    reference_reduce_scatter, ring,
+};
+use themis::collectives::{algorithm_for, CostModel, PhaseOp};
+use themis::{DimensionSpec, NetworkTopology, TopologyKind};
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-6 * (1.0 + b.abs())
+}
+
+/// Strategy: participant data for `p` nodes with `elements` values each.
+fn data_strategy(p: usize, elements: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(-100.0f64..100.0, elements..=elements),
+        p..=p,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ring_all_reduce_matches_the_reference(
+        p in 2usize..9,
+        seg in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let elements = p * seg;
+        let data: Vec<Vec<f64>> = (0..p)
+            .map(|node| {
+                (0..elements)
+                    .map(|e| ((seed.wrapping_mul(31).wrapping_add((node * elements + e) as u64)
+                        % 1000) as f64) / 7.0 - 70.0)
+                    .collect()
+            })
+            .collect();
+        let result = ring::all_reduce(&data).unwrap();
+        let expected = reference_all_reduce(&data).unwrap();
+        for (row, reference) in result.iter().zip(expected.iter()) {
+            for (a, b) in row.iter().zip(reference.iter()) {
+                prop_assert!(close(*a, *b));
+            }
+        }
+    }
+
+    #[test]
+    fn direct_and_halving_doubling_match_the_reference(
+        pow in 1u32..5,
+        seg in 1usize..4,
+        values in prop::collection::vec(-50.0f64..50.0, 256),
+    ) {
+        let p = 1usize << pow;
+        let elements = p * seg;
+        let data: Vec<Vec<f64>> = (0..p)
+            .map(|node| (0..elements).map(|e| values[(node * elements + e) % values.len()]).collect())
+            .collect();
+        let expected = reference_all_reduce(&data).unwrap();
+        for result in [direct::all_reduce(&data).unwrap(), halving_doubling::all_reduce(&data).unwrap()] {
+            for (row, reference) in result.iter().zip(expected.iter()) {
+                for (a, b) in row.iter().zip(reference.iter()) {
+                    prop_assert!(close(*a, *b));
+                }
+            }
+        }
+        // Reduce-Scatter shards tile the vector and match the reference sums.
+        let shards = halving_doubling::reduce_scatter(&data).unwrap();
+        let reference_shards = reference_reduce_scatter(&data).unwrap();
+        for shard in &shards {
+            let matching = reference_shards.iter().find(|r| r.start == shard.start).unwrap();
+            for (a, b) in shard.values.iter().zip(matching.values.iter()) {
+                prop_assert!(close(*a, *b));
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_all_reduce_is_order_independent(
+        data in data_strategy(8, 16),
+        rs_perm in Just(()).prop_flat_map(|_| prop::sample::select(vec![
+            vec![0usize, 1, 2], vec![0, 2, 1], vec![1, 0, 2],
+            vec![1, 2, 0], vec![2, 0, 1], vec![2, 1, 0],
+        ])),
+        ag_perm in Just(()).prop_flat_map(|_| prop::sample::select(vec![
+            vec![0usize, 1, 2], vec![0, 2, 1], vec![1, 0, 2],
+            vec![1, 2, 0], vec![2, 0, 1], vec![2, 1, 0],
+        ])),
+    ) {
+        // A 2x2x2 machine (8 NPUs) and 16 elements per NPU.
+        let topo = NetworkTopology::new(
+            "proptest-2x2x2",
+            vec![
+                DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, 2, 100.0, 0.0).unwrap(),
+                DimensionSpec::with_aggregate_bandwidth(TopologyKind::Ring, 2, 100.0, 0.0).unwrap(),
+                DimensionSpec::with_aggregate_bandwidth(TopologyKind::FullyConnected, 2, 100.0, 0.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let expected = reference_all_reduce(&data).unwrap();
+        let result = hierarchical::all_reduce(&topo, &data, &rs_perm, &ag_perm).unwrap();
+        for (row, reference) in result.iter().zip(expected.iter()) {
+            for (a, b) in row.iter().zip(reference.iter()) {
+                prop_assert!(close(*a, *b));
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_is_an_involution_and_preserves_the_multiset(
+        p in 2usize..8,
+        seed in any::<u32>(),
+    ) {
+        let elements = p * p;
+        let data: Vec<Vec<f64>> = (0..p)
+            .map(|node| {
+                (0..elements)
+                    .map(|e| ((seed as usize + node * 7 + e * 3) % 101) as f64 - 50.0)
+                    .collect()
+            })
+            .collect();
+        let once = all_to_all::all_to_all(&data).unwrap();
+        // Total multiset of values is preserved.
+        let mut before: Vec<i64> = data.iter().flatten().map(|v| (*v * 1000.0) as i64).collect();
+        let mut after: Vec<i64> = once.iter().flatten().map(|v| (*v * 1000.0) as i64).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn cost_model_is_monotonic_and_consistent(
+        kind in prop_oneof![
+            Just(TopologyKind::Ring),
+            Just(TopologyKind::FullyConnected),
+            Just(TopologyKind::Switch),
+        ],
+        pow in 1u32..7,
+        bandwidth in 50.0f64..3000.0,
+        latency in 0.0f64..2000.0,
+        bytes in 1.0f64..1e9,
+    ) {
+        let p = 1usize << pow;
+        let dim = DimensionSpec::with_aggregate_bandwidth(kind, p, bandwidth, latency).unwrap();
+        let model = CostModel::new();
+        let smaller = model.chunk_cost(&dim, PhaseOp::ReduceScatter, bytes).unwrap();
+        let larger = model.chunk_cost(&dim, PhaseOp::ReduceScatter, bytes * 2.0).unwrap();
+        // Monotonic in chunk size.
+        prop_assert!(larger.total_ns() >= smaller.total_ns());
+        prop_assert!(larger.wire_bytes >= smaller.wire_bytes);
+        // Total = fixed + transfer, and the fixed delay matches steps x latency.
+        prop_assert!(close(smaller.total_ns(), smaller.fixed_delay_ns + smaller.transfer_ns));
+        let algorithm = algorithm_for(kind);
+        prop_assert!(close(
+            smaller.fixed_delay_ns,
+            algorithm.steps(PhaseOp::ReduceScatter, p) as f64 * latency
+        ));
+        // Reduce-Scatter then All-Gather restores the resident size.
+        let after_rs = smaller.resident_bytes_after;
+        let ag = model.chunk_cost(&dim, PhaseOp::AllGather, after_rs).unwrap();
+        prop_assert!(close(ag.resident_bytes_after, bytes));
+        // The All-Gather leg moves the same bytes as the Reduce-Scatter leg.
+        prop_assert!(close(ag.wire_bytes, smaller.wire_bytes));
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests of the scheduling layer: on randomly generated
+//! multi-dimensional topologies and collective sizes, the schedulers must
+//! always emit valid, size-preserving, deterministic schedules, and the
+//! simulator must respect its physical invariants.
+
+use proptest::prelude::*;
+use themis::{
+    CollectiveKind, CollectiveRequest, DataSize, DimensionSpec, IdealEstimator, NetworkTopology,
+    PipelineSimulator, SchedulerKind, SimOptions, ThemisScheduler, TopologyKind,
+};
+use themis_core::{CollectiveScheduler, DimLoadTracker, Splitter};
+
+/// Strategy: a random dimension (size 2–16, bandwidth 50–2000 Gbps, latency
+/// 0–2000 ns). Switch dimensions are constrained to power-of-two sizes because
+/// the halving-doubling algorithm requires it.
+fn dimension_strategy() -> impl Strategy<Value = DimensionSpec> {
+    (
+        prop_oneof![
+            Just(TopologyKind::Ring),
+            Just(TopologyKind::FullyConnected),
+            Just(TopologyKind::Switch),
+        ],
+        2u32..=4,
+        50.0f64..2000.0,
+        0.0f64..2000.0,
+        2usize..=16,
+    )
+        .prop_map(|(kind, pow, bandwidth, latency, free_size)| {
+            let size = match kind {
+                TopologyKind::Switch => 1usize << pow,
+                _ => free_size,
+            };
+            DimensionSpec::with_aggregate_bandwidth(kind, size, bandwidth, latency)
+                .expect("generated dimensions are valid")
+        })
+}
+
+/// Strategy: a random 2–4 dimensional topology.
+fn topology_strategy() -> impl Strategy<Value = NetworkTopology> {
+    prop::collection::vec(dimension_strategy(), 2..=4).prop_map(|dims| {
+        NetworkTopology::new("proptest-topology", dims).expect("generated topologies are valid")
+    })
+}
+
+fn collective_kind_strategy() -> impl Strategy<Value = CollectiveKind> {
+    prop_oneof![
+        Just(CollectiveKind::AllReduce),
+        Just(CollectiveKind::ReduceScatter),
+        Just(CollectiveKind::AllGather),
+        Just(CollectiveKind::AllToAll),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn themis_schedules_are_valid_and_cover_the_whole_collective(
+        topo in topology_strategy(),
+        kind in collective_kind_strategy(),
+        size_mib in 1.0f64..512.0,
+        chunks in 1usize..96,
+    ) {
+        let request = CollectiveRequest::new(kind, DataSize::from_mib(size_mib));
+        let schedule = ThemisScheduler::new(chunks).schedule(&request, &topo).unwrap();
+        schedule.validate(&topo).unwrap();
+        prop_assert_eq!(schedule.chunks().len(), chunks);
+        let total: f64 = schedule.total_chunk_bytes();
+        prop_assert!((total - request.size().as_bytes_f64()).abs() < 1.0);
+        // Every chunk visits each dimension exactly once per phase, and the
+        // All-Gather order is the reverse of the Reduce-Scatter order for
+        // All-Reduce chunks (Algorithm 1, line 8).
+        if kind == CollectiveKind::AllReduce {
+            for chunk in schedule.chunks() {
+                let rs = chunk.reduce_scatter_order();
+                let mut ag = chunk.all_gather_order();
+                ag.reverse();
+                prop_assert_eq!(rs, ag);
+            }
+        }
+    }
+
+    #[test]
+    fn scheduling_is_deterministic(
+        topo in topology_strategy(),
+        size_mib in 1.0f64..256.0,
+    ) {
+        let request = CollectiveRequest::all_reduce_mib(size_mib);
+        let a = ThemisScheduler::new(32).schedule(&request, &topo).unwrap();
+        let b = ThemisScheduler::new(32).schedule(&request, &topo).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn simulation_respects_physical_invariants(
+        topo in topology_strategy(),
+        size_mib in 1.0f64..256.0,
+        kind_index in 0usize..3,
+    ) {
+        let kind = SchedulerKind::all()[kind_index];
+        let request = CollectiveRequest::all_reduce_mib(size_mib);
+        let schedule = kind.build(16).schedule(&request, &topo).unwrap();
+        let report = PipelineSimulator::new(&topo, SimOptions::default()).run(&schedule).unwrap();
+
+        // Completion time is positive and at least the Table 3 ideal bound.
+        let bound = IdealEstimator::new().communication_time_ns(&request, &topo).unwrap();
+        prop_assert!(report.total_time_ns > 0.0);
+        prop_assert!(report.total_time_ns >= bound * 0.999);
+
+        // Utilisations are fractions; busy time never exceeds completion time.
+        prop_assert!(report.average_bw_utilization() <= 1.0 + 1e-9);
+        for (dim, util) in report.per_dim_utilization().iter().enumerate() {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(util));
+            prop_assert!(report.dims[dim].busy_ns <= report.total_time_ns + 1.0);
+        }
+
+        // The bytes that crossed each dimension match the schedule's prediction.
+        let predicted = schedule.wire_bytes_per_dim(&topo);
+        for (dim, expected) in predicted.iter().enumerate() {
+            prop_assert!((report.dims[dim].wire_bytes - expected).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn splitter_chunks_always_sum_to_the_collective_size(
+        bytes in 1u64..(1u64 << 40),
+        chunks in 1usize..512,
+    ) {
+        let splitter = Splitter::new(chunks).unwrap();
+        let sizes = splitter.split(DataSize::from_bytes(bytes)).unwrap();
+        prop_assert_eq!(sizes.len(), chunks);
+        let total: f64 = sizes.iter().sum();
+        prop_assert_eq!(total as u64, bytes);
+        let max = sizes.iter().cloned().fold(f64::MIN, f64::max);
+        let min = sizes.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert!(max - min <= 1.0);
+    }
+
+    #[test]
+    fn load_tracker_orderings_are_consistent_permutations(
+        loads in prop::collection::vec(0.0f64..1e9, 1..8),
+    ) {
+        let mut tracker = DimLoadTracker::new(loads.len());
+        tracker.reset(loads.clone());
+        let ascending = tracker.dims_by_ascending_load();
+        let descending = tracker.dims_by_descending_load();
+        // Both orders are permutations of the dimension indices.
+        let mut sorted_asc = ascending.clone();
+        sorted_asc.sort_unstable();
+        prop_assert_eq!(&sorted_asc, &(0..loads.len()).collect::<Vec<_>>());
+        // Ascending order is non-decreasing in load; descending non-increasing.
+        for pair in ascending.windows(2) {
+            prop_assert!(loads[pair[0]] <= loads[pair[1]] + 1e-12);
+        }
+        for pair in descending.windows(2) {
+            prop_assert!(loads[pair[0]] >= loads[pair[1]] - 1e-12);
+        }
+        prop_assert!(tracker.load_gap() >= 0.0);
+    }
+}
