@@ -7,9 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use themis::{DataSize, Workload};
 use themis_bench::experiments;
-use themis_net::DataSize;
-use themis_workloads::Workload;
 
 fn bench_table2(c: &mut Criterion) {
     c.bench_function("table2_topologies", |b| {

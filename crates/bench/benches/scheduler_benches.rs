@@ -6,11 +6,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use themis_core::{
-    BaselineScheduler, CollectiveRequest, CollectiveScheduler, SchedulerKind, ThemisScheduler,
+use themis::{
+    BaselineScheduler, CollectiveRequest, CollectiveScheduler, PipelineSimulator, PresetTopology,
+    SchedulerKind, SimOptions, ThemisScheduler,
 };
-use themis_net::presets::PresetTopology;
-use themis_sim::{PipelineSimulator, SimOptions};
 
 fn bench_schedule_generation(c: &mut Criterion) {
     let topo = PresetTopology::RingFcRingSw4d.build();
@@ -23,12 +22,16 @@ fn bench_schedule_generation(c: &mut Criterion) {
                 black_box(scheduler.schedule(&request, &topo).unwrap())
             })
         });
-        group.bench_with_input(BenchmarkId::new("baseline", chunks), &chunks, |b, &chunks| {
-            b.iter(|| {
-                let mut scheduler = BaselineScheduler::new(chunks);
-                black_box(scheduler.schedule(&request, &topo).unwrap())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("baseline", chunks),
+            &chunks,
+            |b, &chunks| {
+                b.iter(|| {
+                    let mut scheduler = BaselineScheduler::new(chunks);
+                    black_box(scheduler.schedule(&request, &topo).unwrap())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -52,7 +55,7 @@ fn bench_enforced_order(c: &mut Criterion) {
     let request = CollectiveRequest::all_reduce_mib(512.0);
     let schedule = ThemisScheduler::new(64).schedule(&request, &topo).unwrap();
     c.bench_function("consistency_pre_simulation", |b| {
-        b.iter(|| black_box(themis_core::enforced_intra_dim_order(&schedule, &topo).unwrap()))
+        b.iter(|| black_box(themis::core::enforced_intra_dim_order(&schedule, &topo).unwrap()))
     });
     let _ = SchedulerKind::all();
 }

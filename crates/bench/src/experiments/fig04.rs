@@ -8,9 +8,8 @@
 //! baseline collective scheduling — is reproduced from the simulator.
 
 use crate::report::{fmt_pct, Report, Table};
-use themis_net::presets::{current_generation_2d, next_generation_suite};
-use themis_net::NetworkTopology;
-use themis_workloads::{CommunicationPolicy, TrainingSimulator, Workload};
+use themis::api::{Platform, TrainingJob};
+use themis::{CommunicationPolicy, PresetTopology, Workload};
 
 /// The runtime-vs-utilisation curve of one workload on one topology.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,26 +53,28 @@ pub fn fig04_workloads() -> [Workload; 3] {
 
 /// The platform list of Fig. 4: the current system followed by the Table 2
 /// suite.
-pub fn fig04_topologies() -> Vec<NetworkTopology> {
-    let mut topologies = vec![current_generation_2d()];
-    topologies.extend(next_generation_suite());
-    topologies
+pub fn fig04_platforms() -> Vec<Platform> {
+    PresetTopology::all()
+        .into_iter()
+        .map(Platform::preset)
+        .collect()
 }
 
 /// Computes the Fig. 4 curves of one workload across all platforms.
 pub fn curves_for(workload: Workload) -> Vec<Fig04Curve> {
-    let sim = TrainingSimulator::new(workload.config());
-    fig04_topologies()
+    fig04_platforms()
         .iter()
-        .map(|topo| {
-            let ideal = sim
-                .simulate_iteration(topo, CommunicationPolicy::Ideal)
+        .map(|platform| {
+            let ideal = TrainingJob::new(workload)
+                .policy(CommunicationPolicy::Ideal)
+                .run_on(platform)
                 .expect("evaluation configurations are valid");
-            let baseline = sim
-                .simulate_iteration(topo, CommunicationPolicy::Baseline)
+            let baseline = TrainingJob::new(workload)
+                .policy(CommunicationPolicy::Baseline)
+                .run_on(platform)
                 .expect("evaluation configurations are valid");
             Fig04Curve {
-                topology: topo.name().to_string(),
+                topology: platform.name().to_string(),
                 compute_ns: ideal.compute_ns(),
                 baseline_comm_ns: baseline.exposed_comm_ns(),
                 baseline_utilization: baseline.comm_utilization,
@@ -135,9 +136,20 @@ mod tests {
         // next-gen platforms fall well below that.
         let curves = curves_for(Workload::ResNet152);
         let current = &curves[0];
-        assert!(current.baseline_utilization > 0.9, "{}", current.baseline_utilization);
-        let homo = curves.iter().find(|c| c.topology == "3D-SW_SW_SW_homo").unwrap();
-        assert!(homo.baseline_utilization < 0.6, "{}", homo.baseline_utilization);
+        assert!(
+            current.baseline_utilization > 0.9,
+            "{}",
+            current.baseline_utilization
+        );
+        let homo = curves
+            .iter()
+            .find(|c| c.topology == "3D-SW_SW_SW_homo")
+            .unwrap();
+        assert!(
+            homo.baseline_utilization < 0.6,
+            "{}",
+            homo.baseline_utilization
+        );
     }
 
     #[test]

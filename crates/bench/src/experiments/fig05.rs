@@ -6,11 +6,10 @@
 //! finishes in 7 units.
 
 use crate::report::{fmt_pct, fmt_us, Report, Table};
-use themis_core::{
-    BaselineScheduler, ChunkSchedule, CollectiveRequest, CollectiveScheduler, ThemisScheduler,
+use themis::api::{Job, Platform, ScheduledRun};
+use themis::{
+    ChunkSchedule, DimensionSpec, NetworkTopology, SchedulerKind, SimReport, TopologyKind,
 };
-use themis_net::{DimensionSpec, NetworkTopology, TopologyKind};
-use themis_sim::{PipelineSimulator, SimOptions, SimReport};
 
 /// Builds the Fig. 5 example network: 4×4, aggregate bandwidths 800 and
 /// 400 Gbps, negligible step latency.
@@ -59,17 +58,16 @@ fn per_dim_row(name: &str, report: &SimReport) -> Vec<String> {
 /// Runs the Fig. 5 / Fig. 7 example and reports pipeline latencies, idle time
 /// and the per-chunk schedules chosen by each policy.
 pub fn run() -> Report {
-    let topo = example_topology();
-    let request = CollectiveRequest::all_reduce_mib(256.0);
-    let simulator = PipelineSimulator::new(&topo, SimOptions::default());
-
-    let baseline_schedule = BaselineScheduler::new(4)
-        .schedule(&request, &topo)
-        .expect("static example schedules");
-    let themis_schedule =
-        ThemisScheduler::new(4).schedule(&request, &topo).expect("static example schedules");
-    let baseline = simulator.run(&baseline_schedule).expect("static example simulates");
-    let themis = simulator.run(&themis_schedule).expect("static example simulates");
+    let platform = Platform::custom(example_topology());
+    let run_kind = |kind: SchedulerKind| -> ScheduledRun {
+        Job::all_reduce_mib(256.0)
+            .chunks(4)
+            .scheduler(kind)
+            .run_detailed(&platform)
+            .expect("static example schedules and simulates")
+    };
+    let baseline = run_kind(SchedulerKind::Baseline);
+    let themis = run_kind(SchedulerKind::ThemisScf);
 
     let mut report = Report::new("Fig. 5 / Fig. 7 — 256 MB All-Reduce on a 4x4 2D network");
     report.push_note("BW(dim1) = 2 x BW(dim2); the collective is split into 4 x 64 MB chunks");
@@ -79,25 +77,32 @@ pub fn run() -> Report {
 
     let mut timing = Table::new(
         "Pipeline completion (paper: baseline 8 units, Themis 7 units)",
-        &["Scheduler", "Time (units)", "Time (us)", "Avg BW util", "Per-dim util"],
+        &[
+            "Scheduler",
+            "Time (units)",
+            "Time (us)",
+            "Avg BW util",
+            "Per-dim util",
+        ],
     );
-    timing.push_row(per_dim_row("Baseline", &baseline));
-    timing.push_row(per_dim_row("Themis+SCF", &themis));
+    timing.push_row(per_dim_row("Baseline", &baseline.report));
+    timing.push_row(per_dim_row("Themis+SCF", &themis.report));
     report.push_table(timing);
 
     let mut orders = Table::new(
         "Per-chunk schedules (Fig. 7: chunk 2 starts on dim2, chunks 3-4 on dim1)",
         &["Chunk", "Baseline", "Themis"],
     );
-    let baseline_orders = describe_orders(baseline_schedule.chunks());
-    let themis_orders = describe_orders(themis_schedule.chunks());
+    let baseline_orders = describe_orders(baseline.schedule.chunks());
+    let themis_orders = describe_orders(themis.schedule.chunks());
     for (index, (b, t)) in baseline_orders.iter().zip(themis_orders.iter()).enumerate() {
         orders.push_row([format!("chunk {}", index + 1), b.clone(), t.clone()]);
     }
     report.push_table(orders);
 
     // The op-level pipeline trace (the boxes of Fig. 5), in time units.
-    for (name, sim_report) in [("Baseline", &baseline), ("Themis+SCF", &themis)] {
+    for (name, run) in [("Baseline", &baseline), ("Themis+SCF", &themis)] {
+        let sim_report = &run.report;
         let mut trace = Table::new(
             format!("{name} pipeline trace (times in units of a 64 MB RS on dim1)"),
             &["Dimension", "Op", "Chunk", "Start", "End"],

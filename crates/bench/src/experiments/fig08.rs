@@ -1,10 +1,10 @@
 //! Fig. 8: total All-Reduce communication time for 100 MB – 1 GB collectives
 //! on the six next-generation topologies under the three Table 3 schedulers.
 
-use super::{evaluation_topologies, microbenchmark_sizes, run_allreduce};
+use super::microbenchmark_sizes;
 use crate::report::{fmt_speedup, fmt_us, Report, Table};
-use themis_core::SchedulerKind;
-use themis_net::DataSize;
+use themis::api::CampaignReport;
+use themis::{DataSize, PresetTopology, SchedulerKind};
 
 /// One data point of the Fig. 8 sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,19 +31,28 @@ impl Fig08Point {
 }
 
 /// Runs the sweep for the given sizes (use [`super::microbenchmark_sizes`] for
-/// the paper's full range).
+/// the paper's full range) as one parallel campaign.
 pub fn run_with(sizes: &[DataSize]) -> Vec<Fig08Point> {
+    points_from(&super::microbenchmark_campaign(sizes), sizes)
+}
+
+/// Extracts the Fig. 8 points from an already-executed microbenchmark
+/// campaign (see [`super::microbenchmark_campaign`]), so callers that need
+/// both the Fig. 8 and Fig. 11 views simulate the matrix only once.
+pub fn points_from(report: &CampaignReport, sizes: &[DataSize]) -> Vec<Fig08Point> {
     let mut points = Vec::new();
-    for topo in evaluation_topologies() {
+    for preset in PresetTopology::next_generation() {
         for &size in sizes {
-            let mut times = [0.0; 3];
-            for (slot, kind) in SchedulerKind::all().into_iter().enumerate() {
-                times[slot] = run_allreduce(&topo, kind, size).total_time_us();
-            }
+            let time_us = SchedulerKind::all().map(|kind| {
+                report
+                    .find(preset.name(), kind, size)
+                    .expect("the campaign covers every cell")
+                    .total_time_us()
+            });
             points.push(Fig08Point {
-                topology: topo.name().to_string(),
+                topology: preset.name().to_string(),
                 size,
-                time_us: times,
+                time_us,
             });
         }
     }

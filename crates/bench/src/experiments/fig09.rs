@@ -2,10 +2,8 @@
 //! All-Reduce on 3D-SW_SW_SW_homo.
 
 use crate::report::{fmt_pct, fmt_us, Report, Table};
-use themis_core::SchedulerKind;
-use themis_net::presets::PresetTopology;
-use themis_net::DataSize;
-use themis_sim::SimReport;
+use themis::api::{Campaign, Runner};
+use themis::{DataSize, PresetTopology, SchedulerKind, SimReport};
 
 /// The activity timeline of one scheduler on the Fig. 9 configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,7 +36,9 @@ impl ActivityTimeline {
         (0..buckets)
             .map(|b| {
                 let start = b * rates.len() / buckets;
-                let end = (((b + 1) * rates.len()) / buckets).max(start + 1).min(rates.len());
+                let end = (((b + 1) * rates.len()) / buckets)
+                    .max(start + 1)
+                    .min(rates.len());
                 let span = &rates[start..end.max(start + 1).min(rates.len())];
                 if span.is_empty() {
                     0.0
@@ -59,12 +59,24 @@ fn timeline_of(report: &SimReport) -> ActivityTimeline {
 }
 
 /// Runs the Fig. 9 experiment with a configurable collective size
-/// (the paper uses 1 GB).
+/// (the paper uses 1 GB) as one parallel campaign.
 pub fn run_with(size: DataSize) -> Vec<ActivityTimeline> {
-    let topo = PresetTopology::SwSwSw3dHomo.build();
+    let preset = PresetTopology::SwSwSw3dHomo;
+    let campaign = Campaign::new()
+        .topologies([preset])
+        .sizes([size])
+        .run(&Runner::parallel())
+        .expect("evaluation configurations are valid");
     SchedulerKind::all()
         .into_iter()
-        .map(|kind| timeline_of(&super::run_allreduce(&topo, kind, size)))
+        .map(|kind| {
+            timeline_of(
+                &campaign
+                    .find(preset.name(), kind, size)
+                    .expect("the campaign covers every cell")
+                    .report,
+            )
+        })
         .collect()
 }
 
@@ -85,8 +97,18 @@ pub fn run() -> Report {
                 fmt_us(timeline.total_time_ns)
             ),
             &[
-                "Dimension", "0-10%", "10-20%", "20-30%", "30-40%", "40-50%", "50-60%", "60-70%",
-                "70-80%", "80-90%", "90-100%", "mean",
+                "Dimension",
+                "0-10%",
+                "10-20%",
+                "20-30%",
+                "30-40%",
+                "40-50%",
+                "50-60%",
+                "60-70%",
+                "70-80%",
+                "80-90%",
+                "90-100%",
+                "mean",
             ],
         );
         for dim in 0..timeline.rates.len() {

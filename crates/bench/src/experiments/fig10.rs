@@ -2,11 +2,9 @@
 //! collective (4 – 512) for a 100 MB All-Reduce on 3D-SW_SW_SW_hetero and
 //! 4D-Ring_FC_Ring_SW.
 
-use super::run_allreduce_with_chunks;
 use crate::report::{fmt_pct, Report, Table};
-use themis_core::SchedulerKind;
-use themis_net::presets::PresetTopology;
-use themis_net::DataSize;
+use themis::api::{Campaign, Runner};
+use themis::{DataSize, PresetTopology, SchedulerKind};
 
 /// The chunk granularities swept by the paper.
 pub fn chunk_sweep() -> Vec<usize> {
@@ -15,7 +13,10 @@ pub fn chunk_sweep() -> Vec<usize> {
 
 /// The two topologies shown in Fig. 10.
 pub fn fig10_topologies() -> [PresetTopology; 2] {
-    [PresetTopology::SwSwSw3dHetero, PresetTopology::RingFcRingSw4d]
+    [
+        PresetTopology::SwSwSw3dHetero,
+        PresetTopology::RingFcRingSw4d,
+    ]
 }
 
 /// One data point of the sweep.
@@ -29,19 +30,29 @@ pub struct Fig10Point {
     pub utilization: [f64; 3],
 }
 
-/// Runs the sweep for the given chunk counts.
+/// Runs the sweep for the given chunk counts as one parallel campaign.
 pub fn run_with(chunk_counts: &[usize]) -> Vec<Fig10Point> {
     let size = DataSize::from_mib(100.0);
+    let report = Campaign::new()
+        .topologies(fig10_topologies())
+        .sizes([size])
+        .chunk_counts(chunk_counts.iter().copied())
+        .run(&Runner::parallel())
+        .expect("evaluation configurations are valid");
     let mut points = Vec::new();
     for preset in fig10_topologies() {
-        let topo = preset.build();
         for &chunks in chunk_counts {
-            let mut utilization = [0.0; 3];
-            for (slot, kind) in SchedulerKind::all().into_iter().enumerate() {
-                utilization[slot] =
-                    run_allreduce_with_chunks(&topo, kind, size, chunks).average_bw_utilization();
-            }
-            points.push(Fig10Point { topology: topo.name().to_string(), chunks, utilization });
+            let utilization = SchedulerKind::all().map(|kind| {
+                report
+                    .find_with_chunks(preset.name(), kind, size, chunks)
+                    .expect("the campaign covers every cell")
+                    .average_bw_utilization()
+            });
+            points.push(Fig10Point {
+                topology: preset.name().to_string(),
+                chunks,
+                utilization,
+            });
         }
     }
     points
@@ -57,7 +68,13 @@ pub fn run() -> Report {
     );
     let mut table = Table::new(
         "Average BW utilisation",
-        &["Topology", "Chunks", "Baseline", "Themis+FIFO", "Themis+SCF"],
+        &[
+            "Topology",
+            "Chunks",
+            "Baseline",
+            "Themis+FIFO",
+            "Themis+SCF",
+        ],
     );
     for point in &points {
         table.push_row([
@@ -80,9 +97,15 @@ mod tests {
     fn more_chunks_improve_themis_but_not_the_baseline() {
         let points = run_with(&[4, 64]);
         for preset in fig10_topologies() {
-            let name = preset.build().name().to_string();
-            let few = points.iter().find(|p| p.topology == name && p.chunks == 4).unwrap();
-            let many = points.iter().find(|p| p.topology == name && p.chunks == 64).unwrap();
+            let name = preset.name().to_string();
+            let few = points
+                .iter()
+                .find(|p| p.topology == name && p.chunks == 4)
+                .unwrap();
+            let many = points
+                .iter()
+                .find(|p| p.topology == name && p.chunks == 64)
+                .unwrap();
             // Themis+SCF gains from finer chunking.
             assert!(
                 many.utilization[2] > few.utilization[2] + 0.05,

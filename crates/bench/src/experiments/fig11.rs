@@ -1,10 +1,10 @@
 //! Fig. 11: average network BW utilisation for 100 MB – 1 GB All-Reduces on
 //! the six next-generation topologies under the three Table 3 schedulers.
 
-use super::{evaluation_topologies, microbenchmark_sizes, run_allreduce};
+use super::microbenchmark_sizes;
 use crate::report::{fmt_pct, Report, Table};
-use themis_core::SchedulerKind;
-use themis_net::DataSize;
+use themis::api::CampaignReport;
+use themis::{DataSize, PresetTopology, SchedulerKind};
 
 /// One data point of the Fig. 11 sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,16 +18,28 @@ pub struct Fig11Point {
     pub utilization: [f64; 3],
 }
 
-/// Runs the sweep for the given sizes.
+/// Runs the sweep for the given sizes as one parallel campaign.
 pub fn run_with(sizes: &[DataSize]) -> Vec<Fig11Point> {
+    points_from(&super::microbenchmark_campaign(sizes), sizes)
+}
+
+/// Extracts the Fig. 11 points from an already-executed microbenchmark
+/// campaign (see [`super::microbenchmark_campaign`]).
+pub fn points_from(report: &CampaignReport, sizes: &[DataSize]) -> Vec<Fig11Point> {
     let mut points = Vec::new();
-    for topo in evaluation_topologies() {
+    for preset in PresetTopology::next_generation() {
         for &size in sizes {
-            let mut utilization = [0.0; 3];
-            for (slot, kind) in SchedulerKind::all().into_iter().enumerate() {
-                utilization[slot] = run_allreduce(&topo, kind, size).average_bw_utilization();
-            }
-            points.push(Fig11Point { topology: topo.name().to_string(), size, utilization });
+            let utilization = SchedulerKind::all().map(|kind| {
+                report
+                    .find(preset.name(), kind, size)
+                    .expect("the campaign covers every cell")
+                    .average_bw_utilization()
+            });
+            points.push(Fig11Point {
+                topology: preset.name().to_string(),
+                size,
+                utilization,
+            });
         }
     }
     points
@@ -54,7 +66,13 @@ pub fn run() -> Report {
     );
     let mut table = Table::new(
         "Average weighted BW utilisation",
-        &["Topology", "Size (MiB)", "Baseline", "Themis+FIFO", "Themis+SCF"],
+        &[
+            "Topology",
+            "Size (MiB)",
+            "Baseline",
+            "Themis+FIFO",
+            "Themis+SCF",
+        ],
     );
     for point in &points {
         table.push_row([
@@ -72,9 +90,21 @@ pub fn run() -> Report {
         "Mean utilisation across all topologies and sizes",
         &["Scheduler", "Measured", "Paper"],
     );
-    averages.push_row(["Baseline".to_string(), fmt_pct(means[0]), "56.3%".to_string()]);
-    averages.push_row(["Themis+FIFO".to_string(), fmt_pct(means[1]), "87.7%".to_string()]);
-    averages.push_row(["Themis+SCF".to_string(), fmt_pct(means[2]), "95.1%".to_string()]);
+    averages.push_row([
+        "Baseline".to_string(),
+        fmt_pct(means[0]),
+        "56.3%".to_string(),
+    ]);
+    averages.push_row([
+        "Themis+FIFO".to_string(),
+        fmt_pct(means[1]),
+        "87.7%".to_string(),
+    ]);
+    averages.push_row([
+        "Themis+SCF".to_string(),
+        fmt_pct(means[2]),
+        "95.1%".to_string(),
+    ]);
     report.push_table(averages);
     report
 }
@@ -82,7 +112,7 @@ pub fn run() -> Report {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiments::quick_sizes;
+    use crate::experiments::{evaluation_topologies, quick_sizes};
 
     #[test]
     fn utilization_ordering_matches_the_paper() {
@@ -114,8 +144,18 @@ mod tests {
             // Themis+SCF keeps the network above 90 % utilisation at both ends
             // of the Fig. 11 size range (the paper reports a 95.14 % average),
             // while the baseline is roughly size-insensitive and far lower.
-            assert!(small.utilization[2] > 0.9, "{}: {:?}", topo.name(), small.utilization);
-            assert!(large.utilization[2] > 0.9, "{}: {:?}", topo.name(), large.utilization);
+            assert!(
+                small.utilization[2] > 0.9,
+                "{}: {:?}",
+                topo.name(),
+                small.utilization
+            );
+            assert!(
+                large.utilization[2] > 0.9,
+                "{}: {:?}",
+                topo.name(),
+                large.utilization
+            );
             assert!((large.utilization[0] - small.utilization[0]).abs() < 0.1);
             assert!(large.utilization[0] < large.utilization[2] - 0.2);
         }

@@ -1,9 +1,10 @@
 //! Fig. 12: end-to-end training iteration breakdown for ResNet-152, GNMT,
 //! DLRM and Transformer-1T under Baseline, Themis+SCF and Ideal scheduling.
 
-use super::evaluation_topologies;
+use super::evaluation_platforms;
 use crate::report::{fmt_speedup, fmt_us, Report, Table};
-use themis_workloads::{CommunicationPolicy, IterationBreakdown, TrainingSimulator, Workload};
+use themis::api::TrainingJob;
+use themis::{CommunicationPolicy, IterationBreakdown, Workload};
 
 /// The breakdown of one (workload, topology, policy) cell of Fig. 12.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,15 +24,15 @@ pub struct Fig12Cell {
 pub fn run_with(workloads: &[Workload]) -> Vec<Fig12Cell> {
     let mut cells = Vec::new();
     for &workload in workloads {
-        let sim = TrainingSimulator::new(workload.config());
-        for topo in evaluation_topologies() {
+        for platform in evaluation_platforms() {
             for policy in CommunicationPolicy::fig12_rows() {
-                let breakdown = sim
-                    .simulate_iteration(&topo, policy)
+                let breakdown = TrainingJob::new(workload)
+                    .policy(policy)
+                    .run_on(&platform)
                     .expect("evaluation configurations are valid");
                 cells.push(Fig12Cell {
                     workload,
-                    topology: topo.name().to_string(),
+                    topology: platform.name().to_string(),
                     policy,
                     breakdown,
                 });
@@ -49,7 +50,10 @@ pub fn speedup_over_baseline(
     policy: CommunicationPolicy,
 ) -> (f64, f64) {
     let mut speedups = Vec::new();
-    for topo_cells in cells.iter().filter(|c| c.workload == workload && c.policy == policy) {
+    for topo_cells in cells
+        .iter()
+        .filter(|c| c.workload == workload && c.policy == policy)
+    {
         let baseline = cells
             .iter()
             .find(|c| {
@@ -77,21 +81,30 @@ pub fn run() -> Report {
     for workload in Workload::all() {
         let mut table = Table::new(
             format!("{workload} — iteration breakdown (us)"),
-            &["Topology", "Policy", "Fwd", "Bwd", "Exposed MP", "Exposed DP", "Total", "Norm"],
+            &[
+                "Topology",
+                "Policy",
+                "Fwd",
+                "Bwd",
+                "Exposed MP",
+                "Exposed DP",
+                "Total",
+                "Norm",
+            ],
         );
-        for topo in evaluation_topologies() {
+        for platform in evaluation_platforms() {
             let baseline_total = cells
                 .iter()
                 .find(|c| {
                     c.workload == workload
-                        && c.topology == topo.name()
+                        && c.topology == platform.name()
                         && c.policy == CommunicationPolicy::Baseline
                 })
                 .map(|c| c.breakdown.total_ns())
                 .unwrap_or(1.0);
             for cell in cells
                 .iter()
-                .filter(|c| c.workload == workload && c.topology == topo.name())
+                .filter(|c| c.workload == workload && c.topology == platform.name())
             {
                 let b = &cell.breakdown;
                 table.push_row([
@@ -112,7 +125,13 @@ pub fn run() -> Report {
     let mut speedups = Table::new(
         "Training iteration speedup over baseline (paper: ResNet-152 1.49x, GNMT 1.30x, \
          DLRM 1.30x, Transformer-1T 1.25x for Themis; Ideal 1.54x / 1.32x / 1.33x / 1.26x)",
-        &["Workload", "Themis+SCF avg", "Themis+SCF max", "Ideal avg", "Ideal max"],
+        &[
+            "Workload",
+            "Themis+SCF avg",
+            "Themis+SCF max",
+            "Ideal avg",
+            "Ideal max",
+        ],
     );
     for workload in Workload::all() {
         let (themis_avg, themis_max) =
@@ -144,7 +163,10 @@ mod tests {
             speedup_over_baseline(&cells, Workload::ResNet152, CommunicationPolicy::Ideal);
         assert!(themis_avg > 1.1, "avg speedup {themis_avg}");
         assert!(themis_max >= themis_avg);
-        assert!(ideal_avg >= themis_avg * 0.999, "ideal {ideal_avg} vs themis {themis_avg}");
+        assert!(
+            ideal_avg >= themis_avg * 0.999,
+            "ideal {ideal_avg} vs themis {themis_avg}"
+        );
     }
 
     #[test]

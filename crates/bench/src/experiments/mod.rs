@@ -1,4 +1,9 @@
 //! The experiment implementations, one module per figure/table of the paper.
+//!
+//! Every experiment is expressed against the facade's campaign layer
+//! ([`themis::api`]): sweeps are declared as [`themis::api::Campaign`]s and
+//! executed through a parallel [`themis::api::Runner`], so the harness never
+//! hand-wires the schedule-then-simulate pipeline.
 
 pub mod fig04;
 pub mod fig05;
@@ -11,14 +16,21 @@ pub mod sec63;
 pub mod summary;
 pub mod table2;
 
-use themis_core::{CollectiveRequest, SchedulerKind};
-use themis_net::presets::next_generation_suite;
-use themis_net::{DataSize, NetworkTopology};
-use themis_sim::{CollectiveExecutor, SimOptions, SimReport};
+use themis::api::{Campaign, CampaignReport, Job, Platform, Runner};
+use themis::net::presets::next_generation_suite;
+use themis::{DataSize, NetworkTopology, PresetTopology, SchedulerKind, SimReport};
 
 /// The six next-generation topologies of Table 2 (the x-axis of most figures).
 pub fn evaluation_topologies() -> Vec<NetworkTopology> {
     next_generation_suite()
+}
+
+/// The six next-generation Table 2 platforms as campaign-ready [`Platform`]s.
+pub fn evaluation_platforms() -> Vec<Platform> {
+    PresetTopology::next_generation()
+        .into_iter()
+        .map(Platform::preset)
+        .collect()
 }
 
 /// The All-Reduce sizes swept by the microbenchmark figures (Fig. 8 / Fig. 11):
@@ -38,34 +50,39 @@ pub fn quick_sizes() -> Vec<DataSize> {
     vec![DataSize::from_mib(100.0), DataSize::from_mib(1024.0)]
 }
 
-/// Runs one All-Reduce of `size` under `kind` scheduling on `topo` with the
-/// paper's default 64 chunks per collective.
+/// Runs the shared Fig. 8 / Fig. 11 microbenchmark campaign: the six
+/// next-generation topologies x `sizes` x the three Table 3 schedulers at the
+/// paper's 64 chunks per collective. One [`CampaignReport`] carries both the
+/// completion times (Fig. 8) and the utilisations (Fig. 11).
+pub fn microbenchmark_campaign(sizes: &[DataSize]) -> CampaignReport {
+    Campaign::new()
+        .topologies(PresetTopology::next_generation())
+        .sizes(sizes.iter().copied())
+        .run(&Runner::parallel())
+        .expect("evaluation configurations are valid")
+}
+
+/// Runs one All-Reduce with an explicit chunk granularity (sweeps go through
+/// [`themis::api::Campaign`] instead; this single-run helper backs ad-hoc
+/// checks).
 ///
 /// # Panics
 ///
 /// Panics if scheduling or simulation fails — the evaluation configurations
 /// are all statically valid, so a failure indicates a bug worth surfacing
 /// loudly in the harness.
-pub fn run_allreduce(topo: &NetworkTopology, kind: SchedulerKind, size: DataSize) -> SimReport {
-    run_allreduce_with_chunks(topo, kind, size, 64)
-}
-
-/// Runs one All-Reduce with an explicit chunk granularity.
-///
-/// # Panics
-///
-/// Panics if scheduling or simulation fails (see [`run_allreduce`]).
 pub fn run_allreduce_with_chunks(
     topo: &NetworkTopology,
     kind: SchedulerKind,
     size: DataSize,
     chunks: usize,
 ) -> SimReport {
-    let request = CollectiveRequest::new(themis_collectives::CollectiveKind::AllReduce, size);
-    CollectiveExecutor::new(topo)
-        .with_options(SimOptions::default())
-        .run_kind(kind, chunks, &request)
+    Job::all_reduce(size)
+        .chunks(chunks)
+        .scheduler(kind)
+        .run_on(&Platform::custom(topo.clone()))
         .unwrap_or_else(|err| panic!("experiment run failed on {}: {err}", topo.name()))
+        .report
 }
 
 #[cfg(test)]
@@ -75,6 +92,7 @@ mod tests {
     #[test]
     fn helpers_return_paper_configurations() {
         assert_eq!(evaluation_topologies().len(), 6);
+        assert_eq!(evaluation_platforms().len(), 6);
         let sizes = microbenchmark_sizes();
         assert_eq!(sizes.first().unwrap().as_mib().round() as u64, 100);
         assert_eq!(sizes.last().unwrap().as_mib().round() as u64, 1024);

@@ -10,10 +10,11 @@
 //!   so the design point should be avoided.
 
 use crate::report::{fmt_pct, Report, Table};
-use themis_core::SchedulerKind;
-use themis_net::presets::PresetTopology;
-use themis_net::provisioning::{classify_topology, ProvisioningClass};
-use themis_net::{DataSize, DimensionSpec, NetworkTopology, TopologyKind};
+use themis::api::{Campaign, Platform, Runner};
+use themis::net::provisioning::{classify_topology, ProvisioningClass};
+use themis::{
+    DataSize, DimensionSpec, NetworkTopology, PresetTopology, SchedulerKind, TopologyKind,
+};
 
 /// One provisioning scenario of the 2D design-space sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,18 +45,31 @@ fn two_dim_topology(dim2_gbps: f64) -> NetworkTopology {
         .expect("static topology is valid")
 }
 
-/// Runs the 2D design-space sweep. `dim2_gbps` values below 100 Gbps are
-/// under-provisioned, 100 Gbps is just enough (dim1 = 400 Gbps, P1 = 4), and
-/// anything above is over-provisioned.
+/// Runs the 2D design-space sweep as one campaign over custom platforms.
+/// `dim2_gbps` values below 100 Gbps are under-provisioned, 100 Gbps is just
+/// enough (dim1 = 400 Gbps, P1 = 4), and anything above is over-provisioned.
 pub fn run_sweep(dim2_values_gbps: &[f64]) -> Vec<ProvisioningScenario> {
     let size = DataSize::from_mib(512.0);
-    dim2_values_gbps
+    let platforms: Vec<(f64, Platform)> = dim2_values_gbps
         .iter()
-        .map(|&dim2_gbps| {
-            let topo = two_dim_topology(dim2_gbps);
-            let class = classify_topology(&topo).pairs[0].class;
-            let baseline = super::run_allreduce(&topo, SchedulerKind::Baseline, size);
-            let themis = super::run_allreduce(&topo, SchedulerKind::ThemisScf, size);
+        .map(|&gbps| (gbps, Platform::custom(two_dim_topology(gbps))))
+        .collect();
+    let report = Campaign::new()
+        .platforms(platforms.iter().map(|(_, p)| p.clone()))
+        .schedulers([SchedulerKind::Baseline, SchedulerKind::ThemisScf])
+        .sizes([size])
+        .run(&Runner::parallel())
+        .expect("design points are statically valid");
+    platforms
+        .iter()
+        .map(|(dim2_gbps, platform)| {
+            let class = classify_topology(platform.topology()).pairs[0].class;
+            let utilization = |kind| {
+                report
+                    .find(platform.name(), kind, size)
+                    .expect("the campaign covers every cell")
+                    .average_bw_utilization()
+            };
             let label = match class {
                 ProvisioningClass::JustEnough => "just enough",
                 ProvisioningClass::OverProvisioned => "over-provisioned",
@@ -63,10 +77,10 @@ pub fn run_sweep(dim2_values_gbps: &[f64]) -> Vec<ProvisioningScenario> {
             };
             ProvisioningScenario {
                 label: label.to_string(),
-                dim2_gbps,
+                dim2_gbps: *dim2_gbps,
                 class,
-                baseline_utilization: baseline.average_bw_utilization(),
-                themis_utilization: themis.average_bw_utilization(),
+                baseline_utilization: utilization(SchedulerKind::Baseline),
+                themis_utilization: utilization(SchedulerKind::ThemisScf),
             }
         })
         .collect()
@@ -83,7 +97,12 @@ pub fn run() -> Report {
     let scenarios = run_sweep(&[50.0, 100.0, 200.0, 400.0]);
     let mut sweep = Table::new(
         "Design-space sweep (512 MB All-Reduce)",
-        &["dim2 BW (Gbps)", "Scenario", "Baseline util", "Themis+SCF util"],
+        &[
+            "dim2 BW (Gbps)",
+            "Scenario",
+            "Baseline util",
+            "Themis+SCF util",
+        ],
     );
     for scenario in &scenarios {
         sweep.push_row([

@@ -4,8 +4,7 @@
 
 use super::{fig11, fig12};
 use crate::report::{fmt_pct, fmt_speedup, Report, Table};
-use themis_net::DataSize;
-use themis_workloads::{CommunicationPolicy, Workload};
+use themis::{CommunicationPolicy, DataSize, Workload};
 
 /// The recomputed headline numbers.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,9 +25,12 @@ pub struct Headline {
 /// Computes the headline numbers using the given All-Reduce sizes
 /// (use [`super::microbenchmark_sizes`] for the paper's full sweep).
 pub fn compute_with(sizes: &[DataSize], workloads: &[Workload]) -> Headline {
-    // Microbenchmark: reuse the Fig. 8 / Fig. 11 sweeps.
+    // Microbenchmark: reuse the Fig. 8 / Fig. 11 campaigns.
     let fig08_points = super::fig08::run_with(sizes);
-    let speedups: Vec<f64> = fig08_points.iter().map(super::fig08::Fig08Point::scf_speedup).collect();
+    let speedups: Vec<f64> = fig08_points
+        .iter()
+        .map(super::fig08::Fig08Point::scf_speedup)
+        .collect();
     let allreduce_speedup_mean = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
     let allreduce_speedup_max = speedups.iter().cloned().fold(f64::MIN, f64::max);
 
@@ -95,10 +97,21 @@ pub fn run() -> Report {
     ]);
     report.push_table(micro);
 
-    let paper_training = [("ResNet-152", 1.49, 2.25), ("GNMT", 1.30, 1.78), ("DLRM", 1.30, 1.77), ("Transformer-1T", 1.25, 1.53)];
+    let paper_training = [
+        ("ResNet-152", 1.49, 2.25),
+        ("GNMT", 1.30, 1.78),
+        ("DLRM", 1.30, 1.77),
+        ("Transformer-1T", 1.25, 1.53),
+    ];
     let mut training = Table::new(
         "End-to-end training iteration speedup (Themis+SCF over baseline)",
-        &["Workload", "Measured avg", "Measured max", "Paper avg", "Paper max"],
+        &[
+            "Workload",
+            "Measured avg",
+            "Measured max",
+            "Paper avg",
+            "Paper max",
+        ],
     );
     for (workload, avg, max) in &headline.training_speedups {
         let reference = paper_training
@@ -130,7 +143,11 @@ mod tests {
             &[DataSize::from_mib(1024.0)],
             &[Workload::ResNet152, Workload::Gnmt],
         );
-        assert!(headline.allreduce_speedup_mean > 1.3, "{}", headline.allreduce_speedup_mean);
+        assert!(
+            headline.allreduce_speedup_mean > 1.3,
+            "{}",
+            headline.allreduce_speedup_mean
+        );
         assert!(headline.allreduce_speedup_max >= headline.allreduce_speedup_mean);
         assert!(headline.mean_utilization[2] > headline.mean_utilization[0] + 0.2);
         for (workload, avg, max) in &headline.training_speedups {

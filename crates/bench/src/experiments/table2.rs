@@ -1,14 +1,13 @@
 //! Table 2: the evaluated topologies and their per-dimension configuration.
 
 use crate::report::{Report, Table};
-use themis_net::presets::PresetTopology;
+use themis::PresetTopology;
 
 /// Regenerates Table 2 (plus the "current" reference platform of Fig. 4).
 pub fn run() -> Report {
     let mut report = Report::new("Table 2 — target topologies");
-    report.push_note(
-        "all platforms have 1024 NPUs; bandwidths are uni-directional, as in the paper",
-    );
+    report
+        .push_note("all platforms have 1024 NPUs; bandwidths are uni-directional, as in the paper");
     let mut table = Table::new(
         "Topology configuration",
         &[
@@ -23,17 +22,26 @@ pub fn run() -> Report {
     for preset in PresetTopology::all() {
         let topo = preset.build();
         let sizes: Vec<String> = topo.dims().iter().map(|d| d.size().to_string()).collect();
-        let link_bw: Vec<String> =
-            topo.dims().iter().map(|d| format!("{}", d.link_bandwidth().as_gbps())).collect();
-        let links: Vec<String> =
-            topo.dims().iter().map(|d| d.links_per_npu().to_string()).collect();
+        let link_bw: Vec<String> = topo
+            .dims()
+            .iter()
+            .map(|d| format!("{}", d.link_bandwidth().as_gbps()))
+            .collect();
+        let links: Vec<String> = topo
+            .dims()
+            .iter()
+            .map(|d| d.links_per_npu().to_string())
+            .collect();
         let aggr: Vec<String> = topo
             .dims()
             .iter()
             .map(|d| format!("{}", d.aggregate_bandwidth().as_gbps()))
             .collect();
-        let lat: Vec<String> =
-            topo.dims().iter().map(|d| format!("{}", d.step_latency_ns())).collect();
+        let lat: Vec<String> = topo
+            .dims()
+            .iter()
+            .map(|d| format!("{}", d.step_latency_ns()))
+            .collect();
         table.push_row([
             topo.name().to_string(),
             sizes.join("x"),

@@ -21,6 +21,12 @@
 //! Every module exposes a `run()` (or `run_with` for parameterised sweeps)
 //! returning a [`report::Report`] that the binaries print and that
 //! `themis-experiments` collects into `EXPERIMENTS.md`-ready markdown.
+//!
+//! The experiments are built on the facade's campaign layer
+//! ([`themis::api`]): each sweep is declared as a
+//! [`themis::api::Campaign`] and executed through the parallel
+//! [`themis::api::Runner`], so the harness contains no hand-wired
+//! schedule-then-simulate plumbing.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

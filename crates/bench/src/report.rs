@@ -47,7 +47,10 @@ impl Table {
     }
 
     fn column_widths(&self) -> Vec<usize> {
-        let columns = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let columns = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; columns];
         for (i, header) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(header.len());
@@ -99,7 +102,11 @@ pub struct Report {
 impl Report {
     /// Creates an empty report.
     pub fn new(title: impl Into<String>) -> Self {
-        Report { title: title.into(), notes: Vec::new(), tables: Vec::new() }
+        Report {
+            title: title.into(),
+            notes: Vec::new(),
+            tables: Vec::new(),
+        }
     }
 
     /// Appends a free-text note (rendered as a bullet).

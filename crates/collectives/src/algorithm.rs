@@ -20,7 +20,11 @@ pub enum AlgorithmKind {
 impl AlgorithmKind {
     /// All algorithm kinds.
     pub fn all() -> [AlgorithmKind; 3] {
-        [AlgorithmKind::Ring, AlgorithmKind::Direct, AlgorithmKind::HalvingDoubling]
+        [
+            AlgorithmKind::Ring,
+            AlgorithmKind::Direct,
+            AlgorithmKind::HalvingDoubling,
+        ]
     }
 
     /// Number of communication steps (`number_of_steps` of Sec. 4.4) for one
@@ -108,8 +112,14 @@ mod tests {
     #[test]
     fn table1_mapping() {
         assert_eq!(algorithm_for(TopologyKind::Ring), AlgorithmKind::Ring);
-        assert_eq!(algorithm_for(TopologyKind::FullyConnected), AlgorithmKind::Direct);
-        assert_eq!(algorithm_for(TopologyKind::Switch), AlgorithmKind::HalvingDoubling);
+        assert_eq!(
+            algorithm_for(TopologyKind::FullyConnected),
+            AlgorithmKind::Direct
+        );
+        assert_eq!(
+            algorithm_for(TopologyKind::Switch),
+            AlgorithmKind::HalvingDoubling
+        );
     }
 
     #[test]
@@ -130,16 +140,28 @@ mod tests {
 
     #[test]
     fn halving_doubling_is_logarithmic() {
-        assert_eq!(AlgorithmKind::HalvingDoubling.steps(PhaseOp::ReduceScatter, 8), 3);
-        assert_eq!(AlgorithmKind::HalvingDoubling.steps(PhaseOp::AllGather, 16), 4);
-        assert_eq!(AlgorithmKind::HalvingDoubling.steps(PhaseOp::ReduceScatter, 64), 6);
+        assert_eq!(
+            AlgorithmKind::HalvingDoubling.steps(PhaseOp::ReduceScatter, 8),
+            3
+        );
+        assert_eq!(
+            AlgorithmKind::HalvingDoubling.steps(PhaseOp::AllGather, 16),
+            4
+        );
+        assert_eq!(
+            AlgorithmKind::HalvingDoubling.steps(PhaseOp::ReduceScatter, 64),
+            6
+        );
     }
 
     #[test]
     fn degenerate_single_participant() {
         for alg in AlgorithmKind::all() {
             assert_eq!(alg.steps(PhaseOp::ReduceScatter, 1), 0);
-            assert_eq!(alg.wire_bytes_per_npu(PhaseOp::ReduceScatter, 1, 1024.0), 0.0);
+            assert_eq!(
+                alg.wire_bytes_per_npu(PhaseOp::ReduceScatter, 1, 1024.0),
+                0.0
+            );
         }
     }
 
@@ -192,6 +214,9 @@ mod tests {
     #[test]
     fn display_labels() {
         assert_eq!(AlgorithmKind::Ring.to_string(), "ring");
-        assert_eq!(AlgorithmKind::HalvingDoubling.to_string(), "halving-doubling");
+        assert_eq!(
+            AlgorithmKind::HalvingDoubling.to_string(),
+            "halving-doubling"
+        );
     }
 }

@@ -38,7 +38,10 @@ impl OffloadConfig {
     /// once instead of once per direction of the reduction tree) and performs
     /// the reduction in a single switch traversal.
     pub fn typical_sharp_like() -> Self {
-        OffloadConfig { traffic_factor: 0.5, fixed_delay_factor: 0.5 }
+        OffloadConfig {
+            traffic_factor: 0.5,
+            fixed_delay_factor: 0.5,
+        }
     }
 
     fn validated(self) -> Result<Self, CollectiveError> {
@@ -98,7 +101,9 @@ impl CostModel {
     /// Returns [`CollectiveError::InvalidSize`] if either factor is outside
     /// `(0, 1]` or not finite.
     pub fn with_offload(config: OffloadConfig) -> Result<Self, CollectiveError> {
-        Ok(CostModel { offload: Some(config.validated()?) })
+        Ok(CostModel {
+            offload: Some(config.validated()?),
+        })
     }
 
     /// `true` if in-network offload is enabled.
@@ -191,7 +196,9 @@ mod tests {
         let model = CostModel::new();
         let dim1 = switch_dim(4, 800.0, 0.0);
         let dim2 = switch_dim(4, 400.0, 0.0);
-        let stage1 = model.chunk_cost(&dim1, PhaseOp::ReduceScatter, 64.0 * mb).unwrap();
+        let stage1 = model
+            .chunk_cost(&dim1, PhaseOp::ReduceScatter, 64.0 * mb)
+            .unwrap();
         let stage2 = model
             .chunk_cost(&dim2, PhaseOp::ReduceScatter, stage1.resident_bytes_after)
             .unwrap();
@@ -218,7 +225,9 @@ mod tests {
         let model = CostModel::new();
         // 800 Gbps = 100 bytes/ns; 2-NPU switch sends half the chunk.
         let dim = switch_dim(2, 800.0, 0.0);
-        let cost = model.chunk_cost(&dim, PhaseOp::ReduceScatter, 200_000.0).unwrap();
+        let cost = model
+            .chunk_cost(&dim, PhaseOp::ReduceScatter, 200_000.0)
+            .unwrap();
         assert!((cost.wire_bytes - 100_000.0).abs() < 1e-9);
         assert!((cost.transfer_ns - 1000.0).abs() < 1e-9);
     }
@@ -228,7 +237,9 @@ mod tests {
         let model = CostModel::new();
         let dim =
             DimensionSpec::with_aggregate_bandwidth(TopologyKind::Ring, 4, 1000.0, 20.0).unwrap();
-        let cost = model.chunk_cost(&dim, PhaseOp::ReduceScatter, 1_000_000.0).unwrap();
+        let cost = model
+            .chunk_cost(&dim, PhaseOp::ReduceScatter, 1_000_000.0)
+            .unwrap();
         assert_eq!(cost.algorithm, AlgorithmKind::Ring);
         assert_eq!(cost.steps, 3);
         assert_eq!(cost.fixed_delay_ns, 60.0);
@@ -239,7 +250,10 @@ mod tests {
         let model = CostModel::new();
         let dim = switch_dim(4, 400.0, 0.0);
         for bad in [-1.0, f64::NAN, f64::INFINITY] {
-            assert!(model.chunk_cost(&dim, PhaseOp::AllGather, bad).is_err(), "{bad}");
+            assert!(
+                model.chunk_cost(&dim, PhaseOp::AllGather, bad).is_err(),
+                "{bad}"
+            );
         }
     }
 
@@ -253,20 +267,31 @@ mod tests {
             DimensionSpec::with_aggregate_bandwidth(TopologyKind::Ring, 8, 400.0, 700.0).unwrap();
         let chunk = 1e7;
 
-        let sw_plain = plain.chunk_cost(&sw, PhaseOp::ReduceScatter, chunk).unwrap();
-        let sw_off = offloaded.chunk_cost(&sw, PhaseOp::ReduceScatter, chunk).unwrap();
+        let sw_plain = plain
+            .chunk_cost(&sw, PhaseOp::ReduceScatter, chunk)
+            .unwrap();
+        let sw_off = offloaded
+            .chunk_cost(&sw, PhaseOp::ReduceScatter, chunk)
+            .unwrap();
         assert!(sw_off.total_ns() < sw_plain.total_ns());
         assert!((sw_off.wire_bytes - sw_plain.wire_bytes * 0.5).abs() < 1e-6);
 
-        let ring_plain = plain.chunk_cost(&ring, PhaseOp::ReduceScatter, chunk).unwrap();
-        let ring_off = offloaded.chunk_cost(&ring, PhaseOp::ReduceScatter, chunk).unwrap();
+        let ring_plain = plain
+            .chunk_cost(&ring, PhaseOp::ReduceScatter, chunk)
+            .unwrap();
+        let ring_off = offloaded
+            .chunk_cost(&ring, PhaseOp::ReduceScatter, chunk)
+            .unwrap();
         assert_eq!(ring_plain, ring_off);
     }
 
     #[test]
     fn offload_config_validation() {
         for bad in [0.0, -0.5, 1.5, f64::NAN] {
-            let cfg = OffloadConfig { traffic_factor: bad, fixed_delay_factor: 0.5 };
+            let cfg = OffloadConfig {
+                traffic_factor: bad,
+                fixed_delay_factor: 0.5,
+            };
             assert!(CostModel::with_offload(cfg).is_err(), "{bad}");
         }
     }
@@ -276,7 +301,9 @@ mod tests {
         let model = CostModel::new();
         let dim = switch_dim(4, 800.0, 700.0);
         let chunk = 400_000.0;
-        let cost = model.chunk_cost(&dim, PhaseOp::ReduceScatter, chunk).unwrap();
+        let cost = model
+            .chunk_cost(&dim, PhaseOp::ReduceScatter, chunk)
+            .unwrap();
         let transfer_only = model.transfer_only_ns(&dim, PhaseOp::ReduceScatter, chunk);
         assert!((cost.transfer_ns - transfer_only).abs() < 1e-9);
         assert!(cost.total_ns() > transfer_only);
@@ -288,7 +315,9 @@ mod tests {
         let dim = switch_dim(16, 1200.0, 700.0);
         let mut last = 0.0;
         for size in [1e5, 1e6, 1e7, 1e8] {
-            let cost = model.chunk_cost(&dim, PhaseOp::ReduceScatter, size).unwrap();
+            let cost = model
+                .chunk_cost(&dim, PhaseOp::ReduceScatter, size)
+                .unwrap();
             assert!(cost.total_ns() > last);
             last = cost.total_ns();
         }

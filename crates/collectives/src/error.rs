@@ -45,12 +45,18 @@ impl fmt::Display for CollectiveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CollectiveError::TooFewParticipants { participants } => {
-                write!(f, "collective requires at least 2 participants, got {participants}")
+                write!(
+                    f,
+                    "collective requires at least 2 participants, got {participants}"
+                )
             }
             CollectiveError::NonPowerOfTwoParticipants { participants } => {
                 write!(f, "halving-doubling requires a power-of-two participant count, got {participants}")
             }
-            CollectiveError::IndivisibleData { elements, participants } => {
+            CollectiveError::IndivisibleData {
+                elements,
+                participants,
+            } => {
                 write!(f, "per-NPU data of {elements} elements is not divisible by {participants} participants")
             }
             CollectiveError::InconsistentShards { reason } => {
@@ -75,9 +81,16 @@ mod tests {
         let cases = [
             CollectiveError::TooFewParticipants { participants: 1 },
             CollectiveError::NonPowerOfTwoParticipants { participants: 6 },
-            CollectiveError::IndivisibleData { elements: 10, participants: 3 },
-            CollectiveError::InconsistentShards { reason: "length mismatch".to_string() },
-            CollectiveError::InvalidDimensionOrder { reason: "duplicate dim".to_string() },
+            CollectiveError::IndivisibleData {
+                elements: 10,
+                participants: 3,
+            },
+            CollectiveError::InconsistentShards {
+                reason: "length mismatch".to_string(),
+            },
+            CollectiveError::InvalidDimensionOrder {
+                reason: "duplicate dim".to_string(),
+            },
             CollectiveError::InvalidSize { bytes: -1.0 },
         ];
         for case in cases {

@@ -49,8 +49,9 @@ mod tests {
             .collect();
         let result = all_to_all(&data).unwrap();
         for (receiver, row) in result.iter().enumerate() {
-            let expected: Vec<f64> =
-                (0..4).map(|sender| (sender * 10 + receiver) as f64).collect();
+            let expected: Vec<f64> = (0..4)
+                .map(|sender| (sender * 10 + receiver) as f64)
+                .collect();
             assert_close(row, &expected);
         }
     }

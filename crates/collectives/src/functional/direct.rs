@@ -92,8 +92,14 @@ mod tests {
     #[test]
     fn all_gather_rejects_gaps() {
         let shards = vec![
-            Shard { start: 0, values: vec![1.0, 2.0] },
-            Shard { start: 3, values: vec![4.0] },
+            Shard {
+                start: 0,
+                values: vec![1.0, 2.0],
+            },
+            Shard {
+                start: 3,
+                values: vec![4.0],
+            },
         ];
         assert!(all_gather(&shards).is_err());
     }
@@ -101,6 +107,10 @@ mod tests {
     #[test]
     fn rejects_too_few_participants() {
         assert!(reduce_scatter(&[vec![1.0]]).is_err());
-        assert!(all_gather(&[Shard { start: 0, values: vec![1.0] }]).is_err());
+        assert!(all_gather(&[Shard {
+            start: 0,
+            values: vec![1.0]
+        }])
+        .is_err());
     }
 }

@@ -36,7 +36,10 @@ pub fn reduce_scatter(data: &[Vec<f64>]) -> Result<Vec<Shard>, CollectiveError> 
         .iter()
         .map(|&node| {
             let (lo, hi) = ranges[node];
-            Shard { start: lo, values: buffers[node][lo..hi].to_vec() }
+            Shard {
+                start: lo,
+                values: buffers[node][lo..hi].to_vec(),
+            }
         })
         .collect())
 }
@@ -174,9 +177,14 @@ mod tests {
                 assert_eq!(shard.len(), n / p);
                 let matching = reference.iter().find(|r| r.start == shard.start).unwrap();
                 assert_close(&shard.values, &matching.values);
-                for idx in shard.start..shard.end() {
-                    assert!(!covered[idx], "index {idx} covered twice");
-                    covered[idx] = true;
+                for (idx, slot) in covered
+                    .iter_mut()
+                    .enumerate()
+                    .take(shard.end())
+                    .skip(shard.start)
+                {
+                    assert!(!*slot, "index {idx} covered twice");
+                    *slot = true;
                 }
             }
             assert!(covered.into_iter().all(|c| c));
@@ -209,9 +217,18 @@ mod tests {
     #[test]
     fn all_gather_requires_power_of_two() {
         let shards = vec![
-            Shard { start: 0, values: vec![1.0] },
-            Shard { start: 1, values: vec![2.0] },
-            Shard { start: 2, values: vec![3.0] },
+            Shard {
+                start: 0,
+                values: vec![1.0],
+            },
+            Shard {
+                start: 1,
+                values: vec![2.0],
+            },
+            Shard {
+                start: 2,
+                values: vec![3.0],
+            },
         ];
         assert!(matches!(
             all_gather(&shards),

@@ -24,7 +24,10 @@ fn validate_order(topo: &NetworkTopology, order: &[usize]) -> Result<(), Collect
     let num_dims = topo.num_dims();
     if order.len() != num_dims {
         return Err(CollectiveError::InvalidDimensionOrder {
-            reason: format!("order has {} entries, topology has {num_dims} dimensions", order.len()),
+            reason: format!(
+                "order has {} entries, topology has {num_dims} dimensions",
+                order.len()
+            ),
         });
     }
     let mut seen = vec![false; num_dims];
@@ -55,12 +58,18 @@ fn validate_data(topo: &NetworkTopology, data: &[Vec<f64>]) -> Result<usize, Col
     for (i, row) in data.iter().enumerate() {
         if row.len() != elements {
             return Err(CollectiveError::InconsistentShards {
-                reason: format!("NPU 0 holds {elements} elements but NPU {i} holds {}", row.len()),
+                reason: format!(
+                    "NPU 0 holds {elements} elements but NPU {i} holds {}",
+                    row.len()
+                ),
             });
         }
     }
     if elements == 0 || !elements.is_multiple_of(num_npus) {
-        return Err(CollectiveError::IndivisibleData { elements, participants: num_npus });
+        return Err(CollectiveError::IndivisibleData {
+            elements,
+            participants: num_npus,
+        });
     }
     Ok(elements)
 }
@@ -111,7 +120,10 @@ fn reduce_scatter_stage(
             }
         }
         if !keys.len().is_multiple_of(p) {
-            return Err(CollectiveError::IndivisibleData { elements: keys.len(), participants: p });
+            return Err(CollectiveError::IndivisibleData {
+                elements: keys.len(),
+                participants: p,
+            });
         }
         let slice_len = keys.len() / p;
         // Sum each key across the group once.

@@ -68,7 +68,10 @@ pub(crate) fn validate_equal_inputs(data: &[Vec<f64>]) -> Result<(usize, usize),
         }
     }
     if elements == 0 || !elements.is_multiple_of(participants) {
-        return Err(CollectiveError::IndivisibleData { elements, participants });
+        return Err(CollectiveError::IndivisibleData {
+            elements,
+            participants,
+        });
     }
     Ok((participants, elements))
 }
@@ -135,7 +138,9 @@ pub fn reference_all_gather(shards: &[Shard]) -> Result<Vec<Vec<f64>>, Collectiv
 /// contiguous `[0, total)` range.
 pub(crate) fn validate_disjoint_cover(shards: &[Shard]) -> Result<usize, CollectiveError> {
     if shards.len() < 2 {
-        return Err(CollectiveError::TooFewParticipants { participants: shards.len() });
+        return Err(CollectiveError::TooFewParticipants {
+            participants: shards.len(),
+        });
     }
     let mut ordered: Vec<&Shard> = shards.iter().collect();
     ordered.sort_by_key(|s| s.start);
@@ -201,7 +206,12 @@ mod tests {
 
     #[test]
     fn reference_all_reduce_matches_manual_sum() {
-        let data = vec![vec![1.0, -1.0], vec![2.0, 5.0], vec![3.0, 0.0], vec![4.0, 1.0]];
+        let data = vec![
+            vec![1.0, -1.0],
+            vec![2.0, 5.0],
+            vec![3.0, 0.0],
+            vec![4.0, 1.0],
+        ];
         let result = reference_all_reduce(&data).unwrap();
         assert_eq!(result.len(), 4);
         for row in result {
@@ -212,8 +222,14 @@ mod tests {
     #[test]
     fn reference_all_gather_concatenates_in_order() {
         let shards = vec![
-            Shard { start: 2, values: vec![3.0, 4.0] },
-            Shard { start: 0, values: vec![1.0, 2.0] },
+            Shard {
+                start: 2,
+                values: vec![3.0, 4.0],
+            },
+            Shard {
+                start: 0,
+                values: vec![1.0, 2.0],
+            },
         ];
         let gathered = reference_all_gather(&shards).unwrap();
         for row in gathered {
@@ -241,33 +257,60 @@ mod tests {
     #[test]
     fn disjoint_cover_validation() {
         let good = vec![
-            Shard { start: 0, values: vec![1.0] },
-            Shard { start: 1, values: vec![2.0] },
+            Shard {
+                start: 0,
+                values: vec![1.0],
+            },
+            Shard {
+                start: 1,
+                values: vec![2.0],
+            },
         ];
         assert_eq!(validate_disjoint_cover(&good).unwrap(), 2);
 
         let overlapping = vec![
-            Shard { start: 0, values: vec![1.0, 2.0] },
-            Shard { start: 1, values: vec![2.0] },
+            Shard {
+                start: 0,
+                values: vec![1.0, 2.0],
+            },
+            Shard {
+                start: 1,
+                values: vec![2.0],
+            },
         ];
         assert!(validate_disjoint_cover(&overlapping).is_err());
 
         let gap = vec![
-            Shard { start: 0, values: vec![1.0] },
-            Shard { start: 2, values: vec![2.0] },
+            Shard {
+                start: 0,
+                values: vec![1.0],
+            },
+            Shard {
+                start: 2,
+                values: vec![2.0],
+            },
         ];
         assert!(validate_disjoint_cover(&gap).is_err());
 
         let empty = vec![
-            Shard { start: 0, values: vec![] },
-            Shard { start: 0, values: vec![1.0] },
+            Shard {
+                start: 0,
+                values: vec![],
+            },
+            Shard {
+                start: 0,
+                values: vec![1.0],
+            },
         ];
         assert!(validate_disjoint_cover(&empty).is_err());
     }
 
     #[test]
     fn shard_accessors() {
-        let shard = Shard { start: 4, values: vec![1.0, 2.0, 3.0] };
+        let shard = Shard {
+            start: 4,
+            values: vec![1.0, 2.0, 3.0],
+        };
         assert_eq!(shard.end(), 7);
         assert_eq!(shard.len(), 3);
         assert!(!shard.is_empty());

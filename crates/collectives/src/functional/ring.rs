@@ -36,8 +36,7 @@ pub fn reduce_scatter(data: &[Vec<f64>]) -> Result<Vec<Shard>, CollectiveError> 
         // them, so the exchange is synchronous.
         let mut messages: Vec<(usize, usize, Vec<f64>)> = Vec::with_capacity(participants);
         for node in 0..participants {
-            let send_segment =
-                (node + participants - (step % participants)) % participants;
+            let send_segment = (node + participants - (step % participants)) % participants;
             let destination = (node + 1) % participants;
             messages.push((destination, send_segment, acc[node][send_segment].clone()));
         }
@@ -51,7 +50,10 @@ pub fn reduce_scatter(data: &[Vec<f64>]) -> Result<Vec<Shard>, CollectiveError> 
     Ok((0..participants)
         .map(|node| {
             let owned = (node + 1) % participants;
-            Shard { start: owned * seg, values: acc[node][owned].clone() }
+            Shard {
+                start: owned * seg,
+                values: acc[node][owned].clone(),
+            }
         })
         .collect())
 }

@@ -148,9 +148,18 @@ mod tests {
         // Fig. 5: a 64 MB chunk entering a Reduce-Scatter on a size-4 dimension
         // leaves as a 16 MB chunk, and vice versa for All-Gather.
         let mb = 1024.0 * 1024.0;
-        assert_eq!(PhaseOp::ReduceScatter.resident_size_after(64.0 * mb, 4), 16.0 * mb);
-        assert_eq!(PhaseOp::AllGather.resident_size_after(16.0 * mb, 4), 64.0 * mb);
-        assert_eq!(PhaseOp::AllToAll.resident_size_after(64.0 * mb, 4), 64.0 * mb);
+        assert_eq!(
+            PhaseOp::ReduceScatter.resident_size_after(64.0 * mb, 4),
+            16.0 * mb
+        );
+        assert_eq!(
+            PhaseOp::AllGather.resident_size_after(16.0 * mb, 4),
+            64.0 * mb
+        );
+        assert_eq!(
+            PhaseOp::AllToAll.resident_size_after(64.0 * mb, 4),
+            64.0 * mb
+        );
     }
 
     #[test]

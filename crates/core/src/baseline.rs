@@ -36,8 +36,7 @@ pub fn baseline_stages(kind: CollectiveKind, num_dims: usize) -> Vec<StageOp> {
 
 /// The baseline collective scheduler of Table 3 (fixed schedule, FIFO
 /// intra-dimension execution).
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BaselineScheduler {
     splitter: Splitter,
 }
@@ -61,7 +60,9 @@ impl BaselineScheduler {
     ///
     /// Returns [`ScheduleError::ZeroChunks`] if `chunks_per_collective` is zero.
     pub fn try_new(chunks_per_collective: usize) -> Result<Self, ScheduleError> {
-        Ok(BaselineScheduler { splitter: Splitter::new(chunks_per_collective)? })
+        Ok(BaselineScheduler {
+            splitter: Splitter::new(chunks_per_collective)?,
+        })
     }
 
     /// Number of chunks each collective is split into.
@@ -69,7 +70,6 @@ impl BaselineScheduler {
         self.splitter.chunks_per_collective()
     }
 }
-
 
 impl CollectiveScheduler for BaselineScheduler {
     fn name(&self) -> String {
@@ -98,7 +98,12 @@ impl CollectiveScheduler for BaselineScheduler {
                 stages: stages.clone(),
             })
             .collect();
-        Ok(CollectiveSchedule::new(*request, self.name(), self.intra_dim_policy(), chunks))
+        Ok(CollectiveSchedule::new(
+            *request,
+            self.name(),
+            self.intra_dim_policy(),
+            chunks,
+        ))
     }
 }
 

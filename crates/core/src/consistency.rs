@@ -129,12 +129,18 @@ pub fn enforced_intra_dim_order(
             if active[dim].is_some() || ready[dim].is_empty() {
                 continue;
             }
-            let keys: Vec<(u64, f64)> =
-                ready[dim].iter().map(|op| (op.arrival, op.transfer_ns)).collect();
+            let keys: Vec<(u64, f64)> = ready[dim]
+                .iter()
+                .map(|op| (op.arrival, op.transfer_ns))
+                .collect();
             let picked = policy.pick(&keys).expect("ready queue is non-empty");
             let op = ready[dim].remove(picked);
             let resuming_after_idle = now > last_busy_end[dim] + 1e-6;
-            let runtime = if resuming_after_idle { op.full_runtime_ns } else { op.transfer_ns };
+            let runtime = if resuming_after_idle {
+                op.full_runtime_ns
+            } else {
+                op.transfer_ns
+            };
             active[dim] = Some(ActiveOp {
                 finish_ns: now + runtime,
                 chunk: op.chunk,
@@ -148,7 +154,11 @@ pub fn enforced_intra_dim_order(
             .iter()
             .enumerate()
             .filter_map(|(dim, op)| op.map(|o| (o.finish_ns, dim)))
-            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+            .min_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.1.cmp(&b.1))
+            });
         let Some((finish_ns, _)) = next_finish else {
             break; // Nothing active: all done (ready queues are drained eagerly).
         };
@@ -222,7 +232,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for dim in 0..order.num_dims() {
             for &(chunk, stage) in order.for_dim(dim) {
-                assert!(seen.insert((chunk, stage)), "duplicate op ({chunk}, {stage})");
+                assert!(
+                    seen.insert((chunk, stage)),
+                    "duplicate op ({chunk}, {stage})"
+                );
                 // The op's dimension matches where the schedule placed it.
                 assert_eq!(schedule.chunks()[chunk].stages[stage].dim, dim);
             }
@@ -245,7 +258,10 @@ mod tests {
             let mut last_stage_per_chunk = std::collections::HashMap::new();
             for &(chunk, stage) in order.for_dim(dim) {
                 if let Some(&prev) = last_stage_per_chunk.get(&chunk) {
-                    assert!(stage > prev, "chunk {chunk} regressed from stage {prev} to {stage}");
+                    assert!(
+                        stage > prev,
+                        "chunk {chunk} regressed from stage {prev} to {stage}"
+                    );
                 }
                 last_stage_per_chunk.insert(chunk, stage);
             }
@@ -271,8 +287,11 @@ mod tests {
         // With identical chunk schedules, dim 0 executes the RS stages of the
         // chunks in chunk order first.
         let dim0 = order.for_dim(0);
-        let rs_ops: Vec<(usize, usize)> =
-            dim0.iter().copied().filter(|&(_, stage)| stage == 0).collect();
+        let rs_ops: Vec<(usize, usize)> = dim0
+            .iter()
+            .copied()
+            .filter(|&(_, stage)| stage == 0)
+            .collect();
         assert_eq!(rs_ops, vec![(0, 0), (1, 0), (2, 0), (3, 0)]);
     }
 

@@ -71,7 +71,9 @@ mod tests {
         let cases: Vec<ScheduleError> = vec![
             ScheduleError::EmptyCollective,
             ScheduleError::ZeroChunks,
-            ScheduleError::InvalidConfig { reason: "bad threshold".to_string() },
+            ScheduleError::InvalidConfig {
+                reason: "bad threshold".to_string(),
+            },
             ScheduleError::Net(NetError::EmptyTopology),
             ScheduleError::Collective(CollectiveError::TooFewParticipants { participants: 1 }),
         ];

@@ -67,7 +67,9 @@ mod tests {
         let time = ideal.communication_time_ns(&request, &topo).unwrap();
         let expected = DataSize::from_gib(1.0).as_bytes_f64() / 300.0;
         assert!((time - expected).abs() < 1e-6);
-        assert!((ideal.communication_time_us(&request, &topo).unwrap() - expected / 1e3).abs() < 1e-6);
+        assert!(
+            (ideal.communication_time_us(&request, &topo).unwrap() - expected / 1e3).abs() < 1e-6
+        );
     }
 
     #[test]
@@ -88,6 +90,8 @@ mod tests {
     fn zero_size_is_rejected() {
         let topo = PresetTopology::Sw2d.build();
         let request = CollectiveRequest::new(CollectiveKind::AllReduce, DataSize::ZERO);
-        assert!(IdealEstimator::new().communication_time_ns(&request, &topo).is_err());
+        assert!(IdealEstimator::new()
+            .communication_time_ns(&request, &topo)
+            .is_err());
     }
 }

@@ -29,7 +29,10 @@ pub struct LatencyModel<'a> {
 impl<'a> LatencyModel<'a> {
     /// Creates a latency model for `topo` without in-network offload.
     pub fn new(topo: &'a NetworkTopology) -> Self {
-        LatencyModel { topo, cost: CostModel::new() }
+        LatencyModel {
+            topo,
+            cost: CostModel::new(),
+        }
     }
 
     /// Creates a latency model with a custom cost model (e.g. with in-network
@@ -169,7 +172,9 @@ mod tests {
             .unwrap();
         let model = LatencyModel::new(&topo);
         let load = model.chunk_load_ns(0, PhaseOp::ReduceScatter, 1e6).unwrap();
-        let runtime = model.chunk_runtime_ns(0, PhaseOp::ReduceScatter, 1e6).unwrap();
+        let runtime = model
+            .chunk_runtime_ns(0, PhaseOp::ReduceScatter, 1e6)
+            .unwrap();
         let fixed = model.fixed_delay_ns(0, PhaseOp::ReduceScatter).unwrap();
         assert!((runtime - load - fixed).abs() < 1e-9);
         assert_eq!(fixed, 3.0 * 700.0);
@@ -182,8 +187,12 @@ mod tests {
         let topo = topo_4x4_2to1();
         let model = LatencyModel::new(&topo);
         let mb = 1024.0 * 1024.0;
-        let stages =
-            vec![StageOp::rs(0), StageOp::rs(1), StageOp::ag(1), StageOp::ag(0)];
+        let stages = vec![
+            StageOp::rs(0),
+            StageOp::rs(1),
+            StageOp::ag(1),
+            StageOp::ag(0),
+        ];
         let loads = model.loads_for_stages(64.0 * mb, &stages).unwrap();
         assert!((loads[0] / loads[1] - 2.0).abs() < 1e-9);
     }
@@ -193,8 +202,12 @@ mod tests {
         let topo = topo_4x4_2to1();
         let model = LatencyModel::new(&topo);
         let mb = 1024.0 * 1024.0;
-        let reversed =
-            vec![StageOp::rs(1), StageOp::rs(0), StageOp::ag(0), StageOp::ag(1)];
+        let reversed = vec![
+            StageOp::rs(1),
+            StageOp::rs(0),
+            StageOp::ag(0),
+            StageOp::ag(1),
+        ];
         let loads = model.loads_for_stages(64.0 * mb, &reversed).unwrap();
         // Now dim2 sees the 64 MB leg at half the bandwidth while dim1 only
         // sees the shrunken 16 MB leg: dim2's load is 8× dim1's.
@@ -206,7 +219,12 @@ mod tests {
     fn runtimes_are_at_least_loads() {
         let topo = topo_4x4_2to1();
         let model = LatencyModel::new(&topo);
-        let stages = vec![StageOp::rs(0), StageOp::rs(1), StageOp::ag(1), StageOp::ag(0)];
+        let stages = vec![
+            StageOp::rs(0),
+            StageOp::rs(1),
+            StageOp::ag(1),
+            StageOp::ag(0),
+        ];
         let loads = model.loads_for_stages(1e8, &stages).unwrap();
         let runtimes = model.runtimes_for_stages(1e8, &stages).unwrap();
         for (load, runtime) in loads.iter().zip(runtimes.iter()) {

@@ -17,7 +17,9 @@ pub struct DimLoadTracker {
 impl DimLoadTracker {
     /// Creates a tracker for `num_dims` dimensions with all loads at zero.
     pub fn new(num_dims: usize) -> Self {
-        DimLoadTracker { loads: vec![0.0; num_dims] }
+        DimLoadTracker {
+            loads: vec![0.0; num_dims],
+        }
     }
 
     /// Resets the tracker to the given initial per-dimension loads (the
@@ -87,7 +89,9 @@ impl DimLoadTracker {
             .iter()
             .enumerate()
             .min_by(|(ia, a), (ib, b)| {
-                a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal).then(ia.cmp(ib))
+                a.partial_cmp(b)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(ia.cmp(ib))
             })
             .map(|(i, _)| i)
     }

@@ -149,7 +149,10 @@ impl ChunkSchedule {
             for stage in self.stages.iter().filter(|s| s.op == *phase) {
                 if stage.dim >= num_dims {
                     return Err(ScheduleError::InvalidConfig {
-                        reason: format!("chunk {} references dimension {}", self.chunk_index, stage.dim),
+                        reason: format!(
+                            "chunk {} references dimension {}",
+                            self.chunk_index, stage.dim
+                        ),
                     });
                 }
                 if seen[stage.dim] {
@@ -303,7 +306,12 @@ mod tests {
         ChunkSchedule {
             chunk_index: index,
             initial_bytes: bytes,
-            stages: vec![StageOp::rs(0), StageOp::rs(1), StageOp::ag(1), StageOp::ag(0)],
+            stages: vec![
+                StageOp::rs(0),
+                StageOp::rs(1),
+                StageOp::ag(1),
+                StageOp::ag(0),
+            ],
         }
     }
 
@@ -334,7 +342,12 @@ mod tests {
         let chunk = ChunkSchedule {
             chunk_index: 0,
             initial_bytes: 1.0,
-            stages: vec![StageOp::rs(1), StageOp::rs(0), StageOp::ag(0), StageOp::ag(1)],
+            stages: vec![
+                StageOp::rs(1),
+                StageOp::rs(0),
+                StageOp::ag(0),
+                StageOp::ag(1),
+            ],
         };
         assert_eq!(chunk.reduce_scatter_order(), vec![1, 0]);
         assert_eq!(chunk.all_gather_order(), vec![0, 1]);
@@ -345,13 +358,37 @@ mod tests {
         // Sec. 4.1 lists the 4 valid All-Reduce schedules on a 2D topology.
         let topo = topo_4x4();
         let orders = [
-            vec![StageOp::rs(0), StageOp::rs(1), StageOp::ag(1), StageOp::ag(0)],
-            vec![StageOp::rs(1), StageOp::rs(0), StageOp::ag(1), StageOp::ag(0)],
-            vec![StageOp::rs(0), StageOp::rs(1), StageOp::ag(0), StageOp::ag(1)],
-            vec![StageOp::rs(1), StageOp::rs(0), StageOp::ag(0), StageOp::ag(1)],
+            vec![
+                StageOp::rs(0),
+                StageOp::rs(1),
+                StageOp::ag(1),
+                StageOp::ag(0),
+            ],
+            vec![
+                StageOp::rs(1),
+                StageOp::rs(0),
+                StageOp::ag(1),
+                StageOp::ag(0),
+            ],
+            vec![
+                StageOp::rs(0),
+                StageOp::rs(1),
+                StageOp::ag(0),
+                StageOp::ag(1),
+            ],
+            vec![
+                StageOp::rs(1),
+                StageOp::rs(0),
+                StageOp::ag(0),
+                StageOp::ag(1),
+            ],
         ];
         for stages in orders {
-            let chunk = ChunkSchedule { chunk_index: 0, initial_bytes: 1024.0, stages };
+            let chunk = ChunkSchedule {
+                chunk_index: 0,
+                initial_bytes: 1024.0,
+                stages,
+            };
             chunk.validate(&topo, CollectiveKind::AllReduce).unwrap();
         }
     }
@@ -370,31 +407,51 @@ mod tests {
         let duplicate = ChunkSchedule {
             chunk_index: 0,
             initial_bytes: 1.0,
-            stages: vec![StageOp::rs(0), StageOp::rs(0), StageOp::ag(1), StageOp::ag(0)],
+            stages: vec![
+                StageOp::rs(0),
+                StageOp::rs(0),
+                StageOp::ag(1),
+                StageOp::ag(0),
+            ],
         };
-        assert!(duplicate.validate(&topo, CollectiveKind::AllReduce).is_err());
+        assert!(duplicate
+            .validate(&topo, CollectiveKind::AllReduce)
+            .is_err());
         // AG before RS finishes.
         let interleaved = ChunkSchedule {
             chunk_index: 0,
             initial_bytes: 1.0,
-            stages: vec![StageOp::rs(0), StageOp::ag(1), StageOp::rs(1), StageOp::ag(0)],
+            stages: vec![
+                StageOp::rs(0),
+                StageOp::ag(1),
+                StageOp::rs(1),
+                StageOp::ag(0),
+            ],
         };
-        assert!(interleaved.validate(&topo, CollectiveKind::AllReduce).is_err());
+        assert!(interleaved
+            .validate(&topo, CollectiveKind::AllReduce)
+            .is_err());
         // Out-of-range dimension.
         let out_of_range = ChunkSchedule {
             chunk_index: 0,
             initial_bytes: 1.0,
-            stages: vec![StageOp::rs(0), StageOp::rs(2), StageOp::ag(2), StageOp::ag(0)],
+            stages: vec![
+                StageOp::rs(0),
+                StageOp::rs(2),
+                StageOp::ag(2),
+                StageOp::ag(0),
+            ],
         };
-        assert!(out_of_range.validate(&topo, CollectiveKind::AllReduce).is_err());
+        assert!(out_of_range
+            .validate(&topo, CollectiveKind::AllReduce)
+            .is_err());
     }
 
     #[test]
     fn collective_schedule_totals_and_validation() {
         let topo = topo_4x4();
         let mb = 1024.0 * 1024.0;
-        let chunks: Vec<ChunkSchedule> =
-            (0..4).map(|i| baseline_chunk(i, 64.0 * mb)).collect();
+        let chunks: Vec<ChunkSchedule> = (0..4).map(|i| baseline_chunk(i, 64.0 * mb)).collect();
         let schedule = CollectiveSchedule::new(
             CollectiveRequest::all_reduce_mib(256.0),
             "baseline",

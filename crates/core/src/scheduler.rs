@@ -51,7 +51,11 @@ pub enum SchedulerKind {
 impl SchedulerKind {
     /// All evaluated scheduler kinds, in the paper's order.
     pub fn all() -> [SchedulerKind; 3] {
-        [SchedulerKind::Baseline, SchedulerKind::ThemisFifo, SchedulerKind::ThemisScf]
+        [
+            SchedulerKind::Baseline,
+            SchedulerKind::ThemisFifo,
+            SchedulerKind::ThemisScf,
+        ]
     }
 
     /// The display name used in the paper's figures.

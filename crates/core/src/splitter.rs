@@ -25,7 +25,9 @@ impl Splitter {
         if chunks_per_collective == 0 {
             return Err(ScheduleError::ZeroChunks);
         }
-        Ok(Splitter { chunks_per_collective })
+        Ok(Splitter {
+            chunks_per_collective,
+        })
     }
 
     /// Number of chunks produced per collective.
@@ -54,7 +56,9 @@ impl Splitter {
 
 impl Default for Splitter {
     fn default() -> Self {
-        Splitter { chunks_per_collective: Self::DEFAULT_CHUNKS_PER_COLLECTIVE }
+        Splitter {
+            chunks_per_collective: Self::DEFAULT_CHUNKS_PER_COLLECTIVE,
+        }
     }
 }
 

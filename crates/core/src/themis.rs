@@ -54,7 +54,10 @@ impl ThemisConfig {
         }
         if !self.threshold_divisor.is_finite() || self.threshold_divisor <= 0.0 {
             return Err(ScheduleError::InvalidConfig {
-                reason: format!("threshold divisor must be positive, got {}", self.threshold_divisor),
+                reason: format!(
+                    "threshold divisor must be positive, got {}",
+                    self.threshold_divisor
+                ),
             });
         }
         Ok(())
@@ -78,7 +81,10 @@ impl ThemisScheduler {
     /// Panics if `chunks_per_collective` is zero; use
     /// [`ThemisScheduler::with_config`] for a fallible constructor.
     pub fn new(chunks_per_collective: usize) -> Self {
-        let config = ThemisConfig { chunks_per_collective, ..ThemisConfig::default() };
+        let config = ThemisConfig {
+            chunks_per_collective,
+            ..ThemisConfig::default()
+        };
         Self::with_config(config).expect("chunks_per_collective must be non-zero")
     }
 
@@ -90,7 +96,10 @@ impl ThemisScheduler {
     /// non-positive threshold divisor).
     pub fn with_config(config: ThemisConfig) -> Result<Self, ScheduleError> {
         config.validate()?;
-        Ok(ThemisScheduler { config, cost: CostModel::new() })
+        Ok(ThemisScheduler {
+            config,
+            cost: CostModel::new(),
+        })
     }
 
     /// Replaces the intra-dimension policy (builder style).
@@ -163,8 +172,7 @@ impl ThemisScheduler {
                 PhaseOp::AllGather => tracker.dims_by_descending_load(),
             }
         };
-        let stages: Vec<StageOp> =
-            order.iter().map(|&dim| StageOp::new(dim, phase)).collect();
+        let stages: Vec<StageOp> = order.iter().map(|&dim| StageOp::new(dim, phase)).collect();
         let new_load = model.loads_for_stages(chunk_bytes, &stages)?;
         tracker.add(&new_load)?;
         Ok(order)
@@ -181,13 +189,8 @@ impl ThemisScheduler {
     ) -> Result<Vec<StageOp>, ScheduleError> {
         match kind {
             CollectiveKind::AllReduce => {
-                let rs_order = self.schedule_phase(
-                    PhaseOp::ReduceScatter,
-                    chunk_bytes,
-                    topo,
-                    model,
-                    tracker,
-                )?;
+                let rs_order =
+                    self.schedule_phase(PhaseOp::ReduceScatter, chunk_bytes, topo, model, tracker)?;
                 // Line 8: the All-Gather order is the reverse of the chunk's
                 // Reduce-Scatter order.
                 let mut stages: Vec<StageOp> =
@@ -196,13 +199,8 @@ impl ThemisScheduler {
                 Ok(stages)
             }
             CollectiveKind::ReduceScatter => {
-                let order = self.schedule_phase(
-                    PhaseOp::ReduceScatter,
-                    chunk_bytes,
-                    topo,
-                    model,
-                    tracker,
-                )?;
+                let order =
+                    self.schedule_phase(PhaseOp::ReduceScatter, chunk_bytes, topo, model, tracker)?;
                 Ok(order.iter().map(|&dim| StageOp::rs(dim)).collect())
             }
             CollectiveKind::AllGather => {
@@ -226,7 +224,10 @@ impl ThemisScheduler {
 
 impl Default for ThemisScheduler {
     fn default() -> Self {
-        ThemisScheduler { config: ThemisConfig::default(), cost: CostModel::new() }
+        ThemisScheduler {
+            config: ThemisConfig::default(),
+            cost: CostModel::new(),
+        }
     }
 }
 
@@ -254,9 +255,18 @@ impl CollectiveScheduler for ThemisScheduler {
         for (chunk_index, initial_bytes) in chunk_sizes.into_iter().enumerate() {
             let stages =
                 self.schedule_chunk(request.kind(), initial_bytes, topo, &model, &mut tracker)?;
-            chunks.push(ChunkSchedule { chunk_index, initial_bytes, stages });
+            chunks.push(ChunkSchedule {
+                chunk_index,
+                initial_bytes,
+                stages,
+            });
         }
-        Ok(CollectiveSchedule::new(*request, self.name(), self.intra_dim_policy(), chunks))
+        Ok(CollectiveSchedule::new(
+            *request,
+            self.name(),
+            self.intra_dim_policy(),
+            chunks,
+        ))
     }
 }
 
@@ -296,7 +306,10 @@ mod tests {
             .iter()
             .map(ChunkSchedule::reduce_scatter_order)
             .collect();
-        assert_eq!(rs_orders, vec![vec![0, 1], vec![1, 0], vec![0, 1], vec![0, 1]]);
+        assert_eq!(
+            rs_orders,
+            vec![vec![0, 1], vec![1, 0], vec![0, 1], vec![0, 1]]
+        );
         // The All-Gather order of every chunk is the reverse of its RS order.
         for chunk in schedule.chunks() {
             let rs = chunk.reduce_scatter_order();
@@ -320,7 +333,9 @@ mod tests {
         let per_dim_time = |schedule: &CollectiveSchedule| -> Vec<f64> {
             let mut totals = vec![0.0; topo.num_dims()];
             for chunk in schedule.chunks() {
-                let loads = model.loads_for_stages(chunk.initial_bytes, &chunk.stages).unwrap();
+                let loads = model
+                    .loads_for_stages(chunk.initial_bytes, &chunk.stages)
+                    .unwrap();
                 for (t, l) in totals.iter_mut().zip(loads) {
                     *t += l;
                 }
@@ -397,7 +412,10 @@ mod tests {
         let default = ThemisScheduler::default();
         assert_eq!(default.config().chunks_per_collective, 64);
         assert_eq!(default.config().threshold_divisor, 16.0);
-        assert_eq!(default.intra_dim_policy(), IntraDimPolicy::SmallestChunkFirst);
+        assert_eq!(
+            default.intra_dim_policy(),
+            IntraDimPolicy::SmallestChunkFirst
+        );
         assert_eq!(default.name(), "Themis+SCF");
         assert_eq!(
             ThemisScheduler::new(4)

@@ -81,7 +81,9 @@ impl fmt::Display for Bandwidth {
 impl Add for Bandwidth {
     type Output = Bandwidth;
     fn add(self, rhs: Bandwidth) -> Bandwidth {
-        Bandwidth { gbps: self.gbps + rhs.gbps }
+        Bandwidth {
+            gbps: self.gbps + rhs.gbps,
+        }
     }
 }
 
@@ -94,21 +96,27 @@ impl AddAssign for Bandwidth {
 impl Sub for Bandwidth {
     type Output = Bandwidth;
     fn sub(self, rhs: Bandwidth) -> Bandwidth {
-        Bandwidth { gbps: self.gbps - rhs.gbps }
+        Bandwidth {
+            gbps: self.gbps - rhs.gbps,
+        }
     }
 }
 
 impl Mul<f64> for Bandwidth {
     type Output = Bandwidth;
     fn mul(self, rhs: f64) -> Bandwidth {
-        Bandwidth { gbps: self.gbps * rhs }
+        Bandwidth {
+            gbps: self.gbps * rhs,
+        }
     }
 }
 
 impl Div<f64> for Bandwidth {
     type Output = Bandwidth;
     fn div(self, rhs: f64) -> Bandwidth {
-        Bandwidth { gbps: self.gbps / rhs }
+        Bandwidth {
+            gbps: self.gbps / rhs,
+        }
     }
 }
 
@@ -142,17 +150,23 @@ impl DataSize {
 
     /// Creates a data size from kibibytes.
     pub fn from_kib(kib: f64) -> Self {
-        DataSize { bytes: (kib * 1024.0).round() as u64 }
+        DataSize {
+            bytes: (kib * 1024.0).round() as u64,
+        }
     }
 
     /// Creates a data size from mebibytes.
     pub fn from_mib(mib: f64) -> Self {
-        DataSize { bytes: (mib * 1024.0 * 1024.0).round() as u64 }
+        DataSize {
+            bytes: (mib * 1024.0 * 1024.0).round() as u64,
+        }
     }
 
     /// Creates a data size from gibibytes.
     pub fn from_gib(gib: f64) -> Self {
-        DataSize { bytes: (gib * 1024.0 * 1024.0 * 1024.0).round() as u64 }
+        DataSize {
+            bytes: (gib * 1024.0 * 1024.0 * 1024.0).round() as u64,
+        }
     }
 
     /// Returns the size in bytes.
@@ -182,12 +196,16 @@ impl DataSize {
 
     /// Saturating addition of two sizes.
     pub fn saturating_add(self, other: DataSize) -> DataSize {
-        DataSize { bytes: self.bytes.saturating_add(other.bytes) }
+        DataSize {
+            bytes: self.bytes.saturating_add(other.bytes),
+        }
     }
 
     /// Scales the size by a floating-point factor, rounding to the nearest byte.
     pub fn scaled(self, factor: f64) -> DataSize {
-        DataSize { bytes: (self.bytes as f64 * factor).round().max(0.0) as u64 }
+        DataSize {
+            bytes: (self.bytes as f64 * factor).round().max(0.0) as u64,
+        }
     }
 
     /// Splits the size into `parts` (nearly) equal chunks.
@@ -226,7 +244,9 @@ impl fmt::Display for DataSize {
 impl Add for DataSize {
     type Output = DataSize;
     fn add(self, rhs: DataSize) -> DataSize {
-        DataSize { bytes: self.bytes + rhs.bytes }
+        DataSize {
+            bytes: self.bytes + rhs.bytes,
+        }
     }
 }
 

@@ -43,7 +43,11 @@ impl TopologyKind {
 
     /// All topology kinds, in declaration order.
     pub fn all() -> [TopologyKind; 3] {
-        [TopologyKind::Ring, TopologyKind::FullyConnected, TopologyKind::Switch]
+        [
+            TopologyKind::Ring,
+            TopologyKind::FullyConnected,
+            TopologyKind::Switch,
+        ]
     }
 }
 
@@ -96,15 +100,27 @@ impl DimensionSpec {
         }
         let link_bandwidth = Bandwidth::from_gbps(link_bandwidth_gbps);
         if !link_bandwidth.is_valid() {
-            return Err(NetError::InvalidBandwidth { dim: None, gbps: link_bandwidth_gbps });
+            return Err(NetError::InvalidBandwidth {
+                dim: None,
+                gbps: link_bandwidth_gbps,
+            });
         }
         if links_per_npu == 0 {
             return Err(NetError::InvalidLinkCount { dim: None });
         }
         if !step_latency_ns.is_finite() || step_latency_ns < 0.0 {
-            return Err(NetError::InvalidLatency { dim: None, nanos: step_latency_ns });
+            return Err(NetError::InvalidLatency {
+                dim: None,
+                nanos: step_latency_ns,
+            });
         }
-        Ok(DimensionSpec { kind, size, link_bandwidth, links_per_npu, step_latency_ns })
+        Ok(DimensionSpec {
+            kind,
+            size,
+            link_bandwidth,
+            links_per_npu,
+            step_latency_ns,
+        })
     }
 
     /// Convenience constructor taking the aggregate per-NPU bandwidth directly
@@ -166,7 +182,10 @@ impl DimensionSpec {
     /// (used by the topology builder to attach indices to errors).
     pub(crate) fn validate_at(&self, dim: usize) -> Result<(), NetError> {
         if self.size < 2 {
-            return Err(NetError::DimensionTooSmall { dim, size: self.size });
+            return Err(NetError::DimensionTooSmall {
+                dim,
+                size: self.size,
+            });
         }
         if !self.link_bandwidth.is_valid() {
             return Err(NetError::InvalidBandwidth {
@@ -178,7 +197,10 @@ impl DimensionSpec {
             return Err(NetError::InvalidLinkCount { dim: Some(dim) });
         }
         if !self.step_latency_ns.is_finite() || self.step_latency_ns < 0.0 {
-            return Err(NetError::InvalidLatency { dim: Some(dim), nanos: self.step_latency_ns });
+            return Err(NetError::InvalidLatency {
+                dim: Some(dim),
+                nanos: self.step_latency_ns,
+            });
         }
         Ok(())
     }
@@ -189,11 +211,7 @@ impl fmt::Display for DimensionSpec {
         write!(
             f,
             "{}(P={}, {} x{} links, {} ns)",
-            self.kind,
-            self.size,
-            self.link_bandwidth,
-            self.links_per_npu,
-            self.step_latency_ns
+            self.kind, self.size, self.link_bandwidth, self.links_per_npu, self.step_latency_ns
         )
     }
 }

@@ -72,7 +72,10 @@ impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::DimensionTooSmall { dim, size } => {
-                write!(f, "dimension {dim} has size {size}, but at least 2 NPUs are required")
+                write!(
+                    f,
+                    "dimension {dim} has size {size}, but at least 2 NPUs are required"
+                )
             }
             NetError::InvalidBandwidth { dim, gbps } => match dim {
                 Some(d) => write!(f, "dimension {d} has invalid bandwidth {gbps} Gbps"),
@@ -88,13 +91,22 @@ impl fmt::Display for NetError {
             },
             NetError::EmptyTopology => write!(f, "a topology requires at least one dimension"),
             NetError::DimensionOutOfRange { dim, num_dims } => {
-                write!(f, "dimension index {dim} out of range for topology with {num_dims} dimensions")
+                write!(
+                    f,
+                    "dimension index {dim} out of range for topology with {num_dims} dimensions"
+                )
             }
             NetError::NpuOutOfRange { npu, num_npus } => {
-                write!(f, "NPU id {npu} out of range for topology with {num_npus} NPUs")
+                write!(
+                    f,
+                    "NPU id {npu} out of range for topology with {num_npus} NPUs"
+                )
             }
             NetError::NonPowerOfTwoSwitch { dim, size } => {
-                write!(f, "switch dimension {dim} has size {size}, which is not a power of two")
+                write!(
+                    f,
+                    "switch dimension {dim} has size {size}, which is not a power of two"
+                )
             }
             NetError::UnknownPreset { name } => write!(f, "unknown preset topology `{name}`"),
             NetError::InvalidSubTopology { reason } => write!(f, "invalid sub-topology: {reason}"),
@@ -112,18 +124,40 @@ mod tests {
     fn display_is_nonempty_and_lowercase_start() {
         let errors = [
             NetError::DimensionTooSmall { dim: 1, size: 1 },
-            NetError::InvalidBandwidth { dim: Some(0), gbps: -1.0 },
-            NetError::InvalidBandwidth { dim: None, gbps: f64::NAN },
-            NetError::InvalidLatency { dim: Some(2), nanos: -5.0 },
-            NetError::InvalidLatency { dim: None, nanos: f64::INFINITY },
+            NetError::InvalidBandwidth {
+                dim: Some(0),
+                gbps: -1.0,
+            },
+            NetError::InvalidBandwidth {
+                dim: None,
+                gbps: f64::NAN,
+            },
+            NetError::InvalidLatency {
+                dim: Some(2),
+                nanos: -5.0,
+            },
+            NetError::InvalidLatency {
+                dim: None,
+                nanos: f64::INFINITY,
+            },
             NetError::InvalidLinkCount { dim: Some(0) },
             NetError::InvalidLinkCount { dim: None },
             NetError::EmptyTopology,
-            NetError::DimensionOutOfRange { dim: 4, num_dims: 2 },
-            NetError::NpuOutOfRange { npu: 1024, num_npus: 1024 },
+            NetError::DimensionOutOfRange {
+                dim: 4,
+                num_dims: 2,
+            },
+            NetError::NpuOutOfRange {
+                npu: 1024,
+                num_npus: 1024,
+            },
             NetError::NonPowerOfTwoSwitch { dim: 1, size: 6 },
-            NetError::UnknownPreset { name: "nope".to_string() },
-            NetError::InvalidSubTopology { reason: "empty".to_string() },
+            NetError::UnknownPreset {
+                name: "nope".to_string(),
+            },
+            NetError::InvalidSubTopology {
+                reason: "empty".to_string(),
+            },
         ];
         for err in errors {
             let text = err.to_string();

@@ -128,7 +128,10 @@ pub fn current_generation_2d() -> NetworkTopology {
 
 /// The six next-generation platforms of Table 2, in the paper's order.
 pub fn next_generation_suite() -> Vec<NetworkTopology> {
-    PresetTopology::next_generation().iter().map(PresetTopology::build).collect()
+    PresetTopology::next_generation()
+        .iter()
+        .map(PresetTopology::build)
+        .collect()
 }
 
 /// Looks a preset up by its paper name (e.g., `"3D-FC_Ring_SW"`).
@@ -141,7 +144,9 @@ pub fn preset_by_name(name: &str) -> Result<NetworkTopology, NetError> {
         .iter()
         .find(|p| p.name().eq_ignore_ascii_case(name))
         .map(PresetTopology::build)
-        .ok_or_else(|| NetError::UnknownPreset { name: name.to_string() })
+        .ok_or_else(|| NetError::UnknownPreset {
+            name: name.to_string(),
+        })
 }
 
 #[cfg(test)]
@@ -159,34 +164,72 @@ mod tests {
     #[test]
     fn table2_sizes_match_paper() {
         assert_eq!(PresetTopology::Sw2d.build().dim_sizes(), vec![16, 64]);
-        assert_eq!(PresetTopology::SwSwSw3dHomo.build().dim_sizes(), vec![16, 8, 8]);
-        assert_eq!(PresetTopology::SwSwSw3dHetero.build().dim_sizes(), vec![16, 8, 8]);
-        assert_eq!(PresetTopology::FcRingSw3d.build().dim_sizes(), vec![8, 16, 8]);
-        assert_eq!(PresetTopology::RingSwSwSw4d.build().dim_sizes(), vec![4, 4, 8, 8]);
-        assert_eq!(PresetTopology::RingFcRingSw4d.build().dim_sizes(), vec![4, 8, 4, 8]);
+        assert_eq!(
+            PresetTopology::SwSwSw3dHomo.build().dim_sizes(),
+            vec![16, 8, 8]
+        );
+        assert_eq!(
+            PresetTopology::SwSwSw3dHetero.build().dim_sizes(),
+            vec![16, 8, 8]
+        );
+        assert_eq!(
+            PresetTopology::FcRingSw3d.build().dim_sizes(),
+            vec![8, 16, 8]
+        );
+        assert_eq!(
+            PresetTopology::RingSwSwSw4d.build().dim_sizes(),
+            vec![4, 4, 8, 8]
+        );
+        assert_eq!(
+            PresetTopology::RingFcRingSw4d.build().dim_sizes(),
+            vec![4, 8, 4, 8]
+        );
     }
 
     #[test]
     fn table2_aggregate_bandwidths_match_paper() {
         let agg = |p: PresetTopology| -> Vec<f64> {
-            p.build().dims().iter().map(|d| d.aggregate_bandwidth().as_gbps()).collect()
+            p.build()
+                .dims()
+                .iter()
+                .map(|d| d.aggregate_bandwidth().as_gbps())
+                .collect()
         };
         assert_eq!(agg(PresetTopology::Sw2d), vec![1200.0, 800.0]);
         assert_eq!(agg(PresetTopology::SwSwSw3dHomo), vec![800.0, 800.0, 800.0]);
-        assert_eq!(agg(PresetTopology::SwSwSw3dHetero), vec![1600.0, 800.0, 400.0]);
+        assert_eq!(
+            agg(PresetTopology::SwSwSw3dHetero),
+            vec![1600.0, 800.0, 400.0]
+        );
         assert_eq!(agg(PresetTopology::FcRingSw3d), vec![1400.0, 800.0, 400.0]);
-        assert_eq!(agg(PresetTopology::RingSwSwSw4d), vec![2000.0, 1600.0, 800.0, 400.0]);
-        assert_eq!(agg(PresetTopology::RingFcRingSw4d), vec![3000.0, 1400.0, 1200.0, 800.0]);
+        assert_eq!(
+            agg(PresetTopology::RingSwSwSw4d),
+            vec![2000.0, 1600.0, 800.0, 400.0]
+        );
+        assert_eq!(
+            agg(PresetTopology::RingFcRingSw4d),
+            vec![3000.0, 1400.0, 1200.0, 800.0]
+        );
     }
 
     #[test]
     fn table2_latencies_match_paper() {
         let lat = |p: PresetTopology| -> Vec<f64> {
-            p.build().dims().iter().map(|d| d.step_latency_ns()).collect()
+            p.build()
+                .dims()
+                .iter()
+                .map(|d| d.step_latency_ns())
+                .collect()
         };
         assert_eq!(lat(PresetTopology::Sw2d), vec![700.0, 1700.0]);
-        assert_eq!(lat(PresetTopology::RingSwSwSw4d), vec![20.0, 700.0, 700.0, 1700.0]);
-        assert_eq!(lat(PresetTopology::RingFcRingSw4d), vec![20.0, 700.0, 700.0, 1700.0]);
+        assert_eq!(
+            lat(PresetTopology::RingSwSwSw4d),
+            vec![20.0, 700.0, 700.0, 1700.0]
+        );
+        assert_eq!(
+            lat(PresetTopology::RingFcRingSw4d),
+            vec![20.0, 700.0, 700.0, 1700.0]
+        );
     }
 
     #[test]
@@ -195,8 +238,14 @@ mod tests {
         let kinds = |p: PresetTopology| -> Vec<TopologyKind> {
             p.build().dims().iter().map(|d| d.kind()).collect()
         };
-        assert_eq!(kinds(PresetTopology::FcRingSw3d), vec![FullyConnected, Ring, Switch]);
-        assert_eq!(kinds(PresetTopology::RingSwSwSw4d), vec![Ring, Switch, Switch, Switch]);
+        assert_eq!(
+            kinds(PresetTopology::FcRingSw3d),
+            vec![FullyConnected, Ring, Switch]
+        );
+        assert_eq!(
+            kinds(PresetTopology::RingSwSwSw4d),
+            vec![Ring, Switch, Switch, Switch]
+        );
         assert_eq!(
             kinds(PresetTopology::RingFcRingSw4d),
             vec![Ring, FullyConnected, Ring, Switch]

@@ -73,13 +73,17 @@ impl ProvisioningReport {
     /// `true` if any pair is under-provisioned (a design point the paper says
     /// should be prohibited).
     pub fn has_underprovisioned_pair(&self) -> bool {
-        self.pairs.iter().any(|p| p.class == ProvisioningClass::UnderProvisioned)
+        self.pairs
+            .iter()
+            .any(|p| p.class == ProvisioningClass::UnderProvisioned)
     }
 
     /// `true` if any pair is over-provisioned (i.e. Themis has head-room that
     /// the baseline scheduling cannot exploit).
     pub fn has_overprovisioned_pair(&self) -> bool {
-        self.pairs.iter().any(|p| p.class == ProvisioningClass::OverProvisioned)
+        self.pairs
+            .iter()
+            .any(|p| p.class == ProvisioningClass::OverProvisioned)
     }
 }
 
@@ -112,8 +116,14 @@ const JUST_ENOUGH_TOLERANCE: f64 = 0.05;
 /// Panics if `inner >= outer` or `outer` is out of range; use
 /// [`classify_topology`] for a checked sweep over all pairs.
 pub fn classify_pair(topo: &NetworkTopology, inner: usize, outer: usize) -> PairClassification {
-    assert!(inner < outer, "inner dimension index must be smaller than outer");
-    assert!(outer < topo.num_dims(), "outer dimension index out of range");
+    assert!(
+        inner < outer,
+        "inner dimension index must be smaller than outer"
+    );
+    assert!(
+        outer < topo.num_dims(),
+        "outer dimension index out of range"
+    );
     let inner_bw = topo.dims()[inner].aggregate_bandwidth().as_gbps();
     let outer_bw = topo.dims()[outer].aggregate_bandwidth().as_gbps();
     // The baseline shrinks the chunk by P_K × ... × P_{L-1} before it reaches
@@ -147,7 +157,10 @@ pub fn classify_topology(topo: &NetworkTopology) -> ProvisioningReport {
             pairs.push(classify_pair(topo, inner, outer));
         }
     }
-    ProvisioningReport { topology: topo.name().to_string(), pairs }
+    ProvisioningReport {
+        topology: topo.name().to_string(),
+        pairs,
+    }
 }
 
 #[cfg(test)]
@@ -158,8 +171,14 @@ mod tests {
 
     fn two_dim(bw1: f64, bw2: f64, p1: usize, p2: usize) -> NetworkTopology {
         NetworkTopology::builder("pair")
-            .dimension(DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, p1, bw1, 0.0).unwrap())
-            .dimension(DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, p2, bw2, 0.0).unwrap())
+            .dimension(
+                DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, p1, bw1, 0.0)
+                    .unwrap(),
+            )
+            .dimension(
+                DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, p2, bw2, 0.0)
+                    .unwrap(),
+            )
             .build()
             .unwrap()
     }

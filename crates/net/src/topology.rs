@@ -59,7 +59,10 @@ pub struct NetworkTopology {
 impl NetworkTopology {
     /// Starts building a topology with the given display name.
     pub fn builder(name: impl Into<String>) -> NetworkTopologyBuilder {
-        NetworkTopologyBuilder { name: name.into(), dims: Vec::new() }
+        NetworkTopologyBuilder {
+            name: name.into(),
+            dims: Vec::new(),
+        }
     }
 
     /// Creates a topology directly from a list of dimensions.
@@ -102,9 +105,10 @@ impl NetworkTopology {
     ///
     /// Returns [`NetError::DimensionOutOfRange`] if `dim` is out of range.
     pub fn dim(&self, dim: usize) -> Result<&DimensionSpec, NetError> {
-        self.dims
-            .get(dim)
-            .ok_or(NetError::DimensionOutOfRange { dim, num_dims: self.dims.len() })
+        self.dims.get(dim).ok_or(NetError::DimensionOutOfRange {
+            dim,
+            num_dims: self.dims.len(),
+        })
     }
 
     /// Per-dimension sizes `P_1 × P_2 × ... × P_D`.
@@ -125,7 +129,10 @@ impl NetworkTopology {
     /// (the denominator of the paper's "Ideal" latency and of the weighted
     /// average BW utilisation).
     pub fn total_bandwidth(&self) -> Bandwidth {
-        self.dims.iter().map(DimensionSpec::aggregate_bandwidth).sum()
+        self.dims
+            .iter()
+            .map(DimensionSpec::aggregate_bandwidth)
+            .sum()
     }
 
     /// Converts a flat NPU id into per-dimension coordinates
@@ -137,7 +144,10 @@ impl NetworkTopology {
     pub fn coord_of(&self, npu: NpuId) -> Result<NpuCoord, NetError> {
         let num_npus = self.num_npus();
         if npu.0 >= num_npus {
-            return Err(NetError::NpuOutOfRange { npu: npu.0, num_npus });
+            return Err(NetError::NpuOutOfRange {
+                npu: npu.0,
+                num_npus,
+            });
         }
         let mut remaining = npu.0;
         let mut coord = Vec::with_capacity(self.dims.len());
@@ -169,7 +179,10 @@ impl NetworkTopology {
         let mut stride = 1usize;
         for (c, dim) in coord.0.iter().zip(self.dims.iter()) {
             if *c >= dim.size() {
-                return Err(NetError::NpuOutOfRange { npu: *c, num_npus: dim.size() });
+                return Err(NetError::NpuOutOfRange {
+                    npu: *c,
+                    num_npus: dim.size(),
+                });
             }
             id += c * stride;
             stride *= dim.size();
@@ -240,7 +253,10 @@ impl NetworkTopology {
     ///
     /// Returns [`NetError::InvalidSubTopology`] if `group_size` cannot be
     /// covered by a prefix of whole dimensions (e.g., 24 on a 16×8×8 machine).
-    pub fn split_prefix_covering(&self, group_size: usize) -> Result<(Vec<usize>, Vec<usize>), NetError> {
+    pub fn split_prefix_covering(
+        &self,
+        group_size: usize,
+    ) -> Result<(Vec<usize>, Vec<usize>), NetError> {
         if group_size <= 1 {
             return Ok((Vec::new(), (0..self.num_dims()).collect()));
         }
@@ -361,7 +377,10 @@ impl NetworkTopology {
 
     /// Returns a renamed copy of this topology.
     pub fn renamed(&self, name: impl Into<String>) -> Self {
-        NetworkTopology { name: name.into(), dims: self.dims.clone() }
+        NetworkTopology {
+            name: name.into(),
+            dims: self.dims.clone(),
+        }
     }
 
     /// Returns a copy of the topology with dimension `dim`'s bandwidth scaled
@@ -424,7 +443,13 @@ impl NetworkTopologyBuilder {
         links_per_npu: usize,
         step_latency_ns: f64,
     ) -> Result<Self, NetError> {
-        let dim = DimensionSpec::new(kind, size, link_bandwidth_gbps, links_per_npu, step_latency_ns)?;
+        let dim = DimensionSpec::new(
+            kind,
+            size,
+            link_bandwidth_gbps,
+            links_per_npu,
+            step_latency_ns,
+        )?;
         Ok(self.dimension(dim))
     }
 
@@ -441,7 +466,10 @@ impl NetworkTopologyBuilder {
         for (i, dim) in self.dims.iter().enumerate() {
             dim.validate_at(i)?;
         }
-        Ok(NetworkTopology { name: self.name, dims: self.dims })
+        Ok(NetworkTopology {
+            name: self.name,
+            dims: self.dims,
+        })
     }
 }
 

@@ -52,7 +52,11 @@ pub struct EventQueue<T: PartialEq> {
 
 impl<T: PartialEq> Default for EventQueue<T> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_sequence: 0, now_ns: 0.0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_sequence: 0,
+            now_ns: 0.0,
+        }
     }
 }
 
@@ -90,7 +94,11 @@ impl<T: PartialEq> EventQueue<T> {
             "event scheduled at {time_ns} ns is before the current time {} ns",
             self.now_ns
         );
-        let event = ScheduledEvent { time_ns, sequence: self.next_sequence, payload };
+        let event = ScheduledEvent {
+            time_ns,
+            sequence: self.next_sequence,
+            payload,
+        };
         self.next_sequence += 1;
         self.heap.push(event);
     }

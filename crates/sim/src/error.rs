@@ -82,9 +82,17 @@ mod tests {
     #[test]
     fn display_is_descriptive() {
         let cases = vec![
-            SimError::TopologyMismatch { expected_dims: 2, found_dims: 3 },
-            SimError::InvalidOptions { reason: "zero concurrency".to_string() },
-            SimError::Stalled { at_ns: 10.0, outstanding_ops: 4 },
+            SimError::TopologyMismatch {
+                expected_dims: 2,
+                found_dims: 3,
+            },
+            SimError::InvalidOptions {
+                reason: "zero concurrency".to_string(),
+            },
+            SimError::Stalled {
+                at_ns: 10.0,
+                outstanding_ops: 4,
+            },
             SimError::Schedule(ScheduleError::EmptyCollective),
             SimError::Net(NetError::EmptyTopology),
         ];
@@ -95,8 +103,15 @@ mod tests {
 
     #[test]
     fn sources_are_preserved() {
-        assert!(SimError::from(ScheduleError::EmptyCollective).source().is_some());
+        assert!(SimError::from(ScheduleError::EmptyCollective)
+            .source()
+            .is_some());
         assert!(SimError::from(NetError::EmptyTopology).source().is_some());
-        assert!(SimError::Stalled { at_ns: 0.0, outstanding_ops: 0 }.source().is_none());
+        assert!(SimError::Stalled {
+            at_ns: 0.0,
+            outstanding_ops: 0
+        }
+        .source()
+        .is_none());
     }
 }

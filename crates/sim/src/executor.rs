@@ -17,7 +17,10 @@ pub struct CollectiveExecutor<'a> {
 impl<'a> CollectiveExecutor<'a> {
     /// Creates an executor for `topo` with default simulation options.
     pub fn new(topo: &'a NetworkTopology) -> Self {
-        CollectiveExecutor { topo, options: SimOptions::default() }
+        CollectiveExecutor {
+            topo,
+            options: SimOptions::default(),
+        }
     }
 
     /// Replaces the simulation options.
@@ -111,7 +114,9 @@ mod tests {
             .with_options(SimOptions::default().with_enforced_order(true));
         assert!(executor.options.enforce_intra_dim_order);
         let request = CollectiveRequest::all_reduce_mib(64.0);
-        let report = executor.run(&mut BaselineScheduler::new(8), &request).unwrap();
+        let report = executor
+            .run(&mut BaselineScheduler::new(8), &request)
+            .unwrap();
         assert!(report.total_time_ns > 0.0);
         assert_eq!(executor.topology().name(), "2D-SW_SW");
     }

@@ -49,7 +49,10 @@ impl SimOptions {
         }
         if !self.activity_window_ns.is_finite() || self.activity_window_ns <= 0.0 {
             return Err(SimError::InvalidOptions {
-                reason: format!("activity window must be positive, got {}", self.activity_window_ns),
+                reason: format!(
+                    "activity window must be positive, got {}",
+                    self.activity_window_ns
+                ),
             });
         }
         Ok(())
@@ -104,8 +107,17 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        assert!(SimOptions::default().with_max_concurrent_ops(0).validate().is_err());
-        assert!(SimOptions::default().with_activity_window_ns(0.0).validate().is_err());
-        assert!(SimOptions::default().with_activity_window_ns(f64::NAN).validate().is_err());
+        assert!(SimOptions::default()
+            .with_max_concurrent_ops(0)
+            .validate()
+            .is_err());
+        assert!(SimOptions::default()
+            .with_activity_window_ns(0.0)
+            .validate()
+            .is_err());
+        assert!(SimOptions::default()
+            .with_activity_window_ns(f64::NAN)
+            .validate()
+            .is_err());
     }
 }

@@ -58,7 +58,11 @@ pub struct PipelineSimulator<'a> {
 impl<'a> PipelineSimulator<'a> {
     /// Creates a simulator for `topo` with the given options.
     pub fn new(topo: &'a NetworkTopology, options: SimOptions) -> Self {
-        PipelineSimulator { topo, options, cost: CostModel::new() }
+        PipelineSimulator {
+            topo,
+            options,
+            cost: CostModel::new(),
+        }
     }
 
     /// Replaces the cost model (e.g. to simulate in-network collective
@@ -120,8 +124,11 @@ impl<'a> PipelineSimulator<'a> {
         };
         let mut order_ptr = vec![0usize; num_dims];
 
-        let mut report =
-            SimReport::empty(self.topo, schedule.scheduler_name(), self.options.activity_window_ns);
+        let mut report = SimReport::empty(
+            self.topo,
+            schedule.scheduler_name(),
+            self.options.activity_window_ns,
+        );
 
         let mut ready: Vec<Vec<PendingOp>> = vec![Vec::new(); num_dims];
         let mut active: Vec<Vec<ActiveOp>> = vec![Vec::new(); num_dims];
@@ -138,7 +145,11 @@ impl<'a> PipelineSimulator<'a> {
         for (chunk_idx, chunk) in chunks.iter().enumerate() {
             outstanding += chunk.stages.len();
             if let Some(first) = chunk.stages.first() {
-                ready[first.dim].push(PendingOp { arrival, chunk: chunk_idx, stage: 0 });
+                ready[first.dim].push(PendingOp {
+                    arrival,
+                    chunk: chunk_idx,
+                    stage: 0,
+                });
                 arrival += 1;
             }
         }
@@ -203,7 +214,10 @@ impl<'a> PipelineSimulator<'a> {
             let any_active = active.iter().any(|a| !a.is_empty());
             if !any_active {
                 let pending: usize = ready.iter().map(Vec::len).sum();
-                return Err(SimError::Stalled { at_ns: now, outstanding_ops: pending });
+                return Err(SimError::Stalled {
+                    at_ns: now,
+                    outstanding_ops: pending,
+                });
             }
 
             // Time until the earliest completion under processor sharing: an
@@ -222,7 +236,10 @@ impl<'a> PipelineSimulator<'a> {
             if delta <= 0.0 {
                 stall_counter += 1;
                 if stall_counter > STALL_GUARD {
-                    return Err(SimError::Stalled { at_ns: now, outstanding_ops: outstanding });
+                    return Err(SimError::Stalled {
+                        at_ns: now,
+                        outstanding_ops: outstanding,
+                    });
                 }
             } else {
                 stall_counter = 0;
@@ -280,7 +297,11 @@ impl<'a> PipelineSimulator<'a> {
                 let next_stage = op.stage + 1;
                 if next_stage < chunks[op.chunk].stages.len() {
                     let target = chunks[op.chunk].stages[next_stage].dim;
-                    ready[target].push(PendingOp { arrival, chunk: op.chunk, stage: next_stage });
+                    ready[target].push(PendingOp {
+                        arrival,
+                        chunk: op.chunk,
+                        stage: next_stage,
+                    });
                     arrival += 1;
                 }
             }
@@ -354,7 +375,9 @@ mod tests {
         options: SimOptions,
     ) -> SimReport {
         let schedule = scheduler.schedule(request, topo).unwrap();
-        PipelineSimulator::new(topo, options).run(&schedule).unwrap()
+        PipelineSimulator::new(topo, options)
+            .run(&schedule)
+            .unwrap()
     }
 
     #[test]
@@ -368,8 +391,12 @@ mod tests {
             48.0 * 1024.0 * 1024.0 / 100.0
         };
 
-        let baseline =
-            run(&mut BaselineScheduler::new(4), &topo, &request, SimOptions::default());
+        let baseline = run(
+            &mut BaselineScheduler::new(4),
+            &topo,
+            &request,
+            SimOptions::default(),
+        );
         assert!(
             (baseline.total_time_ns / unit_ns - 8.0).abs() < 0.05,
             "baseline took {:.2} units",
@@ -395,10 +422,18 @@ mod tests {
         let request = CollectiveRequest::all_reduce_mib(500.0);
         for preset in PresetTopology::next_generation() {
             let topo = preset.build();
-            let baseline =
-                run(&mut BaselineScheduler::new(64), &topo, &request, SimOptions::default());
-            let themis =
-                run(&mut ThemisScheduler::new(64), &topo, &request, SimOptions::default());
+            let baseline = run(
+                &mut BaselineScheduler::new(64),
+                &topo,
+                &request,
+                SimOptions::default(),
+            );
+            let themis = run(
+                &mut ThemisScheduler::new(64),
+                &topo,
+                &request,
+                SimOptions::default(),
+            );
             assert!(
                 themis.total_time_ns <= baseline.total_time_ns * 1.001,
                 "{}: Themis {:.0} ns vs baseline {:.0} ns",
@@ -439,9 +474,18 @@ mod tests {
     fn utilization_is_within_bounds_and_improves_with_themis() {
         let topo = PresetTopology::SwSwSw3dHomo.build();
         let request = CollectiveRequest::all_reduce_mib(1024.0);
-        let baseline =
-            run(&mut BaselineScheduler::new(64), &topo, &request, SimOptions::default());
-        let themis = run(&mut ThemisScheduler::new(64), &topo, &request, SimOptions::default());
+        let baseline = run(
+            &mut BaselineScheduler::new(64),
+            &topo,
+            &request,
+            SimOptions::default(),
+        );
+        let themis = run(
+            &mut ThemisScheduler::new(64),
+            &topo,
+            &request,
+            SimOptions::default(),
+        );
         for report in [&baseline, &themis] {
             for util in report.per_dim_utilization() {
                 assert!((0.0..=1.0).contains(&util));
@@ -456,7 +500,9 @@ mod tests {
         let topo = PresetTopology::FcRingSw3d.build();
         let request = CollectiveRequest::all_reduce_mib(128.0);
         let schedule = ThemisScheduler::new(16).schedule(&request, &topo).unwrap();
-        let report = PipelineSimulator::new(&topo, SimOptions::default()).run(&schedule).unwrap();
+        let report = PipelineSimulator::new(&topo, SimOptions::default())
+            .run(&schedule)
+            .unwrap();
         let predicted = schedule.wire_bytes_per_dim(&topo);
         for (dim, expected) in predicted.iter().enumerate() {
             assert!(
@@ -473,13 +519,13 @@ mod tests {
         let topo = PresetTopology::SwSwSw3dHetero.build();
         let request = CollectiveRequest::all_reduce_mib(256.0);
         let schedule = ThemisScheduler::new(32).schedule(&request, &topo).unwrap();
-        let plain = PipelineSimulator::new(&topo, SimOptions::default()).run(&schedule).unwrap();
-        let enforced = PipelineSimulator::new(
-            &topo,
-            SimOptions::default().with_enforced_order(true),
-        )
-        .run(&schedule)
-        .unwrap();
+        let plain = PipelineSimulator::new(&topo, SimOptions::default())
+            .run(&schedule)
+            .unwrap();
+        let enforced =
+            PipelineSimulator::new(&topo, SimOptions::default().with_enforced_order(true))
+                .run(&schedule)
+                .unwrap();
         assert!((plain.total_time_ns - enforced.total_time_ns).abs() < 1.0);
     }
 
@@ -488,13 +534,13 @@ mod tests {
         let topo = fig5_topology();
         let request = CollectiveRequest::all_reduce_mib(256.0);
         let schedule = ThemisScheduler::new(8).schedule(&request, &topo).unwrap();
-        let serial = PipelineSimulator::new(&topo, SimOptions::default()).run(&schedule).unwrap();
-        let shared = PipelineSimulator::new(
-            &topo,
-            SimOptions::default().with_max_concurrent_ops(4),
-        )
-        .run(&schedule)
-        .unwrap();
+        let serial = PipelineSimulator::new(&topo, SimOptions::default())
+            .run(&schedule)
+            .unwrap();
+        let shared =
+            PipelineSimulator::new(&topo, SimOptions::default().with_max_concurrent_ops(4))
+                .run(&schedule)
+                .unwrap();
         // The same bytes move in both configurations, and the completion time
         // stays in the same ballpark (processor sharing reorders completions
         // but does not change any dimension's aggregate work).
@@ -509,8 +555,12 @@ mod tests {
         // of 3D-SW_SW_SW_homo are active far less than dim 1.
         let topo = PresetTopology::SwSwSw3dHomo.build();
         let request = CollectiveRequest::all_reduce_mib(1024.0);
-        let baseline =
-            run(&mut BaselineScheduler::new(64), &topo, &request, SimOptions::default());
+        let baseline = run(
+            &mut BaselineScheduler::new(64),
+            &topo,
+            &request,
+            SimOptions::default(),
+        );
         let busy_fraction: Vec<f64> = baseline
             .dims
             .iter()
@@ -532,7 +582,9 @@ mod tests {
         let topo = fig5_topology();
         let request = CollectiveRequest::all_reduce_mib(256.0);
         let schedule = ThemisScheduler::new(4).schedule(&request, &topo).unwrap();
-        let report = PipelineSimulator::new(&topo, SimOptions::default()).run(&schedule).unwrap();
+        let report = PipelineSimulator::new(&topo, SimOptions::default())
+            .run(&schedule)
+            .unwrap();
         // 4 chunks x 4 stages.
         assert_eq!(report.op_log.len(), 16);
         for op in &report.op_log {
@@ -559,7 +611,10 @@ mod tests {
         let request = CollectiveRequest::all_reduce_mib(64.0);
         let schedule = BaselineScheduler::new(4).schedule(&request, &topo).unwrap();
         let sim = PipelineSimulator::new(&topo, SimOptions::default().with_max_concurrent_ops(0));
-        assert!(matches!(sim.run(&schedule), Err(SimError::InvalidOptions { .. })));
+        assert!(matches!(
+            sim.run(&schedule),
+            Err(SimError::InvalidOptions { .. })
+        ));
     }
 
     #[test]
@@ -567,7 +622,9 @@ mod tests {
         let topo2d = fig5_topology();
         let topo3d = PresetTopology::SwSwSw3dHomo.build();
         let request = CollectiveRequest::all_reduce_mib(64.0);
-        let schedule = BaselineScheduler::new(4).schedule(&request, &topo3d).unwrap();
+        let schedule = BaselineScheduler::new(4)
+            .schedule(&request, &topo3d)
+            .unwrap();
         let sim = PipelineSimulator::new(&topo2d, SimOptions::default());
         assert!(sim.run(&schedule).is_err());
     }
@@ -578,8 +635,12 @@ mod tests {
         let request = CollectiveRequest::all_reduce_mib(256.0);
         let schedule = ThemisScheduler::new(64).schedule(&request, &topo).unwrap();
         let sim = PipelineSimulator::new(&topo, SimOptions::default());
-        let fifo = sim.run_with_policy(&schedule, IntraDimPolicy::Fifo).unwrap();
-        let scf = sim.run_with_policy(&schedule, IntraDimPolicy::SmallestChunkFirst).unwrap();
+        let fifo = sim
+            .run_with_policy(&schedule, IntraDimPolicy::Fifo)
+            .unwrap();
+        let scf = sim
+            .run_with_policy(&schedule, IntraDimPolicy::SmallestChunkFirst)
+            .unwrap();
         // SCF should never be slower than FIFO by more than noise (Sec. 4.3).
         assert!(scf.total_time_ns <= fifo.total_time_ns * 1.05);
     }

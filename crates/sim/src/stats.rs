@@ -117,7 +117,11 @@ impl SimReport {
     /// The executed ops of one dimension, ordered by start time.
     pub fn ops_on_dim(&self, dim: usize) -> Vec<&OpRecord> {
         let mut ops: Vec<&OpRecord> = self.op_log.iter().filter(|op| op.dim == dim).collect();
-        ops.sort_by(|a, b| a.start_ns.partial_cmp(&b.start_ns).unwrap_or(std::cmp::Ordering::Equal));
+        ops.sort_by(|a, b| {
+            a.start_ns
+                .partial_cmp(&b.start_ns)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         ops
     }
 
@@ -140,7 +144,11 @@ impl SimReport {
                     *cell = '#';
                 }
             }
-            lines.push(format!("dim{}: {}", dim + 1, lane.into_iter().collect::<String>()));
+            lines.push(format!(
+                "dim{}: {}",
+                dim + 1,
+                lane.into_iter().collect::<String>()
+            ));
         }
         lines.join("\n")
     }
@@ -157,7 +165,10 @@ impl SimReport {
 
     /// Per-dimension BW utilisation over the collective's lifetime.
     pub fn per_dim_utilization(&self) -> Vec<f64> {
-        self.dims.iter().map(|d| d.bw_utilization(self.total_time_ns)).collect()
+        self.dims
+            .iter()
+            .map(|d| d.bw_utilization(self.total_time_ns))
+            .collect()
     }
 
     /// The paper's average BW utilisation (Sec. 3): the weighted average of the
@@ -183,7 +194,10 @@ impl SimReport {
 
     /// Per-dimension idle time: completion time minus busy time.
     pub fn per_dim_idle_ns(&self) -> Vec<f64> {
-        self.dims.iter().map(|d| (self.total_time_ns - d.busy_ns).max(0.0)).collect()
+        self.dims
+            .iter()
+            .map(|d| (self.total_time_ns - d.busy_ns).max(0.0))
+            .collect()
     }
 
     /// The frontend-activity rate timeline of Fig. 9: for every dimension, the
@@ -316,7 +330,13 @@ mod tests {
     #[test]
     fn ascii_timeline_marks_busy_and_idle_spans() {
         let mut report = report_with(
-            vec![DimReport { bandwidth_bytes_per_ns: 1.0, ..DimReport::default() }; 2],
+            vec![
+                DimReport {
+                    bandwidth_bytes_per_ns: 1.0,
+                    ..DimReport::default()
+                };
+                2
+            ],
             100.0,
         );
         report.op_log = vec![

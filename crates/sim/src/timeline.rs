@@ -41,13 +41,19 @@ pub struct TimelineReport {
 impl TimelineReport {
     /// Total time the network spent executing collectives, ns.
     pub fn total_communication_ns(&self) -> f64 {
-        self.entries.iter().map(|(_, _, report)| report.total_time_ns).sum()
+        self.entries
+            .iter()
+            .map(|(_, _, report)| report.total_time_ns)
+            .sum()
     }
 
     /// Total time between the first issue and the last completion, ns.
     pub fn makespan_ns(&self) -> f64 {
-        let first_issue =
-            self.entries.iter().map(|(e, _, _)| e.issue_ns).fold(f64::INFINITY, f64::min);
+        let first_issue = self
+            .entries
+            .iter()
+            .map(|(e, _, _)| e.issue_ns)
+            .fold(f64::INFINITY, f64::min);
         if first_issue.is_finite() {
             self.finish_ns - first_issue
         } else {
@@ -98,7 +104,10 @@ impl<'a> TimelineSimulator<'a> {
             network_free_at = start + report.total_time_ns;
             results.push((entry.clone(), start, report));
         }
-        Ok(TimelineReport { finish_ns: network_free_at, entries: results })
+        Ok(TimelineReport {
+            finish_ns: network_free_at,
+            entries: results,
+        })
     }
 }
 

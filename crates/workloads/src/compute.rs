@@ -40,14 +40,20 @@ impl ComputeModel {
                 reason: format!("efficiency must be in (0, 1], got {efficiency}"),
             });
         }
-        Ok(ComputeModel { peak_tflops_fp16, efficiency })
+        Ok(ComputeModel {
+            peak_tflops_fp16,
+            efficiency,
+        })
     }
 
     /// The A100-like default used by the paper's evaluation: pure roofline at
     /// the accelerator's 312 TFLOPS FP16 peak (Sec. 5.1 assumes "roofline FP16
     /// performance from the total FLOPS available").
     pub fn a100_like() -> Self {
-        ComputeModel { peak_tflops_fp16: Self::A100_PEAK_TFLOPS_FP16, efficiency: 1.0 }
+        ComputeModel {
+            peak_tflops_fp16: Self::A100_PEAK_TFLOPS_FP16,
+            efficiency: 1.0,
+        }
     }
 
     /// Peak FP16 throughput, TFLOP/s.
@@ -109,9 +115,7 @@ mod tests {
         let half = ComputeModel::new(312.0, 0.5).unwrap();
         let flops = 1e12;
         assert!(half.time_for_flops_ns(flops) > full.time_for_flops_ns(flops));
-        assert!(
-            (half.time_for_flops_ns(flops) / full.time_for_flops_ns(flops) - 2.0).abs() < 1e-9
-        );
+        assert!((half.time_for_flops_ns(flops) / full.time_for_flops_ns(flops) - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl fmt::Display for WorkloadError {
                 write!(f, "invalid workload parameter: {reason}")
             }
             WorkloadError::IncompatibleTopology { reason } => {
-                write!(f, "parallelization strategy does not fit the topology: {reason}")
+                write!(
+                    f,
+                    "parallelization strategy does not fit the topology: {reason}"
+                )
             }
             WorkloadError::Net(err) => write!(f, "topology error: {err}"),
             WorkloadError::Sim(err) => write!(f, "simulation error: {err}"),
@@ -76,10 +79,16 @@ mod tests {
     #[test]
     fn display_is_descriptive() {
         let cases = vec![
-            WorkloadError::InvalidParameter { reason: "zero batch".to_string() },
-            WorkloadError::IncompatibleTopology { reason: "mp group".to_string() },
+            WorkloadError::InvalidParameter {
+                reason: "zero batch".to_string(),
+            },
+            WorkloadError::IncompatibleTopology {
+                reason: "mp group".to_string(),
+            },
             WorkloadError::Net(NetError::EmptyTopology),
-            WorkloadError::Sim(SimError::InvalidOptions { reason: "x".to_string() }),
+            WorkloadError::Sim(SimError::InvalidOptions {
+                reason: "x".to_string(),
+            }),
         ];
         for case in cases {
             assert!(!case.to_string().is_empty());
@@ -88,10 +97,18 @@ mod tests {
 
     #[test]
     fn sources_are_preserved() {
-        assert!(WorkloadError::from(NetError::EmptyTopology).source().is_some());
-        assert!(WorkloadError::from(SimError::InvalidOptions { reason: String::new() })
+        assert!(WorkloadError::from(NetError::EmptyTopology)
             .source()
             .is_some());
-        assert!(WorkloadError::InvalidParameter { reason: String::new() }.source().is_none());
+        assert!(WorkloadError::from(SimError::InvalidOptions {
+            reason: String::new()
+        })
+        .source()
+        .is_some());
+        assert!(WorkloadError::InvalidParameter {
+            reason: String::new()
+        }
+        .source()
+        .is_none());
     }
 }

@@ -56,12 +56,16 @@ impl Layer {
     ) -> Result<Self, WorkloadError> {
         if !forward_flops_per_sample.is_finite() || forward_flops_per_sample < 0.0 {
             return Err(WorkloadError::InvalidParameter {
-                reason: format!("forward FLOPs must be non-negative, got {forward_flops_per_sample}"),
+                reason: format!(
+                    "forward FLOPs must be non-negative, got {forward_flops_per_sample}"
+                ),
             });
         }
         if !backward_flops_factor.is_finite() || backward_flops_factor < 0.0 {
             return Err(WorkloadError::InvalidParameter {
-                reason: format!("backward factor must be non-negative, got {backward_flops_factor}"),
+                reason: format!(
+                    "backward factor must be non-negative, got {backward_flops_factor}"
+                ),
             });
         }
         if !activation_bytes_per_sample.is_finite() || activation_bytes_per_sample < 0.0 {

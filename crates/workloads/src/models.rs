@@ -30,7 +30,10 @@ impl DnnModel {
                 reason: "a model requires at least one layer".to_string(),
             });
         }
-        Ok(DnnModel { name: name.into(), layers })
+        Ok(DnnModel {
+            name: name.into(),
+            layers,
+        })
     }
 
     /// Model name.
@@ -50,22 +53,36 @@ impl DnnModel {
 
     /// Total trainable parameters of the given layer kind.
     pub fn parameters_of_kind(&self, kind: LayerKind) -> u64 {
-        self.layers.iter().filter(|l| l.kind() == kind).map(Layer::parameters).sum()
+        self.layers
+            .iter()
+            .filter(|l| l.kind() == kind)
+            .map(Layer::parameters)
+            .sum()
     }
 
     /// Total parameters of every kind *except* the given one.
     pub fn parameters_excluding_kind(&self, kind: LayerKind) -> u64 {
-        self.layers.iter().filter(|l| l.kind() != kind).map(Layer::parameters).sum()
+        self.layers
+            .iter()
+            .filter(|l| l.kind() != kind)
+            .map(Layer::parameters)
+            .sum()
     }
 
     /// Total forward FLOPs for one sample.
     pub fn forward_flops_per_sample(&self) -> f64 {
-        self.layers.iter().map(Layer::forward_flops_per_sample).sum()
+        self.layers
+            .iter()
+            .map(Layer::forward_flops_per_sample)
+            .sum()
     }
 
     /// Total backward FLOPs for one sample.
     pub fn backward_flops_per_sample(&self) -> f64 {
-        self.layers.iter().map(Layer::backward_flops_per_sample).sum()
+        self.layers
+            .iter()
+            .map(Layer::backward_flops_per_sample)
+            .sum()
     }
 
     /// Total forward FLOPs per sample contributed by layers of `kind`.
@@ -94,8 +111,15 @@ fn layer(
     forward_flops_per_sample: f64,
     activation_bytes_per_sample: f64,
 ) -> Layer {
-    Layer::new(name, kind, parameters, forward_flops_per_sample, 2.0, activation_bytes_per_sample)
-        .expect("static layer definitions are valid")
+    Layer::new(
+        name,
+        kind,
+        parameters,
+        forward_flops_per_sample,
+        2.0,
+        activation_bytes_per_sample,
+    )
+    .expect("static layer definitions are valid")
 }
 
 /// ResNet-152 for ImageNet classification (~60 M parameters, ~11.5 GFLOPs per
@@ -105,12 +129,48 @@ pub fn resnet152() -> DnnModel {
     DnnModel::new(
         "ResNet-152",
         vec![
-            layer("stem-conv", LayerKind::Convolution, 120_000, 0.24e9, mb(1.53)),
-            layer("stage1-x3", LayerKind::Convolution, 220_000, 1.32e9, mb(3.06)),
-            layer("stage2-x8", LayerKind::Convolution, 1_220_000, 2.45e9, mb(1.53)),
-            layer("stage3-x36", LayerKind::Convolution, 26_100_000, 5.95e9, mb(0.77)),
-            layer("stage4-x3", LayerKind::Convolution, 30_500_000, 1.47e9, mb(0.38)),
-            layer("classifier", LayerKind::Dense, 2_050_000, 0.004e9, mb(0.002)),
+            layer(
+                "stem-conv",
+                LayerKind::Convolution,
+                120_000,
+                0.24e9,
+                mb(1.53),
+            ),
+            layer(
+                "stage1-x3",
+                LayerKind::Convolution,
+                220_000,
+                1.32e9,
+                mb(3.06),
+            ),
+            layer(
+                "stage2-x8",
+                LayerKind::Convolution,
+                1_220_000,
+                2.45e9,
+                mb(1.53),
+            ),
+            layer(
+                "stage3-x36",
+                LayerKind::Convolution,
+                26_100_000,
+                5.95e9,
+                mb(0.77),
+            ),
+            layer(
+                "stage4-x3",
+                LayerKind::Convolution,
+                30_500_000,
+                1.47e9,
+                mb(0.38),
+            ),
+            layer(
+                "classifier",
+                LayerKind::Dense,
+                2_050_000,
+                0.004e9,
+                mb(0.002),
+            ),
         ],
     )
     .expect("ResNet-152 definition is valid")
@@ -124,12 +184,48 @@ pub fn gnmt() -> DnnModel {
     DnnModel::new(
         "GNMT",
         vec![
-            layer("encoder-embedding", LayerKind::Dense, 33_554_432, 0.1e9, hidden_bytes),
-            layer("encoder-lstm-x8", LayerKind::Recurrent, 67_100_000, 6.7e9, hidden_bytes),
-            layer("decoder-embedding", LayerKind::Dense, 33_554_432, 0.1e9, hidden_bytes),
-            layer("decoder-lstm-x8", LayerKind::Recurrent, 68_200_000, 6.8e9, hidden_bytes),
-            layer("attention", LayerKind::Attention, 2_100_000, 0.4e9, hidden_bytes),
-            layer("softmax-projection", LayerKind::Dense, 33_554_432, 1.7e9, 32_768.0 * 2.0),
+            layer(
+                "encoder-embedding",
+                LayerKind::Dense,
+                33_554_432,
+                0.1e9,
+                hidden_bytes,
+            ),
+            layer(
+                "encoder-lstm-x8",
+                LayerKind::Recurrent,
+                67_100_000,
+                6.7e9,
+                hidden_bytes,
+            ),
+            layer(
+                "decoder-embedding",
+                LayerKind::Dense,
+                33_554_432,
+                0.1e9,
+                hidden_bytes,
+            ),
+            layer(
+                "decoder-lstm-x8",
+                LayerKind::Recurrent,
+                68_200_000,
+                6.8e9,
+                hidden_bytes,
+            ),
+            layer(
+                "attention",
+                LayerKind::Attention,
+                2_100_000,
+                0.4e9,
+                hidden_bytes,
+            ),
+            layer(
+                "softmax-projection",
+                LayerKind::Dense,
+                33_554_432,
+                1.7e9,
+                32_768.0 * 2.0,
+            ),
         ],
     )
     .expect("GNMT definition is valid")
@@ -145,7 +241,13 @@ pub fn dlrm() -> DnnModel {
     DnnModel::new(
         "DLRM",
         vec![
-            layer("bottom-mlp", LayerKind::Dense, 6_500_000, 13.0e6, 128.0 * 2.0),
+            layer(
+                "bottom-mlp",
+                LayerKind::Dense,
+                6_500_000,
+                13.0e6,
+                128.0 * 2.0,
+            ),
             layer(
                 "embedding-tables-x26",
                 LayerKind::Embedding,
@@ -221,7 +323,10 @@ mod tests {
         assert!(sparse > 100 * dense);
         assert!((40_000_000..=60_000_000).contains(&dense), "{dense}");
         // Pooled embeddings exchanged per sample: 26 tables × 128 dims × FP16.
-        assert_eq!(model.activation_bytes_of_kind(LayerKind::Embedding), 26.0 * 128.0 * 2.0);
+        assert_eq!(
+            model.activation_bytes_of_kind(LayerKind::Embedding),
+            26.0 * 128.0 * 2.0
+        );
     }
 
     #[test]

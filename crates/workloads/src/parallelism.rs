@@ -32,9 +32,9 @@ impl ParallelismStrategy {
     /// The size of the model-parallel group, if any.
     pub fn model_parallel_degree(&self) -> Option<usize> {
         match self {
-            ParallelismStrategy::ModelParallelZero2 { model_parallel_npus } => {
-                Some(*model_parallel_npus)
-            }
+            ParallelismStrategy::ModelParallelZero2 {
+                model_parallel_npus,
+            } => Some(*model_parallel_npus),
             _ => None,
         }
     }
@@ -45,8 +45,13 @@ impl fmt::Display for ParallelismStrategy {
         match self {
             ParallelismStrategy::DataParallel => f.write_str("data-parallel"),
             ParallelismStrategy::DlrmHybrid => f.write_str("hybrid (DP MLPs + MP embeddings)"),
-            ParallelismStrategy::ModelParallelZero2 { model_parallel_npus } => {
-                write!(f, "model-parallel({model_parallel_npus}) + ZeRO-2 data-parallel")
+            ParallelismStrategy::ModelParallelZero2 {
+                model_parallel_npus,
+            } => {
+                write!(
+                    f,
+                    "model-parallel({model_parallel_npus}) + ZeRO-2 data-parallel"
+                )
             }
         }
     }
@@ -60,19 +65,34 @@ mod tests {
     fn model_parallel_metadata() {
         assert!(!ParallelismStrategy::DataParallel.has_model_parallelism());
         assert!(ParallelismStrategy::DlrmHybrid.has_model_parallelism());
-        let zero2 = ParallelismStrategy::ModelParallelZero2 { model_parallel_npus: 128 };
+        let zero2 = ParallelismStrategy::ModelParallelZero2 {
+            model_parallel_npus: 128,
+        };
         assert!(zero2.has_model_parallelism());
         assert_eq!(zero2.model_parallel_degree(), Some(128));
-        assert_eq!(ParallelismStrategy::DataParallel.model_parallel_degree(), None);
-        assert_eq!(ParallelismStrategy::DlrmHybrid.model_parallel_degree(), None);
+        assert_eq!(
+            ParallelismStrategy::DataParallel.model_parallel_degree(),
+            None
+        );
+        assert_eq!(
+            ParallelismStrategy::DlrmHybrid.model_parallel_degree(),
+            None
+        );
     }
 
     #[test]
     fn display_labels() {
-        assert_eq!(ParallelismStrategy::DataParallel.to_string(), "data-parallel");
-        assert!(ParallelismStrategy::DlrmHybrid.to_string().contains("MP embeddings"));
-        assert!(ParallelismStrategy::ModelParallelZero2 { model_parallel_npus: 128 }
+        assert_eq!(
+            ParallelismStrategy::DataParallel.to_string(),
+            "data-parallel"
+        );
+        assert!(ParallelismStrategy::DlrmHybrid
             .to_string()
-            .contains("128"));
+            .contains("MP embeddings"));
+        assert!(ParallelismStrategy::ModelParallelZero2 {
+            model_parallel_npus: 128
+        }
+        .to_string()
+        .contains("128"));
     }
 }

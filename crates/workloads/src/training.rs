@@ -43,7 +43,11 @@ pub enum CommunicationPolicy {
 impl CommunicationPolicy {
     /// The policies shown in Fig. 12, in row order.
     pub fn fig12_rows() -> [CommunicationPolicy; 3] {
-        [CommunicationPolicy::Baseline, CommunicationPolicy::ThemisScf, CommunicationPolicy::Ideal]
+        [
+            CommunicationPolicy::Baseline,
+            CommunicationPolicy::ThemisScf,
+            CommunicationPolicy::Ideal,
+        ]
     }
 
     /// All policies.
@@ -196,7 +200,10 @@ pub struct TrainingSimulator {
 impl TrainingSimulator {
     /// Creates a simulator for `config` with default simulation options.
     pub fn new(config: TrainingConfig) -> Self {
-        TrainingSimulator { config, sim_options: SimOptions::default() }
+        TrainingSimulator {
+            config,
+            sim_options: SimOptions::default(),
+        }
     }
 
     /// Replaces the chunk-pipeline simulation options.
@@ -225,10 +232,13 @@ impl TrainingSimulator {
         }
         let request = CollectiveRequest::new(kind, DataSize::from_bytes(bytes.round() as u64));
         match policy {
-            CommunicationPolicy::Ideal => {
-                Ok((IdealEstimator::new().communication_time_ns(&request, topo)?, 1.0))
+            CommunicationPolicy::Ideal => Ok((
+                IdealEstimator::new().communication_time_ns(&request, topo)?,
+                1.0,
+            )),
+            CommunicationPolicy::Baseline => {
+                self.run_scheduler(topo, &request, SchedulerKind::Baseline)
             }
-            CommunicationPolicy::Baseline => self.run_scheduler(topo, &request, SchedulerKind::Baseline),
             CommunicationPolicy::ThemisFifo => {
                 self.run_scheduler(topo, &request, SchedulerKind::ThemisFifo)
             }
@@ -265,9 +275,9 @@ impl TrainingSimulator {
         match self.config.strategy {
             ParallelismStrategy::DataParallel => self.simulate_data_parallel(topo, policy),
             ParallelismStrategy::DlrmHybrid => self.simulate_dlrm_hybrid(topo, policy),
-            ParallelismStrategy::ModelParallelZero2 { model_parallel_npus } => {
-                self.simulate_model_parallel_zero2(topo, policy, model_parallel_npus)
-            }
+            ParallelismStrategy::ModelParallelZero2 {
+                model_parallel_npus,
+            } => self.simulate_model_parallel_zero2(topo, policy, model_parallel_npus),
         }
     }
 
@@ -278,14 +288,17 @@ impl TrainingSimulator {
     ) -> Result<IterationBreakdown, WorkloadError> {
         let batch = self.config.per_npu_minibatch as f64;
         let model = &self.config.model;
-        let forward_compute_ns =
-            self.config.compute.time_for_flops_ns(model.forward_flops_per_sample() * batch);
-        let backward_compute_ns =
-            self.config.compute.time_for_flops_ns(model.backward_flops_per_sample() * batch);
+        let forward_compute_ns = self
+            .config
+            .compute
+            .time_for_flops_ns(model.forward_flops_per_sample() * batch);
+        let backward_compute_ns = self
+            .config
+            .compute
+            .time_for_flops_ns(model.backward_flops_per_sample() * batch);
         // Gradient All-Reduce over the whole machine, exposed at the end of
         // back-propagation.
-        let gradient_bytes =
-            model.total_parameters() as f64 * self.config.gradient_bytes_per_param;
+        let gradient_bytes = model.total_parameters() as f64 * self.config.gradient_bytes_per_param;
         let (exposed_dp_comm_ns, comm_utilization) =
             self.comm_time_ns(topo, CollectiveKind::AllReduce, gradient_bytes, policy)?;
         Ok(IterationBreakdown {
@@ -305,23 +318,32 @@ impl TrainingSimulator {
         let batch = self.config.per_npu_minibatch as f64;
         let model = &self.config.model;
 
-        let forward_compute_ns =
-            self.config.compute.time_for_flops_ns(model.forward_flops_per_sample() * batch);
-        let backward_compute_ns =
-            self.config.compute.time_for_flops_ns(model.backward_flops_per_sample() * batch);
+        let forward_compute_ns = self
+            .config
+            .compute
+            .time_for_flops_ns(model.forward_flops_per_sample() * batch);
+        let backward_compute_ns = self
+            .config
+            .compute
+            .time_for_flops_ns(model.backward_flops_per_sample() * batch);
 
         // Data-parallel gradient All-Reduce of the dense (MLP) parameters only;
         // the embedding tables are model-parallel and are not all-reduced.
         let dense_gradient_bytes = model.parameters_excluding_kind(LayerKind::Embedding) as f64
             * self.config.gradient_bytes_per_param;
-        let (exposed_dp_comm_ns, dp_utilization) =
-            self.comm_time_ns(topo, CollectiveKind::AllReduce, dense_gradient_bytes, policy)?;
+        let (exposed_dp_comm_ns, dp_utilization) = self.comm_time_ns(
+            topo,
+            CollectiveKind::AllReduce,
+            dense_gradient_bytes,
+            policy,
+        )?;
 
         // Pooled-embedding All-To-All in the forward pass and its mirror in
         // back-propagation. Both overlap with the bottom-MLP compute; only the
         // non-overlapped remainder is exposed (Sec. 5.2 / Sec. 6.2).
         let a2a_bytes = model.activation_bytes_of_kind(LayerKind::Embedding) * batch;
-        let (a2a_fwd_ns, _) = self.comm_time_ns(topo, CollectiveKind::AllToAll, a2a_bytes, policy)?;
+        let (a2a_fwd_ns, _) =
+            self.comm_time_ns(topo, CollectiveKind::AllToAll, a2a_bytes, policy)?;
         let a2a_bwd_ns = a2a_fwd_ns;
         let bottom_mlp_flops: f64 = model
             .layers()
@@ -329,8 +351,14 @@ impl TrainingSimulator {
             .take_while(|l| l.kind() != LayerKind::Embedding)
             .map(|l| l.forward_flops_per_sample())
             .sum();
-        let overlap_fwd_ns = self.config.compute.time_for_flops_ns(bottom_mlp_flops * batch);
-        let overlap_bwd_ns = self.config.compute.time_for_flops_ns(2.0 * bottom_mlp_flops * batch);
+        let overlap_fwd_ns = self
+            .config
+            .compute
+            .time_for_flops_ns(bottom_mlp_flops * batch);
+        let overlap_bwd_ns = self
+            .config
+            .compute
+            .time_for_flops_ns(2.0 * bottom_mlp_flops * batch);
         let exposed_mp_comm_ns =
             (a2a_fwd_ns - overlap_fwd_ns).max(0.0) + (a2a_bwd_ns - overlap_bwd_ns).max(0.0);
 
@@ -361,8 +389,14 @@ impl TrainingSimulator {
             });
         }
         let (mp_topo, dp_topo) = topo
-            .split_for_group(model_parallel_npus, "model-parallel-group", "data-parallel-group")
-            .map_err(|err| WorkloadError::IncompatibleTopology { reason: err.to_string() })?;
+            .split_for_group(
+                model_parallel_npus,
+                "model-parallel-group",
+                "data-parallel-group",
+            )
+            .map_err(|err| WorkloadError::IncompatibleTopology {
+                reason: err.to_string(),
+            })?;
         let mp_degree = mp_topo.num_npus() as f64;
 
         // Tensor-parallel compute: each NPU executes 1/mp_degree of the model
@@ -387,8 +421,12 @@ impl TrainingSimulator {
         let mut mp_utilization = 1.0;
         if let Some(first) = mp_layers.first() {
             let activation_bytes = first.activation_bytes_per_sample() * batch;
-            let (per_layer_ns, utilization) =
-                self.comm_time_ns(&mp_topo, CollectiveKind::AllReduce, activation_bytes, policy)?;
+            let (per_layer_ns, utilization) = self.comm_time_ns(
+                &mp_topo,
+                CollectiveKind::AllReduce,
+                activation_bytes,
+                policy,
+            )?;
             // Identical collectives: simulate one and scale by the layer count
             // and the two passes (forward + backward).
             exposed_mp_comm_ns = per_layer_ns * mp_layers.len() as f64 * 2.0;
@@ -398,11 +436,14 @@ impl TrainingSimulator {
         // ZeRO-2 data-parallel gradient synchronisation of this NPU's 1/mp
         // shard of the parameters, on the data-parallel dimensions only
         // (the last network dimension for the Table 2 topologies).
-        let shard_gradient_bytes = model.total_parameters() as f64
-            * self.config.gradient_bytes_per_param
-            / mp_degree;
-        let (exposed_dp_comm_ns, dp_utilization) =
-            self.comm_time_ns(&dp_topo, CollectiveKind::AllReduce, shard_gradient_bytes, policy)?;
+        let shard_gradient_bytes =
+            model.total_parameters() as f64 * self.config.gradient_bytes_per_param / mp_degree;
+        let (exposed_dp_comm_ns, dp_utilization) = self.comm_time_ns(
+            &dp_topo,
+            CollectiveKind::AllReduce,
+            shard_gradient_bytes,
+            policy,
+        )?;
 
         // Duration-weighted utilisation over the exposed collectives.
         let exposed_total = exposed_mp_comm_ns + exposed_dp_comm_ns;
@@ -456,7 +497,9 @@ mod tests {
     fn resnet_data_parallel_breakdown_shape() {
         let topo = PresetTopology::SwSwSw3dHomo.build();
         let sim = TrainingSimulator::new(Workload::ResNet152.config());
-        let breakdown = sim.simulate_iteration(&topo, CommunicationPolicy::Baseline).unwrap();
+        let breakdown = sim
+            .simulate_iteration(&topo, CommunicationPolicy::Baseline)
+            .unwrap();
         // Pure data parallelism: no exposed MP communication; backward compute
         // is about twice the forward compute.
         assert_eq!(breakdown.exposed_mp_comm_ns, 0.0);
@@ -472,9 +515,15 @@ mod tests {
         let topo = PresetTopology::SwSwSw3dHomo.build();
         for workload in Workload::all() {
             let sim = TrainingSimulator::new(workload.config());
-            let baseline = sim.simulate_iteration(&topo, CommunicationPolicy::Baseline).unwrap();
-            let themis = sim.simulate_iteration(&topo, CommunicationPolicy::ThemisScf).unwrap();
-            let ideal = sim.simulate_iteration(&topo, CommunicationPolicy::Ideal).unwrap();
+            let baseline = sim
+                .simulate_iteration(&topo, CommunicationPolicy::Baseline)
+                .unwrap();
+            let themis = sim
+                .simulate_iteration(&topo, CommunicationPolicy::ThemisScf)
+                .unwrap();
+            let ideal = sim
+                .simulate_iteration(&topo, CommunicationPolicy::Ideal)
+                .unwrap();
             assert!(
                 themis.exposed_comm_ns() <= baseline.exposed_comm_ns() * 1.001,
                 "{workload:?}: Themis exposed {:.0} vs baseline {:.0}",
@@ -494,7 +543,9 @@ mod tests {
     fn dlrm_all_to_all_is_mostly_overlapped() {
         let topo = PresetTopology::RingFcRingSw4d.build();
         let sim = TrainingSimulator::new(Workload::Dlrm.config());
-        let breakdown = sim.simulate_iteration(&topo, CommunicationPolicy::ThemisScf).unwrap();
+        let breakdown = sim
+            .simulate_iteration(&topo, CommunicationPolicy::ThemisScf)
+            .unwrap();
         // The paper counts only the data-parallel All-Reduce as exposed for
         // DLRM; the All-To-All largely hides behind the bottom-MLP compute, so
         // exposed MP communication must be far smaller than exposed DP.
@@ -506,7 +557,9 @@ mod tests {
     fn transformer_mp_communication_dominates() {
         let topo = PresetTopology::SwSwSw3dHetero.build();
         let sim = TrainingSimulator::new(Workload::Transformer1T.config());
-        let breakdown = sim.simulate_iteration(&topo, CommunicationPolicy::Baseline).unwrap();
+        let breakdown = sim
+            .simulate_iteration(&topo, CommunicationPolicy::Baseline)
+            .unwrap();
         // Sec. 6.2: for Transformer-1T the model-parallel communication is the
         // dominant exposed component, and the forward bar includes the ZeRO
         // forward-in-back-propagation.
@@ -523,8 +576,9 @@ mod tests {
         let sim = TrainingSimulator::new(Workload::Transformer1T.config());
         for preset in PresetTopology::next_generation() {
             let topo = preset.build();
-            let breakdown =
-                sim.simulate_iteration(&topo, CommunicationPolicy::ThemisScf).unwrap();
+            let breakdown = sim
+                .simulate_iteration(&topo, CommunicationPolicy::ThemisScf)
+                .unwrap();
             assert!(breakdown.total_ns() > 0.0, "{}", preset.name());
         }
     }
@@ -545,7 +599,9 @@ mod tests {
             .is_err());
 
         let mut config = Workload::Transformer1T.config();
-        config.strategy = ParallelismStrategy::ModelParallelZero2 { model_parallel_npus: 1024 };
+        config.strategy = ParallelismStrategy::ModelParallelZero2 {
+            model_parallel_npus: 1024,
+        };
         assert!(TrainingSimulator::new(config)
             .simulate_iteration(&topo, CommunicationPolicy::Baseline)
             .is_err());

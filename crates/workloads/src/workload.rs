@@ -22,7 +22,12 @@ pub enum Workload {
 impl Workload {
     /// All workloads, in the paper's order.
     pub fn all() -> [Workload; 4] {
-        [Workload::ResNet152, Workload::Gnmt, Workload::Dlrm, Workload::Transformer1T]
+        [
+            Workload::ResNet152,
+            Workload::Gnmt,
+            Workload::Dlrm,
+            Workload::Transformer1T,
+        ]
     }
 
     /// Display name used in the paper's figures.
@@ -50,9 +55,9 @@ impl Workload {
         match self {
             Workload::ResNet152 | Workload::Gnmt => ParallelismStrategy::DataParallel,
             Workload::Dlrm => ParallelismStrategy::DlrmHybrid,
-            Workload::Transformer1T => {
-                ParallelismStrategy::ModelParallelZero2 { model_parallel_npus: 128 }
-            }
+            Workload::Transformer1T => ParallelismStrategy::ModelParallelZero2 {
+                model_parallel_npus: 128,
+            },
         }
     }
 
@@ -92,12 +97,17 @@ mod tests {
 
     #[test]
     fn strategies_match_sec52() {
-        assert_eq!(Workload::ResNet152.strategy(), ParallelismStrategy::DataParallel);
+        assert_eq!(
+            Workload::ResNet152.strategy(),
+            ParallelismStrategy::DataParallel
+        );
         assert_eq!(Workload::Gnmt.strategy(), ParallelismStrategy::DataParallel);
         assert_eq!(Workload::Dlrm.strategy(), ParallelismStrategy::DlrmHybrid);
         assert_eq!(
             Workload::Transformer1T.strategy(),
-            ParallelismStrategy::ModelParallelZero2 { model_parallel_npus: 128 }
+            ParallelismStrategy::ModelParallelZero2 {
+                model_parallel_npus: 128
+            }
         );
     }
 

@@ -1,6 +1,8 @@
-//! All-Reduce microbenchmark sweep (the Fig. 8 / Fig. 11 scenario): compare
-//! the baseline, Themis+FIFO and Themis+SCF across collective sizes and all
-//! six next-generation platforms of Table 2.
+//! All-Reduce microbenchmark sweep (the Fig. 8 / Fig. 11 scenario): a single
+//! campaign over all six next-generation platforms of Table 2, four collective
+//! sizes and the three Table 3 schedulers — executed twice, once sequentially
+//! and once on the parallel runner, to show that the backends agree
+//! bit-for-bit while the parallel one uses every core.
 //!
 //! Run with:
 //!
@@ -8,46 +10,71 @@
 //! cargo run --release --example allreduce_sweep
 //! ```
 
-use themis::net::presets::next_generation_suite;
-use themis::{CollectiveExecutor, CollectiveRequest, DataSize, SchedulerKind};
+use std::time::Instant;
+use themis::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), ThemisError> {
     let sizes = [
         DataSize::from_mib(100.0),
         DataSize::from_mib(256.0),
         DataSize::from_mib(512.0),
         DataSize::from_gib(1.0),
     ];
+    let campaign = Campaign::new()
+        .topologies(PresetTopology::next_generation())
+        .sizes(sizes)
+        .chunk_counts([64]);
+    println!(
+        "campaign matrix: {} platforms x {} sizes x 3 schedulers = {} runs",
+        PresetTopology::next_generation().len(),
+        sizes.len(),
+        campaign.matrix_size()
+    );
+
+    let started = Instant::now();
+    let sequential = campaign.run(&Runner::sequential())?;
+    let sequential_elapsed = started.elapsed();
+
+    let parallel_runner = Runner::parallel();
+    let started = Instant::now();
+    let report = campaign.run(&parallel_runner)?;
+    let parallel_elapsed = started.elapsed();
+
+    assert_eq!(
+        report, sequential,
+        "parallel and sequential reports must be bit-identical"
+    );
+    println!(
+        "sequential runner: {:.2} s, parallel runner ({} workers): {:.2} s\n",
+        sequential_elapsed.as_secs_f64(),
+        parallel_runner.worker_count(campaign.matrix_size()),
+        parallel_elapsed.as_secs_f64()
+    );
 
     println!(
         "{:<22} {:>9} {:>14} {:>14} {:>14} {:>9} {:>9}",
         "topology", "size", "baseline (us)", "fifo (us)", "scf (us)", "speedup", "scf util"
     );
-
-    let mut speedups = Vec::new();
-    for topo in next_generation_suite() {
-        let executor = CollectiveExecutor::new(&topo);
-        for size in sizes {
-            let request = CollectiveRequest::new(themis::CollectiveKind::AllReduce, size);
-            let reports: Vec<_> = SchedulerKind::all()
-                .iter()
-                .map(|kind| executor.run_kind(*kind, 64, &request))
-                .collect::<Result<_, _>>()?;
-            let speedup = reports[0].total_time_ns / reports[2].total_time_ns;
-            speedups.push(speedup);
+    for preset in PresetTopology::next_generation() {
+        for &size in &sizes {
+            let cell = |kind| report.find(preset.name(), kind, size).expect("cell ran");
+            let baseline = cell(SchedulerKind::Baseline);
+            let fifo = cell(SchedulerKind::ThemisFifo);
+            let scf = cell(SchedulerKind::ThemisScf);
             println!(
                 "{:<22} {:>6.0} MB {:>14.1} {:>14.1} {:>14.1} {:>8.2}x {:>8.1}%",
-                topo.name(),
+                preset.name(),
                 size.as_mib(),
-                reports[0].total_time_us(),
-                reports[1].total_time_us(),
-                reports[2].total_time_us(),
-                speedup,
-                reports[2].average_bw_utilization() * 100.0
+                baseline.total_time_us(),
+                fifo.total_time_us(),
+                scf.total_time_us(),
+                baseline.total_time_ns() / scf.total_time_ns(),
+                scf.average_bw_utilization() * 100.0
             );
         }
     }
 
+    let speedups = report.speedups_over_baseline(SchedulerKind::ThemisScf);
     let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
     let max = speedups.iter().cloned().fold(f64::MIN, f64::max);
     println!();

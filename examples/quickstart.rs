@@ -1,6 +1,6 @@
-//! Quickstart: schedule a single gradient All-Reduce with the baseline and
-//! with Themis on a next-generation 1024-NPU platform, simulate both, and
-//! compare completion time and bandwidth utilisation.
+//! Quickstart: declare a one-platform campaign that runs a 256 MiB gradient
+//! All-Reduce under every Table 3 scheduler, execute it on the parallel
+//! runner, and compare completion time and bandwidth utilisation.
 //!
 //! Run with:
 //!
@@ -8,44 +8,46 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use themis::{CollectiveRequest, PipelineSimulator, PresetTopology, SchedulerKind, SimOptions};
+use themis::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Pick a platform: 3D-SW_SW_SW_homo from Table 2 (16 x 8 x 8 NPUs,
-    //    800 Gbps per NPU on every dimension).
-    let topo = PresetTopology::SwSwSw3dHomo.build();
-    println!("platform: {topo}");
-    println!("total per-NPU bandwidth: {}", topo.total_bandwidth());
-    println!();
+fn main() -> Result<(), ThemisError> {
+    // 1. The whole experiment is a three-line campaign: a Table 2 platform
+    //    (3D-SW_SW_SW_homo, 16 x 8 x 8 NPUs at 800 Gbps per dimension), one
+    //    collective size, and (by default) all three Table 3 schedulers with
+    //    the paper's 64 chunks per collective.
+    let report = Campaign::new()
+        .topologies([PresetTopology::SwSwSw3dHomo])
+        .sizes_mib([256.0])
+        .run(&Runner::parallel())?;
 
-    // 2. The collective issued by the training loop: a 256 MiB All-Reduce
-    //    (e.g. FP16 gradients of a 128M-parameter model).
-    let request = CollectiveRequest::all_reduce_mib(256.0);
-    println!("collective: {request}");
-    println!();
-
-    // 3. Schedule it with each policy (64 chunks, the paper's default) and
-    //    execute the schedule on the chunk-pipeline simulator.
-    let simulator = PipelineSimulator::new(&topo, SimOptions::default());
-    let mut reports = Vec::new();
-    for kind in SchedulerKind::all() {
-        let schedule = kind.build(64).schedule(&request, &topo)?;
-        let report = simulator.run(&schedule)?;
+    // 2. Every cell of the expanded matrix carries its configuration and the
+    //    full simulation report.
+    for run in &report {
         println!(
             "{:12}  completion {:9.1} us   avg BW utilisation {:5.1}%",
-            kind.label(),
-            report.total_time_us(),
-            report.average_bw_utilization() * 100.0
+            run.config.scheduler.label(),
+            run.total_time_us(),
+            run.average_bw_utilization() * 100.0
         );
-        for (dim, util) in report.per_dim_utilization().iter().enumerate() {
-            println!("              dim{}: {:5.1}% busy with transfers", dim + 1, util * 100.0);
+        for (dim, util) in run.report.per_dim_utilization().iter().enumerate() {
+            println!(
+                "              dim{}: {:5.1}% busy with transfers",
+                dim + 1,
+                util * 100.0
+            );
         }
-        reports.push(report);
     }
     println!();
 
-    // 4. The headline comparison.
-    let speedup = reports[0].total_time_ns / reports[2].total_time_ns;
+    // 3. The headline comparison, looked up by configuration rather than by
+    //    position in a result vector.
+    let speedup = report
+        .speedup_over_baseline(
+            PresetTopology::SwSwSw3dHomo.name(),
+            DataSize::from_mib(256.0),
+            SchedulerKind::ThemisScf,
+        )
+        .expect("the campaign ran both cells");
     println!("Themis+SCF speedup over the baseline: {speedup:.2}x");
     Ok(())
 }

@@ -9,25 +9,28 @@
 //! cargo run --release --example topology_design
 //! ```
 
-use themis::net::{classify_topology, presets::PresetTopology};
-use themis::{
-    CollectiveExecutor, CollectiveRequest, DataSize, DimensionSpec, NetworkTopology,
-    SchedulerKind, TopologyKind,
-};
+use themis::net::classify_topology;
+use themis::prelude::*;
 
-fn design_point(dim2_gbps: f64) -> Result<NetworkTopology, Box<dyn std::error::Error>> {
-    Ok(NetworkTopology::builder(format!("4x4 with {dim2_gbps} Gbps dim2"))
-        .dimension(DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, 4, 400.0, 0.0)?)
+fn design_point(dim2_gbps: f64) -> Result<Platform, ThemisError> {
+    let topo = NetworkTopology::builder(format!("4x4 with {dim2_gbps} Gbps dim2"))
+        .dimension(DimensionSpec::with_aggregate_bandwidth(
+            TopologyKind::Switch,
+            4,
+            400.0,
+            0.0,
+        )?)
         .dimension(DimensionSpec::with_aggregate_bandwidth(
             TopologyKind::Switch,
             4,
             dim2_gbps,
             0.0,
         )?)
-        .build()?)
+        .build()?;
+    Ok(Platform::custom(topo))
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), ThemisError> {
     println!("--- provisioning classification of the Table 2 platforms ---");
     for preset in PresetTopology::all() {
         let topo = preset.build();
@@ -38,18 +41,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("--- design-space sweep: 4x4 2D platform, dim1 fixed at 400 Gbps ---");
     println!("(just enough would be dim2 = dim1 / P1 = 100 Gbps)");
     println!();
-    let request =
-        CollectiveRequest::new(themis::CollectiveKind::AllReduce, DataSize::from_mib(512.0));
     println!(
         "{:>14} {:>20} {:>15} {:>15}",
         "dim2 (Gbps)", "scenario", "baseline util", "Themis util"
     );
+    let size = DataSize::from_mib(512.0);
     for dim2_gbps in [50.0, 100.0, 200.0, 400.0, 800.0] {
-        let topo = design_point(dim2_gbps)?;
-        let class = classify_topology(&topo).pairs[0].class;
-        let executor = CollectiveExecutor::new(&topo);
-        let baseline = executor.run_kind(SchedulerKind::Baseline, 64, &request)?;
-        let themis = executor.run_kind(SchedulerKind::ThemisScf, 64, &request)?;
+        let platform = design_point(dim2_gbps)?;
+        let class = classify_topology(platform.topology()).pairs[0].class;
+        let job = Job::all_reduce(size);
+        let baseline = job.scheduler(SchedulerKind::Baseline).run_on(&platform)?;
+        let themis = job.scheduler(SchedulerKind::ThemisScf).run_on(&platform)?;
         println!(
             "{:>14} {:>20} {:>14.1}% {:>14.1}%",
             dim2_gbps,

@@ -12,13 +12,21 @@
 //! The optional argument is a Table 2 topology name
 //! (default: `3D-SW_SW_SW_hetero`).
 
-use themis::net::preset_by_name;
-use themis::{CommunicationPolicy, TrainingSimulator, Workload};
+use themis::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let topo_name = std::env::args().nth(1).unwrap_or_else(|| "3D-SW_SW_SW_hetero".to_string());
-    let topo = preset_by_name(&topo_name)?;
-    println!("platform: {topo}");
+fn main() -> Result<(), ThemisError> {
+    let topo_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "3D-SW_SW_SW_hetero".to_string());
+    let platform = Platform::named(&topo_name).unwrap_or_else(|err| {
+        eprintln!("error: {err}");
+        eprintln!("valid topology names:");
+        for preset in PresetTopology::all() {
+            eprintln!("  {}", preset.name());
+        }
+        std::process::exit(2);
+    });
+    println!("platform: {}", platform.topology());
     println!();
 
     for workload in Workload::all() {
@@ -27,10 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             workload.per_npu_minibatch(),
             workload.strategy()
         );
-        let simulator = TrainingSimulator::new(workload.config());
         let mut baseline_total = None;
         for policy in CommunicationPolicy::fig12_rows() {
-            let b = simulator.simulate_iteration(&topo, policy)?;
+            let b = TrainingJob::new(workload)
+                .policy(policy)
+                .run_on(&platform)?;
             let total_ms = b.total_ns() / 1e6;
             let norm = baseline_total.map(|t: f64| b.total_ns() / t).unwrap_or(1.0);
             if baseline_total.is_none() {

@@ -1,0 +1,267 @@
+//! The [`Campaign`] builder: declare a sweep as data (platforms × sizes ×
+//! chunk counts × schedulers), expand it into a run matrix, and execute it
+//! through a [`Runner`].
+
+use crate::api::job::{Job, DEFAULT_CHUNKS};
+use crate::api::platform::Platform;
+use crate::api::report::CampaignReport;
+use crate::api::runner::{RunSpec, Runner};
+use crate::error::ThemisError;
+use themis_collectives::CollectiveKind;
+use themis_core::SchedulerKind;
+use themis_net::presets::PresetTopology;
+use themis_net::DataSize;
+use themis_sim::SimOptions;
+
+/// A declarative sweep over the evaluation axes of the paper: which platforms,
+/// collective sizes, chunk granularities and scheduler configurations to run.
+///
+/// Defaults match the paper's evaluation: all three Table 3 schedulers,
+/// 64 chunks per collective, and All-Reduce as the collective pattern.
+/// Platforms and sizes have no default — a campaign must declare at least one
+/// of each, or [`Campaign::expand`] returns [`ThemisError::Campaign`].
+///
+/// ```
+/// use themis::prelude::*;
+///
+/// # fn main() -> Result<(), ThemisError> {
+/// let report = Campaign::new()
+///     .topologies(PresetTopology::next_generation())
+///     .sizes_mib([64.0])
+///     .run(&Runner::parallel())?;
+/// assert_eq!(report.len(), 6 * 3); // 6 platforms x 3 schedulers x 1 size
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Campaign {
+    platforms: Vec<Platform>,
+    schedulers: Vec<SchedulerKind>,
+    sizes: Vec<DataSize>,
+    chunk_counts: Vec<usize>,
+    collective: CollectiveKind,
+    sim_options: Option<SimOptions>,
+}
+
+impl Default for Campaign {
+    fn default() -> Self {
+        Campaign {
+            platforms: Vec::new(),
+            schedulers: SchedulerKind::all().to_vec(),
+            sizes: Vec::new(),
+            chunk_counts: vec![DEFAULT_CHUNKS],
+            collective: CollectiveKind::AllReduce,
+            sim_options: None,
+        }
+    }
+}
+
+impl Campaign {
+    /// Creates an empty campaign with the paper's default axes (see the type
+    /// docs).
+    pub fn new() -> Self {
+        Campaign::default()
+    }
+
+    /// Appends one platform to the sweep.
+    #[must_use]
+    pub fn platform(mut self, platform: impl Into<Platform>) -> Self {
+        self.platforms.push(platform.into());
+        self
+    }
+
+    /// Replaces the platform axis.
+    #[must_use]
+    pub fn platforms<I, P>(mut self, platforms: I) -> Self
+    where
+        I: IntoIterator<Item = P>,
+        P: Into<Platform>,
+    {
+        self.platforms = platforms.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Replaces the platform axis with preset topologies.
+    #[must_use]
+    pub fn topologies<I: IntoIterator<Item = PresetTopology>>(self, presets: I) -> Self {
+        self.platforms(presets)
+    }
+
+    /// Replaces the scheduler axis (default: all three Table 3 schedulers).
+    #[must_use]
+    pub fn schedulers<I: IntoIterator<Item = SchedulerKind>>(mut self, schedulers: I) -> Self {
+        self.schedulers = schedulers.into_iter().collect();
+        self
+    }
+
+    /// Replaces the collective-size axis.
+    #[must_use]
+    pub fn sizes<I: IntoIterator<Item = DataSize>>(mut self, sizes: I) -> Self {
+        self.sizes = sizes.into_iter().collect();
+        self
+    }
+
+    /// Replaces the collective-size axis with sizes given in mebibytes.
+    #[must_use]
+    pub fn sizes_mib<I: IntoIterator<Item = f64>>(self, mib: I) -> Self {
+        self.sizes(mib.into_iter().map(DataSize::from_mib))
+    }
+
+    /// Replaces the chunk-granularity axis (default: `[64]`).
+    #[must_use]
+    pub fn chunk_counts<I: IntoIterator<Item = usize>>(mut self, counts: I) -> Self {
+        self.chunk_counts = counts.into_iter().collect();
+        self
+    }
+
+    /// Sets the collective pattern (default: All-Reduce).
+    #[must_use]
+    pub fn collective(mut self, kind: CollectiveKind) -> Self {
+        self.collective = kind;
+        self
+    }
+
+    /// Overrides the simulator options of *every* platform in the sweep
+    /// (individual platforms keep their own options when this is unset).
+    #[must_use]
+    pub fn sim_options(mut self, options: SimOptions) -> Self {
+        self.sim_options = Some(options);
+        self
+    }
+
+    /// The number of cells the run matrix expands to.
+    pub fn matrix_size(&self) -> usize {
+        self.platforms.len() * self.sizes.len() * self.chunk_counts.len() * self.schedulers.len()
+    }
+
+    /// Expands the campaign into its run matrix, ordered platform → size →
+    /// chunk count → scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThemisError::Campaign`] if any axis is empty or a chunk
+    /// count is zero.
+    pub fn expand(&self) -> Result<Vec<RunSpec>, ThemisError> {
+        for (axis, empty) in [
+            ("platforms", self.platforms.is_empty()),
+            ("sizes", self.sizes.is_empty()),
+            ("chunk counts", self.chunk_counts.is_empty()),
+            ("schedulers", self.schedulers.is_empty()),
+        ] {
+            if empty {
+                return Err(ThemisError::Campaign {
+                    reason: format!("the {axis} axis is empty"),
+                });
+            }
+        }
+        if let Some(&zero) = self.chunk_counts.iter().find(|&&c| c == 0) {
+            return Err(ThemisError::Campaign {
+                reason: format!("chunk counts must be positive, got {zero}"),
+            });
+        }
+        if let Some(options) = self.sim_options {
+            options.validate().map_err(ThemisError::from)?;
+        }
+        let mut specs = Vec::with_capacity(self.matrix_size());
+        for platform in &self.platforms {
+            let platform = match self.sim_options {
+                Some(options) => platform.clone().with_options(options),
+                None => platform.clone(),
+            };
+            for &size in &self.sizes {
+                for &chunks in &self.chunk_counts {
+                    for &scheduler in &self.schedulers {
+                        let job = Job::new(self.collective, size)
+                            .chunks(chunks)
+                            .scheduler(scheduler);
+                        specs.push(RunSpec::new(platform.clone(), job));
+                    }
+                }
+            }
+        }
+        Ok(specs)
+    }
+
+    /// Expands the campaign and executes every cell through `runner`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThemisError::Campaign`] for an invalid matrix and otherwise
+    /// propagates the first scheduling/simulation error in matrix order.
+    pub fn run(&self, runner: &Runner) -> Result<CampaignReport, ThemisError> {
+        let specs = self.expand()?;
+        Ok(CampaignReport::new(runner.execute(&specs)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_covers_the_full_matrix_in_declared_order() {
+        let campaign = Campaign::new()
+            .topologies([PresetTopology::Sw2d, PresetTopology::SwSwSw3dHomo])
+            .sizes_mib([10.0, 20.0])
+            .chunk_counts([4, 8]);
+        assert_eq!(campaign.matrix_size(), 2 * 2 * 2 * 3);
+        let specs = campaign.expand().unwrap();
+        assert_eq!(specs.len(), 24);
+        // Scheduler is the innermost axis.
+        assert_eq!(specs[0].job.scheduler_kind(), SchedulerKind::Baseline);
+        assert_eq!(specs[1].job.scheduler_kind(), SchedulerKind::ThemisFifo);
+        assert_eq!(specs[2].job.scheduler_kind(), SchedulerKind::ThemisScf);
+        // Then chunk counts, then sizes, then platforms.
+        assert_eq!(specs[0].job.chunk_count(), 4);
+        assert_eq!(specs[3].job.chunk_count(), 8);
+        assert_eq!(specs[6].job.size(), DataSize::from_mib(20.0));
+        assert_eq!(specs[12].platform.name(), "3D-SW_SW_SW_homo");
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        let no_platforms = Campaign::new().sizes_mib([10.0]).expand();
+        assert!(matches!(no_platforms, Err(ThemisError::Campaign { .. })));
+        let no_sizes = Campaign::new().topology_fixture().expand();
+        assert!(matches!(no_sizes, Err(ThemisError::Campaign { .. })));
+        let no_schedulers = Campaign::new()
+            .topology_fixture()
+            .sizes_mib([10.0])
+            .schedulers([])
+            .expand();
+        assert!(matches!(no_schedulers, Err(ThemisError::Campaign { .. })));
+        let zero_chunks = Campaign::new()
+            .topology_fixture()
+            .sizes_mib([10.0])
+            .chunk_counts([0])
+            .expand();
+        assert!(matches!(zero_chunks, Err(ThemisError::Campaign { .. })));
+    }
+
+    #[test]
+    fn sim_options_override_applies_to_every_cell() {
+        let options = SimOptions::default().with_max_concurrent_ops(2);
+        let specs = Campaign::new()
+            .topology_fixture()
+            .sizes_mib([10.0])
+            .sim_options(options)
+            .expand()
+            .unwrap();
+        assert!(specs
+            .iter()
+            .all(|s| s.platform.options().max_concurrent_ops_per_dim == 2));
+        let bad = Campaign::new()
+            .topology_fixture()
+            .sizes_mib([10.0])
+            .sim_options(SimOptions::default().with_max_concurrent_ops(0))
+            .expand();
+        assert!(matches!(bad, Err(ThemisError::Sim(_))));
+    }
+
+    impl Campaign {
+        /// Test helper: one small platform.
+        fn topology_fixture(self) -> Self {
+            self.topologies([PresetTopology::Sw2d])
+        }
+    }
+}

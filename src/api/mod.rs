@@ -1,0 +1,52 @@
+//! The high-level experiment API of the reproduction.
+//!
+//! The paper's whole evaluation is *campaign-shaped*: every figure sweeps
+//! schedulers × topologies × collective sizes × chunk counts. This module
+//! turns that shape into a first-class, data-driven API so callers never
+//! hand-wire the schedule-then-simulate pipeline:
+//!
+//! * [`Platform`] — a preset or custom topology plus its [`themis_sim::SimOptions`].
+//! * [`Job`] — one collective (kind, size, chunks, scheduler); [`TrainingJob`]
+//!   is the analogue for full training iterations.
+//! * [`Campaign`] — a builder over the evaluation axes that expands into a run
+//!   matrix of [`RunSpec`]s.
+//! * [`Runner`] — executes a matrix sequentially or on a thread pool; both
+//!   backends return bit-identical [`RunResult`]s in matrix order.
+//! * [`CampaignReport`] — the collected results, with lookups, speedup
+//!   helpers and dependency-free JSON serialization ([`json`]).
+//!
+//! Every entry point returns `Result<_, `[`ThemisError`]`>`.
+//!
+//! ```
+//! use themis::prelude::*;
+//!
+//! # fn main() -> Result<(), ThemisError> {
+//! let report = Campaign::new()
+//!     .topologies([PresetTopology::Sw2d])
+//!     .schedulers([SchedulerKind::Baseline, SchedulerKind::ThemisScf])
+//!     .sizes_mib([64.0])
+//!     .chunk_counts([16])
+//!     .run(&Runner::sequential())?;
+//! let speedup = report
+//!     .speedup_over_baseline("2D-SW_SW", DataSize::from_mib(64.0), SchedulerKind::ThemisScf)
+//!     .expect("both cells ran");
+//! assert!(speedup >= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod campaign;
+pub mod job;
+pub mod json;
+pub mod platform;
+pub mod report;
+pub mod runner;
+pub mod training;
+
+pub use crate::error::ThemisError;
+pub use campaign::Campaign;
+pub use job::{Job, ScheduledRun, DEFAULT_CHUNKS};
+pub use platform::Platform;
+pub use report::{CampaignReport, RunConfig, RunResult};
+pub use runner::{RunSpec, Runner};
+pub use training::TrainingJob;

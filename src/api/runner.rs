@@ -1,0 +1,202 @@
+//! Campaign execution backends: a sequential runner and a dependency-free
+//! multi-threaded runner built on `std::thread::scope`.
+//!
+//! Both backends produce *identical* output for the same spec list: results
+//! are returned in spec order and every simulation is deterministic, so the
+//! parallel backend is a pure wall-clock optimisation.
+
+use crate::api::job::Job;
+use crate::api::platform::Platform;
+use crate::api::report::RunResult;
+use crate::error::ThemisError;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One cell of an expanded campaign matrix: a [`Job`] bound to a [`Platform`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// The platform the job runs on.
+    pub platform: Platform,
+    /// The job to run.
+    pub job: Job,
+}
+
+impl RunSpec {
+    /// Creates a run spec.
+    pub fn new(platform: Platform, job: Job) -> Self {
+        RunSpec { platform, job }
+    }
+
+    /// Executes the spec: schedules and simulates the job on the platform.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and simulation errors as [`ThemisError`].
+    pub fn execute(&self) -> Result<RunResult, ThemisError> {
+        self.job.run_on(&self.platform)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Sequential,
+    Parallel { threads: Option<NonZeroUsize> },
+}
+
+/// Executes a list of [`RunSpec`]s and collects their [`RunResult`]s in spec
+/// order.
+///
+/// The parallel backend distributes specs over a pool of worker threads with
+/// an atomic work index (the heavy simulations dominate, so dynamic
+/// distribution beats static chunking when cell costs are skewed). Reports
+/// are bit-identical to the sequential backend's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Runner {
+    backend: Backend,
+}
+
+impl Runner {
+    /// A runner that executes specs one after the other on the calling thread.
+    pub fn sequential() -> Self {
+        Runner {
+            backend: Backend::Sequential,
+        }
+    }
+
+    /// A runner that executes specs on one worker thread per available core.
+    pub fn parallel() -> Self {
+        Runner {
+            backend: Backend::Parallel { threads: None },
+        }
+    }
+
+    /// A parallel runner with an explicit worker-thread count (values of zero
+    /// are treated as one).
+    pub fn parallel_threads(threads: usize) -> Self {
+        Runner {
+            backend: Backend::Parallel {
+                threads: NonZeroUsize::new(threads.max(1)),
+            },
+        }
+    }
+
+    /// `true` if this runner uses worker threads.
+    pub fn is_parallel(&self) -> bool {
+        matches!(self.backend, Backend::Parallel { .. })
+    }
+
+    /// The number of worker threads this runner would use for `jobs` specs.
+    pub fn worker_count(&self, jobs: usize) -> usize {
+        match self.backend {
+            Backend::Sequential => 1,
+            Backend::Parallel { threads } => {
+                let available = threads
+                    .or_else(|| std::thread::available_parallelism().ok())
+                    .map_or(1, NonZeroUsize::get);
+                available.min(jobs).max(1)
+            }
+        }
+    }
+
+    /// Executes `specs` and returns their results in spec order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in spec order; remaining in-flight cells are
+    /// still executed (the backends do not cancel), but their results are
+    /// discarded.
+    pub fn execute(&self, specs: &[RunSpec]) -> Result<Vec<RunResult>, ThemisError> {
+        match self.backend {
+            Backend::Sequential => specs.iter().map(RunSpec::execute).collect(),
+            Backend::Parallel { .. } => self.execute_parallel(specs),
+        }
+    }
+
+    fn execute_parallel(&self, specs: &[RunSpec]) -> Result<Vec<RunResult>, ThemisError> {
+        let workers = self.worker_count(specs.len());
+        if workers <= 1 || specs.len() <= 1 {
+            return specs.iter().map(RunSpec::execute).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<RunResult, ThemisError>>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(index) else { break };
+                    // Each slot is written by exactly one worker; the mutex
+                    // only publishes the write to the collecting thread.
+                    *slots[index]
+                        .lock()
+                        .expect("no panics while holding the slot lock") = Some(spec.execute());
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker threads joined without panicking")
+                    .expect("every spec index below len was claimed by a worker")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_core::SchedulerKind;
+    use themis_net::presets::PresetTopology;
+
+    fn specs() -> Vec<RunSpec> {
+        let platform = Platform::preset(PresetTopology::Sw2d);
+        SchedulerKind::all()
+            .into_iter()
+            .map(|kind| {
+                RunSpec::new(
+                    platform.clone(),
+                    Job::all_reduce_mib(32.0).chunks(8).scheduler(kind),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_bit_for_bit() {
+        let specs = specs();
+        let sequential = Runner::sequential().execute(&specs).unwrap();
+        let parallel = Runner::parallel_threads(3).execute(&specs).unwrap();
+        assert_eq!(sequential, parallel);
+        // Order matches the spec list, not completion order.
+        for (spec, result) in specs.iter().zip(&sequential) {
+            assert_eq!(spec.job.scheduler_kind(), result.config.scheduler);
+        }
+    }
+
+    #[test]
+    fn errors_propagate_in_spec_order() {
+        let platform = Platform::preset(PresetTopology::Sw2d);
+        let mut specs = specs();
+        specs.insert(
+            1,
+            RunSpec::new(platform, Job::all_reduce_mib(32.0).chunks(0)),
+        );
+        for runner in [Runner::sequential(), Runner::parallel_threads(2)] {
+            let err = runner.execute(&specs).unwrap_err();
+            assert!(matches!(err, ThemisError::Schedule(_)), "{runner:?}");
+        }
+    }
+
+    #[test]
+    fn worker_counts_are_bounded() {
+        assert_eq!(Runner::sequential().worker_count(10), 1);
+        assert_eq!(Runner::parallel_threads(4).worker_count(2), 2);
+        assert_eq!(Runner::parallel_threads(0).worker_count(10), 1);
+        assert!(Runner::parallel().worker_count(64) >= 1);
+        assert!(!Runner::sequential().is_parallel());
+        assert!(Runner::parallel().is_parallel());
+    }
+}

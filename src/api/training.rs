@@ -1,0 +1,94 @@
+//! Training-iteration runs through the facade: the Fig. 12 scenario as a
+//! builder, mirroring [`crate::api::Job`] for collectives.
+
+use crate::api::platform::Platform;
+use crate::error::ThemisError;
+use themis_workloads::{CommunicationPolicy, IterationBreakdown, TrainingSimulator, Workload};
+
+/// A training-iteration job: one paper workload simulated under a
+/// communication scheduling policy.
+///
+/// ```
+/// use themis::api::{Platform, TrainingJob};
+/// use themis::{CommunicationPolicy, PresetTopology, Workload};
+///
+/// # fn main() -> Result<(), themis::ThemisError> {
+/// let platform = Platform::preset(PresetTopology::SwSwSw3dHomo);
+/// let themis = TrainingJob::new(Workload::ResNet152).run_on(&platform)?;
+/// let baseline = TrainingJob::new(Workload::ResNet152)
+///     .policy(CommunicationPolicy::Baseline)
+///     .run_on(&platform)?;
+/// assert!(themis.total_ns() <= baseline.total_ns());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrainingJob {
+    workload: Workload,
+    policy: CommunicationPolicy,
+}
+
+impl TrainingJob {
+    /// Creates a training job for `workload` (default policy: Themis+SCF).
+    pub fn new(workload: Workload) -> Self {
+        TrainingJob {
+            workload,
+            policy: CommunicationPolicy::ThemisScf,
+        }
+    }
+
+    /// Sets the communication scheduling policy.
+    #[must_use]
+    pub fn policy(mut self, policy: CommunicationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The workload this job trains.
+    pub fn workload(&self) -> Workload {
+        self.workload
+    }
+
+    /// The communication scheduling policy.
+    pub fn policy_kind(&self) -> CommunicationPolicy {
+        self.policy
+    }
+
+    /// Simulates one training iteration on `platform` and returns the
+    /// latency breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThemisError::Workload`] if the workload's parallelization
+    /// strategy cannot be mapped onto the platform's topology.
+    pub fn run_on(&self, platform: &Platform) -> Result<IterationBreakdown, ThemisError> {
+        Ok(TrainingSimulator::new(self.workload.config())
+            .with_sim_options(platform.options())
+            .simulate_iteration(platform.topology(), self.policy)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_net::presets::PresetTopology;
+
+    #[test]
+    fn policies_are_ordered_on_a_next_gen_platform() {
+        let platform = Platform::preset(PresetTopology::SwSwSw3dHetero);
+        let job = TrainingJob::new(Workload::Gnmt);
+        assert_eq!(job.policy_kind(), CommunicationPolicy::ThemisScf);
+        assert_eq!(job.workload(), Workload::Gnmt);
+        let baseline = job
+            .policy(CommunicationPolicy::Baseline)
+            .run_on(&platform)
+            .unwrap();
+        let themis = job.run_on(&platform).unwrap();
+        let ideal = job
+            .policy(CommunicationPolicy::Ideal)
+            .run_on(&platform)
+            .unwrap();
+        assert!(themis.total_ns() <= baseline.total_ns() * 1.0001);
+        assert!(ideal.total_ns() <= themis.total_ns() * 1.0001);
+    }
+}

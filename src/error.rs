@@ -1,0 +1,136 @@
+//! The unified error type of the facade: every entry point of [`crate::api`]
+//! returns `Result<_, ThemisError>`, so callers never juggle the five
+//! per-crate error types.
+
+use std::error::Error;
+use std::fmt;
+
+use themis_collectives::CollectiveError;
+use themis_core::ScheduleError;
+use themis_net::NetError;
+use themis_sim::SimError;
+use themis_workloads::WorkloadError;
+
+/// The top-level error type of the `themis` facade.
+///
+/// Wraps each workspace crate's error type (with `From` conversions, so `?`
+/// works across the whole API surface) and adds the failure modes of the
+/// campaign layer itself.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ThemisError {
+    /// A topology construction or validation error (`themis-net`).
+    Net(NetError),
+    /// A collective algorithm or cost-model error (`themis-collectives`).
+    Collective(CollectiveError),
+    /// A scheduling error (`themis-core`).
+    Schedule(ScheduleError),
+    /// A simulation error (`themis-sim`).
+    Sim(SimError),
+    /// A workload modelling or training-simulation error (`themis-workloads`).
+    Workload(WorkloadError),
+    /// A campaign was declared with an empty or invalid run matrix.
+    Campaign {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A campaign report could not be serialized or deserialized.
+    Json {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ThemisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThemisError::Net(err) => write!(f, "topology error: {err}"),
+            ThemisError::Collective(err) => write!(f, "collective error: {err}"),
+            ThemisError::Schedule(err) => write!(f, "scheduling error: {err}"),
+            ThemisError::Sim(err) => write!(f, "simulation error: {err}"),
+            ThemisError::Workload(err) => write!(f, "workload error: {err}"),
+            ThemisError::Campaign { reason } => write!(f, "invalid campaign: {reason}"),
+            ThemisError::Json { reason } => write!(f, "campaign JSON error: {reason}"),
+        }
+    }
+}
+
+impl Error for ThemisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ThemisError::Net(err) => Some(err),
+            ThemisError::Collective(err) => Some(err),
+            ThemisError::Schedule(err) => Some(err),
+            ThemisError::Sim(err) => Some(err),
+            ThemisError::Workload(err) => Some(err),
+            ThemisError::Campaign { .. } | ThemisError::Json { .. } => None,
+        }
+    }
+}
+
+impl From<NetError> for ThemisError {
+    fn from(err: NetError) -> Self {
+        ThemisError::Net(err)
+    }
+}
+
+impl From<CollectiveError> for ThemisError {
+    fn from(err: CollectiveError) -> Self {
+        ThemisError::Collective(err)
+    }
+}
+
+impl From<ScheduleError> for ThemisError {
+    fn from(err: ScheduleError) -> Self {
+        ThemisError::Schedule(err)
+    }
+}
+
+impl From<SimError> for ThemisError {
+    fn from(err: SimError) -> Self {
+        ThemisError::Sim(err)
+    }
+}
+
+impl From<WorkloadError> for ThemisError {
+    fn from(err: WorkloadError) -> Self {
+        ThemisError::Workload(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_wrap_every_crate_error() {
+        let net: ThemisError = NetError::EmptyTopology.into();
+        assert!(matches!(net, ThemisError::Net(_)));
+        let coll: ThemisError = CollectiveError::TooFewParticipants { participants: 1 }.into();
+        assert!(matches!(coll, ThemisError::Collective(_)));
+        let sched: ThemisError = ScheduleError::ZeroChunks.into();
+        assert!(matches!(sched, ThemisError::Schedule(_)));
+        let sim: ThemisError = SimError::InvalidOptions {
+            reason: "x".to_string(),
+        }
+        .into();
+        assert!(matches!(sim, ThemisError::Sim(_)));
+        let work: ThemisError = WorkloadError::InvalidParameter {
+            reason: "y".to_string(),
+        }
+        .into();
+        assert!(matches!(work, ThemisError::Workload(_)));
+    }
+
+    #[test]
+    fn display_and_source_are_populated() {
+        let wrapped: ThemisError = NetError::EmptyTopology.into();
+        assert!(wrapped.to_string().contains("topology error"));
+        assert!(wrapped.source().is_some());
+        let flat = ThemisError::Campaign {
+            reason: "no sizes".to_string(),
+        };
+        assert!(flat.to_string().contains("no sizes"));
+        assert!(flat.source().is_none());
+    }
+}

@@ -20,28 +20,35 @@
 //!   Transformer-1T), parallelization strategies and the training-iteration
 //!   simulator.
 //!
-//! The most common types are re-exported at the crate root.
+//! On top of those it provides [`api`], the high-level experiment layer:
+//! [`api::Platform`] / [`api::Job`] describe one run, [`api::Campaign`]
+//! declares a sweep over schedulers × topologies × sizes × chunk counts, and
+//! [`api::Runner`] executes the expanded matrix sequentially or on a thread
+//! pool. Every entry point returns `Result<_, `[`ThemisError`]`>`, the single
+//! error type of the facade. Import [`prelude`] to get the whole surface.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use themis::{
-//!     CollectiveRequest, CollectiveScheduler, PipelineSimulator, PresetTopology,
-//!     SchedulerKind, SimOptions,
-//! };
+//! use themis::prelude::*;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // A 1024-NPU next-generation platform from Table 2 of the paper.
-//! let topo = PresetTopology::SwSwSw3dHomo.build();
+//! # fn main() -> Result<(), ThemisError> {
+//! // Sweep a 256 MiB gradient All-Reduce over a 1024-NPU next-generation
+//! // platform from Table 2, under every Table 3 scheduler.
+//! let report = Campaign::new()
+//!     .topologies([PresetTopology::SwSwSw3dHomo])
+//!     .sizes_mib([256.0])
+//!     .run(&Runner::parallel())?;
 //!
-//! // Schedule a 256 MiB gradient All-Reduce with Themis and with the baseline.
-//! let request = CollectiveRequest::all_reduce_mib(256.0);
-//! let sim = PipelineSimulator::new(&topo, SimOptions::default());
+//! let size = DataSize::from_mib(256.0);
+//! let baseline = report
+//!     .find("3D-SW_SW_SW_homo", SchedulerKind::Baseline, size)
+//!     .expect("the campaign ran this cell");
+//! let themis = report
+//!     .find("3D-SW_SW_SW_homo", SchedulerKind::ThemisScf, size)
+//!     .expect("the campaign ran this cell");
 //!
-//! let baseline = sim.run(&SchedulerKind::Baseline.build(64).schedule(&request, &topo)?)?;
-//! let themis = sim.run(&SchedulerKind::ThemisScf.build(64).schedule(&request, &topo)?)?;
-//!
-//! assert!(themis.total_time_ns < baseline.total_time_ns);
+//! assert!(themis.total_time_ns() < baseline.total_time_ns());
 //! assert!(themis.average_bw_utilization() > baseline.average_bw_utilization());
 //! # Ok(())
 //! # }
@@ -49,11 +56,21 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
+pub mod error;
+pub mod prelude;
+
 pub use themis_collectives as collectives;
 pub use themis_core as core;
 pub use themis_net as net;
 pub use themis_sim as sim;
 pub use themis_workloads as workloads;
+
+pub use api::{
+    Campaign, CampaignReport, Job, Platform, RunConfig, RunResult, RunSpec, Runner, ScheduledRun,
+    TrainingJob,
+};
+pub use error::ThemisError;
 
 pub use themis_collectives::{algorithm_for, AlgorithmKind, CollectiveKind, CostModel, PhaseOp};
 pub use themis_core::{

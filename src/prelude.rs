@@ -1,0 +1,20 @@
+//! One-import surface for the facade: `use themis::prelude::*;` brings in the
+//! experiment layer ([`Campaign`], [`Runner`], [`Platform`], [`Job`], ...) and
+//! the workspace types campaigns are built from.
+
+pub use crate::api::{
+    Campaign, CampaignReport, Job, Platform, RunConfig, RunResult, RunSpec, Runner, ScheduledRun,
+    TrainingJob,
+};
+pub use crate::error::ThemisError;
+
+pub use themis_collectives::{CollectiveKind, PhaseOp};
+pub use themis_core::{
+    CollectiveRequest, CollectiveSchedule, CollectiveScheduler, IntraDimPolicy, SchedulerKind,
+};
+pub use themis_net::presets::PresetTopology;
+pub use themis_net::{Bandwidth, DataSize, DimensionSpec, NetworkTopology, TopologyKind};
+pub use themis_sim::{SimOptions, SimReport};
+pub use themis_workloads::{
+    CommunicationPolicy, IterationBreakdown, TrainingConfig, TrainingSimulator, Workload,
+};

@@ -1,0 +1,179 @@
+//! Integration tests of the `themis::api` experiment layer: campaign matrix
+//! expansion, sequential/parallel runner determinism, the unified error type,
+//! and JSON round-tripping of campaign reports.
+
+use themis::prelude::*;
+
+fn small_campaign() -> Campaign {
+    Campaign::new()
+        .topologies([PresetTopology::Sw2d, PresetTopology::SwSwSw3dHetero])
+        .sizes_mib([64.0, 128.0])
+        .chunk_counts([16])
+}
+
+#[test]
+fn campaign_expansion_counts_match_the_declared_axes() {
+    let campaign = Campaign::new()
+        .topologies(PresetTopology::next_generation())
+        .sizes_mib([100.0, 250.0, 500.0, 750.0, 1024.0])
+        .chunk_counts([32, 64]);
+    assert_eq!(campaign.matrix_size(), 6 * 5 * 2 * 3);
+    let specs = campaign.expand().unwrap();
+    assert_eq!(specs.len(), 180);
+    // Matrix order: platform -> size -> chunks -> scheduler; the scheduler
+    // axis cycles fastest.
+    assert_eq!(specs[0].job.scheduler_kind(), SchedulerKind::Baseline);
+    assert_eq!(specs[1].job.scheduler_kind(), SchedulerKind::ThemisFifo);
+    assert_eq!(specs[2].job.scheduler_kind(), SchedulerKind::ThemisScf);
+    assert_eq!(specs[0].job.chunk_count(), 32);
+    assert_eq!(specs[3].job.chunk_count(), 64);
+    // Each platform block covers sizes x chunks x schedulers cells.
+    assert_eq!(specs[0].platform.name(), "2D-SW_SW");
+    assert_eq!(specs[5 * 2 * 3].platform.name(), "3D-SW_SW_SW_homo");
+}
+
+#[test]
+fn parallel_and_sequential_runners_produce_identical_reports() {
+    let campaign = small_campaign();
+    let sequential = campaign.run(&Runner::sequential()).unwrap();
+    let parallel = campaign.run(&Runner::parallel_threads(4)).unwrap();
+    assert_eq!(sequential.len(), 2 * 2 * 3); // platforms x sizes x schedulers
+                                             // Bit-identical, including matrix order and every float in every report.
+    assert_eq!(sequential, parallel);
+    for (seq, par) in sequential.iter().zip(parallel.iter()) {
+        assert_eq!(seq.total_time_ns().to_bits(), par.total_time_ns().to_bits());
+    }
+}
+
+#[test]
+fn campaign_cells_match_single_job_runs() {
+    let report = small_campaign().run(&Runner::parallel()).unwrap();
+    let platform = Platform::preset(PresetTopology::Sw2d);
+    let single = Job::all_reduce_mib(64.0)
+        .chunks(16)
+        .scheduler(SchedulerKind::ThemisScf)
+        .run_on(&platform)
+        .unwrap();
+    let cell = report
+        .find_with_chunks(
+            "2D-SW_SW",
+            SchedulerKind::ThemisScf,
+            DataSize::from_mib(64.0),
+            16,
+        )
+        .unwrap();
+    assert_eq!(cell, &single);
+}
+
+#[test]
+fn campaign_report_round_trips_through_json() {
+    let report = small_campaign().run(&Runner::parallel()).unwrap();
+    let text = report.to_json();
+    assert!(text.starts_with('{'));
+    let restored = CampaignReport::from_json(&text).unwrap();
+    assert_eq!(restored, report);
+    // And the restored report supports the same queries.
+    let speedup = restored
+        .speedup_over_baseline(
+            "2D-SW_SW",
+            DataSize::from_mib(128.0),
+            SchedulerKind::ThemisScf,
+        )
+        .unwrap();
+    assert!(speedup >= 1.0);
+}
+
+#[test]
+fn themis_error_wraps_every_layer_of_the_stack() {
+    // themis-net: unknown preset name.
+    let err = Platform::named("9D-everything").unwrap_err();
+    assert!(matches!(err, ThemisError::Net(_)), "{err}");
+
+    // themis-core: zero chunks is a scheduling error.
+    let platform = Platform::preset(PresetTopology::Sw2d);
+    let err = Job::all_reduce_mib(16.0)
+        .chunks(0)
+        .run_on(&platform)
+        .unwrap_err();
+    assert!(matches!(err, ThemisError::Schedule(_)), "{err}");
+
+    // themis-sim: invalid simulator options surface from the campaign layer.
+    let err = Campaign::new()
+        .topologies([PresetTopology::Sw2d])
+        .sizes_mib([16.0])
+        .sim_options(SimOptions::default().with_max_concurrent_ops(0))
+        .run(&Runner::sequential())
+        .unwrap_err();
+    assert!(matches!(err, ThemisError::Sim(_)), "{err}");
+
+    // themis-workloads: Transformer-1T's 128-NPU model-parallel group cannot
+    // be carved out of a 4-NPU platform.
+    let tiny = Platform::custom(
+        NetworkTopology::builder("tiny-2x2")
+            .dimension(
+                DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, 2, 100.0, 0.0)
+                    .unwrap(),
+            )
+            .dimension(
+                DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, 2, 100.0, 0.0)
+                    .unwrap(),
+            )
+            .build()
+            .unwrap(),
+    );
+    let err = TrainingJob::new(Workload::Transformer1T)
+        .run_on(&tiny)
+        .unwrap_err();
+    assert!(matches!(err, ThemisError::Workload(_)), "{err}");
+
+    // themis-collectives: errors convert through the shared From impl.
+    let collective_err =
+        themis::collectives::CollectiveError::TooFewParticipants { participants: 1 };
+    let err = ThemisError::from(collective_err);
+    assert!(matches!(err, ThemisError::Collective(_)), "{err}");
+
+    // Campaign-level validation has its own variant.
+    let err = Campaign::new().run(&Runner::sequential()).unwrap_err();
+    assert!(matches!(err, ThemisError::Campaign { .. }), "{err}");
+
+    // And malformed JSON reports too.
+    let err = CampaignReport::from_json("[not json").unwrap_err();
+    assert!(matches!(err, ThemisError::Json { .. }), "{err}");
+}
+
+#[test]
+fn errors_propagate_through_both_runner_backends() {
+    let campaign = Campaign::new()
+        .topologies([PresetTopology::Sw2d])
+        .sizes_mib([16.0])
+        .chunk_counts([0]);
+    for runner in [Runner::sequential(), Runner::parallel()] {
+        let err = campaign.run(&runner).unwrap_err();
+        assert!(matches!(err, ThemisError::Campaign { .. }), "{err}");
+    }
+}
+
+#[test]
+fn custom_platforms_and_options_flow_through_the_campaign() {
+    let topo = NetworkTopology::builder("custom-4x4")
+        .dimension(
+            DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, 4, 800.0, 0.0).unwrap(),
+        )
+        .dimension(
+            DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, 4, 400.0, 0.0).unwrap(),
+        )
+        .build()
+        .unwrap();
+    let report = Campaign::new()
+        .platform(Platform::custom(topo).with_enforced_order(true))
+        .schedulers([SchedulerKind::ThemisScf])
+        .sizes_mib([32.0])
+        .chunk_counts([8])
+        .run(&Runner::sequential())
+        .unwrap();
+    assert_eq!(report.len(), 1);
+    let run = &report.results()[0];
+    assert_eq!(run.config.topology, "custom-4x4");
+    assert_eq!(run.config.chunks, 8);
+    assert!(run.total_time_ns() > 0.0);
+}

@@ -1,0 +1,62 @@
+//! Shared helpers for the deterministic property tests.
+//!
+//! The build environment is offline, so `proptest` is unavailable; the
+//! property tests instead sweep deterministic parameter grids and draw
+//! pseudo-random data from a seeded linear congruential generator.
+
+#![allow(dead_code)] // each integration-test crate uses a subset of these
+
+/// A seeded linear congruential generator (Numerical Recipes constants):
+/// deterministic, dependency-free pseudo-randomness for test data.
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    pub fn new(seed: u64) -> Self {
+        Lcg {
+            state: seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // xorshift the high bits down for better low-bit quality.
+        self.state ^ (self.state >> 33)
+    }
+
+    /// A float uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    /// An integer uniform in `[lo, hi]`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo + 1)
+    }
+
+    /// A matrix of `p` rows × `elements` columns of floats in `[lo, hi)`
+    /// (per-NPU participant data for the functional collectives).
+    pub fn participant_data(
+        &mut self,
+        p: usize,
+        elements: usize,
+        lo: f64,
+        hi: f64,
+    ) -> Vec<Vec<f64>> {
+        (0..p)
+            .map(|_| (0..elements).map(|_| self.uniform(lo, hi)).collect())
+            .collect()
+    }
+}
+
+/// Relative float comparison used by the numerical correctness checks.
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-6 * (1.0 + b.abs())
+}

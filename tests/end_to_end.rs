@@ -1,37 +1,32 @@
 //! Cross-crate integration tests: scheduling → simulation → reporting on the
-//! paper's evaluation platforms, plus data-level correctness of the schedules
-//! the Themis scheduler emits.
+//! paper's evaluation platforms (driven through the `themis::api` facade),
+//! plus data-level correctness of the schedules the Themis scheduler emits.
 
 use themis::collectives::functional::{hierarchical, reference_all_reduce};
-use themis::{
-    CollectiveRequest, CollectiveScheduler, DataSize, DimensionSpec, IdealEstimator,
-    IntraDimPolicy, NetworkTopology, PipelineSimulator, PresetTopology, SchedulerKind,
-    SimOptions, ThemisScheduler, TopologyKind,
-};
-use themis_core::enforced_intra_dim_order;
+use themis::core::enforced_intra_dim_order;
+use themis::prelude::*;
+use themis::{IdealEstimator, PipelineSimulator};
 
-fn gigabyte_request() -> CollectiveRequest {
-    CollectiveRequest::new(themis::CollectiveKind::AllReduce, DataSize::from_gib(1.0))
+fn gigabyte_job() -> Job {
+    Job::all_reduce(DataSize::from_gib(1.0))
 }
 
 #[test]
 fn every_scheduler_produces_valid_executable_schedules_on_every_platform() {
-    let request = CollectiveRequest::all_reduce_mib(300.0);
     for preset in PresetTopology::all() {
-        let topo = preset.build();
-        let simulator = PipelineSimulator::new(&topo, SimOptions::default());
+        let platform = Platform::preset(preset);
         for kind in SchedulerKind::all() {
-            let schedule = kind.build(32).schedule(&request, &topo).unwrap();
-            schedule.validate(&topo).unwrap();
+            let job = Job::all_reduce_mib(300.0).chunks(32).scheduler(kind);
+            let run = job.run_detailed(&platform).unwrap();
+            run.schedule.validate(platform.topology()).unwrap();
             assert!(
-                (schedule.total_chunk_bytes() - request.size().as_bytes_f64()).abs() < 1.0,
+                (run.schedule.total_chunk_bytes() - job.size().as_bytes_f64()).abs() < 1.0,
                 "{}: chunk bytes do not sum to the collective size",
                 preset.name()
             );
-            let report = simulator.run(&schedule).unwrap();
-            assert!(report.total_time_ns > 0.0);
-            assert!(report.average_bw_utilization() <= 1.0 + 1e-9);
-            for util in report.per_dim_utilization() {
+            assert!(run.report.total_time_ns > 0.0);
+            assert!(run.report.average_bw_utilization() <= 1.0 + 1e-9);
+            for util in run.report.per_dim_utilization() {
                 assert!((0.0..=1.0 + 1e-9).contains(&util));
             }
         }
@@ -40,25 +35,27 @@ fn every_scheduler_produces_valid_executable_schedules_on_every_platform() {
 
 #[test]
 fn themis_never_loses_to_the_baseline_and_never_beats_the_ideal_bound_at_scale() {
-    let request = gigabyte_request();
     let ideal = IdealEstimator::new();
     for preset in PresetTopology::next_generation() {
-        let topo = preset.build();
-        let simulator = PipelineSimulator::new(&topo, SimOptions::default());
-        let baseline = simulator
-            .run(&SchedulerKind::Baseline.build(64).schedule(&request, &topo).unwrap())
+        let platform = Platform::preset(preset);
+        let baseline = gigabyte_job()
+            .scheduler(SchedulerKind::Baseline)
+            .run_on(&platform)
             .unwrap();
-        let themis = simulator
-            .run(&SchedulerKind::ThemisScf.build(64).schedule(&request, &topo).unwrap())
+        let themis = gigabyte_job()
+            .scheduler(SchedulerKind::ThemisScf)
+            .run_on(&platform)
             .unwrap();
-        let bound = ideal.communication_time_ns(&request, &topo).unwrap();
+        let bound = ideal
+            .communication_time_ns(&gigabyte_job().request(), platform.topology())
+            .unwrap();
         assert!(
-            themis.total_time_ns <= baseline.total_time_ns,
+            themis.total_time_ns() <= baseline.total_time_ns(),
             "{}: Themis slower than baseline",
             preset.name()
         );
         assert!(
-            themis.total_time_ns >= bound,
+            themis.total_time_ns() >= bound,
             "{}: Themis beat the Table 3 ideal bound",
             preset.name()
         );
@@ -74,19 +71,26 @@ fn themis_never_loses_to_the_baseline_and_never_beats_the_ideal_bound_at_scale()
 #[test]
 fn simulated_total_time_respects_per_dimension_transfer_lower_bounds() {
     // No dimension can finish before pushing its scheduled bytes at full BW.
-    let request = CollectiveRequest::all_reduce_mib(512.0);
-    for preset in [PresetTopology::SwSwSw3dHetero, PresetTopology::RingFcRingSw4d] {
-        let topo = preset.build();
+    for preset in [
+        PresetTopology::SwSwSw3dHetero,
+        PresetTopology::RingFcRingSw4d,
+    ] {
+        let platform = Platform::preset(preset);
         for kind in SchedulerKind::all() {
-            let schedule = kind.build(64).schedule(&request, &topo).unwrap();
-            let report =
-                PipelineSimulator::new(&topo, SimOptions::default()).run(&schedule).unwrap();
-            let wire = schedule.wire_bytes_per_dim(&topo);
+            let run = Job::all_reduce_mib(512.0)
+                .scheduler(kind)
+                .run_detailed(&platform)
+                .unwrap();
+            let wire = run.schedule.wire_bytes_per_dim(platform.topology());
             for (dim, bytes) in wire.iter().enumerate() {
-                let bw = topo.dim_bandwidth(dim).unwrap().as_bytes_per_ns();
+                let bw = platform
+                    .topology()
+                    .dim_bandwidth(dim)
+                    .unwrap()
+                    .as_bytes_per_ns();
                 let lower_bound = bytes / bw;
                 assert!(
-                    report.total_time_ns >= lower_bound - 1.0,
+                    run.report.total_time_ns >= lower_bound - 1.0,
                     "{} / {}: dim{} lower bound violated",
                     preset.name(),
                     kind.label(),
@@ -103,18 +107,31 @@ fn themis_chunk_schedules_produce_correct_allreduce_results_on_real_data() {
     // data-level functional collectives and check the numerical result — the
     // end-to-end version of Observation 1.
     let topo = NetworkTopology::builder("functional-3d")
-        .dimension(DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, 2, 800.0, 0.0).unwrap())
-        .dimension(DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, 4, 400.0, 0.0).unwrap())
-        .dimension(DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, 2, 100.0, 0.0).unwrap())
+        .dimension(
+            DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, 2, 800.0, 0.0).unwrap(),
+        )
+        .dimension(
+            DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, 4, 400.0, 0.0).unwrap(),
+        )
+        .dimension(
+            DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, 2, 100.0, 0.0).unwrap(),
+        )
         .build()
         .unwrap();
-    let request = CollectiveRequest::all_reduce_mib(64.0);
-    let schedule = ThemisScheduler::new(8).schedule(&request, &topo).unwrap();
+    let platform = Platform::custom(topo);
+    let schedule = Job::all_reduce_mib(64.0)
+        .chunks(8)
+        .schedule_on(&platform)
+        .unwrap();
 
-    let npus = topo.num_npus();
+    let npus = platform.topology().num_npus();
     let elements = npus * 4;
     let data: Vec<Vec<f64>> = (0..npus)
-        .map(|npu| (0..elements).map(|e| (npu * 13 + e * 7) as f64 % 19.0 - 9.0).collect())
+        .map(|npu| {
+            (0..elements)
+                .map(|e| (npu * 13 + e * 7) as f64 % 19.0 - 9.0)
+                .collect()
+        })
         .collect();
     let expected = reference_all_reduce(&data).unwrap();
 
@@ -125,7 +142,8 @@ fn themis_chunk_schedules_produce_correct_allreduce_results_on_real_data() {
         if rs_order != vec![0, 1, 2] {
             seen_non_baseline_order = true;
         }
-        let result = hierarchical::all_reduce(&topo, &data, &rs_order, &ag_order).unwrap();
+        let result =
+            hierarchical::all_reduce(platform.topology(), &data, &rs_order, &ag_order).unwrap();
         for (row, reference) in result.iter().zip(expected.iter()) {
             for (a, b) in row.iter().zip(reference.iter()) {
                 assert!((a - b).abs() < 1e-9);
@@ -140,22 +158,23 @@ fn themis_chunk_schedules_produce_correct_allreduce_results_on_real_data() {
 
 #[test]
 fn enforced_intra_dimension_order_is_consistent_across_replicas_and_executable() {
-    let request = CollectiveRequest::all_reduce_mib(256.0);
     for preset in [PresetTopology::Sw2d, PresetTopology::RingSwSwSw4d] {
-        let topo = preset.build();
-        let schedule = SchedulerKind::ThemisScf.build(32).schedule(&request, &topo).unwrap();
+        let platform = Platform::preset(preset);
+        let job = Job::all_reduce_mib(256.0).chunks(32);
+        let schedule = job.schedule_on(&platform).unwrap();
         // Two replicas (two NPUs computing locally) agree on the order.
-        let a = enforced_intra_dim_order(&schedule, &topo).unwrap();
-        let b = enforced_intra_dim_order(&schedule, &topo).unwrap();
+        let a = enforced_intra_dim_order(&schedule, platform.topology()).unwrap();
+        let b = enforced_intra_dim_order(&schedule, platform.topology()).unwrap();
         assert_eq!(a, b);
         // Enforcing the order does not deadlock the simulator and changes the
         // completion time only marginally for a deterministic run.
-        let plain = PipelineSimulator::new(&topo, SimOptions::default()).run(&schedule).unwrap();
-        let enforced =
-            PipelineSimulator::new(&topo, SimOptions::default().with_enforced_order(true))
-                .run(&schedule)
-                .unwrap();
-        assert!((plain.total_time_ns - enforced.total_time_ns).abs() < plain.total_time_ns * 0.05);
+        let plain = job.run_on(&platform).unwrap();
+        let enforced = job
+            .run_on(&platform.clone().with_enforced_order(true))
+            .unwrap();
+        assert!(
+            (plain.total_time_ns() - enforced.total_time_ns()).abs() < plain.total_time_ns() * 0.05
+        );
     }
 }
 
@@ -164,11 +183,13 @@ fn intra_dimension_policy_matters_for_themis_but_not_for_the_baseline() {
     // Sec. 4.3: the baseline's utilisation is invariant to the intra-dimension
     // policy (all chunks have identical schedules); Themis+SCF is at least as
     // good as Themis+FIFO on average.
-    let request = gigabyte_request();
-    let topo = PresetTopology::SwSwSw3dHomo.build();
-    let simulator = PipelineSimulator::new(&topo, SimOptions::default());
+    let platform = Platform::preset(PresetTopology::SwSwSw3dHomo);
+    let simulator = PipelineSimulator::new(platform.topology(), platform.options());
 
-    let baseline_schedule = SchedulerKind::Baseline.build(64).schedule(&request, &topo).unwrap();
+    let baseline_schedule = gigabyte_job()
+        .scheduler(SchedulerKind::Baseline)
+        .schedule_on(&platform)
+        .unwrap();
     let base_fifo = simulator
         .run_with_policy(&baseline_schedule, IntraDimPolicy::Fifo)
         .unwrap();
@@ -177,13 +198,15 @@ fn intra_dimension_policy_matters_for_themis_but_not_for_the_baseline() {
         .unwrap();
     assert!((base_fifo.total_time_ns - base_scf.total_time_ns).abs() < 1.0);
 
-    let fifo = simulator
-        .run(&SchedulerKind::ThemisFifo.build(64).schedule(&request, &topo).unwrap())
+    let fifo = gigabyte_job()
+        .scheduler(SchedulerKind::ThemisFifo)
+        .run_on(&platform)
         .unwrap();
-    let scf = simulator
-        .run(&SchedulerKind::ThemisScf.build(64).schedule(&request, &topo).unwrap())
+    let scf = gigabyte_job()
+        .scheduler(SchedulerKind::ThemisScf)
+        .run_on(&platform)
         .unwrap();
-    assert!(scf.total_time_ns <= fifo.total_time_ns * 1.01);
+    assert!(scf.total_time_ns() <= fifo.total_time_ns() * 1.01);
 }
 
 #[test]
@@ -195,11 +218,11 @@ fn sub_topology_collectives_match_the_transformer_partitioning() {
     let (mp, dp) = topo.split_for_group(128, "mp", "dp").unwrap();
     assert_eq!(mp.num_npus(), 128);
     assert_eq!(dp.num_npus(), 8);
-    let request = CollectiveRequest::all_reduce_mib(64.0);
-    for part in [&mp, &dp] {
-        let report = PipelineSimulator::new(part, SimOptions::default())
-            .run(&SchedulerKind::ThemisScf.build(16).schedule(&request, part).unwrap())
+    for part in [mp, dp] {
+        let result = Job::all_reduce_mib(64.0)
+            .chunks(16)
+            .run_on(&Platform::custom(part))
             .unwrap();
-        assert!(report.total_time_ns > 0.0);
+        assert!(result.total_time_ns() > 0.0);
     }
 }

@@ -48,7 +48,12 @@ fn fig08_and_fig11_sweeps_have_the_right_shape() {
     let fig08 = experiments::fig08::run_with(&sizes);
     assert_eq!(fig08.len(), 6);
     for point in &fig08 {
-        assert!(point.scf_speedup() >= 1.0, "{}: {:?}", point.topology, point.time_us);
+        assert!(
+            point.scf_speedup() >= 1.0,
+            "{}: {:?}",
+            point.topology,
+            point.time_us
+        );
     }
     let fig11 = experiments::fig11::run_with(&sizes);
     let means = experiments::fig11::mean_utilization(&fig11);
@@ -88,10 +93,8 @@ fn fig12_and_summary_reproduce_the_headline_shape() {
     assert!(avg > 1.05);
     assert!(max >= avg);
 
-    let headline = experiments::summary::compute_with(
-        &[DataSize::from_mib(512.0)],
-        &[Workload::Gnmt],
-    );
+    let headline =
+        experiments::summary::compute_with(&[DataSize::from_mib(512.0)], &[Workload::Gnmt]);
     assert!(headline.allreduce_speedup_mean > 1.2);
     assert!(headline.mean_utilization[2] > headline.mean_utilization[0]);
 }

@@ -1,0 +1,203 @@
+//! Property-style tests of the data-level collective algorithms and of the
+//! cost model: the Table 1 algorithms must compute mathematically correct
+//! results for arbitrary inputs, and the hierarchical All-Reduce must be
+//! correct for *any* stage ordering (Observation 1 of the paper).
+//!
+//! Deterministic grids + seeded pseudo-random data stand in for `proptest`
+//! (unavailable in the offline build environment); every case that fails
+//! prints the parameters needed to reproduce it.
+
+mod common;
+
+use common::{close, Lcg};
+use themis::collectives::functional::{
+    all_to_all, direct, halving_doubling, hierarchical, reference_all_reduce,
+    reference_reduce_scatter, ring,
+};
+use themis::collectives::{algorithm_for, CostModel, PhaseOp};
+use themis::{DimensionSpec, NetworkTopology, TopologyKind};
+
+fn assert_matches_reference(result: &[Vec<f64>], expected: &[Vec<f64>], context: &str) {
+    for (row, reference) in result.iter().zip(expected.iter()) {
+        for (a, b) in row.iter().zip(reference.iter()) {
+            assert!(close(*a, *b), "{context}: {a} != {b}");
+        }
+    }
+}
+
+#[test]
+fn ring_all_reduce_matches_the_reference() {
+    for p in 2usize..9 {
+        for seg in 1usize..5 {
+            for seed in [1u64, 7, 42, 1337] {
+                let elements = p * seg;
+                let data = Lcg::new(seed ^ (p as u64) << 8 ^ (seg as u64) << 16)
+                    .participant_data(p, elements, -70.0, 70.0);
+                let result = ring::all_reduce(&data).unwrap();
+                let expected = reference_all_reduce(&data).unwrap();
+                assert_matches_reference(&result, &expected, &format!("ring p={p} seg={seg}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn direct_and_halving_doubling_match_the_reference() {
+    for pow in 1u32..5 {
+        for seg in 1usize..4 {
+            let p = 1usize << pow;
+            let elements = p * seg;
+            let data = Lcg::new(900 + pow as u64 * 10 + seg as u64)
+                .participant_data(p, elements, -50.0, 50.0);
+            let expected = reference_all_reduce(&data).unwrap();
+            for (name, result) in [
+                ("direct", direct::all_reduce(&data).unwrap()),
+                (
+                    "halving-doubling",
+                    halving_doubling::all_reduce(&data).unwrap(),
+                ),
+            ] {
+                assert_matches_reference(&result, &expected, &format!("{name} p={p} seg={seg}"));
+            }
+            // Reduce-Scatter shards tile the vector and match the reference sums.
+            let shards = halving_doubling::reduce_scatter(&data).unwrap();
+            let reference_shards = reference_reduce_scatter(&data).unwrap();
+            for shard in &shards {
+                let matching = reference_shards
+                    .iter()
+                    .find(|r| r.start == shard.start)
+                    .unwrap();
+                for (a, b) in shard.values.iter().zip(matching.values.iter()) {
+                    assert!(close(*a, *b), "rs shard p={p} seg={seg}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hierarchical_all_reduce_is_order_independent() {
+    // A 2x2x2 machine (8 NPUs) and 16 elements per NPU: every Reduce-Scatter
+    // permutation combined with every All-Gather permutation must produce the
+    // same (reference) result — Observation 1.
+    let topo = NetworkTopology::new(
+        "grid-2x2x2",
+        vec![
+            DimensionSpec::with_aggregate_bandwidth(TopologyKind::Switch, 2, 100.0, 0.0).unwrap(),
+            DimensionSpec::with_aggregate_bandwidth(TopologyKind::Ring, 2, 100.0, 0.0).unwrap(),
+            DimensionSpec::with_aggregate_bandwidth(TopologyKind::FullyConnected, 2, 100.0, 0.0)
+                .unwrap(),
+        ],
+    )
+    .unwrap();
+    let permutations: [Vec<usize>; 6] = [
+        vec![0, 1, 2],
+        vec![0, 2, 1],
+        vec![1, 0, 2],
+        vec![1, 2, 0],
+        vec![2, 0, 1],
+        vec![2, 1, 0],
+    ];
+    for seed in [3u64, 99] {
+        let data = Lcg::new(seed).participant_data(8, 16, -100.0, 100.0);
+        let expected = reference_all_reduce(&data).unwrap();
+        for rs_perm in &permutations {
+            for ag_perm in &permutations {
+                let result = hierarchical::all_reduce(&topo, &data, rs_perm, ag_perm).unwrap();
+                assert_matches_reference(
+                    &result,
+                    &expected,
+                    &format!("hierarchical rs={rs_perm:?} ag={ag_perm:?}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_to_all_preserves_the_value_multiset() {
+    for p in 2usize..8 {
+        for seed in [5u64, 77, 4242] {
+            let elements = p * p;
+            let data: Vec<Vec<f64>> = (0..p)
+                .map(|node| {
+                    (0..elements)
+                        .map(|e| ((seed as usize + node * 7 + e * 3) % 101) as f64 - 50.0)
+                        .collect()
+                })
+                .collect();
+            let once = all_to_all::all_to_all(&data).unwrap();
+            // Total multiset of values is preserved.
+            let mut before: Vec<i64> = data
+                .iter()
+                .flatten()
+                .map(|v| (*v * 1000.0) as i64)
+                .collect();
+            let mut after: Vec<i64> = once
+                .iter()
+                .flatten()
+                .map(|v| (*v * 1000.0) as i64)
+                .collect();
+            before.sort_unstable();
+            after.sort_unstable();
+            assert_eq!(before, after, "p={p} seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn cost_model_is_monotonic_and_consistent() {
+    let kinds = [
+        TopologyKind::Ring,
+        TopologyKind::FullyConnected,
+        TopologyKind::Switch,
+    ];
+    let mut rng = Lcg::new(2024);
+    for kind in kinds {
+        for pow in 1u32..7 {
+            for _ in 0..8 {
+                let p = 1usize << pow;
+                let bandwidth = rng.uniform(50.0, 3000.0);
+                let latency = rng.uniform(0.0, 2000.0);
+                let bytes = rng.uniform(1.0, 1e9);
+                let context = format!("{kind:?} p={p} bw={bandwidth} lat={latency} bytes={bytes}");
+                let dim =
+                    DimensionSpec::with_aggregate_bandwidth(kind, p, bandwidth, latency).unwrap();
+                let model = CostModel::new();
+                let smaller = model
+                    .chunk_cost(&dim, PhaseOp::ReduceScatter, bytes)
+                    .unwrap();
+                let larger = model
+                    .chunk_cost(&dim, PhaseOp::ReduceScatter, bytes * 2.0)
+                    .unwrap();
+                // Monotonic in chunk size.
+                assert!(larger.total_ns() >= smaller.total_ns(), "{context}");
+                assert!(larger.wire_bytes >= smaller.wire_bytes, "{context}");
+                // Total = fixed + transfer; the fixed delay matches steps x latency.
+                assert!(
+                    close(
+                        smaller.total_ns(),
+                        smaller.fixed_delay_ns + smaller.transfer_ns
+                    ),
+                    "{context}"
+                );
+                let algorithm = algorithm_for(kind);
+                assert!(
+                    close(
+                        smaller.fixed_delay_ns,
+                        algorithm.steps(PhaseOp::ReduceScatter, p) as f64 * latency
+                    ),
+                    "{context}"
+                );
+                // Reduce-Scatter then All-Gather restores the resident size.
+                let after_rs = smaller.resident_bytes_after;
+                let ag = model
+                    .chunk_cost(&dim, PhaseOp::AllGather, after_rs)
+                    .unwrap();
+                assert!(close(ag.resident_bytes_after, bytes), "{context}");
+                // The All-Gather leg moves the same bytes as the Reduce-Scatter leg.
+                assert!(close(ag.wire_bytes, smaller.wire_bytes), "{context}");
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-style tests of the scheduling layer: on pseudo-randomly generated
+//! multi-dimensional topologies and collective sizes, the schedulers must
+//! always emit valid, size-preserving, deterministic schedules, and the
+//! simulator must respect its physical invariants. Runs are driven through
+//! the `themis::api` facade.
+//!
+//! Deterministic seeded generation stands in for `proptest` (unavailable in
+//! the offline build environment).
+
+mod common;
+
+use common::Lcg;
+use themis::core::{DimLoadTracker, Splitter};
+use themis::prelude::*;
+use themis::IdealEstimator;
+
+/// Generates a pseudo-random dimension (size 2–16, bandwidth 50–2000 Gbps,
+/// latency 0–2000 ns). Switch dimensions are constrained to power-of-two
+/// sizes because the halving-doubling algorithm requires it.
+fn random_dimension(rng: &mut Lcg) -> DimensionSpec {
+    let kind = match rng.range(0, 2) {
+        0 => TopologyKind::Ring,
+        1 => TopologyKind::FullyConnected,
+        _ => TopologyKind::Switch,
+    };
+    let size = match kind {
+        TopologyKind::Switch => 1usize << rng.range(1, 4),
+        _ => rng.range(2, 16),
+    };
+    let bandwidth = rng.uniform(50.0, 2000.0);
+    let latency = rng.uniform(0.0, 2000.0);
+    DimensionSpec::with_aggregate_bandwidth(kind, size, bandwidth, latency)
+        .expect("generated dimensions are valid")
+}
+
+/// Generates a pseudo-random 2–4 dimensional topology.
+fn random_topology(rng: &mut Lcg, case: usize) -> NetworkTopology {
+    let dims = (0..rng.range(2, 4))
+        .map(|_| random_dimension(rng))
+        .collect();
+    NetworkTopology::new(format!("generated-{case}"), dims).expect("generated topologies are valid")
+}
+
+fn random_collective_kind(rng: &mut Lcg) -> CollectiveKind {
+    CollectiveKind::all()[rng.range(0, 3)]
+}
+
+#[test]
+fn themis_schedules_are_valid_and_cover_the_whole_collective() {
+    let mut rng = Lcg::new(11);
+    for case in 0..48 {
+        let platform = Platform::custom(random_topology(&mut rng, case));
+        let kind = random_collective_kind(&mut rng);
+        let size = DataSize::from_mib(rng.uniform(1.0, 512.0));
+        let chunks = rng.range(1, 96);
+        let schedule = Job::new(kind, size)
+            .chunks(chunks)
+            .scheduler(SchedulerKind::ThemisScf)
+            .schedule_on(&platform)
+            .unwrap();
+        schedule.validate(platform.topology()).unwrap();
+        assert_eq!(schedule.chunks().len(), chunks);
+        let total: f64 = schedule.total_chunk_bytes();
+        assert!((total - size.as_bytes_f64()).abs() < 1.0, "case {case}");
+        // Every chunk visits each dimension exactly once per phase, and the
+        // All-Gather order is the reverse of the Reduce-Scatter order for
+        // All-Reduce chunks (Algorithm 1, line 8).
+        if kind == CollectiveKind::AllReduce {
+            for chunk in schedule.chunks() {
+                let rs = chunk.reduce_scatter_order();
+                let mut ag = chunk.all_gather_order();
+                ag.reverse();
+                assert_eq!(rs, ag, "case {case}");
+            }
+        }
+    }
+}
+
+#[test]
+fn scheduling_is_deterministic() {
+    let mut rng = Lcg::new(23);
+    for case in 0..24 {
+        let platform = Platform::custom(random_topology(&mut rng, case));
+        let job = Job::all_reduce_mib(rng.uniform(1.0, 256.0)).chunks(32);
+        let a = job.schedule_on(&platform).unwrap();
+        let b = job.schedule_on(&platform).unwrap();
+        assert_eq!(a, b, "case {case}");
+    }
+}
+
+#[test]
+fn simulation_respects_physical_invariants() {
+    let mut rng = Lcg::new(37);
+    for case in 0..36 {
+        let platform = Platform::custom(random_topology(&mut rng, case));
+        let kind = SchedulerKind::all()[rng.range(0, 2)];
+        let job = Job::all_reduce_mib(rng.uniform(1.0, 256.0))
+            .chunks(16)
+            .scheduler(kind);
+        let run = job.run_detailed(&platform).unwrap();
+        let report = &run.report;
+
+        // Completion time is positive and at least the Table 3 ideal bound.
+        let bound = IdealEstimator::new()
+            .communication_time_ns(&job.request(), platform.topology())
+            .unwrap();
+        assert!(report.total_time_ns > 0.0, "case {case}");
+        assert!(report.total_time_ns >= bound * 0.999, "case {case}");
+
+        // Utilisations are fractions; busy time never exceeds completion time.
+        assert!(report.average_bw_utilization() <= 1.0 + 1e-9, "case {case}");
+        for (dim, util) in report.per_dim_utilization().iter().enumerate() {
+            assert!((0.0..=1.0 + 1e-9).contains(util), "case {case}");
+            assert!(
+                report.dims[dim].busy_ns <= report.total_time_ns + 1.0,
+                "case {case}"
+            );
+        }
+
+        // The bytes that crossed each dimension match the schedule's prediction.
+        let predicted = run.schedule.wire_bytes_per_dim(platform.topology());
+        for (dim, expected) in predicted.iter().enumerate() {
+            assert!(
+                (report.dims[dim].wire_bytes - expected).abs() < 1.0,
+                "case {case}"
+            );
+        }
+    }
+}
+
+#[test]
+fn splitter_chunks_always_sum_to_the_collective_size() {
+    let mut rng = Lcg::new(53);
+    for case in 0..128 {
+        let bytes = 1 + rng.next_u64() % (1u64 << 40);
+        let chunks = rng.range(1, 511);
+        let splitter = Splitter::new(chunks).unwrap();
+        let sizes = splitter.split(DataSize::from_bytes(bytes)).unwrap();
+        assert_eq!(sizes.len(), chunks, "case {case}");
+        let total: f64 = sizes.iter().sum();
+        assert_eq!(total as u64, bytes, "case {case}");
+        let max = sizes.iter().cloned().fold(f64::MIN, f64::max);
+        let min = sizes.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min <= 1.0, "case {case}");
+    }
+}
+
+#[test]
+fn load_tracker_orderings_are_consistent_permutations() {
+    let mut rng = Lcg::new(71);
+    for case in 0..64 {
+        let loads: Vec<f64> = (0..rng.range(1, 7))
+            .map(|_| rng.uniform(0.0, 1e9))
+            .collect();
+        let mut tracker = DimLoadTracker::new(loads.len());
+        tracker.reset(loads.clone());
+        let ascending = tracker.dims_by_ascending_load();
+        let descending = tracker.dims_by_descending_load();
+        // Both orders are permutations of the dimension indices.
+        let mut sorted_asc = ascending.clone();
+        sorted_asc.sort_unstable();
+        assert_eq!(
+            &sorted_asc,
+            &(0..loads.len()).collect::<Vec<_>>(),
+            "case {case}"
+        );
+        // Ascending order is non-decreasing in load; descending non-increasing.
+        for pair in ascending.windows(2) {
+            assert!(loads[pair[0]] <= loads[pair[1]] + 1e-12, "case {case}");
+        }
+        for pair in descending.windows(2) {
+            assert!(loads[pair[0]] >= loads[pair[1]] - 1e-12, "case {case}");
+        }
+        assert!(tracker.load_gap() >= 0.0, "case {case}");
+    }
+}

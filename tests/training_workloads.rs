@@ -10,11 +10,15 @@ fn policy_ordering_holds_for_every_workload_and_topology() {
         let simulator = TrainingSimulator::new(workload.config());
         for preset in PresetTopology::next_generation() {
             let topo = preset.build();
-            let baseline =
-                simulator.simulate_iteration(&topo, CommunicationPolicy::Baseline).unwrap();
-            let themis =
-                simulator.simulate_iteration(&topo, CommunicationPolicy::ThemisScf).unwrap();
-            let ideal = simulator.simulate_iteration(&topo, CommunicationPolicy::Ideal).unwrap();
+            let baseline = simulator
+                .simulate_iteration(&topo, CommunicationPolicy::Baseline)
+                .unwrap();
+            let themis = simulator
+                .simulate_iteration(&topo, CommunicationPolicy::ThemisScf)
+                .unwrap();
+            let ideal = simulator
+                .simulate_iteration(&topo, CommunicationPolicy::Ideal)
+                .unwrap();
             assert!(
                 themis.total_ns() <= baseline.total_ns() * 1.0001,
                 "{workload} on {}: Themis slower than baseline",
@@ -43,10 +47,12 @@ fn training_speedups_fall_in_a_plausible_band() {
         let mut speedups = Vec::new();
         for preset in PresetTopology::next_generation() {
             let topo = preset.build();
-            let baseline =
-                simulator.simulate_iteration(&topo, CommunicationPolicy::Baseline).unwrap();
-            let themis =
-                simulator.simulate_iteration(&topo, CommunicationPolicy::ThemisScf).unwrap();
+            let baseline = simulator
+                .simulate_iteration(&topo, CommunicationPolicy::Baseline)
+                .unwrap();
+            let themis = simulator
+                .simulate_iteration(&topo, CommunicationPolicy::ThemisScf)
+                .unwrap();
             speedups.push(themis.speedup_over(&baseline));
         }
         let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
@@ -92,9 +98,12 @@ fn themis_gains_grow_with_the_communication_fraction() {
     let mut results = Vec::new();
     for workload in [Workload::ResNet152, Workload::Transformer1T] {
         let simulator = TrainingSimulator::new(workload.config());
-        let baseline =
-            simulator.simulate_iteration(&topo, CommunicationPolicy::Baseline).unwrap();
-        let themis = simulator.simulate_iteration(&topo, CommunicationPolicy::ThemisScf).unwrap();
+        let baseline = simulator
+            .simulate_iteration(&topo, CommunicationPolicy::Baseline)
+            .unwrap();
+        let themis = simulator
+            .simulate_iteration(&topo, CommunicationPolicy::ThemisScf)
+            .unwrap();
         results.push((baseline.comm_fraction(), themis.speedup_over(&baseline)));
     }
     let (frac_a, speed_a) = results[0];
@@ -119,9 +128,12 @@ fn communication_utilization_is_reported_and_bounded() {
                 breakdown.comm_utilization
             );
         }
-        let baseline =
-            simulator.simulate_iteration(&topo, CommunicationPolicy::Baseline).unwrap();
-        let themis = simulator.simulate_iteration(&topo, CommunicationPolicy::ThemisScf).unwrap();
+        let baseline = simulator
+            .simulate_iteration(&topo, CommunicationPolicy::Baseline)
+            .unwrap();
+        let themis = simulator
+            .simulate_iteration(&topo, CommunicationPolicy::ThemisScf)
+            .unwrap();
         assert!(themis.comm_utilization >= baseline.comm_utilization - 1e-9);
     }
 }
