@@ -1,0 +1,12 @@
+//! Prints the streaming-queue experiment: training-iteration gradient
+//! streams under the sequential timeline vs the overlap-aware stream engine.
+//!
+//! ```text
+//! cargo run --release -p themis-bench --bin stream_overlap
+//! ```
+
+use themis_bench::experiments::stream_overlap;
+
+fn main() {
+    println!("{}", stream_overlap::run());
+}

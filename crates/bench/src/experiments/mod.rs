@@ -13,6 +13,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod sec63;
+pub mod stream_overlap;
 pub mod summary;
 pub mod table2;
 

@@ -1,0 +1,133 @@
+//! A tiny built-in wall-clock benchmark harness.
+//!
+//! The build environment is offline, so criterion cannot be vendored; this
+//! module provides the small subset the ROADMAP's runner-scaling benches
+//! need: run a closure a fixed number of times, collect per-iteration wall
+//! times, and report min/median/mean/max. No statistics beyond that — the
+//! harness exists to catch order-of-magnitude regressions in CI smoke runs
+//! and to produce comparable numbers locally, not to replace criterion.
+
+use std::time::Instant;
+
+/// Wall-clock statistics of one measured benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchStat {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of measured iterations.
+    pub iterations: usize,
+    /// Fastest iteration, ns.
+    pub min_ns: f64,
+    /// Median iteration, ns.
+    pub median_ns: f64,
+    /// Mean iteration, ns.
+    pub mean_ns: f64,
+    /// Slowest iteration, ns.
+    pub max_ns: f64,
+}
+
+impl BenchStat {
+    /// Mean iteration time in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_ns / 1e6
+    }
+
+    /// Median iteration time in milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        self.median_ns / 1e6
+    }
+
+    /// Throughput ratio of this stat over `other` (other mean / this mean):
+    /// above `1.0` means this benchmark is faster.
+    pub fn speedup_over(&self, other: &BenchStat) -> f64 {
+        if self.mean_ns <= 0.0 {
+            return f64::INFINITY;
+        }
+        other.mean_ns / self.mean_ns
+    }
+}
+
+/// Measures `f` for `iterations` wall-clock samples after `warmup` unmeasured
+/// runs. `iterations` is clamped to at least one.
+pub fn measure<F: FnMut()>(
+    name: impl Into<String>,
+    warmup: usize,
+    iterations: usize,
+    mut f: F,
+) -> BenchStat {
+    for _ in 0..warmup {
+        f();
+    }
+    let iterations = iterations.max(1);
+    let mut samples_ns = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let started = Instant::now();
+        f();
+        samples_ns.push(started.elapsed().as_nanos() as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let min_ns = samples_ns[0];
+    let max_ns = samples_ns[iterations - 1];
+    let mean_ns = samples_ns.iter().sum::<f64>() / iterations as f64;
+    let median_ns = if iterations % 2 == 1 {
+        samples_ns[iterations / 2]
+    } else {
+        (samples_ns[iterations / 2 - 1] + samples_ns[iterations / 2]) / 2.0
+    };
+    BenchStat {
+        name: name.into(),
+        iterations,
+        min_ns,
+        median_ns,
+        mean_ns,
+        max_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_collects_ordered_statistics() {
+        let mut counter = 0u64;
+        let stat = measure("spin", 1, 5, || {
+            for i in 0..10_000u64 {
+                counter = counter.wrapping_add(i);
+            }
+        });
+        assert_eq!(stat.iterations, 5);
+        assert!(stat.min_ns > 0.0);
+        assert!(stat.min_ns <= stat.median_ns);
+        assert!(stat.median_ns <= stat.max_ns);
+        assert!(stat.mean_ns >= stat.min_ns && stat.mean_ns <= stat.max_ns);
+        assert!(stat.mean_ms() > 0.0);
+        assert!(stat.median_ms() > 0.0);
+        assert_eq!(stat.name, "spin");
+    }
+
+    #[test]
+    fn zero_iterations_are_clamped_to_one() {
+        let stat = measure("noop", 0, 0, || {});
+        assert_eq!(stat.iterations, 1);
+    }
+
+    #[test]
+    fn speedup_compares_means() {
+        let fast = BenchStat {
+            name: "fast".into(),
+            iterations: 1,
+            min_ns: 1.0,
+            median_ns: 1.0,
+            mean_ns: 1.0,
+            max_ns: 1.0,
+        };
+        let slow = BenchStat {
+            mean_ns: 2.0,
+            name: "slow".into(),
+            ..fast.clone()
+        };
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.5).abs() < 1e-12);
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`experiments::fig10`] | Fig. 10 — BW utilisation vs chunks per collective |
 //! | [`experiments::fig11`] | Fig. 11 — average BW utilisation vs collective size |
 //! | [`experiments::fig12`] | Fig. 12 — end-to-end training iteration breakdown |
+//! | [`experiments::stream_overlap`] | Sec. 4.3 applied across collectives — streaming queue vs sequential timeline |
 //! | [`experiments::sec63`] | Sec. 6.3 — BW provisioning scenarios |
 //! | [`experiments::summary`] | Sec. 6 headline numbers |
 //!
@@ -32,6 +33,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod harness;
 pub mod report;
 
+pub use harness::{measure, BenchStat};
 pub use report::{Report, Table};

@@ -22,8 +22,12 @@
 //!   timeline of Fig. 9).
 //! * [`CollectiveExecutor`] — convenience wrapper that schedules *and*
 //!   simulates a collective with a given scheduler.
+//! * [`stream`] — the streaming multi-collective queue engine: executes a
+//!   queue of collectives with event-driven admission and per-dimension
+//!   in-flight overlap (chunks of collective *k+1* start on dimensions
+//!   collective *k* has vacated).
 //! * [`timeline`] — sequential execution of several collectives (used by the
-//!   training-loop model).
+//!   training-loop model); a thin back-to-back policy over the stream engine.
 //!
 //! ```
 //! use themis_core::{CollectiveRequest, CollectiveScheduler, ThemisScheduler};
@@ -51,6 +55,7 @@ pub mod executor;
 pub mod options;
 pub mod pipeline;
 pub mod stats;
+pub mod stream;
 pub mod timeline;
 
 pub use engine::{EventQueue, ScheduledEvent};
@@ -59,4 +64,5 @@ pub use executor::CollectiveExecutor;
 pub use options::SimOptions;
 pub use pipeline::PipelineSimulator;
 pub use stats::{DimReport, SimReport};
+pub use stream::{CollectiveSpan, StreamEntry, StreamReport, StreamSimulator};
 pub use timeline::{TimelineEntry, TimelineReport, TimelineSimulator};

@@ -22,6 +22,13 @@ pub struct SimOptions {
     /// Width of the windows used for the frontend-activity timeline of Fig. 9,
     /// in nanoseconds (paper: 100 µs).
     pub activity_window_ns: f64,
+    /// If `true` (the default), the stream engine ([`crate::stream`]) lets
+    /// chunks of a queued collective start on network dimensions that earlier
+    /// collectives have vacated, overlapping collectives in flight the way
+    /// Sec. 4.3 overlaps chunks within one collective. If `false`, queued
+    /// collectives execute strictly back-to-back — the sequential timeline
+    /// model. Single-collective simulations ignore this flag.
+    pub cross_collective_overlap: bool,
 }
 
 impl Default for SimOptions {
@@ -30,6 +37,7 @@ impl Default for SimOptions {
             max_concurrent_ops_per_dim: 1,
             enforce_intra_dim_order: false,
             activity_window_ns: 100_000.0,
+            cross_collective_overlap: true,
         }
     }
 }
@@ -78,6 +86,13 @@ impl SimOptions {
         self.activity_window_ns = window_ns;
         self
     }
+
+    /// Builder-style setter for cross-collective overlap in the stream engine.
+    #[must_use]
+    pub fn with_cross_collective_overlap(mut self, overlap: bool) -> Self {
+        self.cross_collective_overlap = overlap;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +105,7 @@ mod tests {
         assert_eq!(options.max_concurrent_ops_per_dim, 1);
         assert!(!options.enforce_intra_dim_order);
         assert_eq!(options.activity_window_ns, 100_000.0);
+        assert!(options.cross_collective_overlap);
         options.validate().unwrap();
     }
 
@@ -98,10 +114,12 @@ mod tests {
         let options = SimOptions::default()
             .with_max_concurrent_ops(4)
             .with_enforced_order(true)
-            .with_activity_window_ns(50_000.0);
+            .with_activity_window_ns(50_000.0)
+            .with_cross_collective_overlap(false);
         assert_eq!(options.max_concurrent_ops_per_dim, 4);
         assert!(options.enforce_intra_dim_order);
         assert_eq!(options.activity_window_ns, 50_000.0);
+        assert!(!options.cross_collective_overlap);
         options.validate().unwrap();
     }
 

@@ -334,7 +334,7 @@ impl<'a> PipelineSimulator<'a> {
 
 /// Appends `[start, end)` to `intervals`, merging with the previous interval
 /// when contiguous.
-fn push_presence(intervals: &mut Vec<(f64, f64)>, start: f64, end: f64) {
+pub(crate) fn push_presence(intervals: &mut Vec<(f64, f64)>, start: f64, end: f64) {
     if let Some(last) = intervals.last_mut() {
         if (last.1 - start).abs() < 1e-6 {
             last.1 = end;

@@ -1,0 +1,808 @@
+//! The stream execution engine.
+//!
+//! Generalises the single-collective chunk-pipeline loop to a queue of
+//! collectives. Each collective is scheduled with a shared scheduler; its
+//! chunks enter the per-dimension ready queues at the collective's issue time
+//! (event-driven admission). Every dimension serves the earliest admitted
+//! collective first, so a later collective's chunks only start on dimensions
+//! the earlier collectives have vacated — in-flight overlap without ever
+//! reordering a collective behind its queue successors.
+
+use crate::error::SimError;
+use crate::options::SimOptions;
+use crate::pipeline::{push_presence, PipelineSimulator};
+use crate::stats::{DimReport, OpRecord, SimReport};
+use crate::stream::queue::{ActiveOp, DimQueue, PendingOp, StreamEntry, VacancyTracker};
+use crate::stream::report::{CollectiveSpan, StreamReport};
+use themis_collectives::CostModel;
+use themis_core::{
+    enforced_intra_dim_order, CollectiveSchedule, CollectiveScheduler, EnforcedOrder,
+};
+use themis_net::NetworkTopology;
+
+/// Maximum number of zero-progress iterations tolerated before declaring the
+/// stream stalled (mirrors the pipeline simulator's guard).
+const STALL_GUARD: usize = 64;
+
+#[derive(Debug, Clone, Copy)]
+struct OpCost {
+    fixed_ns: f64,
+    transfer_ns: f64,
+    wire_bytes: f64,
+}
+
+impl OpCost {
+    fn work_ns(&self) -> f64 {
+        self.fixed_ns + self.transfer_ns
+    }
+}
+
+/// Book-keeping for one admitted collective during the merged run.
+#[derive(Debug)]
+struct CollState {
+    entry_index: usize,
+    issue_ns: f64,
+    outstanding_ops: usize,
+    started: bool,
+    start_ns: f64,
+    finish_ns: f64,
+    active_ns: f64,
+    overlapped_ns: f64,
+    dims: Vec<DimReport>,
+    op_log: Vec<OpRecord>,
+    enforced: Option<EnforcedOrder>,
+    order_ptr: Vec<usize>,
+}
+
+/// Executes a queue of collectives with a shared scheduler on one topology.
+///
+/// With [`SimOptions::cross_collective_overlap`] enabled (the default) the
+/// engine overlaps queued collectives in flight; with it disabled the queue
+/// degrades to the strict back-to-back execution of the sequential timeline
+/// model, each collective simulated in isolation and laid end to end.
+#[derive(Debug)]
+pub struct StreamSimulator<'a> {
+    topo: &'a NetworkTopology,
+    options: SimOptions,
+}
+
+impl<'a> StreamSimulator<'a> {
+    /// Creates a stream simulator.
+    pub fn new(topo: &'a NetworkTopology, options: SimOptions) -> Self {
+        StreamSimulator { topo, options }
+    }
+
+    /// The topology this simulator executes on.
+    pub fn topology(&self) -> &NetworkTopology {
+        self.topo
+    }
+
+    /// The simulation options.
+    pub fn options(&self) -> &SimOptions {
+        &self.options
+    }
+
+    /// Simulates `entries` using `scheduler` for every collective and returns
+    /// the stream report. Entries are admitted in issue order (ties broken by
+    /// list position); negative or NaN issue times are clamped to zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and simulation errors.
+    pub fn run(
+        &self,
+        scheduler: &mut dyn CollectiveScheduler,
+        entries: &[StreamEntry],
+    ) -> Result<StreamReport, SimError> {
+        self.options.validate()?;
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by(|&a, &b| {
+            entries[a]
+                .clamped_issue_ns()
+                .partial_cmp(&entries[b].clamped_issue_ns())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut schedules = Vec::with_capacity(order.len());
+        for &index in &order {
+            let schedule = scheduler.schedule(&entries[index].request, self.topo)?;
+            schedule.validate(self.topo)?;
+            schedules.push(schedule);
+        }
+        if self.options.cross_collective_overlap {
+            self.run_overlapped(entries, &order, &schedules)
+        } else {
+            self.run_sequential(entries, &order, &schedules)
+        }
+    }
+
+    /// The sequential-timeline policy: each collective is simulated in
+    /// isolation and laid end to end (a collective starts when both its issue
+    /// time has arrived and the network has drained its predecessor).
+    fn run_sequential(
+        &self,
+        entries: &[StreamEntry],
+        order: &[usize],
+        schedules: &[CollectiveSchedule],
+    ) -> Result<StreamReport, SimError> {
+        let simulator = PipelineSimulator::new(self.topo, self.options);
+        let mut report = StreamReport::empty(
+            schedules.first().map_or("", |s| s.scheduler_name()),
+            self.topo.name(),
+            dims_template(self.topo),
+        );
+        let mut network_free_at = 0.0f64;
+        for (slot, &index) in order.iter().enumerate() {
+            let sim_report = simulator.run(&schedules[slot])?;
+            let issue_ns = entries[index].clamped_issue_ns();
+            let start_ns = network_free_at.max(issue_ns);
+            let finish_ns = start_ns + sim_report.total_time_ns;
+            network_free_at = finish_ns;
+            report.network_busy_ns += sim_report.total_time_ns;
+            for (dim, agg) in report.dims.iter_mut().enumerate() {
+                let local = &sim_report.dims[dim];
+                agg.busy_ns += local.busy_ns;
+                agg.wire_bytes += local.wire_bytes;
+                agg.ops_executed += local.ops_executed;
+                for &(s, e) in &local.presence_intervals {
+                    push_presence(&mut agg.presence_intervals, s + start_ns, e + start_ns);
+                }
+            }
+            report.spans.push(CollectiveSpan {
+                index,
+                label: entries[index].label.clone(),
+                issue_ns,
+                start_ns,
+                finish_ns,
+                active_ns: sim_report.total_time_ns,
+                overlapped_ns: 0.0,
+                report: sim_report,
+            });
+        }
+        report.finish_ns = network_free_at;
+        Ok(report)
+    }
+
+    /// The overlap-aware policy: one merged event loop over all admitted
+    /// collectives, with earliest-collective priority on every dimension.
+    fn run_overlapped(
+        &self,
+        entries: &[StreamEntry],
+        order: &[usize],
+        schedules: &[CollectiveSchedule],
+    ) -> Result<StreamReport, SimError> {
+        let num_dims = self.topo.num_dims();
+        let cost_model = CostModel::new();
+
+        // Pre-compute the cost of every (collective, chunk, stage) op.
+        let mut op_costs: Vec<Vec<Vec<OpCost>>> = Vec::with_capacity(schedules.len());
+        for schedule in schedules {
+            let mut chunk_costs = Vec::with_capacity(schedule.chunks().len());
+            for chunk in schedule.chunks() {
+                let entry_bytes = chunk.stage_entry_bytes(self.topo);
+                let mut costs = Vec::with_capacity(chunk.stages.len());
+                for (stage, &bytes) in chunk.stages.iter().zip(entry_bytes.iter()) {
+                    let spec = self.topo.dim(stage.dim)?;
+                    let cost = cost_model
+                        .chunk_cost(spec, stage.op, bytes)
+                        .map_err(themis_core::ScheduleError::from)?;
+                    costs.push(OpCost {
+                        fixed_ns: cost.fixed_delay_ns,
+                        transfer_ns: cost.transfer_ns,
+                        wire_bytes: cost.wire_bytes,
+                    });
+                }
+                chunk_costs.push(costs);
+            }
+            op_costs.push(chunk_costs);
+        }
+
+        let mut colls: Vec<CollState> = Vec::with_capacity(order.len());
+        for (slot, &index) in order.iter().enumerate() {
+            let enforced = if self.options.enforce_intra_dim_order {
+                Some(enforced_intra_dim_order(&schedules[slot], self.topo)?)
+            } else {
+                None
+            };
+            colls.push(CollState {
+                entry_index: index,
+                issue_ns: entries[index].clamped_issue_ns(),
+                outstanding_ops: schedules[slot]
+                    .chunks()
+                    .iter()
+                    .map(|c| c.stages.len())
+                    .sum(),
+                started: false,
+                start_ns: 0.0,
+                finish_ns: 0.0,
+                active_ns: 0.0,
+                overlapped_ns: 0.0,
+                dims: dims_template(self.topo),
+                op_log: Vec::new(),
+                enforced,
+                order_ptr: vec![0usize; num_dims],
+            });
+        }
+
+        let mut report = StreamReport::empty(
+            schedules.first().map_or("", |s| s.scheduler_name()),
+            self.topo.name(),
+            dims_template(self.topo),
+        );
+
+        let mut dims: Vec<DimQueue> = (0..num_dims).map(|_| DimQueue::new()).collect();
+        let mut vacancy = VacancyTracker::from_stage_dims(
+            schedules.iter().map(|schedule| {
+                schedule
+                    .chunks()
+                    .iter()
+                    .flat_map(|chunk| chunk.stages.iter().map(|stage| stage.dim))
+                    .collect::<Vec<_>>()
+            }),
+            num_dims,
+        );
+        let mut arrival: u64 = 0;
+        let mut now = 0.0f64;
+        let mut outstanding = 0usize;
+        let mut admit_ptr = 0usize;
+        let mut stall_counter = 0usize;
+        // Per-segment accounting scratch, allocated once for the whole run.
+        // The per-dim flags are reset through `touched` so a segment costs
+        // O(ops in flight), not O(dims × collectives).
+        let mut coll_active = vec![false; colls.len()];
+        let mut coll_busy_on_dim = vec![false; colls.len()];
+        let mut coll_on_dim = vec![false; colls.len()];
+        let mut touched: Vec<usize> = Vec::with_capacity(colls.len());
+
+        while admit_ptr < colls.len() || outstanding > 0 {
+            // Event-driven admission: collectives whose issue time has arrived
+            // enter the ready queues (their chunks' first stages).
+            while admit_ptr < colls.len() && colls[admit_ptr].issue_ns <= now {
+                let coll = admit_ptr;
+                admit_ptr += 1;
+                let state = &mut colls[coll];
+                if state.outstanding_ops == 0 {
+                    // A degenerate collective with no stages completes at
+                    // admission.
+                    state.started = true;
+                    state.start_ns = now;
+                    state.finish_ns = now;
+                    continue;
+                }
+                outstanding += state.outstanding_ops;
+                for (chunk_idx, chunk) in schedules[coll].chunks().iter().enumerate() {
+                    if let Some(first) = chunk.stages.first() {
+                        dims[first.dim].ready.push(PendingOp {
+                            arrival,
+                            coll,
+                            chunk: chunk_idx,
+                            stage: 0,
+                        });
+                        arrival += 1;
+                    }
+                }
+            }
+
+            // Start as many ops as the concurrency limit, the enforced order
+            // and dimension ownership allow: a dimension serves the earliest
+            // admitted collective that has not vacated it, so chunks of
+            // collective k+1 only start on dimensions collective k is done
+            // with.
+            for (dim, queue) in dims.iter_mut().enumerate() {
+                while queue.active.len() < self.options.max_concurrent_ops_per_dim
+                    && !queue.ready.is_empty()
+                {
+                    let Some(coll) = vacancy.owner(dim, admit_ptr) else {
+                        break;
+                    };
+                    if !queue.ready.iter().any(|op| op.coll == coll) {
+                        // The owner has work left on this dimension but none
+                        // of it is ready yet: the dimension waits rather than
+                        // letting a later collective in ahead of it.
+                        break;
+                    }
+                    let picked = match &colls[coll].enforced {
+                        Some(enforced_order) => {
+                            let Some(&(chunk, stage)) =
+                                enforced_order.for_dim(dim).get(colls[coll].order_ptr[dim])
+                            else {
+                                break;
+                            };
+                            match queue.ready.iter().position(|op| {
+                                op.coll == coll && op.chunk == chunk && op.stage == stage
+                            }) {
+                                Some(pos) => {
+                                    colls[coll].order_ptr[dim] += 1;
+                                    pos
+                                }
+                                // The collective's next enforced op is not
+                                // ready yet: the dimension waits for it rather
+                                // than running a later collective out of turn.
+                                None => break,
+                            }
+                        }
+                        None => {
+                            // Restrict the pick to the priority collective by
+                            // giving every other op an unreachable key.
+                            let keys: Vec<(u64, f64)> = queue
+                                .ready
+                                .iter()
+                                .map(|op| {
+                                    if op.coll == coll {
+                                        (
+                                            op.arrival,
+                                            op_costs[op.coll][op.chunk][op.stage].transfer_ns,
+                                        )
+                                    } else {
+                                        (u64::MAX, f64::INFINITY)
+                                    }
+                                })
+                                .collect();
+                            schedules[coll]
+                                .intra_dim_policy()
+                                .pick(&keys)
+                                .expect("ready queue is non-empty")
+                        }
+                    };
+                    let op = queue.ready.remove(picked);
+                    let cost = op_costs[op.coll][op.chunk][op.stage];
+                    // Pay the fixed delay only when the dimension restarts
+                    // after an idle period (same rule as the pipeline
+                    // simulator; the dimension does not care which collective
+                    // the back-to-back ops belong to).
+                    let resuming_after_idle =
+                        queue.active.is_empty() && now > queue.last_busy_end_ns + 1e-6;
+                    let starting_cold = queue.last_busy_end_ns == f64::NEG_INFINITY;
+                    let work_ns = if resuming_after_idle || starting_cold {
+                        cost.work_ns()
+                    } else {
+                        cost.transfer_ns
+                    };
+                    if !colls[op.coll].started {
+                        colls[op.coll].started = true;
+                        colls[op.coll].start_ns = now;
+                    }
+                    queue.active.push(ActiveOp {
+                        coll: op.coll,
+                        chunk: op.chunk,
+                        stage: op.stage,
+                        remaining_work_ns: work_ns,
+                        start_ns: now,
+                    });
+                }
+            }
+
+            let any_active = dims.iter().any(|q| !q.active.is_empty());
+            let next_admission = colls.get(admit_ptr).map(|c| c.issue_ns);
+            if !any_active {
+                // Nothing is executing: either jump across the idle gap to the
+                // next issue, or — with work outstanding and no admissions
+                // left — declare a stall (e.g. an enforced-order deadlock).
+                if let Some(at) = next_admission {
+                    now = at.max(now);
+                    continue;
+                }
+                let pending: usize = dims.iter().map(|q| q.ready.len()).sum();
+                return Err(SimError::Stalled {
+                    at_ns: now,
+                    outstanding_ops: pending,
+                });
+            }
+
+            // Time until the earliest completion under processor sharing,
+            // capped by the next admission event.
+            let mut delta = f64::INFINITY;
+            for queue in &dims {
+                let k = queue.active.len() as f64;
+                for op in &queue.active {
+                    delta = delta.min(op.remaining_work_ns * k);
+                }
+            }
+            let mut advance_to_admission = false;
+            if let Some(at) = next_admission {
+                let gap = (at - now).max(0.0);
+                if gap <= delta {
+                    delta = gap;
+                    advance_to_admission = true;
+                }
+            }
+            if !delta.is_finite() {
+                delta = 0.0;
+            }
+
+            if delta <= 0.0 && !advance_to_admission {
+                stall_counter += 1;
+                if stall_counter > STALL_GUARD {
+                    return Err(SimError::Stalled {
+                        at_ns: now,
+                        outstanding_ops: outstanding,
+                    });
+                }
+            } else {
+                stall_counter = 0;
+            }
+
+            // Account statistics for the segment [now, now + delta).
+            if delta > 0.0 {
+                coll_active.fill(false);
+                for (dim, queue) in dims.iter().enumerate() {
+                    if !queue.active.is_empty() {
+                        report.dims[dim].busy_ns += delta;
+                    }
+                    if queue.occupied() {
+                        push_presence(&mut report.dims[dim].presence_intervals, now, now + delta);
+                    }
+                    touched.clear();
+                    for op in &queue.active {
+                        coll_active[op.coll] = true;
+                        coll_busy_on_dim[op.coll] = true;
+                        if !coll_on_dim[op.coll] {
+                            coll_on_dim[op.coll] = true;
+                            touched.push(op.coll);
+                        }
+                    }
+                    for op in &queue.ready {
+                        if !coll_on_dim[op.coll] {
+                            coll_on_dim[op.coll] = true;
+                            touched.push(op.coll);
+                        }
+                    }
+                    for &coll in &touched {
+                        let state = &mut colls[coll];
+                        if coll_busy_on_dim[coll] {
+                            state.dims[dim].busy_ns += delta;
+                        }
+                        push_presence(&mut state.dims[dim].presence_intervals, now, now + delta);
+                        coll_busy_on_dim[coll] = false;
+                        coll_on_dim[coll] = false;
+                    }
+                }
+                let active_colls = coll_active.iter().filter(|&&a| a).count();
+                if active_colls >= 1 {
+                    report.network_busy_ns += delta;
+                }
+                if active_colls >= 2 {
+                    report.overlap_ns += delta;
+                }
+                for (coll, &is_active) in coll_active.iter().enumerate() {
+                    if is_active {
+                        colls[coll].active_ns += delta;
+                        if active_colls >= 2 {
+                            colls[coll].overlapped_ns += delta;
+                        }
+                    }
+                }
+            }
+
+            // Advance all active ops.
+            for queue in dims.iter_mut() {
+                let k = queue.active.len() as f64;
+                for op in queue.active.iter_mut() {
+                    op.remaining_work_ns -= delta / k;
+                }
+            }
+            now = if advance_to_admission {
+                next_admission.expect("admission event exists")
+            } else {
+                now + delta
+            };
+
+            // Collect completions deterministically (dimension, collective,
+            // chunk).
+            let mut completions: Vec<(usize, ActiveOp)> = Vec::new();
+            for (dim, queue) in dims.iter_mut().enumerate() {
+                let mut index = 0;
+                while index < queue.active.len() {
+                    if queue.active[index].remaining_work_ns <= 1e-6 {
+                        completions.push((dim, queue.active.remove(index)));
+                    } else {
+                        index += 1;
+                    }
+                }
+            }
+            completions.sort_by(|a, b| {
+                a.0.cmp(&b.0)
+                    .then(a.1.coll.cmp(&b.1.coll))
+                    .then(a.1.chunk.cmp(&b.1.chunk))
+            });
+
+            for (dim, op) in completions {
+                let cost = op_costs[op.coll][op.chunk][op.stage];
+                vacancy.complete(op.coll, dim);
+                report.dims[dim].wire_bytes += cost.wire_bytes;
+                report.dims[dim].ops_executed += 1;
+                let state = &mut colls[op.coll];
+                state.dims[dim].wire_bytes += cost.wire_bytes;
+                state.dims[dim].ops_executed += 1;
+                state.op_log.push(OpRecord {
+                    dim,
+                    chunk: op.chunk,
+                    stage: op.stage,
+                    label: schedules[op.coll].chunks()[op.chunk].stages[op.stage].to_string(),
+                    start_ns: op.start_ns,
+                    end_ns: now,
+                });
+                dims[dim].last_busy_end_ns = now;
+                outstanding -= 1;
+                state.outstanding_ops -= 1;
+                if state.outstanding_ops == 0 {
+                    state.finish_ns = now;
+                }
+                let next_stage = op.stage + 1;
+                if next_stage < schedules[op.coll].chunks()[op.chunk].stages.len() {
+                    let target = schedules[op.coll].chunks()[op.chunk].stages[next_stage].dim;
+                    dims[target].ready.push(PendingOp {
+                        arrival,
+                        coll: op.coll,
+                        chunk: op.chunk,
+                        stage: next_stage,
+                    });
+                    arrival += 1;
+                }
+            }
+        }
+
+        // Assemble spans: shift each collective's statistics into its own
+        // time frame so the embedded report reads like a standalone run.
+        for (slot, state) in colls.into_iter().enumerate() {
+            let start = state.start_ns;
+            let mut sim_report = SimReport {
+                scheduler_name: schedules[slot].scheduler_name().to_string(),
+                topology_name: self.topo.name().to_string(),
+                total_time_ns: (state.finish_ns - start).max(0.0),
+                activity_window_ns: self.options.activity_window_ns,
+                dims: state.dims,
+                op_log: state.op_log,
+            };
+            for dim in &mut sim_report.dims {
+                for interval in &mut dim.presence_intervals {
+                    interval.0 -= start;
+                    interval.1 -= start;
+                }
+            }
+            for op in &mut sim_report.op_log {
+                op.start_ns -= start;
+                op.end_ns -= start;
+            }
+            report.finish_ns = report.finish_ns.max(state.finish_ns);
+            report.spans.push(CollectiveSpan {
+                index: state.entry_index,
+                label: entries[state.entry_index].label.clone(),
+                issue_ns: state.issue_ns,
+                start_ns: state.start_ns,
+                finish_ns: state.finish_ns,
+                active_ns: state.active_ns,
+                overlapped_ns: state.overlapped_ns,
+                report: sim_report,
+            });
+        }
+        Ok(report)
+    }
+}
+
+/// Fresh per-dimension reports carrying the topology's bandwidths.
+fn dims_template(topo: &NetworkTopology) -> Vec<DimReport> {
+    topo.dims()
+        .iter()
+        .map(|d| DimReport {
+            bandwidth_bytes_per_ns: d.aggregate_bandwidth().as_bytes_per_ns(),
+            ..DimReport::default()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_core::{CollectiveRequest, ThemisScheduler};
+    use themis_net::presets::PresetTopology;
+
+    fn entry(label: &str, issue_ns: f64, mib: f64) -> StreamEntry {
+        StreamEntry::all_reduce_mib(label, issue_ns, mib)
+    }
+
+    fn run_stream(
+        topo: &NetworkTopology,
+        options: SimOptions,
+        entries: &[StreamEntry],
+    ) -> StreamReport {
+        StreamSimulator::new(topo, options)
+            .run(&mut ThemisScheduler::new(8), entries)
+            .unwrap()
+    }
+
+    #[test]
+    fn single_collective_matches_the_pipeline_simulator_bit_for_bit() {
+        let topo = PresetTopology::SwSwSw3dHomo.build();
+        let request = CollectiveRequest::all_reduce_mib(256.0);
+        let schedule = {
+            use themis_core::CollectiveScheduler;
+            ThemisScheduler::new(8).schedule(&request, &topo).unwrap()
+        };
+        let standalone = PipelineSimulator::new(&topo, SimOptions::default())
+            .run(&schedule)
+            .unwrap();
+        let stream = run_stream(&topo, SimOptions::default(), &[entry("only", 0.0, 256.0)]);
+        assert_eq!(stream.spans.len(), 1);
+        // Same dynamics, same floats: the merged loop with one admitted
+        // collective is exactly the single-collective pipeline.
+        assert_eq!(stream.spans[0].report, standalone);
+        assert_eq!(
+            stream.finish_ns.to_bits(),
+            standalone.total_time_ns.to_bits()
+        );
+        assert_eq!(stream.overlap_ns, 0.0);
+    }
+
+    #[test]
+    fn streaming_overlaps_queued_collectives_and_never_loses_work() {
+        let topo = PresetTopology::SwSwSw3dHomo.build();
+        let entries = vec![
+            entry("first", 0.0, 256.0),
+            entry("second", 0.0, 256.0),
+            entry("third", 0.0, 256.0),
+        ];
+        let streamed = run_stream(&topo, SimOptions::default(), &entries);
+        let sequential = run_stream(
+            &topo,
+            SimOptions::default().with_cross_collective_overlap(false),
+            &entries,
+        );
+        assert!(streamed.makespan_ns() <= sequential.makespan_ns() + 1e-6);
+        assert!(
+            streamed.overlap_ns > 0.0,
+            "queued identical collectives must overlap in flight"
+        );
+        // Same bytes cross every dimension regardless of the policy.
+        for (s, q) in streamed.dims.iter().zip(sequential.dims.iter()) {
+            assert!((s.wire_bytes - q.wire_bytes).abs() < 1.0);
+            assert_eq!(s.ops_executed, q.ops_executed);
+        }
+        // Priority protects the head of the queue: the first collective is
+        // not slower than it would run in isolation (small tolerance for the
+        // fixed-delay accounting at dimension restarts).
+        let alone = run_stream(&topo, SimOptions::default(), &entries[..1]);
+        assert!(
+            streamed.spans[0].finish_ns <= alone.finish_ns * 1.001 + 1.0,
+            "head-of-queue collective was delayed: {} vs {}",
+            streamed.spans[0].finish_ns,
+            alone.finish_ns
+        );
+    }
+
+    #[test]
+    fn disabling_overlap_degenerates_to_the_sequential_timeline_bitwise() {
+        let topo = PresetTopology::SwSwSw3dHetero.build();
+        let entries = vec![
+            entry("a", 0.0, 128.0),
+            entry("b", 10_000.0, 64.0),
+            entry("c", 0.0, 32.0),
+        ];
+        let options = SimOptions::default().with_cross_collective_overlap(false);
+        let stream = run_stream(&topo, options, &entries);
+        let timeline_entries: Vec<crate::timeline::TimelineEntry> = entries
+            .iter()
+            .map(|e| crate::timeline::TimelineEntry {
+                label: e.label.clone(),
+                issue_ns: e.issue_ns,
+                request: e.request,
+            })
+            .collect();
+        let timeline = crate::timeline::TimelineSimulator::new(&topo, SimOptions::default())
+            .run(&mut ThemisScheduler::new(8), &timeline_entries)
+            .unwrap();
+        assert_eq!(stream.finish_ns.to_bits(), timeline.finish_ns.to_bits());
+        assert_eq!(stream.spans.len(), timeline.entries.len());
+        for (span, (entry, start, report)) in stream.spans.iter().zip(timeline.entries.iter()) {
+            assert_eq!(span.label, entry.label);
+            assert_eq!(span.start_ns.to_bits(), start.to_bits());
+            assert_eq!(&span.report, report);
+        }
+    }
+
+    #[test]
+    fn issue_gaps_leave_the_network_idle() {
+        let topo = PresetTopology::Sw2d.build();
+        let gap = 1e9;
+        let entries = vec![entry("early", 0.0, 16.0), entry("late", gap, 16.0)];
+        let streamed = run_stream(&topo, SimOptions::default(), &entries);
+        assert_eq!(streamed.overlap_ns, 0.0);
+        assert!(streamed.spans[1].start_ns >= gap);
+        assert!(streamed.network_busy_ns < streamed.makespan_ns());
+        // With the gap larger than either collective, streaming equals the
+        // sequential policy exactly.
+        let sequential = run_stream(
+            &topo,
+            SimOptions::default().with_cross_collective_overlap(false),
+            &entries,
+        );
+        assert!((streamed.makespan_ns() - sequential.makespan_ns()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn overlap_accounting_is_consistent() {
+        let topo = PresetTopology::FcRingSw3d.build();
+        let entries = vec![
+            entry("g3", 0.0, 128.0),
+            entry("g2", 200_000.0, 128.0),
+            entry("g1", 400_000.0, 128.0),
+        ];
+        let report = run_stream(&topo, SimOptions::default(), &entries);
+        // Σ per-collective active time = busy time + once-more-per-extra
+        // collective overlap; with at most pairwise overlap this reduces to
+        // network_busy + overlap. In general active ≥ busy and overlap ≤ busy.
+        let total_active: f64 = report.spans.iter().map(|s| s.active_ns).sum();
+        assert!(total_active >= report.network_busy_ns - 1e-6);
+        assert!(report.overlap_ns <= report.network_busy_ns + 1e-6);
+        assert_eq!(
+            report.exposed_communication_ns(),
+            (report.network_busy_ns - report.overlap_ns).max(0.0)
+        );
+        for span in &report.spans {
+            assert!(span.overlapped_ns <= span.active_ns + 1e-6);
+            assert!(span.finish_ns >= span.start_ns);
+            assert!(span.start_ns >= span.issue_ns);
+        }
+    }
+
+    #[test]
+    fn enforced_intra_dim_order_is_respected_per_collective() {
+        let topo = PresetTopology::SwSwSw3dHetero.build();
+        let entries = vec![entry("a", 0.0, 128.0), entry("b", 0.0, 128.0)];
+        let enforced = run_stream(
+            &topo,
+            SimOptions::default().with_enforced_order(true),
+            &entries,
+        );
+        let plain = run_stream(&topo, SimOptions::default(), &entries);
+        // Enforcement pins each collective to its pre-simulated op order, so
+        // dimensions may wait where the free-running engine would overlap more
+        // aggressively — the run must still complete, move the same bytes and
+        // beat (or match) the enforced sequential policy.
+        assert_eq!(enforced.spans.len(), 2);
+        for (e, p) in enforced.dims.iter().zip(plain.dims.iter()) {
+            assert!((e.wire_bytes - p.wire_bytes).abs() < 1.0);
+            assert_eq!(e.ops_executed, p.ops_executed);
+        }
+        let enforced_sequential = run_stream(
+            &topo,
+            SimOptions::default()
+                .with_enforced_order(true)
+                .with_cross_collective_overlap(false),
+            &entries,
+        );
+        assert!(enforced.makespan_ns() <= enforced_sequential.makespan_ns() + 1e-6);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let topo = PresetTopology::RingFcRingSw4d.build();
+        let entries = vec![
+            entry("x", 0.0, 64.0),
+            entry("y", 0.0, 96.0),
+            entry("z", 50_000.0, 32.0),
+        ];
+        let first = run_stream(&topo, SimOptions::default(), &entries);
+        let second = run_stream(&topo, SimOptions::default(), &entries);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn empty_stream_is_a_noop() {
+        let topo = PresetTopology::Sw2d.build();
+        let report = run_stream(&topo, SimOptions::default(), &[]);
+        assert!(report.spans.is_empty());
+        assert_eq!(report.finish_ns, 0.0);
+        assert_eq!(report.makespan_ns(), 0.0);
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let topo = PresetTopology::Sw2d.build();
+        let sim = StreamSimulator::new(&topo, SimOptions::default().with_max_concurrent_ops(0));
+        let err = sim
+            .run(&mut ThemisScheduler::new(8), &[entry("a", 0.0, 16.0)])
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidOptions { .. }));
+    }
+}

@@ -1,0 +1,191 @@
+//! Queue state of the stream engine: the queued-collective description and
+//! the per-dimension in-flight chunk tracking used during execution.
+
+use themis_core::CollectiveRequest;
+
+/// One collective in a stream: issued at `issue_ns` (negative or NaN issue
+/// times are clamped to zero), identified by `label` in reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamEntry {
+    /// Label used in reports (e.g. `"DP gradient All-Reduce"`).
+    pub label: String,
+    /// Time at which the workload issues the collective, ns.
+    pub issue_ns: f64,
+    /// The collective request.
+    pub request: CollectiveRequest,
+}
+
+impl StreamEntry {
+    /// Creates a stream entry.
+    pub fn new(label: impl Into<String>, issue_ns: f64, request: CollectiveRequest) -> Self {
+        StreamEntry {
+            label: label.into(),
+            issue_ns,
+            request,
+        }
+    }
+
+    /// Convenience constructor for an All-Reduce of `mib` mebibytes issued at
+    /// `issue_ns`.
+    pub fn all_reduce_mib(label: impl Into<String>, issue_ns: f64, mib: f64) -> Self {
+        StreamEntry::new(label, issue_ns, CollectiveRequest::all_reduce_mib(mib))
+    }
+
+    /// The issue time clamped to the simulation clock (non-negative, NaN → 0).
+    pub fn clamped_issue_ns(&self) -> f64 {
+        self.issue_ns.max(0.0)
+    }
+}
+
+/// A chunk operation waiting in a dimension's ready queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PendingOp {
+    /// Global arrival sequence number (FIFO key).
+    pub arrival: u64,
+    /// Index of the collective in admission order.
+    pub coll: usize,
+    /// Chunk index within the collective.
+    pub chunk: usize,
+    /// Stage index within the chunk's pipeline schedule.
+    pub stage: usize,
+}
+
+/// A chunk operation currently executing on a dimension.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct ActiveOp {
+    pub coll: usize,
+    pub chunk: usize,
+    pub stage: usize,
+    pub remaining_work_ns: f64,
+    pub start_ns: f64,
+}
+
+/// Per-dimension in-flight tracking: the ready queue, the executing ops and
+/// the time the dimension last finished an op (used to decide whether a newly
+/// started op pays the fixed per-step delay `A_K`, exactly as in the
+/// single-collective pipeline simulator).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DimQueue {
+    pub ready: Vec<PendingOp>,
+    pub active: Vec<ActiveOp>,
+    pub last_busy_end_ns: f64,
+}
+
+impl DimQueue {
+    pub fn new() -> Self {
+        DimQueue {
+            ready: Vec::new(),
+            active: Vec::new(),
+            last_busy_end_ns: f64::NEG_INFINITY,
+        }
+    }
+
+    /// `true` if the dimension has either queued or executing work.
+    pub fn occupied(&self) -> bool {
+        !self.ready.is_empty() || !self.active.is_empty()
+    }
+}
+
+/// Tracks, for every (collective, dimension) pair, how many chunk operations
+/// the collective has not yet completed on the dimension.
+///
+/// This is the admission rule of the stream engine: a dimension serves the
+/// earliest admitted collective that still *owns* work on it, and chunks of
+/// collective *k+1* start on a dimension only once every earlier collective
+/// has **vacated** it (zero uncompleted ops there). Earlier collectives are
+/// therefore never delayed by their queue successors — streaming strictly
+/// fills bandwidth the sequential policy would leave idle, so a stream never
+/// finishes later than its back-to-back execution.
+#[derive(Debug, Clone)]
+pub(crate) struct VacancyTracker {
+    /// `remaining[coll][dim]`: uncompleted ops of `coll` on `dim`.
+    remaining: Vec<Vec<usize>>,
+}
+
+impl VacancyTracker {
+    /// Builds the tracker from the per-collective schedules' stage lists.
+    pub fn from_stage_dims<I>(per_collective_stage_dims: I, num_dims: usize) -> Self
+    where
+        I: IntoIterator,
+        I::Item: IntoIterator<Item = usize>,
+    {
+        let remaining = per_collective_stage_dims
+            .into_iter()
+            .map(|stages| {
+                let mut counts = vec![0usize; num_dims];
+                for dim in stages {
+                    counts[dim] += 1;
+                }
+                counts
+            })
+            .collect();
+        VacancyTracker { remaining }
+    }
+
+    /// The earliest of the first `admitted` collectives that still has
+    /// uncompleted ops on `dim`, if any. Only this collective may start ops on
+    /// the dimension.
+    pub fn owner(&self, dim: usize, admitted: usize) -> Option<usize> {
+        (0..admitted.min(self.remaining.len())).find(|&coll| self.remaining[coll][dim] > 0)
+    }
+
+    /// Records the completion of one op of `coll` on `dim`.
+    pub fn complete(&mut self, coll: usize, dim: usize) {
+        debug_assert!(self.remaining[coll][dim] > 0);
+        self.remaining[coll][dim] = self.remaining[coll][dim].saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_clamps_issue_times() {
+        assert_eq!(
+            StreamEntry::all_reduce_mib("a", -5.0, 1.0).clamped_issue_ns(),
+            0.0
+        );
+        assert_eq!(
+            StreamEntry::all_reduce_mib("a", f64::NAN, 1.0).clamped_issue_ns(),
+            0.0
+        );
+        assert_eq!(
+            StreamEntry::all_reduce_mib("a", 7.5, 1.0).clamped_issue_ns(),
+            7.5
+        );
+    }
+
+    #[test]
+    fn dim_queue_tracks_occupancy() {
+        let mut queue = DimQueue::new();
+        assert!(!queue.occupied());
+        queue.ready.push(PendingOp {
+            arrival: 0,
+            coll: 0,
+            chunk: 0,
+            stage: 0,
+        });
+        assert!(queue.occupied());
+    }
+
+    #[test]
+    fn vacancy_tracker_hands_dims_to_the_earliest_unfinished_collective() {
+        // Collective 0 uses dims {0, 1}; collective 1 uses dims {0, 2}.
+        let mut tracker = VacancyTracker::from_stage_dims([vec![0usize, 1, 0], vec![0usize, 2]], 3);
+        // Dim 2 is free for collective 1 immediately; dims 0 and 1 belong to
+        // collective 0 until it vacates them.
+        assert_eq!(tracker.owner(0, 2), Some(0));
+        assert_eq!(tracker.owner(1, 2), Some(0));
+        assert_eq!(tracker.owner(2, 2), Some(1));
+        // A not-yet-admitted collective owns nothing.
+        assert_eq!(tracker.owner(2, 1), None);
+        // Collective 0 completes both ops on dim 0 → ownership passes on.
+        tracker.complete(0, 0);
+        assert_eq!(tracker.owner(0, 2), Some(0));
+        tracker.complete(0, 0);
+        assert_eq!(tracker.owner(0, 2), Some(1));
+        tracker.complete(1, 0);
+        assert_eq!(tracker.owner(0, 2), None);
+    }
+}

@@ -7,12 +7,20 @@
 //! back-to-back on the network, so the timeline simulator runs them
 //! sequentially: each collective starts when both its issue time has arrived
 //! and the network has finished the previous collective.
+//!
+//! Since the introduction of the streaming queue engine ([`crate::stream`]),
+//! this module is a thin wrapper: it runs the same [`StreamSimulator`] with
+//! [`crate::SimOptions::cross_collective_overlap`] forced off (the
+//! back-to-back policy) and reshapes the [`StreamReport`] into the historical
+//! [`TimelineReport`] layout. The stream engine is the single entry point for
+//! collective queues; note that internally it implements the two policies
+//! differently (a merged event loop when overlapping, isolated per-collective
+//! pipeline runs laid end to end when sequential).
 
-use crate::engine::EventQueue;
 use crate::error::SimError;
 use crate::options::SimOptions;
-use crate::pipeline::PipelineSimulator;
 use crate::stats::SimReport;
+use crate::stream::{StreamEntry, StreamReport, StreamSimulator};
 use themis_core::{CollectiveRequest, CollectiveScheduler};
 use themis_net::NetworkTopology;
 
@@ -39,7 +47,8 @@ pub struct TimelineReport {
 }
 
 impl TimelineReport {
-    /// Total time the network spent executing collectives, ns.
+    /// Total time the network spent executing collectives, ns. `0.0` for an
+    /// empty timeline.
     pub fn total_communication_ns(&self) -> f64 {
         self.entries
             .iter()
@@ -48,14 +57,19 @@ impl TimelineReport {
     }
 
     /// Total time between the first issue and the last completion, ns.
+    ///
+    /// Issue times are clamped to the simulation clock (negative and NaN
+    /// values count as zero, matching how the simulator admits them), entries
+    /// need not be in issue order, and an empty timeline has a makespan of
+    /// `0.0`. The result is never negative.
     pub fn makespan_ns(&self) -> f64 {
         let first_issue = self
             .entries
             .iter()
-            .map(|(e, _, _)| e.issue_ns)
+            .map(|(e, _, _)| e.issue_ns.max(0.0))
             .fold(f64::INFINITY, f64::min);
         if first_issue.is_finite() {
-            self.finish_ns - first_issue
+            (self.finish_ns - first_issue).max(0.0)
         } else {
             0.0
         }
@@ -86,28 +100,26 @@ impl<'a> TimelineSimulator<'a> {
         scheduler: &mut dyn CollectiveScheduler,
         entries: &[TimelineEntry],
     ) -> Result<TimelineReport, SimError> {
-        let simulator = PipelineSimulator::new(self.topo, self.options);
-        // Order the issues through the event queue so ties resolve
-        // deterministically by insertion order.
-        let mut queue: EventQueue<usize> = EventQueue::new();
-        for (index, entry) in entries.iter().enumerate() {
-            queue.schedule_at(entry.issue_ns.max(0.0), index);
-        }
+        let stream_entries: Vec<StreamEntry> = entries
+            .iter()
+            .map(|e| StreamEntry::new(e.label.clone(), e.issue_ns, e.request))
+            .collect();
+        let sequential =
+            StreamSimulator::new(self.topo, self.options.with_cross_collective_overlap(false))
+                .run(scheduler, &stream_entries)?;
+        Ok(Self::from_stream(entries, sequential))
+    }
 
-        let mut network_free_at = 0.0f64;
-        let mut results = Vec::with_capacity(entries.len());
-        while let Some(event) = queue.pop() {
-            let entry = &entries[event.payload];
-            let schedule = scheduler.schedule(&entry.request, self.topo)?;
-            let report = simulator.run(&schedule)?;
-            let start = network_free_at.max(entry.issue_ns);
-            network_free_at = start + report.total_time_ns;
-            results.push((entry.clone(), start, report));
+    /// Reshapes a sequential [`StreamReport`] into the timeline layout.
+    fn from_stream(entries: &[TimelineEntry], report: StreamReport) -> TimelineReport {
+        TimelineReport {
+            finish_ns: report.finish_ns,
+            entries: report
+                .spans
+                .into_iter()
+                .map(|span| (entries[span.index].clone(), span.start_ns, span.report))
+                .collect(),
         }
-        Ok(TimelineReport {
-            finish_ns: network_free_at,
-            entries: results,
-        })
     }
 }
 
@@ -152,5 +164,67 @@ mod tests {
         assert!(*start1 >= late_issue);
         assert!(report.makespan_ns() <= report.finish_ns);
         assert!(report.total_communication_ns() < report.finish_ns);
+    }
+
+    #[test]
+    fn empty_timeline_reports_zero() {
+        let topo = PresetTopology::Sw2d.build();
+        let sim = TimelineSimulator::new(&topo, SimOptions::default());
+        let mut scheduler = ThemisScheduler::new(8);
+        let report = sim.run(&mut scheduler, &[]).unwrap();
+        assert!(report.entries.is_empty());
+        assert_eq!(report.finish_ns, 0.0);
+        assert_eq!(report.makespan_ns(), 0.0);
+        assert_eq!(report.total_communication_ns(), 0.0);
+    }
+
+    #[test]
+    fn non_monotone_issue_times_execute_in_issue_order() {
+        let topo = PresetTopology::Sw2d.build();
+        let sim = TimelineSimulator::new(&topo, SimOptions::default());
+        let mut scheduler = ThemisScheduler::new(8);
+        // Entries listed out of issue order: the simulator admits by issue
+        // time, so the report comes back sorted.
+        let entries = vec![
+            entry("late", 80_000_000.0, 32.0),
+            entry("early", 0.0, 64.0),
+            entry("middle", 40_000_000.0, 16.0),
+        ];
+        let report = sim.run(&mut scheduler, &entries).unwrap();
+        let labels: Vec<&str> = report
+            .entries
+            .iter()
+            .map(|(e, _, _)| e.label.as_str())
+            .collect();
+        assert_eq!(labels, vec!["early", "middle", "late"]);
+        let starts: Vec<f64> = report.entries.iter().map(|(_, s, _)| *s).collect();
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+        assert!(report.makespan_ns() > 0.0);
+    }
+
+    #[test]
+    fn negative_issue_times_are_clamped_in_the_makespan() {
+        let topo = PresetTopology::Sw2d.build();
+        let sim = TimelineSimulator::new(&topo, SimOptions::default());
+        let mut scheduler = ThemisScheduler::new(8);
+        let entries = vec![
+            entry("before-time", -1e9, 64.0),
+            entry("at-zero", 0.0, 64.0),
+        ];
+        let report = sim.run(&mut scheduler, &entries).unwrap();
+        // A negative issue must not inflate the makespan: both collectives
+        // start at 0, so the makespan equals the finish time exactly.
+        assert!((report.makespan_ns() - report.finish_ns).abs() < 1e-9);
+        assert!(report.makespan_ns() >= 0.0);
+    }
+
+    #[test]
+    fn makespan_is_zero_for_degenerate_reports() {
+        let report = TimelineReport {
+            entries: Vec::new(),
+            finish_ns: 0.0,
+        };
+        assert_eq!(report.makespan_ns(), 0.0);
+        assert_eq!(report.total_communication_ns(), 0.0);
     }
 }

@@ -17,6 +17,11 @@
 //! * [`training::TrainingSimulator`] — produces the Fig. 12 breakdown
 //!   (forward compute, backward compute, exposed MP communication, exposed DP
 //!   communication) for a given topology and scheduling policy.
+//! * [`stream`] — derives the *collective stream* of one iteration from the
+//!   layer graph (per-layer gradient All-Reduces issued as back-propagation
+//!   completes each layer, DLRM's gradient-side All-To-All), feeding the
+//!   streaming queue engine via
+//!   [`training::TrainingSimulator::simulate_iteration_streamed`].
 //!
 //! ```
 //! use themis_net::presets::PresetTopology;
@@ -40,6 +45,7 @@ pub mod error;
 pub mod layer;
 pub mod models;
 pub mod parallelism;
+pub mod stream;
 pub mod training;
 pub mod workload;
 
@@ -48,5 +54,8 @@ pub use error::WorkloadError;
 pub use layer::{Layer, LayerKind};
 pub use models::DnnModel;
 pub use parallelism::ParallelismStrategy;
-pub use training::{CommunicationPolicy, IterationBreakdown, TrainingConfig, TrainingSimulator};
+pub use stream::{collective_stream, StreamedCollective};
+pub use training::{
+    CommunicationPolicy, IterationBreakdown, StreamedIteration, TrainingConfig, TrainingSimulator,
+};
 pub use workload::Workload;

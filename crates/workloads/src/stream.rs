@@ -1,0 +1,180 @@
+//! Deriving a collective *stream* from a workload's layer graph.
+//!
+//! A training iteration does not issue its collectives all at once: during
+//! back-propagation each layer's gradients become ready as soon as that
+//! layer's backward compute finishes, and frameworks launch the corresponding
+//! synchronisation collective immediately (wait-free back-propagation). This
+//! module walks a [`TrainingConfig`]'s layer graph in back-propagation order
+//! and produces the resulting queue of collectives — per-layer gradient
+//! All-Reduces for data-parallel workloads, plus the gradient-side All-To-All
+//! for DLRM's model-parallel embedding tables — with issue times taken from
+//! the roofline compute model.
+//!
+//! The stream's clock starts at the beginning of back-propagation; feed it to
+//! the streaming queue engine (`themis-sim`'s `stream` module) to measure how
+//! much of the communication overlaps in flight, or to the sequential
+//! timeline policy for the back-to-back reference.
+
+use crate::error::WorkloadError;
+use crate::layer::LayerKind;
+use crate::parallelism::ParallelismStrategy;
+use crate::training::TrainingConfig;
+use themis_collectives::CollectiveKind;
+use themis_core::CollectiveRequest;
+use themis_net::DataSize;
+
+/// One collective of a derived training stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedCollective {
+    /// Label naming the originating layer (e.g. `"stage3-x36 grad All-Reduce"`).
+    pub label: String,
+    /// Issue time relative to the start of back-propagation, ns.
+    pub issue_ns: f64,
+    /// The collective pattern.
+    pub kind: CollectiveKind,
+    /// Per-NPU payload, bytes.
+    pub bytes: f64,
+}
+
+impl StreamedCollective {
+    /// The payload as a [`DataSize`] — the single place the fractional byte
+    /// count is rounded, so every consumer issues identical requests.
+    pub fn data_size(&self) -> DataSize {
+        DataSize::from_bytes(self.bytes.round() as u64)
+    }
+
+    /// The [`CollectiveRequest`] this streamed collective issues.
+    pub fn request(&self) -> CollectiveRequest {
+        CollectiveRequest::new(self.kind, self.data_size())
+    }
+}
+
+/// Walks `config`'s layer graph in back-propagation order and returns the
+/// collective stream of one training iteration.
+///
+/// * **Data-parallel** strategies emit one gradient All-Reduce per layer
+///   (skipping parameter-free layers), issued when the layer's backward
+///   compute completes.
+/// * **DLRM hybrid** additionally emits the gradient-side All-To-All of the
+///   model-parallel embedding tables when back-propagation reaches them, and
+///   skips the embedding parameters in the dense gradient All-Reduces.
+/// * **Model-parallel (Transformer-1T ZeRO-2)** cannot be expressed as a
+///   single-network stream (its collectives run on disjoint sub-topologies),
+///   so it is rejected with [`WorkloadError::InvalidParameter`].
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidParameter`] for invalid configurations and
+/// for the model-parallel strategy.
+pub fn collective_stream(
+    config: &TrainingConfig,
+) -> Result<Vec<StreamedCollective>, WorkloadError> {
+    config.validate()?;
+    let skip_embedding_gradients = match config.strategy {
+        ParallelismStrategy::DataParallel => false,
+        ParallelismStrategy::DlrmHybrid => true,
+        ParallelismStrategy::ModelParallelZero2 { .. } => {
+            return Err(WorkloadError::InvalidParameter {
+                reason: "the model-parallel ZeRO-2 strategy spreads its collectives over \
+                         disjoint sub-topologies and cannot be expressed as a single-network \
+                         stream; use TrainingSimulator::simulate_iteration instead"
+                    .to_string(),
+            });
+        }
+    };
+
+    let batch = config.per_npu_minibatch as f64;
+    let mut stream = Vec::new();
+    let mut now_ns = 0.0f64;
+    // Back-propagation visits layers in reverse graph order; each layer's
+    // collective is issued the moment its backward compute completes.
+    for layer in config.model.layers().iter().rev() {
+        now_ns += config
+            .compute
+            .time_for_flops_ns(layer.backward_flops_per_sample() * batch);
+        if layer.kind() == LayerKind::Embedding && skip_embedding_gradients {
+            // Model-parallel embeddings exchange pooled gradients through the
+            // mirror All-To-All instead of an All-Reduce.
+            let a2a_bytes = layer.activation_bytes_per_sample() * batch;
+            if a2a_bytes >= 1.0 {
+                stream.push(StreamedCollective {
+                    label: format!("{} grad All-To-All", layer.name()),
+                    issue_ns: now_ns,
+                    kind: CollectiveKind::AllToAll,
+                    bytes: a2a_bytes,
+                });
+            }
+            continue;
+        }
+        let gradient_bytes = layer.parameters() as f64 * config.gradient_bytes_per_param;
+        if gradient_bytes >= 1.0 {
+            stream.push(StreamedCollective {
+                label: format!("{} grad All-Reduce", layer.name()),
+                issue_ns: now_ns,
+                kind: CollectiveKind::AllReduce,
+                bytes: gradient_bytes,
+            });
+        }
+    }
+    Ok(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+
+    #[test]
+    fn data_parallel_streams_issue_in_backprop_order() {
+        let config = Workload::ResNet152.config();
+        let stream = collective_stream(&config).unwrap();
+        assert!(!stream.is_empty());
+        // Issue times are non-decreasing and strictly positive (every layer
+        // has backward compute).
+        assert!(stream.windows(2).all(|w| w[0].issue_ns <= w[1].issue_ns));
+        assert!(stream[0].issue_ns > 0.0);
+        assert!(stream
+            .iter()
+            .all(|c| c.kind == CollectiveKind::AllReduce && c.bytes >= 1.0));
+        // The streamed gradient bytes cover exactly the model's parameters.
+        let total: f64 = stream.iter().map(|c| c.bytes).sum();
+        let expected = config.model.total_parameters() as f64 * config.gradient_bytes_per_param;
+        assert!((total - expected).abs() < 1.0);
+        // Back-propagation starts at the classifier, so the first collective
+        // belongs to the model's last layer group.
+        assert!(stream[0].label.contains("classifier"));
+    }
+
+    #[test]
+    fn dlrm_stream_carries_the_all_to_all_and_skips_embedding_gradients() {
+        let config = Workload::Dlrm.config();
+        let stream = collective_stream(&config).unwrap();
+        let a2a: Vec<_> = stream
+            .iter()
+            .filter(|c| c.kind == CollectiveKind::AllToAll)
+            .collect();
+        assert_eq!(a2a.len(), 1);
+        let ar_bytes: f64 = stream
+            .iter()
+            .filter(|c| c.kind == CollectiveKind::AllReduce)
+            .map(|c| c.bytes)
+            .sum();
+        let dense = config.model.parameters_excluding_kind(LayerKind::Embedding) as f64
+            * config.gradient_bytes_per_param;
+        assert!((ar_bytes - dense).abs() < 1.0);
+    }
+
+    #[test]
+    fn model_parallel_strategy_is_rejected() {
+        let config = Workload::Transformer1T.config();
+        let err = collective_stream(&config).unwrap_err();
+        assert!(matches!(err, WorkloadError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut config = Workload::Gnmt.config();
+        config.per_npu_minibatch = 0;
+        assert!(collective_stream(&config).is_err());
+    }
+}

@@ -19,11 +19,13 @@ use crate::error::WorkloadError;
 use crate::layer::LayerKind;
 use crate::models::DnnModel;
 use crate::parallelism::ParallelismStrategy;
+use crate::stream::collective_stream;
 use std::fmt;
 use themis_collectives::CollectiveKind;
 use themis_core::{CollectiveRequest, IdealEstimator, SchedulerKind};
 use themis_net::{DataSize, NetworkTopology};
-use themis_sim::{CollectiveExecutor, SimOptions};
+use themis_sim::stream::{StreamEntry, StreamSimulator};
+use themis_sim::{CollectiveExecutor, SimOptions, StreamReport};
 
 /// The communication scheduling policy used for a training run
 /// (the rows of Fig. 12).
@@ -110,7 +112,7 @@ impl TrainingConfig {
         }
     }
 
-    fn validate(&self) -> Result<(), WorkloadError> {
+    pub(crate) fn validate(&self) -> Result<(), WorkloadError> {
         if self.per_npu_minibatch == 0 {
             return Err(WorkloadError::InvalidParameter {
                 reason: "per-NPU mini-batch must be at least 1".to_string(),
@@ -190,6 +192,51 @@ impl IterationBreakdown {
     }
 }
 
+/// The outcome of a streamed training iteration
+/// ([`TrainingSimulator::simulate_iteration_streamed`]): the compute times and
+/// the full [`StreamReport`] of the gradient-collective queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedIteration {
+    /// Forward-pass compute time, ns.
+    pub forward_compute_ns: f64,
+    /// Back-propagation compute time, ns.
+    pub backward_compute_ns: f64,
+    /// Communication that drained after the backward compute finished
+    /// (`max(0, stream finish − backward compute)`), ns.
+    pub exposed_comm_ns: f64,
+    /// The simulated collective stream (clock zero = back-propagation start).
+    pub stream: StreamReport,
+}
+
+impl StreamedIteration {
+    /// Total iteration latency: compute plus the exposed tail of the
+    /// communication stream, ns.
+    pub fn total_ns(&self) -> f64 {
+        self.forward_compute_ns + self.backward_compute_ns + self.exposed_comm_ns
+    }
+
+    /// Time during which two or more collectives of the stream were in flight
+    /// together, ns.
+    pub fn overlap_ns(&self) -> f64 {
+        self.stream.overlap_ns
+    }
+
+    /// Makespan of the communication stream (first issue to last completion),
+    /// ns.
+    pub fn comm_makespan_ns(&self) -> f64 {
+        self.stream.makespan_ns()
+    }
+
+    /// Speedup of this iteration relative to `other` (other total / this
+    /// total).
+    pub fn speedup_over(&self, other: &StreamedIteration) -> f64 {
+        if self.total_ns() <= 0.0 {
+            return f64::INFINITY;
+        }
+        other.total_ns() / self.total_ns()
+    }
+}
+
 /// Simulates training iterations of a configured workload.
 #[derive(Debug, Clone)]
 pub struct TrainingSimulator {
@@ -257,6 +304,57 @@ impl TrainingSimulator {
         let executor = CollectiveExecutor::new(topo).with_options(self.sim_options);
         let report = executor.run_kind(kind, self.config.chunks_per_collective, request)?;
         Ok((report.total_time_ns, report.average_bw_utilization()))
+    }
+
+    /// Simulates one training iteration on `topo` with the iteration's
+    /// collectives issued as a *stream* during back-propagation (wait-free
+    /// back-propagation): each layer's collective enters the network queue the
+    /// moment its backward compute completes, and queued collectives overlap
+    /// in flight according to
+    /// [`SimOptions::cross_collective_overlap`] — disable the flag for the
+    /// sequential-timeline reference.
+    ///
+    /// The stream clock starts at the beginning of back-propagation, so the
+    /// exposed communication is the part of the stream that drains after the
+    /// backward compute finishes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid configurations, for the model-parallel
+    /// strategy (see [`collective_stream`]) and for scheduling/simulation
+    /// failures.
+    pub fn simulate_iteration_streamed(
+        &self,
+        topo: &NetworkTopology,
+        scheduler: SchedulerKind,
+    ) -> Result<StreamedIteration, WorkloadError> {
+        let batch = self.config.per_npu_minibatch as f64;
+        let model = &self.config.model;
+        let forward_compute_ns = self
+            .config
+            .compute
+            .time_for_flops_ns(model.forward_flops_per_sample() * batch);
+        let backward_compute_ns = self
+            .config
+            .compute
+            .time_for_flops_ns(model.backward_flops_per_sample() * batch);
+
+        let entries: Vec<StreamEntry> = collective_stream(&self.config)?
+            .into_iter()
+            .map(|c| {
+                let request = c.request();
+                StreamEntry::new(c.label, c.issue_ns, request)
+            })
+            .collect();
+        let mut boxed = scheduler.build(self.config.chunks_per_collective);
+        let stream = StreamSimulator::new(topo, self.sim_options).run(boxed.as_mut(), &entries)?;
+        let comm_finish_ns = stream.finish_ns;
+        Ok(StreamedIteration {
+            forward_compute_ns,
+            backward_compute_ns,
+            exposed_comm_ns: (comm_finish_ns - backward_compute_ns).max(0.0),
+            stream,
+        })
     }
 
     /// Simulates one training iteration on `topo` under `policy` and returns
@@ -605,6 +703,49 @@ mod tests {
         assert!(TrainingSimulator::new(config)
             .simulate_iteration(&topo, CommunicationPolicy::Baseline)
             .is_err());
+    }
+
+    #[test]
+    fn streamed_iteration_overlaps_and_never_beats_compute() {
+        let topo = PresetTopology::SwSwSw3dHomo.build();
+        for workload in [Workload::ResNet152, Workload::Gnmt, Workload::Dlrm] {
+            let streamed_sim = TrainingSimulator::new(workload.config());
+            let sequential_sim = TrainingSimulator::new(workload.config())
+                .with_sim_options(SimOptions::default().with_cross_collective_overlap(false));
+            let streamed = streamed_sim
+                .simulate_iteration_streamed(&topo, SchedulerKind::ThemisScf)
+                .unwrap();
+            let sequential = sequential_sim
+                .simulate_iteration_streamed(&topo, SchedulerKind::ThemisScf)
+                .unwrap();
+            // Compute is policy-independent; streaming only shrinks the
+            // exposed communication tail.
+            assert_eq!(streamed.forward_compute_ns, sequential.forward_compute_ns);
+            assert_eq!(streamed.backward_compute_ns, sequential.backward_compute_ns);
+            assert!(
+                streamed.comm_makespan_ns() <= sequential.comm_makespan_ns() + 1e-6,
+                "{workload:?}: streamed {:.0} vs sequential {:.0}",
+                streamed.comm_makespan_ns(),
+                sequential.comm_makespan_ns()
+            );
+            assert!(streamed.total_ns() <= sequential.total_ns() + 1e-6);
+            assert!(streamed.total_ns() >= streamed.compute_only());
+        }
+    }
+
+    #[test]
+    fn streamed_iteration_rejects_model_parallel_workloads() {
+        let topo = PresetTopology::SwSwSw3dHomo.build();
+        let sim = TrainingSimulator::new(Workload::Transformer1T.config());
+        assert!(sim
+            .simulate_iteration_streamed(&topo, SchedulerKind::ThemisScf)
+            .is_err());
+    }
+
+    impl StreamedIteration {
+        fn compute_only(&self) -> f64 {
+            self.forward_compute_ns + self.backward_compute_ns
+        }
     }
 
     #[test]

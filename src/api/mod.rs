@@ -10,6 +10,10 @@
 //!   is the analogue for full training iterations.
 //! * [`Campaign`] — a builder over the evaluation axes that expands into a run
 //!   matrix of [`RunSpec`]s.
+//! * [`StreamJob`] / [`StreamCampaign`] — queued multi-collective work for the
+//!   streaming queue engine ([`stream`]): a stream of collectives with issue
+//!   times that overlap in flight, derived by hand or from a training job's
+//!   layer graph.
 //! * [`Runner`] — executes a matrix sequentially or on a thread pool; both
 //!   backends return bit-identical [`RunResult`]s in matrix order.
 //! * [`CampaignReport`] — the collected results, with lookups, speedup
@@ -41,6 +45,7 @@ pub mod json;
 pub mod platform;
 pub mod report;
 pub mod runner;
+pub mod stream;
 pub mod training;
 
 pub use crate::error::ThemisError;
@@ -49,4 +54,8 @@ pub use job::{Job, ScheduledRun, DEFAULT_CHUNKS};
 pub use platform::Platform;
 pub use report::{CampaignReport, RunConfig, RunResult};
 pub use runner::{RunSpec, Runner};
+pub use stream::{
+    QueuedCollective, StreamCampaign, StreamCampaignReport, StreamJob, StreamRunConfig,
+    StreamRunResult, StreamSpec,
+};
 pub use training::TrainingJob;

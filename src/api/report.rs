@@ -207,7 +207,7 @@ impl<'a> IntoIterator for &'a CampaignReport {
     }
 }
 
-fn scheduler_from_label(label: &str) -> Result<SchedulerKind, ThemisError> {
+pub(crate) fn scheduler_from_label(label: &str) -> Result<SchedulerKind, ThemisError> {
     SchedulerKind::all()
         .into_iter()
         .find(|k| k.label() == label)
@@ -216,7 +216,7 @@ fn scheduler_from_label(label: &str) -> Result<SchedulerKind, ThemisError> {
         })
 }
 
-fn collective_from_label(label: &str) -> Result<CollectiveKind, ThemisError> {
+pub(crate) fn collective_from_label(label: &str) -> Result<CollectiveKind, ThemisError> {
     CollectiveKind::all()
         .into_iter()
         .find(|k| k.to_string() == label)
@@ -259,7 +259,7 @@ fn config_from_json(value: &Json) -> Result<RunConfig, ThemisError> {
     })
 }
 
-fn sim_report_to_json(report: &SimReport) -> Json {
+pub(crate) fn sim_report_to_json(report: &SimReport) -> Json {
     Json::obj([
         ("scheduler_name", Json::Str(report.scheduler_name.clone())),
         ("topology_name", Json::Str(report.topology_name.clone())),
@@ -276,7 +276,7 @@ fn sim_report_to_json(report: &SimReport) -> Json {
     ])
 }
 
-fn sim_report_from_json(value: &Json) -> Result<SimReport, ThemisError> {
+pub(crate) fn sim_report_from_json(value: &Json) -> Result<SimReport, ThemisError> {
     Ok(SimReport {
         scheduler_name: value.field("scheduler_name")?.as_str()?.to_string(),
         topology_name: value.field("topology_name")?.as_str()?.to_string(),
@@ -297,7 +297,7 @@ fn sim_report_from_json(value: &Json) -> Result<SimReport, ThemisError> {
     })
 }
 
-fn dim_to_json(dim: &DimReport) -> Json {
+pub(crate) fn dim_to_json(dim: &DimReport) -> Json {
     Json::obj([
         (
             "bandwidth_bytes_per_ns",
@@ -318,7 +318,7 @@ fn dim_to_json(dim: &DimReport) -> Json {
     ])
 }
 
-fn dim_from_json(value: &Json) -> Result<DimReport, ThemisError> {
+pub(crate) fn dim_from_json(value: &Json) -> Result<DimReport, ThemisError> {
     let intervals = value
         .field("presence_intervals")?
         .as_arr()?

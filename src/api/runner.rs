@@ -8,6 +8,7 @@
 use crate::api::job::Job;
 use crate::api::platform::Platform;
 use crate::api::report::RunResult;
+use crate::api::stream::{StreamRunResult, StreamSpec};
 use crate::error::ThemisError;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -107,30 +108,53 @@ impl Runner {
     /// still executed (the backends do not cancel), but their results are
     /// discarded.
     pub fn execute(&self, specs: &[RunSpec]) -> Result<Vec<RunResult>, ThemisError> {
-        match self.backend {
-            Backend::Sequential => specs.iter().map(RunSpec::execute).collect(),
-            Backend::Parallel { .. } => self.execute_parallel(specs),
-        }
+        self.execute_tasks(specs, RunSpec::execute)
     }
 
-    fn execute_parallel(&self, specs: &[RunSpec]) -> Result<Vec<RunResult>, ThemisError> {
-        let workers = self.worker_count(specs.len());
-        if workers <= 1 || specs.len() <= 1 {
-            return specs.iter().map(RunSpec::execute).collect();
+    /// Executes stream-campaign cells ([`StreamSpec`]s) and returns their
+    /// results in spec order. Both backends produce bit-identical reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in spec order, as for [`Runner::execute`].
+    pub fn execute_streams(
+        &self,
+        specs: &[StreamSpec],
+    ) -> Result<Vec<StreamRunResult>, ThemisError> {
+        self.execute_tasks(specs, StreamSpec::execute)
+    }
+
+    /// Shared backend: runs `execute` over `items` sequentially or on the
+    /// worker pool, collecting results in item order.
+    fn execute_tasks<T, R>(
+        &self,
+        items: &[T],
+        execute: impl Fn(&T) -> Result<R, ThemisError> + Sync,
+    ) -> Result<Vec<R>, ThemisError>
+    where
+        T: Sync,
+        R: Send,
+    {
+        let workers = match self.backend {
+            Backend::Sequential => 1,
+            Backend::Parallel { .. } => self.worker_count(items.len()),
+        };
+        if workers <= 1 || items.len() <= 1 {
+            return items.iter().map(execute).collect();
         }
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<RunResult, ThemisError>>>> =
-            specs.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<Result<R, ThemisError>>>> =
+            items.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = specs.get(index) else { break };
+                    let Some(item) = items.get(index) else { break };
                     // Each slot is written by exactly one worker; the mutex
                     // only publishes the write to the collecting thread.
                     *slots[index]
                         .lock()
-                        .expect("no panics while holding the slot lock") = Some(spec.execute());
+                        .expect("no panics while holding the slot lock") = Some(execute(item));
                 });
             }
         });

@@ -67,8 +67,9 @@ pub use themis_sim as sim;
 pub use themis_workloads as workloads;
 
 pub use api::{
-    Campaign, CampaignReport, Job, Platform, RunConfig, RunResult, RunSpec, Runner, ScheduledRun,
-    TrainingJob,
+    Campaign, CampaignReport, Job, Platform, QueuedCollective, RunConfig, RunResult, RunSpec,
+    Runner, ScheduledRun, StreamCampaign, StreamCampaignReport, StreamJob, StreamRunConfig,
+    StreamRunResult, StreamSpec, TrainingJob,
 };
 pub use error::ThemisError;
 
@@ -80,8 +81,11 @@ pub use themis_core::{
 pub use themis_net::{
     presets::PresetTopology, Bandwidth, DataSize, DimensionSpec, NetworkTopology, TopologyKind,
 };
-pub use themis_sim::{CollectiveExecutor, PipelineSimulator, SimOptions, SimReport};
+pub use themis_sim::{
+    CollectiveExecutor, CollectiveSpan, PipelineSimulator, SimOptions, SimReport, StreamEntry,
+    StreamReport, StreamSimulator, TimelineEntry, TimelineReport, TimelineSimulator,
+};
 pub use themis_workloads::{
-    CommunicationPolicy, ComputeModel, IterationBreakdown, TrainingConfig, TrainingSimulator,
-    Workload,
+    collective_stream, CommunicationPolicy, ComputeModel, IterationBreakdown, StreamedCollective,
+    StreamedIteration, TrainingConfig, TrainingSimulator, Workload,
 };

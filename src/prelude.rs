@@ -3,8 +3,9 @@
 //! the workspace types campaigns are built from.
 
 pub use crate::api::{
-    Campaign, CampaignReport, Job, Platform, RunConfig, RunResult, RunSpec, Runner, ScheduledRun,
-    TrainingJob,
+    Campaign, CampaignReport, Job, Platform, QueuedCollective, RunConfig, RunResult, RunSpec,
+    Runner, ScheduledRun, StreamCampaign, StreamCampaignReport, StreamJob, StreamRunConfig,
+    StreamRunResult, StreamSpec, TrainingJob,
 };
 pub use crate::error::ThemisError;
 
@@ -14,7 +15,8 @@ pub use themis_core::{
 };
 pub use themis_net::presets::PresetTopology;
 pub use themis_net::{Bandwidth, DataSize, DimensionSpec, NetworkTopology, TopologyKind};
-pub use themis_sim::{SimOptions, SimReport};
+pub use themis_sim::{CollectiveSpan, SimOptions, SimReport, StreamReport};
 pub use themis_workloads::{
-    CommunicationPolicy, IterationBreakdown, TrainingConfig, TrainingSimulator, Workload,
+    CommunicationPolicy, IterationBreakdown, StreamedIteration, TrainingConfig, TrainingSimulator,
+    Workload,
 };

@@ -46,6 +46,30 @@ fn parallel_and_sequential_runners_produce_identical_reports() {
 }
 
 #[test]
+fn parallel_and_sequential_runners_agree_on_stream_cells() {
+    // Stream campaigns go through the same worker-pool backend and must be
+    // bit-identical across backends too.
+    let stream = StreamJob::named("mp-then-dp")
+        .push(QueuedCollective::all_reduce_mib("MP layer", 32.0))
+        .push(QueuedCollective::all_reduce_mib("DP grads", 128.0).issued_at(25_000.0))
+        .chunks(16);
+    let campaign = StreamCampaign::new()
+        .topologies([PresetTopology::Sw2d, PresetTopology::SwSwSw3dHetero])
+        .stream(stream);
+    let sequential = campaign.run(&Runner::sequential()).unwrap();
+    let parallel = campaign.run(&Runner::parallel_threads(4)).unwrap();
+    assert_eq!(sequential.len(), 6); // 2 platforms x 1 stream x 3 schedulers
+    assert_eq!(sequential, parallel);
+    for (seq, par) in sequential.iter().zip(parallel.iter()) {
+        assert_eq!(seq.makespan_ns().to_bits(), par.makespan_ns().to_bits());
+        assert_eq!(
+            seq.report.overlap_ns.to_bits(),
+            par.report.overlap_ns.to_bits()
+        );
+    }
+}
+
+#[test]
 fn campaign_cells_match_single_job_runs() {
     let report = small_campaign().run(&Runner::parallel()).unwrap();
     let platform = Platform::preset(PresetTopology::Sw2d);

@@ -1,0 +1,146 @@
+//! Integration tests of the streaming multi-collective queue subsystem:
+//! the `themis::api::stream` layer end to end, its degeneration to the
+//! sequential timeline, training-derived streams, and JSON round-tripping.
+
+use themis::prelude::*;
+use themis::sim::stream::{StreamEntry, StreamSimulator};
+use themis::sim::{TimelineEntry, TimelineSimulator};
+use themis::ThemisScheduler;
+
+fn gradient_stream() -> StreamJob {
+    StreamJob::named("grads")
+        .push(QueuedCollective::all_reduce_mib("layer-3", 96.0))
+        .push(QueuedCollective::all_reduce_mib("layer-2", 64.0).issued_at(50_000.0))
+        .push(QueuedCollective::all_reduce_mib("layer-1", 32.0).issued_at(100_000.0))
+        .chunks(16)
+}
+
+#[test]
+fn stream_engine_degenerates_to_the_sequential_timeline_bit_identically() {
+    // The satellite guarantee: with cross-collective overlap disabled, the
+    // stream engine and the (wrapper) timeline simulator are the same code
+    // path and agree bit for bit.
+    let topo = PresetTopology::SwSwSw3dHetero.build();
+    let entries: Vec<StreamEntry> = gradient_stream()
+        .entries()
+        .iter()
+        .map(|c| StreamEntry::new(c.label().to_string(), c.issue_ns(), c.request()))
+        .collect();
+    let sequential_options = SimOptions::default().with_cross_collective_overlap(false);
+    let stream = StreamSimulator::new(&topo, sequential_options)
+        .run(&mut ThemisScheduler::new(16), &entries)
+        .unwrap();
+
+    let timeline_entries: Vec<TimelineEntry> = gradient_stream()
+        .entries()
+        .iter()
+        .map(|c| TimelineEntry {
+            label: c.label().to_string(),
+            issue_ns: c.issue_ns(),
+            request: c.request(),
+        })
+        .collect();
+    let timeline = TimelineSimulator::new(&topo, SimOptions::default())
+        .run(&mut ThemisScheduler::new(16), &timeline_entries)
+        .unwrap();
+
+    assert_eq!(stream.finish_ns.to_bits(), timeline.finish_ns.to_bits());
+    assert_eq!(stream.spans.len(), timeline.entries.len());
+    for (span, (entry, start, report)) in stream.spans.iter().zip(timeline.entries.iter()) {
+        assert_eq!(span.label, entry.label);
+        assert_eq!(span.start_ns.to_bits(), start.to_bits());
+        assert_eq!(&span.report, report);
+    }
+    // And the report helpers agree on the derived quantities.
+    assert_eq!(
+        stream.makespan_ns().to_bits(),
+        timeline.makespan_ns().to_bits()
+    );
+    assert_eq!(
+        stream.total_communication_ns().to_bits(),
+        timeline.total_communication_ns().to_bits()
+    );
+}
+
+#[test]
+fn streaming_beats_or_matches_the_sequential_policy_through_the_api() {
+    let platform = Platform::preset(PresetTopology::SwSwSw3dHomo);
+    let streamed = gradient_stream().run_on(&platform).unwrap();
+    let sequential = gradient_stream()
+        .run_on(
+            &platform
+                .clone()
+                .with_options(SimOptions::default().with_cross_collective_overlap(false)),
+        )
+        .unwrap();
+    assert!(streamed.makespan_ns() <= sequential.makespan_ns() + 1e-6);
+    assert_eq!(streamed.spans().len(), 3);
+    // Spans arrive in issue order with non-decreasing starts.
+    let starts: Vec<f64> = streamed.spans().iter().map(|s| s.start_ns).collect();
+    assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn training_streams_expand_run_and_round_trip_through_json() {
+    let streams: Vec<StreamJob> = [Workload::ResNet152, Workload::Dlrm]
+        .into_iter()
+        .map(|w| StreamJob::from_training(&TrainingJob::new(w)).unwrap())
+        .collect();
+    let campaign = StreamCampaign::new()
+        .topologies([PresetTopology::SwSwSw3dHomo, PresetTopology::FcRingSw3d])
+        .schedulers([SchedulerKind::Baseline, SchedulerKind::ThemisScf])
+        .streams(streams);
+    assert_eq!(campaign.matrix_size(), 2 * 2 * 2);
+    let report = campaign.run(&Runner::parallel()).unwrap();
+    assert_eq!(report.len(), 8);
+
+    let text = report.to_json();
+    let back = StreamCampaignReport::from_json(&text).unwrap();
+    assert_eq!(back, report);
+    let speedup = back
+        .makespan_speedup_over_baseline(
+            "3D-SW_SW_SW_homo",
+            "ResNet-152-iteration",
+            SchedulerKind::ThemisScf,
+        )
+        .unwrap();
+    assert!(speedup >= 1.0 - 1e-9, "Themis regressed: {speedup}");
+}
+
+#[test]
+fn stream_errors_propagate_through_both_runner_backends() {
+    let campaign = StreamCampaign::new()
+        .topologies([PresetTopology::Sw2d])
+        .stream(gradient_stream().chunks(0));
+    for runner in [Runner::sequential(), Runner::parallel_threads(2)] {
+        let err = campaign.run(&runner).unwrap_err();
+        assert!(matches!(err, ThemisError::Schedule(_)), "{err}");
+    }
+    // Campaign-shape errors come first.
+    let err = StreamCampaign::new()
+        .run(&Runner::sequential())
+        .unwrap_err();
+    assert!(matches!(err, ThemisError::Campaign { .. }), "{err}");
+}
+
+#[test]
+fn streamed_training_iteration_never_regresses_the_sequential_model() {
+    let topo = PresetTopology::SwSwSw3dHetero.build();
+    for workload in [Workload::ResNet152, Workload::Gnmt, Workload::Dlrm] {
+        let streamed = TrainingSimulator::new(workload.config())
+            .simulate_iteration_streamed(&topo, SchedulerKind::ThemisScf)
+            .unwrap();
+        let sequential = TrainingSimulator::new(workload.config())
+            .with_sim_options(SimOptions::default().with_cross_collective_overlap(false))
+            .simulate_iteration_streamed(&topo, SchedulerKind::ThemisScf)
+            .unwrap();
+        assert!(
+            streamed.total_ns() <= sequential.total_ns() + 1e-6,
+            "{workload:?}: streamed {:.0} ns vs sequential {:.0} ns",
+            streamed.total_ns(),
+            sequential.total_ns()
+        );
+        assert!(streamed.exposed_comm_ns <= sequential.exposed_comm_ns + 1e-6);
+        assert!(streamed.stream.spans.len() == sequential.stream.spans.len());
+    }
+}
