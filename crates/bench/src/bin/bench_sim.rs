@@ -1,0 +1,298 @@
+//! Simulation-throughput benchmark: campaign cells per second.
+//!
+//! Measures the end-to-end campaign throughput (schedule + simulate, the
+//! product of the whole stack) on two representative matrices:
+//!
+//! * **campaign** — a single-collective sweep over the next-generation
+//!   Table 2 platforms × sizes × the three Table 3 schedulers;
+//! * **stream** — training-derived gradient streams (ResNet-152, GNMT, DLRM;
+//!   dozens of queued collectives with heavily repeated sizes) over three
+//!   platforms × the three schedulers. This is the matrix where schedule
+//!   caching wins most: without it every queued collective of every cell is
+//!   re-scheduled from scratch.
+//!
+//! Each matrix runs in two configurations:
+//!
+//! * `baseline` — schedule cache **off**, op-log recording **on**: the
+//!   unoptimised path (what every run paid before the hot-path overhaul);
+//! * `optimised` — schedule cache **on**, op-log recording **off**: the
+//!   campaign fast path.
+//!
+//! Before timing anything the harness asserts the optimisation's correctness
+//! contract: with identical op-log settings, the cached and uncached paths
+//! produce bit-identical reports.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p themis-bench --bin bench-sim -- [--smoke] [output.json]
+//! ```
+//!
+//! Emits a `BENCH_sim.json` report. In full (non-smoke) mode the run fails
+//! unless the stream matrix shows at least 1.3× cells/sec over the baseline
+//! configuration; `--smoke` (one iteration of a tiny matrix) only guards
+//! against breakage and still checks bit-identity.
+
+use std::io::Write;
+use themis::api::json::Json;
+use themis::prelude::*;
+use themis_bench::harness::{measure, BenchStat};
+use themis_bench::report::Table;
+
+/// Required optimised-vs-baseline throughput on the stream matrix (full mode).
+const REQUIRED_STREAM_SPEEDUP: f64 = 1.3;
+
+fn campaign(smoke: bool) -> Campaign {
+    if smoke {
+        Campaign::new()
+            .topologies([PresetTopology::Sw2d])
+            .sizes_mib([16.0])
+            .chunk_counts([8])
+    } else {
+        Campaign::new()
+            .topologies(PresetTopology::next_generation())
+            .sizes_mib([64.0, 256.0])
+            .chunk_counts([64])
+    }
+}
+
+fn stream_campaign(smoke: bool) -> StreamCampaign {
+    if smoke {
+        // A tiny stream with repeated sizes, so the smoke run still exercises
+        // the within-cell schedule reuse.
+        let stream = StreamJob::named("smoke")
+            .collectives((0..4).map(|i| {
+                QueuedCollective::all_reduce_mib(format!("g{i}"), 16.0)
+                    .issued_at(f64::from(i) * 10_000.0)
+            }))
+            .chunks(8);
+        StreamCampaign::new()
+            .topologies([PresetTopology::Sw2d])
+            .schedulers([SchedulerKind::ThemisScf])
+            .stream(stream)
+    } else {
+        let streams: Vec<StreamJob> = [Workload::ResNet152, Workload::Gnmt, Workload::Dlrm]
+            .into_iter()
+            .map(|w| {
+                StreamJob::from_training(&TrainingJob::new(w))
+                    .expect("single-network workloads derive streams")
+            })
+            .collect();
+        StreamCampaign::new()
+            .topologies([
+                PresetTopology::SwSwSw3dHomo,
+                PresetTopology::SwSwSw3dHetero,
+                PresetTopology::FcRingSw3d,
+            ])
+            .streams(streams)
+    }
+}
+
+/// The two measured configurations of one matrix.
+struct MatrixResult {
+    name: &'static str,
+    cells: usize,
+    baseline: BenchStat,
+    optimised: BenchStat,
+}
+
+impl MatrixResult {
+    fn cells_per_sec(&self, stat: &BenchStat) -> f64 {
+        if stat.min_ns <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.cells as f64 / (stat.min_ns / 1e9)
+    }
+
+    /// Throughput ratio computed from the fastest iteration of each
+    /// configuration — the estimator least affected by unrelated system noise
+    /// (slow outliers can only inflate, never deflate, a wall-clock sample).
+    fn speedup(&self) -> f64 {
+        if self.optimised.min_ns <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.baseline.min_ns / self.optimised.min_ns
+    }
+
+    fn to_json(&self) -> Json {
+        let stat_json = |stat: &BenchStat| {
+            Json::obj([
+                ("name", Json::Str(stat.name.clone())),
+                ("iterations", Json::Num(stat.iterations as f64)),
+                ("min_ns", Json::Num(stat.min_ns)),
+                ("median_ns", Json::Num(stat.median_ns)),
+                ("mean_ns", Json::Num(stat.mean_ns)),
+                ("max_ns", Json::Num(stat.max_ns)),
+                ("cells_per_sec", Json::Num(self.cells_per_sec(stat))),
+            ])
+        };
+        Json::obj([
+            ("name", Json::Str(self.name.to_string())),
+            ("cells", Json::Num(self.cells as f64)),
+            ("baseline", stat_json(&self.baseline)),
+            ("optimised", stat_json(&self.optimised)),
+            ("speedup", Json::Num(self.speedup())),
+        ])
+    }
+}
+
+/// Baseline configuration: schedule cache off, op-log recording on.
+fn baseline_runner() -> Runner {
+    Runner::sequential().with_schedule_cache(false)
+}
+
+/// Optimised configuration: schedule cache on (the default), op-log off via
+/// the campaign's sim options.
+fn optimised_runner() -> Runner {
+    Runner::sequential()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let output = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let (warmup, iterations) = if smoke { (0, 1) } else { (3, 15) };
+
+    // Correctness gate before timing anything: with identical op-log
+    // settings, cached and uncached paths must be bit-identical.
+    let campaign = campaign(smoke);
+    let reference = campaign
+        .run(&baseline_runner())
+        .expect("benchmark campaign is valid");
+    let cached = campaign
+        .run(&optimised_runner())
+        .expect("benchmark campaign is valid");
+    assert_eq!(
+        reference, cached,
+        "schedule caching changed a campaign report"
+    );
+    let streams = stream_campaign(smoke);
+    let stream_reference = streams
+        .run(&baseline_runner())
+        .expect("benchmark stream campaign is valid");
+    let stream_cached = streams
+        .run(&optimised_runner())
+        .expect("benchmark stream campaign is valid");
+    assert_eq!(
+        stream_reference, stream_cached,
+        "schedule caching changed a stream report"
+    );
+
+    let quiet = SimOptions::default().with_op_log(false);
+    let mut matrices = Vec::new();
+    {
+        let baseline_campaign = campaign.clone();
+        let optimised_campaign = campaign.clone().sim_options(quiet);
+        matrices.push(MatrixResult {
+            name: "campaign",
+            cells: campaign.matrix_size(),
+            baseline: measure("campaign/cache-off+oplog-on", warmup, iterations, || {
+                baseline_campaign
+                    .run(&baseline_runner())
+                    .expect("benchmark campaign is valid");
+            }),
+            optimised: measure("campaign/cache-on+oplog-off", warmup, iterations, || {
+                optimised_campaign
+                    .run(&optimised_runner())
+                    .expect("benchmark campaign is valid");
+            }),
+        });
+    }
+    {
+        let baseline_streams = streams.clone();
+        let optimised_streams = streams.clone().sim_options(quiet);
+        matrices.push(MatrixResult {
+            name: "stream",
+            cells: streams.matrix_size(),
+            baseline: measure("stream/cache-off+oplog-on", warmup, iterations, || {
+                baseline_streams
+                    .run(&baseline_runner())
+                    .expect("benchmark stream campaign is valid");
+            }),
+            optimised: measure("stream/cache-on+oplog-off", warmup, iterations, || {
+                optimised_streams
+                    .run(&optimised_runner())
+                    .expect("benchmark stream campaign is valid");
+            }),
+        });
+    }
+
+    let mut table = Table::new(
+        format!(
+            "Simulation throughput ({iterations} iterations{})",
+            if smoke { ", smoke" } else { "" }
+        ),
+        &[
+            "Bench",
+            "Cells",
+            "Min ms",
+            "Cells/s",
+            "vs cache-off+oplog-on",
+        ],
+    );
+    for matrix in &matrices {
+        for stat in [&matrix.baseline, &matrix.optimised] {
+            table.push_row([
+                stat.name.clone(),
+                matrix.cells.to_string(),
+                format!("{:.2}", stat.min_ns / 1e6),
+                format!("{:.1}", matrix.cells_per_sec(stat)),
+                format!(
+                    "{:.2}x",
+                    if stat.min_ns > 0.0 {
+                        matrix.baseline.min_ns / stat.min_ns
+                    } else {
+                        f64::INFINITY
+                    }
+                ),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    let document = Json::obj([
+        ("version", Json::Num(1.0)),
+        ("kind", Json::Str("sim-bench".to_string())),
+        ("smoke", Json::Bool(smoke)),
+        (
+            "matrices",
+            Json::Arr(matrices.iter().map(MatrixResult::to_json).collect()),
+        ),
+    ])
+    .render();
+    match std::fs::File::create(&output) {
+        Ok(mut file) => {
+            if let Err(err) = file.write_all(document.as_bytes()) {
+                eprintln!("failed to write {output}: {err}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {output}");
+        }
+        Err(err) => {
+            eprintln!("failed to create {output}: {err}");
+            std::process::exit(1);
+        }
+    }
+
+    if !smoke {
+        let stream_speedup = matrices
+            .iter()
+            .find(|m| m.name == "stream")
+            .expect("stream matrix was measured")
+            .speedup();
+        if stream_speedup < REQUIRED_STREAM_SPEEDUP {
+            eprintln!(
+                "stream matrix speedup {stream_speedup:.2}x is below the required \
+                 {REQUIRED_STREAM_SPEEDUP}x"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "stream matrix speedup: {stream_speedup:.2}x (required {REQUIRED_STREAM_SPEEDUP}x)"
+        );
+    }
+}

@@ -69,6 +69,26 @@ impl BaselineScheduler {
     pub fn chunks_per_collective(&self) -> usize {
         self.splitter.chunks_per_collective()
     }
+
+    /// Assembles the schedule from already-split chunk sizes.
+    fn schedule_sizes(
+        &self,
+        request: &CollectiveRequest,
+        topo: &NetworkTopology,
+        chunk_sizes: &[f64],
+    ) -> CollectiveSchedule {
+        let stages = baseline_stages(request.kind(), topo.num_dims());
+        let chunks = chunk_sizes
+            .iter()
+            .enumerate()
+            .map(|(chunk_index, &initial_bytes)| ChunkSchedule {
+                chunk_index,
+                initial_bytes,
+                stages: stages.clone(),
+            })
+            .collect();
+        CollectiveSchedule::new(*request, self.name(), self.intra_dim_policy(), chunks)
+    }
 }
 
 impl CollectiveScheduler for BaselineScheduler {
@@ -88,22 +108,16 @@ impl CollectiveScheduler for BaselineScheduler {
         topo: &NetworkTopology,
     ) -> Result<CollectiveSchedule, ScheduleError> {
         let chunk_sizes = self.splitter.split(request.size())?;
-        let stages = baseline_stages(request.kind(), topo.num_dims());
-        let chunks = chunk_sizes
-            .into_iter()
-            .enumerate()
-            .map(|(chunk_index, initial_bytes)| ChunkSchedule {
-                chunk_index,
-                initial_bytes,
-                stages: stages.clone(),
-            })
-            .collect();
-        Ok(CollectiveSchedule::new(
-            *request,
-            self.name(),
-            self.intra_dim_policy(),
-            chunks,
-        ))
+        Ok(self.schedule_sizes(request, topo, &chunk_sizes))
+    }
+
+    fn schedule_presplit(
+        &mut self,
+        request: &CollectiveRequest,
+        topo: &NetworkTopology,
+        chunk_bytes: &[f64],
+    ) -> Result<CollectiveSchedule, ScheduleError> {
+        Ok(self.schedule_sizes(request, topo, chunk_bytes))
     }
 }
 

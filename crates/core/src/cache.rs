@@ -1,0 +1,333 @@
+//! Schedule caching for campaign-scale sweeps.
+//!
+//! Schedules are immutable once built and the schedulers are deterministic
+//! (Sec. 4.6.1: every NPU computes the same schedule locally), so any two
+//! cells of a campaign matrix that agree on (topology structure, collective,
+//! chunk count, scheduler) execute the *same* [`CollectiveSchedule`]. The
+//! [`ScheduleCache`] exploits that: it memoises schedules behind
+//! [`Arc`] handles keyed by [`NetworkTopology::fingerprint`] plus the request
+//! parameters, so repeated cells — and repeated collectives inside one stream
+//! queue — skip the scheduler entirely.
+//!
+//! The cache additionally shares splitter output *across* scheduler kinds:
+//! cells that differ only in their scheduler reuse the same chunk split
+//! (computed once per `(size, chunks)` pair) through
+//! [`crate::scheduler::CollectiveScheduler::schedule_presplit`].
+//!
+//! The cache is thread-safe (`Mutex`-guarded maps, atomic hit/miss counters)
+//! and is shared by all workers of a campaign runner. Scheduling happens
+//! *outside* the lock, so a miss never blocks concurrent lookups; if two
+//! workers race on the same key, the first inserted schedule wins and both
+//! return the same `Arc` — either way the contents are identical, so reports
+//! stay bit-for-bit equal to the uncached path.
+
+use crate::error::ScheduleError;
+use crate::schedule::{CollectiveRequest, CollectiveSchedule};
+use crate::scheduler::SchedulerKind;
+use crate::splitter::Splitter;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use themis_net::{DataSize, NetworkTopology};
+
+/// Memoised splitter output, keyed by `(collective size, chunk count)`.
+type SplitMap = HashMap<(DataSize, usize), Arc<Vec<f64>>>;
+
+/// The lookup key of a cached schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScheduleKey {
+    /// Structural fingerprint of the topology the schedule was built for.
+    pub topology_fingerprint: u64,
+    /// The collective request (kind + per-NPU size).
+    pub request: CollectiveRequest,
+    /// Chunks per collective.
+    pub chunks: usize,
+    /// Scheduler configuration (Table 3).
+    pub scheduler: SchedulerKind,
+}
+
+impl ScheduleKey {
+    /// Builds the key for scheduling `request` on `topo` with `chunks` chunks
+    /// under `scheduler`.
+    pub fn new(
+        topo: &NetworkTopology,
+        request: &CollectiveRequest,
+        chunks: usize,
+        scheduler: SchedulerKind,
+    ) -> Self {
+        ScheduleKey {
+            topology_fingerprint: topo.fingerprint(),
+            request: *request,
+            chunks,
+            scheduler,
+        }
+    }
+}
+
+/// A thread-safe memo of collective schedules (and splitter output), shared
+/// across the workers of a campaign run.
+///
+/// ```
+/// use themis_core::{CollectiveRequest, ScheduleCache, SchedulerKind};
+/// use themis_net::presets::PresetTopology;
+///
+/// # fn main() -> Result<(), themis_core::ScheduleError> {
+/// let cache = ScheduleCache::new();
+/// let topo = PresetTopology::Sw2d.build();
+/// let request = CollectiveRequest::all_reduce_mib(64.0);
+/// let first = cache.get_or_schedule(&topo, &request, 16, SchedulerKind::ThemisScf)?;
+/// let second = cache.get_or_schedule(&topo, &request, 16, SchedulerKind::ThemisScf)?;
+/// assert!(std::sync::Arc::ptr_eq(&first, &second));
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(cache.misses(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ScheduleCache {
+    schedules: Mutex<HashMap<ScheduleKey, Arc<CollectiveSchedule>>>,
+    splits: Mutex<SplitMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScheduleCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ScheduleCache::default()
+    }
+
+    /// Returns the cached schedule for the key, or runs the scheduler (reusing
+    /// cached splitter output) and memoises the result.
+    ///
+    /// The returned schedule is exactly what `scheduler.build(chunks)` would
+    /// produce for the same request and topology — schedulers are
+    /// deterministic, so cached and uncached runs are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::ZeroChunks`] for a zero chunk count and
+    /// otherwise propagates the scheduler's errors.
+    pub fn get_or_schedule(
+        &self,
+        topo: &NetworkTopology,
+        request: &CollectiveRequest,
+        chunks: usize,
+        scheduler: SchedulerKind,
+    ) -> Result<Arc<CollectiveSchedule>, ScheduleError> {
+        if chunks == 0 {
+            return Err(ScheduleError::ZeroChunks);
+        }
+        let key = ScheduleKey::new(topo, request, chunks, scheduler);
+        if let Some(hit) = self
+            .schedules
+            .lock()
+            .expect("schedule cache lock is never poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Scheduling runs outside the lock: a slow miss never blocks hits on
+        // other keys (or the same key — a racing worker just recomputes the
+        // identical schedule and the first insert wins).
+        let split = self.split_cached(request.size(), chunks)?;
+        let mut built = scheduler.build(chunks);
+        let schedule = Arc::new(built.schedule_presplit(request, topo, &split)?);
+        Ok(Arc::clone(
+            self.schedules
+                .lock()
+                .expect("schedule cache lock is never poisoned")
+                .entry(key)
+                .or_insert(schedule),
+        ))
+    }
+
+    /// Returns the cached splitter output for `(size, chunks)`, computing and
+    /// memoising it on first use. Shared across scheduler kinds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Splitter`] validation errors (zero chunks, empty
+    /// collective).
+    pub fn split_cached(
+        &self,
+        size: DataSize,
+        chunks: usize,
+    ) -> Result<Arc<Vec<f64>>, ScheduleError> {
+        if let Some(hit) = self
+            .splits
+            .lock()
+            .expect("split cache lock is never poisoned")
+            .get(&(size, chunks))
+        {
+            return Ok(Arc::clone(hit));
+        }
+        let split = Arc::new(Splitter::new(chunks)?.split(size)?);
+        Ok(Arc::clone(
+            self.splits
+                .lock()
+                .expect("split cache lock is never poisoned")
+                .entry((size, chunks))
+                .or_insert(split),
+        ))
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that ran the scheduler.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct schedules currently cached.
+    pub fn len(&self) -> usize {
+        self.schedules
+            .lock()
+            .expect("schedule cache lock is never poisoned")
+            .len()
+    }
+
+    /// `true` if no schedule has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached schedule and split (the hit/miss counters keep
+    /// counting).
+    pub fn clear(&self) {
+        self.schedules
+            .lock()
+            .expect("schedule cache lock is never poisoned")
+            .clear();
+        self.splits
+            .lock()
+            .expect("split cache lock is never poisoned")
+            .clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_net::presets::PresetTopology;
+
+    #[test]
+    fn cached_schedules_match_direct_scheduling_bit_for_bit() {
+        let cache = ScheduleCache::new();
+        let request = CollectiveRequest::all_reduce_mib(128.0);
+        for preset in [PresetTopology::Sw2d, PresetTopology::SwSwSw3dHetero] {
+            let topo = preset.build();
+            for kind in SchedulerKind::all() {
+                let cached = cache.get_or_schedule(&topo, &request, 16, kind).unwrap();
+                let direct = kind.build(16).schedule(&request, &topo).unwrap();
+                assert_eq!(*cached, direct, "{} on {}", kind, topo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn hits_share_one_arc_and_are_counted() {
+        let cache = ScheduleCache::new();
+        let topo = PresetTopology::Sw2d.build();
+        let request = CollectiveRequest::all_reduce_mib(32.0);
+        let a = cache
+            .get_or_schedule(&topo, &request, 8, SchedulerKind::Baseline)
+            .unwrap();
+        let b = cache
+            .get_or_schedule(&topo, &request, 8, SchedulerKind::Baseline)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+
+        // A renamed but structurally identical topology hits the same entry.
+        let renamed = topo.renamed("same-structure");
+        let c = cache
+            .get_or_schedule(&renamed, &request, 8, SchedulerKind::Baseline)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn distinct_keys_miss_independently() {
+        let cache = ScheduleCache::new();
+        let topo = PresetTopology::Sw2d.build();
+        let request = CollectiveRequest::all_reduce_mib(32.0);
+        for kind in SchedulerKind::all() {
+            cache.get_or_schedule(&topo, &request, 8, kind).unwrap();
+        }
+        cache
+            .get_or_schedule(&topo, &request, 16, SchedulerKind::Baseline)
+            .unwrap();
+        let other = PresetTopology::SwSwSw3dHomo.build();
+        cache
+            .get_or_schedule(&other, &request, 8, SchedulerKind::Baseline)
+            .unwrap();
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 5);
+        assert_eq!(cache.len(), 5);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn split_output_is_shared_across_scheduler_kinds() {
+        let cache = ScheduleCache::new();
+        let size = DataSize::from_mib(64.0);
+        let first = cache.split_cached(size, 16).unwrap();
+        let second = cache.split_cached(size, 16).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(first.len(), 16);
+        let direct = Splitter::new(16).unwrap().split(size).unwrap();
+        assert_eq!(*first, direct);
+    }
+
+    #[test]
+    fn invalid_requests_error_without_poisoning_the_cache() {
+        let cache = ScheduleCache::new();
+        let topo = PresetTopology::Sw2d.build();
+        let request = CollectiveRequest::all_reduce_mib(32.0);
+        assert!(matches!(
+            cache.get_or_schedule(&topo, &request, 0, SchedulerKind::Baseline),
+            Err(ScheduleError::ZeroChunks)
+        ));
+        let empty = CollectiveRequest::new(
+            themis_collectives::CollectiveKind::AllReduce,
+            DataSize::ZERO,
+        );
+        assert!(cache
+            .get_or_schedule(&topo, &empty, 8, SchedulerKind::ThemisScf)
+            .is_err());
+        // The cache still works after errors.
+        cache
+            .get_or_schedule(&topo, &request, 8, SchedulerKind::ThemisScf)
+            .unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_is_shared_safely_across_threads() {
+        let cache = ScheduleCache::new();
+        let topo = PresetTopology::FcRingSw3d.build();
+        let request = CollectiveRequest::all_reduce_mib(64.0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for kind in SchedulerKind::all() {
+                        cache.get_or_schedule(&topo, &request, 8, kind).unwrap();
+                    }
+                });
+            }
+        });
+        // Every kind is cached exactly once, however the workers raced.
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.hits() + cache.misses(), 12);
+        assert!(cache.misses() >= 3);
+    }
+}

@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod baseline;
+pub mod cache;
 pub mod consistency;
 pub mod error;
 pub mod ideal;
@@ -52,6 +53,7 @@ pub mod splitter;
 pub mod themis;
 
 pub use baseline::BaselineScheduler;
+pub use cache::{ScheduleCache, ScheduleKey};
 pub use consistency::{enforced_intra_dim_order, EnforcedOrder};
 pub use error::ScheduleError;
 pub use ideal::IdealEstimator;

@@ -144,8 +144,22 @@ impl ChunkSchedule {
                 ),
             });
         }
+        // Visited-dimension sets as bitmasks: validation runs on every
+        // simulator invocation, so it must not allocate. Topologies far
+        // exceed u128 dimensions nowhere (practical machines have ≤ 5), but
+        // the width is checked to keep the arithmetic sound.
+        if num_dims > u128::BITS as usize {
+            return Err(ScheduleError::InvalidConfig {
+                reason: format!("{num_dims} network dimensions exceed the supported maximum 128"),
+            });
+        }
+        let full: u128 = if num_dims == u128::BITS as usize {
+            u128::MAX
+        } else {
+            (1u128 << num_dims) - 1
+        };
         for phase in kind.phases() {
-            let mut seen = vec![false; num_dims];
+            let mut seen: u128 = 0;
             for stage in self.stages.iter().filter(|s| s.op == *phase) {
                 if stage.dim >= num_dims {
                     return Err(ScheduleError::InvalidConfig {
@@ -155,7 +169,8 @@ impl ChunkSchedule {
                         ),
                     });
                 }
-                if seen[stage.dim] {
+                let bit = 1u128 << stage.dim;
+                if seen & bit != 0 {
                     return Err(ScheduleError::InvalidConfig {
                         reason: format!(
                             "chunk {} visits dimension {} twice during {phase}",
@@ -163,9 +178,9 @@ impl ChunkSchedule {
                         ),
                     });
                 }
-                seen[stage.dim] = true;
+                seen |= bit;
             }
-            if seen.iter().any(|s| !s) {
+            if seen != full {
                 return Err(ScheduleError::InvalidConfig {
                     reason: format!(
                         "chunk {} does not visit every dimension during {phase}",

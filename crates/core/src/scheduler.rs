@@ -32,6 +32,28 @@ pub trait CollectiveScheduler {
         request: &CollectiveRequest,
         topo: &NetworkTopology,
     ) -> Result<CollectiveSchedule, ScheduleError>;
+
+    /// Like [`CollectiveScheduler::schedule`], but reusing pre-computed
+    /// splitter output (`chunk_bytes[i]` is the initial size of chunk `i`).
+    ///
+    /// Campaign cells that differ only in their scheduler share the same
+    /// splitter output, so the schedule cache computes the split once and
+    /// hands it to every scheduler kind. The split must equal what the
+    /// scheduler's own splitter would produce; the default implementation
+    /// ignores the hint and re-splits internally, which is always correct.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CollectiveScheduler::schedule`].
+    fn schedule_presplit(
+        &mut self,
+        request: &CollectiveRequest,
+        topo: &NetworkTopology,
+        chunk_bytes: &[f64],
+    ) -> Result<CollectiveSchedule, ScheduleError> {
+        let _ = chunk_bytes;
+        self.schedule(request, topo)
+    }
 }
 
 /// Convenience selector for the scheduling configurations evaluated in the

@@ -247,12 +247,21 @@ impl CollectiveScheduler for ThemisScheduler {
     ) -> Result<CollectiveSchedule, ScheduleError> {
         let splitter = Splitter::new(self.config.chunks_per_collective)?;
         let chunk_sizes = splitter.split(request.size())?;
+        self.schedule_presplit(request, topo, &chunk_sizes)
+    }
+
+    fn schedule_presplit(
+        &mut self,
+        request: &CollectiveRequest,
+        topo: &NetworkTopology,
+        chunk_bytes: &[f64],
+    ) -> Result<CollectiveSchedule, ScheduleError> {
         let model = LatencyModel::with_cost_model(topo, self.cost);
         let mut tracker = DimLoadTracker::new(topo.num_dims());
         tracker.reset(self.initial_loads(request.kind(), topo)?);
 
-        let mut chunks = Vec::with_capacity(chunk_sizes.len());
-        for (chunk_index, initial_bytes) in chunk_sizes.into_iter().enumerate() {
+        let mut chunks = Vec::with_capacity(chunk_bytes.len());
+        for (chunk_index, &initial_bytes) in chunk_bytes.iter().enumerate() {
             let stages =
                 self.schedule_chunk(request.kind(), initial_bytes, topo, &model, &mut tracker)?;
             chunks.push(ChunkSchedule {

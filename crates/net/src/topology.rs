@@ -397,6 +397,40 @@ impl NetworkTopology {
         NetworkTopology::new(self.name.clone(), dims)
     }
 
+    /// A cheap structural fingerprint of the topology: a 64-bit FNV-1a hash
+    /// over the per-dimension kinds, sizes, bandwidths, link counts and step
+    /// latencies.
+    ///
+    /// The display name is deliberately *excluded*: schedules depend only on
+    /// the network structure, so two differently named but structurally
+    /// identical topologies produce the same fingerprint and can share cached
+    /// schedules (`themis-core`'s `ScheduleCache` keys on this value). The
+    /// hash is deterministic across processes and runs.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut mix = |value: u64| {
+            for byte in value.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.dims.len() as u64);
+        for dim in &self.dims {
+            mix(match dim.kind() {
+                TopologyKind::Ring => 0,
+                TopologyKind::FullyConnected => 1,
+                TopologyKind::Switch => 2,
+            });
+            mix(dim.size() as u64);
+            mix(dim.link_bandwidth().as_gbps().to_bits());
+            mix(dim.links_per_npu() as u64);
+            mix(dim.step_latency_ns().to_bits());
+        }
+        hash
+    }
+
     /// Compact per-dimension summary, e.g. `16x64 [SW:1200Gbps, SW:800Gbps]`.
     pub fn summary(&self) -> String {
         let sizes: Vec<String> = self.dims.iter().map(|d| d.size().to_string()).collect();
@@ -630,6 +664,24 @@ mod tests {
         assert_eq!(scaled.dim_bandwidth(1).unwrap().as_gbps(), 800.0);
         assert_eq!(scaled.dim_bandwidth(0).unwrap().as_gbps(), 2000.0);
         assert!(topo.with_dim_bandwidth_scaled(5, 2.0).is_err());
+    }
+
+    #[test]
+    fn fingerprint_reflects_structure_not_name() {
+        let topo = topo_4x8();
+        // Deterministic across calls.
+        assert_eq!(topo.fingerprint(), topo.fingerprint());
+        // Renaming keeps the fingerprint: schedules only see the structure.
+        assert_eq!(topo.renamed("other-name").fingerprint(), topo.fingerprint());
+        // Any structural change moves it.
+        let scaled = topo.with_dim_bandwidth_scaled(1, 2.0).unwrap();
+        assert_ne!(scaled.fingerprint(), topo.fingerprint());
+        let reordered = NetworkTopology::new(
+            "reordered",
+            vec![topo.dims()[1].clone(), topo.dims()[0].clone()],
+        )
+        .unwrap();
+        assert_ne!(reordered.fingerprint(), topo.fingerprint());
     }
 
     #[test]

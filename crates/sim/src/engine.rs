@@ -11,7 +11,13 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// An event scheduled at a simulation time, carrying a user payload.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Ordering (and equality) consider only the scheduling key
+/// (`time_ns`, `sequence`), never the payload — so the payload type needs no
+/// comparison traits at all, and `PartialEq` is consistent with `Ord` (the
+/// derived equality of earlier versions compared payloads while the ordering
+/// ignored them).
+#[derive(Debug, Clone)]
 pub struct ScheduledEvent<T> {
     /// Simulation time of the event, in nanoseconds.
     pub time_ns: f64,
@@ -22,15 +28,21 @@ pub struct ScheduledEvent<T> {
     pub payload: T,
 }
 
-impl<T> Eq for ScheduledEvent<T> where T: PartialEq {}
+impl<T> PartialEq for ScheduledEvent<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
 
-impl<T: PartialEq> PartialOrd for ScheduledEvent<T> {
+impl<T> Eq for ScheduledEvent<T> {}
+
+impl<T> PartialOrd for ScheduledEvent<T> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<T: PartialEq> Ord for ScheduledEvent<T> {
+impl<T> Ord for ScheduledEvent<T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap: invert so the earliest time pops first;
         // ties resolve by the lower sequence number.
@@ -43,14 +55,17 @@ impl<T: PartialEq> Ord for ScheduledEvent<T> {
 }
 
 /// A deterministic, time-ordered event queue.
+///
+/// The payload type is unconstrained: ordering only uses each event's
+/// `(time_ns, sequence)` key.
 #[derive(Debug, Clone)]
-pub struct EventQueue<T: PartialEq> {
+pub struct EventQueue<T> {
     heap: BinaryHeap<ScheduledEvent<T>>,
     next_sequence: u64,
     now_ns: f64,
 }
 
-impl<T: PartialEq> Default for EventQueue<T> {
+impl<T> Default for EventQueue<T> {
     fn default() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
@@ -60,7 +75,7 @@ impl<T: PartialEq> Default for EventQueue<T> {
     }
 }
 
-impl<T: PartialEq> EventQueue<T> {
+impl<T> EventQueue<T> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
         Self::default()
@@ -160,6 +175,39 @@ mod tests {
         assert_eq!(event.time_ns, 15.0);
         assert_eq!(event.payload, "second");
         assert_eq!(queue.peek_time_ns(), None);
+    }
+
+    #[test]
+    fn payloads_need_no_comparison_traits() {
+        // A payload type without PartialEq/Ord: closures qualify.
+        let mut queue: EventQueue<Box<dyn Fn() -> u32>> = EventQueue::new();
+        queue.schedule_at(2.0, Box::new(|| 2));
+        queue.schedule_at(1.0, Box::new(|| 1));
+        assert_eq!((queue.pop().unwrap().payload)(), 1);
+        assert_eq!((queue.pop().unwrap().payload)(), 2);
+    }
+
+    #[test]
+    fn event_equality_follows_the_scheduling_key() {
+        let a = ScheduledEvent {
+            time_ns: 5.0,
+            sequence: 0,
+            payload: "left",
+        };
+        let b = ScheduledEvent {
+            time_ns: 5.0,
+            sequence: 0,
+            payload: "right",
+        };
+        let c = ScheduledEvent {
+            time_ns: 5.0,
+            sequence: 1,
+            payload: "left",
+        };
+        // Equality is ordering-consistent: same key, payload ignored.
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a > c, "earlier sequence pops first from the max-heap");
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod error;
 pub mod executor;
 pub mod options;
 pub mod pipeline;
+pub(crate) mod readyq;
 pub mod stats;
 pub mod stream;
 pub mod timeline;

@@ -29,6 +29,13 @@ pub struct SimOptions {
     /// collectives execute strictly back-to-back — the sequential timeline
     /// model. Single-collective simulations ignore this flag.
     pub cross_collective_overlap: bool,
+    /// If `true` (the default), the simulator records every executed chunk op
+    /// in [`crate::SimReport::op_log`] — the data behind the Fig. 5 pipeline
+    /// diagrams and [`crate::SimReport::ascii_timeline`]. Campaign sweeps that
+    /// only read completion times and utilisations can turn this off to skip
+    /// the per-op bookkeeping entirely (the op log is by far the largest part
+    /// of a report); all other report fields are unaffected.
+    pub record_op_log: bool,
 }
 
 impl Default for SimOptions {
@@ -38,6 +45,7 @@ impl Default for SimOptions {
             enforce_intra_dim_order: false,
             activity_window_ns: 100_000.0,
             cross_collective_overlap: true,
+            record_op_log: true,
         }
     }
 }
@@ -93,6 +101,13 @@ impl SimOptions {
         self.cross_collective_overlap = overlap;
         self
     }
+
+    /// Builder-style setter for op-log recording.
+    #[must_use]
+    pub fn with_op_log(mut self, record: bool) -> Self {
+        self.record_op_log = record;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +121,7 @@ mod tests {
         assert!(!options.enforce_intra_dim_order);
         assert_eq!(options.activity_window_ns, 100_000.0);
         assert!(options.cross_collective_overlap);
+        assert!(options.record_op_log);
         options.validate().unwrap();
     }
 
@@ -115,11 +131,13 @@ mod tests {
             .with_max_concurrent_ops(4)
             .with_enforced_order(true)
             .with_activity_window_ns(50_000.0)
-            .with_cross_collective_overlap(false);
+            .with_cross_collective_overlap(false)
+            .with_op_log(false);
         assert_eq!(options.max_concurrent_ops_per_dim, 4);
         assert!(options.enforce_intra_dim_order);
         assert_eq!(options.activity_window_ns, 50_000.0);
         assert!(!options.cross_collective_overlap);
+        assert!(!options.record_op_log);
         options.validate().unwrap();
     }
 

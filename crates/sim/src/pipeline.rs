@@ -10,7 +10,8 @@
 
 use crate::error::SimError;
 use crate::options::SimOptions;
-use crate::stats::SimReport;
+use crate::readyq::{ReadyKey, ReadyQueue};
+use crate::stats::{LabelInterner, RawOp, SimReport};
 use themis_collectives::CostModel;
 use themis_core::{enforced_intra_dim_order, CollectiveSchedule, IntraDimPolicy};
 use themis_net::NetworkTopology;
@@ -24,6 +25,19 @@ struct PendingOp {
     arrival: u64,
     chunk: usize,
     stage: usize,
+    /// The op's transfer time on its dimension — the Smallest-Chunk-First
+    /// cost key, stored inline at enqueue time so the ready queue orders ops
+    /// without chasing the cost table.
+    cost_ns: f64,
+}
+
+impl ReadyKey for PendingOp {
+    fn arrival(&self) -> u64 {
+        self.arrival
+    }
+    fn cost_ns(&self) -> f64 {
+        self.cost_ns
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -34,17 +48,45 @@ struct ActiveOp {
     start_ns: f64,
 }
 
+/// Pre-computed cost of one (chunk, stage) op, shared by the pipeline and
+/// stream engines.
 #[derive(Debug, Clone, Copy)]
-struct OpCost {
-    fixed_ns: f64,
-    transfer_ns: f64,
-    wire_bytes: f64,
+pub(crate) struct OpCost {
+    pub(crate) fixed_ns: f64,
+    pub(crate) transfer_ns: f64,
+    pub(crate) wire_bytes: f64,
 }
 
 impl OpCost {
-    fn work_ns(&self) -> f64 {
+    pub(crate) fn work_ns(&self) -> f64 {
         self.fixed_ns + self.transfer_ns
     }
+}
+
+/// Pre-computes the cost of every stage op of `chunk`, tracking the per-stage
+/// entry size inline (no `stage_entry_bytes` allocation). The single source
+/// of op costs for both the pipeline and stream engines.
+#[inline(always)]
+pub(crate) fn chunk_op_costs(
+    topo: &NetworkTopology,
+    cost_model: &CostModel,
+    chunk: &themis_core::ChunkSchedule,
+) -> Result<Vec<OpCost>, SimError> {
+    let mut entry_bytes = chunk.initial_bytes;
+    let mut costs = Vec::with_capacity(chunk.stages.len());
+    for stage in &chunk.stages {
+        let spec = topo.dim(stage.dim)?;
+        let cost = cost_model
+            .chunk_cost(spec, stage.op, entry_bytes)
+            .map_err(themis_core::ScheduleError::from)?;
+        costs.push(OpCost {
+            fixed_ns: cost.fixed_delay_ns,
+            transfer_ns: cost.transfer_ns,
+            wire_bytes: cost.wire_bytes,
+        });
+        entry_bytes = stage.op.resident_size_after(entry_bytes, spec.size());
+    }
+    Ok(costs)
 }
 
 /// Simulates the execution of collective schedules on a fixed topology.
@@ -99,21 +141,7 @@ impl<'a> PipelineSimulator<'a> {
         // Pre-compute the cost of every (chunk, stage) op.
         let mut op_costs: Vec<Vec<OpCost>> = Vec::with_capacity(chunks.len());
         for chunk in chunks {
-            let entries = chunk.stage_entry_bytes(self.topo);
-            let mut costs = Vec::with_capacity(chunk.stages.len());
-            for (stage, &entry_bytes) in chunk.stages.iter().zip(entries.iter()) {
-                let spec = self.topo.dim(stage.dim)?;
-                let cost = self
-                    .cost
-                    .chunk_cost(spec, stage.op, entry_bytes)
-                    .map_err(themis_core::ScheduleError::from)?;
-                costs.push(OpCost {
-                    fixed_ns: cost.fixed_delay_ns,
-                    transfer_ns: cost.transfer_ns,
-                    wire_bytes: cost.wire_bytes,
-                });
-            }
-            op_costs.push(costs);
+            op_costs.push(chunk_op_costs(self.topo, &self.cost, chunk)?);
         }
 
         // Optional Sec. 4.6.2 enforced intra-dimension order.
@@ -130,13 +158,19 @@ impl<'a> PipelineSimulator<'a> {
             self.options.activity_window_ns,
         );
 
-        let mut ready: Vec<Vec<PendingOp>> = vec![Vec::new(); num_dims];
+        let mut ready: Vec<ReadyQueue<PendingOp>> = (0..num_dims)
+            .map(|_| ReadyQueue::for_policy(policy, enforced.is_some()))
+            .collect();
         let mut active: Vec<Vec<ActiveOp>> = vec![Vec::new(); num_dims];
         // Time each dimension last finished executing an op; used to decide
         // whether a newly started op pays the fixed delay `A_K` (Sec. 4.4
         // charges `A_K` per dimension, not per chunk: chunks that pipeline
         // back-to-back hide the per-step latency of their successors).
         let mut last_busy_end = vec![f64::NEG_INFINITY; num_dims];
+        // Scratch buffers allocated once per run: the rate-based loop below is
+        // allocation-free per step.
+        let mut completions: Vec<(usize, ActiveOp)> = Vec::new();
+        let mut raw_ops: Vec<RawOp> = Vec::new();
         let mut arrival: u64 = 0;
         let mut now = 0.0f64;
         let mut outstanding = 0usize;
@@ -149,6 +183,7 @@ impl<'a> PipelineSimulator<'a> {
                     arrival,
                     chunk: chunk_idx,
                     stage: 0,
+                    cost_ns: op_costs[chunk_idx][0].transfer_ns,
                 });
                 arrival += 1;
             }
@@ -161,34 +196,28 @@ impl<'a> PipelineSimulator<'a> {
                 while active[dim].len() < self.options.max_concurrent_ops_per_dim
                     && !ready[dim].is_empty()
                 {
-                    let picked = match &enforced {
+                    let op = match &enforced {
                         Some(order) => {
                             let Some(&(chunk, stage)) = order.for_dim(dim).get(order_ptr[dim])
                             else {
                                 break;
                             };
                             match ready[dim]
-                                .iter()
-                                .position(|op| op.chunk == chunk && op.stage == stage)
+                                .take_matching(|op| op.chunk == chunk && op.stage == stage)
                             {
-                                Some(pos) => {
+                                Some(op) => {
                                     order_ptr[dim] += 1;
-                                    pos
+                                    op
                                 }
                                 // The next op in the enforced order is not
                                 // ready yet: the dimension must wait.
                                 None => break,
                             }
                         }
-                        None => {
-                            let keys: Vec<(u64, f64)> = ready[dim]
-                                .iter()
-                                .map(|op| (op.arrival, op_costs[op.chunk][op.stage].transfer_ns))
-                                .collect();
-                            policy.pick(&keys).expect("ready queue is non-empty")
-                        }
+                        // The queue is policy-ordered: the pop *is* the
+                        // FIFO/SCF pick of `IntraDimPolicy::pick`.
+                        None => ready[dim].pop_next().expect("ready queue is non-empty"),
                     };
-                    let op = ready[dim].remove(picked);
                     let cost = op_costs[op.chunk][op.stage];
                     // Pay the fixed delay only when the dimension is (re)starting
                     // its pipeline after an idle period; back-to-back chunk ops
@@ -213,7 +242,7 @@ impl<'a> PipelineSimulator<'a> {
 
             let any_active = active.iter().any(|a| !a.is_empty());
             if !any_active {
-                let pending: usize = ready.iter().map(Vec::len).sum();
+                let pending: usize = ready.iter().map(ReadyQueue::len).sum();
                 return Err(SimError::Stalled {
                     at_ns: now,
                     outstanding_ops: pending,
@@ -266,32 +295,35 @@ impl<'a> PipelineSimulator<'a> {
             }
             now += delta;
 
-            // Collect completions deterministically (by dimension, then chunk).
-            let mut completions: Vec<(usize, ActiveOp)> = Vec::new();
+            // Collect completions into the reused scratch buffer (swap-remove,
+            // then a deterministic sort by dimension and chunk — the keys are
+            // unique, so the collection order cannot leak into the results).
+            completions.clear();
             for (dim, dim_active) in active.iter_mut().enumerate() {
                 let mut index = 0;
                 while index < dim_active.len() {
                     if dim_active[index].remaining_work_ns <= 1e-6 {
-                        completions.push((dim, dim_active.remove(index)));
+                        completions.push((dim, dim_active.swap_remove(index)));
                     } else {
                         index += 1;
                     }
                 }
             }
-            completions.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.chunk.cmp(&b.1.chunk)));
+            completions.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.chunk.cmp(&b.1.chunk)));
 
-            for (dim, op) in completions {
+            for &(dim, op) in completions.iter() {
                 let cost = op_costs[op.chunk][op.stage];
                 report.dims[dim].wire_bytes += cost.wire_bytes;
                 report.dims[dim].ops_executed += 1;
-                report.op_log.push(crate::stats::OpRecord {
-                    dim,
-                    chunk: op.chunk,
-                    stage: op.stage,
-                    label: chunks[op.chunk].stages[op.stage].to_string(),
-                    start_ns: op.start_ns,
-                    end_ns: now,
-                });
+                if self.options.record_op_log {
+                    raw_ops.push(RawOp {
+                        dim,
+                        chunk: op.chunk,
+                        stage: op.stage,
+                        start_ns: op.start_ns,
+                        end_ns: now,
+                    });
+                }
                 last_busy_end[dim] = now;
                 outstanding -= 1;
                 let next_stage = op.stage + 1;
@@ -301,6 +333,7 @@ impl<'a> PipelineSimulator<'a> {
                         arrival,
                         chunk: op.chunk,
                         stage: next_stage,
+                        cost_ns: op_costs[op.chunk][next_stage].transfer_ns,
                     });
                     arrival += 1;
                 }
@@ -308,6 +341,13 @@ impl<'a> PipelineSimulator<'a> {
         }
 
         report.total_time_ns = now;
+        if self.options.record_op_log {
+            let labels = LabelInterner::for_dims(num_dims);
+            report.op_log = raw_ops
+                .iter()
+                .map(|raw| labels.materialise(raw, &chunks[raw.chunk].stages[raw.stage]))
+                .collect();
+        }
         Ok(report)
     }
 
@@ -603,6 +643,27 @@ mod tests {
         let timeline = report.ascii_timeline(64);
         assert_eq!(timeline.lines().count(), 2);
         assert!(timeline.contains('#'));
+    }
+
+    #[test]
+    fn op_log_gate_skips_the_trace_without_changing_results() {
+        let topo = fig5_topology();
+        let request = CollectiveRequest::all_reduce_mib(256.0);
+        let schedule = ThemisScheduler::new(8).schedule(&request, &topo).unwrap();
+        let with_log = PipelineSimulator::new(&topo, SimOptions::default())
+            .run(&schedule)
+            .unwrap();
+        let without_log = PipelineSimulator::new(&topo, SimOptions::default().with_op_log(false))
+            .run(&schedule)
+            .unwrap();
+        assert!(!with_log.op_log.is_empty());
+        assert!(without_log.op_log.is_empty());
+        // Everything except the trace is bit-identical.
+        assert_eq!(
+            with_log.total_time_ns.to_bits(),
+            without_log.total_time_ns.to_bits()
+        );
+        assert_eq!(with_log.dims, without_log.dims);
     }
 
     #[test]

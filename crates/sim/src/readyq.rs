@@ -1,0 +1,216 @@
+//! Policy-specialised ready-op storage for the simulation engines.
+//!
+//! The rate-based loops used to keep ready chunk ops in a plain `Vec` and run
+//! the intra-dimension policy as an O(n) scan plus an O(n) order-preserving
+//! `remove` per started op. A [`ReadyQueue`] stores the ops in the shape the
+//! policy actually pops them in, making every start O(1) (FIFO front) or
+//! O(log n) (Smallest-Chunk-First heap) while producing **exactly** the same
+//! pick sequence:
+//!
+//! * FIFO picks the minimal arrival number — arrivals are assigned from a
+//!   monotone counter and pushes happen in arrival order, so the front of a
+//!   `VecDeque` *is* the FIFO pick.
+//! * SCF picks the minimal `(cost, arrival)` key — arrivals are unique, so
+//!   the key is a total order and a binary heap pops the same op the linear
+//!   scan found (costs are never NaN: bandwidths are validated positive, so
+//!   `total_cmp` and `partial_cmp` agree).
+//! * Enforced-order runs (Sec. 4.6.2) bypass the policy and take a specific
+//!   (chunk, stage) out of turn, so they keep the linear layout and pay the
+//!   search — enforcement is a verification mode, not the hot path.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+use themis_core::IntraDimPolicy;
+
+/// The ordering key every ready op exposes to its queue.
+pub(crate) trait ReadyKey {
+    /// Global arrival sequence number (unique, monotone).
+    fn arrival(&self) -> u64;
+    /// Predicted transfer time on the op's dimension (the SCF cost key).
+    fn cost_ns(&self) -> f64;
+}
+
+/// Wrapper giving [`BinaryHeap`] the *smallest* `(cost, arrival)` at the top.
+#[derive(Debug, Clone)]
+pub(crate) struct ScfEntry<T>(pub T);
+
+impl<T: ReadyKey> PartialEq for ScfEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl<T: ReadyKey> Eq for ScfEntry<T> {}
+
+impl<T: ReadyKey> PartialOrd for ScfEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: ReadyKey> Ord for ScfEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Inverted: the max-heap then yields the smallest (cost, arrival).
+        other
+            .0
+            .cost_ns()
+            .total_cmp(&self.0.cost_ns())
+            .then_with(|| other.0.arrival().cmp(&self.0.arrival()))
+    }
+}
+
+/// Ready ops of one dimension (or one collective's bucket on a dimension),
+/// stored in the pop order of the owning run's policy.
+#[derive(Debug, Clone)]
+pub(crate) enum ReadyQueue<T> {
+    /// Arrival-ordered ops: FIFO pops the front; enforced-order runs search.
+    Queue(VecDeque<T>),
+    /// SCF-ordered ops: the heap pops the minimal `(cost, arrival)` key.
+    Heap(BinaryHeap<ScfEntry<T>>),
+}
+
+impl<T: ReadyKey> ReadyQueue<T> {
+    /// Creates the storage matching how ops will be popped.
+    pub(crate) fn for_policy(policy: IntraDimPolicy, enforced: bool) -> Self {
+        if enforced || policy == IntraDimPolicy::Fifo {
+            ReadyQueue::Queue(VecDeque::new())
+        } else {
+            ReadyQueue::Heap(BinaryHeap::new())
+        }
+    }
+
+    /// Number of queued ops.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            ReadyQueue::Queue(queue) => queue.len(),
+            ReadyQueue::Heap(heap) => heap.len(),
+        }
+    }
+
+    /// `true` if no op is queued.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues an op. Callers push in arrival order (the heap does not care,
+    /// the queue relies on it).
+    pub(crate) fn push(&mut self, op: T) {
+        match self {
+            ReadyQueue::Queue(queue) => queue.push_back(op),
+            ReadyQueue::Heap(heap) => heap.push(ScfEntry(op)),
+        }
+    }
+
+    /// Pops the policy's next op: FIFO front or SCF minimum.
+    pub(crate) fn pop_next(&mut self) -> Option<T> {
+        match self {
+            ReadyQueue::Queue(queue) => queue.pop_front(),
+            ReadyQueue::Heap(heap) => heap.pop().map(|entry| entry.0),
+        }
+    }
+
+    /// Removes and returns the first op matching `matches` (enforced-order
+    /// runs only, which always use the [`ReadyQueue::Queue`] layout).
+    pub(crate) fn take_matching(&mut self, matches: impl Fn(&T) -> bool) -> Option<T> {
+        match self {
+            ReadyQueue::Queue(queue) => {
+                let index = queue.iter().position(matches)?;
+                queue.remove(index)
+            }
+            ReadyQueue::Heap(_) => {
+                unreachable!("enforced-order runs keep the linear queue layout")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct Op {
+        arrival: u64,
+        cost_ns: f64,
+    }
+
+    impl ReadyKey for Op {
+        fn arrival(&self) -> u64 {
+            self.arrival
+        }
+        fn cost_ns(&self) -> f64 {
+            self.cost_ns
+        }
+    }
+
+    fn ops() -> [Op; 4] {
+        [
+            Op {
+                arrival: 0,
+                cost_ns: 30.0,
+            },
+            Op {
+                arrival: 1,
+                cost_ns: 10.0,
+            },
+            Op {
+                arrival: 2,
+                cost_ns: 10.0,
+            },
+            Op {
+                arrival: 3,
+                cost_ns: 20.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn fifo_pops_in_arrival_order() {
+        let mut queue = ReadyQueue::for_policy(IntraDimPolicy::Fifo, false);
+        for op in ops() {
+            queue.push(op);
+        }
+        assert_eq!(queue.len(), 4);
+        let popped: Vec<u64> =
+            std::iter::from_fn(|| queue.pop_next().map(|op| op.arrival)).collect();
+        assert_eq!(popped, vec![0, 1, 2, 3]);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn scf_pops_by_cost_then_arrival_matching_the_policy_scan() {
+        let mut queue = ReadyQueue::for_policy(IntraDimPolicy::SmallestChunkFirst, false);
+        for op in ops() {
+            queue.push(op);
+        }
+        let popped: Vec<u64> =
+            std::iter::from_fn(|| queue.pop_next().map(|op| op.arrival)).collect();
+        // The linear reference: IntraDimPolicy::pick over (arrival, cost).
+        let mut remaining: Vec<Op> = ops().to_vec();
+        let mut reference = Vec::new();
+        while !remaining.is_empty() {
+            let keys: Vec<(u64, f64)> = remaining
+                .iter()
+                .map(|op| (op.arrival, op.cost_ns))
+                .collect();
+            let picked = IntraDimPolicy::SmallestChunkFirst.pick(&keys).unwrap();
+            reference.push(remaining.remove(picked).arrival);
+        }
+        assert_eq!(popped, reference);
+        assert_eq!(popped, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn enforced_runs_search_the_linear_queue() {
+        let mut queue = ReadyQueue::for_policy(IntraDimPolicy::SmallestChunkFirst, true);
+        for op in ops() {
+            queue.push(op);
+        }
+        let taken = queue.take_matching(|op| op.arrival == 2).unwrap();
+        assert_eq!(taken.cost_ns, 10.0);
+        assert!(queue.take_matching(|op| op.arrival == 2).is_none());
+        assert_eq!(queue.len(), 3);
+        // Remaining ops keep arrival order.
+        assert_eq!(queue.pop_next().unwrap().arrival, 0);
+    }
+}

@@ -1,7 +1,74 @@
 //! Simulation reports: completion time, per-dimension utilisation and the
 //! frontend-activity timeline.
 
+use themis_collectives::PhaseOp;
+use themis_core::StageOp;
 use themis_net::NetworkTopology;
+
+/// A chunk-op completion as recorded inside the simulation loops: indices and
+/// times only, no label. Labels are interned and resolved once when the final
+/// report is assembled ([`LabelInterner`]), so the hot loop never formats or
+/// clones a `String`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct RawOp {
+    pub dim: usize,
+    pub chunk: usize,
+    pub stage: usize,
+    pub start_ns: f64,
+    pub end_ns: f64,
+}
+
+/// Interned stage-op labels: every possible `(dimension, phase op)` label of a
+/// topology is formatted exactly once, and op records clone the interned
+/// string instead of re-running the formatting machinery per executed op.
+#[derive(Debug)]
+pub(crate) struct LabelInterner {
+    /// Indexed by `dim * 3 + phase-op index`.
+    labels: Vec<String>,
+}
+
+impl LabelInterner {
+    const OPS: [PhaseOp; 3] = [
+        PhaseOp::ReduceScatter,
+        PhaseOp::AllGather,
+        PhaseOp::AllToAll,
+    ];
+
+    /// Pre-formats all labels for a `num_dims`-dimensional topology.
+    pub(crate) fn for_dims(num_dims: usize) -> Self {
+        let mut labels = Vec::with_capacity(num_dims * Self::OPS.len());
+        for dim in 0..num_dims {
+            for op in Self::OPS {
+                labels.push(StageOp::new(dim, op).to_string());
+            }
+        }
+        LabelInterner { labels }
+    }
+
+    /// The interned label of `stage` (clones the pre-formatted string).
+    pub(crate) fn label(&self, stage: &StageOp) -> String {
+        let op_index = match stage.op {
+            PhaseOp::ReduceScatter => 0,
+            PhaseOp::AllGather => 1,
+            PhaseOp::AllToAll => 2,
+        };
+        self.labels[stage.dim * Self::OPS.len() + op_index].clone()
+    }
+
+    /// Materialises a [`RawOp`] into the public [`OpRecord`], resolving the
+    /// label through the intern table. `stage_op` must be the stage the raw op
+    /// executed.
+    pub(crate) fn materialise(&self, raw: &RawOp, stage_op: &StageOp) -> OpRecord {
+        OpRecord {
+            dim: raw.dim,
+            chunk: raw.chunk,
+            stage: raw.stage,
+            label: self.label(stage_op),
+            start_ns: raw.start_ns,
+            end_ns: raw.end_ns,
+        }
+    }
+}
 
 /// Per-dimension statistics collected during a simulation.
 #[derive(Debug, Clone, PartialEq, Default)]

@@ -10,10 +10,11 @@
 
 use crate::error::SimError;
 use crate::options::SimOptions;
-use crate::pipeline::{push_presence, PipelineSimulator};
-use crate::stats::{DimReport, OpRecord, SimReport};
+use crate::pipeline::{chunk_op_costs, push_presence, OpCost, PipelineSimulator};
+use crate::stats::{DimReport, LabelInterner, RawOp, SimReport};
 use crate::stream::queue::{ActiveOp, DimQueue, PendingOp, StreamEntry, VacancyTracker};
 use crate::stream::report::{CollectiveSpan, StreamReport};
+use std::sync::Arc;
 use themis_collectives::CostModel;
 use themis_core::{
     enforced_intra_dim_order, CollectiveSchedule, CollectiveScheduler, EnforcedOrder,
@@ -23,19 +24,6 @@ use themis_net::NetworkTopology;
 /// Maximum number of zero-progress iterations tolerated before declaring the
 /// stream stalled (mirrors the pipeline simulator's guard).
 const STALL_GUARD: usize = 64;
-
-#[derive(Debug, Clone, Copy)]
-struct OpCost {
-    fixed_ns: f64,
-    transfer_ns: f64,
-    wire_bytes: f64,
-}
-
-impl OpCost {
-    fn work_ns(&self) -> f64 {
-        self.fixed_ns + self.transfer_ns
-    }
-}
 
 /// Book-keeping for one admitted collective during the merged run.
 #[derive(Debug)]
@@ -49,7 +37,7 @@ struct CollState {
     active_ns: f64,
     overlapped_ns: f64,
     dims: Vec<DimReport>,
-    op_log: Vec<OpRecord>,
+    raw_ops: Vec<RawOp>,
     enforced: Option<EnforcedOrder>,
     order_ptr: Vec<usize>,
 }
@@ -95,24 +83,60 @@ impl<'a> StreamSimulator<'a> {
         entries: &[StreamEntry],
     ) -> Result<StreamReport, SimError> {
         self.options.validate()?;
-        let mut order: Vec<usize> = (0..entries.len()).collect();
-        order.sort_by(|&a, &b| {
-            entries[a]
-                .clamped_issue_ns()
-                .partial_cmp(&entries[b].clamped_issue_ns())
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
+        let order = admission_order(entries);
         let mut schedules = Vec::with_capacity(order.len());
         for &index in &order {
             let schedule = scheduler.schedule(&entries[index].request, self.topo)?;
             schedule.validate(self.topo)?;
-            schedules.push(schedule);
+            schedules.push(Arc::new(schedule));
         }
         if self.options.cross_collective_overlap {
             self.run_overlapped(entries, &order, &schedules)
         } else {
             self.run_sequential(entries, &order, &schedules)
+        }
+    }
+
+    /// Like [`StreamSimulator::run`], but executing pre-built schedules —
+    /// `schedules[i]` is the schedule of `entries[i]` — instead of invoking a
+    /// scheduler per queued collective. This is the entry point of the
+    /// schedule-cache fast path: identical queued collectives share one
+    /// [`Arc`]ed schedule and are never re-scheduled.
+    ///
+    /// Schedulers are deterministic, so running cached schedules through this
+    /// method is bit-identical to [`StreamSimulator::run`] with the scheduler
+    /// that produced them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the schedule list length does not match the
+    /// entry list, a schedule does not fit the topology, or the simulation
+    /// fails to make progress.
+    pub fn run_prescheduled(
+        &self,
+        entries: &[StreamEntry],
+        schedules: &[Arc<CollectiveSchedule>],
+    ) -> Result<StreamReport, SimError> {
+        self.options.validate()?;
+        if schedules.len() != entries.len() {
+            return Err(SimError::InvalidOptions {
+                reason: format!(
+                    "{} schedules provided for {} stream entries",
+                    schedules.len(),
+                    entries.len()
+                ),
+            });
+        }
+        let order = admission_order(entries);
+        let mut ordered = Vec::with_capacity(order.len());
+        for &index in &order {
+            schedules[index].validate(self.topo)?;
+            ordered.push(Arc::clone(&schedules[index]));
+        }
+        if self.options.cross_collective_overlap {
+            self.run_overlapped(entries, &order, &ordered)
+        } else {
+            self.run_sequential(entries, &order, &ordered)
         }
     }
 
@@ -123,7 +147,7 @@ impl<'a> StreamSimulator<'a> {
         &self,
         entries: &[StreamEntry],
         order: &[usize],
-        schedules: &[CollectiveSchedule],
+        schedules: &[Arc<CollectiveSchedule>],
     ) -> Result<StreamReport, SimError> {
         let simulator = PipelineSimulator::new(self.topo, self.options);
         let mut report = StreamReport::empty(
@@ -133,7 +157,7 @@ impl<'a> StreamSimulator<'a> {
         );
         let mut network_free_at = 0.0f64;
         for (slot, &index) in order.iter().enumerate() {
-            let sim_report = simulator.run(&schedules[slot])?;
+            let sim_report = simulator.run(schedules[slot].as_ref())?;
             let issue_ns = entries[index].clamped_issue_ns();
             let start_ns = network_free_at.max(issue_ns);
             let finish_ns = start_ns + sim_report.total_time_ns;
@@ -169,7 +193,7 @@ impl<'a> StreamSimulator<'a> {
         &self,
         entries: &[StreamEntry],
         order: &[usize],
-        schedules: &[CollectiveSchedule],
+        schedules: &[Arc<CollectiveSchedule>],
     ) -> Result<StreamReport, SimError> {
         let num_dims = self.topo.num_dims();
         let cost_model = CostModel::new();
@@ -177,23 +201,11 @@ impl<'a> StreamSimulator<'a> {
         // Pre-compute the cost of every (collective, chunk, stage) op.
         let mut op_costs: Vec<Vec<Vec<OpCost>>> = Vec::with_capacity(schedules.len());
         for schedule in schedules {
-            let mut chunk_costs = Vec::with_capacity(schedule.chunks().len());
-            for chunk in schedule.chunks() {
-                let entry_bytes = chunk.stage_entry_bytes(self.topo);
-                let mut costs = Vec::with_capacity(chunk.stages.len());
-                for (stage, &bytes) in chunk.stages.iter().zip(entry_bytes.iter()) {
-                    let spec = self.topo.dim(stage.dim)?;
-                    let cost = cost_model
-                        .chunk_cost(spec, stage.op, bytes)
-                        .map_err(themis_core::ScheduleError::from)?;
-                    costs.push(OpCost {
-                        fixed_ns: cost.fixed_delay_ns,
-                        transfer_ns: cost.transfer_ns,
-                        wire_bytes: cost.wire_bytes,
-                    });
-                }
-                chunk_costs.push(costs);
-            }
+            let chunk_costs = schedule
+                .chunks()
+                .iter()
+                .map(|chunk| chunk_op_costs(self.topo, &cost_model, chunk))
+                .collect::<Result<Vec<_>, _>>()?;
             op_costs.push(chunk_costs);
         }
 
@@ -218,7 +230,7 @@ impl<'a> StreamSimulator<'a> {
                 active_ns: 0.0,
                 overlapped_ns: 0.0,
                 dims: dims_template(self.topo),
-                op_log: Vec::new(),
+                raw_ops: Vec::new(),
                 enforced,
                 order_ptr: vec![0usize; num_dims],
             });
@@ -230,7 +242,13 @@ impl<'a> StreamSimulator<'a> {
             dims_template(self.topo),
         );
 
-        let mut dims: Vec<DimQueue> = (0..num_dims).map(|_| DimQueue::new()).collect();
+        let mut dims: Vec<DimQueue> = (0..num_dims)
+            .map(|_| {
+                DimQueue::new(colls.iter().enumerate().map(|(slot, state)| {
+                    (schedules[slot].intra_dim_policy(), state.enforced.is_some())
+                }))
+            })
+            .collect();
         let mut vacancy = VacancyTracker::from_stage_dims(
             schedules.iter().map(|schedule| {
                 schedule
@@ -247,12 +265,16 @@ impl<'a> StreamSimulator<'a> {
         let mut admit_ptr = 0usize;
         let mut stall_counter = 0usize;
         // Per-segment accounting scratch, allocated once for the whole run.
-        // The per-dim flags are reset through `touched` so a segment costs
-        // O(ops in flight), not O(dims × collectives).
+        // The flags are reset through `touched`/`active_list` so a segment
+        // costs O(ops and collectives in flight), not O(dims × collectives).
         let mut coll_active = vec![false; colls.len()];
         let mut coll_busy_on_dim = vec![false; colls.len()];
         let mut coll_on_dim = vec![false; colls.len()];
         let mut touched: Vec<usize> = Vec::with_capacity(colls.len());
+        let mut active_list: Vec<usize> = Vec::with_capacity(colls.len());
+        // Completion scratch, likewise reused so the merged event loop is
+        // allocation-free per step.
+        let mut completions: Vec<(usize, ActiveOp)> = Vec::new();
 
         while admit_ptr < colls.len() || outstanding > 0 {
             // Event-driven admission: collectives whose issue time has arrived
@@ -272,11 +294,12 @@ impl<'a> StreamSimulator<'a> {
                 outstanding += state.outstanding_ops;
                 for (chunk_idx, chunk) in schedules[coll].chunks().iter().enumerate() {
                     if let Some(first) = chunk.stages.first() {
-                        dims[first.dim].ready.push(PendingOp {
+                        dims[first.dim].push_ready(PendingOp {
                             arrival,
                             coll,
                             chunk: chunk_idx,
                             stage: 0,
+                            cost_ns: op_costs[coll][chunk_idx][0].transfer_ns,
                         });
                         arrival += 1;
                     }
@@ -290,30 +313,28 @@ impl<'a> StreamSimulator<'a> {
             // with.
             for (dim, queue) in dims.iter_mut().enumerate() {
                 while queue.active.len() < self.options.max_concurrent_ops_per_dim
-                    && !queue.ready.is_empty()
+                    && queue.ready_len() > 0
                 {
                     let Some(coll) = vacancy.owner(dim, admit_ptr) else {
                         break;
                     };
-                    if !queue.ready.iter().any(|op| op.coll == coll) {
+                    if !queue.has_ready(coll) {
                         // The owner has work left on this dimension but none
                         // of it is ready yet: the dimension waits rather than
                         // letting a later collective in ahead of it.
                         break;
                     }
-                    let picked = match &colls[coll].enforced {
+                    let op = match &colls[coll].enforced {
                         Some(enforced_order) => {
                             let Some(&(chunk, stage)) =
                                 enforced_order.for_dim(dim).get(colls[coll].order_ptr[dim])
                             else {
                                 break;
                             };
-                            match queue.ready.iter().position(|op| {
-                                op.coll == coll && op.chunk == chunk && op.stage == stage
-                            }) {
-                                Some(pos) => {
+                            match queue.take_matching(coll, chunk, stage) {
+                                Some(op) => {
                                     colls[coll].order_ptr[dim] += 1;
-                                    pos
+                                    op
                                 }
                                 // The collective's next enforced op is not
                                 // ready yet: the dimension waits for it rather
@@ -321,30 +342,10 @@ impl<'a> StreamSimulator<'a> {
                                 None => break,
                             }
                         }
-                        None => {
-                            // Restrict the pick to the priority collective by
-                            // giving every other op an unreachable key.
-                            let keys: Vec<(u64, f64)> = queue
-                                .ready
-                                .iter()
-                                .map(|op| {
-                                    if op.coll == coll {
-                                        (
-                                            op.arrival,
-                                            op_costs[op.coll][op.chunk][op.stage].transfer_ns,
-                                        )
-                                    } else {
-                                        (u64::MAX, f64::INFINITY)
-                                    }
-                                })
-                                .collect();
-                            schedules[coll]
-                                .intra_dim_policy()
-                                .pick(&keys)
-                                .expect("ready queue is non-empty")
-                        }
+                        // The priority collective's bucket is policy-ordered:
+                        // the pop *is* its FIFO/SCF pick.
+                        None => queue.pop_next(coll).expect("bucket is non-empty"),
                     };
-                    let op = queue.ready.remove(picked);
                     let cost = op_costs[op.coll][op.chunk][op.stage];
                     // Pay the fixed delay only when the dimension restarts
                     // after an idle period (same rule as the pipeline
@@ -382,7 +383,7 @@ impl<'a> StreamSimulator<'a> {
                     now = at.max(now);
                     continue;
                 }
-                let pending: usize = dims.iter().map(|q| q.ready.len()).sum();
+                let pending: usize = dims.iter().map(DimQueue::ready_len).sum();
                 return Err(SimError::Stalled {
                     at_ns: now,
                     outstanding_ops: pending,
@@ -424,7 +425,7 @@ impl<'a> StreamSimulator<'a> {
 
             // Account statistics for the segment [now, now + delta).
             if delta > 0.0 {
-                coll_active.fill(false);
+                active_list.clear();
                 for (dim, queue) in dims.iter().enumerate() {
                     if !queue.active.is_empty() {
                         report.dims[dim].busy_ns += delta;
@@ -434,17 +435,20 @@ impl<'a> StreamSimulator<'a> {
                     }
                     touched.clear();
                     for op in &queue.active {
-                        coll_active[op.coll] = true;
+                        if !coll_active[op.coll] {
+                            coll_active[op.coll] = true;
+                            active_list.push(op.coll);
+                        }
                         coll_busy_on_dim[op.coll] = true;
                         if !coll_on_dim[op.coll] {
                             coll_on_dim[op.coll] = true;
                             touched.push(op.coll);
                         }
                     }
-                    for op in &queue.ready {
-                        if !coll_on_dim[op.coll] {
-                            coll_on_dim[op.coll] = true;
-                            touched.push(op.coll);
+                    for &coll in queue.ready_colls() {
+                        if !coll_on_dim[coll] {
+                            coll_on_dim[coll] = true;
+                            touched.push(coll);
                         }
                     }
                     for &coll in &touched {
@@ -457,20 +461,22 @@ impl<'a> StreamSimulator<'a> {
                         coll_on_dim[coll] = false;
                     }
                 }
-                let active_colls = coll_active.iter().filter(|&&a| a).count();
+                // Per-collective accumulators are independent, so visiting the
+                // active collectives in first-seen order (instead of index
+                // order) adds the same `delta` to the same counters.
+                let active_colls = active_list.len();
                 if active_colls >= 1 {
                     report.network_busy_ns += delta;
                 }
                 if active_colls >= 2 {
                     report.overlap_ns += delta;
                 }
-                for (coll, &is_active) in coll_active.iter().enumerate() {
-                    if is_active {
-                        colls[coll].active_ns += delta;
-                        if active_colls >= 2 {
-                            colls[coll].overlapped_ns += delta;
-                        }
+                for &coll in &active_list {
+                    colls[coll].active_ns += delta;
+                    if active_colls >= 2 {
+                        colls[coll].overlapped_ns += delta;
                     }
+                    coll_active[coll] = false;
                 }
             }
 
@@ -487,26 +493,28 @@ impl<'a> StreamSimulator<'a> {
                 now + delta
             };
 
-            // Collect completions deterministically (dimension, collective,
-            // chunk).
-            let mut completions: Vec<(usize, ActiveOp)> = Vec::new();
+            // Collect completions into the reused scratch buffer (swap-remove,
+            // then a deterministic sort — the (dimension, collective, chunk)
+            // keys are unique, so the collection order cannot leak into the
+            // results).
+            completions.clear();
             for (dim, queue) in dims.iter_mut().enumerate() {
                 let mut index = 0;
                 while index < queue.active.len() {
                     if queue.active[index].remaining_work_ns <= 1e-6 {
-                        completions.push((dim, queue.active.remove(index)));
+                        completions.push((dim, queue.active.swap_remove(index)));
                     } else {
                         index += 1;
                     }
                 }
             }
-            completions.sort_by(|a, b| {
+            completions.sort_unstable_by(|a, b| {
                 a.0.cmp(&b.0)
                     .then(a.1.coll.cmp(&b.1.coll))
                     .then(a.1.chunk.cmp(&b.1.chunk))
             });
 
-            for (dim, op) in completions {
+            for &(dim, op) in completions.iter() {
                 let cost = op_costs[op.coll][op.chunk][op.stage];
                 vacancy.complete(op.coll, dim);
                 report.dims[dim].wire_bytes += cost.wire_bytes;
@@ -514,14 +522,15 @@ impl<'a> StreamSimulator<'a> {
                 let state = &mut colls[op.coll];
                 state.dims[dim].wire_bytes += cost.wire_bytes;
                 state.dims[dim].ops_executed += 1;
-                state.op_log.push(OpRecord {
-                    dim,
-                    chunk: op.chunk,
-                    stage: op.stage,
-                    label: schedules[op.coll].chunks()[op.chunk].stages[op.stage].to_string(),
-                    start_ns: op.start_ns,
-                    end_ns: now,
-                });
+                if self.options.record_op_log {
+                    state.raw_ops.push(RawOp {
+                        dim,
+                        chunk: op.chunk,
+                        stage: op.stage,
+                        start_ns: op.start_ns,
+                        end_ns: now,
+                    });
+                }
                 dims[dim].last_busy_end_ns = now;
                 outstanding -= 1;
                 state.outstanding_ops -= 1;
@@ -531,11 +540,12 @@ impl<'a> StreamSimulator<'a> {
                 let next_stage = op.stage + 1;
                 if next_stage < schedules[op.coll].chunks()[op.chunk].stages.len() {
                     let target = schedules[op.coll].chunks()[op.chunk].stages[next_stage].dim;
-                    dims[target].ready.push(PendingOp {
+                    dims[target].push_ready(PendingOp {
                         arrival,
                         coll: op.coll,
                         chunk: op.chunk,
                         stage: next_stage,
+                        cost_ns: op_costs[op.coll][op.chunk][next_stage].transfer_ns,
                     });
                     arrival += 1;
                 }
@@ -544,25 +554,41 @@ impl<'a> StreamSimulator<'a> {
 
         // Assemble spans: shift each collective's statistics into its own
         // time frame so the embedded report reads like a standalone run.
+        // Labels are resolved here, once per executed op, from the interned
+        // table — the event loop above never formatted a string.
+        let labels = self
+            .options
+            .record_op_log
+            .then(|| LabelInterner::for_dims(num_dims));
         for (slot, state) in colls.into_iter().enumerate() {
             let start = state.start_ns;
+            let op_log = match &labels {
+                Some(labels) => state
+                    .raw_ops
+                    .iter()
+                    .map(|raw| {
+                        let stage_op = &schedules[slot].chunks()[raw.chunk].stages[raw.stage];
+                        let mut op = labels.materialise(raw, stage_op);
+                        op.start_ns -= start;
+                        op.end_ns -= start;
+                        op
+                    })
+                    .collect(),
+                None => Vec::new(),
+            };
             let mut sim_report = SimReport {
                 scheduler_name: schedules[slot].scheduler_name().to_string(),
                 topology_name: self.topo.name().to_string(),
                 total_time_ns: (state.finish_ns - start).max(0.0),
                 activity_window_ns: self.options.activity_window_ns,
                 dims: state.dims,
-                op_log: state.op_log,
+                op_log,
             };
             for dim in &mut sim_report.dims {
                 for interval in &mut dim.presence_intervals {
                     interval.0 -= start;
                     interval.1 -= start;
                 }
-            }
-            for op in &mut sim_report.op_log {
-                op.start_ns -= start;
-                op.end_ns -= start;
             }
             report.finish_ns = report.finish_ns.max(state.finish_ns);
             report.spans.push(CollectiveSpan {
@@ -578,6 +604,20 @@ impl<'a> StreamSimulator<'a> {
         }
         Ok(report)
     }
+}
+
+/// Admission order of the entries: by clamped issue time, ties broken by list
+/// position.
+fn admission_order(entries: &[StreamEntry]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..entries.len()).collect();
+    order.sort_by(|&a, &b| {
+        entries[a]
+            .clamped_issue_ns()
+            .partial_cmp(&entries[b].clamped_issue_ns())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
 }
 
 /// Fresh per-dimension reports carrying the topology's bandwidths.

@@ -1,7 +1,8 @@
 //! Queue state of the stream engine: the queued-collective description and
 //! the per-dimension in-flight chunk tracking used during execution.
 
-use themis_core::CollectiveRequest;
+use crate::readyq::{ReadyKey, ReadyQueue};
+use themis_core::{CollectiveRequest, IntraDimPolicy};
 
 /// One collective in a stream: issued at `issue_ns` (negative or NaN issue
 /// times are clamped to zero), identified by `label` in reports.
@@ -38,7 +39,7 @@ impl StreamEntry {
 }
 
 /// A chunk operation waiting in a dimension's ready queue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct PendingOp {
     /// Global arrival sequence number (FIFO key).
     pub arrival: u64,
@@ -48,6 +49,19 @@ pub(crate) struct PendingOp {
     pub chunk: usize,
     /// Stage index within the chunk's pipeline schedule.
     pub stage: usize,
+    /// The op's transfer time on its dimension — the Smallest-Chunk-First
+    /// cost key, stored inline at enqueue time so the bucket orders ops
+    /// without chasing the cost table.
+    pub cost_ns: f64,
+}
+
+impl ReadyKey for PendingOp {
+    fn arrival(&self) -> u64 {
+        self.arrival
+    }
+    fn cost_ns(&self) -> f64 {
+        self.cost_ns
+    }
 }
 
 /// A chunk operation currently executing on a dimension.
@@ -64,25 +78,105 @@ pub(crate) struct ActiveOp {
 /// the time the dimension last finished an op (used to decide whether a newly
 /// started op pays the fixed per-step delay `A_K`, exactly as in the
 /// single-collective pipeline simulator).
-#[derive(Debug, Clone, Default)]
+///
+/// Ready ops are *bucketed by collective*: the admission loop only ever
+/// starts ops of the dimension's current owner collective, so bucketing makes
+/// the owner-has-work check O(1) and restricts the intra-dimension policy
+/// pick to the owner's own ops instead of scanning (and sentinel-keying)
+/// every queued chunk of every admitted collective. Each bucket is a
+/// [`ReadyQueue`] specialised to its collective's policy, so the pick itself
+/// is an O(1)/O(log n) pop rather than a scan.
+#[derive(Debug, Clone)]
 pub(crate) struct DimQueue {
-    pub ready: Vec<PendingOp>,
+    /// `ready[coll]` holds the queued ops of collective `coll` on this
+    /// dimension, in the collective's pop order.
+    ready: Vec<ReadyQueue<PendingOp>>,
+    /// The collectives whose bucket is currently non-empty (unsorted); lets
+    /// the per-segment accounting skip the (mostly empty) buckets.
+    ready_colls: Vec<usize>,
+    ready_count: usize,
     pub active: Vec<ActiveOp>,
     pub last_busy_end_ns: f64,
 }
 
 impl DimQueue {
-    pub fn new() -> Self {
+    /// Creates the queue with one ready bucket per admitted collective;
+    /// `bucket_layouts` provides each collective's (policy, enforced-order)
+    /// pair.
+    pub fn new<I>(bucket_layouts: I) -> Self
+    where
+        I: IntoIterator<Item = (IntraDimPolicy, bool)>,
+    {
         DimQueue {
-            ready: Vec::new(),
+            ready: bucket_layouts
+                .into_iter()
+                .map(|(policy, enforced)| ReadyQueue::for_policy(policy, enforced))
+                .collect(),
+            ready_colls: Vec::new(),
+            ready_count: 0,
             active: Vec::new(),
             last_busy_end_ns: f64::NEG_INFINITY,
         }
     }
 
+    /// Enqueues a ready op into its collective's bucket.
+    pub fn push_ready(&mut self, op: PendingOp) {
+        self.ready_count += 1;
+        if self.ready[op.coll].is_empty() {
+            self.ready_colls.push(op.coll);
+        }
+        self.ready[op.coll].push(op);
+    }
+
+    /// Pops collective `coll`'s next op under its policy (FIFO front or SCF
+    /// minimum).
+    pub fn pop_next(&mut self, coll: usize) -> Option<PendingOp> {
+        let op = self.ready[coll].pop_next()?;
+        self.note_removed(coll);
+        Some(op)
+    }
+
+    /// Removes and returns collective `coll`'s ready op for `(chunk, stage)`,
+    /// if queued (enforced-order runs).
+    pub fn take_matching(&mut self, coll: usize, chunk: usize, stage: usize) -> Option<PendingOp> {
+        let op = self.ready[coll].take_matching(|op| op.chunk == chunk && op.stage == stage)?;
+        self.note_removed(coll);
+        Some(op)
+    }
+
+    fn note_removed(&mut self, coll: usize) {
+        self.ready_count -= 1;
+        if self.ready[coll].is_empty() {
+            let pos = self
+                .ready_colls
+                .iter()
+                .position(|&c| c == coll)
+                .expect("a non-empty bucket is tracked in ready_colls");
+            self.ready_colls.swap_remove(pos);
+        }
+    }
+
+    /// Total number of queued ops across all buckets.
+    pub fn ready_len(&self) -> usize {
+        self.ready_count
+    }
+
+    /// The collectives with at least one queued op on this dimension, in no
+    /// particular order.
+    pub fn ready_colls(&self) -> &[usize] {
+        &self.ready_colls
+    }
+
+    /// `true` if collective `coll` has queued ops on this dimension.
+    pub fn has_ready(&self, coll: usize) -> bool {
+        self.ready
+            .get(coll)
+            .is_some_and(|bucket| !bucket.is_empty())
+    }
+
     /// `true` if the dimension has either queued or executing work.
     pub fn occupied(&self) -> bool {
-        !self.ready.is_empty() || !self.active.is_empty()
+        self.ready_count > 0 || !self.active.is_empty()
     }
 }
 
@@ -100,6 +194,10 @@ impl DimQueue {
 pub(crate) struct VacancyTracker {
     /// `remaining[coll][dim]`: uncompleted ops of `coll` on `dim`.
     remaining: Vec<Vec<usize>>,
+    /// Per-dimension ownership cursor: every collective below the cursor has
+    /// permanently vacated the dimension (`remaining` never increases), so
+    /// the owner scan resumes here instead of restarting from zero.
+    cursor: Vec<usize>,
 }
 
 impl VacancyTracker {
@@ -109,7 +207,7 @@ impl VacancyTracker {
         I: IntoIterator,
         I::Item: IntoIterator<Item = usize>,
     {
-        let remaining = per_collective_stage_dims
+        let remaining: Vec<Vec<usize>> = per_collective_stage_dims
             .into_iter()
             .map(|stages| {
                 let mut counts = vec![0usize; num_dims];
@@ -119,14 +217,21 @@ impl VacancyTracker {
                 counts
             })
             .collect();
-        VacancyTracker { remaining }
+        VacancyTracker {
+            remaining,
+            cursor: vec![0; num_dims],
+        }
     }
 
     /// The earliest of the first `admitted` collectives that still has
     /// uncompleted ops on `dim`, if any. Only this collective may start ops on
-    /// the dimension.
-    pub fn owner(&self, dim: usize, admitted: usize) -> Option<usize> {
-        (0..admitted.min(self.remaining.len())).find(|&coll| self.remaining[coll][dim] > 0)
+    /// the dimension. Amortised O(1): the cursor only ever moves forward.
+    pub fn owner(&mut self, dim: usize, admitted: usize) -> Option<usize> {
+        let admitted = admitted.min(self.remaining.len());
+        while self.cursor[dim] < admitted && self.remaining[self.cursor[dim]][dim] == 0 {
+            self.cursor[dim] += 1;
+        }
+        (self.cursor[dim] < admitted).then_some(self.cursor[dim])
     }
 
     /// Records the completion of one op of `coll` on `dim`.
@@ -157,16 +262,63 @@ mod tests {
     }
 
     #[test]
-    fn dim_queue_tracks_occupancy() {
-        let mut queue = DimQueue::new();
+    fn dim_queue_tracks_occupancy_per_collective() {
+        let mut queue = DimQueue::new([
+            (IntraDimPolicy::Fifo, false),
+            (IntraDimPolicy::SmallestChunkFirst, false),
+        ]);
         assert!(!queue.occupied());
-        queue.ready.push(PendingOp {
+        assert_eq!(queue.ready_len(), 0);
+        queue.push_ready(PendingOp {
             arrival: 0,
-            coll: 0,
+            coll: 1,
             chunk: 0,
             stage: 0,
+            cost_ns: 20.0,
+        });
+        queue.push_ready(PendingOp {
+            arrival: 1,
+            coll: 1,
+            chunk: 1,
+            stage: 0,
+            cost_ns: 10.0,
         });
         assert!(queue.occupied());
+        assert_eq!(queue.ready_len(), 2);
+        assert!(queue.has_ready(1));
+        assert!(!queue.has_ready(0));
+        assert_eq!(queue.ready_colls(), &[1]);
+        // Collective 1 uses SCF: the smaller cost pops first.
+        let taken = queue.pop_next(1).unwrap();
+        assert_eq!((taken.arrival, taken.chunk), (1, 1));
+        assert_eq!(queue.ready_len(), 1);
+        assert!(queue.pop_next(0).is_none());
+        let last = queue.pop_next(1).unwrap();
+        assert_eq!(last.chunk, 0);
+        assert!(queue.ready_colls().is_empty());
+        assert!(!queue.occupied());
+    }
+
+    #[test]
+    fn dim_queue_enforced_buckets_support_targeted_removal() {
+        let mut queue = DimQueue::new([(IntraDimPolicy::SmallestChunkFirst, true)]);
+        for (arrival, chunk) in [(0u64, 0usize), (1, 1), (2, 2)] {
+            queue.push_ready(PendingOp {
+                arrival,
+                coll: 0,
+                chunk,
+                stage: 3,
+                cost_ns: 5.0,
+            });
+        }
+        assert!(queue.take_matching(0, 1, 0).is_none());
+        let taken = queue.take_matching(0, 1, 3).unwrap();
+        assert_eq!(taken.arrival, 1);
+        assert_eq!(queue.ready_len(), 2);
+        // The remaining ops still pop in arrival order (enforced buckets keep
+        // the linear layout).
+        assert_eq!(queue.pop_next(0).unwrap().arrival, 0);
+        assert_eq!(queue.pop_next(0).unwrap().arrival, 2);
     }
 
     #[test]

@@ -4,8 +4,11 @@
 use crate::api::platform::Platform;
 use crate::api::report::{RunConfig, RunResult};
 use crate::error::ThemisError;
+use std::sync::Arc;
 use themis_collectives::CollectiveKind;
-use themis_core::{CollectiveRequest, CollectiveSchedule, ScheduleError, SchedulerKind};
+use themis_core::{
+    CollectiveRequest, CollectiveSchedule, ScheduleCache, ScheduleError, SchedulerKind,
+};
 use themis_net::DataSize;
 use themis_sim::{PipelineSimulator, SimReport};
 
@@ -127,6 +130,28 @@ impl Job {
         Ok(scheduler.schedule(&self.request(), platform.topology())?)
     }
 
+    /// Like [`Job::schedule_on`], but served through a shared
+    /// [`ScheduleCache`]: if an identical job (same topology structure,
+    /// collective, chunk count and scheduler) was scheduled before, the cached
+    /// schedule is returned without running the scheduler again. Schedulers
+    /// are deterministic, so the result is bit-identical to [`Job::schedule_on`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Job::schedule_on`].
+    pub fn schedule_on_cached(
+        &self,
+        platform: &Platform,
+        cache: &ScheduleCache,
+    ) -> Result<Arc<CollectiveSchedule>, ThemisError> {
+        Ok(cache.get_or_schedule(
+            platform.topology(),
+            &self.request(),
+            self.chunks,
+            self.scheduler,
+        )?)
+    }
+
     /// Schedules *and* simulates this job on `platform`.
     ///
     /// # Errors
@@ -137,6 +162,27 @@ impl Job {
         Ok(RunResult {
             config: self.config_on(platform),
             report: run.report,
+        })
+    }
+
+    /// Like [`Job::run_on`], but scheduling through a shared [`ScheduleCache`]
+    /// (the campaign [`crate::api::Runner`] uses this for every cell unless
+    /// caching is disabled). Reports are bit-identical to the uncached path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and simulation errors as [`ThemisError`].
+    pub fn run_on_cached(
+        &self,
+        platform: &Platform,
+        cache: &ScheduleCache,
+    ) -> Result<RunResult, ThemisError> {
+        let schedule = self.schedule_on_cached(platform, cache)?;
+        let report =
+            PipelineSimulator::new(platform.topology(), platform.options()).run(&schedule)?;
+        Ok(RunResult {
+            config: self.config_on(platform),
+            report,
         })
     }
 
@@ -186,6 +232,29 @@ mod tests {
         assert_eq!(run.schedule.chunks().len(), 8);
         assert_eq!(run.report.scheduler_name, "Themis+SCF");
         assert!(run.report.total_time_ns > 0.0);
+    }
+
+    #[test]
+    fn cached_runs_match_uncached_runs_bit_for_bit() {
+        let platform = Platform::preset(PresetTopology::SwSwSw3dHetero);
+        let cache = ScheduleCache::new();
+        for kind in SchedulerKind::all() {
+            let job = Job::all_reduce_mib(96.0).chunks(8).scheduler(kind);
+            let cached = job.run_on_cached(&platform, &cache).unwrap();
+            let direct = job.run_on(&platform).unwrap();
+            assert_eq!(cached, direct, "{kind}");
+            // A second cached run hits and stays identical.
+            let again = job.run_on_cached(&platform, &cache).unwrap();
+            assert_eq!(again, direct);
+        }
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 3);
+        // Cached scheduling surfaces the same errors.
+        let err = Job::all_reduce_mib(96.0)
+            .chunks(0)
+            .run_on_cached(&platform, &cache)
+            .unwrap_err();
+        assert!(matches!(err, ThemisError::Schedule(_)));
     }
 
     #[test]

@@ -11,8 +11,9 @@ use crate::api::report::RunResult;
 use crate::api::stream::{StreamRunResult, StreamSpec};
 use crate::error::ThemisError;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use themis_core::ScheduleCache;
 
 /// One cell of an expanded campaign matrix: a [`Job`] bound to a [`Platform`].
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +38,16 @@ impl RunSpec {
     pub fn execute(&self) -> Result<RunResult, ThemisError> {
         self.job.run_on(&self.platform)
     }
+
+    /// Executes the spec with schedules served through a shared
+    /// [`ScheduleCache`] (bit-identical to [`RunSpec::execute`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and simulation errors as [`ThemisError`].
+    pub fn execute_cached(&self, cache: &ScheduleCache) -> Result<RunResult, ThemisError> {
+        self.job.run_on_cached(&self.platform, cache)
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,9 +63,17 @@ enum Backend {
 /// an atomic work index (the heavy simulations dominate, so dynamic
 /// distribution beats static chunking when cell costs are skewed). Reports
 /// are bit-identical to the sequential backend's.
+///
+/// By default every execution shares one [`ScheduleCache`] across its cells
+/// and workers: cells that agree on (topology structure, collective, chunks,
+/// scheduler) schedule once, and stream cells stop re-scheduling identical
+/// queued collectives. Schedulers are deterministic, so cached runs are
+/// bit-identical to uncached ones; disable with
+/// [`Runner::with_schedule_cache`] to measure or debug the uncached path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Runner {
     backend: Backend,
+    cache_schedules: bool,
 }
 
 impl Runner {
@@ -62,6 +81,7 @@ impl Runner {
     pub fn sequential() -> Self {
         Runner {
             backend: Backend::Sequential,
+            cache_schedules: true,
         }
     }
 
@@ -69,6 +89,7 @@ impl Runner {
     pub fn parallel() -> Self {
         Runner {
             backend: Backend::Parallel { threads: None },
+            cache_schedules: true,
         }
     }
 
@@ -79,7 +100,21 @@ impl Runner {
             backend: Backend::Parallel {
                 threads: NonZeroUsize::new(threads.max(1)),
             },
+            cache_schedules: true,
         }
+    }
+
+    /// Enables or disables the shared per-execution [`ScheduleCache`]
+    /// (enabled by default; reports are bit-identical either way).
+    #[must_use]
+    pub fn with_schedule_cache(mut self, enabled: bool) -> Self {
+        self.cache_schedules = enabled;
+        self
+    }
+
+    /// `true` if executions share a schedule cache across cells and workers.
+    pub fn caches_schedules(&self) -> bool {
+        self.cache_schedules
     }
 
     /// `true` if this runner uses worker threads.
@@ -104,11 +139,17 @@ impl Runner {
     ///
     /// # Errors
     ///
-    /// Returns the first error in spec order; remaining in-flight cells are
-    /// still executed (the backends do not cancel), but their results are
-    /// discarded.
+    /// Returns the first error in spec order. Workers stop claiming new cells
+    /// once any cell has errored (cells already in flight still finish), so a
+    /// failing campaign does not execute its whole remaining matrix just to
+    /// discard it.
     pub fn execute(&self, specs: &[RunSpec]) -> Result<Vec<RunResult>, ThemisError> {
-        self.execute_tasks(specs, RunSpec::execute)
+        if self.cache_schedules {
+            let cache = ScheduleCache::new();
+            self.execute_tasks(specs, |spec| spec.execute_cached(&cache))
+        } else {
+            self.execute_tasks(specs, RunSpec::execute)
+        }
     }
 
     /// Executes stream-campaign cells ([`StreamSpec`]s) and returns their
@@ -121,7 +162,12 @@ impl Runner {
         &self,
         specs: &[StreamSpec],
     ) -> Result<Vec<StreamRunResult>, ThemisError> {
-        self.execute_tasks(specs, StreamSpec::execute)
+        if self.cache_schedules {
+            let cache = ScheduleCache::new();
+            self.execute_tasks(specs, |spec| spec.execute_cached(&cache))
+        } else {
+            self.execute_tasks(specs, StreamSpec::execute)
+        }
     }
 
     /// Shared backend: runs `execute` over `items` sequentially or on the
@@ -140,32 +186,51 @@ impl Runner {
             Backend::Parallel { .. } => self.worker_count(items.len()),
         };
         if workers <= 1 || items.len() <= 1 {
+            // `collect` into a `Result` short-circuits at the first error.
             return items.iter().map(execute).collect();
         }
         let next = AtomicUsize::new(0);
+        let errored = AtomicBool::new(false);
         let slots: Vec<Mutex<Option<Result<R, ThemisError>>>> =
             items.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    // Early exit: once any cell errors, stop claiming new
+                    // cells instead of executing the rest of the matrix and
+                    // discarding it.
+                    if errored.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(index) else { break };
+                    let result = execute(item);
+                    if result.is_err() {
+                        errored.store(true, Ordering::Relaxed);
+                    }
                     // Each slot is written by exactly one worker; the mutex
                     // only publishes the write to the collecting thread.
                     *slots[index]
                         .lock()
-                        .expect("no panics while holding the slot lock") = Some(execute(item));
+                        .expect("no panics while holding the slot lock") = Some(result);
                 });
             }
         });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("worker threads joined without panicking")
-                    .expect("every spec index below len was claimed by a worker")
-            })
-            .collect()
+        let mut results = Vec::with_capacity(items.len());
+        for slot in slots {
+            let value = slot
+                .into_inner()
+                .expect("worker threads joined without panicking");
+            match value {
+                Some(Ok(result)) => results.push(result),
+                Some(Err(err)) => return Err(err),
+                // The atomic work index hands out indices in order and every
+                // claimed cell is finished, so a skipped slot can only appear
+                // *after* the first errored slot — which was returned above.
+                None => unreachable!("cells are only skipped after an earlier error"),
+            }
+        }
+        Ok(results)
     }
 }
 
@@ -212,6 +277,21 @@ mod tests {
             let err = runner.execute(&specs).unwrap_err();
             assert!(matches!(err, ThemisError::Schedule(_)), "{runner:?}");
         }
+    }
+
+    #[test]
+    fn schedule_cache_toggle_does_not_change_results() {
+        let specs = specs();
+        let cached = Runner::parallel_threads(2).execute(&specs).unwrap();
+        let uncached = Runner::parallel_threads(2)
+            .with_schedule_cache(false)
+            .execute(&specs)
+            .unwrap();
+        assert_eq!(cached, uncached);
+        assert!(Runner::sequential().caches_schedules());
+        assert!(!Runner::sequential()
+            .with_schedule_cache(false)
+            .caches_schedules());
     }
 
     #[test]

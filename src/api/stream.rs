@@ -44,8 +44,11 @@ use crate::api::report::{
 use crate::api::runner::Runner;
 use crate::api::training::TrainingJob;
 use crate::error::ThemisError;
+use std::sync::Arc;
 use themis_collectives::CollectiveKind;
-use themis_core::{CollectiveRequest, ScheduleError, SchedulerKind};
+use themis_core::{
+    CollectiveRequest, CollectiveSchedule, ScheduleCache, ScheduleError, SchedulerKind,
+};
 use themis_net::presets::PresetTopology;
 use themis_net::DataSize;
 use themis_sim::stream::{StreamEntry, StreamSimulator};
@@ -247,11 +250,7 @@ impl StreamJob {
         if self.chunks == 0 {
             return Err(ThemisError::Schedule(ScheduleError::ZeroChunks));
         }
-        let entries: Vec<StreamEntry> = self
-            .entries
-            .iter()
-            .map(|c| StreamEntry::new(c.label.clone(), c.issue_ns, c.request()))
-            .collect();
+        let entries = self.stream_entries();
         let mut scheduler = self.scheduler.build(self.chunks);
         let report = StreamSimulator::new(platform.topology(), platform.options())
             .run(scheduler.as_mut(), &entries)?;
@@ -259,6 +258,52 @@ impl StreamJob {
             config: self.config_on(platform),
             report,
         })
+    }
+
+    /// Like [`StreamJob::run_on`], but scheduling every queued collective
+    /// through a shared [`ScheduleCache`]: identical queued collectives (same
+    /// kind and size — e.g. the repeated per-layer gradients of a derived
+    /// training stream) are scheduled once and share one schedule, both within
+    /// this stream and with every other cell using the same cache. Reports are
+    /// bit-identical to the uncached path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and simulation errors as [`ThemisError`].
+    pub fn run_on_cached(
+        &self,
+        platform: &Platform,
+        cache: &ScheduleCache,
+    ) -> Result<StreamRunResult, ThemisError> {
+        if self.chunks == 0 {
+            return Err(ThemisError::Schedule(ScheduleError::ZeroChunks));
+        }
+        let entries = self.stream_entries();
+        let schedules: Vec<Arc<CollectiveSchedule>> = entries
+            .iter()
+            .map(|entry| {
+                cache.get_or_schedule(
+                    platform.topology(),
+                    &entry.request,
+                    self.chunks,
+                    self.scheduler,
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        let report = StreamSimulator::new(platform.topology(), platform.options())
+            .run_prescheduled(&entries, &schedules)?;
+        Ok(StreamRunResult {
+            config: self.config_on(platform),
+            report,
+        })
+    }
+
+    /// The engine-level entries of this stream, in push order.
+    fn stream_entries(&self) -> Vec<StreamEntry> {
+        self.entries
+            .iter()
+            .map(|c| StreamEntry::new(c.label.clone(), c.issue_ns, c.request()))
+            .collect()
     }
 }
 
@@ -336,6 +381,16 @@ impl StreamSpec {
     /// Propagates scheduling and simulation errors as [`ThemisError`].
     pub fn execute(&self) -> Result<StreamRunResult, ThemisError> {
         self.job.run_on(&self.platform)
+    }
+
+    /// Executes the spec with schedules served through a shared
+    /// [`ScheduleCache`] (bit-identical to [`StreamSpec::execute`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and simulation errors as [`ThemisError`].
+    pub fn execute_cached(&self, cache: &ScheduleCache) -> Result<StreamRunResult, ThemisError> {
+        self.job.run_on_cached(&self.platform, cache)
     }
 }
 

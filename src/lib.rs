@@ -76,7 +76,8 @@ pub use error::ThemisError;
 pub use themis_collectives::{algorithm_for, AlgorithmKind, CollectiveKind, CostModel, PhaseOp};
 pub use themis_core::{
     BaselineScheduler, ChunkSchedule, CollectiveRequest, CollectiveSchedule, CollectiveScheduler,
-    IdealEstimator, IntraDimPolicy, SchedulerKind, StageOp, ThemisConfig, ThemisScheduler,
+    IdealEstimator, IntraDimPolicy, ScheduleCache, ScheduleKey, SchedulerKind, StageOp,
+    ThemisConfig, ThemisScheduler,
 };
 pub use themis_net::{
     presets::PresetTopology, Bandwidth, DataSize, DimensionSpec, NetworkTopology, TopologyKind,

@@ -11,7 +11,8 @@ pub use crate::error::ThemisError;
 
 pub use themis_collectives::{CollectiveKind, PhaseOp};
 pub use themis_core::{
-    CollectiveRequest, CollectiveSchedule, CollectiveScheduler, IntraDimPolicy, SchedulerKind,
+    CollectiveRequest, CollectiveSchedule, CollectiveScheduler, IntraDimPolicy, ScheduleCache,
+    SchedulerKind,
 };
 pub use themis_net::presets::PresetTopology;
 pub use themis_net::{Bandwidth, DataSize, DimensionSpec, NetworkTopology, TopologyKind};

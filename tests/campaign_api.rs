@@ -70,6 +70,55 @@ fn parallel_and_sequential_runners_agree_on_stream_cells() {
 }
 
 #[test]
+fn cached_and_uncached_campaigns_are_bit_identical_across_all_presets() {
+    // The schedule-cache contract: schedulers are deterministic, so serving a
+    // cell from the shared cache must not move a single bit of the report.
+    // Cover every Table 3 scheduler on every preset topology.
+    let campaign = Campaign::new()
+        .topologies(PresetTopology::all())
+        .sizes_mib([96.0])
+        .chunk_counts([16]);
+    assert_eq!(campaign.matrix_size(), 7 * 3);
+    let cached = campaign.run(&Runner::parallel_threads(4)).unwrap();
+    let uncached = campaign
+        .run(&Runner::parallel_threads(4).with_schedule_cache(false))
+        .unwrap();
+    assert_eq!(cached, uncached);
+    for (with_cache, without_cache) in cached.iter().zip(uncached.iter()) {
+        assert_eq!(
+            with_cache.total_time_ns().to_bits(),
+            without_cache.total_time_ns().to_bits(),
+            "{}",
+            with_cache.config
+        );
+        assert_eq!(with_cache.report.op_log, without_cache.report.op_log);
+    }
+    // The sequential backend agrees too (cache shared by one worker only).
+    let sequential_cached = campaign.run(&Runner::sequential()).unwrap();
+    assert_eq!(sequential_cached, cached);
+}
+
+#[test]
+fn disabling_the_op_log_only_drops_the_trace() {
+    let campaign = small_campaign();
+    let with_log = campaign.run(&Runner::sequential()).unwrap();
+    let without_log = campaign
+        .clone()
+        .sim_options(SimOptions::default().with_op_log(false))
+        .run(&Runner::sequential())
+        .unwrap();
+    for (logged, quiet) in with_log.iter().zip(without_log.iter()) {
+        assert!(!logged.report.op_log.is_empty());
+        assert!(quiet.report.op_log.is_empty());
+        assert_eq!(
+            logged.total_time_ns().to_bits(),
+            quiet.total_time_ns().to_bits()
+        );
+        assert_eq!(logged.report.dims, quiet.report.dims);
+    }
+}
+
+#[test]
 fn campaign_cells_match_single_job_runs() {
     let report = small_campaign().run(&Runner::parallel()).unwrap();
     let platform = Platform::preset(PresetTopology::Sw2d);

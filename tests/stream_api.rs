@@ -108,6 +108,57 @@ fn training_streams_expand_run_and_round_trip_through_json() {
 }
 
 #[test]
+fn cached_and_uncached_stream_campaigns_are_bit_identical_across_all_presets() {
+    // Stream cells schedule every queued collective; with the cache they stop
+    // re-scheduling identical ones — and must not move a single bit of any
+    // report. Cover every Table 3 scheduler on every preset topology.
+    let campaign = StreamCampaign::new()
+        .topologies(PresetTopology::all())
+        .stream(gradient_stream());
+    assert_eq!(campaign.matrix_size(), 7 * 3);
+    let cached = campaign.run(&Runner::parallel_threads(4)).unwrap();
+    let uncached = campaign
+        .run(&Runner::parallel_threads(4).with_schedule_cache(false))
+        .unwrap();
+    assert_eq!(cached, uncached);
+    for (with_cache, without_cache) in cached.iter().zip(uncached.iter()) {
+        assert_eq!(
+            with_cache.makespan_ns().to_bits(),
+            without_cache.makespan_ns().to_bits()
+        );
+        assert_eq!(
+            with_cache.overlap_ns().to_bits(),
+            without_cache.overlap_ns().to_bits()
+        );
+        for (cached_span, uncached_span) in
+            with_cache.spans().iter().zip(without_cache.spans().iter())
+        {
+            assert_eq!(cached_span.report, uncached_span.report);
+        }
+    }
+}
+
+#[test]
+fn cached_stream_jobs_reuse_schedules_for_identical_collectives() {
+    // A stream of identical gradients schedules exactly once per
+    // (topology, scheduler, size) with the cache — and still matches the
+    // uncached run bit for bit.
+    let stream = StreamJob::named("identical")
+        .collectives((0..6).map(|i| {
+            QueuedCollective::all_reduce_mib(format!("g{i}"), 48.0)
+                .issued_at(f64::from(i) * 25_000.0)
+        }))
+        .chunks(16);
+    let platform = Platform::preset(PresetTopology::SwSwSw3dHetero);
+    let cache = ScheduleCache::new();
+    let cached = stream.run_on_cached(&platform, &cache).unwrap();
+    let uncached = stream.run_on(&platform).unwrap();
+    assert_eq!(cached, uncached);
+    assert_eq!(cache.misses(), 1, "identical collectives schedule once");
+    assert_eq!(cache.hits(), 5);
+}
+
+#[test]
 fn stream_errors_propagate_through_both_runner_backends() {
     let campaign = StreamCampaign::new()
         .topologies([PresetTopology::Sw2d])
