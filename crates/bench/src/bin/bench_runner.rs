@@ -1,6 +1,6 @@
 //! Runner-scaling wall-clock benchmark (ROADMAP "criterion wiring" item).
 //!
-//! Measures the campaign [`Runner`](themis::api::Runner) executing the same
+//! Measures the campaign [`themis::api::Runner`] executing the same
 //! run matrix sequentially and with `parallel_threads(n)` for n = 1, 2, 4, 8,
 //! using the built-in wall-clock harness (no criterion: the build environment
 //! is offline). Emits a `BENCH_runner.json` report and prints a summary

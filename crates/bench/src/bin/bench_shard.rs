@@ -1,0 +1,231 @@
+//! Sharded-campaign throughput benchmark: cells per second at 1/2/4 shards.
+//!
+//! Emulates cross-process sharding in one process — each shard executes on
+//! its own OS thread with its own schedule cache, exactly the resources one
+//! `shard-worker run` process would get — and measures end-to-end matrix
+//! throughput (plan + execute all shards + merge) against the shard count.
+//!
+//! Before timing anything, the harness asserts the sharding layer's
+//! correctness contract: for every measured shard count the merged report is
+//! bit-identical to the unsharded `Runner::execute` on the same matrix.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p themis-bench --bin bench-shard -- [--smoke] [output.json]
+//! ```
+//!
+//! Emits a `BENCH_shard.json` report. With `--smoke` (CI) the run measures
+//! one iteration of a tiny matrix at 1 and 2 shards and additionally writes
+//! the `SHARD_*.json` artifacts of the 2-shard configuration: the shard spec
+//! files, the partial reports, the merged report and the schedule-cache dump
+//! (what the `shard-worker` steps would exchange on disk).
+
+use std::io::Write;
+use themis::api::json::Json;
+use themis::api::shard::{merge_reports, MergedReport, ShardPlan, ShardSpec, ShardStrategy};
+use themis::prelude::*;
+use themis::ScheduleCache;
+use themis_bench::harness::{measure, BenchStat};
+use themis_bench::report::Table;
+
+fn campaign(smoke: bool) -> Campaign {
+    if smoke {
+        Campaign::new()
+            .topologies([PresetTopology::Sw2d])
+            .sizes_mib([16.0, 32.0])
+            .chunk_counts([8])
+    } else {
+        Campaign::new()
+            .topologies(PresetTopology::next_generation())
+            .sizes_mib([64.0, 256.0])
+            .chunk_counts([64])
+    }
+}
+
+/// Executes every shard on its own thread (its own schedule cache, its own
+/// sequential runner — the resources one worker process would get) and
+/// merges the partial reports.
+fn execute_sharded(shards: &[ShardSpec]) -> MergedReport {
+    let partials: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| scope.spawn(move || shard.execute(&Runner::sequential())))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| {
+                handle
+                    .join()
+                    .expect("shard workers do not panic")
+                    .expect("benchmark campaign is valid")
+            })
+            .collect()
+    });
+    merge_reports(&partials).expect("partials cover the full matrix")
+}
+
+struct ShardCountResult {
+    shard_count: usize,
+    stat: BenchStat,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let output = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_shard.json".to_string());
+    let (warmup, iterations) = if smoke { (0, 1) } else { (2, 10) };
+    let shard_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+
+    let campaign = campaign(smoke);
+    let specs = campaign.expand().expect("benchmark campaign is valid");
+    let cells = specs.len();
+    let reference = CampaignReport::new(
+        Runner::sequential()
+            .execute(&specs)
+            .expect("benchmark campaign is valid"),
+    );
+
+    // Correctness gate: at every measured shard count, the merged report is
+    // bit-identical to the unsharded run.
+    for &shard_count in shard_counts {
+        let plan = ShardPlan::from_cells(ShardStrategy::CostBalanced, &specs, shard_count);
+        let shards = ShardSpec::campaign_shards(&specs, &plan).expect("plan covers the matrix");
+        let merged = execute_sharded(&shards);
+        assert_eq!(
+            merged.campaign(),
+            Some(&reference),
+            "merged {shard_count}-shard report diverged from the unsharded run"
+        );
+    }
+
+    let mut results = Vec::new();
+    for &shard_count in shard_counts {
+        let plan = ShardPlan::from_cells(ShardStrategy::CostBalanced, &specs, shard_count);
+        let shards = ShardSpec::campaign_shards(&specs, &plan).expect("plan covers the matrix");
+        let stat = measure(format!("shards/{shard_count}"), warmup, iterations, || {
+            execute_sharded(&shards);
+        });
+        results.push(ShardCountResult { shard_count, stat });
+    }
+
+    let cells_per_sec = |stat: &BenchStat| {
+        if stat.min_ns <= 0.0 {
+            f64::INFINITY
+        } else {
+            cells as f64 / (stat.min_ns / 1e9)
+        }
+    };
+    let single = results[0].stat.min_ns;
+    let mut table = Table::new(
+        format!(
+            "Sharded campaign throughput ({cells} cells, {iterations} iterations{})",
+            if smoke { ", smoke" } else { "" }
+        ),
+        &["Shards", "Min ms", "Cells/s", "vs 1 shard"],
+    );
+    for result in &results {
+        table.push_row([
+            result.shard_count.to_string(),
+            format!("{:.2}", result.stat.min_ns / 1e6),
+            format!("{:.1}", cells_per_sec(&result.stat)),
+            format!(
+                "{:.2}x",
+                if result.stat.min_ns > 0.0 {
+                    single / result.stat.min_ns
+                } else {
+                    f64::INFINITY
+                }
+            ),
+        ]);
+    }
+    println!("{table}");
+
+    let document = Json::obj([
+        ("version", Json::Num(1.0)),
+        ("kind", Json::Str("shard-bench".to_string())),
+        ("smoke", Json::Bool(smoke)),
+        ("cells", Json::Num(cells as f64)),
+        (
+            "shard_counts",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|result| {
+                        Json::obj([
+                            ("shards", Json::Num(result.shard_count as f64)),
+                            ("iterations", Json::Num(result.stat.iterations as f64)),
+                            ("min_ns", Json::Num(result.stat.min_ns)),
+                            ("median_ns", Json::Num(result.stat.median_ns)),
+                            ("mean_ns", Json::Num(result.stat.mean_ns)),
+                            ("max_ns", Json::Num(result.stat.max_ns)),
+                            ("cells_per_sec", Json::Num(cells_per_sec(&result.stat))),
+                            (
+                                "speedup_vs_single",
+                                Json::Num(if result.stat.min_ns > 0.0 {
+                                    single / result.stat.min_ns
+                                } else {
+                                    f64::INFINITY
+                                }),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .render();
+    match std::fs::File::create(&output) {
+        Ok(mut file) => {
+            if let Err(err) = file.write_all(document.as_bytes()) {
+                eprintln!("failed to write {output}: {err}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {output}");
+        }
+        Err(err) => {
+            eprintln!("failed to create {output}: {err}");
+            std::process::exit(1);
+        }
+    }
+
+    // In smoke mode, also write the on-disk artifacts of the 2-shard flow —
+    // the files the shard-worker steps exchange — so CI can archive a real
+    // spec/partial/merged/cache set next to the bench numbers.
+    if smoke {
+        let plan = ShardPlan::from_cells(ShardStrategy::CostBalanced, &specs, 2);
+        let shards = ShardSpec::campaign_shards(&specs, &plan).expect("plan covers the matrix");
+        let cache = ScheduleCache::new();
+        let mut partials = Vec::new();
+        for shard in &shards {
+            let path = format!("SHARD_spec-{}.json", shard.shard_index());
+            write_or_die(&path, &shard.to_json());
+            let partial = shard
+                .execute_with_cache(&Runner::sequential(), &cache)
+                .expect("benchmark campaign is valid");
+            let path = format!("SHARD_part-{}.json", shard.shard_index());
+            write_or_die(&path, &partial.to_json());
+            partials.push(partial);
+        }
+        let merged = merge_reports(&partials).expect("partials cover the full matrix");
+        assert_eq!(
+            merged.campaign(),
+            Some(&reference),
+            "merged artifact diverged from the unsharded run"
+        );
+        write_or_die("SHARD_merged.json", &merged.to_json());
+        write_or_die("SHARD_cache.json", &cache.dump());
+    }
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(err) = std::fs::write(path, contents) {
+        eprintln!("failed to write {path}: {err}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {path}");
+}

@@ -1,0 +1,240 @@
+//! Cross-process campaign shard driver.
+//!
+//! A sharded campaign runs in three steps, each of which this binary covers:
+//!
+//! 1. `plan` — expand a campaign matrix, partition it into N shards and
+//!    write one self-contained `shard-NN.json` spec file per shard;
+//! 2. `run` — execute one spec file (anywhere: another process, another
+//!    host) and write a partial-report file, optionally warm-starting from —
+//!    and republishing to — a shared schedule-cache file;
+//! 3. `merge` — reassemble the partial reports into a report bit-identical
+//!    to the unsharded `Runner::execute`, with aggregate cache statistics.
+//!
+//! Usage:
+//!
+//! ```text
+//! shard-worker plan --topology 2D-SW_SW --sizes-mib 64,256 --shards 2 --out-dir shards
+//! shard-worker run shards/shard-00.json --out shards/part-00.json --cache schedules.json
+//! shard-worker run shards/shard-01.json --out shards/part-01.json --cache schedules.json
+//! shard-worker merge shards/part-00.json shards/part-01.json --out report.json
+//! ```
+//!
+//! `plan` sweeps the named preset topologies × sizes × chunk counts under
+//! all three Table 3 schedulers (the paper's default scheduler axis).
+
+use std::process::ExitCode;
+use themis::api::shard::{merge_reports, ShardPlan, ShardReport, ShardSpec, ShardStrategy};
+use themis::prelude::*;
+use themis::ScheduleCache;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("plan") => plan(&args[1..]),
+        Some("run") => run(&args[1..]),
+        Some("merge") => merge(&args[1..]),
+        Some("--help" | "-h") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("shard-worker: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: shard-worker <plan|run|merge> [options]
+
+  plan  --topology NAME [--topology NAME ...] --sizes-mib A[,B...]
+        [--chunks A[,B...]] --shards N [--strategy round-robin|cost-balanced]
+        [--out-dir DIR]
+          Expand the campaign, partition it and write DIR/shard-NN.json.
+
+  run   SPEC.json --out PART.json [--cache CACHE.json] [--threads N]
+          Execute one shard spec; write its partial report. With --cache the
+          worker warm-starts from the cache file (if present) and republishes
+          the merged cache afterwards.
+
+  merge PART.json [PART.json ...] --out REPORT.json
+          Reassemble partial reports into the unsharded campaign report.
+";
+
+/// Pulls the value of a `--flag VALUE` option out of `args`.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(at) if at + 1 < args.len() => {
+            let value = args.remove(at + 1);
+            args.remove(at);
+            Ok(Some(value))
+        }
+        Some(_) => Err(format!("`{flag}` expects a value")),
+    }
+}
+
+/// Pulls every occurrence of a repeatable `--flag VALUE` option.
+fn take_flags(args: &mut Vec<String>, flag: &str) -> Result<Vec<String>, String> {
+    let mut values = Vec::new();
+    while let Some(value) = take_flag(args, flag)? {
+        values.push(value);
+    }
+    Ok(values)
+}
+
+fn parse_list<T: std::str::FromStr>(text: &str, what: &str) -> Result<Vec<T>, String> {
+    text.split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<T>()
+                .map_err(|_| format!("invalid {what} `{part}`"))
+        })
+        .collect()
+}
+
+fn plan(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let topologies = take_flags(&mut args, "--topology")?;
+    if topologies.is_empty() {
+        return Err("`plan` needs at least one --topology".to_string());
+    }
+    let sizes: Vec<f64> = parse_list(
+        &take_flag(&mut args, "--sizes-mib")?.ok_or("`plan` needs --sizes-mib")?,
+        "size",
+    )?;
+    let chunks: Vec<usize> = match take_flag(&mut args, "--chunks")? {
+        Some(text) => parse_list(&text, "chunk count")?,
+        None => vec![themis::api::DEFAULT_CHUNKS],
+    };
+    let shards: usize = take_flag(&mut args, "--shards")?
+        .ok_or("`plan` needs --shards")?
+        .parse()
+        .map_err(|_| "invalid --shards value".to_string())?;
+    let strategy = match take_flag(&mut args, "--strategy")?.as_deref() {
+        None | Some("cost-balanced") => ShardStrategy::CostBalanced,
+        Some("round-robin") => ShardStrategy::RoundRobin,
+        Some(other) => return Err(format!("unknown strategy `{other}`")),
+    };
+    let out_dir = take_flag(&mut args, "--out-dir")?.unwrap_or_else(|| "shards".to_string());
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+
+    let platforms = topologies
+        .iter()
+        .map(|name| Platform::named(name))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|err| err.to_string())?;
+    let specs = Campaign::new()
+        .platforms(platforms)
+        .sizes_mib(sizes)
+        .chunk_counts(chunks)
+        .expand()
+        .map_err(|err| err.to_string())?;
+    let plan = ShardPlan::from_cells(strategy, &specs, shards);
+    let shard_specs = ShardSpec::campaign_shards(&specs, &plan).map_err(|err| err.to_string())?;
+
+    std::fs::create_dir_all(&out_dir).map_err(|err| format!("cannot create `{out_dir}`: {err}"))?;
+    for shard in &shard_specs {
+        let path = format!("{out_dir}/shard-{:02}.json", shard.shard_index());
+        std::fs::write(&path, shard.to_json())
+            .map_err(|err| format!("cannot write `{path}`: {err}"))?;
+        eprintln!("wrote {path} ({} cells)", shard.len());
+    }
+    eprintln!(
+        "planned {} cells into {} shards",
+        specs.len(),
+        plan.shard_count()
+    );
+    Ok(())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let out = take_flag(&mut args, "--out")?.ok_or("`run` needs --out")?;
+    let cache_path = take_flag(&mut args, "--cache")?;
+    let threads: usize = match take_flag(&mut args, "--threads")? {
+        Some(text) => text
+            .parse()
+            .map_err(|_| "invalid --threads value".to_string())?,
+        None => 1,
+    };
+    let [spec_path] = args.as_slice() else {
+        return Err("`run` needs exactly one spec file".to_string());
+    };
+
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|err| format!("cannot read `{spec_path}`: {err}"))?;
+    let spec = ShardSpec::from_json(&text).map_err(|err| err.to_string())?;
+
+    let cache = ScheduleCache::new();
+    if let Some(path) = &cache_path {
+        match std::fs::read_to_string(path) {
+            Ok(dump) => {
+                let loaded = cache.load(&dump).map_err(|err| err.to_string())?;
+                eprintln!("warm-started {loaded} schedules from {path}");
+            }
+            // A missing cache file just means a cold start.
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+            Err(err) => return Err(format!("cannot read `{path}`: {err}")),
+        }
+    }
+
+    let runner = if threads > 1 {
+        Runner::parallel_threads(threads)
+    } else {
+        Runner::sequential()
+    };
+    let report = spec
+        .execute_with_cache(&runner, &cache)
+        .map_err(|err| err.to_string())?;
+    std::fs::write(&out, report.to_json()).map_err(|err| format!("cannot write `{out}`: {err}"))?;
+
+    if let Some(path) = &cache_path {
+        std::fs::write(path, cache.dump())
+            .map_err(|err| format!("cannot write `{path}`: {err}"))?;
+    }
+    let stats = report.cache();
+    eprintln!(
+        "shard {}/{}: {} cells -> {out} (cache: {} hits, {} misses)",
+        spec.shard_index() + 1,
+        spec.shard_count(),
+        report.len(),
+        stats.hits,
+        stats.misses
+    );
+    Ok(())
+}
+
+fn merge(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let out = take_flag(&mut args, "--out")?.ok_or("`merge` needs --out")?;
+    if args.is_empty() {
+        return Err("`merge` needs at least one partial report".to_string());
+    }
+    let partials = args
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .map_err(|err| format!("cannot read `{path}`: {err}"))?;
+            ShardReport::from_json(&text).map_err(|err| format!("{path}: {err}"))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let merged = merge_reports(&partials).map_err(|err| err.to_string())?;
+    std::fs::write(&out, merged.to_json()).map_err(|err| format!("cannot write `{out}`: {err}"))?;
+    let stats = merged.cache();
+    eprintln!(
+        "merged {} cells from {} shards -> {out} (cache: {} hits, {} misses, {:.0}% hit rate)",
+        merged.len(),
+        partials.len(),
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+    Ok(())
+}

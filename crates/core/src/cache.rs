@@ -22,12 +22,15 @@
 //! stay bit-for-bit equal to the uncached path.
 
 use crate::error::ScheduleError;
-use crate::schedule::{CollectiveRequest, CollectiveSchedule};
+use crate::intra_dim::IntraDimPolicy;
+use crate::json::Json;
+use crate::schedule::{ChunkSchedule, CollectiveRequest, CollectiveSchedule, StageOp};
 use crate::scheduler::SchedulerKind;
 use crate::splitter::Splitter;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use themis_collectives::{CollectiveKind, PhaseOp};
 use themis_net::{DataSize, NetworkTopology};
 
 /// Memoised splitter output, keyed by `(collective size, chunk count)`.
@@ -197,6 +200,111 @@ impl ScheduleCache {
         self.len() == 0
     }
 
+    /// Serializes every cached schedule to a JSON string (the cache-file
+    /// format shared with `themis::api::shard`'s cross-process workers).
+    ///
+    /// Entries are written in a deterministic order (sorted by key), so the
+    /// same cache contents always dump to the same text. Splitter output and
+    /// the hit/miss counters are *not* serialized: splits are cheap to
+    /// recompute and counters describe one process's lookups.
+    ///
+    /// ```
+    /// use themis_core::{CollectiveRequest, ScheduleCache, SchedulerKind};
+    /// use themis_net::presets::PresetTopology;
+    ///
+    /// # fn main() -> Result<(), themis_core::ScheduleError> {
+    /// let topo = PresetTopology::Sw2d.build();
+    /// let request = CollectiveRequest::all_reduce_mib(64.0);
+    /// let cache = ScheduleCache::new();
+    /// cache.get_or_schedule(&topo, &request, 16, SchedulerKind::ThemisScf)?;
+    /// let file = cache.dump();
+    ///
+    /// // A later campaign — possibly in another process — warm-starts from
+    /// // the dump and serves the same request without rescheduling:
+    /// let warm = ScheduleCache::new();
+    /// assert_eq!(warm.load(&file)?, 1);
+    /// warm.get_or_schedule(&topo, &request, 16, SchedulerKind::ThemisScf)?;
+    /// assert_eq!((warm.hits(), warm.misses()), (1, 0));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn dump(&self) -> String {
+        let mut entries: Vec<(ScheduleKey, Arc<CollectiveSchedule>)> = self
+            .schedules
+            .lock()
+            .expect("schedule cache lock is never poisoned")
+            .iter()
+            .map(|(key, schedule)| (*key, Arc::clone(schedule)))
+            .collect();
+        entries.sort_by(|(a, _), (b, _)| {
+            (
+                a.topology_fingerprint,
+                a.request.kind().to_string(),
+                a.request.size(),
+                a.chunks,
+                a.scheduler.label(),
+            )
+                .cmp(&(
+                    b.topology_fingerprint,
+                    b.request.kind().to_string(),
+                    b.request.size(),
+                    b.chunks,
+                    b.scheduler.label(),
+                ))
+        });
+        Json::obj([
+            ("version", Json::Num(1.0)),
+            ("kind", Json::Str("schedule-cache".to_string())),
+            (
+                "entries",
+                Json::Arr(
+                    entries
+                        .iter()
+                        .map(|(key, schedule)| entry_to_json(key, schedule))
+                        .collect(),
+                ),
+            ),
+        ])
+        .render()
+    }
+
+    /// Loads a dump previously produced by [`ScheduleCache::dump`], merging
+    /// its entries into this cache. Keys that are already present keep their
+    /// existing schedule; the hit/miss counters are unaffected (loaded entries
+    /// count as hits only when a later lookup actually uses them). Returns the
+    /// number of entries inserted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::Serialization`] on malformed text, an unknown
+    /// layout version, or unknown scheduler/collective/policy labels.
+    pub fn load(&self, text: &str) -> Result<usize, ScheduleError> {
+        let value = Json::parse(text)?;
+        let version = value.field("version")?.as_usize()?;
+        let kind = value.field("kind")?.as_str()?;
+        if version != 1 || kind != "schedule-cache" {
+            return Err(ScheduleError::Serialization {
+                reason: format!("unsupported schedule cache dump `{kind}` v{version}"),
+            });
+        }
+        let mut parsed = Vec::new();
+        for entry in value.field("entries")?.as_arr()? {
+            parsed.push(entry_from_json(entry)?);
+        }
+        let mut inserted = 0;
+        let mut schedules = self
+            .schedules
+            .lock()
+            .expect("schedule cache lock is never poisoned");
+        for (key, schedule) in parsed {
+            schedules.entry(key).or_insert_with(|| {
+                inserted += 1;
+                Arc::new(schedule)
+            });
+        }
+        Ok(inserted)
+    }
+
     /// Drops every cached schedule and split (the hit/miss counters keep
     /// counting).
     pub fn clear(&self) {
@@ -208,6 +316,162 @@ impl ScheduleCache {
             .lock()
             .expect("split cache lock is never poisoned")
             .clear();
+    }
+}
+
+fn entry_to_json(key: &ScheduleKey, schedule: &CollectiveSchedule) -> Json {
+    // The key's request is not repeated at the entry level: cached entries
+    // satisfy `key.request == schedule.request()` by construction, so the
+    // loader derives it from the schedule and no inconsistent file exists.
+    Json::obj([
+        // The fingerprint is a full 64-bit hash; JSON numbers only cover
+        // 53 bits losslessly, so it travels as a hex string.
+        (
+            "fingerprint",
+            Json::Str(format!("{:016x}", key.topology_fingerprint)),
+        ),
+        ("chunks", Json::Num(key.chunks as f64)),
+        ("scheduler", Json::Str(key.scheduler.label().to_string())),
+        ("schedule", schedule_to_json(schedule)),
+    ])
+}
+
+fn entry_from_json(value: &Json) -> Result<(ScheduleKey, CollectiveSchedule), ScheduleError> {
+    let fingerprint_hex = value.field("fingerprint")?.as_str()?;
+    let topology_fingerprint =
+        u64::from_str_radix(fingerprint_hex, 16).map_err(|_| ScheduleError::Serialization {
+            reason: format!("invalid topology fingerprint `{fingerprint_hex}`"),
+        })?;
+    let schedule = schedule_from_json(value.field("schedule")?)?;
+    let key = ScheduleKey {
+        topology_fingerprint,
+        request: *schedule.request(),
+        chunks: value.field("chunks")?.as_usize()?,
+        scheduler: scheduler_from_label(value.field("scheduler")?.as_str()?)?,
+    };
+    Ok((key, schedule))
+}
+
+fn schedule_to_json(schedule: &CollectiveSchedule) -> Json {
+    Json::obj([
+        (
+            "scheduler_name",
+            Json::Str(schedule.scheduler_name().to_string()),
+        ),
+        (
+            "intra_dim_policy",
+            Json::Str(
+                match schedule.intra_dim_policy() {
+                    IntraDimPolicy::Fifo => "FIFO",
+                    IntraDimPolicy::SmallestChunkFirst => "SCF",
+                }
+                .to_string(),
+            ),
+        ),
+        (
+            "collective",
+            Json::Str(schedule.request().kind().to_string()),
+        ),
+        (
+            "size_bytes",
+            Json::Num(schedule.request().size().as_bytes_f64()),
+        ),
+        (
+            "chunks",
+            Json::Arr(
+                schedule
+                    .chunks()
+                    .iter()
+                    .map(|chunk| {
+                        Json::obj([
+                            ("chunk_index", Json::Num(chunk.chunk_index as f64)),
+                            ("initial_bytes", Json::Num(chunk.initial_bytes)),
+                            (
+                                "stages",
+                                Json::Arr(
+                                    chunk
+                                        .stages
+                                        .iter()
+                                        .map(|stage| {
+                                            Json::obj([
+                                                ("dim", Json::Num(stage.dim as f64)),
+                                                ("op", Json::Str(stage.op.label().to_string())),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn schedule_from_json(value: &Json) -> Result<CollectiveSchedule, ScheduleError> {
+    let policy = match value.field("intra_dim_policy")?.as_str()? {
+        "FIFO" => IntraDimPolicy::Fifo,
+        "SCF" => IntraDimPolicy::SmallestChunkFirst,
+        other => {
+            return Err(ScheduleError::Serialization {
+                reason: format!("unknown intra-dimension policy `{other}`"),
+            })
+        }
+    };
+    let mut chunks = Vec::new();
+    for chunk in value.field("chunks")?.as_arr()? {
+        let mut stages = Vec::new();
+        for stage in chunk.field("stages")?.as_arr()? {
+            stages.push(StageOp::new(
+                stage.field("dim")?.as_usize()?,
+                phase_op_from_label(stage.field("op")?.as_str()?)?,
+            ));
+        }
+        chunks.push(ChunkSchedule {
+            chunk_index: chunk.field("chunk_index")?.as_usize()?,
+            initial_bytes: chunk.field("initial_bytes")?.as_f64()?,
+            stages,
+        });
+    }
+    Ok(CollectiveSchedule::new(
+        request_from_json(value)?,
+        value.field("scheduler_name")?.as_str()?,
+        policy,
+        chunks,
+    ))
+}
+
+/// Parses the `collective` + `size_bytes` fields of an object into a request.
+fn request_from_json(value: &Json) -> Result<CollectiveRequest, ScheduleError> {
+    let label = value.field("collective")?.as_str()?;
+    let kind = CollectiveKind::all()
+        .into_iter()
+        .find(|k| k.to_string() == label)
+        .ok_or_else(|| ScheduleError::Serialization {
+            reason: format!("unknown collective `{label}`"),
+        })?;
+    let size = DataSize::from_bytes(value.field("size_bytes")?.as_f64()? as u64);
+    Ok(CollectiveRequest::new(kind, size))
+}
+
+fn scheduler_from_label(label: &str) -> Result<SchedulerKind, ScheduleError> {
+    SchedulerKind::all()
+        .into_iter()
+        .find(|k| k.label() == label)
+        .ok_or_else(|| ScheduleError::Serialization {
+            reason: format!("unknown scheduler `{label}`"),
+        })
+}
+
+fn phase_op_from_label(label: &str) -> Result<PhaseOp, ScheduleError> {
+    match label {
+        "RS" => Ok(PhaseOp::ReduceScatter),
+        "AG" => Ok(PhaseOp::AllGather),
+        "A2A" => Ok(PhaseOp::AllToAll),
+        other => Err(ScheduleError::Serialization {
+            reason: format!("unknown phase op `{other}`"),
+        }),
     }
 }
 
@@ -309,6 +573,98 @@ mod tests {
             .get_or_schedule(&topo, &request, 8, SchedulerKind::ThemisScf)
             .unwrap();
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn dump_and_load_round_trip_schedules_bit_for_bit() {
+        let cache = ScheduleCache::new();
+        let request = CollectiveRequest::all_reduce_mib(96.0);
+        let a2a = CollectiveRequest::new(
+            themis_collectives::CollectiveKind::AllToAll,
+            DataSize::from_mib(8.0),
+        );
+        for preset in [PresetTopology::Sw2d, PresetTopology::FcRingSw3d] {
+            let topo = preset.build();
+            for kind in SchedulerKind::all() {
+                cache.get_or_schedule(&topo, &request, 8, kind).unwrap();
+            }
+            cache
+                .get_or_schedule(&topo, &a2a, 4, SchedulerKind::Baseline)
+                .unwrap();
+        }
+        let text = cache.dump();
+        // Deterministic output: dumping twice yields identical text.
+        assert_eq!(text, cache.dump());
+
+        let warm = ScheduleCache::new();
+        assert_eq!(warm.load(&text).unwrap(), cache.len());
+        assert_eq!(warm.len(), cache.len());
+        // Loading again inserts nothing (all keys present).
+        assert_eq!(warm.load(&text).unwrap(), 0);
+        // Counters untouched by load.
+        assert_eq!((warm.hits(), warm.misses()), (0, 0));
+
+        // Every loaded schedule is bit-identical to a freshly scheduled one
+        // and every lookup on the warm cache is a hit.
+        for preset in [PresetTopology::Sw2d, PresetTopology::FcRingSw3d] {
+            let topo = preset.build();
+            for kind in SchedulerKind::all() {
+                let loaded = warm.get_or_schedule(&topo, &request, 8, kind).unwrap();
+                let direct = kind.build(8).schedule(&request, &topo).unwrap();
+                assert_eq!(*loaded, direct, "{} on {}", kind, topo.name());
+            }
+        }
+        assert_eq!(warm.misses(), 0);
+        assert_eq!(warm.hits(), 6);
+    }
+
+    #[test]
+    fn load_rejects_malformed_dumps() {
+        let cache = ScheduleCache::new();
+        assert!(matches!(
+            cache.load("not json"),
+            Err(ScheduleError::Serialization { .. })
+        ));
+        assert!(matches!(
+            cache.load("{\"version\": 2, \"kind\": \"schedule-cache\", \"entries\": []}"),
+            Err(ScheduleError::Serialization { .. })
+        ));
+        assert!(matches!(
+            cache.load("{\"version\": 1, \"kind\": \"campaign\", \"entries\": []}"),
+            Err(ScheduleError::Serialization { .. })
+        ));
+        let bad_entry = "{\"version\": 1, \"kind\": \"schedule-cache\", \"entries\": \
+                         [{\"fingerprint\": \"zz\"}]}";
+        assert!(matches!(
+            cache.load(bad_entry),
+            Err(ScheduleError::Serialization { .. })
+        ));
+        // Nothing was inserted by the failed loads.
+        assert!(cache.is_empty());
+        // An empty dump loads cleanly.
+        assert_eq!(
+            cache
+                .load("{\"version\": 1, \"kind\": \"schedule-cache\", \"entries\": []}")
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn load_keeps_existing_entries() {
+        let cache = ScheduleCache::new();
+        let topo = PresetTopology::Sw2d.build();
+        let request = CollectiveRequest::all_reduce_mib(32.0);
+        let original = cache
+            .get_or_schedule(&topo, &request, 8, SchedulerKind::ThemisScf)
+            .unwrap();
+        let text = cache.dump();
+        assert_eq!(cache.load(&text).unwrap(), 0);
+        let still = cache
+            .get_or_schedule(&topo, &request, 8, SchedulerKind::ThemisScf)
+            .unwrap();
+        // The pre-existing Arc survived the merge.
+        assert!(Arc::ptr_eq(&original, &still));
     }
 
     #[test]

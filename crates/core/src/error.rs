@@ -22,6 +22,12 @@ pub enum ScheduleError {
     Net(NetError),
     /// An underlying collective/cost-model error.
     Collective(CollectiveError),
+    /// A serialized artifact (e.g. a [`crate::ScheduleCache`] dump) could not
+    /// be encoded or decoded.
+    Serialization {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -36,6 +42,9 @@ impl fmt::Display for ScheduleError {
             }
             ScheduleError::Net(err) => write!(f, "topology error: {err}"),
             ScheduleError::Collective(err) => write!(f, "collective error: {err}"),
+            ScheduleError::Serialization { reason } => {
+                write!(f, "serialization error: {reason}")
+            }
         }
     }
 }
@@ -59,6 +68,12 @@ impl From<NetError> for ScheduleError {
 impl From<CollectiveError> for ScheduleError {
     fn from(err: CollectiveError) -> Self {
         ScheduleError::Collective(err)
+    }
+}
+
+impl From<crate::json::JsonError> for ScheduleError {
+    fn from(err: crate::json::JsonError) -> Self {
+        ScheduleError::Serialization { reason: err.reason }
     }
 }
 

@@ -45,6 +45,7 @@ pub mod consistency;
 pub mod error;
 pub mod ideal;
 pub mod intra_dim;
+pub mod json;
 pub mod latency_model;
 pub mod load_tracker;
 pub mod schedule;

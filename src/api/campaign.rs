@@ -135,7 +135,27 @@ impl Campaign {
     }
 
     /// Expands the campaign into its run matrix, ordered platform → size →
-    /// chunk count → scheduler.
+    /// chunk count → scheduler (scheduler innermost).
+    ///
+    /// The expanded [`RunSpec`]s are self-contained: execute them through a
+    /// [`Runner`], or hand slices of the matrix to other processes via
+    /// [`crate::api::shard`].
+    ///
+    /// ```
+    /// use themis::prelude::*;
+    ///
+    /// # fn main() -> Result<(), ThemisError> {
+    /// let specs = Campaign::new()
+    ///     .topologies([PresetTopology::Sw2d, PresetTopology::SwSwSw3dHomo])
+    ///     .sizes_mib([64.0])
+    ///     .chunk_counts([16])
+    ///     .expand()?;
+    /// assert_eq!(specs.len(), 2 * 1 * 1 * 3); // platforms x sizes x chunks x schedulers
+    /// assert_eq!(specs[0].job.scheduler_kind(), SchedulerKind::Baseline);
+    /// assert_eq!(specs[3].platform.name(), "3D-SW_SW_SW_homo");
+    /// # Ok(())
+    /// # }
+    /// ```
     ///
     /// # Errors
     ///

@@ -16,6 +16,10 @@
 //!   layer graph.
 //! * [`Runner`] — executes a matrix sequentially or on a thread pool; both
 //!   backends return bit-identical [`RunResult`]s in matrix order.
+//! * [`shard`] — cross-process campaign sharding: partition an expanded
+//!   matrix into self-contained, JSON-serializable [`ShardSpec`]s, execute
+//!   them anywhere, and [`merge_reports`] back into a report bit-identical
+//!   to the unsharded run.
 //! * [`CampaignReport`] — the collected results, with lookups, speedup
 //!   helpers and dependency-free JSON serialization ([`json`]).
 //!
@@ -45,6 +49,7 @@ pub mod json;
 pub mod platform;
 pub mod report;
 pub mod runner;
+pub mod shard;
 pub mod stream;
 pub mod training;
 
@@ -53,7 +58,11 @@ pub use campaign::Campaign;
 pub use job::{Job, ScheduledRun, DEFAULT_CHUNKS};
 pub use platform::Platform;
 pub use report::{CampaignReport, RunConfig, RunResult};
-pub use runner::{RunSpec, Runner};
+pub use runner::{CampaignCell, RunSpec, Runner};
+pub use shard::{
+    merge_reports, CacheStats, MergedReport, MergedResults, ShardPlan, ShardReport, ShardSpec,
+    ShardStrategy,
+};
 pub use stream::{
     QueuedCollective, StreamCampaign, StreamCampaignReport, StreamJob, StreamRunConfig,
     StreamRunResult, StreamSpec,

@@ -164,6 +164,11 @@ impl CampaignReport {
 
     /// Serializes the report to compact JSON.
     pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// The report as a [`Json`] value (embedded in merged shard reports).
+    pub(crate) fn to_json_value(&self) -> Json {
         Json::obj([
             ("version", Json::Num(1.0)),
             (
@@ -171,7 +176,6 @@ impl CampaignReport {
                 Json::Arr(self.results.iter().map(run_result_to_json).collect()),
             ),
         ])
-        .render()
     }
 
     /// Deserializes a report previously produced by
@@ -181,7 +185,11 @@ impl CampaignReport {
     ///
     /// Returns [`ThemisError::Json`] on malformed text or an unknown layout.
     pub fn from_json(text: &str) -> Result<Self, ThemisError> {
-        let value = Json::parse(text)?;
+        Self::from_json_value(&Json::parse(text)?)
+    }
+
+    /// Deserializes a report from an already-parsed [`Json`] value.
+    pub(crate) fn from_json_value(value: &Json) -> Result<Self, ThemisError> {
         let version = value.field("version")?.as_usize()?;
         if version != 1 {
             return Err(ThemisError::Json {
@@ -225,14 +233,14 @@ pub(crate) fn collective_from_label(label: &str) -> Result<CollectiveKind, Themi
         })
 }
 
-fn run_result_to_json(result: &RunResult) -> Json {
+pub(crate) fn run_result_to_json(result: &RunResult) -> Json {
     Json::obj([
         ("config", config_to_json(&result.config)),
         ("report", sim_report_to_json(&result.report)),
     ])
 }
 
-fn run_result_from_json(value: &Json) -> Result<RunResult, ThemisError> {
+pub(crate) fn run_result_from_json(value: &Json) -> Result<RunResult, ThemisError> {
     Ok(RunResult {
         config: config_from_json(value.field("config")?)?,
         report: sim_report_from_json(value.field("report")?)?,

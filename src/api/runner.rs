@@ -50,6 +50,82 @@ impl RunSpec {
     }
 }
 
+/// A self-contained campaign cell a [`Runner`] can dispatch: it executes on
+/// its own (optionally through a shared [`ScheduleCache`]) and produces one
+/// result. Implemented by [`RunSpec`] (single collectives) and
+/// [`StreamSpec`] (collective streams), so the worker-pool scaffolding and
+/// the sharding layer ([`crate::api::shard`]) are written once for both.
+pub trait CampaignCell: Sync {
+    /// The per-cell result type.
+    type Output: Send;
+
+    /// Executes the cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and simulation errors as [`ThemisError`].
+    fn execute(&self) -> Result<Self::Output, ThemisError>;
+
+    /// Executes the cell with schedules served through a shared
+    /// [`ScheduleCache`] (bit-identical to [`CampaignCell::execute`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and simulation errors as [`ThemisError`].
+    fn execute_cached(&self, cache: &ScheduleCache) -> Result<Self::Output, ThemisError>;
+
+    /// A deterministic estimate of the cell's relative simulation cost, used
+    /// by [`crate::api::shard::ShardStrategy::CostBalanced`] to balance
+    /// shards. The absolute scale is meaningless; only ratios between cells
+    /// of one matrix matter. The default counts simulated chunk operations
+    /// (the dominant per-cell cost) plus a small size term.
+    fn cost_estimate(&self) -> f64;
+}
+
+impl CampaignCell for RunSpec {
+    type Output = RunResult;
+
+    fn execute(&self) -> Result<RunResult, ThemisError> {
+        RunSpec::execute(self)
+    }
+
+    fn execute_cached(&self, cache: &ScheduleCache) -> Result<RunResult, ThemisError> {
+        RunSpec::execute_cached(self, cache)
+    }
+
+    fn cost_estimate(&self) -> f64 {
+        let stages = self
+            .job
+            .kind()
+            .num_stages(self.platform.topology().num_dims());
+        (self.job.chunk_count() * stages) as f64 + self.job.size().as_bytes_f64() * 1e-6
+    }
+}
+
+impl CampaignCell for StreamSpec {
+    type Output = StreamRunResult;
+
+    fn execute(&self) -> Result<StreamRunResult, ThemisError> {
+        StreamSpec::execute(self)
+    }
+
+    fn execute_cached(&self, cache: &ScheduleCache) -> Result<StreamRunResult, ThemisError> {
+        StreamSpec::execute_cached(self, cache)
+    }
+
+    fn cost_estimate(&self) -> f64 {
+        let dims = self.platform.topology().num_dims();
+        let chunks = self.job.chunk_count() as f64;
+        self.job
+            .entries()
+            .iter()
+            .map(|entry| {
+                chunks * entry.kind().num_stages(dims) as f64 + entry.size().as_bytes_f64() * 1e-6
+            })
+            .sum()
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Backend {
     Sequential,
@@ -144,12 +220,7 @@ impl Runner {
     /// failing campaign does not execute its whole remaining matrix just to
     /// discard it.
     pub fn execute(&self, specs: &[RunSpec]) -> Result<Vec<RunResult>, ThemisError> {
-        if self.cache_schedules {
-            let cache = ScheduleCache::new();
-            self.execute_tasks(specs, |spec| spec.execute_cached(&cache))
-        } else {
-            self.execute_tasks(specs, RunSpec::execute)
-        }
+        self.execute_cells(specs, None)
     }
 
     /// Executes stream-campaign cells ([`StreamSpec`]s) and returns their
@@ -162,11 +233,42 @@ impl Runner {
         &self,
         specs: &[StreamSpec],
     ) -> Result<Vec<StreamRunResult>, ThemisError> {
-        if self.cache_schedules {
-            let cache = ScheduleCache::new();
-            self.execute_tasks(specs, |spec| spec.execute_cached(&cache))
-        } else {
-            self.execute_tasks(specs, StreamSpec::execute)
+        self.execute_cells(specs, None)
+    }
+
+    /// Executes cells through a caller-provided [`ScheduleCache`] instead of
+    /// a per-execution one: the sharding layer uses this to warm-start
+    /// workers from a dumped cache file and to read hit/miss statistics after
+    /// the run. The cache is always consulted, regardless of
+    /// [`Runner::with_schedule_cache`] (reports are bit-identical either
+    /// way).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in spec order, as for [`Runner::execute`].
+    pub fn execute_with_cache<C: CampaignCell>(
+        &self,
+        specs: &[C],
+        cache: &ScheduleCache,
+    ) -> Result<Vec<C::Output>, ThemisError> {
+        self.execute_cells(specs, Some(cache))
+    }
+
+    /// Shared dispatch of [`Runner::execute`] / [`Runner::execute_streams`] /
+    /// [`Runner::execute_with_cache`]: picks the caching mode, then runs the
+    /// cells through the worker-pool scaffolding.
+    fn execute_cells<C: CampaignCell>(
+        &self,
+        specs: &[C],
+        warm: Option<&ScheduleCache>,
+    ) -> Result<Vec<C::Output>, ThemisError> {
+        match warm {
+            Some(cache) => self.execute_tasks(specs, |spec| spec.execute_cached(cache)),
+            None if self.cache_schedules => {
+                let cache = ScheduleCache::new();
+                self.execute_tasks(specs, |spec| spec.execute_cached(&cache))
+            }
+            None => self.execute_tasks(specs, C::execute),
         }
     }
 
@@ -292,6 +394,23 @@ mod tests {
         assert!(!Runner::sequential()
             .with_schedule_cache(false)
             .caches_schedules());
+    }
+
+    #[test]
+    fn execute_with_cache_matches_and_counts() {
+        let specs = specs();
+        let cache = ScheduleCache::new();
+        let warm = Runner::parallel_threads(2)
+            .execute_with_cache(&specs, &cache)
+            .unwrap();
+        assert_eq!(warm, Runner::sequential().execute(&specs).unwrap());
+        assert_eq!((cache.hits(), cache.misses()), (0, 3));
+        // A second execution over the same cache is served entirely from it.
+        let again = Runner::sequential()
+            .execute_with_cache(&specs, &cache)
+            .unwrap();
+        assert_eq!(again, warm);
+        assert_eq!((cache.hits(), cache.misses()), (3, 3));
     }
 
     #[test]

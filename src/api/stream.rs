@@ -607,6 +607,11 @@ impl StreamCampaignReport {
 
     /// Serializes the report to compact JSON.
     pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// The report as a [`Json`] value (embedded in merged shard reports).
+    pub(crate) fn to_json_value(&self) -> Json {
         Json::obj([
             ("version", Json::Num(1.0)),
             ("kind", Json::Str("stream-campaign".to_string())),
@@ -615,7 +620,6 @@ impl StreamCampaignReport {
                 Json::Arr(self.results.iter().map(stream_result_to_json).collect()),
             ),
         ])
-        .render()
     }
 
     /// Deserializes a report previously produced by
@@ -625,7 +629,11 @@ impl StreamCampaignReport {
     ///
     /// Returns [`ThemisError::Json`] on malformed text or an unknown layout.
     pub fn from_json(text: &str) -> Result<Self, ThemisError> {
-        let value = Json::parse(text)?;
+        Self::from_json_value(&Json::parse(text)?)
+    }
+
+    /// Deserializes a report from an already-parsed [`Json`] value.
+    pub(crate) fn from_json_value(value: &Json) -> Result<Self, ThemisError> {
         let version = value.field("version")?.as_usize()?;
         let kind = value.field("kind")?.as_str()?;
         if version != 1 || kind != "stream-campaign" {
@@ -652,7 +660,7 @@ impl<'a> IntoIterator for &'a StreamCampaignReport {
     }
 }
 
-fn stream_result_to_json(result: &StreamRunResult) -> Json {
+pub(crate) fn stream_result_to_json(result: &StreamRunResult) -> Json {
     Json::obj([
         (
             "config",
@@ -671,7 +679,7 @@ fn stream_result_to_json(result: &StreamRunResult) -> Json {
     ])
 }
 
-fn stream_result_from_json(value: &Json) -> Result<StreamRunResult, ThemisError> {
+pub(crate) fn stream_result_from_json(value: &Json) -> Result<StreamRunResult, ThemisError> {
     let config = value.field("config")?;
     Ok(StreamRunResult {
         config: StreamRunConfig {

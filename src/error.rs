@@ -98,6 +98,12 @@ impl From<WorkloadError> for ThemisError {
     }
 }
 
+impl From<themis_core::json::JsonError> for ThemisError {
+    fn from(err: themis_core::json::JsonError) -> Self {
+        ThemisError::Json { reason: err.reason }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

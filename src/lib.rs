@@ -67,9 +67,10 @@ pub use themis_sim as sim;
 pub use themis_workloads as workloads;
 
 pub use api::{
-    Campaign, CampaignReport, Job, Platform, QueuedCollective, RunConfig, RunResult, RunSpec,
-    Runner, ScheduledRun, StreamCampaign, StreamCampaignReport, StreamJob, StreamRunConfig,
-    StreamRunResult, StreamSpec, TrainingJob,
+    merge_reports, CacheStats, Campaign, CampaignCell, CampaignReport, Job, MergedReport,
+    MergedResults, Platform, QueuedCollective, RunConfig, RunResult, RunSpec, Runner, ScheduledRun,
+    ShardPlan, ShardReport, ShardSpec, ShardStrategy, StreamCampaign, StreamCampaignReport,
+    StreamJob, StreamRunConfig, StreamRunResult, StreamSpec, TrainingJob,
 };
 pub use error::ThemisError;
 

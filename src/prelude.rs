@@ -3,9 +3,10 @@
 //! the workspace types campaigns are built from.
 
 pub use crate::api::{
-    Campaign, CampaignReport, Job, Platform, QueuedCollective, RunConfig, RunResult, RunSpec,
-    Runner, ScheduledRun, StreamCampaign, StreamCampaignReport, StreamJob, StreamRunConfig,
-    StreamRunResult, StreamSpec, TrainingJob,
+    merge_reports, CacheStats, Campaign, CampaignCell, CampaignReport, Job, MergedReport,
+    MergedResults, Platform, QueuedCollective, RunConfig, RunResult, RunSpec, Runner, ScheduledRun,
+    ShardPlan, ShardReport, ShardSpec, ShardStrategy, StreamCampaign, StreamCampaignReport,
+    StreamJob, StreamRunConfig, StreamRunResult, StreamSpec, TrainingJob,
 };
 pub use crate::error::ThemisError;
 
