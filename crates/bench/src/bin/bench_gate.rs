@@ -1,0 +1,91 @@
+//! Bench-regression gate: parses a `BENCH_sim.json` report and fails if a
+//! matrix's measured speedup dropped below a floor.
+//!
+//! CI runs `bench-sim --smoke` (one iteration of a tiny matrix — noisy, so
+//! the smoke floor is a catastrophic-regression guard, not the committed
+//! full-run floor that `bench-sim` itself enforces) and then gates on the
+//! emitted report:
+//!
+//! ```text
+//! bench-gate BENCH_sim.json --matrix campaign --min 0.5
+//! ```
+//!
+//! Exits non-zero (with a diagnostic on stderr) when the report is missing,
+//! malformed, lacks the requested matrix, or the matrix's `speedup` field is
+//! below `--min`.
+
+use std::process::ExitCode;
+use themis::api::json::Json;
+
+fn gate(args: &[String]) -> Result<String, String> {
+    let mut args = args.to_vec();
+    let matrix = take_flag(&mut args, "--matrix")?.ok_or("missing --matrix <name>")?;
+    let min: f64 = take_flag(&mut args, "--min")?
+        .ok_or("missing --min <speedup>")?
+        .parse()
+        .map_err(|_| "invalid --min value".to_string())?;
+    let [path] = args.as_slice() else {
+        return Err("expected exactly one report file".to_string());
+    };
+    let text =
+        std::fs::read_to_string(path).map_err(|err| format!("cannot read `{path}`: {err}"))?;
+    let value = Json::parse(&text).map_err(|err| format!("{path}: {err}"))?;
+    if value
+        .field("kind")
+        .and_then(|kind| kind.as_str())
+        .map_err(|err| format!("{path}: {err}"))?
+        != "sim-bench"
+    {
+        return Err(format!("{path}: not a sim-bench report"));
+    }
+    let matrices = value
+        .field("matrices")
+        .and_then(Json::as_arr)
+        .map_err(|err| format!("{path}: {err}"))?;
+    let entry = matrices
+        .iter()
+        .find(|m| {
+            m.field("name")
+                .and_then(|name| name.as_str())
+                .is_ok_and(|name| name == matrix)
+        })
+        .ok_or_else(|| format!("{path}: no `{matrix}` matrix in the report"))?;
+    let speedup = entry
+        .field("speedup")
+        .and_then(Json::as_f64)
+        .map_err(|err| format!("{path}: {err}"))?;
+    if speedup < min {
+        return Err(format!(
+            "{matrix} matrix speedup {speedup:.2}x is below the {min}x floor"
+        ));
+    }
+    Ok(format!(
+        "{matrix} matrix speedup {speedup:.2}x clears the {min}x floor"
+    ))
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(index) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if index + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(index + 1);
+    args.remove(index);
+    Ok(Some(value))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match gate(&args) {
+        Ok(message) => {
+            eprintln!("{message}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("bench-gate: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -184,6 +184,9 @@ fn run(args: &[String]) -> Result<(), String> {
             Err(err) => return Err(format!("cannot read `{path}`: {err}")),
         }
     }
+    // Cost tables are derived data and cheap to rebuild, so only the schedule
+    // half of the plan round-trips through the cache file.
+    let plan = SimPlanCache::with_schedules(cache);
 
     let runner = if threads > 1 {
         Runner::parallel_threads(threads)
@@ -191,12 +194,12 @@ fn run(args: &[String]) -> Result<(), String> {
         Runner::sequential()
     };
     let report = spec
-        .execute_with_cache(&runner, &cache)
+        .execute_with_cache(&runner, &plan)
         .map_err(|err| err.to_string())?;
     std::fs::write(&out, report.to_json()).map_err(|err| format!("cannot write `{out}`: {err}"))?;
 
     if let Some(path) = &cache_path {
-        std::fs::write(path, cache.dump())
+        std::fs::write(path, plan.schedules().dump())
             .map_err(|err| format!("cannot write `{path}`: {err}"))?;
     }
     let stats = report.cache();

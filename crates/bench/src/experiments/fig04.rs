@@ -9,7 +9,7 @@
 
 use crate::report::{fmt_pct, Report, Table};
 use themis::api::{Platform, TrainingJob};
-use themis::{CommunicationPolicy, PresetTopology, Workload};
+use themis::{CommunicationPolicy, PresetTopology, SimPlanCache, SimWorkspace, Workload};
 
 /// The runtime-vs-utilisation curve of one workload on one topology.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,16 +62,29 @@ pub fn fig04_platforms() -> Vec<Platform> {
 
 /// Computes the Fig. 4 curves of one workload across all platforms.
 pub fn curves_for(workload: Workload) -> Vec<Fig04Curve> {
+    curves_for_cached(workload, &SimPlanCache::new(), &mut SimWorkspace::new())
+}
+
+/// Like [`curves_for`], but scheduling every training collective through the
+/// figure suite's shared warm [`SimPlanCache`] on a reusable
+/// [`SimWorkspace`]. Workloads repeat (platform, collective) cells across the
+/// suite, so the shared plan schedules and costs each distinct collective
+/// once. Curves are bit-identical to the cold path.
+pub fn curves_for_cached(
+    workload: Workload,
+    plan: &SimPlanCache,
+    workspace: &mut SimWorkspace,
+) -> Vec<Fig04Curve> {
     fig04_platforms()
         .iter()
         .map(|platform| {
             let ideal = TrainingJob::new(workload)
                 .policy(CommunicationPolicy::Ideal)
-                .run_on(platform)
+                .run_planned(platform, plan, workspace)
                 .expect("evaluation configurations are valid");
             let baseline = TrainingJob::new(workload)
                 .policy(CommunicationPolicy::Baseline)
-                .run_on(platform)
+                .run_planned(platform, plan, workspace)
                 .expect("evaluation configurations are valid");
             Fig04Curve {
                 topology: platform.name().to_string(),
@@ -86,6 +99,13 @@ pub fn curves_for(workload: Workload) -> Vec<Fig04Curve> {
 
 /// Renders the Fig. 4 experiment.
 pub fn run() -> Report {
+    run_shared(&SimPlanCache::new())
+}
+
+/// Renders the Fig. 4 experiment through the figure suite's shared warm
+/// [`SimPlanCache`].
+pub fn run_shared(plan: &SimPlanCache) -> Report {
+    let mut workspace = SimWorkspace::new();
     let utilization_points = [0.1, 0.25, 0.5, 0.75, 1.0];
     let mut report = Report::new("Fig. 4 — normalized runtime vs average BW utilisation");
     report.push_note(
@@ -93,7 +113,7 @@ pub fn run() -> Report {
          'dot' columns give the utilisation/runtime reached by baseline collective scheduling",
     );
     for workload in fig04_workloads() {
-        let curves = curves_for(workload);
+        let curves = curves_for_cached(workload, plan, &mut workspace);
         // Normalisation reference: the current platform at 10 % utilisation.
         let reference = curves[0].runtime_at(0.1);
         let mut table = Table::new(
@@ -165,6 +185,24 @@ mod tests {
             assert!(curve.runtime_at(1.0) >= curve.compute_ns);
             assert!(curve.baseline_runtime() >= curve.runtime_at(1.0) * 0.999);
         }
+    }
+
+    #[test]
+    fn shared_plan_curves_match_the_cold_path_bit_for_bit() {
+        let cold = curves_for(Workload::Gnmt);
+        let plan = SimPlanCache::new();
+        let mut workspace = SimWorkspace::new();
+        assert_eq!(
+            curves_for_cached(Workload::Gnmt, &plan, &mut workspace),
+            cold
+        );
+        // A repeated sweep is served from the warm plan.
+        assert_eq!(
+            curves_for_cached(Workload::Gnmt, &plan, &mut workspace),
+            cold
+        );
+        assert!(plan.schedules().hits() > 0);
+        assert!(plan.cost_tables().hits() > 0);
     }
 
     #[test]

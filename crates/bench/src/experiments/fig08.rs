@@ -4,7 +4,7 @@
 use super::microbenchmark_sizes;
 use crate::report::{fmt_speedup, fmt_us, Report, Table};
 use themis::api::CampaignReport;
-use themis::{DataSize, PresetTopology, SchedulerKind};
+use themis::{DataSize, PresetTopology, SchedulerKind, SimPlanCache};
 
 /// One data point of the Fig. 8 sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +36,12 @@ pub fn run_with(sizes: &[DataSize]) -> Vec<Fig08Point> {
     points_from(&super::microbenchmark_campaign(sizes), sizes)
 }
 
+/// Like [`run_with`], but through the figure suite's shared warm
+/// [`SimPlanCache`].
+pub fn run_cached(sizes: &[DataSize], plan: &SimPlanCache) -> Vec<Fig08Point> {
+    points_from(&super::microbenchmark_campaign_cached(sizes, plan), sizes)
+}
+
 /// Extracts the Fig. 8 points from an already-executed microbenchmark
 /// campaign (see [`super::microbenchmark_campaign`]), so callers that need
 /// both the Fig. 8 and Fig. 11 views simulate the matrix only once.
@@ -61,7 +67,16 @@ pub fn points_from(report: &CampaignReport, sizes: &[DataSize]) -> Vec<Fig08Poin
 
 /// Renders the full Fig. 8 sweep as a report.
 pub fn run() -> Report {
-    let points = run_with(&microbenchmark_sizes());
+    run_from_points(run_with(&microbenchmark_sizes()))
+}
+
+/// Renders the full Fig. 8 sweep through the figure suite's shared warm
+/// [`SimPlanCache`].
+pub fn run_shared(plan: &SimPlanCache) -> Report {
+    run_from_points(run_cached(&microbenchmark_sizes(), plan))
+}
+
+fn run_from_points(points: Vec<Fig08Point>) -> Report {
     let mut report = Report::new("Fig. 8 — All-Reduce communication time (100 MB to 1 GB)");
     report.push_note(
         "paper result: Themis+FIFO and Themis+SCF reduce communication time by 1.58x and \
@@ -127,5 +142,18 @@ mod tests {
         assert_eq!(points.len(), 12);
         let sample = &points[0];
         assert!(sample.fifo_speedup() > 0.0);
+    }
+
+    #[test]
+    fn shared_plan_points_match_the_cold_path_bit_for_bit() {
+        // One warm plan serving both the Fig. 8 and Fig. 11 views (and a
+        // repeated run) must not change any figure point.
+        let sizes = quick_sizes();
+        let cold = run_with(&sizes);
+        let plan = SimPlanCache::new();
+        assert_eq!(run_cached(&sizes, &plan), cold);
+        assert_eq!(run_cached(&sizes, &plan), cold);
+        assert!(plan.schedules().hits() > 0);
+        assert!(plan.cost_tables().hits() > 0);
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::report::{fmt_pct, fmt_us, Report, Table};
 use themis::api::{Campaign, Runner};
-use themis::{DataSize, PresetTopology, SchedulerKind, SimReport};
+use themis::{DataSize, PresetTopology, SchedulerKind, SimPlanCache, SimReport};
 
 /// The activity timeline of one scheduler on the Fig. 9 configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,11 +61,19 @@ fn timeline_of(report: &SimReport) -> ActivityTimeline {
 /// Runs the Fig. 9 experiment with a configurable collective size
 /// (the paper uses 1 GB) as one parallel campaign.
 pub fn run_with(size: DataSize) -> Vec<ActivityTimeline> {
+    run_cached(size, &SimPlanCache::new())
+}
+
+/// Like [`run_with`], but through the figure suite's shared warm
+/// [`SimPlanCache`]. The Fig. 9 cell (1 GB on 3D-SW_SW_SW_homo under every
+/// scheduler) is a subset of the Fig. 8 / Fig. 11 matrix, so with a shared
+/// plan this experiment re-simulates without re-scheduling or re-costing.
+pub fn run_cached(size: DataSize, plan: &SimPlanCache) -> Vec<ActivityTimeline> {
     let preset = PresetTopology::SwSwSw3dHomo;
     let campaign = Campaign::new()
         .topologies([preset])
         .sizes([size])
-        .run(&Runner::parallel())
+        .run_with_cache(&Runner::parallel(), plan)
         .expect("evaluation configurations are valid");
     SchedulerKind::all()
         .into_iter()
@@ -82,7 +90,16 @@ pub fn run_with(size: DataSize) -> Vec<ActivityTimeline> {
 
 /// Renders the full Fig. 9 experiment (1 GB All-Reduce).
 pub fn run() -> Report {
-    let timelines = run_with(DataSize::from_gib(1.0));
+    run_from_timelines(run_with(DataSize::from_gib(1.0)))
+}
+
+/// Renders the full Fig. 9 experiment through the figure suite's shared warm
+/// [`SimPlanCache`].
+pub fn run_shared(plan: &SimPlanCache) -> Report {
+    run_from_timelines(run_cached(DataSize::from_gib(1.0), plan))
+}
+
+fn run_from_timelines(timelines: Vec<ActivityTimeline>) -> Report {
     let mut report =
         Report::new("Fig. 9 — frontend activity rate, 1 GB All-Reduce on 3D-SW_SW_SW_homo");
     report.push_note(
@@ -143,6 +160,18 @@ mod tests {
         assert!(scf.mean_rate(2) > baseline.mean_rate(2));
         // Themis finishes sooner.
         assert!(scf.total_time_ns < baseline.total_time_ns);
+    }
+
+    #[test]
+    fn shared_plan_timelines_match_the_cold_path() {
+        let plan = SimPlanCache::new();
+        let size = DataSize::from_mib(128.0);
+        let cold = run_with(size);
+        assert_eq!(run_cached(size, &plan), cold);
+        // Fig. 9's cells are a subset of the Fig. 8/11 matrix at 1 GB; at any
+        // size a second run over the same plan is fully warm.
+        assert_eq!(run_cached(size, &plan), cold);
+        assert!(plan.schedules().hits() > 0);
     }
 
     #[test]

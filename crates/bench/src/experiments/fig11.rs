@@ -4,7 +4,7 @@
 use super::microbenchmark_sizes;
 use crate::report::{fmt_pct, Report, Table};
 use themis::api::CampaignReport;
-use themis::{DataSize, PresetTopology, SchedulerKind};
+use themis::{DataSize, PresetTopology, SchedulerKind, SimPlanCache};
 
 /// One data point of the Fig. 11 sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +21,12 @@ pub struct Fig11Point {
 /// Runs the sweep for the given sizes as one parallel campaign.
 pub fn run_with(sizes: &[DataSize]) -> Vec<Fig11Point> {
     points_from(&super::microbenchmark_campaign(sizes), sizes)
+}
+
+/// Like [`run_with`], but through the figure suite's shared warm
+/// [`SimPlanCache`].
+pub fn run_cached(sizes: &[DataSize], plan: &SimPlanCache) -> Vec<Fig11Point> {
+    points_from(&super::microbenchmark_campaign_cached(sizes, plan), sizes)
 }
 
 /// Extracts the Fig. 11 points from an already-executed microbenchmark
@@ -58,7 +64,16 @@ pub fn mean_utilization(points: &[Fig11Point]) -> [f64; 3] {
 
 /// Renders the full Fig. 11 sweep as a report.
 pub fn run() -> Report {
-    let points = run_with(&microbenchmark_sizes());
+    run_from_points(run_with(&microbenchmark_sizes()))
+}
+
+/// Renders the full Fig. 11 sweep through the figure suite's shared warm
+/// [`SimPlanCache`].
+pub fn run_shared(plan: &SimPlanCache) -> Report {
+    run_from_points(run_cached(&microbenchmark_sizes(), plan))
+}
+
+fn run_from_points(points: Vec<Fig11Point>) -> Report {
     let mut report = Report::new("Fig. 11 — average BW utilisation vs collective size");
     report.push_note(
         "paper result: baseline / Themis+FIFO / Themis+SCF achieve 56.31% / 87.67% / 95.14% \

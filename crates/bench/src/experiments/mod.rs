@@ -19,7 +19,7 @@ pub mod table2;
 
 use themis::api::{Campaign, CampaignReport, Job, Platform, Runner};
 use themis::net::presets::next_generation_suite;
-use themis::{DataSize, NetworkTopology, PresetTopology, SchedulerKind, SimReport};
+use themis::{DataSize, NetworkTopology, PresetTopology, SchedulerKind, SimPlanCache, SimReport};
 
 /// The six next-generation topologies of Table 2 (the x-axis of most figures).
 pub fn evaluation_topologies() -> Vec<NetworkTopology> {
@@ -56,10 +56,19 @@ pub fn quick_sizes() -> Vec<DataSize> {
 /// paper's 64 chunks per collective. One [`CampaignReport`] carries both the
 /// completion times (Fig. 8) and the utilisations (Fig. 11).
 pub fn microbenchmark_campaign(sizes: &[DataSize]) -> CampaignReport {
+    microbenchmark_campaign_cached(sizes, &SimPlanCache::new())
+}
+
+/// Like [`microbenchmark_campaign`], but executing through a caller-provided
+/// [`SimPlanCache`]: the figure-suite harness shares one warm plan across the
+/// fig04/fig08/fig09/fig11 experiments (they sweep overlapping topologies,
+/// sizes and schedulers), so overlapping cells schedule and cost once for the
+/// whole suite. Reports are bit-identical to the cold path.
+pub fn microbenchmark_campaign_cached(sizes: &[DataSize], plan: &SimPlanCache) -> CampaignReport {
     Campaign::new()
         .topologies(PresetTopology::next_generation())
         .sizes(sizes.iter().copied())
-        .run(&Runner::parallel())
+        .run_with_cache(&Runner::parallel(), plan)
         .expect("evaluation configurations are valid")
 }
 

@@ -111,6 +111,34 @@ impl CostModel {
         self.offload.is_some()
     }
 
+    /// A structural fingerprint of the model's parameters (FNV-1a over the
+    /// offload configuration), suitable for keying cost-table caches: two
+    /// models with equal fingerprints evaluate every chunk cost identically.
+    ///
+    /// The factors are hashed by their IEEE-754 bit patterns; they are
+    /// validated finite and positive, so bit equality coincides with value
+    /// equality.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut mix = |value: u64| {
+            for byte in value.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        match self.offload {
+            None => mix(0),
+            Some(config) => {
+                mix(1);
+                mix(config.traffic_factor.to_bits());
+                mix(config.fixed_delay_factor.to_bits());
+            }
+        }
+        hash
+    }
+
     /// Evaluates the cost of running `op` for a resident chunk of
     /// `chunk_bytes` on `dim`.
     ///
@@ -307,6 +335,21 @@ mod tests {
         let transfer_only = model.transfer_only_ns(&dim, PhaseOp::ReduceScatter, chunk);
         assert!((cost.transfer_ns - transfer_only).abs() < 1e-9);
         assert!(cost.total_ns() > transfer_only);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_cost_model_parameters() {
+        let plain = CostModel::new();
+        assert_eq!(plain.fingerprint(), CostModel::default().fingerprint());
+        let offloaded = CostModel::with_offload(OffloadConfig::typical_sharp_like()).unwrap();
+        assert_ne!(plain.fingerprint(), offloaded.fingerprint());
+        let other = CostModel::with_offload(OffloadConfig {
+            traffic_factor: 0.5,
+            fixed_delay_factor: 0.25,
+        })
+        .unwrap();
+        assert_ne!(offloaded.fingerprint(), other.fingerprint());
+        assert_eq!(offloaded.fingerprint(), offloaded.fingerprint());
     }
 
     #[test]

@@ -135,9 +135,7 @@ impl ScheduleCache {
         // Scheduling runs outside the lock: a slow miss never blocks hits on
         // other keys (or the same key — a racing worker just recomputes the
         // identical schedule and the first insert wins).
-        let split = self.split_cached(request.size(), chunks)?;
-        let mut built = scheduler.build(chunks);
-        let schedule = Arc::new(built.schedule_presplit(request, topo, &split)?);
+        let schedule = Arc::new(self.build_schedule(topo, request, chunks, scheduler, &key)?);
         Ok(Arc::clone(
             self.schedules
                 .lock()
@@ -145,6 +143,52 @@ impl ScheduleCache {
                 .entry(key)
                 .or_insert(schedule),
         ))
+    }
+
+    /// Builds the schedule for a cache miss. The two Themis variants run the
+    /// same chunk-ordering algorithm (Algorithm 1 never reads the
+    /// intra-dimension policy — that only governs *execution*), so when the
+    /// sibling variant is already cached its chunk orders are cloned instead
+    /// of re-running the scheduler; only the schedule's name and policy
+    /// differ. The clone is bit-identical to scheduling from scratch
+    /// (asserted in the tests below and the integration suites).
+    fn build_schedule(
+        &self,
+        topo: &NetworkTopology,
+        request: &CollectiveRequest,
+        chunks: usize,
+        scheduler: SchedulerKind,
+        key: &ScheduleKey,
+    ) -> Result<CollectiveSchedule, ScheduleError> {
+        let sibling = match scheduler {
+            SchedulerKind::ThemisFifo => Some(SchedulerKind::ThemisScf),
+            SchedulerKind::ThemisScf => Some(SchedulerKind::ThemisFifo),
+            SchedulerKind::Baseline => None,
+        };
+        if let Some(sibling) = sibling {
+            let sibling_key = ScheduleKey {
+                scheduler: sibling,
+                ..*key
+            };
+            let cached = self
+                .schedules
+                .lock()
+                .expect("schedule cache lock is never poisoned")
+                .get(&sibling_key)
+                .cloned();
+            if let Some(sibling_schedule) = cached {
+                let built = scheduler.build(chunks);
+                return Ok(CollectiveSchedule::new(
+                    *request,
+                    built.name(),
+                    built.intra_dim_policy(),
+                    sibling_schedule.chunks().to_vec(),
+                ));
+            }
+        }
+        let split = self.split_cached(request.size(), chunks)?;
+        let mut built = scheduler.build(chunks);
+        built.schedule_presplit(request, topo, &split)
     }
 
     /// Returns the cached splitter output for `(size, chunks)`, computing and
@@ -538,6 +582,31 @@ mod tests {
         assert_eq!(cache.len(), 5);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn themis_variants_share_chunk_orders_bit_for_bit() {
+        // Algorithm 1 never reads the intra-dimension policy, so the cache
+        // derives one Themis variant from the other's cached chunks — and the
+        // result must not differ in a single bit from scheduling directly.
+        let cache = ScheduleCache::new();
+        let request = CollectiveRequest::all_reduce_mib(256.0);
+        for preset in [
+            PresetTopology::SwSwSw3dHetero,
+            PresetTopology::RingFcRingSw4d,
+        ] {
+            let topo = preset.build();
+            for (first, second) in [
+                (SchedulerKind::ThemisFifo, SchedulerKind::ThemisScf),
+                (SchedulerKind::ThemisScf, SchedulerKind::ThemisFifo),
+            ] {
+                cache.clear();
+                cache.get_or_schedule(&topo, &request, 32, first).unwrap();
+                let derived = cache.get_or_schedule(&topo, &request, 32, second).unwrap();
+                let direct = second.build(32).schedule(&request, &topo).unwrap();
+                assert_eq!(*derived, direct, "{second} derived from {first}");
+            }
+        }
     }
 
     #[test]

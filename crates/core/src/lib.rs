@@ -48,6 +48,7 @@ pub mod intra_dim;
 pub mod json;
 pub mod latency_model;
 pub mod load_tracker;
+pub mod plan;
 pub mod schedule;
 pub mod scheduler;
 pub mod splitter;
@@ -61,6 +62,7 @@ pub use ideal::IdealEstimator;
 pub use intra_dim::IntraDimPolicy;
 pub use latency_model::LatencyModel;
 pub use load_tracker::DimLoadTracker;
+pub use plan::{CostTable, CostTableCache, OpCost, SimPlanCache};
 pub use schedule::{ChunkSchedule, CollectiveRequest, CollectiveSchedule, StageOp};
 pub use scheduler::{CollectiveScheduler, SchedulerKind};
 pub use splitter::Splitter;

@@ -1,0 +1,478 @@
+//! Precompiled simulation plans: memoised per-op cost tables.
+//!
+//! Scheduling is cached by [`crate::cache::ScheduleCache`]; the remaining
+//! per-cell setup cost of a campaign is on the *simulation* side — every cell
+//! used to re-derive the per-op `A_K + n × B_K` costs of its schedule from
+//! scratch, even when the schedule itself was a shared `Arc` from the cache.
+//! This module memoises that step too:
+//!
+//! * [`CostTable`] — the pre-computed [`OpCost`] of every `(chunk, stage)` op
+//!   of one schedule on one topology under one cost model, stored flat for
+//!   cache-friendly event-loop access.
+//! * [`CostTableCache`] — a thread-safe memo of `Arc<CostTable>`s keyed by
+//!   ([`CollectiveSchedule::cost_fingerprint`] ×
+//!   [`NetworkTopology::fingerprint`] × `CostModel::fingerprint`). The cost
+//!   fingerprint covers exactly the schedule content the latency model reads,
+//!   so schedules differing only in name/policy (Themis+FIFO vs Themis+SCF)
+//!   share one table.
+//! * [`SimPlanCache`] — the bundle the campaign runner shares across cells
+//!   and workers: one [`ScheduleCache`] plus one [`CostTableCache`]. A warm
+//!   plan serves repeated cells without re-scheduling *or* re-costing.
+//!
+//! Cost tables are derived data: building one from the same inputs always
+//! produces bit-identical floats, so cached and uncached simulations agree
+//! bit for bit (asserted across the integration suites).
+
+use crate::cache::ScheduleCache;
+use crate::error::ScheduleError;
+use crate::schedule::{ChunkSchedule, CollectiveSchedule};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use themis_collectives::CostModel;
+use themis_net::NetworkTopology;
+
+/// The pre-computed cost of one `(chunk, stage)` op — the Sec. 4.4 latency
+/// model evaluated once, consumed by both simulation engines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpCost {
+    /// Fixed delay `A_K` in nanoseconds (steps × step latency).
+    pub fixed_ns: f64,
+    /// Bandwidth-proportional transfer time `N_K × B_K` in nanoseconds.
+    pub transfer_ns: f64,
+    /// Bytes the NPU injects into the dimension for this op (`N_K`).
+    pub wire_bytes: f64,
+}
+
+impl OpCost {
+    /// Total predicted latency (`A_K + N_K × B_K`) in nanoseconds.
+    pub fn work_ns(&self) -> f64 {
+        self.fixed_ns + self.transfer_ns
+    }
+}
+
+/// Pre-computes the cost of every stage op of `chunk`, tracking the per-stage
+/// entry size inline. The single source of op costs for both simulation
+/// engines (via [`CostTable`]).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if a stage references a dimension outside the
+/// topology or the cost model rejects an entry size.
+pub fn chunk_op_costs(
+    topo: &NetworkTopology,
+    cost_model: &CostModel,
+    chunk: &ChunkSchedule,
+) -> Result<Vec<OpCost>, ScheduleError> {
+    let mut entry_bytes = chunk.initial_bytes;
+    let mut costs = Vec::with_capacity(chunk.stages.len());
+    for stage in &chunk.stages {
+        let spec = topo.dim(stage.dim)?;
+        let cost = cost_model.chunk_cost(spec, stage.op, entry_bytes)?;
+        costs.push(OpCost {
+            fixed_ns: cost.fixed_delay_ns,
+            transfer_ns: cost.transfer_ns,
+            wire_bytes: cost.wire_bytes,
+        });
+        entry_bytes = stage.op.resident_size_after(entry_bytes, spec.size());
+    }
+    Ok(costs)
+}
+
+/// The pre-computed [`OpCost`]s of one schedule on one topology, indexed by
+/// `(chunk, stage)`. Stored flat (one contiguous cost array plus per-chunk
+/// offsets) so the simulation inner loops read it without pointer chasing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostTable {
+    /// `offsets[chunk]..offsets[chunk + 1]` is chunk `chunk`'s cost range.
+    offsets: Vec<usize>,
+    costs: Vec<OpCost>,
+}
+
+impl CostTable {
+    /// Evaluates the cost model over every `(chunk, stage)` op of `schedule`
+    /// on `topo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] if a stage references a dimension outside the
+    /// topology or the cost model rejects an entry size.
+    pub fn build(
+        topo: &NetworkTopology,
+        cost_model: &CostModel,
+        schedule: &CollectiveSchedule,
+    ) -> Result<Self, ScheduleError> {
+        let chunks = schedule.chunks();
+        let total_ops: usize = chunks.iter().map(|c| c.stages.len()).sum();
+        let mut offsets = Vec::with_capacity(chunks.len() + 1);
+        let mut costs = Vec::with_capacity(total_ops);
+        offsets.push(0);
+        // Chunks that agree on (initial size, stage list) price identically —
+        // the splitter emits mostly-equal chunk sizes and schedules reuse a
+        // handful of dimension orders, so most chunks are copies of an
+        // already-evaluated representative. Copying the representative's rows
+        // is bit-identical to re-evaluating them (same floats, memcpy'd).
+        let mut representatives: Vec<(u64, usize)> = Vec::new();
+        for (index, chunk) in chunks.iter().enumerate() {
+            let size_bits = chunk.initial_bytes.to_bits();
+            let shared = representatives
+                .iter()
+                .find(|&&(bits, rep)| bits == size_bits && chunks[rep].stages == chunk.stages)
+                .map(|&(_, rep)| rep);
+            match shared {
+                Some(rep) => {
+                    let range = offsets[rep]..offsets[rep + 1];
+                    costs.extend_from_within(range);
+                }
+                None => {
+                    costs.extend(chunk_op_costs(topo, cost_model, chunk)?);
+                    representatives.push((size_bits, index));
+                }
+            }
+            offsets.push(costs.len());
+        }
+        Ok(CostTable { offsets, costs })
+    }
+
+    /// Number of chunks covered by the table.
+    pub fn num_chunks(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of `(chunk, stage)` ops covered by the table.
+    pub fn num_ops(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// The per-stage costs of one chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk >= self.num_chunks()`.
+    #[inline(always)]
+    pub fn chunk(&self, chunk: usize) -> &[OpCost] {
+        &self.costs[self.offsets[chunk]..self.offsets[chunk + 1]]
+    }
+
+    /// The cost of one `(chunk, stage)` op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range (the stage bound is checked for
+    /// real — in a flat layout an unchecked overflow would silently read the
+    /// next chunk's costs).
+    #[inline(always)]
+    pub fn cost(&self, chunk: usize, stage: usize) -> OpCost {
+        assert!(
+            stage < self.offsets[chunk + 1] - self.offsets[chunk],
+            "stage {stage} out of range for chunk {chunk}"
+        );
+        self.costs[self.offsets[chunk] + stage]
+    }
+
+    /// `true` if the table's shape matches `schedule` (same chunk count, same
+    /// per-chunk stage counts) — the structural precondition for executing
+    /// `schedule` against this table.
+    pub fn matches(&self, schedule: &CollectiveSchedule) -> bool {
+        self.num_chunks() == schedule.chunks().len()
+            && schedule
+                .chunks()
+                .iter()
+                .enumerate()
+                .all(|(index, chunk)| self.chunk(index).len() == chunk.stages.len())
+    }
+}
+
+/// The lookup key of a cached cost table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CostTableKey {
+    topology_fingerprint: u64,
+    schedule_cost_fingerprint: u64,
+    cost_model_fingerprint: u64,
+}
+
+/// A thread-safe memo of [`CostTable`]s, shared across the cells and workers
+/// of a campaign run (and across queued stream collectives within a cell).
+///
+/// Lookups are keyed by content fingerprints, so bit-identical schedules share
+/// one table regardless of which `Arc` they travel in, and Themis+FIFO /
+/// Themis+SCF cells (same chunk stage orders, different execution policy)
+/// share too. Building happens outside the lock; if two workers race on one
+/// key the first inserted table wins and both observe identical contents.
+#[derive(Debug, Default)]
+pub struct CostTableCache {
+    tables: Mutex<HashMap<CostTableKey, Arc<CostTable>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CostTableCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        CostTableCache::default()
+    }
+
+    /// Returns the cached cost table for `(schedule, topo, cost_model)`, or
+    /// evaluates the cost model over the schedule and memoises the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CostTable::build`] errors.
+    pub fn get_or_build(
+        &self,
+        topo: &NetworkTopology,
+        cost_model: &CostModel,
+        schedule: &CollectiveSchedule,
+    ) -> Result<Arc<CostTable>, ScheduleError> {
+        let key = CostTableKey {
+            topology_fingerprint: topo.fingerprint(),
+            schedule_cost_fingerprint: schedule.cost_fingerprint(),
+            cost_model_fingerprint: cost_model.fingerprint(),
+        };
+        if let Some(hit) = self
+            .tables
+            .lock()
+            .expect("cost table cache lock is never poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let table = Arc::new(CostTable::build(topo, cost_model, schedule)?);
+        Ok(Arc::clone(
+            self.tables
+                .lock()
+                .expect("cost table cache lock is never poisoned")
+                .entry(key)
+                .or_insert(table),
+        ))
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that evaluated the cost model.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct cost tables currently cached.
+    pub fn len(&self) -> usize {
+        self.tables
+            .lock()
+            .expect("cost table cache lock is never poisoned")
+            .len()
+    }
+
+    /// `true` if no table has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached table (the hit/miss counters keep counting).
+    pub fn clear(&self) {
+        self.tables
+            .lock()
+            .expect("cost table cache lock is never poisoned")
+            .clear();
+    }
+}
+
+/// The precompiled-plan bundle of a campaign execution: one [`ScheduleCache`]
+/// plus one [`CostTableCache`], shared across cells, worker threads and
+/// queued stream collectives.
+///
+/// A warm plan turns a repeated cell into two hash lookups — no scheduler
+/// run, no cost-model evaluation — before the event loop executes it.
+/// Results are bit-identical to the cold path either way.
+///
+/// ```
+/// use themis_core::{CollectiveRequest, SchedulerKind, SimPlanCache};
+/// use themis_collectives::CostModel;
+/// use themis_net::presets::PresetTopology;
+///
+/// # fn main() -> Result<(), themis_core::ScheduleError> {
+/// let plan = SimPlanCache::new();
+/// let topo = PresetTopology::Sw2d.build();
+/// let request = CollectiveRequest::all_reduce_mib(64.0);
+/// let schedule =
+///     plan.schedules()
+///         .get_or_schedule(&topo, &request, 16, SchedulerKind::ThemisScf)?;
+/// let first = plan
+///     .cost_tables()
+///     .get_or_build(&topo, &CostModel::new(), &schedule)?;
+/// let second = plan
+///     .cost_tables()
+///     .get_or_build(&topo, &CostModel::new(), &schedule)?;
+/// assert!(std::sync::Arc::ptr_eq(&first, &second));
+/// assert_eq!(plan.cost_tables().hits(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct SimPlanCache {
+    schedules: ScheduleCache,
+    cost_tables: CostTableCache,
+}
+
+impl SimPlanCache {
+    /// Creates an empty plan cache.
+    pub fn new() -> Self {
+        SimPlanCache::default()
+    }
+
+    /// Wraps an existing schedule cache (e.g. one warm-started from a
+    /// [`ScheduleCache::load`] dump) with an empty cost-table cache.
+    pub fn with_schedules(schedules: ScheduleCache) -> Self {
+        SimPlanCache {
+            schedules,
+            cost_tables: CostTableCache::new(),
+        }
+    }
+
+    /// The schedule memo.
+    pub fn schedules(&self) -> &ScheduleCache {
+        &self.schedules
+    }
+
+    /// The cost-table memo.
+    pub fn cost_tables(&self) -> &CostTableCache {
+        &self.cost_tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SchedulerKind;
+    use crate::CollectiveRequest;
+    use themis_net::presets::PresetTopology;
+
+    fn schedule_for(kind: SchedulerKind) -> (NetworkTopology, CollectiveSchedule) {
+        let topo = PresetTopology::SwSwSw3dHetero.build();
+        let request = CollectiveRequest::all_reduce_mib(128.0);
+        let schedule = kind.build(16).schedule(&request, &topo).unwrap();
+        (topo, schedule)
+    }
+
+    #[test]
+    fn cost_table_matches_per_chunk_evaluation() {
+        let (topo, schedule) = schedule_for(SchedulerKind::ThemisScf);
+        let model = CostModel::new();
+        let table = CostTable::build(&topo, &model, &schedule).unwrap();
+        assert!(table.matches(&schedule));
+        assert_eq!(table.num_chunks(), schedule.chunks().len());
+        let mut ops = 0;
+        for (index, chunk) in schedule.chunks().iter().enumerate() {
+            let direct = chunk_op_costs(&topo, &model, chunk).unwrap();
+            assert_eq!(table.chunk(index), direct.as_slice());
+            for (stage, cost) in direct.iter().enumerate() {
+                assert_eq!(table.cost(index, stage), *cost);
+                assert_eq!(cost.work_ns(), cost.fixed_ns + cost.transfer_ns);
+            }
+            ops += direct.len();
+        }
+        assert_eq!(table.num_ops(), ops);
+    }
+
+    #[test]
+    fn cache_hits_share_one_arc_and_count() {
+        let (topo, schedule) = schedule_for(SchedulerKind::Baseline);
+        let cache = CostTableCache::new();
+        let model = CostModel::new();
+        let a = cache.get_or_build(&topo, &model, &schedule).unwrap();
+        let b = cache.get_or_build(&topo, &model, &schedule).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn themis_fifo_and_scf_share_one_cost_table() {
+        // The two Themis variants emit the same chunk stage orders and differ
+        // only in the intra-dimension execution policy, which the cost model
+        // never reads.
+        let (topo, fifo) = schedule_for(SchedulerKind::ThemisFifo);
+        let (_, scf) = schedule_for(SchedulerKind::ThemisScf);
+        assert_eq!(fifo.cost_fingerprint(), scf.cost_fingerprint());
+        let cache = CostTableCache::new();
+        let model = CostModel::new();
+        let a = cache.get_or_build(&topo, &model, &fifo).unwrap();
+        let b = cache.get_or_build(&topo, &model, &scf).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        // The baseline orders dimensions differently: distinct fingerprint,
+        // distinct table.
+        let (_, baseline) = schedule_for(SchedulerKind::Baseline);
+        assert_ne!(baseline.cost_fingerprint(), scf.cost_fingerprint());
+        cache.get_or_build(&topo, &model, &baseline).unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn distinct_topologies_and_cost_models_miss_independently() {
+        let (topo, schedule) = schedule_for(SchedulerKind::ThemisScf);
+        let other_topo = PresetTopology::SwSwSw3dHomo.build();
+        let other_schedule = SchedulerKind::ThemisScf
+            .build(16)
+            .schedule(&CollectiveRequest::all_reduce_mib(128.0), &other_topo)
+            .unwrap();
+        let cache = CostTableCache::new();
+        let plain = CostModel::new();
+        let offload =
+            CostModel::with_offload(themis_collectives::OffloadConfig::typical_sharp_like())
+                .unwrap();
+        cache.get_or_build(&topo, &plain, &schedule).unwrap();
+        cache.get_or_build(&topo, &offload, &schedule).unwrap();
+        cache
+            .get_or_build(&other_topo, &plain, &other_schedule)
+            .unwrap();
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn build_rejects_out_of_range_dimensions() {
+        let (_, schedule) = schedule_for(SchedulerKind::ThemisScf);
+        let small = PresetTopology::Sw2d.build();
+        assert!(CostTable::build(&small, &CostModel::new(), &schedule).is_err());
+        let table_cache = CostTableCache::new();
+        assert!(table_cache
+            .get_or_build(&small, &CostModel::new(), &schedule)
+            .is_err());
+        // Errors do not poison the cache.
+        assert!(table_cache.is_empty());
+    }
+
+    #[test]
+    fn plan_cache_is_shared_safely_across_threads() {
+        let plan = SimPlanCache::new();
+        let topo = PresetTopology::FcRingSw3d.build();
+        let request = CollectiveRequest::all_reduce_mib(64.0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for kind in SchedulerKind::all() {
+                        let schedule = plan
+                            .schedules()
+                            .get_or_schedule(&topo, &request, 8, kind)
+                            .unwrap();
+                        plan.cost_tables()
+                            .get_or_build(&topo, &CostModel::new(), &schedule)
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        // Fifo and Scf share one table; the baseline has its own.
+        assert_eq!(plan.cost_tables().len(), 2);
+        assert_eq!(plan.schedules().len(), 3);
+    }
+}

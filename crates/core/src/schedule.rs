@@ -268,6 +268,39 @@ impl CollectiveSchedule {
         self.chunks.iter().map(|c| c.initial_bytes).sum()
     }
 
+    /// A fingerprint of everything the per-op *cost* of this schedule depends
+    /// on: the chunk sizes and the per-chunk stage lists (dimension + phase
+    /// op), hashed with FNV-1a. The scheduler name, intra-dimension policy and
+    /// request are deliberately excluded — they do not enter the Sec. 4.4
+    /// latency model, so schedules that differ only there (e.g. Themis+FIFO
+    /// vs Themis+SCF, which emit the same chunk stage orders) share one
+    /// fingerprint and therefore one cached cost table.
+    pub fn cost_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut mix = |value: u64| {
+            for byte in value.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.chunks.len() as u64);
+        for chunk in &self.chunks {
+            mix(chunk.initial_bytes.to_bits());
+            mix(chunk.stages.len() as u64);
+            for stage in &chunk.stages {
+                mix(stage.dim as u64);
+                mix(match stage.op {
+                    themis_collectives::PhaseOp::ReduceScatter => 0,
+                    themis_collectives::PhaseOp::AllGather => 1,
+                    themis_collectives::PhaseOp::AllToAll => 2,
+                });
+            }
+        }
+        hash
+    }
+
     /// Validates every chunk schedule (see [`ChunkSchedule::validate`]).
     ///
     /// # Errors

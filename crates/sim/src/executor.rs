@@ -4,7 +4,8 @@ use crate::error::SimError;
 use crate::options::SimOptions;
 use crate::pipeline::PipelineSimulator;
 use crate::stats::SimReport;
-use themis_core::{CollectiveRequest, CollectiveScheduler, SchedulerKind};
+use crate::workspace::SimWorkspace;
+use themis_core::{CollectiveRequest, CollectiveScheduler, SchedulerKind, SimPlanCache};
 use themis_net::NetworkTopology;
 
 /// Schedules and simulates collectives on a fixed topology.
@@ -66,8 +67,39 @@ impl<'a> CollectiveExecutor<'a> {
         self.run(scheduler.as_mut(), request)
     }
 
+    /// Like [`CollectiveExecutor::run_kind`], but scheduling through a shared
+    /// [`SimPlanCache`]: the schedule, the splitter output (shared across
+    /// scheduler kinds) and the per-op cost table are all served from the
+    /// plan when warm. Bit-identical to the uncached path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and simulation errors.
+    pub fn run_kind_planned(
+        &self,
+        kind: SchedulerKind,
+        chunks_per_collective: usize,
+        request: &CollectiveRequest,
+        plan: &SimPlanCache,
+        workspace: &mut SimWorkspace,
+    ) -> Result<SimReport, SimError> {
+        let schedule =
+            plan.schedules()
+                .get_or_schedule(self.topo, request, chunks_per_collective, kind)?;
+        let simulator = PipelineSimulator::new(self.topo, self.options);
+        let table =
+            plan.cost_tables()
+                .get_or_build(self.topo, simulator.cost_model(), &schedule)?;
+        simulator.run_prepared(&schedule, &table, workspace)
+    }
+
     /// Runs `request` under all three Table 3 scheduler configurations and
     /// returns the reports in `[Baseline, Themis+FIFO, Themis+SCF]` order.
+    ///
+    /// The kinds share one [`SimPlanCache`]: the chunk split is computed once
+    /// (via `CollectiveScheduler::schedule_presplit`) instead of once per
+    /// scheduler, and the two Themis variants share one cost table. Reports
+    /// are bit-identical to scheduling each kind from scratch.
     ///
     /// # Errors
     ///
@@ -77,9 +109,13 @@ impl<'a> CollectiveExecutor<'a> {
         chunks_per_collective: usize,
         request: &CollectiveRequest,
     ) -> Result<Vec<SimReport>, SimError> {
+        let plan = SimPlanCache::new();
+        let mut workspace = SimWorkspace::new();
         SchedulerKind::all()
             .iter()
-            .map(|kind| self.run_kind(*kind, chunks_per_collective, request))
+            .map(|kind| {
+                self.run_kind_planned(*kind, chunks_per_collective, request, &plan, &mut workspace)
+            })
             .collect()
     }
 }
@@ -105,6 +141,38 @@ mod tests {
         // Themis variants beat the baseline on this over-provisioned topology.
         assert!(reports[1].total_time_ns < reports[0].total_time_ns);
         assert!(reports[2].total_time_ns < reports[0].total_time_ns);
+    }
+
+    #[test]
+    fn run_all_kinds_matches_per_kind_scheduling_bit_for_bit() {
+        // The shared-plan path (pre-split reuse + cost-table sharing) must not
+        // change a single bit of any report.
+        let topo = PresetTopology::FcRingSw3d.build();
+        let executor = CollectiveExecutor::new(&topo);
+        let request = CollectiveRequest::all_reduce_mib(256.0);
+        let shared = executor.run_all_kinds(16, &request).unwrap();
+        for (report, kind) in shared.iter().zip(themis_core::SchedulerKind::all()) {
+            let direct = executor.run_kind(kind, 16, &request).unwrap();
+            assert_eq!(*report, direct, "{kind}");
+        }
+    }
+
+    #[test]
+    fn run_kind_planned_hits_a_warm_plan() {
+        let topo = PresetTopology::Sw2d.build();
+        let executor = CollectiveExecutor::new(&topo);
+        let request = CollectiveRequest::all_reduce_mib(64.0);
+        let plan = SimPlanCache::new();
+        let mut ws = SimWorkspace::new();
+        let first = executor
+            .run_kind_planned(SchedulerKind::ThemisScf, 8, &request, &plan, &mut ws)
+            .unwrap();
+        let second = executor
+            .run_kind_planned(SchedulerKind::ThemisScf, 8, &request, &plan, &mut ws)
+            .unwrap();
+        assert_eq!(first, second);
+        assert_eq!(plan.schedules().hits(), 1);
+        assert_eq!(plan.cost_tables().hits(), 1);
     }
 
     #[test]

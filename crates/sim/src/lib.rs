@@ -58,6 +58,7 @@ pub(crate) mod readyq;
 pub mod stats;
 pub mod stream;
 pub mod timeline;
+pub mod workspace;
 
 pub use engine::{EventQueue, ScheduledEvent};
 pub use error::SimError;
@@ -67,3 +68,4 @@ pub use pipeline::PipelineSimulator;
 pub use stats::{DimReport, SimReport};
 pub use stream::{CollectiveSpan, StreamEntry, StreamReport, StreamSimulator};
 pub use timeline::{TimelineEntry, TimelineReport, TimelineSimulator};
+pub use workspace::SimWorkspace;

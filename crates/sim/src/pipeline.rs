@@ -10,9 +10,11 @@
 
 use crate::error::SimError;
 use crate::options::SimOptions;
-use crate::readyq::{ReadyKey, ReadyQueue};
+use crate::readyq::ReadyKey;
 use crate::stats::{LabelInterner, RawOp, SimReport};
+use crate::workspace::SimWorkspace;
 use themis_collectives::CostModel;
+use themis_core::plan::CostTable;
 use themis_core::{enforced_intra_dim_order, CollectiveSchedule, IntraDimPolicy};
 use themis_net::NetworkTopology;
 
@@ -21,7 +23,7 @@ use themis_net::NetworkTopology;
 const STALL_GUARD: usize = 64;
 
 #[derive(Debug, Clone, Copy)]
-struct PendingOp {
+pub(crate) struct PendingOp {
     arrival: u64,
     chunk: usize,
     stage: usize,
@@ -41,52 +43,11 @@ impl ReadyKey for PendingOp {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct ActiveOp {
+pub(crate) struct ActiveOp {
     chunk: usize,
     stage: usize,
     remaining_work_ns: f64,
     start_ns: f64,
-}
-
-/// Pre-computed cost of one (chunk, stage) op, shared by the pipeline and
-/// stream engines.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct OpCost {
-    pub(crate) fixed_ns: f64,
-    pub(crate) transfer_ns: f64,
-    pub(crate) wire_bytes: f64,
-}
-
-impl OpCost {
-    pub(crate) fn work_ns(&self) -> f64 {
-        self.fixed_ns + self.transfer_ns
-    }
-}
-
-/// Pre-computes the cost of every stage op of `chunk`, tracking the per-stage
-/// entry size inline (no `stage_entry_bytes` allocation). The single source
-/// of op costs for both the pipeline and stream engines.
-#[inline(always)]
-pub(crate) fn chunk_op_costs(
-    topo: &NetworkTopology,
-    cost_model: &CostModel,
-    chunk: &themis_core::ChunkSchedule,
-) -> Result<Vec<OpCost>, SimError> {
-    let mut entry_bytes = chunk.initial_bytes;
-    let mut costs = Vec::with_capacity(chunk.stages.len());
-    for stage in &chunk.stages {
-        let spec = topo.dim(stage.dim)?;
-        let cost = cost_model
-            .chunk_cost(spec, stage.op, entry_bytes)
-            .map_err(themis_core::ScheduleError::from)?;
-        costs.push(OpCost {
-            fixed_ns: cost.fixed_delay_ns,
-            transfer_ns: cost.transfer_ns,
-            wire_bytes: cost.wire_bytes,
-        });
-        entry_bytes = stage.op.resident_size_after(entry_bytes, spec.size());
-    }
-    Ok(costs)
 }
 
 /// Simulates the execution of collective schedules on a fixed topology.
@@ -125,6 +86,11 @@ impl<'a> PipelineSimulator<'a> {
         &self.options
     }
 
+    /// The cost model ops are priced with.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
     /// Executes `schedule` and returns the simulation report.
     ///
     /// # Errors
@@ -132,17 +98,44 @@ impl<'a> PipelineSimulator<'a> {
     /// Returns a [`SimError`] if the options or schedule are invalid, or if the
     /// simulation fails to make progress.
     pub fn run(&self, schedule: &CollectiveSchedule) -> Result<SimReport, SimError> {
+        let table = CostTable::build(self.topo, &self.cost, schedule)?;
+        self.run_prepared(schedule, &table, &mut SimWorkspace::new())
+    }
+
+    /// Executes `schedule` against a pre-computed [`CostTable`] using the
+    /// caller's [`SimWorkspace`] scratch — the campaign fast path: the cost
+    /// model is not re-evaluated and the event-loop state reuses the
+    /// workspace's allocations. Bit-identical to [`PipelineSimulator::run`]
+    /// when `table` was built for this `(schedule, topology, cost model)`
+    /// triple.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the options or schedule are invalid, the
+    /// table's shape does not match the schedule, or the simulation fails to
+    /// make progress.
+    pub fn run_prepared(
+        &self,
+        schedule: &CollectiveSchedule,
+        table: &CostTable,
+        workspace: &mut SimWorkspace,
+    ) -> Result<SimReport, SimError> {
         self.options.validate()?;
         schedule.validate(self.topo)?;
+        if !table.matches(schedule) {
+            return Err(SimError::InvalidOptions {
+                reason: format!(
+                    "cost table shape ({} chunks / {} ops) does not match the schedule \
+                     ({} chunks)",
+                    table.num_chunks(),
+                    table.num_ops(),
+                    schedule.chunks().len()
+                ),
+            });
+        }
         let num_dims = self.topo.num_dims();
         let chunks = schedule.chunks();
         let policy = schedule.intra_dim_policy();
-
-        // Pre-compute the cost of every (chunk, stage) op.
-        let mut op_costs: Vec<Vec<OpCost>> = Vec::with_capacity(chunks.len());
-        for chunk in chunks {
-            op_costs.push(chunk_op_costs(self.topo, &self.cost, chunk)?);
-        }
 
         // Optional Sec. 4.6.2 enforced intra-dimension order.
         let enforced = if self.options.enforce_intra_dim_order {
@@ -150,7 +143,6 @@ impl<'a> PipelineSimulator<'a> {
         } else {
             None
         };
-        let mut order_ptr = vec![0usize; num_dims];
 
         let mut report = SimReport::empty(
             self.topo,
@@ -158,19 +150,21 @@ impl<'a> PipelineSimulator<'a> {
             self.options.activity_window_ns,
         );
 
-        let mut ready: Vec<ReadyQueue<PendingOp>> = (0..num_dims)
-            .map(|_| ReadyQueue::for_policy(policy, enforced.is_some()))
-            .collect();
-        let mut active: Vec<Vec<ActiveOp>> = vec![Vec::new(); num_dims];
-        // Time each dimension last finished executing an op; used to decide
-        // whether a newly started op pays the fixed delay `A_K` (Sec. 4.4
-        // charges `A_K` per dimension, not per chunk: chunks that pipeline
-        // back-to-back hide the per-step latency of their successors).
-        let mut last_busy_end = vec![f64::NEG_INFINITY; num_dims];
-        // Scratch buffers allocated once per run: the rate-based loop below is
-        // allocation-free per step.
-        let mut completions: Vec<(usize, ActiveOp)> = Vec::new();
-        let mut raw_ops: Vec<RawOp> = Vec::new();
+        workspace.prepare_pipeline(num_dims, policy, enforced.is_some());
+        let SimWorkspace {
+            pipe_ready: ready,
+            pipe_active: active,
+            // Time each dimension last finished executing an op; used to
+            // decide whether a newly started op pays the fixed delay `A_K`
+            // (Sec. 4.4 charges `A_K` per dimension, not per chunk: chunks
+            // that pipeline back-to-back hide the per-step latency of their
+            // successors).
+            pipe_last_busy_end: last_busy_end,
+            pipe_order_ptr: order_ptr,
+            pipe_completions: completions,
+            raw_ops,
+            ..
+        } = workspace;
         let mut arrival: u64 = 0;
         let mut now = 0.0f64;
         let mut outstanding = 0usize;
@@ -183,7 +177,7 @@ impl<'a> PipelineSimulator<'a> {
                     arrival,
                     chunk: chunk_idx,
                     stage: 0,
-                    cost_ns: op_costs[chunk_idx][0].transfer_ns,
+                    cost_ns: table.cost(chunk_idx, 0).transfer_ns,
                 });
                 arrival += 1;
             }
@@ -218,7 +212,7 @@ impl<'a> PipelineSimulator<'a> {
                         // FIFO/SCF pick of `IntraDimPolicy::pick`.
                         None => ready[dim].pop_next().expect("ready queue is non-empty"),
                     };
-                    let cost = op_costs[op.chunk][op.stage];
+                    let cost = table.cost(op.chunk, op.stage);
                     // Pay the fixed delay only when the dimension is (re)starting
                     // its pipeline after an idle period; back-to-back chunk ops
                     // overlap their step latencies with the predecessor's
@@ -242,7 +236,7 @@ impl<'a> PipelineSimulator<'a> {
 
             let any_active = active.iter().any(|a| !a.is_empty());
             if !any_active {
-                let pending: usize = ready.iter().map(ReadyQueue::len).sum();
+                let pending: usize = ready.iter().map(crate::readyq::ReadyQueue::len).sum();
                 return Err(SimError::Stalled {
                     at_ns: now,
                     outstanding_ops: pending,
@@ -252,7 +246,7 @@ impl<'a> PipelineSimulator<'a> {
             // Time until the earliest completion under processor sharing: an
             // op with `k` siblings progresses at rate 1/k.
             let mut delta = f64::INFINITY;
-            for dim_active in &active {
+            for dim_active in active.iter() {
                 let k = dim_active.len() as f64;
                 for op in dim_active {
                     delta = delta.min(op.remaining_work_ns * k);
@@ -312,7 +306,7 @@ impl<'a> PipelineSimulator<'a> {
             completions.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.chunk.cmp(&b.1.chunk)));
 
             for &(dim, op) in completions.iter() {
-                let cost = op_costs[op.chunk][op.stage];
+                let cost = table.cost(op.chunk, op.stage);
                 report.dims[dim].wire_bytes += cost.wire_bytes;
                 report.dims[dim].ops_executed += 1;
                 if self.options.record_op_log {
@@ -333,7 +327,7 @@ impl<'a> PipelineSimulator<'a> {
                         arrival,
                         chunk: op.chunk,
                         stage: next_stage,
-                        cost_ns: op_costs[op.chunk][next_stage].transfer_ns,
+                        cost_ns: table.cost(op.chunk, next_stage).transfer_ns,
                     });
                     arrival += 1;
                 }

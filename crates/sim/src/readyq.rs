@@ -79,6 +79,20 @@ impl<T: ReadyKey> ReadyQueue<T> {
         }
     }
 
+    /// Re-shapes the queue in place for a new run: clears it, reusing the
+    /// existing allocation when the storage layout already matches the
+    /// requested `(policy, enforced)` pair and swapping the variant otherwise.
+    /// Lets a reused [`crate::SimWorkspace`] amortise queue allocations across
+    /// cells.
+    pub(crate) fn reshape(&mut self, policy: IntraDimPolicy, enforced: bool) {
+        let wants_queue = enforced || policy == IntraDimPolicy::Fifo;
+        match (self, wants_queue) {
+            (ReadyQueue::Queue(queue), true) => queue.clear(),
+            (ReadyQueue::Heap(heap), false) => heap.clear(),
+            (slot, _) => *slot = ReadyQueue::for_policy(policy, enforced),
+        }
+    }
+
     /// Number of queued ops.
     pub(crate) fn len(&self) -> usize {
         match self {

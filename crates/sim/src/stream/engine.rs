@@ -10,12 +10,14 @@
 
 use crate::error::SimError;
 use crate::options::SimOptions;
-use crate::pipeline::{chunk_op_costs, push_presence, OpCost, PipelineSimulator};
+use crate::pipeline::{push_presence, PipelineSimulator};
 use crate::stats::{DimReport, LabelInterner, RawOp, SimReport};
 use crate::stream::queue::{ActiveOp, DimQueue, PendingOp, StreamEntry, VacancyTracker};
 use crate::stream::report::{CollectiveSpan, StreamReport};
+use crate::workspace::SimWorkspace;
 use std::sync::Arc;
 use themis_collectives::CostModel;
+use themis_core::plan::CostTable;
 use themis_core::{
     enforced_intra_dim_order, CollectiveSchedule, CollectiveScheduler, EnforcedOrder,
 };
@@ -90,10 +92,44 @@ impl<'a> StreamSimulator<'a> {
             schedule.validate(self.topo)?;
             schedules.push(Arc::new(schedule));
         }
+        let tables = self.build_tables(&schedules)?;
+        let mut workspace = SimWorkspace::new();
+        self.dispatch(entries, &order, &schedules, &tables, &mut workspace)
+    }
+
+    /// Evaluates the cost model over every (admission-ordered) schedule.
+    fn build_tables(
+        &self,
+        schedules: &[Arc<CollectiveSchedule>],
+    ) -> Result<Vec<Arc<CostTable>>, SimError> {
+        let cost_model = CostModel::new();
+        schedules
+            .iter()
+            .map(|schedule| {
+                Ok(Arc::new(CostTable::build(
+                    self.topo,
+                    &cost_model,
+                    schedule,
+                )?))
+            })
+            .collect()
+    }
+
+    /// Runs the policy selected by
+    /// [`SimOptions::cross_collective_overlap`] over admission-ordered
+    /// schedules and cost tables.
+    fn dispatch(
+        &self,
+        entries: &[StreamEntry],
+        order: &[usize],
+        schedules: &[Arc<CollectiveSchedule>],
+        tables: &[Arc<CostTable>],
+        workspace: &mut SimWorkspace,
+    ) -> Result<StreamReport, SimError> {
         if self.options.cross_collective_overlap {
-            self.run_overlapped(entries, &order, &schedules)
+            self.run_overlapped(entries, order, schedules, tables, workspace)
         } else {
-            self.run_sequential(entries, &order, &schedules)
+            self.run_sequential(entries, order, schedules, tables, workspace)
         }
     }
 
@@ -118,6 +154,68 @@ impl<'a> StreamSimulator<'a> {
         schedules: &[Arc<CollectiveSchedule>],
     ) -> Result<StreamReport, SimError> {
         self.options.validate()?;
+        let (order, ordered) = self.order_schedules(entries, schedules)?;
+        let tables = self.build_tables(&ordered)?;
+        let mut workspace = SimWorkspace::new();
+        self.dispatch(entries, &order, &ordered, &tables, &mut workspace)
+    }
+
+    /// Like [`StreamSimulator::run_prescheduled`], but also executing
+    /// pre-computed cost tables — `tables[i]` prices `schedules[i]` — with
+    /// the caller's reusable [`SimWorkspace`]. This is the full plan-cache
+    /// fast path: neither the scheduler nor the cost model runs, and the
+    /// event-loop state reuses the workspace's allocations. Bit-identical to
+    /// [`StreamSimulator::run`] with the scheduler and cost model that
+    /// produced the inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the schedule or table lists do not match the
+    /// entries, a schedule does not fit the topology, a table does not match
+    /// its schedule, or the simulation fails to make progress.
+    pub fn run_planned(
+        &self,
+        entries: &[StreamEntry],
+        schedules: &[Arc<CollectiveSchedule>],
+        tables: &[Arc<CostTable>],
+        workspace: &mut SimWorkspace,
+    ) -> Result<StreamReport, SimError> {
+        self.options.validate()?;
+        if tables.len() != schedules.len() {
+            return Err(SimError::InvalidOptions {
+                reason: format!(
+                    "{} cost tables provided for {} schedules",
+                    tables.len(),
+                    schedules.len()
+                ),
+            });
+        }
+        for (schedule, table) in schedules.iter().zip(tables) {
+            if !table.matches(schedule) {
+                return Err(SimError::InvalidOptions {
+                    reason: format!(
+                        "cost table shape ({} chunks) does not match its schedule ({} chunks)",
+                        table.num_chunks(),
+                        schedule.chunks().len()
+                    ),
+                });
+            }
+        }
+        let (order, ordered) = self.order_schedules(entries, schedules)?;
+        let ordered_tables: Vec<Arc<CostTable>> = order
+            .iter()
+            .map(|&index| Arc::clone(&tables[index]))
+            .collect();
+        self.dispatch(entries, &order, &ordered, &ordered_tables, workspace)
+    }
+
+    /// Validates `schedules` against the entry list and topology and returns
+    /// the admission order plus the schedules re-indexed by admission slot.
+    fn order_schedules(
+        &self,
+        entries: &[StreamEntry],
+        schedules: &[Arc<CollectiveSchedule>],
+    ) -> Result<(Vec<usize>, Vec<Arc<CollectiveSchedule>>), SimError> {
         if schedules.len() != entries.len() {
             return Err(SimError::InvalidOptions {
                 reason: format!(
@@ -133,11 +231,7 @@ impl<'a> StreamSimulator<'a> {
             schedules[index].validate(self.topo)?;
             ordered.push(Arc::clone(&schedules[index]));
         }
-        if self.options.cross_collective_overlap {
-            self.run_overlapped(entries, &order, &ordered)
-        } else {
-            self.run_sequential(entries, &order, &ordered)
-        }
+        Ok((order, ordered))
     }
 
     /// The sequential-timeline policy: each collective is simulated in
@@ -148,6 +242,8 @@ impl<'a> StreamSimulator<'a> {
         entries: &[StreamEntry],
         order: &[usize],
         schedules: &[Arc<CollectiveSchedule>],
+        tables: &[Arc<CostTable>],
+        workspace: &mut SimWorkspace,
     ) -> Result<StreamReport, SimError> {
         let simulator = PipelineSimulator::new(self.topo, self.options);
         let mut report = StreamReport::empty(
@@ -157,7 +253,8 @@ impl<'a> StreamSimulator<'a> {
         );
         let mut network_free_at = 0.0f64;
         for (slot, &index) in order.iter().enumerate() {
-            let sim_report = simulator.run(schedules[slot].as_ref())?;
+            let sim_report =
+                simulator.run_prepared(schedules[slot].as_ref(), &tables[slot], workspace)?;
             let issue_ns = entries[index].clamped_issue_ns();
             let start_ns = network_free_at.max(issue_ns);
             let finish_ns = start_ns + sim_report.total_time_ns;
@@ -194,20 +291,10 @@ impl<'a> StreamSimulator<'a> {
         entries: &[StreamEntry],
         order: &[usize],
         schedules: &[Arc<CollectiveSchedule>],
+        op_costs: &[Arc<CostTable>],
+        workspace: &mut SimWorkspace,
     ) -> Result<StreamReport, SimError> {
         let num_dims = self.topo.num_dims();
-        let cost_model = CostModel::new();
-
-        // Pre-compute the cost of every (collective, chunk, stage) op.
-        let mut op_costs: Vec<Vec<Vec<OpCost>>> = Vec::with_capacity(schedules.len());
-        for schedule in schedules {
-            let chunk_costs = schedule
-                .chunks()
-                .iter()
-                .map(|chunk| chunk_op_costs(self.topo, &cost_model, chunk))
-                .collect::<Result<Vec<_>, _>>()?;
-            op_costs.push(chunk_costs);
-        }
 
         let mut colls: Vec<CollState> = Vec::with_capacity(order.len());
         for (slot, &index) in order.iter().enumerate() {
@@ -242,20 +329,37 @@ impl<'a> StreamSimulator<'a> {
             dims_template(self.topo),
         );
 
-        let mut dims: Vec<DimQueue> = (0..num_dims)
-            .map(|_| {
-                DimQueue::new(colls.iter().enumerate().map(|(slot, state)| {
-                    (schedules[slot].intra_dim_policy(), state.enforced.is_some())
-                }))
-            })
-            .collect();
+        workspace.prepare_stream(colls.len());
+        let SimWorkspace {
+            stream_dims: dims,
+            stream_completions: completions,
+            coll_active,
+            coll_busy_on_dim,
+            coll_on_dim,
+            touched,
+            active_list,
+            ..
+        } = workspace;
+        dims.truncate(num_dims);
+        for queue in dims.iter_mut() {
+            queue.reset(colls.iter().enumerate().map(|(slot, state)| {
+                (schedules[slot].intra_dim_policy(), state.enforced.is_some())
+            }));
+        }
+        while dims.len() < num_dims {
+            dims.push(DimQueue::new(colls.iter().enumerate().map(
+                |(slot, state)| (schedules[slot].intra_dim_policy(), state.enforced.is_some()),
+            )));
+        }
+        // The tracker only needs per-(collective, dimension) op counts, so the
+        // stage dims stream straight into it without materialising a vector
+        // per collective.
         let mut vacancy = VacancyTracker::from_stage_dims(
             schedules.iter().map(|schedule| {
                 schedule
                     .chunks()
                     .iter()
                     .flat_map(|chunk| chunk.stages.iter().map(|stage| stage.dim))
-                    .collect::<Vec<_>>()
             }),
             num_dims,
         );
@@ -264,17 +368,10 @@ impl<'a> StreamSimulator<'a> {
         let mut outstanding = 0usize;
         let mut admit_ptr = 0usize;
         let mut stall_counter = 0usize;
-        // Per-segment accounting scratch, allocated once for the whole run.
-        // The flags are reset through `touched`/`active_list` so a segment
-        // costs O(ops and collectives in flight), not O(dims × collectives).
-        let mut coll_active = vec![false; colls.len()];
-        let mut coll_busy_on_dim = vec![false; colls.len()];
-        let mut coll_on_dim = vec![false; colls.len()];
-        let mut touched: Vec<usize> = Vec::with_capacity(colls.len());
-        let mut active_list: Vec<usize> = Vec::with_capacity(colls.len());
-        // Completion scratch, likewise reused so the merged event loop is
-        // allocation-free per step.
-        let mut completions: Vec<(usize, ActiveOp)> = Vec::new();
+        // Per-segment accounting scratch lives in the workspace (prepared
+        // above), so it is reused across *cells*, not just steps. The flags
+        // are reset through `touched`/`active_list` so a segment costs O(ops
+        // and collectives in flight), not O(dims × collectives).
 
         while admit_ptr < colls.len() || outstanding > 0 {
             // Event-driven admission: collectives whose issue time has arrived
@@ -299,7 +396,7 @@ impl<'a> StreamSimulator<'a> {
                             coll,
                             chunk: chunk_idx,
                             stage: 0,
-                            cost_ns: op_costs[coll][chunk_idx][0].transfer_ns,
+                            cost_ns: op_costs[coll].cost(chunk_idx, 0).transfer_ns,
                         });
                         arrival += 1;
                     }
@@ -346,7 +443,7 @@ impl<'a> StreamSimulator<'a> {
                         // the pop *is* its FIFO/SCF pick.
                         None => queue.pop_next(coll).expect("bucket is non-empty"),
                     };
-                    let cost = op_costs[op.coll][op.chunk][op.stage];
+                    let cost = op_costs[op.coll].cost(op.chunk, op.stage);
                     // Pay the fixed delay only when the dimension restarts
                     // after an idle period (same rule as the pipeline
                     // simulator; the dimension does not care which collective
@@ -393,7 +490,7 @@ impl<'a> StreamSimulator<'a> {
             // Time until the earliest completion under processor sharing,
             // capped by the next admission event.
             let mut delta = f64::INFINITY;
-            for queue in &dims {
+            for queue in dims.iter() {
                 let k = queue.active.len() as f64;
                 for op in &queue.active {
                     delta = delta.min(op.remaining_work_ns * k);
@@ -451,7 +548,7 @@ impl<'a> StreamSimulator<'a> {
                             touched.push(coll);
                         }
                     }
-                    for &coll in &touched {
+                    for &coll in touched.iter() {
                         let state = &mut colls[coll];
                         if coll_busy_on_dim[coll] {
                             state.dims[dim].busy_ns += delta;
@@ -471,7 +568,7 @@ impl<'a> StreamSimulator<'a> {
                 if active_colls >= 2 {
                     report.overlap_ns += delta;
                 }
-                for &coll in &active_list {
+                for &coll in active_list.iter() {
                     colls[coll].active_ns += delta;
                     if active_colls >= 2 {
                         colls[coll].overlapped_ns += delta;
@@ -515,7 +612,7 @@ impl<'a> StreamSimulator<'a> {
             });
 
             for &(dim, op) in completions.iter() {
-                let cost = op_costs[op.coll][op.chunk][op.stage];
+                let cost = op_costs[op.coll].cost(op.chunk, op.stage);
                 vacancy.complete(op.coll, dim);
                 report.dims[dim].wire_bytes += cost.wire_bytes;
                 report.dims[dim].ops_executed += 1;
@@ -545,7 +642,7 @@ impl<'a> StreamSimulator<'a> {
                         coll: op.coll,
                         chunk: op.chunk,
                         stage: next_stage,
-                        cost_ns: op_costs[op.coll][op.chunk][next_stage].transfer_ns,
+                        cost_ns: op_costs[op.coll].cost(op.chunk, next_stage).transfer_ns,
                     });
                     arrival += 1;
                 }

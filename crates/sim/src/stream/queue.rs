@@ -119,6 +119,30 @@ impl DimQueue {
         }
     }
 
+    /// Re-initialises the queue in place for a new run with the given bucket
+    /// layouts, reusing bucket allocations where the layout already matches
+    /// (lets a reused [`crate::SimWorkspace`] amortise the per-dimension
+    /// bucket vectors across cells).
+    pub fn reset<I>(&mut self, bucket_layouts: I)
+    where
+        I: IntoIterator<Item = (IntraDimPolicy, bool)>,
+    {
+        let mut len = 0;
+        for (policy, enforced) in bucket_layouts {
+            if len < self.ready.len() {
+                self.ready[len].reshape(policy, enforced);
+            } else {
+                self.ready.push(ReadyQueue::for_policy(policy, enforced));
+            }
+            len += 1;
+        }
+        self.ready.truncate(len);
+        self.ready_colls.clear();
+        self.ready_count = 0;
+        self.active.clear();
+        self.last_busy_end_ns = f64::NEG_INFINITY;
+    }
+
     /// Enqueues a ready op into its collective's bucket.
     pub fn push_ready(&mut self, op: PendingOp) {
         self.ready_count += 1;

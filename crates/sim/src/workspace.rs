@@ -1,0 +1,91 @@
+//! Reusable per-worker simulation scratch.
+//!
+//! The simulation engines' inner loops are allocation-free per *step*; a
+//! [`SimWorkspace`] makes their setup allocation-free per *cell* too. A
+//! campaign worker creates one workspace and threads it through every cell it
+//! executes: ready queues, active-op lists, completion scratch and the raw
+//! op-log buffer keep their allocations between runs and are merely
+//! re-initialised. Reuse never changes results — every buffer is reset to the
+//! exact state a fresh allocation would have — so reports stay bit-identical
+//! to workspace-free runs (asserted by the integration suites).
+
+use crate::pipeline::{ActiveOp, PendingOp};
+use crate::readyq::ReadyQueue;
+use crate::stats::RawOp;
+use crate::stream::queue as stream_queue;
+use themis_core::IntraDimPolicy;
+
+/// Reusable scratch buffers for both simulation engines.
+///
+/// Create one per worker thread (the buffers are not shared) and pass it to
+/// [`crate::PipelineSimulator::run_prepared`] /
+/// [`crate::StreamSimulator::run_planned`]. A default workspace is empty;
+/// buffers grow to the largest cell executed and stay allocated.
+#[derive(Debug, Default)]
+pub struct SimWorkspace {
+    // --- chunk-pipeline engine ---
+    pub(crate) pipe_ready: Vec<ReadyQueue<PendingOp>>,
+    pub(crate) pipe_active: Vec<Vec<ActiveOp>>,
+    pub(crate) pipe_last_busy_end: Vec<f64>,
+    pub(crate) pipe_order_ptr: Vec<usize>,
+    pub(crate) pipe_completions: Vec<(usize, ActiveOp)>,
+    pub(crate) raw_ops: Vec<RawOp>,
+    // --- stream engine ---
+    pub(crate) stream_dims: Vec<stream_queue::DimQueue>,
+    pub(crate) stream_completions: Vec<(usize, stream_queue::ActiveOp)>,
+    pub(crate) coll_active: Vec<bool>,
+    pub(crate) coll_busy_on_dim: Vec<bool>,
+    pub(crate) coll_on_dim: Vec<bool>,
+    pub(crate) touched: Vec<usize>,
+    pub(crate) active_list: Vec<usize>,
+}
+
+impl SimWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        SimWorkspace::default()
+    }
+
+    /// Re-initialises the chunk-pipeline buffers for a run over `num_dims`
+    /// dimensions under `(policy, enforced)`, reusing allocations.
+    pub(crate) fn prepare_pipeline(
+        &mut self,
+        num_dims: usize,
+        policy: IntraDimPolicy,
+        enforced: bool,
+    ) {
+        self.pipe_ready.truncate(num_dims);
+        for queue in &mut self.pipe_ready {
+            queue.reshape(policy, enforced);
+        }
+        while self.pipe_ready.len() < num_dims {
+            self.pipe_ready
+                .push(ReadyQueue::for_policy(policy, enforced));
+        }
+        for active in &mut self.pipe_active {
+            active.clear();
+        }
+        self.pipe_active.resize_with(num_dims, Vec::new);
+        self.pipe_last_busy_end.clear();
+        self.pipe_last_busy_end.resize(num_dims, f64::NEG_INFINITY);
+        self.pipe_order_ptr.clear();
+        self.pipe_order_ptr.resize(num_dims, 0);
+        self.pipe_completions.clear();
+        self.raw_ops.clear();
+    }
+
+    /// Re-initialises the stream-engine per-collective flag buffers for a run
+    /// over `num_colls` collectives (the per-dimension queues are reset by the
+    /// engine, which knows each collective's bucket layout).
+    pub(crate) fn prepare_stream(&mut self, num_colls: usize) {
+        self.coll_active.clear();
+        self.coll_active.resize(num_colls, false);
+        self.coll_busy_on_dim.clear();
+        self.coll_busy_on_dim.resize(num_colls, false);
+        self.coll_on_dim.clear();
+        self.coll_on_dim.resize(num_colls, false);
+        self.touched.clear();
+        self.active_list.clear();
+        self.stream_completions.clear();
+    }
+}

@@ -22,10 +22,18 @@ use crate::parallelism::ParallelismStrategy;
 use crate::stream::collective_stream;
 use std::fmt;
 use themis_collectives::CollectiveKind;
-use themis_core::{CollectiveRequest, IdealEstimator, SchedulerKind};
+use themis_core::{CollectiveRequest, IdealEstimator, SchedulerKind, SimPlanCache};
 use themis_net::{DataSize, NetworkTopology};
 use themis_sim::stream::{StreamEntry, StreamSimulator};
-use themis_sim::{CollectiveExecutor, SimOptions, StreamReport};
+use themis_sim::{CollectiveExecutor, SimOptions, SimWorkspace, StreamReport};
+
+/// The shared-cache context threaded through one training-iteration
+/// simulation: an optional warm [`SimPlanCache`] plus the reusable simulation
+/// workspace.
+struct PlanCtx<'a> {
+    plan: Option<&'a SimPlanCache>,
+    workspace: &'a mut SimWorkspace,
+}
 
 /// The communication scheduling policy used for a training run
 /// (the rows of Fig. 12).
@@ -273,6 +281,7 @@ impl TrainingSimulator {
         kind: CollectiveKind,
         bytes: f64,
         policy: CommunicationPolicy,
+        ctx: &mut PlanCtx<'_>,
     ) -> Result<(f64, f64), WorkloadError> {
         if bytes < 1.0 {
             return Ok((0.0, 1.0));
@@ -284,13 +293,13 @@ impl TrainingSimulator {
                 1.0,
             )),
             CommunicationPolicy::Baseline => {
-                self.run_scheduler(topo, &request, SchedulerKind::Baseline)
+                self.run_scheduler(topo, &request, SchedulerKind::Baseline, ctx)
             }
             CommunicationPolicy::ThemisFifo => {
-                self.run_scheduler(topo, &request, SchedulerKind::ThemisFifo)
+                self.run_scheduler(topo, &request, SchedulerKind::ThemisFifo, ctx)
             }
             CommunicationPolicy::ThemisScf => {
-                self.run_scheduler(topo, &request, SchedulerKind::ThemisScf)
+                self.run_scheduler(topo, &request, SchedulerKind::ThemisScf, ctx)
             }
         }
     }
@@ -300,9 +309,17 @@ impl TrainingSimulator {
         topo: &NetworkTopology,
         request: &CollectiveRequest,
         kind: SchedulerKind,
+        ctx: &mut PlanCtx<'_>,
     ) -> Result<(f64, f64), WorkloadError> {
         let executor = CollectiveExecutor::new(topo).with_options(self.sim_options);
-        let report = executor.run_kind(kind, self.config.chunks_per_collective, request)?;
+        let chunks = self.config.chunks_per_collective;
+        let report = match ctx.plan {
+            // Warm-cache path: schedule and cost table served from the shared
+            // plan, event-loop state from the reusable workspace.
+            // Bit-identical to the uncached run below.
+            Some(plan) => executor.run_kind_planned(kind, chunks, request, plan, ctx.workspace)?,
+            None => executor.run_kind(kind, chunks, request)?,
+        };
         Ok((report.total_time_ns, report.average_bw_utilization()))
     }
 
@@ -369,13 +386,58 @@ impl TrainingSimulator {
         topo: &NetworkTopology,
         policy: CommunicationPolicy,
     ) -> Result<IterationBreakdown, WorkloadError> {
+        let mut workspace = SimWorkspace::new();
+        self.simulate_iteration_ctx(
+            topo,
+            policy,
+            &mut PlanCtx {
+                plan: None,
+                workspace: &mut workspace,
+            },
+        )
+    }
+
+    /// Like [`TrainingSimulator::simulate_iteration`], but scheduling every
+    /// collective of the iteration through a shared [`SimPlanCache`] and
+    /// running the simulations on the caller's reusable [`SimWorkspace`].
+    /// Training sweeps that revisit the same (topology, collective, policy)
+    /// cells — e.g. the Fig. 4 / Fig. 12 figure suites — schedule and cost
+    /// each distinct collective once across the whole sweep. Results are
+    /// bit-identical to the uncached path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TrainingSimulator::simulate_iteration`].
+    pub fn simulate_iteration_planned(
+        &self,
+        topo: &NetworkTopology,
+        policy: CommunicationPolicy,
+        plan: &SimPlanCache,
+        workspace: &mut SimWorkspace,
+    ) -> Result<IterationBreakdown, WorkloadError> {
+        self.simulate_iteration_ctx(
+            topo,
+            policy,
+            &mut PlanCtx {
+                plan: Some(plan),
+                workspace,
+            },
+        )
+    }
+
+    fn simulate_iteration_ctx(
+        &self,
+        topo: &NetworkTopology,
+        policy: CommunicationPolicy,
+        ctx: &mut PlanCtx<'_>,
+    ) -> Result<IterationBreakdown, WorkloadError> {
         self.config.validate()?;
         match self.config.strategy {
-            ParallelismStrategy::DataParallel => self.simulate_data_parallel(topo, policy),
-            ParallelismStrategy::DlrmHybrid => self.simulate_dlrm_hybrid(topo, policy),
+            ParallelismStrategy::DataParallel => self.simulate_data_parallel(topo, policy, ctx),
+            ParallelismStrategy::DlrmHybrid => self.simulate_dlrm_hybrid(topo, policy, ctx),
             ParallelismStrategy::ModelParallelZero2 {
                 model_parallel_npus,
-            } => self.simulate_model_parallel_zero2(topo, policy, model_parallel_npus),
+            } => self.simulate_model_parallel_zero2(topo, policy, model_parallel_npus, ctx),
         }
     }
 
@@ -383,6 +445,7 @@ impl TrainingSimulator {
         &self,
         topo: &NetworkTopology,
         policy: CommunicationPolicy,
+        ctx: &mut PlanCtx<'_>,
     ) -> Result<IterationBreakdown, WorkloadError> {
         let batch = self.config.per_npu_minibatch as f64;
         let model = &self.config.model;
@@ -398,7 +461,7 @@ impl TrainingSimulator {
         // back-propagation.
         let gradient_bytes = model.total_parameters() as f64 * self.config.gradient_bytes_per_param;
         let (exposed_dp_comm_ns, comm_utilization) =
-            self.comm_time_ns(topo, CollectiveKind::AllReduce, gradient_bytes, policy)?;
+            self.comm_time_ns(topo, CollectiveKind::AllReduce, gradient_bytes, policy, ctx)?;
         Ok(IterationBreakdown {
             forward_compute_ns,
             backward_compute_ns,
@@ -412,6 +475,7 @@ impl TrainingSimulator {
         &self,
         topo: &NetworkTopology,
         policy: CommunicationPolicy,
+        ctx: &mut PlanCtx<'_>,
     ) -> Result<IterationBreakdown, WorkloadError> {
         let batch = self.config.per_npu_minibatch as f64;
         let model = &self.config.model;
@@ -434,6 +498,7 @@ impl TrainingSimulator {
             CollectiveKind::AllReduce,
             dense_gradient_bytes,
             policy,
+            ctx,
         )?;
 
         // Pooled-embedding All-To-All in the forward pass and its mirror in
@@ -441,7 +506,7 @@ impl TrainingSimulator {
         // non-overlapped remainder is exposed (Sec. 5.2 / Sec. 6.2).
         let a2a_bytes = model.activation_bytes_of_kind(LayerKind::Embedding) * batch;
         let (a2a_fwd_ns, _) =
-            self.comm_time_ns(topo, CollectiveKind::AllToAll, a2a_bytes, policy)?;
+            self.comm_time_ns(topo, CollectiveKind::AllToAll, a2a_bytes, policy, ctx)?;
         let a2a_bwd_ns = a2a_fwd_ns;
         let bottom_mlp_flops: f64 = model
             .layers()
@@ -474,6 +539,7 @@ impl TrainingSimulator {
         topo: &NetworkTopology,
         policy: CommunicationPolicy,
         model_parallel_npus: usize,
+        ctx: &mut PlanCtx<'_>,
     ) -> Result<IterationBreakdown, WorkloadError> {
         let batch = self.config.per_npu_minibatch as f64;
         let model = &self.config.model;
@@ -524,6 +590,7 @@ impl TrainingSimulator {
                 CollectiveKind::AllReduce,
                 activation_bytes,
                 policy,
+                ctx,
             )?;
             // Identical collectives: simulate one and scale by the layer count
             // and the two passes (forward + backward).
@@ -541,6 +608,7 @@ impl TrainingSimulator {
             CollectiveKind::AllReduce,
             shard_gradient_bytes,
             policy,
+            ctx,
         )?;
 
         // Duration-weighted utilisation over the exposed collectives.
@@ -567,6 +635,28 @@ mod tests {
     use super::*;
     use crate::workload::Workload;
     use themis_net::presets::PresetTopology;
+
+    #[test]
+    fn planned_iterations_match_uncached_iterations_bit_for_bit() {
+        // One warm plan + workspace across every (workload, policy) cell —
+        // including the sub-topology collectives of Transformer-1T's ZeRO-2
+        // strategy and DLRM's All-To-Alls — must not change a single bit.
+        let topo = PresetTopology::SwSwSw3dHetero.build();
+        let plan = SimPlanCache::new();
+        let mut workspace = SimWorkspace::new();
+        for workload in [Workload::ResNet152, Workload::Dlrm, Workload::Transformer1T] {
+            let simulator = TrainingSimulator::new(workload.config());
+            for policy in CommunicationPolicy::all() {
+                let direct = simulator.simulate_iteration(&topo, policy).unwrap();
+                let planned = simulator
+                    .simulate_iteration_planned(&topo, policy, &plan, &mut workspace)
+                    .unwrap();
+                assert_eq!(direct, planned, "{workload} under {policy:?}");
+            }
+        }
+        assert!(!plan.schedules().is_empty());
+        assert!(plan.cost_tables().hits() > 0);
+    }
 
     #[test]
     fn breakdown_arithmetic() {

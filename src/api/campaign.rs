@@ -8,7 +8,7 @@ use crate::api::report::CampaignReport;
 use crate::api::runner::{RunSpec, Runner};
 use crate::error::ThemisError;
 use themis_collectives::CollectiveKind;
-use themis_core::SchedulerKind;
+use themis_core::{SchedulerKind, SimPlanCache};
 use themis_net::presets::PresetTopology;
 use themis_net::DataSize;
 use themis_sim::SimOptions;
@@ -211,6 +211,26 @@ impl Campaign {
     pub fn run(&self, runner: &Runner) -> Result<CampaignReport, ThemisError> {
         let specs = self.expand()?;
         Ok(CampaignReport::new(runner.execute(&specs)?))
+    }
+
+    /// Like [`Campaign::run`], but executing through a caller-provided
+    /// [`SimPlanCache`]: several campaigns that sweep overlapping (topology,
+    /// collective, chunks, scheduler) cells — e.g. the figure-suite
+    /// experiments — share one warm cache of schedules and per-op cost
+    /// tables. Reports are bit-identical to [`Campaign::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Campaign::run`].
+    pub fn run_with_cache(
+        &self,
+        runner: &Runner,
+        plan: &SimPlanCache,
+    ) -> Result<CampaignReport, ThemisError> {
+        let specs = self.expand()?;
+        Ok(CampaignReport::new(
+            runner.execute_with_cache(&specs, plan)?,
+        ))
     }
 }
 

@@ -8,9 +8,10 @@ use std::sync::Arc;
 use themis_collectives::CollectiveKind;
 use themis_core::{
     CollectiveRequest, CollectiveSchedule, ScheduleCache, ScheduleError, SchedulerKind,
+    SimPlanCache,
 };
 use themis_net::DataSize;
-use themis_sim::{PipelineSimulator, SimReport};
+use themis_sim::{PipelineSimulator, SimReport, SimWorkspace};
 
 /// The paper's default chunk granularity (64 chunks per collective).
 pub const DEFAULT_CHUNKS: usize = 64;
@@ -180,6 +181,35 @@ impl Job {
         let schedule = self.schedule_on_cached(platform, cache)?;
         let report =
             PipelineSimulator::new(platform.topology(), platform.options()).run(&schedule)?;
+        Ok(RunResult {
+            config: self.config_on(platform),
+            report,
+        })
+    }
+
+    /// The full precompiled-plan fast path: the schedule comes from the
+    /// plan's [`ScheduleCache`], the per-op cost table from its
+    /// [`themis_core::CostTableCache`], and the event-loop state from the
+    /// caller's reusable [`SimWorkspace`]. This is what the campaign
+    /// [`crate::api::Runner`] executes for every cell unless caching is
+    /// disabled. Reports are bit-identical to [`Job::run_on`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and simulation errors as [`ThemisError`].
+    pub fn run_planned(
+        &self,
+        platform: &Platform,
+        plan: &SimPlanCache,
+        workspace: &mut SimWorkspace,
+    ) -> Result<RunResult, ThemisError> {
+        let schedule = self.schedule_on_cached(platform, plan.schedules())?;
+        let simulator = PipelineSimulator::new(platform.topology(), platform.options());
+        let table = plan
+            .cost_tables()
+            .get_or_build(platform.topology(), simulator.cost_model(), &schedule)
+            .map_err(ThemisError::from)?;
+        let report = simulator.run_prepared(&schedule, &table, workspace)?;
         Ok(RunResult {
             config: self.config_on(platform),
             report,

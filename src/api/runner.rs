@@ -13,7 +13,8 @@ use crate::error::ThemisError;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use themis_core::ScheduleCache;
+use themis_core::SimPlanCache;
+use themis_sim::SimWorkspace;
 
 /// One cell of an expanded campaign matrix: a [`Job`] bound to a [`Platform`].
 #[derive(Debug, Clone, PartialEq)]
@@ -38,20 +39,10 @@ impl RunSpec {
     pub fn execute(&self) -> Result<RunResult, ThemisError> {
         self.job.run_on(&self.platform)
     }
-
-    /// Executes the spec with schedules served through a shared
-    /// [`ScheduleCache`] (bit-identical to [`RunSpec::execute`]).
-    ///
-    /// # Errors
-    ///
-    /// Propagates scheduling and simulation errors as [`ThemisError`].
-    pub fn execute_cached(&self, cache: &ScheduleCache) -> Result<RunResult, ThemisError> {
-        self.job.run_on_cached(&self.platform, cache)
-    }
 }
 
 /// A self-contained campaign cell a [`Runner`] can dispatch: it executes on
-/// its own (optionally through a shared [`ScheduleCache`]) and produces one
+/// its own (optionally through a shared [`SimPlanCache`]) and produces one
 /// result. Implemented by [`RunSpec`] (single collectives) and
 /// [`StreamSpec`] (collective streams), so the worker-pool scaffolding and
 /// the sharding layer ([`crate::api::shard`]) are written once for both.
@@ -66,13 +57,18 @@ pub trait CampaignCell: Sync {
     /// Propagates scheduling and simulation errors as [`ThemisError`].
     fn execute(&self) -> Result<Self::Output, ThemisError>;
 
-    /// Executes the cell with schedules served through a shared
-    /// [`ScheduleCache`] (bit-identical to [`CampaignCell::execute`]).
+    /// Executes the cell through a shared precompiled [`SimPlanCache`]
+    /// (schedules *and* per-op cost tables memoised) on the worker's reusable
+    /// [`SimWorkspace`]. Bit-identical to [`CampaignCell::execute`].
     ///
     /// # Errors
     ///
     /// Propagates scheduling and simulation errors as [`ThemisError`].
-    fn execute_cached(&self, cache: &ScheduleCache) -> Result<Self::Output, ThemisError>;
+    fn execute_planned(
+        &self,
+        plan: &SimPlanCache,
+        workspace: &mut SimWorkspace,
+    ) -> Result<Self::Output, ThemisError>;
 
     /// A deterministic estimate of the cell's relative simulation cost, used
     /// by [`crate::api::shard::ShardStrategy::CostBalanced`] to balance
@@ -89,8 +85,12 @@ impl CampaignCell for RunSpec {
         RunSpec::execute(self)
     }
 
-    fn execute_cached(&self, cache: &ScheduleCache) -> Result<RunResult, ThemisError> {
-        RunSpec::execute_cached(self, cache)
+    fn execute_planned(
+        &self,
+        plan: &SimPlanCache,
+        workspace: &mut SimWorkspace,
+    ) -> Result<RunResult, ThemisError> {
+        self.job.run_planned(&self.platform, plan, workspace)
     }
 
     fn cost_estimate(&self) -> f64 {
@@ -109,8 +109,12 @@ impl CampaignCell for StreamSpec {
         StreamSpec::execute(self)
     }
 
-    fn execute_cached(&self, cache: &ScheduleCache) -> Result<StreamRunResult, ThemisError> {
-        StreamSpec::execute_cached(self, cache)
+    fn execute_planned(
+        &self,
+        plan: &SimPlanCache,
+        workspace: &mut SimWorkspace,
+    ) -> Result<StreamRunResult, ThemisError> {
+        self.job.run_planned(&self.platform, plan, workspace)
     }
 
     fn cost_estimate(&self) -> f64 {
@@ -123,6 +127,29 @@ impl CampaignCell for StreamSpec {
                 chunks * entry.kind().num_stages(dims) as f64 + entry.size().as_bytes_f64() * 1e-6
             })
             .sum()
+    }
+}
+
+/// Forwarding impl so shard execution can dispatch borrowed cells without
+/// deep-cloning every spec per run (each `RunSpec` clone copies its whole
+/// `Platform`, topology included).
+impl<C: CampaignCell> CampaignCell for &C {
+    type Output = C::Output;
+
+    fn execute(&self) -> Result<Self::Output, ThemisError> {
+        C::execute(self)
+    }
+
+    fn execute_planned(
+        &self,
+        plan: &SimPlanCache,
+        workspace: &mut SimWorkspace,
+    ) -> Result<Self::Output, ThemisError> {
+        C::execute_planned(self, plan, workspace)
+    }
+
+    fn cost_estimate(&self) -> f64 {
+        C::cost_estimate(self)
     }
 }
 
@@ -140,10 +167,13 @@ enum Backend {
 /// distribution beats static chunking when cell costs are skewed). Reports
 /// are bit-identical to the sequential backend's.
 ///
-/// By default every execution shares one [`ScheduleCache`] across its cells
-/// and workers: cells that agree on (topology structure, collective, chunks,
-/// scheduler) schedule once, and stream cells stop re-scheduling identical
-/// queued collectives. Schedulers are deterministic, so cached runs are
+/// By default every execution shares one precompiled [`SimPlanCache`] across
+/// its cells and workers: cells that agree on (topology structure,
+/// collective, chunks, scheduler) schedule once, cells whose schedules price
+/// identically (including Themis+FIFO vs Themis+SCF) share one per-op cost
+/// table, stream cells stop re-scheduling identical queued collectives, and
+/// every worker reuses one [`SimWorkspace`] across the cells it claims.
+/// Schedulers and the cost model are deterministic, so cached runs are
 /// bit-identical to uncached ones; disable with
 /// [`Runner::with_schedule_cache`] to measure or debug the uncached path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,7 +210,7 @@ impl Runner {
         }
     }
 
-    /// Enables or disables the shared per-execution [`ScheduleCache`]
+    /// Enables or disables the shared per-execution [`SimPlanCache`]
     /// (enabled by default; reports are bit-identical either way).
     #[must_use]
     pub fn with_schedule_cache(mut self, enabled: bool) -> Self {
@@ -188,7 +218,8 @@ impl Runner {
         self
     }
 
-    /// `true` if executions share a schedule cache across cells and workers.
+    /// `true` if executions share a precompiled plan cache across cells and
+    /// workers.
     pub fn caches_schedules(&self) -> bool {
         self.cache_schedules
     }
@@ -236,10 +267,11 @@ impl Runner {
         self.execute_cells(specs, None)
     }
 
-    /// Executes cells through a caller-provided [`ScheduleCache`] instead of
-    /// a per-execution one: the sharding layer uses this to warm-start
-    /// workers from a dumped cache file and to read hit/miss statistics after
-    /// the run. The cache is always consulted, regardless of
+    /// Executes cells through a caller-provided [`SimPlanCache`] instead of a
+    /// per-execution one: the sharding layer uses this to warm-start workers
+    /// from a dumped schedule-cache file and to read hit/miss statistics
+    /// after the run, and figure suites use it to share one warm plan across
+    /// several campaigns. The plan is always consulted, regardless of
     /// [`Runner::with_schedule_cache`] (reports are bit-identical either
     /// way).
     ///
@@ -249,9 +281,9 @@ impl Runner {
     pub fn execute_with_cache<C: CampaignCell>(
         &self,
         specs: &[C],
-        cache: &ScheduleCache,
+        plan: &SimPlanCache,
     ) -> Result<Vec<C::Output>, ThemisError> {
-        self.execute_cells(specs, Some(cache))
+        self.execute_cells(specs, Some(plan))
     }
 
     /// Shared dispatch of [`Runner::execute`] / [`Runner::execute_streams`] /
@@ -260,24 +292,26 @@ impl Runner {
     fn execute_cells<C: CampaignCell>(
         &self,
         specs: &[C],
-        warm: Option<&ScheduleCache>,
+        warm: Option<&SimPlanCache>,
     ) -> Result<Vec<C::Output>, ThemisError> {
         match warm {
-            Some(cache) => self.execute_tasks(specs, |spec| spec.execute_cached(cache)),
+            Some(plan) => self.execute_tasks(specs, |spec, ws| spec.execute_planned(plan, ws)),
             None if self.cache_schedules => {
-                let cache = ScheduleCache::new();
-                self.execute_tasks(specs, |spec| spec.execute_cached(&cache))
+                let plan = SimPlanCache::new();
+                self.execute_tasks(specs, |spec, ws| spec.execute_planned(&plan, ws))
             }
-            None => self.execute_tasks(specs, C::execute),
+            None => self.execute_tasks(specs, |spec, _ws| spec.execute()),
         }
     }
 
     /// Shared backend: runs `execute` over `items` sequentially or on the
-    /// worker pool, collecting results in item order.
+    /// worker pool, collecting results in item order. Every worker owns one
+    /// reusable [`SimWorkspace`], so event-loop allocations amortise across
+    /// the cells it claims.
     fn execute_tasks<T, R>(
         &self,
         items: &[T],
-        execute: impl Fn(&T) -> Result<R, ThemisError> + Sync,
+        execute: impl Fn(&T, &mut SimWorkspace) -> Result<R, ThemisError> + Sync,
     ) -> Result<Vec<R>, ThemisError>
     where
         T: Sync,
@@ -288,8 +322,12 @@ impl Runner {
             Backend::Parallel { .. } => self.worker_count(items.len()),
         };
         if workers <= 1 || items.len() <= 1 {
+            let mut workspace = SimWorkspace::new();
             // `collect` into a `Result` short-circuits at the first error.
-            return items.iter().map(execute).collect();
+            return items
+                .iter()
+                .map(|item| execute(item, &mut workspace))
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let errored = AtomicBool::new(false);
@@ -297,24 +335,28 @@ impl Runner {
             items.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    // Early exit: once any cell errors, stop claiming new
-                    // cells instead of executing the rest of the matrix and
-                    // discarding it.
-                    if errored.load(Ordering::Relaxed) {
-                        break;
+                scope.spawn(|| {
+                    let mut workspace = SimWorkspace::new();
+                    loop {
+                        // Early exit: once any cell errors, stop claiming new
+                        // cells instead of executing the rest of the matrix
+                        // and discarding it.
+                        if errored.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(index) else { break };
+                        let result = execute(item, &mut workspace);
+                        if result.is_err() {
+                            errored.store(true, Ordering::Relaxed);
+                        }
+                        // Each slot is written by exactly one worker; the
+                        // mutex only publishes the write to the collecting
+                        // thread.
+                        *slots[index]
+                            .lock()
+                            .expect("no panics while holding the slot lock") = Some(result);
                     }
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(item) = items.get(index) else { break };
-                    let result = execute(item);
-                    if result.is_err() {
-                        errored.store(true, Ordering::Relaxed);
-                    }
-                    // Each slot is written by exactly one worker; the mutex
-                    // only publishes the write to the collecting thread.
-                    *slots[index]
-                        .lock()
-                        .expect("no panics while holding the slot lock") = Some(result);
                 });
             }
         });
@@ -399,18 +441,36 @@ mod tests {
     #[test]
     fn execute_with_cache_matches_and_counts() {
         let specs = specs();
-        let cache = ScheduleCache::new();
+        let plan = SimPlanCache::new();
         let warm = Runner::parallel_threads(2)
-            .execute_with_cache(&specs, &cache)
+            .execute_with_cache(&specs, &plan)
             .unwrap();
         assert_eq!(warm, Runner::sequential().execute(&specs).unwrap());
-        assert_eq!((cache.hits(), cache.misses()), (0, 3));
-        // A second execution over the same cache is served entirely from it.
+        let schedules = plan.schedules();
+        assert_eq!((schedules.hits(), schedules.misses()), (0, 3));
+        // The two Themis variants share one cost table.
+        assert_eq!(plan.cost_tables().len(), 2);
+        // A second execution over the same plan is served entirely from it.
         let again = Runner::sequential()
-            .execute_with_cache(&specs, &cache)
+            .execute_with_cache(&specs, &plan)
             .unwrap();
         assert_eq!(again, warm);
-        assert_eq!((cache.hits(), cache.misses()), (3, 3));
+        assert_eq!((schedules.hits(), schedules.misses()), (3, 3));
+        assert_eq!(plan.cost_tables().misses(), 2);
+    }
+
+    #[test]
+    fn borrowed_cells_execute_like_owned_cells() {
+        let specs = specs();
+        let refs: Vec<&RunSpec> = specs.iter().collect();
+        let plan = SimPlanCache::new();
+        let borrowed = Runner::sequential()
+            .execute_with_cache(&refs, &plan)
+            .unwrap();
+        assert_eq!(borrowed, Runner::sequential().execute(&specs).unwrap());
+        for (spec, r) in specs.iter().zip(&refs) {
+            assert_eq!(spec.cost_estimate(), r.cost_estimate());
+        }
     }
 
     #[test]

@@ -26,7 +26,8 @@
 //!   [`Runner::execute_streams`] would have produced on the same matrix.
 //!
 //! Workers warm-start from a shared schedule-cache file
-//! ([`ScheduleCache::dump`] / [`ScheduleCache::load`]): cells repeated across
+//! ([`themis_core::ScheduleCache::dump`] / [`themis_core::ScheduleCache::load`],
+//! wrapped into a [`SimPlanCache`]): cells repeated across
 //! shards or across successive campaigns are scheduled once, and the merged
 //! report surfaces the aggregate hit/miss counters.
 //!
@@ -72,7 +73,7 @@ use crate::api::stream::{
 };
 use crate::api::Job;
 use crate::error::ThemisError;
-use themis_core::ScheduleCache;
+use themis_core::SimPlanCache;
 use themis_net::{DataSize, DimensionSpec, NetworkTopology, TopologyKind};
 use themis_sim::SimOptions;
 
@@ -327,19 +328,24 @@ impl ShardSpec {
         }
     }
 
-    /// Executes the shard with a private schedule cache.
+    /// Executes the shard with a private precompiled plan cache.
     ///
     /// # Errors
     ///
     /// Returns the first scheduling/simulation error in cell order.
     pub fn execute(&self, runner: &Runner) -> Result<ShardReport, ThemisError> {
-        self.execute_with_cache(runner, &ScheduleCache::new())
+        self.execute_with_cache(runner, &SimPlanCache::new())
     }
 
-    /// Executes the shard through a caller-provided [`ScheduleCache`] — load
-    /// a dumped cache file first to warm-start, dump afterwards to publish
-    /// this shard's schedules. The report's [`CacheStats`] count only this
-    /// execution's lookups (not earlier users of the same cache).
+    /// Executes the shard through a caller-provided [`SimPlanCache`] — wrap a
+    /// [`themis_core::ScheduleCache`] loaded from a dumped cache file
+    /// ([`SimPlanCache::with_schedules`]) to warm-start, dump
+    /// `plan.schedules()` afterwards to publish this shard's schedules. The
+    /// report's [`CacheStats`] count only this execution's schedule lookups
+    /// (not earlier users of the same plan).
+    ///
+    /// Cells are dispatched by reference: executing a shard repeatedly (e.g.
+    /// in a benchmark loop) does not re-clone its platforms and jobs per run.
     ///
     /// # Errors
     ///
@@ -347,18 +353,19 @@ impl ShardSpec {
     pub fn execute_with_cache(
         &self,
         runner: &Runner,
-        cache: &ScheduleCache,
+        plan: &SimPlanCache,
     ) -> Result<ShardReport, ThemisError> {
+        let cache = plan.schedules();
         let (hits_before, misses_before) = (cache.hits(), cache.misses());
         let results = match &self.cells {
             ShardCells::Campaign(cells) => {
-                let specs: Vec<RunSpec> = cells.iter().map(|(_, spec)| spec.clone()).collect();
-                let results = runner.execute_with_cache(&specs, cache)?;
+                let specs: Vec<&RunSpec> = cells.iter().map(|(_, spec)| spec).collect();
+                let results = runner.execute_with_cache(&specs, plan)?;
                 ShardResults::Campaign(cells.iter().map(|(i, _)| *i).zip(results).collect())
             }
             ShardCells::Stream(cells) => {
-                let specs: Vec<StreamSpec> = cells.iter().map(|(_, spec)| spec.clone()).collect();
-                let results = runner.execute_with_cache(&specs, cache)?;
+                let specs: Vec<&StreamSpec> = cells.iter().map(|(_, spec)| spec).collect();
+                let results = runner.execute_with_cache(&specs, plan)?;
                 ShardResults::Stream(cells.iter().map(|(i, _)| *i).zip(results).collect())
             }
         };

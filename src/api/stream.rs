@@ -46,13 +46,15 @@ use crate::api::training::TrainingJob;
 use crate::error::ThemisError;
 use std::sync::Arc;
 use themis_collectives::CollectiveKind;
+use themis_core::plan::CostTable;
 use themis_core::{
     CollectiveRequest, CollectiveSchedule, ScheduleCache, ScheduleError, SchedulerKind,
+    SimPlanCache,
 };
 use themis_net::presets::PresetTopology;
 use themis_net::DataSize;
 use themis_sim::stream::{StreamEntry, StreamSimulator};
-use themis_sim::{CollectiveSpan, SimOptions, StreamReport};
+use themis_sim::{CollectiveSpan, SimOptions, SimWorkspace, StreamReport};
 use themis_workloads::{collective_stream, CommunicationPolicy};
 
 /// One collective of a stream job: pattern, per-NPU size and the time the
@@ -298,6 +300,52 @@ impl StreamJob {
         })
     }
 
+    /// The full precompiled-plan fast path: every queued collective's
+    /// schedule comes from the plan's [`ScheduleCache`], its per-op cost
+    /// table from the plan's [`themis_core::CostTableCache`] (identical
+    /// queued collectives — e.g. repeated per-layer gradients — share one
+    /// schedule *and* one cost table), and the merged event loop runs on the
+    /// caller's reusable [`SimWorkspace`]. Reports are bit-identical to
+    /// [`StreamJob::run_on`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and simulation errors as [`ThemisError`].
+    pub fn run_planned(
+        &self,
+        platform: &Platform,
+        plan: &SimPlanCache,
+        workspace: &mut SimWorkspace,
+    ) -> Result<StreamRunResult, ThemisError> {
+        if self.chunks == 0 {
+            return Err(ThemisError::Schedule(ScheduleError::ZeroChunks));
+        }
+        let entries = self.stream_entries();
+        let simulator = StreamSimulator::new(platform.topology(), platform.options());
+        let cost_model = themis_collectives::CostModel::new();
+        let mut schedules: Vec<Arc<CollectiveSchedule>> = Vec::with_capacity(entries.len());
+        let mut tables: Vec<Arc<CostTable>> = Vec::with_capacity(entries.len());
+        for entry in &entries {
+            let schedule = plan.schedules().get_or_schedule(
+                platform.topology(),
+                &entry.request,
+                self.chunks,
+                self.scheduler,
+            )?;
+            tables.push(plan.cost_tables().get_or_build(
+                platform.topology(),
+                &cost_model,
+                &schedule,
+            )?);
+            schedules.push(schedule);
+        }
+        let report = simulator.run_planned(&entries, &schedules, &tables, workspace)?;
+        Ok(StreamRunResult {
+            config: self.config_on(platform),
+            report,
+        })
+    }
+
     /// The engine-level entries of this stream, in push order.
     fn stream_entries(&self) -> Vec<StreamEntry> {
         self.entries
@@ -381,16 +429,6 @@ impl StreamSpec {
     /// Propagates scheduling and simulation errors as [`ThemisError`].
     pub fn execute(&self) -> Result<StreamRunResult, ThemisError> {
         self.job.run_on(&self.platform)
-    }
-
-    /// Executes the spec with schedules served through a shared
-    /// [`ScheduleCache`] (bit-identical to [`StreamSpec::execute`]).
-    ///
-    /// # Errors
-    ///
-    /// Propagates scheduling and simulation errors as [`ThemisError`].
-    pub fn execute_cached(&self, cache: &ScheduleCache) -> Result<StreamRunResult, ThemisError> {
-        self.job.run_on_cached(&self.platform, cache)
     }
 }
 
@@ -539,6 +577,23 @@ impl StreamCampaign {
     pub fn run(&self, runner: &Runner) -> Result<StreamCampaignReport, ThemisError> {
         let specs = self.expand()?;
         Ok(StreamCampaignReport::new(runner.execute_streams(&specs)?))
+    }
+
+    /// Like [`StreamCampaign::run`], but executing through a caller-provided
+    /// [`SimPlanCache`] shared with other campaigns (bit-identical reports).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`StreamCampaign::run`].
+    pub fn run_with_cache(
+        &self,
+        runner: &Runner,
+        plan: &SimPlanCache,
+    ) -> Result<StreamCampaignReport, ThemisError> {
+        let specs = self.expand()?;
+        Ok(StreamCampaignReport::new(
+            runner.execute_with_cache(&specs, plan)?,
+        ))
     }
 }
 

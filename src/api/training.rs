@@ -3,6 +3,8 @@
 
 use crate::api::platform::Platform;
 use crate::error::ThemisError;
+use themis_core::SimPlanCache;
+use themis_sim::SimWorkspace;
 use themis_workloads::{CommunicationPolicy, IterationBreakdown, TrainingSimulator, Workload};
 
 /// A training-iteration job: one paper workload simulated under a
@@ -65,6 +67,26 @@ impl TrainingJob {
         Ok(TrainingSimulator::new(self.workload.config())
             .with_sim_options(platform.options())
             .simulate_iteration(platform.topology(), self.policy)?)
+    }
+
+    /// Like [`TrainingJob::run_on`], but scheduling every collective of the
+    /// iteration through a shared [`SimPlanCache`] on a reusable
+    /// [`SimWorkspace`] — training sweeps that revisit the same (platform,
+    /// policy) cells schedule and cost each distinct collective once across
+    /// the whole sweep. Results are bit-identical to [`TrainingJob::run_on`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TrainingJob::run_on`].
+    pub fn run_planned(
+        &self,
+        platform: &Platform,
+        plan: &SimPlanCache,
+        workspace: &mut SimWorkspace,
+    ) -> Result<IterationBreakdown, ThemisError> {
+        Ok(TrainingSimulator::new(self.workload.config())
+            .with_sim_options(platform.options())
+            .simulate_iteration_planned(platform.topology(), self.policy, plan, workspace)?)
     }
 }
 

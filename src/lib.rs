@@ -77,15 +77,15 @@ pub use error::ThemisError;
 pub use themis_collectives::{algorithm_for, AlgorithmKind, CollectiveKind, CostModel, PhaseOp};
 pub use themis_core::{
     BaselineScheduler, ChunkSchedule, CollectiveRequest, CollectiveSchedule, CollectiveScheduler,
-    IdealEstimator, IntraDimPolicy, ScheduleCache, ScheduleKey, SchedulerKind, StageOp,
-    ThemisConfig, ThemisScheduler,
+    CostTable, CostTableCache, IdealEstimator, IntraDimPolicy, ScheduleCache, ScheduleKey,
+    SchedulerKind, SimPlanCache, StageOp, ThemisConfig, ThemisScheduler,
 };
 pub use themis_net::{
     presets::PresetTopology, Bandwidth, DataSize, DimensionSpec, NetworkTopology, TopologyKind,
 };
 pub use themis_sim::{
-    CollectiveExecutor, CollectiveSpan, PipelineSimulator, SimOptions, SimReport, StreamEntry,
-    StreamReport, StreamSimulator, TimelineEntry, TimelineReport, TimelineSimulator,
+    CollectiveExecutor, CollectiveSpan, PipelineSimulator, SimOptions, SimReport, SimWorkspace,
+    StreamEntry, StreamReport, StreamSimulator, TimelineEntry, TimelineReport, TimelineSimulator,
 };
 pub use themis_workloads::{
     collective_stream, CommunicationPolicy, ComputeModel, IterationBreakdown, StreamedCollective,

@@ -12,12 +12,12 @@ pub use crate::error::ThemisError;
 
 pub use themis_collectives::{CollectiveKind, PhaseOp};
 pub use themis_core::{
-    CollectiveRequest, CollectiveSchedule, CollectiveScheduler, IntraDimPolicy, ScheduleCache,
-    SchedulerKind,
+    CollectiveRequest, CollectiveSchedule, CollectiveScheduler, CostTableCache, IntraDimPolicy,
+    ScheduleCache, SchedulerKind, SimPlanCache,
 };
 pub use themis_net::presets::PresetTopology;
 pub use themis_net::{Bandwidth, DataSize, DimensionSpec, NetworkTopology, TopologyKind};
-pub use themis_sim::{CollectiveSpan, SimOptions, SimReport, StreamReport};
+pub use themis_sim::{CollectiveSpan, SimOptions, SimReport, SimWorkspace, StreamReport};
 pub use themis_workloads::{
     CommunicationPolicy, IterationBreakdown, StreamedIteration, TrainingConfig, TrainingSimulator,
     Workload,

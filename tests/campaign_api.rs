@@ -99,6 +99,43 @@ fn cached_and_uncached_campaigns_are_bit_identical_across_all_presets() {
 }
 
 #[test]
+fn warm_plan_campaigns_are_bit_identical_across_all_presets_and_backends() {
+    // The precompiled-plan contract: serving schedules *and* per-op cost
+    // tables from one warm `SimPlanCache` — across repeated runs, both
+    // runner backends and every Table 3 scheduler on every preset topology —
+    // must not move a single bit of any report.
+    let campaign = Campaign::new()
+        .topologies(PresetTopology::all())
+        .sizes_mib([96.0])
+        .chunk_counts([16]);
+    let reference = campaign
+        .run(&Runner::parallel_threads(4).with_schedule_cache(false))
+        .unwrap();
+    let plan = SimPlanCache::new();
+    for runner in [Runner::sequential(), Runner::parallel_threads(4)] {
+        for _ in 0..2 {
+            let warm = campaign.run_with_cache(&runner, &plan).unwrap();
+            assert_eq!(warm, reference);
+        }
+    }
+    assert!(plan.schedules().hits() > 0);
+    assert!(plan.cost_tables().hits() > 0);
+    // Themis+FIFO and Themis+SCF share one cost table per (topology, size),
+    // so the plan holds fewer tables than schedules.
+    assert!(plan.cost_tables().len() < plan.schedules().len());
+
+    // The per-cell planned path agrees with the one-shot path too.
+    let mut workspace = SimWorkspace::new();
+    for spec in campaign.expand().unwrap() {
+        let planned = spec
+            .job
+            .run_planned(&spec.platform, &plan, &mut workspace)
+            .unwrap();
+        assert_eq!(planned, spec.job.run_on(&spec.platform).unwrap());
+    }
+}
+
+#[test]
 fn disabling_the_op_log_only_drops_the_trace() {
     let campaign = small_campaign();
     let with_log = campaign.run(&Runner::sequential()).unwrap();

@@ -169,6 +169,45 @@ fn shard_roundtrip_is_lossless_for_every_preset_platform() {
 }
 
 #[test]
+fn sharded_execution_through_one_warm_plan_matches_the_unsharded_run() {
+    // Every shard of both matrix kinds served from one warm `SimPlanCache`
+    // (shared schedules + cost tables) must still merge to the bit-exact
+    // unsharded report — and a second pass over the same plan is served
+    // entirely from it.
+    let specs = campaign().expand().unwrap();
+    let direct = CampaignReport::new(Runner::sequential().execute(&specs).unwrap());
+    let stream_specs = stream_campaign().expand().unwrap();
+    let stream_direct =
+        StreamCampaignReport::new(Runner::sequential().execute_streams(&stream_specs).unwrap());
+
+    let plan = SimPlanCache::new();
+    let runner = Runner::sequential();
+    for strategy in [ShardStrategy::RoundRobin, ShardStrategy::CostBalanced] {
+        let shard_plan = ShardPlan::from_cells(strategy, &specs, 3);
+        let shards = ShardSpec::campaign_shards(&specs, &shard_plan).unwrap();
+        let partials: Vec<ShardReport> = shards
+            .iter()
+            .map(|shard| shard.execute_with_cache(&runner, &plan).unwrap())
+            .collect();
+        assert_eq!(merge_reports(&partials).unwrap().campaign(), Some(&direct));
+
+        let stream_shard_plan = ShardPlan::from_cells(strategy, &stream_specs, 3);
+        let stream_shards = ShardSpec::stream_shards(&stream_specs, &stream_shard_plan).unwrap();
+        let stream_partials: Vec<ShardReport> = stream_shards
+            .iter()
+            .map(|shard| shard.execute_with_cache(&runner, &plan).unwrap())
+            .collect();
+        assert_eq!(
+            merge_reports(&stream_partials).unwrap().stream(),
+            Some(&stream_direct)
+        );
+    }
+    // The second strategy pass hit the warm plan for every cell.
+    assert!(plan.schedules().hits() > 0);
+    assert!(plan.cost_tables().hits() > 0);
+}
+
+#[test]
 fn dumped_cache_warm_starts_a_second_campaign_with_nonzero_hits() {
     let specs = campaign().expand().unwrap();
     let plan = ShardPlan::round_robin(specs.len(), 2);
@@ -176,7 +215,7 @@ fn dumped_cache_warm_starts_a_second_campaign_with_nonzero_hits() {
     let runner = Runner::sequential();
 
     // First campaign: cold cache, dump the schedules it built.
-    let cold = ScheduleCache::new();
+    let cold = SimPlanCache::new();
     let first: Vec<ShardReport> = shards
         .iter()
         .map(|shard| shard.execute_with_cache(&runner, &cold).unwrap())
@@ -184,13 +223,14 @@ fn dumped_cache_warm_starts_a_second_campaign_with_nonzero_hits() {
     let first_merged = merge_reports(&first).unwrap();
     assert!(first_merged.cache().misses > 0);
     assert_eq!(first_merged.cache().lookups() as usize, specs.len());
-    let dump = cold.dump();
+    let dump = cold.schedules().dump();
 
     // Second campaign: load the dump into a fresh cache. Every schedule is
     // served from the file — zero misses, nonzero hits — and the report is
     // unchanged.
     let warm = ScheduleCache::new();
     warm.load(&dump).unwrap();
+    let warm = SimPlanCache::with_schedules(warm);
     let second: Vec<ShardReport> = shards
         .iter()
         .map(|shard| shard.execute_with_cache(&runner, &warm).unwrap())
@@ -211,7 +251,7 @@ fn stream_shards_share_schedules_through_a_dumped_cache() {
     let shards = ShardSpec::stream_shards(&specs, &plan).unwrap();
     let runner = Runner::sequential();
 
-    let cold = ScheduleCache::new();
+    let cold = SimPlanCache::new();
     let first: Vec<ShardReport> = shards
         .iter()
         .map(|shard| shard.execute_with_cache(&runner, &cold).unwrap())
@@ -219,7 +259,8 @@ fn stream_shards_share_schedules_through_a_dumped_cache() {
     let reference = merge_reports(&first).unwrap();
 
     let warm = ScheduleCache::new();
-    assert!(warm.load(&cold.dump()).unwrap() > 0);
+    assert!(warm.load(&cold.schedules().dump()).unwrap() > 0);
+    let warm = SimPlanCache::with_schedules(warm);
     let second: Vec<ShardReport> = shards
         .iter()
         .map(|shard| shard.execute_with_cache(&runner, &warm).unwrap())

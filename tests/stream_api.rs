@@ -139,6 +139,37 @@ fn cached_and_uncached_stream_campaigns_are_bit_identical_across_all_presets() {
 }
 
 #[test]
+fn warm_plan_stream_campaigns_are_bit_identical_across_all_presets() {
+    // The precompiled-plan contract for streams: queued collectives served
+    // from a warm `SimPlanCache` (shared schedules *and* shared cost tables)
+    // across repeated runs and both backends must not move a single bit.
+    let campaign = StreamCampaign::new()
+        .topologies(PresetTopology::all())
+        .stream(gradient_stream());
+    let reference = campaign
+        .run(&Runner::parallel_threads(4).with_schedule_cache(false))
+        .unwrap();
+    let plan = SimPlanCache::new();
+    for runner in [Runner::sequential(), Runner::parallel_threads(4)] {
+        for _ in 0..2 {
+            let warm = campaign.run_with_cache(&runner, &plan).unwrap();
+            assert_eq!(warm, reference);
+        }
+    }
+    assert!(plan.cost_tables().hits() > 0);
+
+    // The per-cell planned path agrees with the one-shot path too.
+    let mut workspace = SimWorkspace::new();
+    for spec in campaign.expand().unwrap() {
+        let planned = spec
+            .job
+            .run_planned(&spec.platform, &plan, &mut workspace)
+            .unwrap();
+        assert_eq!(planned, spec.job.run_on(&spec.platform).unwrap());
+    }
+}
+
+#[test]
 fn cached_stream_jobs_reuse_schedules_for_identical_collectives() {
     // A stream of identical gradients schedules exactly once per
     // (topology, scheduler, size) with the cache — and still matches the
