@@ -1,0 +1,381 @@
+//! Resident-service bench: request latency against a warm `themis-serve`
+//! daemon vs cold per-request processes.
+//!
+//! PR 5 made warm plans fast *within* a process; the service layer keeps them
+//! warm *across* requests. This bench quantifies that: it spawns one real
+//! `themis-serve` process, sends the same campaign request repeatedly over
+//! stdin-JSONL, and compares the per-request latency against spawning a
+//! fresh process per request (what every run cost before the daemon
+//! existed).
+//!
+//! Before timing anything, the harness asserts the service layer's
+//! correctness contract end-to-end over real processes:
+//!
+//! * the daemon's campaign response is **bit-identical** to the direct
+//!   in-process `Runner::execute` on the same specs;
+//! * the second identical request reports cell-cache hits > 0 (the resident
+//!   cache actually served it);
+//! * an orchestrated 2-shard `sweep` request — with one shard's first
+//!   attempt deterministically failed via the worker's `--fail-after` hook
+//!   and retried — merges bit-identically to the unsharded run;
+//! * a second daemon warm-started from the first daemon's published
+//!   `--cache` file reports schedule-cache hits on its *first* request
+//!   (cross-process reuse).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p themis-bench --bin bench-serve -- [--smoke] [output.json]
+//! ```
+//!
+//! Emits a `BENCH_serve.json` report. With `--smoke` (CI) it also writes the
+//! `SERVE_*.json` artifacts: the second campaign response, the sweep
+//! response, and the published schedule-cache file.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use themis::api::json::Json;
+use themis::api::serve::campaign_cells_to_json;
+use themis::prelude::*;
+use themis_bench::harness::{measure, BenchStat};
+use themis_bench::report::Table;
+
+fn campaign(smoke: bool) -> Campaign {
+    // The op log is off so responses carry results, not multi-megabyte op
+    // traces: with it on, JSON render/parse dominates both modes and the
+    // bench would measure serialization instead of the resident caches.
+    let base = Campaign::new().sim_options(SimOptions::default().with_op_log(false));
+    if smoke {
+        base.topologies([PresetTopology::Sw2d])
+            .sizes_mib([16.0, 32.0])
+            .chunk_counts([8])
+    } else {
+        base.topologies(PresetTopology::next_generation())
+            .sizes_mib([64.0, 256.0])
+            .chunk_counts([64])
+    }
+}
+
+/// One stdin/stdout JSONL connection to a spawned `themis-serve` process.
+struct ServeClient {
+    child: Child,
+    stdin: ChildStdin,
+    reader: BufReader<ChildStdout>,
+    next_id: usize,
+}
+
+impl ServeClient {
+    /// Spawns a daemon (stdio mode) from the sibling `themis-serve` binary.
+    fn spawn(serve_bin: &Path, worker: &Path, work_dir: &Path, cache: Option<&Path>) -> Self {
+        let mut cmd = Command::new(serve_bin);
+        cmd.arg("--worker")
+            .arg(worker)
+            .arg("--work-dir")
+            .arg(work_dir)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        if let Some(cache) = cache {
+            cmd.arg("--cache").arg(cache);
+        }
+        let mut child = cmd.spawn().unwrap_or_else(|err| {
+            die(&format!(
+                "cannot spawn `{}`: {err} (build the workspace first: cargo build --release)",
+                serve_bin.display()
+            ))
+        });
+        let stdin = child.stdin.take().expect("stdin was piped");
+        let reader = BufReader::new(child.stdout.take().expect("stdout was piped"));
+        ServeClient {
+            child,
+            stdin,
+            reader,
+            next_id: 1,
+        }
+    }
+
+    /// Sends one request object (fields beyond `id` supplied by the caller)
+    /// and returns the parsed response, asserting `status == "ok"`.
+    fn request(&mut self, mut fields: Vec<(&'static str, Json)>) -> Json {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut all = vec![("id", Json::Num(id as f64))];
+        all.append(&mut fields);
+        let line = Json::obj(all).render();
+        self.stdin
+            .write_all(line.as_bytes())
+            .and_then(|()| self.stdin.write_all(b"\n"))
+            .and_then(|()| self.stdin.flush())
+            .unwrap_or_else(|err| die(&format!("request write failed: {err}")));
+        let mut response = String::new();
+        self.reader
+            .read_line(&mut response)
+            .unwrap_or_else(|err| die(&format!("response read failed: {err}")));
+        let response = Json::parse(&response)
+            .unwrap_or_else(|err| die(&format!("unparseable response: {err}")));
+        let status = response
+            .field("status")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|err| die(&format!("response without status: {err}")));
+        if status != "ok" {
+            die(&format!("request failed: {response:?}"));
+        }
+        response
+    }
+
+    /// Sends `shutdown` and reaps the process.
+    fn shutdown(mut self) {
+        self.request(vec![("kind", Json::Str("shutdown".to_string()))]);
+        let _ = self.child.wait();
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("bench-serve: {message}");
+    std::process::exit(1);
+}
+
+/// The `result` field of a campaign response, parsed back into a report.
+fn response_report(response: &Json) -> CampaignReport {
+    let rendered = response
+        .field("result")
+        .unwrap_or_else(|err| die(&format!("response without result: {err}")))
+        .render();
+    CampaignReport::from_json(&rendered)
+        .unwrap_or_else(|err| die(&format!("unparseable campaign result: {err}")))
+}
+
+fn cache_counter(response: &Json, pool: &str, counter: &str) -> usize {
+    response
+        .field("cache")
+        .and_then(|cache| cache.field(pool))
+        .and_then(|pool| pool.field(counter))
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|err| die(&format!("response without cache.{pool}.{counter}: {err}")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let output = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let (warmup, iterations) = if smoke { (0, 1) } else { (2, 10) };
+
+    let exe_dir: PathBuf = std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(Path::to_path_buf))
+        .unwrap_or_else(|| die("cannot locate the build directory"));
+    let serve_bin = exe_dir.join("themis-serve");
+    let worker_bin = exe_dir.join("shard-worker");
+    for bin in [&serve_bin, &worker_bin] {
+        if !bin.exists() {
+            die(&format!(
+                "`{}` is missing — build it first (cargo build --release -p themis-bench)",
+                bin.display()
+            ));
+        }
+    }
+    let scratch = std::env::temp_dir().join(format!("bench-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch)
+        .unwrap_or_else(|err| die(&format!("cannot create {}: {err}", scratch.display())));
+    let cache_file = scratch.join("schedules.json");
+
+    let specs = campaign(smoke)
+        .expand()
+        .expect("benchmark campaign is valid");
+    let cells = specs.len();
+    let reference = CampaignReport::new(
+        Runner::sequential()
+            .execute(&specs)
+            .expect("benchmark campaign is valid"),
+    );
+    let campaign_fields = || {
+        vec![
+            ("kind", Json::Str("campaign".to_string())),
+            ("cells", campaign_cells_to_json(&specs)),
+        ]
+    };
+
+    // --- Correctness gates over real processes -------------------------------
+    let mut resident = ServeClient::spawn(&serve_bin, &worker_bin, &scratch, Some(&cache_file));
+
+    // Gate 1: the daemon's campaign response is bit-identical to the direct
+    // in-process path.
+    let first = resident.request(campaign_fields());
+    assert_eq!(
+        response_report(&first),
+        reference,
+        "daemon campaign response diverged from Runner::execute"
+    );
+
+    // Gate 2: the second identical request is served from the resident cell
+    // cache (hits > 0, no misses) and stays bit-identical.
+    let second = resident.request(campaign_fields());
+    assert_eq!(
+        response_report(&second),
+        reference,
+        "second daemon response diverged from the first"
+    );
+    let cell_hits = cache_counter(&second, "cells", "hits");
+    assert_eq!(
+        cell_hits, cells,
+        "second identical request should hit the resident cache on every cell"
+    );
+    assert_eq!(cache_counter(&second, "cells", "misses"), 0);
+
+    // Gate 3: an orchestrated 2-shard sweep with shard 0's first attempt
+    // deterministically failed (and retried) merges bit-identically.
+    let sweep = resident.request(vec![
+        ("kind", Json::Str("sweep".to_string())),
+        ("cells", Json::Str("campaign".to_string())),
+        ("entries", campaign_cells_to_json(&specs)),
+        ("shards", Json::Num(2.0)),
+        ("max_attempts", Json::Num(3.0)),
+        (
+            "fail_first_attempt",
+            Json::Arr(vec![Json::obj([
+                ("shard", Json::Num(0.0)),
+                ("after_cells", Json::Num(1.0)),
+            ])]),
+        ),
+    ]);
+    let sweep_result = sweep.field("result").expect("ok responses carry a result");
+    let merged_rendered = sweep_result
+        .field("merged")
+        .expect("sweep results carry the merged report")
+        .render();
+    let merged = MergedReport::from_json(&merged_rendered)
+        .unwrap_or_else(|err| die(&format!("unparseable merged report: {err}")));
+    assert_eq!(
+        merged.campaign(),
+        Some(&reference),
+        "orchestrated sweep diverged from the unsharded Runner::execute"
+    );
+    let retries = sweep_result
+        .field("retries")
+        .and_then(Json::as_usize)
+        .expect("sweep results carry a retry count");
+    assert_eq!(
+        retries, 1,
+        "the injected shard-0 failure should cost exactly one retry"
+    );
+
+    // --- Timing: warm resident requests --------------------------------------
+    let resident_stat = measure("serve/resident", warmup, iterations, || {
+        resident.request(campaign_fields());
+    });
+    resident.shutdown();
+
+    // Gate 4: a fresh daemon warm-started from the published cache file
+    // reports schedule hits on its very first request — cross-process reuse.
+    let mut warmed = ServeClient::spawn(&serve_bin, &worker_bin, &scratch, Some(&cache_file));
+    let warm_first = warmed.request(campaign_fields());
+    assert_eq!(
+        response_report(&warm_first),
+        reference,
+        "cache-warmed daemon diverged from Runner::execute"
+    );
+    let schedule_hits = cache_counter(&warm_first, "schedules", "hits");
+    assert!(
+        schedule_hits > 0,
+        "a daemon warm-started from the cache file should hit published schedules"
+    );
+    warmed.shutdown();
+
+    // --- Timing: cold process per request -------------------------------------
+    let cold_stat = measure("serve/cold-process", warmup, iterations, || {
+        let mut cold = ServeClient::spawn(&serve_bin, &worker_bin, &scratch, None);
+        cold.request(campaign_fields());
+        cold.shutdown();
+    });
+
+    let warm_speedup = resident_stat.speedup_over(&cold_stat);
+    let mut table = Table::new(
+        format!(
+            "Resident service vs cold process ({cells} cells/request, {iterations} iterations{})",
+            if smoke { ", smoke" } else { "" }
+        ),
+        &["Mode", "Median ms", "Mean ms", "vs cold"],
+    );
+    for (stat, label) in [
+        (&resident_stat, "resident daemon"),
+        (&cold_stat, "cold process"),
+    ] {
+        table.push_row([
+            label.to_string(),
+            format!("{:.2}", stat.median_ms()),
+            format!("{:.2}", stat.mean_ms()),
+            format!("{:.2}x", stat.speedup_over(&cold_stat)),
+        ]);
+    }
+    println!("{table}");
+    eprintln!(
+        "resident daemon serves a warm request {warm_speedup:.2}x faster than a cold process \
+         (sweep retried {retries} injected failure)"
+    );
+
+    let stat_json = |stat: &BenchStat| {
+        Json::obj([
+            ("iterations", Json::Num(stat.iterations as f64)),
+            ("min_ns", Json::Num(stat.min_ns)),
+            ("median_ns", Json::Num(stat.median_ns)),
+            ("mean_ns", Json::Num(stat.mean_ns)),
+            ("max_ns", Json::Num(stat.max_ns)),
+        ])
+    };
+    let document = Json::obj([
+        ("version", Json::Num(1.0)),
+        ("kind", Json::Str("serve-bench".to_string())),
+        ("smoke", Json::Bool(smoke)),
+        ("cells", Json::Num(cells as f64)),
+        ("resident", stat_json(&resident_stat)),
+        ("cold_process", stat_json(&cold_stat)),
+        ("warm_speedup", Json::Num(warm_speedup)),
+        ("second_request_cell_hits", Json::Num(cell_hits as f64)),
+        (
+            "cross_process_schedule_hits",
+            Json::Num(schedule_hits as f64),
+        ),
+        ("sweep_retries", Json::Num(retries as f64)),
+        (
+            "notes",
+            Json::Str(
+                "resident = one themis-serve process answering repeated stdin-JSONL campaign \
+                 requests from its warm plan + cell caches; cold = a fresh process per request. \
+                 The campaign runs with the op log off, so the timing compares cached vs \
+                 recomputed results rather than op-trace serialization. All responses are \
+                 asserted bit-identical to the in-process Runner::execute, the orchestrated \
+                 2-shard sweep retries one injected --fail-after failure, and a restarted \
+                 daemon reuses the published schedule-cache file."
+                    .to_string(),
+            ),
+        ),
+    ])
+    .render();
+    std::fs::write(&output, document)
+        .unwrap_or_else(|err| die(&format!("failed to write {output}: {err}")));
+    eprintln!("wrote {output}");
+
+    // In smoke mode, archive the protocol artifacts next to the bench
+    // numbers: the cached campaign response, the sweep response, and the
+    // published schedule-cache file.
+    if smoke {
+        write_or_die("SERVE_campaign.json", &second.render());
+        write_or_die("SERVE_sweep.json", &sweep.render());
+        let cache_dump = std::fs::read_to_string(&cache_file)
+            .unwrap_or_else(|err| die(&format!("published cache file is unreadable: {err}")));
+        write_or_die("SERVE_cache.json", &cache_dump);
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(err) = std::fs::write(path, contents) {
+        die(&format!("failed to write {path}: {err}"));
+    }
+    eprintln!("wrote {path}");
+}

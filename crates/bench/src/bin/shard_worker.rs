@@ -17,39 +17,69 @@
 //! shard-worker run shards/shard-00.json --out shards/part-00.json --cache schedules.json
 //! shard-worker run shards/shard-01.json --out shards/part-01.json --cache schedules.json
 //! shard-worker merge shards/part-00.json shards/part-01.json --out report.json
+//! shard-worker cache-merge a.json b.json --out schedules.json
 //! ```
 //!
 //! `plan` sweeps the named preset topologies × sizes × chunk counts under
 //! all three Table 3 schedulers (the paper's default scheduler axis).
+//!
+//! Exit codes: 0 success, 1 usage/file errors, 3 shard execution failure
+//! (the code the orchestrator treats as retryable).
 
 use std::process::ExitCode;
 use themis::api::shard::{merge_reports, ShardPlan, ShardReport, ShardSpec, ShardStrategy};
 use themis::prelude::*;
 use themis::ScheduleCache;
 
+/// A failed subcommand, carrying which exit code it maps to.
+enum CmdError {
+    /// Bad arguments or unreadable/unwritable files → exit code 1.
+    Usage(String),
+    /// The shard itself failed to execute (scheduling/simulation error or an
+    /// injected `--fail-after` abort) → exit code 3, the orchestrator's
+    /// retry signal.
+    Shard(String),
+}
+
+impl From<String> for CmdError {
+    fn from(message: String) -> Self {
+        CmdError::Usage(message)
+    }
+}
+
+/// Exit code for per-shard execution failures ([`CmdError::Shard`]).
+const EXIT_SHARD_FAILED: u8 = 3;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("plan") => plan(&args[1..]),
+        Some("plan") => plan(&args[1..]).map_err(CmdError::Usage),
         Some("run") => run(&args[1..]),
-        Some("merge") => merge(&args[1..]),
+        Some("merge") => merge(&args[1..]).map_err(CmdError::Usage),
+        Some("cache-merge") => cache_merge(&args[1..]).map_err(CmdError::Usage),
         Some("--help" | "-h") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+        Some(other) => Err(CmdError::Usage(format!(
+            "unknown subcommand `{other}`\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CmdError::Usage(message)) => {
             eprintln!("shard-worker: {message}");
             ExitCode::FAILURE
+        }
+        Err(CmdError::Shard(message)) => {
+            eprintln!("shard-worker: shard failed: {message}");
+            ExitCode::from(EXIT_SHARD_FAILED)
         }
     }
 }
 
 const USAGE: &str = "\
-usage: shard-worker <plan|run|merge> [options]
+usage: shard-worker <plan|run|merge|cache-merge> [options]
 
   plan  --topology NAME [--topology NAME ...] --sizes-mib A[,B...]
         [--chunks A[,B...]] --shards N [--strategy round-robin|cost-balanced]
@@ -57,12 +87,21 @@ usage: shard-worker <plan|run|merge> [options]
           Expand the campaign, partition it and write DIR/shard-NN.json.
 
   run   SPEC.json --out PART.json [--cache CACHE.json] [--threads N]
+        [--progress FILE] [--fail-after N]
           Execute one shard spec; write its partial report. With --cache the
-          worker warm-starts from the cache file (if present) and republishes
-          the merged cache afterwards.
+          worker warm-starts from the cache file (if present) and
+          merge-publishes back into it afterwards (concurrent workers lose
+          no entries). --progress heartbeats `done/total` to FILE after
+          every cell; --fail-after aborts deterministically after N cells
+          (exit code 3) to exercise orchestrator retries. Shard execution
+          failures exit with code 3; usage/file errors with code 1.
 
   merge PART.json [PART.json ...] --out REPORT.json
           Reassemble partial reports into the unsharded campaign report.
+
+  cache-merge CACHE.json [CACHE.json ...] --out MERGED.json
+          Merge schedule-cache dump files into one deterministic dump
+          (merge(A,B) == merge(B,A)).
 ";
 
 /// Pulls the value of a `--flag VALUE` option out of `args`.
@@ -154,10 +193,18 @@ fn plan(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CmdError> {
     let mut args = args.to_vec();
-    let out = take_flag(&mut args, "--out")?.ok_or("`run` needs --out")?;
+    let out = take_flag(&mut args, "--out")?.ok_or_else(|| "`run` needs --out".to_string())?;
     let cache_path = take_flag(&mut args, "--cache")?;
+    let progress_path = take_flag(&mut args, "--progress")?;
+    let fail_after: Option<usize> = match take_flag(&mut args, "--fail-after")? {
+        Some(text) => Some(
+            text.parse()
+                .map_err(|_| "invalid --fail-after value".to_string())?,
+        ),
+        None => None,
+    };
     let threads: usize = match take_flag(&mut args, "--threads")? {
         Some(text) => text
             .parse()
@@ -165,7 +212,9 @@ fn run(args: &[String]) -> Result<(), String> {
         None => 1,
     };
     let [spec_path] = args.as_slice() else {
-        return Err("`run` needs exactly one spec file".to_string());
+        return Err(CmdError::Usage(
+            "`run` needs exactly one spec file".to_string(),
+        ));
     };
 
     let text = std::fs::read_to_string(spec_path)
@@ -174,14 +223,11 @@ fn run(args: &[String]) -> Result<(), String> {
 
     let cache = ScheduleCache::new();
     if let Some(path) = &cache_path {
-        match std::fs::read_to_string(path) {
-            Ok(dump) => {
-                let loaded = cache.load(&dump).map_err(|err| err.to_string())?;
-                eprintln!("warm-started {loaded} schedules from {path}");
-            }
-            // A missing cache file just means a cold start.
-            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
-            Err(err) => return Err(format!("cannot read `{path}`: {err}")),
+        let loaded = cache
+            .load_from_file(std::path::Path::new(path))
+            .map_err(|err| err.to_string())?;
+        if loaded > 0 {
+            eprintln!("warm-started {loaded} schedules from {path}");
         }
     }
     // Cost tables are derived data and cheap to rebuild, so only the schedule
@@ -193,20 +239,37 @@ fn run(args: &[String]) -> Result<(), String> {
     } else {
         Runner::sequential()
     };
+    // The heartbeat hook: progress lines on stderr, a `done/total` heartbeat
+    // file for the orchestrator's stall watchdog, and the deterministic
+    // --fail-after abort used to exercise the retry path.
+    let shard_label = format!("shard {}/{}", spec.shard_index() + 1, spec.shard_count());
+    let observe = |done: usize, total: usize| {
+        eprintln!("{shard_label}: {done}/{total} cells");
+        if let Some(path) = &progress_path {
+            let _ = std::fs::write(path, format!("{done}/{total}\n"));
+        }
+        match fail_after {
+            Some(after) => done < after,
+            None => true,
+        }
+    };
     let report = spec
-        .execute_with_cache(&runner, &plan)
-        .map_err(|err| err.to_string())?;
+        .execute_with_cache_observed(&runner, &plan, observe)
+        .map_err(|err| CmdError::Shard(err.to_string()))?;
     std::fs::write(&out, report.to_json()).map_err(|err| format!("cannot write `{out}`: {err}"))?;
 
     if let Some(path) = &cache_path {
-        std::fs::write(path, plan.schedules().dump())
-            .map_err(|err| format!("cannot write `{path}`: {err}"))?;
+        // Merge-publish: concurrent sibling workers finishing around the same
+        // time all land their schedules (last-writer-wins would drop them).
+        let published = plan
+            .schedules()
+            .publish_to_file(std::path::Path::new(path))
+            .map_err(|err| err.to_string())?;
+        eprintln!("published {published} schedules to {path}");
     }
     let stats = report.cache();
     eprintln!(
-        "shard {}/{}: {} cells -> {out} (cache: {} hits, {} misses)",
-        spec.shard_index() + 1,
-        spec.shard_count(),
+        "{shard_label}: {} cells -> {out} (cache: {} hits, {} misses)",
         report.len(),
         stats.hits,
         stats.misses
@@ -239,5 +302,26 @@ fn merge(args: &[String]) -> Result<(), String> {
         stats.misses,
         stats.hit_rate() * 100.0
     );
+    Ok(())
+}
+
+fn cache_merge(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let out = take_flag(&mut args, "--out")?.ok_or("`cache-merge` needs --out")?;
+    if args.is_empty() {
+        return Err("`cache-merge` needs at least one cache dump".to_string());
+    }
+    let dumps = args
+        .iter()
+        .map(|path| {
+            std::fs::read_to_string(path).map_err(|err| format!("cannot read `{path}`: {err}"))
+        })
+        .collect::<Result<Vec<String>, String>>()?;
+    let merged = ScheduleCache::merge_dumps(dumps.iter().map(String::as_str))
+        .map_err(|err| err.to_string())?;
+    let entries = ScheduleCache::new();
+    let loaded = entries.load(&merged).map_err(|err| err.to_string())?;
+    std::fs::write(&out, merged).map_err(|err| format!("cannot write `{out}`: {err}"))?;
+    eprintln!("merged {} dumps ({loaded} schedules) -> {out}", dumps.len());
     Ok(())
 }

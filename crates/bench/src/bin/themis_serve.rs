@@ -1,0 +1,193 @@
+//! `themis-serve` — the resident campaign daemon.
+//!
+//! Wraps a [`themis::api::serve::Service`] — one persistent warm
+//! [`themis::SimPlanCache`] plus a single-flight result cache — in a
+//! long-running process speaking the JSONL protocol (one request object per
+//! line, one response object per line; see [`themis::api::serve`]). Requests
+//! from every client share the same caches, so the second identical campaign
+//! is answered without touching the simulator, and `sweep` requests fan out
+//! to `shard-worker` processes supervised by the orchestrator.
+//!
+//! Usage:
+//!
+//! ```text
+//! themis-serve [--socket PATH] [--cache FILE] [--worker PATH]
+//!              [--work-dir DIR] [--max-cells N] [--worker-threads N]
+//! ```
+//!
+//! Without `--socket` the daemon serves stdin/stdout (one client, e.g. a
+//! driver script over a pipe). With `--socket` it listens on a Unix domain
+//! socket and serves every connection concurrently against the shared
+//! caches. With `--cache` the schedule cache is warm-started from the file
+//! at startup and merge-published back on shutdown (and on every
+//! `cache-publish` request), so warm plans survive across daemon restarts
+//! and are shared with `shard-worker` processes.
+//!
+//! Beyond the built-in request kinds, this binary answers
+//! `{"kind":"figure-suite","figures":["fig04","fig08","fig09","fig11"]}`:
+//! it runs the requested paper figures through the **resident** plan cache
+//! (the `run_shared` suite) and reports the markdown plus the cache hit
+//! statistics — a second suite request reuses every schedule of the first.
+
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use themis::api::serve::{ServeOptions, Service};
+use themis_bench::service_ext::figure_suite;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("themis-serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: themis-serve [--socket PATH] [--cache FILE] [--worker PATH]
+                    [--work-dir DIR] [--max-cells N] [--worker-threads N]
+
+Serve JSONL campaign requests (one JSON object per line) against one
+resident warm plan cache. Without --socket, serves stdin/stdout; with
+--socket, serves concurrent connections on a Unix domain socket.
+";
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(at) if at + 1 < args.len() => {
+            let value = args.remove(at + 1);
+            args.remove(at);
+            Ok(Some(value))
+        }
+        Some(_) => Err(format!("`{flag}` expects a value")),
+    }
+}
+
+fn run(mut args: Vec<String>) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprint!("{USAGE}");
+        return Ok(());
+    }
+    let socket = take_flag(&mut args, "--socket")?;
+    let cache = take_flag(&mut args, "--cache")?;
+    let worker = take_flag(&mut args, "--worker")?;
+    let work_dir = take_flag(&mut args, "--work-dir")?;
+    let max_cells: Option<usize> = match take_flag(&mut args, "--max-cells")? {
+        Some(text) => Some(
+            text.parse()
+                .map_err(|_| "invalid --max-cells value".to_string())?,
+        ),
+        None => None,
+    };
+    let worker_threads: Option<usize> = match take_flag(&mut args, "--worker-threads")? {
+        Some(text) => Some(
+            text.parse()
+                .map_err(|_| "invalid --worker-threads value".to_string())?,
+        ),
+        None => None,
+    };
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}\n{USAGE}"));
+    }
+
+    let mut options = ServeOptions {
+        worker: worker.map(PathBuf::from).or_else(sibling_worker),
+        cache_file: cache.map(PathBuf::from),
+        ..ServeOptions::default()
+    };
+    if let Some(dir) = work_dir {
+        options.work_dir = PathBuf::from(dir);
+    }
+    if let Some(cells) = max_cells {
+        options.max_resident_cells = cells;
+    }
+    if let Some(threads) = worker_threads {
+        options.worker_threads = threads;
+    }
+
+    let service = Service::new(options);
+    let loaded = service.load_cache_file().map_err(|err| err.to_string())?;
+    if loaded > 0 {
+        eprintln!("themis-serve: warm-started {loaded} schedules from the cache file");
+    }
+
+    match socket {
+        Some(path) => serve_socket(&service, &path)?,
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            service
+                .serve_with(stdin.lock(), stdout.lock(), figure_suite)
+                .map_err(|err| format!("serve loop failed: {err}"))?;
+        }
+    }
+
+    let published = service
+        .publish_cache_file()
+        .map_err(|err| err.to_string())?;
+    if published > 0 {
+        eprintln!("themis-serve: published {published} schedules to the cache file");
+    }
+    eprintln!(
+        "themis-serve: exiting with {} resident cells, {} schedules ({} hits / {} misses)",
+        service.resident_cells(),
+        service.plan().schedules().len(),
+        service.plan().schedules().hits(),
+        service.plan().schedules().misses(),
+    );
+    Ok(())
+}
+
+/// The default `--worker`: a `shard-worker` binary next to this one.
+fn sibling_worker() -> Option<PathBuf> {
+    let path = std::env::current_exe().ok()?.parent()?.join("shard-worker");
+    path.exists().then_some(path)
+}
+
+/// Serves concurrent connections on a Unix domain socket until a client
+/// sends `shutdown`.
+fn serve_socket(service: &Service, path: &str) -> Result<(), String> {
+    // A stale socket file from an earlier daemon would fail the bind.
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)
+        .map_err(|err| format!("cannot bind `{path}`: {err}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|err| format!("cannot poll `{path}`: {err}"))?;
+    eprintln!("themis-serve: listening on {path}");
+    let connections = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        while !service.shutdown_requested() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let id = connections.fetch_add(1, Ordering::Relaxed);
+                    scope.spawn(move || {
+                        let reader = match stream.try_clone() {
+                            Ok(clone) => BufReader::new(clone),
+                            Err(err) => {
+                                eprintln!("themis-serve: connection {id}: {err}");
+                                return;
+                            }
+                        };
+                        if let Err(err) = service.serve_with(reader, &stream, figure_suite) {
+                            eprintln!("themis-serve: connection {id}: {err}");
+                        }
+                    });
+                }
+                Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                Err(err) => {
+                    eprintln!("themis-serve: accept failed: {err}");
+                    break;
+                }
+            }
+        }
+    });
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}

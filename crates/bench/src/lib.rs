@@ -35,6 +35,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod service_ext;
 
 pub use harness::{measure, BenchStat};
 pub use report::{Report, Table};

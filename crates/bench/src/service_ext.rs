@@ -1,0 +1,97 @@
+//! The bench-crate extension to the resident campaign service: figure-suite
+//! requests.
+//!
+//! The service protocol ([`themis::api::serve`]) is defined in the facade,
+//! which cannot depend on this crate's experiment implementations. The
+//! extension-handler hook closes the loop: [`figure_suite`] plugs the
+//! fig04/fig08/fig09/fig11 `run_shared` suite into a [`Service`], so a
+//! `{"kind":"figure-suite"}` request runs the paper figures against the
+//! daemon's **resident** plan cache — the cross-process half of the
+//! figure-suite reuse when the daemon also carries a shared `--cache` file.
+
+use crate::experiments;
+use themis::api::json::Json;
+use themis::api::serve::Service;
+use themis::ThemisError;
+
+/// Extension handler for [`Service::handle_line_with`] /
+/// [`Service::serve_with`]: answers `figure-suite` requests, declines
+/// everything else.
+///
+/// The request payload is `{"figures": ["fig04", ...]}` (defaulting to the
+/// whole fig04/fig08/fig09/fig11 suite); the result carries each figure's
+/// rendered markdown plus the resident plan cache's cumulative hit
+/// statistics.
+pub fn figure_suite(
+    service: &Service,
+    kind: &str,
+    request: &Json,
+) -> Option<Result<Json, ThemisError>> {
+    if kind != "figure-suite" {
+        return None;
+    }
+    Some(run_figure_suite(service, request))
+}
+
+fn run_figure_suite(service: &Service, request: &Json) -> Result<Json, ThemisError> {
+    let figures: Vec<String> = match request.get("figures") {
+        Some(list) => list
+            .as_arr()?
+            .iter()
+            .map(|name| Ok(name.as_str()?.to_string()))
+            .collect::<Result<_, ThemisError>>()?,
+        None => ["fig04", "fig08", "fig09", "fig11"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    };
+    let plan = service.plan();
+    let mut rendered = Vec::new();
+    for name in &figures {
+        let report = match name.as_str() {
+            "fig04" => experiments::fig04::run_shared(plan),
+            "fig08" => experiments::fig08::run_shared(plan),
+            "fig09" => experiments::fig09::run_shared(plan),
+            "fig11" => experiments::fig11::run_shared(plan),
+            other => {
+                return Err(ThemisError::Serve {
+                    reason: format!(
+                        "unknown figure `{other}` (expected fig04, fig08, fig09, or fig11)"
+                    ),
+                })
+            }
+        };
+        rendered.push(Json::obj([
+            ("figure", Json::Str(name.clone())),
+            ("markdown", Json::Str(report.to_string())),
+        ]));
+    }
+    Ok(Json::obj([
+        ("figures", Json::Arr(rendered)),
+        ("plan_cache", plan_cache_json(service)),
+    ]))
+}
+
+/// Cumulative schedule/cost-table cache statistics of the service's resident
+/// plan, in the shape `themis-experiments` prints in-process.
+pub fn plan_cache_json(service: &Service) -> Json {
+    let plan = service.plan();
+    Json::obj([
+        (
+            "schedules",
+            Json::obj([
+                ("len", Json::Num(plan.schedules().len() as f64)),
+                ("hits", Json::Num(plan.schedules().hits() as f64)),
+                ("misses", Json::Num(plan.schedules().misses() as f64)),
+            ]),
+        ),
+        (
+            "cost_tables",
+            Json::obj([
+                ("len", Json::Num(plan.cost_tables().len() as f64)),
+                ("hits", Json::Num(plan.cost_tables().hits() as f64)),
+                ("misses", Json::Num(plan.cost_tables().misses() as f64)),
+            ]),
+        ),
+    ])
+}

@@ -1,0 +1,356 @@
+//! End-to-end tests over the **real binaries**: the orchestrator spawning
+//! `shard-worker` processes, the `themis-serve` daemon over a stdio pipe,
+//! and the `cache-merge` subcommand. Everything here crosses a process
+//! boundary; the in-process service contracts live in the facade's
+//! `tests/serve_api.rs`.
+//!
+//! The matrices are deliberately tiny (one switch topology, two transfer
+//! sizes) — the point is supervision, retries and bit-identity, not
+//! simulator coverage.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use themis::api::json::Json;
+use themis::api::serve::campaign_cells_to_json;
+use themis::api::shard::ShardStrategy;
+use themis::prelude::*;
+use themis::ScheduleCache;
+
+const WORKER: &str = env!("CARGO_BIN_EXE_shard-worker");
+const SERVE: &str = env!("CARGO_BIN_EXE_themis-serve");
+
+/// A scratch directory unique to one test, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("serve-e2e-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A campaign matrix crossing every scheduler kind with two presets.
+fn campaign_specs() -> Vec<RunSpec> {
+    Campaign::new()
+        .topologies([PresetTopology::Sw2d, PresetTopology::FcRingSw3d])
+        .schedulers(SchedulerKind::all())
+        .sizes_mib([16.0])
+        .chunk_counts([4])
+        .expand()
+        .unwrap()
+}
+
+fn stream_specs() -> Vec<StreamSpec> {
+    let stream = StreamJob::named("pair")
+        .push(QueuedCollective::all_reduce_mib("g2", 24.0))
+        .push(QueuedCollective::all_reduce_mib("g1", 24.0).issued_at(2_000.0))
+        .chunks(4);
+    StreamCampaign::new()
+        .topologies([PresetTopology::Sw2d])
+        .schedulers(SchedulerKind::all())
+        .streams([stream])
+        .expand()
+        .unwrap()
+}
+
+fn orchestrator(scratch: &Scratch, shards: usize, strategy: ShardStrategy) -> Orchestrator {
+    let mut options = OrchestratorOptions::new(WORKER);
+    options.shards = shards;
+    options.strategy = strategy;
+    options.work_dir = scratch.path("work");
+    Orchestrator::new(options)
+}
+
+#[test]
+fn orchestrated_campaign_sweeps_are_bit_identical_to_runner_execute() {
+    let specs = campaign_specs();
+    let reference = CampaignReport::new(Runner::sequential().execute(&specs).unwrap());
+    let scratch = Scratch::new("campaign");
+    for (shards, strategy) in [
+        (2, ShardStrategy::CostBalanced),
+        (3, ShardStrategy::RoundRobin),
+    ] {
+        let outcome = orchestrator(&scratch, shards, strategy)
+            .run_campaign(&specs)
+            .unwrap();
+        assert_eq!(
+            outcome.merged.campaign(),
+            Some(&reference),
+            "{strategy:?} x {shards} shards"
+        );
+        assert_eq!(outcome.retries(), 0, "{strategy:?} x {shards} shards");
+    }
+}
+
+#[test]
+fn orchestrated_stream_sweeps_are_bit_identical_to_runner_execute_streams() {
+    let specs = stream_specs();
+    let reference =
+        StreamCampaignReport::new(Runner::sequential().execute_streams(&specs).unwrap());
+    let scratch = Scratch::new("stream");
+    let outcome = orchestrator(&scratch, 2, ShardStrategy::CostBalanced)
+        .run_streams(&specs)
+        .unwrap();
+    assert_eq!(outcome.merged.stream(), Some(&reference));
+    assert_eq!(outcome.retries(), 0);
+}
+
+#[test]
+fn injected_shard_failures_are_retried_and_still_merge_bit_identical() {
+    let specs = campaign_specs();
+    let reference = CampaignReport::new(Runner::sequential().execute(&specs).unwrap());
+    let scratch = Scratch::new("retry");
+    let mut options = OrchestratorOptions::new(WORKER);
+    options.shards = 2;
+    options.work_dir = scratch.path("work");
+    // Shard 0's first attempt aborts (exit code 3) after one cell via the
+    // worker's deterministic --fail-after hook; the retry runs clean.
+    options.fail_first_attempt = vec![(0, 1)];
+    let outcome = Orchestrator::new(options).run_campaign(&specs).unwrap();
+    assert_eq!(outcome.attempts, vec![2, 1]);
+    assert_eq!(outcome.retries(), 1);
+    assert_eq!(outcome.merged.campaign(), Some(&reference));
+}
+
+#[test]
+fn a_shard_that_always_fails_exhausts_its_attempts() {
+    let specs = campaign_specs();
+    let scratch = Scratch::new("exhaust");
+    let mut options = OrchestratorOptions::new(WORKER);
+    options.shards = 2;
+    options.work_dir = scratch.path("work");
+    // The injection only hits first attempts, so a budget of one attempt
+    // turns it into a permanent failure.
+    options.max_attempts = 1;
+    options.fail_first_attempt = vec![(1, 0)];
+    let err = Orchestrator::new(options).run_campaign(&specs).unwrap_err();
+    assert!(matches!(err, ThemisError::Serve { .. }), "{err}");
+    assert!(err.to_string().contains("after 1 attempt"), "{err}");
+}
+
+/// A `themis-serve` daemon child on a stdio pipe.
+struct Daemon {
+    child: Child,
+    stdin: ChildStdin,
+    reader: BufReader<ChildStdout>,
+}
+
+impl Daemon {
+    fn spawn(args: &[&str]) -> Self {
+        let mut child = Command::new(SERVE)
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        let stdin = child.stdin.take().unwrap();
+        let reader = BufReader::new(child.stdout.take().unwrap());
+        Daemon {
+            child,
+            stdin,
+            reader,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> Json {
+        writeln!(self.stdin, "{line}").unwrap();
+        self.stdin.flush().unwrap();
+        let mut response = String::new();
+        self.reader.read_line(&mut response).unwrap();
+        Json::parse(response.trim()).unwrap()
+    }
+
+    fn shutdown(mut self) {
+        let _ = self.request(r#"{"id":99,"kind":"shutdown"}"#);
+        let status = self.child.wait().unwrap();
+        assert!(status.success());
+    }
+}
+
+fn cell_delta(response: &Json, counter: &str) -> usize {
+    response
+        .field("cache")
+        .unwrap()
+        .field("cells")
+        .unwrap()
+        .field(counter)
+        .unwrap()
+        .as_usize()
+        .unwrap()
+}
+
+#[test]
+fn a_resident_daemon_serves_the_second_request_from_its_warm_cache() {
+    let specs = campaign_specs();
+    let line = Json::obj([
+        ("id", Json::Num(1.0)),
+        ("kind", Json::Str("campaign".to_string())),
+        ("cells", campaign_cells_to_json(&specs)),
+    ])
+    .render();
+
+    let scratch = Scratch::new("daemon");
+    let work_dir = scratch.path("work");
+    let mut daemon = Daemon::spawn(&["--work-dir", work_dir.to_str().unwrap()]);
+    let first = daemon.request(&line);
+    assert_eq!(first.field("status").unwrap().as_str().unwrap(), "ok");
+    assert_eq!(cell_delta(&first, "misses"), specs.len());
+
+    let second = daemon.request(&line);
+    assert_eq!(second.field("status").unwrap().as_str().unwrap(), "ok");
+    assert_eq!(
+        first.field("result").unwrap(),
+        second.field("result").unwrap(),
+        "cached responses stay bit-identical"
+    );
+    assert_eq!(cell_delta(&second, "hits"), specs.len());
+    assert_eq!(cell_delta(&second, "misses"), 0);
+
+    // Malformed input mid-session: a structured error, and the daemon lives.
+    let error = daemon.request("{oops");
+    assert_eq!(error.field("status").unwrap().as_str().unwrap(), "error");
+    let pong = daemon.request(r#"{"id":3,"kind":"ping"}"#);
+    assert_eq!(pong.field("status").unwrap().as_str().unwrap(), "ok");
+    daemon.shutdown();
+}
+
+#[test]
+fn schedule_cache_merge_is_order_independent() {
+    let scratch = Scratch::new("merge");
+    let shards_dir = scratch.path("shards");
+    let status = Command::new(WORKER)
+        .args([
+            "plan",
+            "--topology",
+            "2D-SW_SW",
+            "--sizes-mib",
+            "16,48",
+            "--chunks",
+            "4",
+            "--shards",
+            "2",
+            "--out-dir",
+            shards_dir.to_str().unwrap(),
+        ])
+        .stderr(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    // Two workers, two *separate* cache files: disjoint-but-overlapping dumps.
+    for index in 0..2 {
+        let status = Command::new(WORKER)
+            .args([
+                "run",
+                shards_dir
+                    .join(format!("shard-0{index}.json"))
+                    .to_str()
+                    .unwrap(),
+                "--out",
+                scratch
+                    .path(&format!("part-{index}.json"))
+                    .to_str()
+                    .unwrap(),
+                "--cache",
+                scratch
+                    .path(&format!("cache-{index}.json"))
+                    .to_str()
+                    .unwrap(),
+            ])
+            .stderr(Stdio::null())
+            .status()
+            .unwrap();
+        assert!(status.success());
+    }
+
+    let cache_merge = |inputs: [&str; 2], out: &str| {
+        let status = Command::new(WORKER)
+            .args([
+                "cache-merge",
+                scratch.path(inputs[0]).to_str().unwrap(),
+                scratch.path(inputs[1]).to_str().unwrap(),
+                "--out",
+                scratch.path(out).to_str().unwrap(),
+            ])
+            .stderr(Stdio::null())
+            .status()
+            .unwrap();
+        assert!(status.success());
+        std::fs::read_to_string(scratch.path(out)).unwrap()
+    };
+    let ab = cache_merge(["cache-0.json", "cache-1.json"], "merged-ab.json");
+    let ba = cache_merge(["cache-1.json", "cache-0.json"], "merged-ba.json");
+    assert!(!ab.is_empty());
+    assert_eq!(ab, ba, "merge(A,B) must equal merge(B,A) byte for byte");
+
+    // The merged dump warm-starts a fresh cache with every entry of both.
+    let merged = ScheduleCache::new();
+    let loaded = merged.load(&ab).unwrap();
+    let a = ScheduleCache::new();
+    a.load(&std::fs::read_to_string(scratch.path("cache-0.json")).unwrap())
+        .unwrap();
+    let b = ScheduleCache::new();
+    b.load(&std::fs::read_to_string(scratch.path("cache-1.json")).unwrap())
+        .unwrap();
+    assert!(loaded >= a.len().max(b.len()));
+}
+
+#[test]
+fn failing_shard_runs_exit_with_the_retryable_code() {
+    let scratch = Scratch::new("exitcode");
+    let shards_dir = scratch.path("shards");
+    let status = Command::new(WORKER)
+        .args([
+            "plan",
+            "--topology",
+            "2D-SW_SW",
+            "--sizes-mib",
+            "16",
+            "--shards",
+            "1",
+            "--out-dir",
+            shards_dir.to_str().unwrap(),
+        ])
+        .stderr(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    let out = scratch.path("part-0.json");
+    let status = Command::new(WORKER)
+        .args([
+            "run",
+            shards_dir.join("shard-00.json").to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--fail-after",
+            "0",
+        ])
+        .stderr(Stdio::null())
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(3), "shard failures use exit code 3");
+    assert!(!out.exists(), "a failed shard writes no partial report");
+
+    // Usage errors stay on exit code 1, distinct from shard failures.
+    let status = Command::new(WORKER)
+        .args(["run", "/nonexistent/spec.json", "--out", "x.json"])
+        .stderr(Stdio::null())
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(1));
+}

@@ -28,8 +28,11 @@ use crate::schedule::{ChunkSchedule, CollectiveRequest, CollectiveSchedule, Stag
 use crate::scheduler::SchedulerKind;
 use crate::splitter::Splitter;
 use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 use themis_collectives::{CollectiveKind, PhaseOp};
 use themis_net::{DataSize, NetworkTopology};
 
@@ -349,6 +352,84 @@ impl ScheduleCache {
         Ok(inserted)
     }
 
+    /// Loads a cache file previously written by [`ScheduleCache::dump`] or
+    /// [`ScheduleCache::publish_to_file`], merging its entries into this
+    /// cache. A missing file is a cold start, not an error: the method
+    /// returns `Ok(0)`. Returns the number of entries inserted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::Io`] when the file exists but cannot be read
+    /// and [`ScheduleError::Serialization`] when its contents are malformed.
+    pub fn load_from_file(&self, path: &Path) -> Result<usize, ScheduleError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => self.load(&text),
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => Ok(0),
+            Err(err) => Err(ScheduleError::Io {
+                reason: format!("cannot read `{}`: {err}", path.display()),
+            }),
+        }
+    }
+
+    /// Publishes this cache's schedules to a shared cache file with
+    /// **merge-on-write** semantics: the file is locked (via a `<path>.lock`
+    /// sentinel), its current entries are merged into this cache, and the
+    /// union is written back atomically (temp file + rename). Concurrent
+    /// workers publishing to the same file therefore never lose each other's
+    /// entries — unlike a plain `fs::write(path, cache.dump())`, which is
+    /// last-writer-wins.
+    ///
+    /// The merge runs *into* this cache: after a successful publish the cache
+    /// holds the union and the file holds the same union. Entries already
+    /// present keep their in-memory `Arc`s; the hit/miss counters are
+    /// untouched. Returns the number of entries in the published union.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::Io`] when the lock cannot be acquired within
+    /// its bounded wait or the file cannot be read/written, and
+    /// [`ScheduleError::Serialization`] when the existing file is malformed
+    /// (the file is left untouched in that case).
+    pub fn publish_to_file(&self, path: &Path) -> Result<usize, ScheduleError> {
+        let _lock = DumpFileLock::acquire(path)?;
+        self.load_from_file(path)?;
+        let dump = self.dump();
+        // Unique temp name per process so two publishers racing *between*
+        // lock generations never clobber each other's temp file.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, &dump).map_err(|err| ScheduleError::Io {
+            reason: format!("cannot write `{}`: {err}", tmp.display()),
+        })?;
+        std::fs::rename(&tmp, path).map_err(|err| ScheduleError::Io {
+            reason: format!(
+                "cannot rename `{}` to `{}`: {err}",
+                tmp.display(),
+                path.display()
+            ),
+        })?;
+        Ok(self.len())
+    }
+
+    /// Merges several cache dumps into one, without touching any file: the
+    /// union of all entries, first occurrence of a key winning. Because
+    /// schedulers are deterministic, dumps produced from the same workload
+    /// carry identical schedules for identical keys, so the merge is
+    /// **order-independent**: `merge_dumps([a, b]) == merge_dumps([b, a])`
+    /// (asserted in the tests and by `shard-worker cache-merge`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::Serialization`] when any dump is malformed.
+    pub fn merge_dumps<'a>(
+        dumps: impl IntoIterator<Item = &'a str>,
+    ) -> Result<String, ScheduleError> {
+        let merged = ScheduleCache::new();
+        for dump in dumps {
+            merged.load(dump)?;
+        }
+        Ok(merged.dump())
+    }
+
     /// Drops every cached schedule and split (the hit/miss counters keep
     /// counting).
     pub fn clear(&self) {
@@ -360,6 +441,75 @@ impl ScheduleCache {
             .lock()
             .expect("split cache lock is never poisoned")
             .clear();
+    }
+}
+
+/// An exclusive advisory lock on a cache file, held as a `<path>.lock`
+/// sentinel created with `create_new` (atomic on every platform). Dropped —
+/// and thereby released — even on error paths. Stale sentinels (from a
+/// killed worker) are broken after [`DumpFileLock::STALE`].
+struct DumpFileLock {
+    path: PathBuf,
+}
+
+impl DumpFileLock {
+    /// How long between acquisition attempts.
+    const RETRY: Duration = Duration::from_millis(25);
+    /// Attempts before giving up (bounded wait of ~5 s total).
+    const ATTEMPTS: u32 = 200;
+    /// Age after which a sentinel is considered abandoned and broken.
+    const STALE: Duration = Duration::from_secs(30);
+
+    fn acquire(target: &Path) -> Result<Self, ScheduleError> {
+        let mut path = target.as_os_str().to_owned();
+        path.push(".lock");
+        let path = PathBuf::from(path);
+        for _ in 0..Self::ATTEMPTS {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut sentinel) => {
+                    // Contents are diagnostic only (who holds the lock).
+                    let _ = write!(sentinel, "{}", std::process::id());
+                    return Ok(DumpFileLock { path });
+                }
+                Err(err) if err.kind() == std::io::ErrorKind::AlreadyExists => {
+                    // Break abandoned sentinels so one crashed worker cannot
+                    // wedge every later publisher.
+                    if let Ok(meta) = std::fs::metadata(&path) {
+                        let stale = meta
+                            .modified()
+                            .ok()
+                            .and_then(|at| at.elapsed().ok())
+                            .is_some_and(|age| age > Self::STALE);
+                        if stale {
+                            let _ = std::fs::remove_file(&path);
+                            continue;
+                        }
+                    }
+                    std::thread::sleep(Self::RETRY);
+                }
+                Err(err) => {
+                    return Err(ScheduleError::Io {
+                        reason: format!("cannot create lock `{}`: {err}", path.display()),
+                    })
+                }
+            }
+        }
+        Err(ScheduleError::Io {
+            reason: format!(
+                "timed out waiting for cache lock `{}` (held by another worker?)",
+                path.display()
+            ),
+        })
+    }
+}
+
+impl Drop for DumpFileLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
     }
 }
 
@@ -734,6 +884,136 @@ mod tests {
             .unwrap();
         // The pre-existing Arc survived the merge.
         assert!(Arc::ptr_eq(&original, &still));
+    }
+
+    /// A scratch directory under the target-adjacent temp dir, removed on
+    /// drop.
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir()
+                .join(format!("themis-cache-test-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&path);
+            std::fs::create_dir_all(&path).expect("temp dir is creatable");
+            TempDir(path)
+        }
+
+        fn file(&self, name: &str) -> std::path::PathBuf {
+            self.0.join(name)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// Builds a cache holding one schedule per given size.
+    fn cache_with_sizes(sizes: &[f64]) -> ScheduleCache {
+        let cache = ScheduleCache::new();
+        let topo = PresetTopology::Sw2d.build();
+        for &mib in sizes {
+            let request = CollectiveRequest::all_reduce_mib(mib);
+            cache
+                .get_or_schedule(&topo, &request, 8, SchedulerKind::ThemisScf)
+                .unwrap();
+        }
+        cache
+    }
+
+    #[test]
+    fn merge_dumps_is_order_independent() {
+        let a = cache_with_sizes(&[16.0, 32.0]).dump();
+        let b = cache_with_sizes(&[32.0, 64.0]).dump();
+        let ab = ScheduleCache::merge_dumps([a.as_str(), b.as_str()]).unwrap();
+        let ba = ScheduleCache::merge_dumps([b.as_str(), a.as_str()]).unwrap();
+        assert_eq!(ab, ba);
+        // The union holds all three distinct keys.
+        let merged = ScheduleCache::new();
+        assert_eq!(merged.load(&ab).unwrap(), 3);
+        // Merging a dump with itself is the identity.
+        assert_eq!(
+            ScheduleCache::merge_dumps([a.as_str(), a.as_str()]).unwrap(),
+            a
+        );
+        // Malformed dumps are rejected.
+        assert!(matches!(
+            ScheduleCache::merge_dumps([a.as_str(), "not json"]),
+            Err(ScheduleError::Serialization { .. })
+        ));
+    }
+
+    #[test]
+    fn publish_to_file_merges_instead_of_overwriting() {
+        let dir = TempDir::new("publish");
+        let path = dir.file("schedules.json");
+
+        // Worker A publishes two entries, worker B publishes two others
+        // (one overlapping). Last-writer-wins would leave only B's entries;
+        // merge-on-write keeps the union.
+        let a = cache_with_sizes(&[16.0, 32.0]);
+        assert_eq!(a.publish_to_file(&path).unwrap(), 2);
+        let b = cache_with_sizes(&[32.0, 64.0]);
+        assert_eq!(b.publish_to_file(&path).unwrap(), 3);
+
+        let merged = ScheduleCache::new();
+        assert_eq!(merged.load_from_file(&path).unwrap(), 3);
+        // The published file equals the order-independent dump merge.
+        let expected = ScheduleCache::merge_dumps([
+            cache_with_sizes(&[16.0, 32.0]).dump().as_str(),
+            cache_with_sizes(&[32.0, 64.0]).dump().as_str(),
+        ])
+        .unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), expected);
+        // The lock sentinel was released.
+        assert!(!dir.file("schedules.json.lock").exists());
+    }
+
+    #[test]
+    fn load_from_file_treats_missing_files_as_cold_start() {
+        let dir = TempDir::new("load");
+        let cache = ScheduleCache::new();
+        assert_eq!(cache.load_from_file(&dir.file("absent.json")).unwrap(), 0);
+        let bad = dir.file("bad.json");
+        std::fs::write(&bad, "not json").unwrap();
+        assert!(matches!(
+            cache.load_from_file(&bad),
+            Err(ScheduleError::Serialization { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_publishers_lose_no_entries() {
+        let dir = TempDir::new("race");
+        let path = dir.file("schedules.json");
+        let sizes: Vec<f64> = (1..=8).map(|i| i as f64 * 8.0).collect();
+        std::thread::scope(|scope| {
+            for chunk in sizes.chunks(2) {
+                let path = path.clone();
+                scope.spawn(move || {
+                    cache_with_sizes(chunk).publish_to_file(&path).unwrap();
+                });
+            }
+        });
+        let merged = ScheduleCache::new();
+        assert_eq!(merged.load_from_file(&path).unwrap(), sizes.len());
+    }
+
+    #[test]
+    fn stale_locks_are_broken() {
+        let dir = TempDir::new("stale");
+        let path = dir.file("schedules.json");
+        let lock = dir.file("schedules.json.lock");
+        std::fs::write(&lock, "dead").unwrap();
+        // Backdate the sentinel beyond the stale horizon.
+        let old = std::time::SystemTime::now() - Duration::from_secs(120);
+        let file = std::fs::OpenOptions::new().write(true).open(&lock).unwrap();
+        file.set_modified(old).unwrap();
+        drop(file);
+        cache_with_sizes(&[16.0]).publish_to_file(&path).unwrap();
+        assert!(!lock.exists());
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub enum ScheduleError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// A cache file could not be read, written, or locked.
+    Io {
+        /// Human-readable description of the problem, including the path.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -45,6 +50,7 @@ impl fmt::Display for ScheduleError {
             ScheduleError::Serialization { reason } => {
                 write!(f, "serialization error: {reason}")
             }
+            ScheduleError::Io { reason } => write!(f, "cache file error: {reason}"),
         }
     }
 }

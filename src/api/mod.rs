@@ -20,6 +20,12 @@
 //!   matrix into self-contained, JSON-serializable [`ShardSpec`]s, execute
 //!   them anywhere, and [`merge_reports`] back into a report bit-identical
 //!   to the unsharded run.
+//! * [`serve`] — the resident campaign service: a long-lived [`Service`]
+//!   answering JSONL requests against one persistent warm plan cache, with
+//!   single-flight dedup of identical cells across concurrent requests.
+//! * [`orchestrator`] — multi-process sweep supervision: spawn one
+//!   `shard-worker` per shard, watch heartbeats, retry failures with bounded
+//!   backoff, and merge partial reports bit-identically.
 //! * [`CampaignReport`] — the collected results, with lookups, speedup
 //!   helpers and dependency-free JSON serialization ([`json`]).
 //!
@@ -46,9 +52,11 @@
 pub mod campaign;
 pub mod job;
 pub mod json;
+pub mod orchestrator;
 pub mod platform;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod shard;
 pub mod stream;
 pub mod training;
@@ -56,9 +64,11 @@ pub mod training;
 pub use crate::error::ThemisError;
 pub use campaign::Campaign;
 pub use job::{Job, ScheduledRun, DEFAULT_CHUNKS};
+pub use orchestrator::{Orchestrator, OrchestratorOptions, SweepOutcome};
 pub use platform::Platform;
 pub use report::{CampaignReport, RunConfig, RunResult};
 pub use runner::{CampaignCell, RunSpec, Runner};
+pub use serve::{ServeOptions, Service};
 pub use shard::{
     merge_reports, CacheStats, MergedReport, MergedResults, ShardPlan, ShardReport, ShardSpec,
     ShardStrategy,

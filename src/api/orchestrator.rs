@@ -1,0 +1,435 @@
+//! Multi-process sweep orchestration: spawn `shard-worker` processes, watch
+//! their heartbeats, retry failures with bounded backoff, and merge the
+//! partial reports bit-identically to an unsharded run.
+//!
+//! The sharding layer ([`crate::api::shard`]) gives every worker process a
+//! self-contained [`ShardSpec`]; this module is the driver that used to live
+//! in shell scripts. An [`Orchestrator`]:
+//!
+//! 1. plans shards over the expanded cell matrix ([`ShardStrategy`]),
+//! 2. writes one spec file per shard and spawns one `shard-worker run`
+//!    process per shard (`--progress` heartbeat file, `--out` partial
+//!    report, optionally `--cache` pointed at a shared schedule-cache file),
+//! 3. polls the children: a non-zero exit (the worker signals per-shard
+//!    execution failures with exit code 3) or a heartbeat that stops
+//!    changing for [`OrchestratorOptions::stall_timeout`] fails the attempt,
+//! 4. retries failed attempts with bounded exponential backoff up to
+//!    [`OrchestratorOptions::max_attempts`] per shard,
+//! 5. merges the partial reports ([`crate::api::shard::merge_reports`]) into
+//!    a [`MergedReport`] whose campaign/stream report is **bit-identical** to
+//!    [`crate::api::Runner::execute`] / `execute_streams` on the same cells.
+//!
+//! Failure injection for tests and CI rides the worker's deterministic
+//! `--fail-after N` hook via [`OrchestratorOptions::fail_first_attempt`].
+
+use crate::api::runner::RunSpec;
+use crate::api::shard::{merge_reports, MergedReport, ShardReport, ShardSpec, ShardStrategy};
+use crate::api::stream::StreamSpec;
+use crate::error::ThemisError;
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Distinguishes successive sweeps of one process so their scratch
+/// directories never collide.
+static SWEEP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Configuration of an [`Orchestrator`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrchestratorOptions {
+    /// Path of the `shard-worker` binary to spawn.
+    pub worker: PathBuf,
+    /// Number of worker processes (= shards) per sweep.
+    pub shards: usize,
+    /// How cells are distributed over shards.
+    pub strategy: ShardStrategy,
+    /// Total attempts allowed per shard (first run + retries). At least 1.
+    pub max_attempts: u32,
+    /// An attempt whose heartbeat file stops changing for this long is
+    /// killed and counted as a failure.
+    pub stall_timeout: Duration,
+    /// Child-poll period of the supervision loop.
+    pub poll_interval: Duration,
+    /// First retry delay; doubled per retry up to [`Self::backoff_cap`].
+    pub backoff_base: Duration,
+    /// Upper bound of the exponential retry backoff.
+    pub backoff_cap: Duration,
+    /// Directory for per-sweep scratch files (spec, partial report, and
+    /// heartbeat per shard). Each sweep uses a fresh subdirectory, removed
+    /// on success unless [`Self::keep_files`] is set.
+    pub work_dir: PathBuf,
+    /// Schedule-cache file handed to every worker (`--cache`): workers
+    /// warm-start from it and merge-publish back into it, so schedules
+    /// survive across processes and sweeps.
+    pub cache_file: Option<PathBuf>,
+    /// Worker threads per shard process (`--threads`).
+    pub threads_per_worker: usize,
+    /// Deterministic failure injection: `(shard_index, after_cells)` pairs.
+    /// The **first** attempt of each listed shard runs with
+    /// `--fail-after after_cells`, so it aborts (exit code 3) after that many
+    /// cells and exercises the retry path; retries run clean.
+    pub fail_first_attempt: Vec<(usize, usize)>,
+    /// Keep the sweep's scratch directory after a successful merge.
+    pub keep_files: bool,
+}
+
+impl OrchestratorOptions {
+    /// Defaults: 2 shards, cost-balanced planning, 3 attempts per shard,
+    /// 120 s stall timeout, 25 ms polling, 50 ms → 2 s exponential backoff,
+    /// scratch under `serve-work/`, no shared cache file, 1 thread per
+    /// worker, no failure injection.
+    pub fn new(worker: impl Into<PathBuf>) -> Self {
+        OrchestratorOptions {
+            worker: worker.into(),
+            shards: 2,
+            strategy: ShardStrategy::CostBalanced,
+            max_attempts: 3,
+            stall_timeout: Duration::from_secs(120),
+            poll_interval: Duration::from_millis(25),
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            work_dir: PathBuf::from("serve-work"),
+            cache_file: None,
+            threads_per_worker: 1,
+            fail_first_attempt: Vec::new(),
+            keep_files: false,
+        }
+    }
+}
+
+/// The outcome of an orchestrated sweep: the merged report plus the
+/// supervision history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// The merged report, bit-identical to the unsharded execution.
+    pub merged: MergedReport,
+    /// Attempts launched per shard, in shard order (1 = first try worked).
+    pub attempts: Vec<u32>,
+}
+
+impl SweepOutcome {
+    /// Total number of retried (i.e. failed) attempts across all shards.
+    pub fn retries(&self) -> u32 {
+        self.attempts.iter().sum::<u32>() - self.attempts.len() as u32
+    }
+}
+
+/// Supervises one multi-process sweep; see the [module docs](self).
+///
+/// ```no_run
+/// use themis::api::orchestrator::{Orchestrator, OrchestratorOptions};
+/// use themis::prelude::*;
+///
+/// # fn main() -> Result<(), ThemisError> {
+/// let mut options = OrchestratorOptions::new("target/release/shard-worker");
+/// options.shards = 4;
+/// let specs = vec![RunSpec::new(
+///     Platform::preset(PresetTopology::Sw2d),
+///     Job::all_reduce_mib(64.0).chunks(8).scheduler(SchedulerKind::ThemisScf),
+/// )];
+/// let outcome = Orchestrator::new(options).run_campaign(&specs)?;
+/// assert_eq!(outcome.merged.campaign().unwrap().results().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Orchestrator {
+    options: OrchestratorOptions,
+}
+
+/// One supervised shard.
+struct Task {
+    index: usize,
+    spec_path: PathBuf,
+    out_path: PathBuf,
+    progress_path: PathBuf,
+    /// Attempts launched so far.
+    attempts: u32,
+    state: TaskState,
+}
+
+/// Supervision state of one shard.
+enum TaskState {
+    /// Not running; launch once `until` passes (backoff between retries).
+    Waiting {
+        /// Earliest launch instant.
+        until: Instant,
+    },
+    /// A worker process is executing the shard.
+    Running {
+        /// The spawned worker.
+        child: Child,
+        /// Last observed heartbeat-file content.
+        last_progress: String,
+        /// When the heartbeat last changed (or the process launched).
+        last_change: Instant,
+    },
+    /// The shard's partial report has been collected.
+    Done(Box<ShardReport>),
+}
+
+/// Outcome of polling one task, applied after the state borrow ends.
+enum Step {
+    /// Nothing to do this tick.
+    Idle,
+    /// A waiting task's backoff has elapsed.
+    Launch,
+    /// The worker exited cleanly and its report parsed.
+    Finish(Box<ShardReport>),
+    /// The attempt failed (non-zero exit, stall, or unreadable report).
+    Retry(String),
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator.
+    pub fn new(options: OrchestratorOptions) -> Self {
+        Orchestrator { options }
+    }
+
+    /// The orchestrator's configuration.
+    pub fn options(&self) -> &OrchestratorOptions {
+        &self.options
+    }
+
+    /// Plans shards over a collective-campaign matrix and runs the sweep.
+    /// The merged campaign report is bit-identical to
+    /// [`crate::api::Runner::execute`] on `specs`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Orchestrator::run_shards`].
+    pub fn run_campaign(&self, specs: &[RunSpec]) -> Result<SweepOutcome, ThemisError> {
+        let plan = self.options.strategy.plan(specs, self.options.shards);
+        self.run_shards(&ShardSpec::campaign_shards(specs, &plan)?)
+    }
+
+    /// Plans shards over a stream-campaign matrix and runs the sweep. The
+    /// merged stream report is bit-identical to
+    /// [`crate::api::Runner::execute_streams`] on `specs`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Orchestrator::run_shards`].
+    pub fn run_streams(&self, specs: &[StreamSpec]) -> Result<SweepOutcome, ThemisError> {
+        let plan = self.options.strategy.plan(specs, self.options.shards);
+        self.run_shards(&ShardSpec::stream_shards(specs, &plan)?)
+    }
+
+    /// Runs pre-planned shards, one worker process per shard, and merges
+    /// their reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThemisError::Serve`] when the worker binary cannot be
+    /// spawned, when any shard exhausts [`OrchestratorOptions::max_attempts`],
+    /// or on scratch-file I/O failures. Any still-running workers are killed
+    /// before the error propagates.
+    pub fn run_shards(&self, shards: &[ShardSpec]) -> Result<SweepOutcome, ThemisError> {
+        if shards.is_empty() {
+            return Err(ThemisError::Serve {
+                reason: "cannot orchestrate an empty shard list".to_string(),
+            });
+        }
+        let run_dir = self.options.work_dir.join(format!(
+            "sweep-{}-{}",
+            std::process::id(),
+            SWEEP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&run_dir).map_err(|err| ThemisError::Serve {
+            reason: format!(
+                "could not create sweep directory {}: {err}",
+                run_dir.display()
+            ),
+        })?;
+        let mut tasks = Vec::with_capacity(shards.len());
+        for spec in shards {
+            let index = spec.shard_index();
+            let spec_path = run_dir.join(format!("shard-{index}.spec.json"));
+            fs::write(&spec_path, spec.to_json()).map_err(|err| ThemisError::Serve {
+                reason: format!("could not write {}: {err}", spec_path.display()),
+            })?;
+            tasks.push(Task {
+                index,
+                spec_path,
+                out_path: run_dir.join(format!("shard-{index}.partial.json")),
+                progress_path: run_dir.join(format!("shard-{index}.progress")),
+                attempts: 0,
+                state: TaskState::Waiting {
+                    until: Instant::now(),
+                },
+            });
+        }
+        let result = self.supervise(&mut tasks);
+        if result.is_err() {
+            for task in &mut tasks {
+                if let TaskState::Running { child, .. } = &mut task.state {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+            }
+        }
+        result?;
+        let attempts = tasks.iter().map(|task| task.attempts).collect();
+        let reports: Vec<ShardReport> = tasks
+            .into_iter()
+            .map(|task| match task.state {
+                TaskState::Done(report) => *report,
+                _ => unreachable!("supervise returns Ok only once every task is done"),
+            })
+            .collect();
+        let merged = merge_reports(&reports)?;
+        if !self.options.keep_files {
+            let _ = fs::remove_dir_all(&run_dir);
+        }
+        Ok(SweepOutcome { merged, attempts })
+    }
+
+    /// The supervision loop: launch due tasks, poll running ones, schedule
+    /// retries, until every task is done or one exhausts its attempts.
+    fn supervise(&self, tasks: &mut [Task]) -> Result<(), ThemisError> {
+        loop {
+            let mut pending = false;
+            for task in tasks.iter_mut() {
+                match self.poll(task) {
+                    Step::Idle => {}
+                    Step::Launch => self.launch(task)?,
+                    Step::Finish(report) => task.state = TaskState::Done(report),
+                    Step::Retry(reason) => self.schedule_retry(task, &reason)?,
+                }
+                if !matches!(task.state, TaskState::Done(_)) {
+                    pending = true;
+                }
+            }
+            if !pending {
+                return Ok(());
+            }
+            std::thread::sleep(self.options.poll_interval);
+        }
+    }
+
+    /// Inspects one task without mutating anything outside its state.
+    fn poll(&self, task: &mut Task) -> Step {
+        match &mut task.state {
+            TaskState::Done(_) => Step::Idle,
+            TaskState::Waiting { until } => {
+                if Instant::now() >= *until {
+                    Step::Launch
+                } else {
+                    Step::Idle
+                }
+            }
+            TaskState::Running {
+                child,
+                last_progress,
+                last_change,
+            } => match child.try_wait() {
+                Err(err) => Step::Retry(format!("could not poll worker: {err}")),
+                Ok(Some(status)) if status.success() => {
+                    match fs::read_to_string(&task.out_path)
+                        .ok()
+                        .and_then(|text| ShardReport::from_json(&text).ok())
+                    {
+                        Some(report) => Step::Finish(Box::new(report)),
+                        None => Step::Retry(
+                            "worker exited cleanly but left no readable shard report".to_string(),
+                        ),
+                    }
+                }
+                Ok(Some(status)) => Step::Retry(match status.code() {
+                    Some(code) => format!("worker exited with code {code}"),
+                    None => "worker was killed by a signal".to_string(),
+                }),
+                Ok(None) => {
+                    let progress = fs::read_to_string(&task.progress_path).unwrap_or_default();
+                    if progress != *last_progress {
+                        *last_progress = progress;
+                        *last_change = Instant::now();
+                        Step::Idle
+                    } else if last_change.elapsed() > self.options.stall_timeout {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        Step::Retry(format!(
+                            "worker heartbeat stalled for more than {:?}",
+                            self.options.stall_timeout
+                        ))
+                    } else {
+                        Step::Idle
+                    }
+                }
+            },
+        }
+    }
+
+    /// Spawns the worker process for a task's next attempt.
+    fn launch(&self, task: &mut Task) -> Result<(), ThemisError> {
+        // Drop any artifacts of a killed earlier attempt so a fresh exit
+        // status is never paired with a stale report or heartbeat.
+        let _ = fs::remove_file(&task.out_path);
+        let _ = fs::remove_file(&task.progress_path);
+        let mut cmd = Command::new(&self.options.worker);
+        cmd.arg("run")
+            .arg(&task.spec_path)
+            .arg("--out")
+            .arg(&task.out_path)
+            .arg("--progress")
+            .arg(&task.progress_path)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        if let Some(cache) = &self.options.cache_file {
+            cmd.arg("--cache").arg(cache);
+        }
+        if self.options.threads_per_worker > 1 {
+            cmd.arg("--threads")
+                .arg(self.options.threads_per_worker.to_string());
+        }
+        if task.attempts == 0 {
+            if let Some((_, after_cells)) = self
+                .options
+                .fail_first_attempt
+                .iter()
+                .find(|(shard, _)| *shard == task.index)
+            {
+                cmd.arg("--fail-after").arg(after_cells.to_string());
+            }
+        }
+        let child = cmd.spawn().map_err(|err| ThemisError::Serve {
+            reason: format!(
+                "could not spawn shard worker `{}`: {err}",
+                self.options.worker.display()
+            ),
+        })?;
+        task.attempts += 1;
+        task.state = TaskState::Running {
+            child,
+            last_progress: String::new(),
+            last_change: Instant::now(),
+        };
+        Ok(())
+    }
+
+    /// Schedules a failed attempt's retry, or gives up once the shard has
+    /// exhausted its attempts.
+    fn schedule_retry(&self, task: &mut Task, reason: &str) -> Result<(), ThemisError> {
+        if task.attempts >= self.options.max_attempts {
+            return Err(ThemisError::Serve {
+                reason: format!(
+                    "shard {} failed after {} attempts: {reason}",
+                    task.index, task.attempts
+                ),
+            });
+        }
+        let exponent = task.attempts.saturating_sub(1).min(16);
+        let backoff = self
+            .options
+            .backoff_base
+            .saturating_mul(1u32 << exponent)
+            .min(self.options.backoff_cap);
+        task.state = TaskState::Waiting {
+            until: Instant::now() + backoff,
+        };
+        Ok(())
+    }
+}

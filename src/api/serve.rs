@@ -1,0 +1,852 @@
+//! `themis-serve`: a resident campaign service with a persistent warm plan
+//! cache.
+//!
+//! Every run used to be a cold process: schedules and cost tables were
+//! rebuilt per invocation, so the warm-plan speedups of the
+//! [`themis_core::SimPlanCache`] evaporated across process boundaries. This
+//! module keeps them alive: a [`Service`] owns **one** [`SimPlanCache`] (plus
+//! a result-level cell cache) for its whole lifetime and answers a stream of
+//! JSONL requests — campaigns, stream campaigns, shard specs, orchestrated
+//! multi-process sweeps — against it. The `themis-serve` binary in
+//! `crates/bench` wraps a `Service` in a stdin/stdout or Unix-domain-socket
+//! daemon.
+//!
+//! ## Protocol
+//!
+//! One JSON object per line in, one JSON object per line out (the
+//! dependency-free [`crate::api::json`] format — no new dependencies):
+//!
+//! ```text
+//! → {"id":1,"kind":"ping"}
+//! ← {"id":1,"status":"ok","kind":"ping","result":{...},"cache":{...}}
+//! → {"id":2,"kind":"campaign","cells":[{"platform":{...},"job":{...}},...]}
+//! ← {"id":2,"status":"ok","kind":"campaign","result":<campaign report>,"cache":{...}}
+//! → {"id":3,"kind":"nope"}
+//! ← {"id":3,"status":"error","error":"unknown request kind `nope` (...)"}
+//! ```
+//!
+//! A malformed line never crashes the service — it answers with a structured
+//! `status:"error"` response and keeps serving. Request kinds:
+//!
+//! | kind            | payload                                  | result |
+//! |-----------------|------------------------------------------|--------|
+//! | `ping`          | —                                        | resident cache sizes |
+//! | `campaign`      | `cells: [{platform, job}]`               | the [`CampaignReport`], bit-identical to [`Runner::execute`] |
+//! | `stream`        | `cells: [{platform, stream}]`            | the [`StreamCampaignReport`], bit-identical to [`Runner::execute_streams`] |
+//! | `shard`         | `spec: <shard-spec JSON>`                | the [`crate::api::ShardReport`] |
+//! | `sweep`         | campaign/stream cells + orchestration    | a merged multi-process sweep ([`crate::api::orchestrator`]) |
+//! | `cache-stats`   | —                                        | cumulative cache counters |
+//! | `cache-publish` | `path` (optional)                        | merge-publishes the schedule cache to its file |
+//! | `shutdown`      | —                                        | acknowledges, then the serve loop exits |
+//!
+//! Every `ok` response carries a `cache` block with the request's **delta**
+//! hit/miss counters (cells served from the resident result cache, schedules
+//! served from the plan cache) — the second identical campaign request
+//! reports `cells.hits > 0` without simulating anything.
+//!
+//! ## Cell dedup across concurrent requests
+//!
+//! Identical cells are deduplicated with a single-flight result cache: when
+//! two in-flight requests (e.g. two socket connections) race on the same
+//! (platform, job) cell, the first computes it and the second *waits for that
+//! computation* instead of re-simulating. Results are evicted FIFO beyond
+//! [`ServeOptions::max_resident_cells`], bounding the daemon's working set.
+
+use crate::api::json::Json;
+use crate::api::orchestrator::{Orchestrator, OrchestratorOptions};
+use crate::api::report::{CampaignReport, RunResult};
+use crate::api::runner::{CampaignCell, RunSpec, Runner};
+use crate::api::shard::{
+    job_from_json, job_to_json, platform_from_json, platform_to_json, stream_job_from_json,
+    stream_job_to_json, ShardSpec, ShardStrategy,
+};
+use crate::api::stream::{StreamCampaignReport, StreamRunResult, StreamSpec};
+use crate::error::ThemisError;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use themis_core::SimPlanCache;
+use themis_sim::SimWorkspace;
+
+/// Configuration of a [`Service`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Path of the `shard-worker` binary used by `sweep` requests. `None`
+    /// disables orchestrated sweeps (they answer with an error response).
+    pub worker: Option<PathBuf>,
+    /// Schedule-cache file shared across processes: loaded by
+    /// [`Service::load_cache_file`] at startup, merge-published by
+    /// [`Service::publish_cache_file`] (and the `cache-publish` request).
+    pub cache_file: Option<PathBuf>,
+    /// Scratch directory for orchestrated sweeps (spec/partial/progress
+    /// files).
+    pub work_dir: PathBuf,
+    /// FIFO capacity of the resident result cache; older cells are evicted
+    /// beyond it so a long-running daemon's memory stays bounded.
+    pub max_resident_cells: usize,
+    /// Worker threads per spawned shard worker in `sweep` requests.
+    pub worker_threads: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            worker: None,
+            cache_file: None,
+            work_dir: PathBuf::from("serve-work"),
+            max_resident_cells: 4096,
+            worker_threads: 1,
+        }
+    }
+}
+
+/// The resident campaign service: a persistent warm [`SimPlanCache`], a
+/// single-flight result cache, and a JSONL request handler.
+///
+/// All methods take `&self`; a `Service` wrapped in an [`Arc`] serves many
+/// connections concurrently, and concurrent requests share (and deduplicate
+/// against) the same caches.
+///
+/// ```
+/// use themis::api::serve::Service;
+///
+/// let service = Service::default();
+/// let request = r#"{"id":1,"kind":"ping"}"#;
+/// let response = service.handle_line(request);
+/// assert!(response.contains("\"status\":\"ok\""));
+/// // Malformed requests answer with structured errors instead of crashing.
+/// assert!(service.handle_line("{oops").contains("\"status\":\"error\""));
+/// ```
+#[derive(Debug)]
+pub struct Service {
+    options: ServeOptions,
+    plan: SimPlanCache,
+    cells: CellCache,
+    shutdown: AtomicBool,
+}
+
+impl Default for Service {
+    fn default() -> Self {
+        Service::new(ServeOptions::default())
+    }
+}
+
+impl Service {
+    /// Creates a service with empty caches.
+    pub fn new(options: ServeOptions) -> Self {
+        let cells = CellCache::new(options.max_resident_cells);
+        Service {
+            options,
+            plan: SimPlanCache::new(),
+            cells,
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The service's configuration.
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// The resident precompiled-plan cache shared by every request.
+    pub fn plan(&self) -> &SimPlanCache {
+        &self.plan
+    }
+
+    /// Number of results currently resident in the cell cache.
+    pub fn resident_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` once a `shutdown` request has been handled; serve loops exit
+    /// and socket daemons stop accepting.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Warm-starts the schedule cache from [`ServeOptions::cache_file`]
+    /// (missing file = cold start). Returns the number of loaded schedules.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`themis_core::ScheduleError`] read/parse failures.
+    pub fn load_cache_file(&self) -> Result<usize, ThemisError> {
+        match &self.options.cache_file {
+            Some(path) => Ok(self.plan.schedules().load_from_file(path)?),
+            None => Ok(0),
+        }
+    }
+
+    /// Merge-publishes the schedule cache to [`ServeOptions::cache_file`]
+    /// ([`themis_core::ScheduleCache::publish_to_file`] — concurrent
+    /// publishers never lose entries). Returns the number of published
+    /// schedules, or 0 when no cache file is configured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`themis_core::ScheduleError`] lock/write failures.
+    pub fn publish_cache_file(&self) -> Result<usize, ThemisError> {
+        match &self.options.cache_file {
+            Some(path) => Ok(self.plan.schedules().publish_to_file(path)?),
+            None => Ok(0),
+        }
+    }
+
+    /// Handles one request line and renders the response line (without a
+    /// trailing newline). Never panics on malformed input: parse and
+    /// validation failures become `status:"error"` responses.
+    pub fn handle_line(&self, line: &str) -> String {
+        self.handle_line_with(line, |_, _, _| None)
+    }
+
+    /// Like [`Service::handle_line`], with an extension hook consulted for
+    /// request kinds the built-in protocol does not know (the `themis-serve`
+    /// binary plugs the figure-suite runner in this way). The hook returns
+    /// `None` to decline, or `Some(result)` to answer.
+    pub fn handle_line_with(
+        &self,
+        line: &str,
+        ext: impl FnOnce(&Service, &str, &Json) -> Option<Result<Json, ThemisError>>,
+    ) -> String {
+        let request = match Json::parse(line) {
+            Ok(request) => request,
+            Err(err) => return render_error(&Json::Null, &format!("malformed request: {err}")),
+        };
+        let id = request.get("id").cloned().unwrap_or(Json::Null);
+        let kind = match request.field("kind").and_then(Json::as_str) {
+            Ok(kind) => kind.to_string(),
+            Err(err) => return render_error(&id, &format!("invalid request: {err}")),
+        };
+        let before = self.counters();
+        let result = self.dispatch(&kind, &request, ext);
+        match result {
+            Ok(result) => {
+                let delta = self.counters().delta(&before);
+                Json::obj([
+                    ("id", id),
+                    ("status", Json::Str("ok".to_string())),
+                    ("kind", Json::Str(kind)),
+                    ("result", result),
+                    ("cache", delta.to_json(self)),
+                ])
+                .render()
+            }
+            Err(err) => render_error(&id, &err.to_string()),
+        }
+    }
+
+    /// Serves requests line by line from `reader`, writing one response line
+    /// per request to `writer`, until end-of-input or a `shutdown` request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error on the reader or writer.
+    pub fn serve<R: BufRead, W: Write>(&self, reader: R, writer: W) -> std::io::Result<()> {
+        self.serve_with(reader, writer, |_, _, _| None)
+    }
+
+    /// Like [`Service::serve`], consulting `ext` for unknown request kinds
+    /// (see [`Service::handle_line_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error on the reader or writer.
+    pub fn serve_with<R: BufRead, W: Write>(
+        &self,
+        reader: R,
+        mut writer: W,
+        ext: impl Fn(&Service, &str, &Json) -> Option<Result<Json, ThemisError>>,
+    ) -> std::io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = self.handle_line_with(&line, &ext);
+            writer.write_all(response.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            if self.shutdown_requested() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Routes one parsed request to its handler.
+    fn dispatch(
+        &self,
+        kind: &str,
+        request: &Json,
+        ext: impl FnOnce(&Service, &str, &Json) -> Option<Result<Json, ThemisError>>,
+    ) -> Result<Json, ThemisError> {
+        match kind {
+            "ping" => Ok(self.resident_json()),
+            "campaign" => self.handle_campaign(request),
+            "stream" => self.handle_stream(request),
+            "shard" => self.handle_shard(request),
+            "sweep" => self.handle_sweep(request),
+            "cache-stats" => Ok(self.cache_stats_json()),
+            "cache-publish" => self.handle_cache_publish(request),
+            "shutdown" => {
+                self.shutdown.store(true, Ordering::Relaxed);
+                Ok(Json::obj([("shutting_down", Json::Bool(true))]))
+            }
+            other => match ext(self, other, request) {
+                Some(result) => result,
+                None => Err(ThemisError::Serve {
+                    reason: format!(
+                        "unknown request kind `{other}` (expected ping, campaign, stream, \
+                         shard, sweep, cache-stats, cache-publish, or shutdown)"
+                    ),
+                }),
+            },
+        }
+    }
+
+    /// Executes a `campaign` request: each cell through the single-flight
+    /// result cache on the resident plan. Bit-identical to
+    /// [`Runner::execute`] on the same specs.
+    fn handle_campaign(&self, request: &Json) -> Result<Json, ThemisError> {
+        let mut workspace = SimWorkspace::new();
+        let mut results = Vec::new();
+        for cell in request.field("cells")?.as_arr()? {
+            let spec = RunSpec::new(
+                platform_from_json(cell.field("platform")?)?,
+                job_from_json(cell.field("job")?)?,
+            );
+            // Canonical key: re-render the parsed spec, so formatting
+            // differences between clients cannot split the cache.
+            let key = format!(
+                "campaign:{}:{}",
+                platform_to_json(&spec.platform).render(),
+                job_to_json(&spec.job).render()
+            );
+            let value = self.cells.get_or_compute(key, || {
+                spec.execute_planned(&self.plan, &mut workspace)
+                    .map(CellValue::Campaign)
+            })?;
+            match value {
+                CellValue::Campaign(result) => results.push(result),
+                CellValue::Stream(_) => unreachable!("campaign keys hold campaign results"),
+            }
+        }
+        Ok(CampaignReport::new(results).to_json_value())
+    }
+
+    /// Executes a `stream` request; the stream analogue of
+    /// [`Service::handle_campaign`].
+    fn handle_stream(&self, request: &Json) -> Result<Json, ThemisError> {
+        let mut workspace = SimWorkspace::new();
+        let mut results = Vec::new();
+        for cell in request.field("cells")?.as_arr()? {
+            let spec = StreamSpec::new(
+                platform_from_json(cell.field("platform")?)?,
+                stream_job_from_json(cell.field("stream")?)?,
+            );
+            let key = format!(
+                "stream:{}:{}",
+                platform_to_json(&spec.platform).render(),
+                stream_job_to_json(&spec.job).render()
+            );
+            let value = self.cells.get_or_compute(key, || {
+                spec.execute_planned(&self.plan, &mut workspace)
+                    .map(CellValue::Stream)
+            })?;
+            match value {
+                CellValue::Stream(result) => results.push(result),
+                CellValue::Campaign(_) => unreachable!("stream keys hold stream results"),
+            }
+        }
+        Ok(StreamCampaignReport::new(results).to_json_value())
+    }
+
+    /// Executes a `shard` request against the resident plan cache.
+    fn handle_shard(&self, request: &Json) -> Result<Json, ThemisError> {
+        let spec = ShardSpec::from_json(&request.field("spec")?.render())?;
+        let report = spec.execute_with_cache(&Runner::sequential(), &self.plan)?;
+        Ok(Json::parse(&report.to_json())?)
+    }
+
+    /// Executes a `sweep` request: plans shards over the request's cells and
+    /// drives them through the multi-process [`Orchestrator`].
+    fn handle_sweep(&self, request: &Json) -> Result<Json, ThemisError> {
+        let worker = self
+            .options
+            .worker
+            .clone()
+            .ok_or_else(|| ThemisError::Serve {
+                reason: "sweep requests need a configured shard-worker binary \
+                         (start themis-serve with --worker)"
+                    .to_string(),
+            })?;
+        let mut options = OrchestratorOptions::new(worker);
+        options.work_dir = self.options.work_dir.clone();
+        options.cache_file = self.options.cache_file.clone();
+        options.threads_per_worker = self.options.worker_threads;
+        if let Some(shards) = request.get("shards") {
+            options.shards = shards.as_usize()?;
+        }
+        if let Some(strategy) = request.get("strategy") {
+            options.strategy = match strategy.as_str()? {
+                "round-robin" => ShardStrategy::RoundRobin,
+                "cost-balanced" => ShardStrategy::CostBalanced,
+                other => {
+                    return Err(ThemisError::Serve {
+                        reason: format!("unknown shard strategy `{other}`"),
+                    })
+                }
+            };
+        }
+        if let Some(attempts) = request.get("max_attempts") {
+            options.max_attempts = attempts.as_usize()?.max(1) as u32;
+        }
+        if let Some(timeout) = request.get("stall_timeout_ms") {
+            options.stall_timeout = Duration::from_millis(timeout.as_f64()? as u64);
+        }
+        if let Some(hook) = request.get("fail_first_attempt") {
+            for entry in hook.as_arr()? {
+                options
+                    .fail_first_attempt
+                    .push((entry.field("shard")?.as_usize()?, {
+                        match entry.get("after_cells") {
+                            Some(cells) => cells.as_usize()?,
+                            None => 0,
+                        }
+                    }));
+            }
+        }
+        let orchestrator = Orchestrator::new(options);
+        let entries = request.field("entries")?.as_arr()?;
+        let outcome = match request.field("cells")?.as_str()? {
+            "campaign" => {
+                let specs = entries
+                    .iter()
+                    .map(|cell| {
+                        Ok(RunSpec::new(
+                            platform_from_json(cell.field("platform")?)?,
+                            job_from_json(cell.field("job")?)?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, ThemisError>>()?;
+                orchestrator.run_campaign(&specs)?
+            }
+            "stream" => {
+                let specs = entries
+                    .iter()
+                    .map(|cell| {
+                        Ok(StreamSpec::new(
+                            platform_from_json(cell.field("platform")?)?,
+                            stream_job_from_json(cell.field("stream")?)?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, ThemisError>>()?;
+                orchestrator.run_streams(&specs)?
+            }
+            other => {
+                return Err(ThemisError::Serve {
+                    reason: format!("unknown sweep cell kind `{other}`"),
+                })
+            }
+        };
+        Ok(Json::obj([
+            ("merged", Json::parse(&outcome.merged.to_json())?),
+            (
+                "attempts",
+                Json::Arr(
+                    outcome
+                        .attempts
+                        .iter()
+                        .map(|&a| Json::Num(a as f64))
+                        .collect(),
+                ),
+            ),
+            ("retries", Json::Num(outcome.retries() as f64)),
+        ]))
+    }
+
+    /// Handles `cache-publish`: merge-publishes the schedule cache to the
+    /// request's `path` or the configured cache file.
+    fn handle_cache_publish(&self, request: &Json) -> Result<Json, ThemisError> {
+        let published = match request.get("path") {
+            Some(path) => self
+                .plan
+                .schedules()
+                .publish_to_file(std::path::Path::new(path.as_str()?))?,
+            None => {
+                if self.options.cache_file.is_none() {
+                    return Err(ThemisError::Serve {
+                        reason: "cache-publish needs a `path` or a configured --cache file"
+                            .to_string(),
+                    });
+                }
+                self.publish_cache_file()?
+            }
+        };
+        Ok(Json::obj([("published", Json::Num(published as f64))]))
+    }
+
+    /// Snapshot of all cumulative counters, for per-request deltas.
+    fn counters(&self) -> Counters {
+        Counters {
+            cell_hits: self.cells.hits(),
+            cell_misses: self.cells.misses(),
+            schedule_hits: self.plan.schedules().hits(),
+            schedule_misses: self.plan.schedules().misses(),
+            cost_table_hits: self.plan.cost_tables().hits(),
+            cost_table_misses: self.plan.cost_tables().misses(),
+        }
+    }
+
+    /// The `ping` result: resident cache sizes.
+    fn resident_json(&self) -> Json {
+        Json::obj([
+            ("pong", Json::Bool(true)),
+            ("resident", self.resident_sizes_json()),
+        ])
+    }
+
+    /// Resident entry counts per cache pool.
+    fn resident_sizes_json(&self) -> Json {
+        Json::obj([
+            ("cells", Json::Num(self.cells.len() as f64)),
+            ("schedules", Json::Num(self.plan.schedules().len() as f64)),
+            (
+                "cost_tables",
+                Json::Num(self.plan.cost_tables().len() as f64),
+            ),
+        ])
+    }
+
+    /// The `cache-stats` result: cumulative counters plus resident sizes.
+    fn cache_stats_json(&self) -> Json {
+        let totals = self.counters();
+        Json::obj([
+            ("cells", counter_json(totals.cell_hits, totals.cell_misses)),
+            (
+                "schedules",
+                counter_json(totals.schedule_hits, totals.schedule_misses),
+            ),
+            (
+                "cost_tables",
+                counter_json(totals.cost_table_hits, totals.cost_table_misses),
+            ),
+            ("resident", self.resident_sizes_json()),
+        ])
+    }
+}
+
+/// Renders a `status:"error"` response line.
+fn render_error(id: &Json, reason: &str) -> String {
+    Json::obj([
+        ("id", id.clone()),
+        ("status", Json::Str("error".to_string())),
+        ("error", Json::Str(reason.to_string())),
+    ])
+    .render()
+}
+
+fn counter_json(hits: u64, misses: u64) -> Json {
+    Json::obj([
+        ("hits", Json::Num(hits as f64)),
+        ("misses", Json::Num(misses as f64)),
+    ])
+}
+
+/// Cumulative cache counters at one instant.
+#[derive(Debug, Clone, Copy)]
+struct Counters {
+    cell_hits: u64,
+    cell_misses: u64,
+    schedule_hits: u64,
+    schedule_misses: u64,
+    cost_table_hits: u64,
+    cost_table_misses: u64,
+}
+
+impl Counters {
+    fn delta(&self, before: &Counters) -> Counters {
+        Counters {
+            cell_hits: self.cell_hits - before.cell_hits,
+            cell_misses: self.cell_misses - before.cell_misses,
+            schedule_hits: self.schedule_hits - before.schedule_hits,
+            schedule_misses: self.schedule_misses - before.schedule_misses,
+            cost_table_hits: self.cost_table_hits - before.cost_table_hits,
+            cost_table_misses: self.cost_table_misses - before.cost_table_misses,
+        }
+    }
+
+    /// The response `cache` block: this request's deltas plus resident sizes.
+    fn to_json(self, service: &Service) -> Json {
+        Json::obj([
+            ("cells", counter_json(self.cell_hits, self.cell_misses)),
+            (
+                "schedules",
+                counter_json(self.schedule_hits, self.schedule_misses),
+            ),
+            (
+                "cost_tables",
+                counter_json(self.cost_table_hits, self.cost_table_misses),
+            ),
+            ("resident_cells", Json::Num(service.resident_cells() as f64)),
+        ])
+    }
+}
+
+/// One memoised cell result.
+#[derive(Debug, Clone)]
+enum CellValue {
+    /// A collective-campaign cell.
+    Campaign(RunResult),
+    /// A stream-campaign cell.
+    Stream(StreamRunResult),
+}
+
+/// State of one cell slot: being computed by its first requester, or done.
+#[derive(Debug)]
+enum SlotState {
+    /// The inserting request is computing; others wait on the condvar.
+    InFlight,
+    /// Finished (errors are memoised as display strings — deterministic
+    /// failures fail identically on every repeat).
+    Done(Result<CellValue, String>),
+}
+
+/// One single-flight slot.
+#[derive(Debug)]
+struct CellSlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+/// Insertion-ordered slot map (FIFO eviction beyond the capacity).
+#[derive(Debug, Default)]
+struct SlotMap {
+    map: HashMap<String, Arc<CellSlot>>,
+    order: VecDeque<String>,
+}
+
+/// The single-flight result cache: identical cells across concurrent
+/// in-flight requests are computed once; repeats are served without touching
+/// the simulator.
+#[derive(Debug)]
+struct CellCache {
+    slots: Mutex<SlotMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    cap: usize,
+}
+
+impl CellCache {
+    fn new(cap: usize) -> Self {
+        CellCache {
+            slots: Mutex::new(SlotMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            cap: cap.max(1),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .expect("cell cache lock is never poisoned")
+            .map
+            .len()
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Returns the memoised value for `key`, or runs `compute` (outside every
+    /// lock) and memoises the outcome. Concurrent callers with the same key
+    /// wait for the first computation instead of re-running it; their lookups
+    /// count as hits.
+    fn get_or_compute(
+        &self,
+        key: String,
+        compute: impl FnOnce() -> Result<CellValue, ThemisError>,
+    ) -> Result<CellValue, ThemisError> {
+        let (slot, owner) = {
+            let mut slots = self
+                .slots
+                .lock()
+                .expect("cell cache lock is never poisoned");
+            match slots.map.get(&key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(CellSlot {
+                        state: Mutex::new(SlotState::InFlight),
+                        ready: Condvar::new(),
+                    });
+                    slots.map.insert(key.clone(), Arc::clone(&slot));
+                    slots.order.push_back(key);
+                    // FIFO eviction: waiters hold their own Arc to an evicted
+                    // slot, so dropping the map entry only forgets the memo.
+                    while slots.order.len() > self.cap {
+                        let oldest = slots.order.pop_front().expect("len > cap >= 1");
+                        slots.map.remove(&oldest);
+                    }
+                    (slot, true)
+                }
+            }
+        };
+        if owner {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let result = compute();
+            let memo = match &result {
+                Ok(value) => Ok(value.clone()),
+                Err(err) => Err(err.to_string()),
+            };
+            *slot.state.lock().expect("cell slot lock is never poisoned") = SlotState::Done(memo);
+            slot.ready.notify_all();
+            result
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let mut state = slot.state.lock().expect("cell slot lock is never poisoned");
+            while matches!(*state, SlotState::InFlight) {
+                state = slot
+                    .ready
+                    .wait(state)
+                    .expect("cell slot lock is never poisoned");
+            }
+            match &*state {
+                SlotState::Done(Ok(value)) => Ok(value.clone()),
+                SlotState::Done(Err(reason)) => Err(ThemisError::Serve {
+                    reason: reason.clone(),
+                }),
+                SlotState::InFlight => unreachable!("the wait loop exits only on Done"),
+            }
+        }
+    }
+}
+
+/// Serializes campaign cells (the `cells` payload of `campaign` and the
+/// `entries` payload of a campaign `sweep`) for a request line.
+pub fn campaign_cells_to_json(specs: &[RunSpec]) -> Json {
+    Json::Arr(
+        specs
+            .iter()
+            .map(|spec| {
+                Json::obj([
+                    ("platform", platform_to_json(&spec.platform)),
+                    ("job", job_to_json(&spec.job)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Serializes stream cells (the `cells` payload of `stream` and the
+/// `entries` payload of a stream `sweep`) for a request line.
+pub fn stream_cells_to_json(specs: &[StreamSpec]) -> Json {
+    Json::Arr(
+        specs
+            .iter()
+            .map(|spec| {
+                Json::obj([
+                    ("platform", platform_to_json(&spec.platform)),
+                    ("stream", stream_job_to_json(&spec.job)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::job::Job;
+    use crate::api::platform::Platform;
+    use themis_core::SchedulerKind;
+    use themis_net::presets::PresetTopology;
+
+    fn specs() -> Vec<RunSpec> {
+        let platform = Platform::preset(PresetTopology::Sw2d);
+        SchedulerKind::all()
+            .into_iter()
+            .map(|kind| {
+                RunSpec::new(
+                    platform.clone(),
+                    Job::all_reduce_mib(16.0).chunks(4).scheduler(kind),
+                )
+            })
+            .collect()
+    }
+
+    fn campaign_request(id: usize, specs: &[RunSpec]) -> String {
+        Json::obj([
+            ("id", Json::Num(id as f64)),
+            ("kind", Json::Str("campaign".to_string())),
+            ("cells", campaign_cells_to_json(specs)),
+        ])
+        .render()
+    }
+
+    #[test]
+    fn second_identical_request_is_served_from_the_cell_cache() {
+        let service = Service::default();
+        let specs = specs();
+        let first = Json::parse(&service.handle_line(&campaign_request(1, &specs))).unwrap();
+        let second = Json::parse(&service.handle_line(&campaign_request(2, &specs))).unwrap();
+        assert_eq!(first.field("status").unwrap().as_str().unwrap(), "ok");
+        // Bit-identical reports.
+        assert_eq!(
+            first.field("result").unwrap(),
+            second.field("result").unwrap()
+        );
+        // The second request hit the resident cache on every cell.
+        let cells = second.field("cache").unwrap().field("cells").unwrap();
+        assert_eq!(
+            cells.field("hits").unwrap().as_usize().unwrap(),
+            specs.len()
+        );
+        assert_eq!(cells.field("misses").unwrap().as_usize().unwrap(), 0);
+    }
+
+    #[test]
+    fn single_flight_cell_cache_deduplicates_and_evicts() {
+        let cache = CellCache::new(2);
+        let value = || {
+            Ok(CellValue::Campaign(RunResult {
+                config: crate::api::report::RunConfig {
+                    topology: "t".to_string(),
+                    scheduler: SchedulerKind::Baseline,
+                    collective: themis_collectives::CollectiveKind::AllReduce,
+                    size: themis_net::DataSize::from_mib(1.0),
+                    chunks: 1,
+                },
+                report: themis_sim::SimReport {
+                    scheduler_name: "s".to_string(),
+                    topology_name: "t".to_string(),
+                    total_time_ns: 0.0,
+                    activity_window_ns: 1.0,
+                    dims: Vec::new(),
+                    op_log: Vec::new(),
+                },
+            }))
+        };
+        cache.get_or_compute("a".to_string(), value).unwrap();
+        cache.get_or_compute("a".to_string(), value).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // Capacity 2: inserting c then d evicts the oldest keys.
+        cache.get_or_compute("b".to_string(), value).unwrap();
+        cache.get_or_compute("c".to_string(), value).unwrap();
+        assert_eq!(cache.len(), 2);
+        // Errors are memoised too.
+        let err = cache.get_or_compute("boom".to_string(), || {
+            Err(ThemisError::Serve {
+                reason: "exploded".to_string(),
+            })
+        });
+        assert!(err.is_err());
+    }
+}

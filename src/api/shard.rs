@@ -380,6 +380,77 @@ impl ShardSpec {
         })
     }
 
+    /// Like [`ShardSpec::execute_with_cache`], but executing the cells one at
+    /// a time and calling `observe(done, total)` after each — the hook
+    /// `shard-worker run` uses to emit heartbeat/progress lines the
+    /// orchestrator ([`crate::api::orchestrator`]) watches. `observe` is also
+    /// called once with `(0, total)` before the first cell, so a worker
+    /// proves liveness even while its first cell simulates.
+    ///
+    /// Returning `false` from `observe` aborts the shard with
+    /// [`ThemisError::Serve`] — the deterministic failure path behind the
+    /// worker's `--fail-after` test hook.
+    ///
+    /// Cells share `plan` exactly as the batch path does, so the report is
+    /// bit-identical to [`ShardSpec::execute_with_cache`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first scheduling/simulation error in cell order, or
+    /// [`ThemisError::Serve`] when `observe` aborts.
+    pub fn execute_with_cache_observed(
+        &self,
+        runner: &Runner,
+        plan: &SimPlanCache,
+        mut observe: impl FnMut(usize, usize) -> bool,
+    ) -> Result<ShardReport, ThemisError> {
+        let total = self.len();
+        let mut check = |done: usize| {
+            if observe(done, total) {
+                Ok(())
+            } else {
+                Err(ThemisError::Serve {
+                    reason: format!(
+                        "shard {} aborted by its observer after {done} of {total} cells",
+                        self.shard_index
+                    ),
+                })
+            }
+        };
+        check(0)?;
+        let cache = plan.schedules();
+        let (hits_before, misses_before) = (cache.hits(), cache.misses());
+        let results = match &self.cells {
+            ShardCells::Campaign(cells) => {
+                let mut results = Vec::with_capacity(cells.len());
+                for (done, (index, spec)) in cells.iter().enumerate() {
+                    let mut cell = runner.execute_with_cache(std::slice::from_ref(spec), plan)?;
+                    results.push((*index, cell.remove(0)));
+                    check(done + 1)?;
+                }
+                ShardResults::Campaign(results)
+            }
+            ShardCells::Stream(cells) => {
+                let mut results = Vec::with_capacity(cells.len());
+                for (done, (index, spec)) in cells.iter().enumerate() {
+                    let mut cell = runner.execute_with_cache(std::slice::from_ref(spec), plan)?;
+                    results.push((*index, cell.remove(0)));
+                    check(done + 1)?;
+                }
+                ShardResults::Stream(results)
+            }
+        };
+        Ok(ShardReport {
+            shard_index: self.shard_index,
+            shard_count: self.shard_count,
+            cache: CacheStats {
+                hits: cache.hits() - hits_before,
+                misses: cache.misses() - misses_before,
+            },
+            results,
+        })
+    }
+
     /// Serializes the shard spec to compact JSON.
     pub fn to_json(&self) -> String {
         let (cells_kind, entries) = match &self.cells {
@@ -883,11 +954,12 @@ fn collect_ordered<R>(pairs: impl Iterator<Item = (usize, R)>) -> Result<Vec<R>,
 
 // ---------------------------------------------------------------------------
 // JSON forms of the spec halves (platform, job, stream job). These live here
-// rather than on the types themselves because sharding is the only consumer
-// of *spec* (as opposed to report) serialization.
+// rather than on the types themselves because sharding and the service layer
+// ([`crate::api::serve`]) are the only consumers of *spec* (as opposed to
+// report) serialization.
 // ---------------------------------------------------------------------------
 
-fn platform_to_json(platform: &Platform) -> Json {
+pub(crate) fn platform_to_json(platform: &Platform) -> Json {
     let options = platform.options();
     Json::obj([
         ("name", Json::Str(platform.name().to_string())),
@@ -935,7 +1007,7 @@ fn platform_to_json(platform: &Platform) -> Json {
     ])
 }
 
-fn platform_from_json(value: &Json) -> Result<Platform, ThemisError> {
+pub(crate) fn platform_from_json(value: &Json) -> Result<Platform, ThemisError> {
     let mut dims = Vec::new();
     for dim in value.field("dims")?.as_arr()? {
         let label = dim.field("kind")?.as_str()?;
@@ -964,7 +1036,7 @@ fn platform_from_json(value: &Json) -> Result<Platform, ThemisError> {
     }))
 }
 
-fn job_to_json(job: &Job) -> Json {
+pub(crate) fn job_to_json(job: &Job) -> Json {
     Json::obj([
         ("collective", Json::Str(job.kind().to_string())),
         ("size_bytes", Json::Num(job.size().as_bytes_f64())),
@@ -976,7 +1048,7 @@ fn job_to_json(job: &Job) -> Json {
     ])
 }
 
-fn job_from_json(value: &Json) -> Result<Job, ThemisError> {
+pub(crate) fn job_from_json(value: &Json) -> Result<Job, ThemisError> {
     Ok(Job::new(
         collective_from_label(value.field("collective")?.as_str()?)?,
         DataSize::from_bytes(value.field("size_bytes")?.as_f64()? as u64),
@@ -985,7 +1057,7 @@ fn job_from_json(value: &Json) -> Result<Job, ThemisError> {
     .scheduler(scheduler_from_label(value.field("scheduler")?.as_str()?)?))
 }
 
-fn stream_job_to_json(job: &StreamJob) -> Json {
+pub(crate) fn stream_job_to_json(job: &StreamJob) -> Json {
     Json::obj([
         ("name", Json::Str(job.name().to_string())),
         (
@@ -1012,7 +1084,7 @@ fn stream_job_to_json(job: &StreamJob) -> Json {
     ])
 }
 
-fn stream_job_from_json(value: &Json) -> Result<StreamJob, ThemisError> {
+pub(crate) fn stream_job_from_json(value: &Json) -> Result<StreamJob, ThemisError> {
     let mut entries = Vec::new();
     for entry in value.field("collectives")?.as_arr()? {
         entries.push(

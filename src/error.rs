@@ -39,6 +39,13 @@ pub enum ThemisError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// A service or orchestration failure: a malformed request, a worker
+    /// process that could not be spawned, or a shard that kept failing after
+    /// its bounded retries ([`crate::api::serve`] / [`crate::api::orchestrator`]).
+    Serve {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ThemisError {
@@ -51,6 +58,7 @@ impl fmt::Display for ThemisError {
             ThemisError::Workload(err) => write!(f, "workload error: {err}"),
             ThemisError::Campaign { reason } => write!(f, "invalid campaign: {reason}"),
             ThemisError::Json { reason } => write!(f, "campaign JSON error: {reason}"),
+            ThemisError::Serve { reason } => write!(f, "service error: {reason}"),
         }
     }
 }
@@ -63,7 +71,9 @@ impl Error for ThemisError {
             ThemisError::Schedule(err) => Some(err),
             ThemisError::Sim(err) => Some(err),
             ThemisError::Workload(err) => Some(err),
-            ThemisError::Campaign { .. } | ThemisError::Json { .. } => None,
+            ThemisError::Campaign { .. } | ThemisError::Json { .. } | ThemisError::Serve { .. } => {
+                None
+            }
         }
     }
 }

@@ -4,9 +4,10 @@
 
 pub use crate::api::{
     merge_reports, CacheStats, Campaign, CampaignCell, CampaignReport, Job, MergedReport,
-    MergedResults, Platform, QueuedCollective, RunConfig, RunResult, RunSpec, Runner, ScheduledRun,
-    ShardPlan, ShardReport, ShardSpec, ShardStrategy, StreamCampaign, StreamCampaignReport,
-    StreamJob, StreamRunConfig, StreamRunResult, StreamSpec, TrainingJob,
+    MergedResults, Orchestrator, OrchestratorOptions, Platform, QueuedCollective, RunConfig,
+    RunResult, RunSpec, Runner, ScheduledRun, ServeOptions, Service, ShardPlan, ShardReport,
+    ShardSpec, ShardStrategy, StreamCampaign, StreamCampaignReport, StreamJob, StreamRunConfig,
+    StreamRunResult, StreamSpec, SweepOutcome, TrainingJob,
 };
 pub use crate::error::ThemisError;
 
