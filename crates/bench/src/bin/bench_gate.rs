@@ -8,22 +8,29 @@
 //!
 //! ```text
 //! bench-gate BENCH_sim.json --matrix campaign --min 0.5
+//! bench-gate BENCH_sim.json --max-telemetry-overhead 25
 //! ```
 //!
-//! Exits non-zero (with a diagnostic on stderr) when the report is missing,
-//! malformed, lacks the requested matrix, or the matrix's `speedup` field is
-//! below `--min`.
+//! With `--matrix`/`--min`, exits non-zero (with a diagnostic on stderr)
+//! when the report is missing, malformed, lacks the requested matrix, or the
+//! matrix's `speedup` field is below `--min`. With
+//! `--max-telemetry-overhead`, instead gates the report's measured
+//! telemetry-on vs telemetry-off warm-campaign slowdown percentage.
 
 use std::process::ExitCode;
 use themis::api::json::Json;
 
 fn gate(args: &[String]) -> Result<String, String> {
     let mut args = args.to_vec();
-    let matrix = take_flag(&mut args, "--matrix")?.ok_or("missing --matrix <name>")?;
-    let min: f64 = take_flag(&mut args, "--min")?
-        .ok_or("missing --min <speedup>")?
-        .parse()
-        .map_err(|_| "invalid --min value".to_string())?;
+    let matrix = take_flag(&mut args, "--matrix")?;
+    let min = take_flag(&mut args, "--min")?;
+    let max_overhead: Option<f64> = match take_flag(&mut args, "--max-telemetry-overhead")? {
+        Some(text) => Some(
+            text.parse()
+                .map_err(|_| "invalid --max-telemetry-overhead value".to_string())?,
+        ),
+        None => None,
+    };
     let [path] = args.as_slice() else {
         return Err("expected exactly one report file".to_string());
     };
@@ -38,6 +45,31 @@ fn gate(args: &[String]) -> Result<String, String> {
     {
         return Err(format!("{path}: not a sim-bench report"));
     }
+    if let Some(max_overhead) = max_overhead {
+        if matrix.is_some() || min.is_some() {
+            return Err(
+                "--max-telemetry-overhead cannot be combined with --matrix/--min".to_string(),
+            );
+        }
+        let overhead = value
+            .field("telemetry")
+            .and_then(|t| t.field("overhead_pct"))
+            .and_then(Json::as_f64)
+            .map_err(|err| format!("{path}: {err}"))?;
+        if overhead > max_overhead {
+            return Err(format!(
+                "telemetry overhead {overhead:.2}% exceeds the {max_overhead}% ceiling"
+            ));
+        }
+        return Ok(format!(
+            "telemetry overhead {overhead:.2}% is within the {max_overhead}% ceiling"
+        ));
+    }
+    let matrix = matrix.ok_or("missing --matrix <name>")?;
+    let min: f64 = min
+        .ok_or("missing --min <speedup>")?
+        .parse()
+        .map_err(|_| "invalid --min value".to_string())?;
     let matrices = value
         .field("matrices")
         .and_then(Json::as_arr)

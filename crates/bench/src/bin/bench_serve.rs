@@ -15,6 +15,8 @@
 //!   in-process `Runner::execute` on the same specs;
 //! * the second identical request reports cell-cache hits > 0 (the resident
 //!   cache actually served it);
+//! * the `metrics` request kind answers with a telemetry snapshot that
+//!   counted both campaign requests, plus a Prometheus text exposition;
 //! * an orchestrated 2-shard `sweep` request — with one shard's first
 //!   attempt deterministically failed via the worker's `--fail-after` hook
 //!   and retried — merges bit-identically to the unsharded run;
@@ -30,7 +32,8 @@
 //!
 //! Emits a `BENCH_serve.json` report. With `--smoke` (CI) it also writes the
 //! `SERVE_*.json` artifacts: the second campaign response, the sweep
-//! response, and the published schedule-cache file.
+//! response, the metrics response, the published schedule-cache file, and a
+//! Perfetto trace (`SERVE_trace.json`) of one default-options cell.
 
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
@@ -227,7 +230,36 @@ fn main() {
     );
     assert_eq!(cache_counter(&second, "cells", "misses"), 0);
 
-    // Gate 3: an orchestrated 2-shard sweep with shard 0's first attempt
+    // Gate 3: the `metrics` kind answers with a telemetry snapshot that has
+    // counted the two campaign requests, plus a Prometheus text exposition.
+    let metrics = resident.request(vec![("kind", Json::Str("metrics".to_string()))]);
+    let metrics_result = metrics
+        .field("result")
+        .unwrap_or_else(|err| die(&format!("metrics response without result: {err}")));
+    let campaign_requests = metrics_result
+        .field("snapshot")
+        .and_then(|s| s.field("counters"))
+        .and_then(|c| c.field("serve.requests.campaign"))
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|err| die(&format!("metrics snapshot lacks request counters: {err}")));
+    assert_eq!(
+        campaign_requests, 2,
+        "the metrics snapshot should have counted both campaign requests"
+    );
+    let prometheus = metrics_result
+        .field("prometheus")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|err| die(&format!("metrics response without prometheus text: {err}")));
+    assert!(
+        prometheus.contains("themis_serve_requests_campaign 2"),
+        "the Prometheus exposition should carry the campaign request counter"
+    );
+    assert!(
+        prometheus.contains("themis_serve_latency_ns_campaign_count"),
+        "the Prometheus exposition should carry the campaign latency histogram"
+    );
+
+    // Gate 4: an orchestrated 2-shard sweep with shard 0's first attempt
     // deterministically failed (and retried) merges bit-identically.
     let sweep = resident.request(vec![
         ("kind", Json::Str("sweep".to_string())),
@@ -270,7 +302,7 @@ fn main() {
     });
     resident.shutdown();
 
-    // Gate 4: a fresh daemon warm-started from the published cache file
+    // Gate 5: a fresh daemon warm-started from the published cache file
     // reports schedule hits on its very first request — cross-process reuse.
     let mut warmed = ServeClient::spawn(&serve_bin, &worker_bin, &scratch, Some(&cache_file));
     let warm_first = warmed.request(campaign_fields());
@@ -366,9 +398,20 @@ fn main() {
     if smoke {
         write_or_die("SERVE_campaign.json", &second.render());
         write_or_die("SERVE_sweep.json", &sweep.render());
+        write_or_die("SERVE_metrics.json", &metrics.render());
         let cache_dump = std::fs::read_to_string(&cache_file)
             .unwrap_or_else(|err| die(&format!("published cache file is unreadable: {err}")));
         write_or_die("SERVE_cache.json", &cache_dump);
+        // The Perfetto timeline of one smoke-sized cell, run with default
+        // options so the op log is on (the bench campaign runs with it off).
+        let traced = Job::all_reduce_mib(16.0)
+            .chunks(8)
+            .run_on(&Platform::preset(PresetTopology::Sw2d))
+            .unwrap_or_else(|err| die(&format!("trace cell failed: {err}")));
+        write_or_die(
+            "SERVE_trace.json",
+            &themis::sim_report_trace(&traced.report).render(),
+        );
     }
     let _ = std::fs::remove_dir_all(&scratch);
 }

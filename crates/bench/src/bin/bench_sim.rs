@@ -23,9 +23,13 @@
 //!   are served entirely from the warm plan — no scheduler run, no
 //!   cost-model evaluation, just the event loops.
 //!
-//! The harness additionally times the warm path's three phases —
-//! scheduling, cost precompute and the event loop — separately, and emits
-//! them per matrix.
+//! The harness additionally splits the optimised path into its three phases
+//! — scheduling, cost precompute and the event loop — by diffing the
+//! simulator's own telemetry registry (the `phase.*` spans and the engines'
+//! event-loop histograms) around each run, and emits them per matrix. It also
+//! measures the warm campaign with telemetry-recording-on and -off rounds
+//! interleaved, reporting the median per-round on/off ratio as the recording
+//! overhead; full mode fails when that overhead exceeds 3%.
 //!
 //! Before timing anything the harness asserts the optimisation's correctness
 //! contract: with identical op-log settings, the cold, plan-cached and
@@ -44,11 +48,10 @@
 //! and still checks bit-identity.
 
 use std::io::Write;
-use std::time::Instant;
 use themis::api::json::Json;
+use themis::core::telemetry;
 use themis::prelude::*;
-use themis::CostModel;
-use themis_bench::harness::{measure, BenchStat};
+use themis_bench::harness::{measure, measure_paired, BenchStat};
 use themis_bench::report::Table;
 
 /// Required suite-warm-vs-baseline throughput on the campaign matrix (full
@@ -60,6 +63,11 @@ const REQUIRED_CAMPAIGN_SPEEDUP: f64 = 1.5;
 /// Required suite-warm-vs-baseline throughput on the stream matrix (full
 /// mode; raised from the 1.3x floor of the schedule-cache-only path).
 const REQUIRED_STREAM_SPEEDUP: f64 = 1.4;
+
+/// Maximum allowed warm-campaign slowdown with telemetry recording on vs off
+/// (full mode). The engines accumulate locally and flush once per run, so the
+/// instrumentation must stay within measurement noise.
+const MAX_TELEMETRY_OVERHEAD_PCT: f64 = 3.0;
 
 fn campaign(smoke: bool) -> Campaign {
     if smoke {
@@ -107,10 +115,10 @@ fn stream_campaign(smoke: bool) -> StreamCampaign {
     }
 }
 
-/// Wall-clock of the three per-cell phases of the optimised path, measured
-/// with a fresh [`SimPlanCache`] per iteration: populate the schedule cache
-/// (scheduling), build every per-op cost table (cost precompute), then
-/// execute the fully warm matrix (event loop + report assembly). Each phase
+/// The three per-cell phases of the optimised path — scheduling, cost
+/// precompute and the event loop — read from the simulator's own telemetry
+/// (the `phase.*` spans recorded around the plan lookups and the engines'
+/// event-loop histograms) instead of a bench-private stopwatch. Each phase
 /// keeps its fastest iteration.
 struct PhaseBreakdown {
     schedule_ns: f64,
@@ -128,13 +136,11 @@ impl PhaseBreakdown {
     }
 }
 
-/// Times the schedule / cost-precompute / event-loop phases separately.
-fn measure_phases(
-    iterations: usize,
-    schedule_all: impl Fn(&SimPlanCache),
-    cost_all: impl Fn(&SimPlanCache),
-    execute_warm: impl Fn(&SimPlanCache),
-) -> PhaseBreakdown {
+/// Runs `execute` against a fresh [`SimPlanCache`] per iteration and splits
+/// each iteration into its schedule / cost-precompute / event-loop phases by
+/// diffing the process-global telemetry registry around the run.
+fn measure_phases(iterations: usize, execute: impl Fn(&SimPlanCache)) -> PhaseBreakdown {
+    let registry = telemetry::global();
     let mut best = PhaseBreakdown {
         schedule_ns: f64::INFINITY,
         cost_ns: f64::INFINITY,
@@ -142,15 +148,19 @@ fn measure_phases(
     };
     for _ in 0..iterations.max(1) {
         let plan = SimPlanCache::new();
-        let start = Instant::now();
-        schedule_all(&plan);
-        best.schedule_ns = best.schedule_ns.min(start.elapsed().as_nanos() as f64);
-        let start = Instant::now();
-        cost_all(&plan);
-        best.cost_ns = best.cost_ns.min(start.elapsed().as_nanos() as f64);
-        let start = Instant::now();
-        execute_warm(&plan);
-        best.event_loop_ns = best.event_loop_ns.min(start.elapsed().as_nanos() as f64);
+        let before = registry.snapshot();
+        execute(&plan);
+        let delta = registry.snapshot().diff(&before);
+        best.schedule_ns = best
+            .schedule_ns
+            .min(delta.span_total_ns("phase.schedule_ns") as f64);
+        best.cost_ns = best
+            .cost_ns
+            .min(delta.span_total_ns("phase.cost_precompute_ns") as f64);
+        best.event_loop_ns = best.event_loop_ns.min(
+            (delta.span_total_ns("sim.pipeline.event_loop_ns")
+                + delta.span_total_ns("sim.stream.event_loop_ns")) as f64,
+        );
     }
     best
 }
@@ -293,33 +303,11 @@ fn main() {
         let specs = optimised_campaign
             .expand()
             .expect("benchmark campaign is valid");
-        let phases = measure_phases(
-            iterations,
-            |plan| {
-                for spec in &specs {
-                    spec.job
-                        .schedule_on_cached(&spec.platform, plan.schedules())
-                        .expect("benchmark campaign is valid");
-                }
-            },
-            |plan| {
-                let model = CostModel::new();
-                for spec in &specs {
-                    let schedule = spec
-                        .job
-                        .schedule_on_cached(&spec.platform, plan.schedules())
-                        .expect("benchmark campaign is valid");
-                    plan.cost_tables()
-                        .get_or_build(spec.platform.topology(), &model, &schedule)
-                        .expect("benchmark campaign is valid");
-                }
-            },
-            |plan| {
-                optimised_runner()
-                    .execute_with_cache(&specs, plan)
-                    .expect("benchmark campaign is valid");
-            },
-        );
+        let phases = measure_phases(iterations, |plan| {
+            optimised_runner()
+                .execute_with_cache(&specs, plan)
+                .expect("benchmark campaign is valid");
+        });
         let suite_plan = SimPlanCache::new();
         matrices.push(MatrixResult {
             name: "campaign",
@@ -353,47 +341,11 @@ fn main() {
         let specs = optimised_streams
             .expand()
             .expect("benchmark stream campaign is valid");
-        let phases = measure_phases(
-            iterations,
-            |plan| {
-                for spec in &specs {
-                    for entry in spec.job.entries() {
-                        plan.schedules()
-                            .get_or_schedule(
-                                spec.platform.topology(),
-                                &entry.request(),
-                                spec.job.chunk_count(),
-                                spec.job.scheduler_kind(),
-                            )
-                            .expect("benchmark stream campaign is valid");
-                    }
-                }
-            },
-            |plan| {
-                let model = CostModel::new();
-                for spec in &specs {
-                    for entry in spec.job.entries() {
-                        let schedule = plan
-                            .schedules()
-                            .get_or_schedule(
-                                spec.platform.topology(),
-                                &entry.request(),
-                                spec.job.chunk_count(),
-                                spec.job.scheduler_kind(),
-                            )
-                            .expect("benchmark stream campaign is valid");
-                        plan.cost_tables()
-                            .get_or_build(spec.platform.topology(), &model, &schedule)
-                            .expect("benchmark stream campaign is valid");
-                    }
-                }
-            },
-            |plan| {
-                optimised_runner()
-                    .execute_with_cache(&specs, plan)
-                    .expect("benchmark stream campaign is valid");
-            },
-        );
+        let phases = measure_phases(iterations, |plan| {
+            optimised_runner()
+                .execute_with_cache(&specs, plan)
+                .expect("benchmark stream campaign is valid");
+        });
         let suite_plan = SimPlanCache::new();
         matrices.push(MatrixResult {
             name: "stream",
@@ -421,6 +373,51 @@ fn main() {
             phases,
         });
     }
+
+    // Telemetry-overhead gate: the always-on instrumentation must stay within
+    // noise on the warm campaign path. Measured on the same suite-warm
+    // configuration with recording-on and recording-off iterations
+    // interleaved (each closure flips the registry before running), and the
+    // overhead taken as the median of per-round on/off ratios, so
+    // machine-speed drift cancels out of the comparison instead of
+    // masquerading as instrumentation cost.
+    let telemetry_pair = {
+        let quiet_campaign = campaign.clone().sim_options(quiet);
+        let plan = SimPlanCache::new();
+        quiet_campaign
+            .run_with_cache(&optimised_runner(), &plan)
+            .expect("benchmark campaign is valid");
+        let registry = telemetry::global();
+        // The warm campaign is cheap (~ms per round), so buy extra rounds:
+        // the overhead is a small ratio and needs more samples than the
+        // throughput floors for its median to converge.
+        let pair = measure_paired(
+            "campaign/warm+telemetry-on",
+            "campaign/warm+telemetry-off",
+            warmup.max(1),
+            if smoke {
+                iterations
+            } else {
+                iterations.max(40)
+            },
+            || {
+                registry.set_enabled(true);
+                quiet_campaign
+                    .run_with_cache(&optimised_runner(), &plan)
+                    .expect("benchmark campaign is valid");
+            },
+            || {
+                registry.set_enabled(false);
+                quiet_campaign
+                    .run_with_cache(&optimised_runner(), &plan)
+                    .expect("benchmark campaign is valid");
+            },
+        );
+        registry.set_enabled(true);
+        pair
+    };
+    let (telemetry_on, telemetry_off) = (&telemetry_pair.a, &telemetry_pair.b);
+    let telemetry_overhead_pct = (telemetry_pair.median_ratio - 1.0) * 100.0;
 
     let mut table = Table::new(
         format!(
@@ -457,6 +454,13 @@ fn main() {
             matrix.phases.event_loop_ns / 1e6,
         );
     }
+    println!(
+        "telemetry overhead on the warm campaign: {:.2}% (median of per-round ratios; \
+         min on {:.2} ms, min off {:.2} ms)",
+        telemetry_overhead_pct,
+        telemetry_on.min_ns / 1e6,
+        telemetry_off.min_ns / 1e6,
+    );
 
     let document = Json::obj([
         ("version", Json::Num(1.0)),
@@ -465,6 +469,14 @@ fn main() {
         (
             "matrices",
             Json::Arr(matrices.iter().map(MatrixResult::to_json).collect()),
+        ),
+        (
+            "telemetry",
+            Json::obj([
+                ("on_min_ns", Json::Num(telemetry_on.min_ns)),
+                ("off_min_ns", Json::Num(telemetry_off.min_ns)),
+                ("overhead_pct", Json::Num(telemetry_overhead_pct)),
+            ]),
         ),
     ])
     .render();
@@ -498,5 +510,16 @@ fn main() {
             }
             eprintln!("{name} matrix speedup: {speedup:.2}x (required {required}x)");
         }
+        if telemetry_overhead_pct > MAX_TELEMETRY_OVERHEAD_PCT {
+            eprintln!(
+                "telemetry overhead {telemetry_overhead_pct:.2}% exceeds the allowed \
+                 {MAX_TELEMETRY_OVERHEAD_PCT}%"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "telemetry overhead: {telemetry_overhead_pct:.2}% \
+             (allowed {MAX_TELEMETRY_OVERHEAD_PCT}%)"
+        );
     }
 }

@@ -28,6 +28,8 @@
 
 use std::process::ExitCode;
 use themis::api::shard::{merge_reports, ShardPlan, ShardReport, ShardSpec, ShardStrategy};
+use themis::core::json::Json;
+use themis::core::telemetry::{self, log_event, LogLevel};
 use themis::prelude::*;
 use themis::ScheduleCache;
 
@@ -91,7 +93,8 @@ usage: shard-worker <plan|run|merge|cache-merge> [options]
           Execute one shard spec; write its partial report. With --cache the
           worker warm-starts from the cache file (if present) and
           merge-publishes back into it afterwards (concurrent workers lose
-          no entries). --progress heartbeats `done/total` to FILE after
+          no entries). --progress writes a JSON heartbeat (done, total,
+          elapsed_ms and the worker's telemetry snapshot) to FILE after
           every cell; --fail-after aborts deterministically after N cells
           (exit code 3) to exercise orchestrator retries. Shard execution
           failures exit with code 3; usage/file errors with code 1.
@@ -227,7 +230,14 @@ fn run(args: &[String]) -> Result<(), CmdError> {
             .load_from_file(std::path::Path::new(path))
             .map_err(|err| err.to_string())?;
         if loaded > 0 {
-            eprintln!("warm-started {loaded} schedules from {path}");
+            log_event(
+                LogLevel::Info,
+                "worker.warm_start",
+                &[
+                    ("schedules", Json::Num(loaded as f64)),
+                    ("cache", Json::Str(path.clone())),
+                ],
+            );
         }
     }
     // Cost tables are derived data and cheap to rebuild, so only the schedule
@@ -239,14 +249,33 @@ fn run(args: &[String]) -> Result<(), CmdError> {
     } else {
         Runner::sequential()
     };
-    // The heartbeat hook: progress lines on stderr, a `done/total` heartbeat
-    // file for the orchestrator's stall watchdog, and the deterministic
-    // --fail-after abort used to exercise the retry path.
-    let shard_label = format!("shard {}/{}", spec.shard_index() + 1, spec.shard_count());
+    // The heartbeat hook: structured progress events on stderr, a JSON
+    // heartbeat file (progress + this process's telemetry snapshot) for the
+    // orchestrator's stall watchdog and cells/sec summary, and the
+    // deterministic --fail-after abort used to exercise the retry path.
+    let shard_index = spec.shard_index();
+    let started = std::time::Instant::now();
     let observe = |done: usize, total: usize| {
-        eprintln!("{shard_label}: {done}/{total} cells");
+        log_event(
+            LogLevel::Info,
+            "worker.progress",
+            &[
+                ("shard", Json::Num(shard_index as f64)),
+                ("done", Json::Num(done as f64)),
+                ("total", Json::Num(total as f64)),
+            ],
+        );
         if let Some(path) = &progress_path {
-            let _ = std::fs::write(path, format!("{done}/{total}\n"));
+            let heartbeat = Json::obj([
+                ("done", Json::Num(done as f64)),
+                ("total", Json::Num(total as f64)),
+                (
+                    "elapsed_ms",
+                    Json::Num(started.elapsed().as_millis() as f64),
+                ),
+                ("telemetry", telemetry::global().snapshot().to_json()),
+            ]);
+            let _ = std::fs::write(path, format!("{}\n", heartbeat.render()));
         }
         match fail_after {
             Some(after) => done < after,
@@ -265,14 +294,30 @@ fn run(args: &[String]) -> Result<(), CmdError> {
             .schedules()
             .publish_to_file(std::path::Path::new(path))
             .map_err(|err| err.to_string())?;
-        eprintln!("published {published} schedules to {path}");
+        log_event(
+            LogLevel::Info,
+            "worker.cache_publish",
+            &[
+                ("schedules", Json::Num(published as f64)),
+                ("cache", Json::Str(path.clone())),
+            ],
+        );
     }
     let stats = report.cache();
-    eprintln!(
-        "{shard_label}: {} cells -> {out} (cache: {} hits, {} misses)",
-        report.len(),
-        stats.hits,
-        stats.misses
+    log_event(
+        LogLevel::Info,
+        "worker.done",
+        &[
+            ("shard", Json::Num(shard_index as f64)),
+            ("cells", Json::Num(report.len() as f64)),
+            ("out", Json::Str(out.clone())),
+            ("cache_hits", Json::Num(stats.hits as f64)),
+            ("cache_misses", Json::Num(stats.misses as f64)),
+            (
+                "elapsed_ms",
+                Json::Num(started.elapsed().as_millis() as f64),
+            ),
+        ],
     );
     Ok(())
 }

@@ -34,6 +34,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use themis::api::serve::{ServeOptions, Service};
+use themis::core::json::Json;
+use themis::core::telemetry::{log_event, LogLevel};
 use themis_bench::service_ext::figure_suite;
 
 fn main() -> ExitCode {
@@ -112,7 +114,11 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
     let service = Service::new(options);
     let loaded = service.load_cache_file().map_err(|err| err.to_string())?;
     if loaded > 0 {
-        eprintln!("themis-serve: warm-started {loaded} schedules from the cache file");
+        log_event(
+            LogLevel::Info,
+            "serve.warm_start",
+            &[("schedules", Json::Num(loaded as f64))],
+        );
     }
 
     match socket {
@@ -130,14 +136,25 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
         .publish_cache_file()
         .map_err(|err| err.to_string())?;
     if published > 0 {
-        eprintln!("themis-serve: published {published} schedules to the cache file");
+        log_event(
+            LogLevel::Info,
+            "serve.cache_publish",
+            &[("schedules", Json::Num(published as f64))],
+        );
     }
-    eprintln!(
-        "themis-serve: exiting with {} resident cells, {} schedules ({} hits / {} misses)",
-        service.resident_cells(),
-        service.plan().schedules().len(),
-        service.plan().schedules().hits(),
-        service.plan().schedules().misses(),
+    let schedules = service.plan().schedules().stats();
+    log_event(
+        LogLevel::Info,
+        "serve.exit",
+        &[
+            ("resident_cells", Json::Num(service.resident_cells() as f64)),
+            (
+                "schedules",
+                Json::Num(service.plan().schedules().len() as f64),
+            ),
+            ("schedule_hits", Json::Num(schedules.hits as f64)),
+            ("schedule_misses", Json::Num(schedules.misses as f64)),
+        ],
     );
     Ok(())
 }
@@ -158,7 +175,11 @@ fn serve_socket(service: &Service, path: &str) -> Result<(), String> {
     listener
         .set_nonblocking(true)
         .map_err(|err| format!("cannot poll `{path}`: {err}"))?;
-    eprintln!("themis-serve: listening on {path}");
+    log_event(
+        LogLevel::Info,
+        "serve.listening",
+        &[("socket", Json::Str(path.to_string()))],
+    );
     let connections = AtomicU64::new(0);
     std::thread::scope(|scope| {
         while !service.shutdown_requested() {
@@ -166,15 +187,25 @@ fn serve_socket(service: &Service, path: &str) -> Result<(), String> {
                 Ok((stream, _)) => {
                     let id = connections.fetch_add(1, Ordering::Relaxed);
                     scope.spawn(move || {
+                        let connection_error = |err: &dyn std::fmt::Display| {
+                            log_event(
+                                LogLevel::Warn,
+                                "serve.connection_error",
+                                &[
+                                    ("connection", Json::Num(id as f64)),
+                                    ("error", Json::Str(err.to_string())),
+                                ],
+                            );
+                        };
                         let reader = match stream.try_clone() {
                             Ok(clone) => BufReader::new(clone),
                             Err(err) => {
-                                eprintln!("themis-serve: connection {id}: {err}");
+                                connection_error(&err);
                                 return;
                             }
                         };
                         if let Err(err) = service.serve_with(reader, &stream, figure_suite) {
-                            eprintln!("themis-serve: connection {id}: {err}");
+                            connection_error(&err);
                         }
                     });
                 }
@@ -182,7 +213,11 @@ fn serve_socket(service: &Service, path: &str) -> Result<(), String> {
                     std::thread::sleep(std::time::Duration::from_millis(10));
                 }
                 Err(err) => {
-                    eprintln!("themis-serve: accept failed: {err}");
+                    log_event(
+                        LogLevel::Error,
+                        "serve.accept_failed",
+                        &[("error", Json::Str(err.to_string()))],
+                    );
                     break;
                 }
             }

@@ -1,0 +1,173 @@
+//! `themis-trace` — Chrome/Perfetto timeline export of simulated runs.
+//!
+//! Runs one collective (or a stream of overlapping collectives) with the
+//! op-log enabled and writes the Chrome trace-event JSON that
+//! `ui.perfetto.dev` and `chrome://tracing` load directly: one track per
+//! network dimension, one slice per executed chunk op, stream collectives
+//! colored per collective.
+//!
+//! Usage:
+//!
+//! ```text
+//! themis-trace campaign --topology 3D-SW_SW_SW-Homo --size-mib 64
+//!              [--chunks N] [--scheduler baseline|themis-fifo|themis-scf]
+//!              --out TRACE.json
+//! themis-trace stream --topology 2D-SW_SW --sizes-mib 32,16,8
+//!              [--chunks N] [--scheduler ...] --out TRACE.json
+//! ```
+//!
+//! The export is deterministic: the same arguments produce the same bytes.
+
+use std::process::ExitCode;
+use themis::prelude::*;
+use themis::{sim_report_trace, stream_report_trace};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("campaign") => campaign(&args[1..]),
+        Some("stream") => stream(&args[1..]),
+        Some("--help" | "-h") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("themis-trace: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: themis-trace <campaign|stream> [options]
+
+  campaign --topology NAME [--size-mib F] [--chunks N]
+           [--scheduler baseline|themis-fifo|themis-scf] --out TRACE.json
+             Simulate one All-Reduce and export its chunk-op timeline.
+
+  stream   --topology NAME [--sizes-mib A[,B...]] [--chunks N]
+           [--scheduler baseline|themis-fifo|themis-scf] --out TRACE.json
+             Simulate a back-to-back-issued stream of All-Reduces through
+             the overlap engine and export the shared timeline, one color
+             per collective.
+
+Both subcommands write Chrome trace-event JSON; open the file at
+https://ui.perfetto.dev or chrome://tracing.
+";
+
+/// Pulls the value of a `--flag VALUE` option out of `args`.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(at) if at + 1 < args.len() => {
+            let value = args.remove(at + 1);
+            args.remove(at);
+            Ok(Some(value))
+        }
+        Some(_) => Err(format!("`{flag}` expects a value")),
+    }
+}
+
+fn parse_scheduler(name: &str) -> Result<SchedulerKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "baseline" => Ok(SchedulerKind::Baseline),
+        "themis-fifo" | "themis+fifo" => Ok(SchedulerKind::ThemisFifo),
+        "themis-scf" | "themis+scf" => Ok(SchedulerKind::ThemisScf),
+        other => Err(format!(
+            "unknown scheduler `{other}` (expected baseline, themis-fifo or themis-scf)"
+        )),
+    }
+}
+
+/// The options shared by both subcommands.
+struct TraceArgs {
+    platform: Platform,
+    chunks: usize,
+    scheduler: SchedulerKind,
+    out: String,
+}
+
+fn parse_common(args: &mut Vec<String>) -> Result<TraceArgs, String> {
+    let topology =
+        take_flag(args, "--topology")?.ok_or_else(|| "missing --topology".to_string())?;
+    let platform = Platform::named(&topology).map_err(|err| err.to_string())?;
+    let chunks: usize = match take_flag(args, "--chunks")? {
+        Some(text) => text
+            .parse()
+            .map_err(|_| "invalid --chunks value".to_string())?,
+        None => 16,
+    };
+    let scheduler = match take_flag(args, "--scheduler")? {
+        Some(name) => parse_scheduler(&name)?,
+        None => SchedulerKind::ThemisScf,
+    };
+    let out = take_flag(args, "--out")?.ok_or_else(|| "missing --out".to_string())?;
+    Ok(TraceArgs {
+        platform,
+        chunks,
+        scheduler,
+        out,
+    })
+}
+
+fn write_trace(path: &str, trace: &themis::core::json::Json) -> Result<(), String> {
+    std::fs::write(path, trace.render()).map_err(|err| format!("cannot write `{path}`: {err}"))?;
+    eprintln!("wrote {path}");
+    Ok(())
+}
+
+fn campaign(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let size_mib: f64 = match take_flag(&mut args, "--size-mib")? {
+        Some(text) => text
+            .parse()
+            .map_err(|_| "invalid --size-mib value".to_string())?,
+        None => 64.0,
+    };
+    let common = parse_common(&mut args)?;
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+    let result = Job::all_reduce_mib(size_mib)
+        .chunks(common.chunks)
+        .scheduler(common.scheduler)
+        .run_on(&common.platform)
+        .map_err(|err| err.to_string())?;
+    write_trace(&common.out, &sim_report_trace(&result.report))
+}
+
+fn stream(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let sizes: Vec<f64> = match take_flag(&mut args, "--sizes-mib")? {
+        Some(text) => text
+            .split(',')
+            .map(|part| {
+                part.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid size `{part}`"))
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![32.0, 16.0, 8.0],
+    };
+    let common = parse_common(&mut args)?;
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+    let job = StreamJob::named("trace")
+        .chunks(common.chunks)
+        .scheduler(common.scheduler)
+        .collectives(
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &mib)| QueuedCollective::all_reduce_mib(format!("grad{i}"), mib)),
+        );
+    let result = job
+        .run_on(&common.platform)
+        .map_err(|err| err.to_string())?;
+    write_trace(&common.out, &stream_report_trace(&result.report))
+}

@@ -65,7 +65,76 @@ pub fn measure<F: FnMut()>(
         f();
         samples_ns.push(started.elapsed().as_nanos() as f64);
     }
+    stat_from_samples(name, samples_ns)
+}
+
+/// The result of [`measure_paired`]: per-side statistics plus the median of
+/// per-round `a`-over-`b` wall-time ratios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairedStat {
+    /// Statistics of the first closure's rounds.
+    pub a: BenchStat,
+    /// Statistics of the second closure's rounds.
+    pub b: BenchStat,
+    /// Median over rounds of `a_time / b_time`. Each round's two runs are
+    /// adjacent in time, so machine-speed drift cancels within the pair, and
+    /// the median discards rounds hit by a scheduling spike — far more stable
+    /// than comparing the two sides' independent minima.
+    pub median_ratio: f64,
+}
+
+/// Measures two closures with their iterations interleaved (`a`, `b`, `a`,
+/// `b`, ...) rather than back to back. Machine-speed drift between the two
+/// measurement windows then hits both sides equally and cancels out of the
+/// `a`-vs-`b` comparison instead of folding into it; paired comparisons such
+/// as the telemetry-overhead gate need this on noisy shared hardware.
+pub fn measure_paired<A: FnMut(), B: FnMut()>(
+    name_a: impl Into<String>,
+    name_b: impl Into<String>,
+    warmup: usize,
+    iterations: usize,
+    mut a: A,
+    mut b: B,
+) -> PairedStat {
+    for _ in 0..warmup {
+        a();
+        b();
+    }
+    let iterations = iterations.max(1);
+    let mut samples_a = Vec::with_capacity(iterations);
+    let mut samples_b = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let started = Instant::now();
+        a();
+        samples_a.push(started.elapsed().as_nanos() as f64);
+        let started = Instant::now();
+        b();
+        samples_b.push(started.elapsed().as_nanos() as f64);
+    }
+    let mut ratios: Vec<f64> = samples_a
+        .iter()
+        .zip(&samples_b)
+        .filter(|&(_, &b_ns)| b_ns > 0.0)
+        .map(|(&a_ns, &b_ns)| a_ns / b_ns)
+        .collect();
+    ratios.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    let median_ratio = if ratios.is_empty() {
+        1.0
+    } else if ratios.len() % 2 == 1 {
+        ratios[ratios.len() / 2]
+    } else {
+        (ratios[ratios.len() / 2 - 1] + ratios[ratios.len() / 2]) / 2.0
+    };
+    PairedStat {
+        a: stat_from_samples(name_a, samples_a),
+        b: stat_from_samples(name_b, samples_b),
+        median_ratio,
+    }
+}
+
+fn stat_from_samples(name: impl Into<String>, mut samples_ns: Vec<f64>) -> BenchStat {
     samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let iterations = samples_ns.len();
     let min_ns = samples_ns[0];
     let max_ns = samples_ns[iterations - 1];
     let mean_ns = samples_ns.iter().sum::<f64>() / iterations as f64;
@@ -110,6 +179,31 @@ mod tests {
     fn zero_iterations_are_clamped_to_one() {
         let stat = measure("noop", 0, 0, || {});
         assert_eq!(stat.iterations, 1);
+    }
+
+    #[test]
+    fn paired_measurement_interleaves_and_counts_both_sides() {
+        let order = std::cell::RefCell::new(Vec::new());
+        let pair = measure_paired(
+            "a",
+            "b",
+            1,
+            3,
+            || order.borrow_mut().push('a'),
+            || order.borrow_mut().push('b'),
+        );
+        assert_eq!(pair.a.iterations, 3);
+        assert_eq!(pair.b.iterations, 3);
+        assert_eq!(pair.a.name, "a");
+        assert_eq!(pair.b.name, "b");
+        // One warmup round plus three measured rounds, strictly alternating.
+        assert_eq!(
+            order.into_inner(),
+            vec!['a', 'b', 'a', 'b', 'a', 'b', 'a', 'b']
+        );
+        assert!(pair.a.min_ns <= pair.a.median_ns && pair.a.median_ns <= pair.a.max_ns);
+        assert!(pair.b.min_ns <= pair.b.median_ns && pair.b.median_ns <= pair.b.max_ns);
+        assert!(pair.median_ratio > 0.0);
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! End-to-end tests of the `themis-trace` binary: run both subcommands
+//! against real topologies, then validate that the emitted files are
+//! schema-correct Chrome trace-event JSON (`ph`/`pid`/`tid`/`ts`/`dur`
+//! fields, monotone timestamps per track) and deterministic across runs.
+
+use std::path::PathBuf;
+use std::process::Command;
+use themis::api::json::Json;
+
+const TRACE: &str = env!("CARGO_BIN_EXE_themis-trace");
+
+/// A scratch directory unique to one test, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("trace-e2e-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Runs `themis-trace` with `args` and returns the written trace file.
+fn export(args: &[&str], out: &str) -> String {
+    let status = Command::new(TRACE)
+        .args(args)
+        .args(["--out", out])
+        .status()
+        .expect("themis-trace spawns");
+    assert!(status.success(), "themis-trace failed: {args:?}");
+    std::fs::read_to_string(out).expect("trace file was written")
+}
+
+/// Asserts `text` is a loadable trace document and returns its events.
+fn validate(text: &str) -> Vec<Json> {
+    let document = Json::parse(text).expect("trace is valid JSON");
+    let events = document
+        .field("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("trace has a traceEvents array")
+        .to_vec();
+    assert!(!events.is_empty(), "trace has no events");
+    let mut slices = 0usize;
+    let mut last_ts: std::collections::BTreeMap<u64, f64> = Default::default();
+    for event in &events {
+        let ph = event
+            .field("ph")
+            .and_then(Json::as_str)
+            .expect("event has ph");
+        let pid = event
+            .field("pid")
+            .and_then(Json::as_f64)
+            .expect("event has pid");
+        assert_eq!(pid, 1.0, "single simulated process");
+        match ph {
+            "M" => {
+                event.field("args").expect("metadata carries args");
+            }
+            "X" => {
+                slices += 1;
+                let tid = event
+                    .field("tid")
+                    .and_then(Json::as_f64)
+                    .expect("slice has tid") as u64;
+                let ts = event
+                    .field("ts")
+                    .and_then(Json::as_f64)
+                    .expect("slice has ts");
+                let dur = event
+                    .field("dur")
+                    .and_then(Json::as_f64)
+                    .expect("slice has dur");
+                assert!(ts >= 0.0 && dur >= 0.0);
+                if let Some(&prev) = last_ts.get(&tid) {
+                    assert!(ts >= prev, "track {tid} went backwards: {ts} < {prev}");
+                }
+                last_ts.insert(tid, ts);
+            }
+            other => panic!("unexpected event phase `{other}`"),
+        }
+    }
+    assert!(slices > 0, "trace has no slices");
+    assert!(last_ts.len() >= 2, "expected one track per dimension");
+    events
+}
+
+#[test]
+fn campaign_export_is_schema_correct_and_deterministic() {
+    let scratch = Scratch::new("campaign");
+    let args = [
+        "campaign",
+        "--topology",
+        "2D-SW_SW",
+        "--size-mib",
+        "16",
+        "--chunks",
+        "4",
+    ];
+    let first = export(&args, &scratch.path("a.json"));
+    validate(&first);
+    let second = export(&args, &scratch.path("b.json"));
+    assert_eq!(first, second, "campaign export is not deterministic");
+}
+
+#[test]
+fn stream_export_is_schema_correct_colored_and_deterministic() {
+    let scratch = Scratch::new("stream");
+    let args = [
+        "stream",
+        "--topology",
+        "2D-SW_SW",
+        "--sizes-mib",
+        "8,4",
+        "--chunks",
+        "4",
+    ];
+    let first = export(&args, &scratch.path("a.json"));
+    let events = validate(&first);
+    // Stream slices are collective-colored and labeled.
+    let cnames: std::collections::BTreeSet<String> = events
+        .iter()
+        .filter(|e| {
+            e.field("ph")
+                .and_then(Json::as_str)
+                .is_ok_and(|ph| ph == "X")
+        })
+        .map(|e| {
+            e.field("cname")
+                .and_then(Json::as_str)
+                .expect("stream slices carry a color")
+                .to_string()
+        })
+        .collect();
+    assert_eq!(cnames.len(), 2, "two collectives, two colors");
+    let second = export(&args, &scratch.path("b.json"));
+    assert_eq!(first, second, "stream export is not deterministic");
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let output = Command::new(TRACE)
+        .arg("frobnicate")
+        .output()
+        .expect("themis-trace spawns");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown subcommand"));
+}

@@ -234,6 +234,12 @@ impl ScheduleCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Cumulative hit/miss counters as the unified
+    /// [`CacheStats`](crate::telemetry::CacheStats) view.
+    pub fn stats(&self) -> crate::telemetry::CacheStats {
+        crate::telemetry::CacheStats::new(self.hits(), self.misses())
+    }
+
     /// Number of distinct schedules currently cached.
     pub fn len(&self) -> usize {
         self.schedules

@@ -52,6 +52,7 @@ pub mod plan;
 pub mod schedule;
 pub mod scheduler;
 pub mod splitter;
+pub mod telemetry;
 pub mod themis;
 
 pub use baseline::BaselineScheduler;
@@ -66,4 +67,5 @@ pub use plan::{CostTable, CostTableCache, OpCost, SimPlanCache};
 pub use schedule::{ChunkSchedule, CollectiveRequest, CollectiveSchedule, StageOp};
 pub use scheduler::{CollectiveScheduler, SchedulerKind};
 pub use splitter::Splitter;
+pub use telemetry::{CacheStats, Registry, Snapshot};
 pub use themis::{ThemisConfig, ThemisScheduler};

@@ -259,6 +259,12 @@ impl CostTableCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Cumulative hit/miss counters as the unified
+    /// [`CacheStats`](crate::telemetry::CacheStats) view.
+    pub fn stats(&self) -> crate::telemetry::CacheStats {
+        crate::telemetry::CacheStats::new(self.hits(), self.misses())
+    }
+
     /// Number of distinct cost tables currently cached.
     pub fn len(&self) -> usize {
         self.tables

@@ -58,6 +58,7 @@ pub(crate) mod readyq;
 pub mod stats;
 pub mod stream;
 pub mod timeline;
+pub mod trace;
 pub mod workspace;
 
 pub use engine::{EventQueue, ScheduledEvent};
@@ -68,4 +69,5 @@ pub use pipeline::PipelineSimulator;
 pub use stats::{DimReport, SimReport};
 pub use stream::{CollectiveSpan, StreamEntry, StreamReport, StreamSimulator};
 pub use timeline::{TimelineEntry, TimelineReport, TimelineSimulator};
+pub use trace::{sim_report_trace, stream_report_trace};
 pub use workspace::SimWorkspace;

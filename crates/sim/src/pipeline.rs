@@ -10,7 +10,7 @@
 
 use crate::error::SimError;
 use crate::options::SimOptions;
-use crate::readyq::ReadyKey;
+use crate::readyq::{ReadyKey, ReadyQueue};
 use crate::stats::{LabelInterner, RawOp, SimReport};
 use crate::workspace::SimWorkspace;
 use themis_collectives::CostModel;
@@ -151,6 +151,16 @@ impl<'a> PipelineSimulator<'a> {
         );
 
         workspace.prepare_pipeline(num_dims, policy, enforced.is_some());
+        // Telemetry accumulates locally (queue-depth watermarks in the
+        // workspace scratch, busy/idle already in the report) and flushes once
+        // after the loop; when disabled not even the clock is read. Either
+        // way the simulated floats are untouched, so reports stay
+        // bit-identical.
+        let telemetry_on = workspace.telemetry.enabled();
+        if telemetry_on {
+            workspace.telemetry.ensure_dims(num_dims);
+        }
+        let loop_started = telemetry_on.then(std::time::Instant::now);
         let SimWorkspace {
             pipe_ready: ready,
             pipe_active: active,
@@ -163,6 +173,8 @@ impl<'a> PipelineSimulator<'a> {
             pipe_order_ptr: order_ptr,
             pipe_completions: completions,
             raw_ops,
+            telemetry,
+            depth_scratch,
             ..
         } = workspace;
         let mut arrival: u64 = 0;
@@ -335,6 +347,13 @@ impl<'a> PipelineSimulator<'a> {
         }
 
         report.total_time_ns = now;
+        if let Some(started) = loop_started {
+            // The queues track their own depth high-water marks in `push`,
+            // so telemetry reads them here instead of sampling in the loop.
+            depth_scratch.clear();
+            depth_scratch.extend(ready.iter().map(ReadyQueue::high_water));
+            telemetry.flush_run(&report.dims, now, depth_scratch, false, started.elapsed());
+        }
         if self.options.record_op_log {
             let labels = LabelInterner::for_dims(num_dims);
             report.op_log = raw_ops

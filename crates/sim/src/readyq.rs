@@ -59,23 +59,37 @@ impl<T: ReadyKey> Ord for ScfEntry<T> {
     }
 }
 
-/// Ready ops of one dimension (or one collective's bucket on a dimension),
-/// stored in the pop order of the owning run's policy.
+/// Policy-shaped storage of a [`ReadyQueue`].
 #[derive(Debug, Clone)]
-pub(crate) enum ReadyQueue<T> {
+enum Storage<T> {
     /// Arrival-ordered ops: FIFO pops the front; enforced-order runs search.
     Queue(VecDeque<T>),
     /// SCF-ordered ops: the heap pops the minimal `(cost, arrival)` key.
     Heap(BinaryHeap<ScfEntry<T>>),
 }
 
+/// Ready ops of one dimension (or one collective's bucket on a dimension),
+/// stored in the pop order of the owning run's policy. The queue also tracks
+/// its own depth high-water mark — maintained unconditionally in `push`
+/// (one integer max on a line that already touches the length), so telemetry
+/// reads it for free after the run instead of sampling inside the event loop.
+#[derive(Debug, Clone)]
+pub(crate) struct ReadyQueue<T> {
+    storage: Storage<T>,
+    high_water: usize,
+}
+
 impl<T: ReadyKey> ReadyQueue<T> {
     /// Creates the storage matching how ops will be popped.
     pub(crate) fn for_policy(policy: IntraDimPolicy, enforced: bool) -> Self {
-        if enforced || policy == IntraDimPolicy::Fifo {
-            ReadyQueue::Queue(VecDeque::new())
+        let storage = if enforced || policy == IntraDimPolicy::Fifo {
+            Storage::Queue(VecDeque::new())
         } else {
-            ReadyQueue::Heap(BinaryHeap::new())
+            Storage::Heap(BinaryHeap::new())
+        };
+        ReadyQueue {
+            storage,
+            high_water: 0,
         }
     }
 
@@ -86,18 +100,19 @@ impl<T: ReadyKey> ReadyQueue<T> {
     /// cells.
     pub(crate) fn reshape(&mut self, policy: IntraDimPolicy, enforced: bool) {
         let wants_queue = enforced || policy == IntraDimPolicy::Fifo;
-        match (self, wants_queue) {
-            (ReadyQueue::Queue(queue), true) => queue.clear(),
-            (ReadyQueue::Heap(heap), false) => heap.clear(),
-            (slot, _) => *slot = ReadyQueue::for_policy(policy, enforced),
+        match (&mut self.storage, wants_queue) {
+            (Storage::Queue(queue), true) => queue.clear(),
+            (Storage::Heap(heap), false) => heap.clear(),
+            (slot, _) => *slot = ReadyQueue::for_policy(policy, enforced).storage,
         }
+        self.high_water = 0;
     }
 
     /// Number of queued ops.
     pub(crate) fn len(&self) -> usize {
-        match self {
-            ReadyQueue::Queue(queue) => queue.len(),
-            ReadyQueue::Heap(heap) => heap.len(),
+        match &self.storage {
+            Storage::Queue(queue) => queue.len(),
+            Storage::Heap(heap) => heap.len(),
         }
     }
 
@@ -106,32 +121,44 @@ impl<T: ReadyKey> ReadyQueue<T> {
         self.len() == 0
     }
 
+    /// The deepest the queue has been since the last [`ReadyQueue::reshape`].
+    pub(crate) fn high_water(&self) -> usize {
+        self.high_water
+    }
+
     /// Enqueues an op. Callers push in arrival order (the heap does not care,
     /// the queue relies on it).
     pub(crate) fn push(&mut self, op: T) {
-        match self {
-            ReadyQueue::Queue(queue) => queue.push_back(op),
-            ReadyQueue::Heap(heap) => heap.push(ScfEntry(op)),
-        }
+        let depth = match &mut self.storage {
+            Storage::Queue(queue) => {
+                queue.push_back(op);
+                queue.len()
+            }
+            Storage::Heap(heap) => {
+                heap.push(ScfEntry(op));
+                heap.len()
+            }
+        };
+        self.high_water = self.high_water.max(depth);
     }
 
     /// Pops the policy's next op: FIFO front or SCF minimum.
     pub(crate) fn pop_next(&mut self) -> Option<T> {
-        match self {
-            ReadyQueue::Queue(queue) => queue.pop_front(),
-            ReadyQueue::Heap(heap) => heap.pop().map(|entry| entry.0),
+        match &mut self.storage {
+            Storage::Queue(queue) => queue.pop_front(),
+            Storage::Heap(heap) => heap.pop().map(|entry| entry.0),
         }
     }
 
     /// Removes and returns the first op matching `matches` (enforced-order
-    /// runs only, which always use the [`ReadyQueue::Queue`] layout).
+    /// runs only, which always use the linear queue layout).
     pub(crate) fn take_matching(&mut self, matches: impl Fn(&T) -> bool) -> Option<T> {
-        match self {
-            ReadyQueue::Queue(queue) => {
+        match &mut self.storage {
+            Storage::Queue(queue) => {
                 let index = queue.iter().position(matches)?;
                 queue.remove(index)
             }
-            ReadyQueue::Heap(_) => {
+            Storage::Heap(_) => {
                 unreachable!("enforced-order runs keep the linear queue layout")
             }
         }

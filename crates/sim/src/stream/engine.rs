@@ -330,6 +330,14 @@ impl<'a> StreamSimulator<'a> {
         );
 
         workspace.prepare_stream(colls.len());
+        // Same contract as the pipeline engine: telemetry accumulates locally
+        // and flushes once after the merged loop; the simulated floats are
+        // untouched either way.
+        let telemetry_on = workspace.telemetry.enabled();
+        if telemetry_on {
+            workspace.telemetry.ensure_dims(num_dims);
+        }
+        let loop_started = telemetry_on.then(std::time::Instant::now);
         let SimWorkspace {
             stream_dims: dims,
             stream_completions: completions,
@@ -338,6 +346,8 @@ impl<'a> StreamSimulator<'a> {
             coll_on_dim,
             touched,
             active_list,
+            telemetry,
+            depth_scratch,
             ..
         } = workspace;
         dims.truncate(num_dims);
@@ -698,6 +708,20 @@ impl<'a> StreamSimulator<'a> {
                 overlapped_ns: state.overlapped_ns,
                 report: sim_report,
             });
+        }
+        if let Some(started) = loop_started {
+            // The queues track their own depth high-water marks in
+            // `push_ready`, so telemetry reads them here instead of sampling
+            // inside the event loop.
+            depth_scratch.clear();
+            depth_scratch.extend(dims.iter().map(DimQueue::ready_high_water));
+            telemetry.flush_run(
+                &report.dims,
+                report.finish_ns,
+                depth_scratch,
+                true,
+                started.elapsed(),
+            );
         }
         Ok(report)
     }

@@ -95,6 +95,11 @@ pub(crate) struct DimQueue {
     /// the per-segment accounting skip the (mostly empty) buckets.
     ready_colls: Vec<usize>,
     ready_count: usize,
+    /// Deepest `ready_count` has been since the last [`DimQueue::reset`]:
+    /// maintained unconditionally in [`DimQueue::push_ready`] (one integer
+    /// max on a line that already updates the count), so telemetry reads the
+    /// run's queue-depth watermark without sampling inside the event loop.
+    high_water: usize,
     pub active: Vec<ActiveOp>,
     pub last_busy_end_ns: f64,
 }
@@ -114,6 +119,7 @@ impl DimQueue {
                 .collect(),
             ready_colls: Vec::new(),
             ready_count: 0,
+            high_water: 0,
             active: Vec::new(),
             last_busy_end_ns: f64::NEG_INFINITY,
         }
@@ -139,6 +145,7 @@ impl DimQueue {
         self.ready.truncate(len);
         self.ready_colls.clear();
         self.ready_count = 0;
+        self.high_water = 0;
         self.active.clear();
         self.last_busy_end_ns = f64::NEG_INFINITY;
     }
@@ -146,6 +153,7 @@ impl DimQueue {
     /// Enqueues a ready op into its collective's bucket.
     pub fn push_ready(&mut self, op: PendingOp) {
         self.ready_count += 1;
+        self.high_water = self.high_water.max(self.ready_count);
         if self.ready[op.coll].is_empty() {
             self.ready_colls.push(op.coll);
         }
@@ -183,6 +191,11 @@ impl DimQueue {
     /// Total number of queued ops across all buckets.
     pub fn ready_len(&self) -> usize {
         self.ready_count
+    }
+
+    /// The deepest the queue has been since the last [`DimQueue::reset`].
+    pub fn ready_high_water(&self) -> usize {
+        self.high_water
     }
 
     /// The collectives with at least one queued op on this dimension, in no

@@ -1,0 +1,263 @@
+//! Chrome/Perfetto trace-event export of simulated runs.
+//!
+//! Converts the op-log of a [`SimReport`] (one collective) or a
+//! [`StreamReport`] (a queue of overlapping collectives) into the JSON trace
+//! event format understood by `ui.perfetto.dev` and `chrome://tracing`: one
+//! process, one track (`tid`) per network dimension, one complete (`"X"`)
+//! slice per executed chunk op. Stream exports color each collective's slices
+//! with a distinct `cname`, making cross-collective overlap visible at a
+//! glance.
+//!
+//! The export is pure data transformation: it reads only the recorded op-log
+//! (so the run must have [`crate::SimOptions::record_op_log`] enabled, the
+//! default) and is deterministic — the same report renders to the same bytes,
+//! byte for byte. Timestamps are microseconds (the trace-event convention),
+//! durations keep sub-microsecond precision as fractions.
+
+use crate::stats::{OpRecord, SimReport};
+use crate::stream::report::StreamReport;
+use themis_core::json::Json;
+
+/// The single simulated process id in exported traces.
+const TRACE_PID: f64 = 1.0;
+
+/// Chrome reserved color names, one per collective (cycled) in stream
+/// exports.
+const COLLECTIVE_CNAMES: [&str; 8] = [
+    "thread_state_running",
+    "rail_response",
+    "thread_state_iowait",
+    "rail_animation",
+    "thread_state_runnable",
+    "rail_idle",
+    "cq_build_passed",
+    "heap_dump_stack_frame",
+];
+
+/// Exports one simulated collective as a trace-event JSON document: per-dim
+/// `thread_name` metadata plus one `"X"` slice per op, time-ordered per
+/// track.
+pub fn sim_report_trace(report: &SimReport) -> Json {
+    let mut events = metadata_events(&report.topology_name, report.num_dims());
+    for dim in 0..report.num_dims() {
+        for op in report.ops_on_dim(dim) {
+            events.push(slice_event(op, 0.0, None));
+        }
+    }
+    trace_document(events)
+}
+
+/// Exports a stream run as a trace-event JSON document. Each collective's
+/// op-log — recorded in its own time frame — is shifted by the collective's
+/// global start time, so the slices land where they actually executed on the
+/// shared timeline; each collective gets a distinct color (`cname`).
+pub fn stream_report_trace(report: &StreamReport) -> Json {
+    let num_dims = report.dims.len();
+    let mut events = metadata_events(&report.topology_name, num_dims);
+    // Collect every span's ops shifted to the global frame, then lay them out
+    // per track in deterministic time order.
+    let mut slices: Vec<(usize, f64, &OpRecord, usize, &str)> = Vec::new();
+    for (slot, span) in report.spans.iter().enumerate() {
+        for op in &span.report.op_log {
+            slices.push((op.dim, op.start_ns + span.start_ns, op, slot, &span.label));
+        }
+    }
+    slices.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.1.total_cmp(&b.1))
+            .then(a.3.cmp(&b.3))
+            .then(a.2.chunk.cmp(&b.2.chunk))
+            .then(a.2.stage.cmp(&b.2.stage))
+    });
+    for (_, shifted_start, op, slot, label) in slices {
+        events.push(slice_event(
+            op,
+            shifted_start - op.start_ns,
+            Some((slot, label)),
+        ));
+    }
+    trace_document(events)
+}
+
+/// `process_name` + per-dimension `thread_name` metadata events.
+fn metadata_events(topology: &str, num_dims: usize) -> Vec<Json> {
+    let mut events = Vec::with_capacity(num_dims + 1);
+    events.push(Json::obj([
+        ("name", Json::Str("process_name".to_string())),
+        ("ph", Json::Str("M".to_string())),
+        ("pid", Json::Num(TRACE_PID)),
+        (
+            "args",
+            Json::obj([("name", Json::Str(format!("themis-sim {topology}")))]),
+        ),
+    ]));
+    for dim in 0..num_dims {
+        events.push(Json::obj([
+            ("name", Json::Str("thread_name".to_string())),
+            ("ph", Json::Str("M".to_string())),
+            ("pid", Json::Num(TRACE_PID)),
+            ("tid", Json::Num((dim + 1) as f64)),
+            (
+                "args",
+                Json::obj([("name", Json::Str(format!("dim{dim}")))]),
+            ),
+        ]));
+    }
+    events
+}
+
+/// One complete (`"X"`) slice for `op`, shifted into the global frame by
+/// `shift_ns`. `collective` carries the stream slot and label (slot selects
+/// the color).
+fn slice_event(op: &OpRecord, shift_ns: f64, collective: Option<(usize, &str)>) -> Json {
+    let mut args = vec![
+        ("chunk".to_string(), Json::Num(op.chunk as f64)),
+        ("stage".to_string(), Json::Num(op.stage as f64)),
+    ];
+    if let Some((_, label)) = collective {
+        args.push(("collective".to_string(), Json::Str(label.to_string())));
+    }
+    let mut fields = vec![
+        ("name".to_string(), Json::Str(op.label.clone())),
+        (
+            "cat".to_string(),
+            Json::Str(collective.map_or("chunk-op", |_| "collective").to_string()),
+        ),
+        ("ph".to_string(), Json::Str("X".to_string())),
+        (
+            "ts".to_string(),
+            Json::Num((op.start_ns + shift_ns) / 1000.0),
+        ),
+        (
+            "dur".to_string(),
+            Json::Num((op.end_ns - op.start_ns).max(0.0) / 1000.0),
+        ),
+        ("pid".to_string(), Json::Num(TRACE_PID)),
+        ("tid".to_string(), Json::Num((op.dim + 1) as f64)),
+        ("args".to_string(), Json::Obj(args)),
+    ];
+    if let Some((slot, _)) = collective {
+        fields.push((
+            "cname".to_string(),
+            Json::Str(COLLECTIVE_CNAMES[slot % COLLECTIVE_CNAMES.len()].to_string()),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+/// Wraps events in the JSON-object trace format Perfetto loads directly.
+fn trace_document(events: Vec<Json>) -> Json {
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ns".to_string())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::SimOptions;
+    use crate::pipeline::PipelineSimulator;
+    use crate::stream::{StreamEntry, StreamSimulator};
+    use themis_core::{CollectiveRequest, CollectiveScheduler, ThemisScheduler};
+    use themis_net::presets::PresetTopology;
+
+    fn campaign_report() -> SimReport {
+        let topo = PresetTopology::SwSwSw3dHomo.build();
+        let schedule = ThemisScheduler::new(4)
+            .schedule(&CollectiveRequest::all_reduce_mib(64.0), &topo)
+            .unwrap();
+        PipelineSimulator::new(&topo, SimOptions::default())
+            .run(&schedule)
+            .unwrap()
+    }
+
+    fn stream_report() -> StreamReport {
+        let topo = PresetTopology::Sw2d.build();
+        StreamSimulator::new(&topo, SimOptions::default())
+            .run(
+                &mut ThemisScheduler::new(4),
+                &[
+                    StreamEntry::all_reduce_mib("grad0", 0.0, 32.0),
+                    StreamEntry::all_reduce_mib("grad1", 0.0, 16.0),
+                ],
+            )
+            .unwrap()
+    }
+
+    fn events(trace: &Json) -> &[Json] {
+        trace.get("traceEvents").unwrap().as_arr().unwrap()
+    }
+
+    #[test]
+    fn campaign_trace_has_one_slice_per_op_and_one_track_per_dim() {
+        let report = campaign_report();
+        let trace = sim_report_trace(&report);
+        let events = events(&trace);
+        let slices: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str().unwrap() == "X")
+            .collect();
+        assert_eq!(slices.len(), report.op_log.len());
+        // Metadata names every dimension track.
+        let threads = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str().unwrap() == "thread_name")
+            .count();
+        assert_eq!(threads, report.num_dims());
+    }
+
+    #[test]
+    fn slices_are_time_ordered_per_track() {
+        for trace in [
+            sim_report_trace(&campaign_report()),
+            stream_report_trace(&stream_report()),
+        ] {
+            let mut last_ts: std::collections::BTreeMap<u64, f64> = Default::default();
+            for event in events(&trace) {
+                if event.get("ph").unwrap().as_str().unwrap() != "X" {
+                    continue;
+                }
+                let tid = event.get("tid").unwrap().as_f64().unwrap() as u64;
+                let ts = event.get("ts").unwrap().as_f64().unwrap();
+                if let Some(&prev) = last_ts.get(&tid) {
+                    assert!(ts >= prev, "track {tid} went backwards: {ts} < {prev}");
+                }
+                last_ts.insert(tid, ts);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_slices_are_shifted_and_collective_colored() {
+        let report = stream_report();
+        let trace = stream_report_trace(&report);
+        let mut cnames = std::collections::BTreeSet::new();
+        let mut max_end_us = 0.0f64;
+        for event in events(&trace) {
+            if event.get("ph").unwrap().as_str().unwrap() != "X" {
+                continue;
+            }
+            cnames.insert(event.get("cname").unwrap().as_str().unwrap().to_string());
+            let ts = event.get("ts").unwrap().as_f64().unwrap();
+            let dur = event.get("dur").unwrap().as_f64().unwrap();
+            max_end_us = max_end_us.max(ts + dur);
+        }
+        assert_eq!(cnames.len(), 2, "two collectives, two colors");
+        // Slices cover the global (shifted) timeline, not collective-local
+        // frames.
+        assert!((max_end_us - report.finish_ns / 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let campaign = campaign_report();
+        assert_eq!(
+            sim_report_trace(&campaign).render(),
+            sim_report_trace(&campaign).render()
+        );
+        let first = stream_report_trace(&stream_report()).render();
+        let second = stream_report_trace(&stream_report()).render();
+        assert_eq!(first, second);
+    }
+}

@@ -11,9 +11,117 @@
 
 use crate::pipeline::{ActiveOp, PendingOp};
 use crate::readyq::ReadyQueue;
-use crate::stats::RawOp;
+use crate::stats::{DimReport, RawOp};
 use crate::stream::queue as stream_queue;
+use std::time::Duration;
+use themis_core::telemetry::{self, Counter, Gauge, Histogram, Registry};
 use themis_core::IntraDimPolicy;
+
+/// Pre-registered instrument handles of one workspace: the engines flush
+/// per-run statistics through these without any name lookup on the run path.
+#[derive(Debug)]
+pub(crate) struct SimTelemetry {
+    registry: Registry,
+    runs: Counter,
+    pipeline_loop: Histogram,
+    stream_loop: Histogram,
+    phase_schedule: Histogram,
+    phase_cost: Histogram,
+    dims: Vec<DimInstruments>,
+}
+
+#[derive(Debug)]
+struct DimInstruments {
+    busy_ns: Counter,
+    idle_ns: Counter,
+    ops: Counter,
+    max_queue_depth: Gauge,
+}
+
+impl Default for SimTelemetry {
+    /// Attaches to the process-wide registry
+    /// ([`themis_core::telemetry::global`]), so free-standing workspaces are
+    /// observable without any wiring.
+    fn default() -> Self {
+        SimTelemetry::new(telemetry::global().clone())
+    }
+}
+
+impl SimTelemetry {
+    fn new(registry: Registry) -> Self {
+        let runs = registry.counter("sim.runs");
+        let pipeline_loop = registry.histogram("sim.pipeline.event_loop_ns");
+        let stream_loop = registry.histogram("sim.stream.event_loop_ns");
+        let phase_schedule = registry.histogram("phase.schedule_ns");
+        let phase_cost = registry.histogram("phase.cost_precompute_ns");
+        SimTelemetry {
+            registry,
+            runs,
+            pipeline_loop,
+            stream_loop,
+            phase_schedule,
+            phase_cost,
+            dims: Vec::new(),
+        }
+    }
+
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.registry.enabled()
+    }
+
+    /// Registers per-dimension instruments up to `num_dims` (idempotent; the
+    /// handles persist across runs, so only the first cell of a new width
+    /// pays the registration).
+    pub(crate) fn ensure_dims(&mut self, num_dims: usize) {
+        while self.dims.len() < num_dims {
+            let d = self.dims.len();
+            self.dims.push(DimInstruments {
+                busy_ns: self.registry.counter(format!("sim.dim{d}.busy_ns")),
+                idle_ns: self.registry.counter(format!("sim.dim{d}.idle_ns")),
+                ops: self.registry.counter(format!("sim.dim{d}.ops")),
+                max_queue_depth: self.registry.gauge(format!("sim.dim{d}.max_queue_depth")),
+            });
+        }
+    }
+
+    /// Flushes one finished run: the event-loop wall time into the matching
+    /// span histogram, and per-dimension busy/idle/op counters plus the
+    /// ready-queue high watermark. Called once per run, after the loop — the
+    /// hot path itself never touches an atomic.
+    pub(crate) fn flush_run(
+        &self,
+        dims: &[DimReport],
+        makespan_ns: f64,
+        depths: &[usize],
+        stream: bool,
+        loop_elapsed: Duration,
+    ) {
+        self.runs.inc();
+        let histogram = if stream {
+            &self.stream_loop
+        } else {
+            &self.pipeline_loop
+        };
+        histogram.record(u64::try_from(loop_elapsed.as_nanos()).unwrap_or(u64::MAX));
+        for (d, report) in dims.iter().enumerate() {
+            let Some(instruments) = self.dims.get(d) else {
+                break;
+            };
+            instruments.busy_ns.add(report.busy_ns.max(0.0) as u64);
+            instruments
+                .idle_ns
+                .add((makespan_ns - report.busy_ns).max(0.0) as u64);
+            instruments.ops.add(report.ops_executed as u64);
+            instruments
+                .max_queue_depth
+                .record_max(depths.get(d).copied().unwrap_or(0) as u64);
+        }
+    }
+}
 
 /// Reusable scratch buffers for both simulation engines.
 ///
@@ -38,12 +146,50 @@ pub struct SimWorkspace {
     pub(crate) coll_on_dim: Vec<bool>,
     pub(crate) touched: Vec<usize>,
     pub(crate) active_list: Vec<usize>,
+    // --- telemetry ---
+    pub(crate) telemetry: SimTelemetry,
+    /// Per-dimension ready-queue high watermark of the current run.
+    pub(crate) depth_scratch: Vec<usize>,
 }
 
 impl SimWorkspace {
-    /// Creates an empty workspace.
+    /// Creates an empty workspace attached to the process-wide telemetry
+    /// registry ([`themis_core::telemetry::global`]).
     pub fn new() -> Self {
         SimWorkspace::default()
+    }
+
+    /// Creates an empty workspace flushing into `registry` instead of the
+    /// process-wide one — how the resident service keeps per-instance
+    /// metrics.
+    pub fn with_telemetry(registry: Registry) -> Self {
+        SimWorkspace {
+            telemetry: SimTelemetry::new(registry),
+            ..SimWorkspace::default()
+        }
+    }
+
+    /// The telemetry registry runs through this workspace flush into.
+    pub fn telemetry(&self) -> &Registry {
+        self.telemetry.registry()
+    }
+
+    /// Starts a `phase.schedule_ns` span through a pre-registered handle (no
+    /// name lookup on the per-cell path); inert when telemetry is disabled.
+    pub fn phase_schedule_span(&self) -> telemetry::Span {
+        if !self.telemetry.enabled() {
+            return telemetry::Span::inert();
+        }
+        self.telemetry.phase_schedule.span()
+    }
+
+    /// Starts a `phase.cost_precompute_ns` span through a pre-registered
+    /// handle; inert when telemetry is disabled.
+    pub fn phase_cost_span(&self) -> telemetry::Span {
+        if !self.telemetry.enabled() {
+            return telemetry::Span::inert();
+        }
+        self.telemetry.phase_cost.span()
     }
 
     /// Re-initialises the chunk-pipeline buffers for a run over `num_dims`
@@ -72,6 +218,8 @@ impl SimWorkspace {
         self.pipe_order_ptr.resize(num_dims, 0);
         self.pipe_completions.clear();
         self.raw_ops.clear();
+        self.depth_scratch.clear();
+        self.depth_scratch.resize(num_dims, 0);
     }
 
     /// Re-initialises the stream-engine per-collective flag buffers for a run

@@ -203,12 +203,17 @@ impl Job {
         plan: &SimPlanCache,
         workspace: &mut SimWorkspace,
     ) -> Result<RunResult, ThemisError> {
-        let schedule = self.schedule_on_cached(platform, plan.schedules())?;
+        let schedule = {
+            let _span = workspace.phase_schedule_span();
+            self.schedule_on_cached(platform, plan.schedules())?
+        };
         let simulator = PipelineSimulator::new(platform.topology(), platform.options());
-        let table = plan
-            .cost_tables()
-            .get_or_build(platform.topology(), simulator.cost_model(), &schedule)
-            .map_err(ThemisError::from)?;
+        let table = {
+            let _span = workspace.phase_cost_span();
+            plan.cost_tables()
+                .get_or_build(platform.topology(), simulator.cost_model(), &schedule)
+                .map_err(ThemisError::from)?
+        };
         let report = simulator.run_prepared(&schedule, &table, workspace)?;
         Ok(RunResult {
             config: self.config_on(platform),

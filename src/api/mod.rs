@@ -64,7 +64,7 @@ pub mod training;
 pub use crate::error::ThemisError;
 pub use campaign::Campaign;
 pub use job::{Job, ScheduledRun, DEFAULT_CHUNKS};
-pub use orchestrator::{Orchestrator, OrchestratorOptions, SweepOutcome};
+pub use orchestrator::{Orchestrator, OrchestratorOptions, ShardPerf, SweepOutcome};
 pub use platform::Platform;
 pub use report::{CampaignReport, RunConfig, RunResult};
 pub use runner::{CampaignCell, RunSpec, Runner};

@@ -31,6 +31,8 @@ use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+use themis_core::json::Json;
+use themis_core::telemetry::{log_event, LogLevel};
 
 /// Distinguishes successive sweeps of one process so their scratch
 /// directories never collide.
@@ -107,12 +109,55 @@ pub struct SweepOutcome {
     pub merged: MergedReport,
     /// Attempts launched per shard, in shard order (1 = first try worked).
     pub attempts: Vec<u32>,
+    /// Per-shard throughput parsed from each worker's final heartbeat, in
+    /// shard order. `None` for shards whose heartbeat file was missing or
+    /// predates the telemetry-carrying format.
+    pub shard_perf: Vec<Option<ShardPerf>>,
 }
 
 impl SweepOutcome {
     /// Total number of retried (i.e. failed) attempts across all shards.
     pub fn retries(&self) -> u32 {
         self.attempts.iter().sum::<u32>() - self.attempts.len() as u32
+    }
+}
+
+/// One worker's throughput, as reported by its final heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardPerf {
+    /// Cells the worker completed.
+    pub cells: usize,
+    /// Wall-clock milliseconds from the worker's start to its last heartbeat.
+    pub elapsed_ms: u64,
+}
+
+impl ShardPerf {
+    /// The worker's throughput in campaign cells per second.
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.elapsed_ms == 0 {
+            return self.cells as f64 * 1000.0;
+        }
+        self.cells as f64 * 1000.0 / self.elapsed_ms as f64
+    }
+
+    /// Renders the per-shard summary block of the sweep response.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("cells", Json::Num(self.cells as f64)),
+            ("elapsed_ms", Json::Num(self.elapsed_ms as f64)),
+            ("cells_per_sec", Json::Num(self.cells_per_sec())),
+        ])
+    }
+
+    /// Parses a worker's JSON heartbeat line (`{"done":..,"total":..,
+    /// "elapsed_ms":..}`); returns `None` for the legacy `done/total` text
+    /// format or unreadable content.
+    pub fn from_heartbeat(text: &str) -> Option<ShardPerf> {
+        let json = Json::parse(text.trim()).ok()?;
+        Some(ShardPerf {
+            cells: json.get("done")?.as_usize().ok()?,
+            elapsed_ms: json.get("elapsed_ms")?.as_f64().ok()? as u64,
+        })
     }
 }
 
@@ -147,6 +192,8 @@ struct Task {
     progress_path: PathBuf,
     /// Attempts launched so far.
     attempts: u32,
+    /// Throughput parsed from the final heartbeat of the successful attempt.
+    perf: Option<ShardPerf>,
     state: TaskState,
 }
 
@@ -256,6 +303,7 @@ impl Orchestrator {
                 out_path: run_dir.join(format!("shard-{index}.partial.json")),
                 progress_path: run_dir.join(format!("shard-{index}.progress")),
                 attempts: 0,
+                perf: None,
                 state: TaskState::Waiting {
                     until: Instant::now(),
                 },
@@ -271,7 +319,8 @@ impl Orchestrator {
             }
         }
         result?;
-        let attempts = tasks.iter().map(|task| task.attempts).collect();
+        let attempts: Vec<u32> = tasks.iter().map(|task| task.attempts).collect();
+        let shard_perf: Vec<Option<ShardPerf>> = tasks.iter().map(|task| task.perf).collect();
         let reports: Vec<ShardReport> = tasks
             .into_iter()
             .map(|task| match task.state {
@@ -280,10 +329,26 @@ impl Orchestrator {
             })
             .collect();
         let merged = merge_reports(&reports)?;
+        log_event(
+            LogLevel::Info,
+            "orchestrator.merge",
+            &[
+                ("shards", Json::Num(shards.len() as f64)),
+                ("cells", Json::Num(merged.len() as f64)),
+                (
+                    "retries",
+                    Json::Num((attempts.iter().sum::<u32>() - attempts.len() as u32) as f64),
+                ),
+            ],
+        );
         if !self.options.keep_files {
             let _ = fs::remove_dir_all(&run_dir);
         }
-        Ok(SweepOutcome { merged, attempts })
+        Ok(SweepOutcome {
+            merged,
+            attempts,
+            shard_perf,
+        })
     }
 
     /// The supervision loop: launch due tasks, poll running ones, schedule
@@ -331,7 +396,21 @@ impl Orchestrator {
                         .ok()
                         .and_then(|text| ShardReport::from_json(&text).ok())
                     {
-                        Some(report) => Step::Finish(Box::new(report)),
+                        Some(report) => {
+                            task.perf = fs::read_to_string(&task.progress_path)
+                                .ok()
+                                .and_then(|text| ShardPerf::from_heartbeat(&text));
+                            let mut fields = vec![
+                                ("shard", Json::Num(task.index as f64)),
+                                ("cells", Json::Num(report.len() as f64)),
+                                ("attempt", Json::Num(task.attempts as f64)),
+                            ];
+                            if let Some(perf) = task.perf {
+                                fields.push(("cells_per_sec", Json::Num(perf.cells_per_sec())));
+                            }
+                            log_event(LogLevel::Info, "orchestrator.shard_done", &fields);
+                            Step::Finish(Box::new(report))
+                        }
                         None => Step::Retry(
                             "worker exited cleanly but left no readable shard report".to_string(),
                         ),
@@ -344,12 +423,31 @@ impl Orchestrator {
                 Ok(None) => {
                     let progress = fs::read_to_string(&task.progress_path).unwrap_or_default();
                     if progress != *last_progress {
+                        log_event(
+                            LogLevel::Debug,
+                            "orchestrator.heartbeat",
+                            &[
+                                ("shard", Json::Num(task.index as f64)),
+                                ("heartbeat", Json::Str(progress.trim().to_string())),
+                            ],
+                        );
                         *last_progress = progress;
                         *last_change = Instant::now();
                         Step::Idle
                     } else if last_change.elapsed() > self.options.stall_timeout {
                         let _ = child.kill();
                         let _ = child.wait();
+                        log_event(
+                            LogLevel::Warn,
+                            "orchestrator.stall",
+                            &[
+                                ("shard", Json::Num(task.index as f64)),
+                                (
+                                    "timeout_ms",
+                                    Json::Num(self.options.stall_timeout.as_millis() as f64),
+                                ),
+                            ],
+                        );
                         Step::Retry(format!(
                             "worker heartbeat stalled for more than {:?}",
                             self.options.stall_timeout
@@ -402,6 +500,18 @@ impl Orchestrator {
             ),
         })?;
         task.attempts += 1;
+        log_event(
+            LogLevel::Info,
+            "orchestrator.spawn",
+            &[
+                ("shard", Json::Num(task.index as f64)),
+                ("attempt", Json::Num(task.attempts as f64)),
+                (
+                    "worker",
+                    Json::Str(self.options.worker.display().to_string()),
+                ),
+            ],
+        );
         task.state = TaskState::Running {
             child,
             last_progress: String::new(),
@@ -427,6 +537,16 @@ impl Orchestrator {
             .backoff_base
             .saturating_mul(1u32 << exponent)
             .min(self.options.backoff_cap);
+        log_event(
+            LogLevel::Warn,
+            "orchestrator.retry",
+            &[
+                ("shard", Json::Num(task.index as f64)),
+                ("attempt", Json::Num(task.attempts as f64)),
+                ("reason", Json::Str(reason.to_string())),
+                ("backoff_ms", Json::Num(backoff.as_millis() as f64)),
+            ],
+        );
         task.state = TaskState::Waiting {
             until: Instant::now() + backoff,
         };

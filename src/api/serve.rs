@@ -37,6 +37,7 @@
 //! | `sweep`         | campaign/stream cells + orchestration    | a merged multi-process sweep ([`crate::api::orchestrator`]) |
 //! | `cache-stats`   | —                                        | cumulative cache counters |
 //! | `cache-publish` | `path` (optional)                        | merge-publishes the schedule cache to its file |
+//! | `metrics`       | —                                        | telemetry snapshot (JSON + Prometheus text) |
 //! | `shutdown`      | —                                        | acknowledges, then the serve loop exits |
 //!
 //! Every `ok` response carries a `cache` block with the request's **delta**
@@ -67,7 +68,8 @@ use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use themis_core::telemetry::{CacheStats, Registry};
 use themis_core::SimPlanCache;
 use themis_sim::SimWorkspace;
 
@@ -126,6 +128,10 @@ pub struct Service {
     plan: SimPlanCache,
     cells: CellCache,
     shutdown: AtomicBool,
+    /// Per-instance telemetry: per-kind request counters, latency histograms,
+    /// and the sim counters of every workspace this service creates. The
+    /// `metrics` request kind snapshots it.
+    telemetry: Registry,
 }
 
 impl Default for Service {
@@ -143,7 +149,13 @@ impl Service {
             plan: SimPlanCache::new(),
             cells,
             shutdown: AtomicBool::new(false),
+            telemetry: Registry::new(),
         }
+    }
+
+    /// The service's telemetry registry (what a `metrics` request snapshots).
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
     }
 
     /// The service's configuration.
@@ -221,7 +233,14 @@ impl Service {
             Err(err) => return render_error(&id, &format!("invalid request: {err}")),
         };
         let before = self.counters();
+        self.telemetry
+            .counter(format!("serve.requests.{kind}"))
+            .inc();
+        let started = Instant::now();
         let result = self.dispatch(&kind, &request, ext);
+        self.telemetry
+            .histogram(format!("serve.latency_ns.{kind}"))
+            .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
         match result {
             Ok(result) => {
                 let delta = self.counters().delta(&before);
@@ -234,7 +253,10 @@ impl Service {
                 ])
                 .render()
             }
-            Err(err) => render_error(&id, &err.to_string()),
+            Err(err) => {
+                self.telemetry.counter(format!("serve.errors.{kind}")).inc();
+                render_error(&id, &err.to_string())
+            }
         }
     }
 
@@ -291,6 +313,7 @@ impl Service {
             "sweep" => self.handle_sweep(request),
             "cache-stats" => Ok(self.cache_stats_json()),
             "cache-publish" => self.handle_cache_publish(request),
+            "metrics" => Ok(self.handle_metrics()),
             "shutdown" => {
                 self.shutdown.store(true, Ordering::Relaxed);
                 Ok(Json::obj([("shutting_down", Json::Bool(true))]))
@@ -300,7 +323,7 @@ impl Service {
                 None => Err(ThemisError::Serve {
                     reason: format!(
                         "unknown request kind `{other}` (expected ping, campaign, stream, \
-                         shard, sweep, cache-stats, cache-publish, or shutdown)"
+                         shard, sweep, cache-stats, cache-publish, metrics, or shutdown)"
                     ),
                 }),
             },
@@ -311,7 +334,7 @@ impl Service {
     /// result cache on the resident plan. Bit-identical to
     /// [`Runner::execute`] on the same specs.
     fn handle_campaign(&self, request: &Json) -> Result<Json, ThemisError> {
-        let mut workspace = SimWorkspace::new();
+        let mut workspace = SimWorkspace::with_telemetry(self.telemetry.clone());
         let mut results = Vec::new();
         for cell in request.field("cells")?.as_arr()? {
             let spec = RunSpec::new(
@@ -340,7 +363,7 @@ impl Service {
     /// Executes a `stream` request; the stream analogue of
     /// [`Service::handle_campaign`].
     fn handle_stream(&self, request: &Json) -> Result<Json, ThemisError> {
-        let mut workspace = SimWorkspace::new();
+        let mut workspace = SimWorkspace::with_telemetry(self.telemetry.clone());
         let mut results = Vec::new();
         for cell in request.field("cells")?.as_arr()? {
             let spec = StreamSpec::new(
@@ -465,6 +488,19 @@ impl Service {
                 ),
             ),
             ("retries", Json::Num(outcome.retries() as f64)),
+            (
+                "shards",
+                Json::Arr(
+                    outcome
+                        .shard_perf
+                        .iter()
+                        .map(|perf| match perf {
+                            Some(perf) => perf.to_json(),
+                            None => Json::Null,
+                        })
+                        .collect(),
+                ),
+            ),
         ]))
     }
 
@@ -489,16 +525,35 @@ impl Service {
         Ok(Json::obj([("published", Json::Num(published as f64))]))
     }
 
-    /// Snapshot of all cumulative counters, for per-request deltas.
-    fn counters(&self) -> Counters {
-        Counters {
-            cell_hits: self.cells.hits(),
-            cell_misses: self.cells.misses(),
-            schedule_hits: self.plan.schedules().hits(),
-            schedule_misses: self.plan.schedules().misses(),
-            cost_table_hits: self.plan.cost_tables().hits(),
-            cost_table_misses: self.plan.cost_tables().misses(),
+    /// Snapshot of all cumulative counters, for per-request deltas: one
+    /// [`CacheStats`] per memo layer.
+    fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            cells: self.cells.stats(),
+            schedules: self.plan.schedules().stats(),
+            cost_tables: self.plan.cost_tables().stats(),
         }
+    }
+
+    /// The `metrics` result: the full telemetry snapshot (JSON and
+    /// Prometheus text exposition) plus the cache layers' cumulative hit
+    /// rates.
+    fn handle_metrics(&self) -> Json {
+        let snapshot = self.telemetry.snapshot();
+        let totals = self.counters();
+        Json::obj([
+            ("snapshot", snapshot.to_json()),
+            ("prometheus", Json::Str(snapshot.to_prometheus())),
+            ("caches", self.cache_stats_json()),
+            (
+                "hit_rates",
+                Json::obj([
+                    ("cells", Json::Num(totals.cells.hit_rate())),
+                    ("schedules", Json::Num(totals.schedules.hit_rate())),
+                    ("cost_tables", Json::Num(totals.cost_tables.hit_rate())),
+                ]),
+            ),
+        ])
     }
 
     /// The `ping` result: resident cache sizes.
@@ -525,15 +580,9 @@ impl Service {
     fn cache_stats_json(&self) -> Json {
         let totals = self.counters();
         Json::obj([
-            ("cells", counter_json(totals.cell_hits, totals.cell_misses)),
-            (
-                "schedules",
-                counter_json(totals.schedule_hits, totals.schedule_misses),
-            ),
-            (
-                "cost_tables",
-                counter_json(totals.cost_table_hits, totals.cost_table_misses),
-            ),
+            ("cells", totals.cells.to_json()),
+            ("schedules", totals.schedules.to_json()),
+            ("cost_tables", totals.cost_tables.to_json()),
             ("resident", self.resident_sizes_json()),
         ])
     }
@@ -549,48 +598,31 @@ fn render_error(id: &Json, reason: &str) -> String {
     .render()
 }
 
-fn counter_json(hits: u64, misses: u64) -> Json {
-    Json::obj([
-        ("hits", Json::Num(hits as f64)),
-        ("misses", Json::Num(misses as f64)),
-    ])
-}
-
-/// Cumulative cache counters at one instant.
+/// Cumulative cache counters at one instant — one [`CacheStats`] per memo
+/// layer, so deltas and serialization reuse the shared view instead of
+/// hand-rolled per-field subtraction.
 #[derive(Debug, Clone, Copy)]
-struct Counters {
-    cell_hits: u64,
-    cell_misses: u64,
-    schedule_hits: u64,
-    schedule_misses: u64,
-    cost_table_hits: u64,
-    cost_table_misses: u64,
+struct CacheCounters {
+    cells: CacheStats,
+    schedules: CacheStats,
+    cost_tables: CacheStats,
 }
 
-impl Counters {
-    fn delta(&self, before: &Counters) -> Counters {
-        Counters {
-            cell_hits: self.cell_hits - before.cell_hits,
-            cell_misses: self.cell_misses - before.cell_misses,
-            schedule_hits: self.schedule_hits - before.schedule_hits,
-            schedule_misses: self.schedule_misses - before.schedule_misses,
-            cost_table_hits: self.cost_table_hits - before.cost_table_hits,
-            cost_table_misses: self.cost_table_misses - before.cost_table_misses,
+impl CacheCounters {
+    fn delta(&self, before: &CacheCounters) -> CacheCounters {
+        CacheCounters {
+            cells: self.cells.delta(&before.cells),
+            schedules: self.schedules.delta(&before.schedules),
+            cost_tables: self.cost_tables.delta(&before.cost_tables),
         }
     }
 
     /// The response `cache` block: this request's deltas plus resident sizes.
     fn to_json(self, service: &Service) -> Json {
         Json::obj([
-            ("cells", counter_json(self.cell_hits, self.cell_misses)),
-            (
-                "schedules",
-                counter_json(self.schedule_hits, self.schedule_misses),
-            ),
-            (
-                "cost_tables",
-                counter_json(self.cost_table_hits, self.cost_table_misses),
-            ),
+            ("cells", self.cells.to_json()),
+            ("schedules", self.schedules.to_json()),
+            ("cost_tables", self.cost_tables.to_json()),
             ("resident_cells", Json::Num(service.resident_cells() as f64)),
         ])
     }
@@ -664,6 +696,11 @@ impl CellCache {
 
     fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative hit/miss counters as the unified [`CacheStats`] view.
+    fn stats(&self) -> CacheStats {
+        CacheStats::new(self.hits(), self.misses())
     }
 
     /// Returns the memoised value for `key`, or runs `compute` (outside every

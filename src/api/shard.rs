@@ -356,7 +356,7 @@ impl ShardSpec {
         plan: &SimPlanCache,
     ) -> Result<ShardReport, ThemisError> {
         let cache = plan.schedules();
-        let (hits_before, misses_before) = (cache.hits(), cache.misses());
+        let before = cache.stats();
         let results = match &self.cells {
             ShardCells::Campaign(cells) => {
                 let specs: Vec<&RunSpec> = cells.iter().map(|(_, spec)| spec).collect();
@@ -372,10 +372,7 @@ impl ShardSpec {
         Ok(ShardReport {
             shard_index: self.shard_index,
             shard_count: self.shard_count,
-            cache: CacheStats {
-                hits: cache.hits() - hits_before,
-                misses: cache.misses() - misses_before,
-            },
+            cache: cache.stats().delta(&before),
             results,
         })
     }
@@ -419,7 +416,7 @@ impl ShardSpec {
         };
         check(0)?;
         let cache = plan.schedules();
-        let (hits_before, misses_before) = (cache.hits(), cache.misses());
+        let before = cache.stats();
         let results = match &self.cells {
             ShardCells::Campaign(cells) => {
                 let mut results = Vec::with_capacity(cells.len());
@@ -443,10 +440,7 @@ impl ShardSpec {
         Ok(ShardReport {
             shard_index: self.shard_index,
             shard_count: self.shard_count,
-            cache: CacheStats {
-                hits: cache.hits() - hits_before,
-                misses: cache.misses() - misses_before,
-            },
+            cache: cache.stats().delta(&before),
             results,
         })
     }
@@ -563,30 +557,11 @@ fn check_plan(plan: &ShardPlan, cells: usize) -> Result<(), ThemisError> {
     Ok(())
 }
 
-/// Schedule-cache lookup counters of one shard execution (or their sum in a
-/// merged report).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CacheStats {
-    /// Lookups served from the cache.
-    pub hits: u64,
-    /// Lookups that ran the scheduler.
-    pub misses: u64,
-}
-
-impl CacheStats {
-    /// `hits + misses`.
-    pub fn lookups(&self) -> u64 {
-        self.hits + self.misses
-    }
-
-    /// Fraction of lookups served from the cache (`0.0` when idle).
-    pub fn hit_rate(&self) -> f64 {
-        if self.lookups() == 0 {
-            return 0.0;
-        }
-        self.hits as f64 / self.lookups() as f64
-    }
-}
+/// The unified cache hit/miss view — re-exported from
+/// [`themis_core::telemetry`], where every memo layer reports through the
+/// same type. In a [`ShardReport`] it carries one shard execution's
+/// schedule-cache counters (or their sum in a merged report).
+pub use themis_core::telemetry::CacheStats;
 
 /// Per-cell results of one shard, keyed by global matrix index.
 #[derive(Debug, Clone, PartialEq)]

@@ -326,17 +326,23 @@ impl StreamJob {
         let mut schedules: Vec<Arc<CollectiveSchedule>> = Vec::with_capacity(entries.len());
         let mut tables: Vec<Arc<CostTable>> = Vec::with_capacity(entries.len());
         for entry in &entries {
-            let schedule = plan.schedules().get_or_schedule(
-                platform.topology(),
-                &entry.request,
-                self.chunks,
-                self.scheduler,
-            )?;
-            tables.push(plan.cost_tables().get_or_build(
-                platform.topology(),
-                &cost_model,
-                &schedule,
-            )?);
+            let schedule = {
+                let _span = workspace.phase_schedule_span();
+                plan.schedules().get_or_schedule(
+                    platform.topology(),
+                    &entry.request,
+                    self.chunks,
+                    self.scheduler,
+                )?
+            };
+            {
+                let _span = workspace.phase_cost_span();
+                tables.push(plan.cost_tables().get_or_build(
+                    platform.topology(),
+                    &cost_model,
+                    &schedule,
+                )?);
+            }
             schedules.push(schedule);
         }
         let report = simulator.run_planned(&entries, &schedules, &tables, workspace)?;

@@ -77,15 +77,16 @@ pub use error::ThemisError;
 pub use themis_collectives::{algorithm_for, AlgorithmKind, CollectiveKind, CostModel, PhaseOp};
 pub use themis_core::{
     BaselineScheduler, ChunkSchedule, CollectiveRequest, CollectiveSchedule, CollectiveScheduler,
-    CostTable, CostTableCache, IdealEstimator, IntraDimPolicy, ScheduleCache, ScheduleKey,
-    SchedulerKind, SimPlanCache, StageOp, ThemisConfig, ThemisScheduler,
+    CostTable, CostTableCache, IdealEstimator, IntraDimPolicy, Registry, ScheduleCache,
+    ScheduleKey, SchedulerKind, SimPlanCache, Snapshot, StageOp, ThemisConfig, ThemisScheduler,
 };
 pub use themis_net::{
     presets::PresetTopology, Bandwidth, DataSize, DimensionSpec, NetworkTopology, TopologyKind,
 };
 pub use themis_sim::{
-    CollectiveExecutor, CollectiveSpan, PipelineSimulator, SimOptions, SimReport, SimWorkspace,
-    StreamEntry, StreamReport, StreamSimulator, TimelineEntry, TimelineReport, TimelineSimulator,
+    sim_report_trace, stream_report_trace, CollectiveExecutor, CollectiveSpan, PipelineSimulator,
+    SimOptions, SimReport, SimWorkspace, StreamEntry, StreamReport, StreamSimulator, TimelineEntry,
+    TimelineReport, TimelineSimulator,
 };
 pub use themis_workloads::{
     collective_stream, CommunicationPolicy, ComputeModel, IterationBreakdown, StreamedCollective,
