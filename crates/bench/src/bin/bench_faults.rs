@@ -1,0 +1,305 @@
+//! Fault-suite gate: graceful degradation, determinism, and crash-resume.
+//!
+//! The fault engine turns mid-stream link degradation and failure into cost
+//! table swaps at event boundaries; this gate asserts the three properties
+//! the robustness PR promises, over real code paths (including worker
+//! processes):
+//!
+//! 1. **Graceful degradation** — on every degraded cell of the fault grid,
+//!    Themis+SCF makespan ≤ Baseline makespan, and every faulted makespan ≥
+//!    its healthy reference (a fault never speeds a run up).
+//! 2. **Determinism** — the faulted campaign is bit-identical across the
+//!    sequential runner, the parallel runner, a fresh plan-cache run, the
+//!    in-process serve service, and a multi-process orchestrated sweep
+//!    (fault plans ride inside the platform JSON of shard specs).
+//! 3. **Crash resume** — a sweep killed mid-run (one shard's first attempt
+//!    aborted via the worker's deterministic `--fail-after` hook with
+//!    `max_attempts = 1`) leaves valid partial reports behind; restarting
+//!    with the same `sweep_id` adopts each of them with **zero** attempts
+//!    and still merges bit-identically to the unsharded run.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p themis-bench --bin bench-faults -- [--smoke] [output.json]
+//! ```
+//!
+//! Emits a `BENCH_faults.json` report. With `--smoke` (CI) it also writes
+//! `FAULT_grid.json` (the per-scenario makespans) and `FAULT_resume.json`
+//! (the two sweep outcomes of the resume demonstration).
+
+use std::path::{Path, PathBuf};
+use themis::api::orchestrator::{Orchestrator, OrchestratorOptions};
+use themis::api::serve::{campaign_cells_to_json, Service};
+use themis::prelude::*;
+use themis::SimPlanCache;
+use themis_bench::experiments::fault_sweep;
+
+fn die(message: &str) -> ! {
+    eprintln!("bench-faults: {message}");
+    std::process::exit(1);
+}
+
+/// The faulted campaign specs shared by the determinism and resume gates:
+/// every grid scenario as a (faulted platform, job) cell, for both
+/// schedulers.
+fn faulted_specs(scenarios: &[themis::FaultScenario]) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for scenario in scenarios {
+        let platform = fault_sweep::fault_platform().with_faults(scenario.plan.clone());
+        for kind in [SchedulerKind::Baseline, SchedulerKind::ThemisScf] {
+            specs.push(RunSpec::new(platform.clone(), fault_sweep::fault_job(kind)));
+        }
+    }
+    specs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let output = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_faults.json".to_string());
+    let scenarios = if smoke {
+        fault_sweep::smoke_scenarios()
+    } else {
+        fault_sweep::standard_scenarios()
+    };
+
+    // --- Gate 1: graceful degradation --------------------------------------
+    let cells = fault_sweep::run_scenarios(&scenarios);
+    let healthy = cells.first().expect("the healthy reference always runs");
+    let mut degraded_cells = 0usize;
+    for cell in &cells[1..] {
+        degraded_cells += 1;
+        if cell.themis_ns > cell.baseline_ns + 1e-6 {
+            die(&format!(
+                "gate 1 failed: Themis ({} ns) lost to Baseline ({} ns) on `{}`",
+                cell.themis_ns, cell.baseline_ns, cell.scenario
+            ));
+        }
+        if cell.themis_ns < healthy.themis_ns - 1e-6
+            || cell.baseline_ns < healthy.baseline_ns - 1e-6
+        {
+            die(&format!(
+                "gate 1 failed: faulted run `{}` beat the healthy reference",
+                cell.scenario
+            ));
+        }
+    }
+    eprintln!(
+        "gate 1 ok: Themis <= Baseline and faulted >= healthy on all {degraded_cells} degraded cells"
+    );
+
+    // --- Gate 2: determinism across backends --------------------------------
+    let specs = faulted_specs(&scenarios);
+    let reference = CampaignReport::new(
+        Runner::sequential()
+            .execute(&specs)
+            .unwrap_or_else(|err| die(&format!("sequential runner failed: {err}"))),
+    );
+    let parallel = CampaignReport::new(
+        Runner::parallel()
+            .execute(&specs)
+            .unwrap_or_else(|err| die(&format!("parallel runner failed: {err}"))),
+    );
+    if parallel != reference {
+        die("gate 2 failed: parallel runner diverged from sequential on faulted cells");
+    }
+    // A second sequential pass through a shared warm plan cache (cost tables
+    // for every fault epoch land in the same cache) stays bit-identical.
+    let plan = SimPlanCache::new();
+    for _ in 0..2 {
+        let cached = CampaignReport::new(
+            Runner::sequential()
+                .execute_with_cache(&specs, &plan)
+                .unwrap_or_else(|err| die(&format!("cached runner failed: {err}"))),
+        );
+        if cached != reference {
+            die("gate 2 failed: warm-plan run diverged from the cold run on faulted cells");
+        }
+    }
+    // The in-process serve path: fault plans survive the JSON round trip and
+    // the cell cache keys distinguish them.
+    let service = Service::default();
+    let request = themis::api::json::Json::obj([
+        ("id", themis::api::json::Json::Num(1.0)),
+        ("kind", themis::api::json::Json::Str("campaign".to_string())),
+        ("cells", campaign_cells_to_json(&specs)),
+    ])
+    .render();
+    let response = themis::api::json::Json::parse(&service.handle_line(&request))
+        .unwrap_or_else(|err| die(&format!("unparseable serve response: {err}")));
+    let status = response
+        .field("status")
+        .and_then(themis::api::json::Json::as_str)
+        .unwrap_or_else(|err| die(&format!("serve response without status: {err}")));
+    if status != "ok" {
+        die(&format!("serve campaign request failed: {response:?}"));
+    }
+    let served = CampaignReport::from_json(
+        &response
+            .field("result")
+            .unwrap_or_else(|err| die(&format!("serve response without result: {err}")))
+            .render(),
+    )
+    .unwrap_or_else(|err| die(&format!("unparseable serve campaign result: {err}")));
+    if served != reference {
+        die("gate 2 failed: serve backend diverged from the sequential runner on faulted cells");
+    }
+    eprintln!(
+        "gate 2 ok: {} faulted cells bit-identical across sequential/parallel/warm-plan/serve",
+        specs.len()
+    );
+
+    // --- Gate 3: multi-process determinism + crash resume --------------------
+    let exe_dir: PathBuf = std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(Path::to_path_buf))
+        .unwrap_or_else(|| die("cannot locate the build directory"));
+    let worker = exe_dir.join("shard-worker");
+    if !worker.exists() {
+        die(&format!(
+            "`{}` is missing — build it first (cargo build --release -p themis-bench)",
+            worker.display()
+        ));
+    }
+    let scratch = std::env::temp_dir().join(format!("bench-faults-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch)
+        .unwrap_or_else(|err| die(&format!("cannot create {}: {err}", scratch.display())));
+    let sweep_id = format!("faults-{}", std::process::id());
+
+    // First run: shard 1's only attempt aborts after one cell, so the sweep
+    // fails mid-run — exactly what a crash leaves behind. Completed shards'
+    // partial reports stay on disk under the deterministic sweep directory.
+    let mut crash = OrchestratorOptions::new(&worker).with_sweep_id(&sweep_id);
+    crash.work_dir = scratch.clone();
+    crash.shards = 2;
+    crash.max_attempts = 1;
+    crash.fail_first_attempt = vec![(1, 1)];
+    let crash_err = match Orchestrator::new(crash).run_campaign(&specs) {
+        Err(err) => err.to_string(),
+        Ok(_) => die("gate 3 failed: the injected shard failure did not fail the sweep"),
+    };
+    let survivors: Vec<usize> = (0..2)
+        .filter(|shard| {
+            scratch
+                .join(format!("sweep-{sweep_id}/shard-{shard}.partial.json"))
+                .exists()
+        })
+        .collect();
+
+    // Second run, same sweep id, no injection: every surviving partial is
+    // adopted without an attempt; only the crashed shard re-executes.
+    let mut resume = OrchestratorOptions::new(&worker).with_sweep_id(&sweep_id);
+    resume.work_dir = scratch.clone();
+    resume.shards = 2;
+    let outcome = Orchestrator::new(resume)
+        .run_campaign(&specs)
+        .unwrap_or_else(|err| die(&format!("gate 3 failed: resumed sweep failed: {err}")));
+    if outcome.resumed_shards != survivors {
+        die(&format!(
+            "gate 3 failed: resumed shards {:?} != surviving partials {:?}",
+            outcome.resumed_shards, survivors
+        ));
+    }
+    for &shard in &survivors {
+        if outcome.attempts[shard] != 0 {
+            die(&format!(
+                "gate 3 failed: shard {shard} was re-simulated ({} attempts) despite a valid \
+                 partial report",
+                outcome.attempts[shard]
+            ));
+        }
+    }
+    if outcome.merged.campaign() != Some(&reference) {
+        die("gate 3 failed: resumed sweep diverged from the unsharded faulted campaign");
+    }
+    eprintln!(
+        "gate 3 ok: sweep crashed ({} partial(s) survived), resume adopted {:?} with zero \
+         attempts and merged bit-identically",
+        survivors.len(),
+        outcome.resumed_shards
+    );
+
+    // --- Artifacts ----------------------------------------------------------
+    use themis::api::json::Json;
+    let grid_json = Json::Arr(
+        cells
+            .iter()
+            .map(|cell| {
+                Json::obj([
+                    ("scenario", Json::Str(cell.scenario.clone())),
+                    ("baseline_ns", Json::Num(cell.baseline_ns)),
+                    ("themis_ns", Json::Num(cell.themis_ns)),
+                    ("speedup", Json::Num(cell.speedup())),
+                ])
+            })
+            .collect(),
+    );
+    let resume_json = Json::obj([
+        ("sweep_id", Json::Str(sweep_id.clone())),
+        ("crash_error", Json::Str(crash_err)),
+        (
+            "surviving_partials",
+            Json::Arr(survivors.iter().map(|&s| Json::Num(s as f64)).collect()),
+        ),
+        (
+            "resumed_shards",
+            Json::Arr(
+                outcome
+                    .resumed_shards
+                    .iter()
+                    .map(|&s| Json::Num(s as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "attempts",
+            Json::Arr(
+                outcome
+                    .attempts
+                    .iter()
+                    .map(|&a| Json::Num(a as f64))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let document = Json::obj([
+        ("version", Json::Num(1.0)),
+        ("kind", Json::Str("faults-bench".to_string())),
+        ("smoke", Json::Bool(smoke)),
+        ("degraded_cells", Json::Num(degraded_cells as f64)),
+        ("campaign_cells", Json::Num(specs.len() as f64)),
+        ("grid", grid_json.clone()),
+        ("resume", resume_json.clone()),
+        (
+            "notes",
+            Json::Str(
+                "gate 1: Themis+SCF <= Baseline and faulted >= healthy on every degraded cell; \
+                 gate 2: faulted campaign bit-identical across sequential/parallel/warm-plan/\
+                 serve backends; gate 3: a sweep crashed mid-run via --fail-after resumes under \
+                 the same sweep_id, adopting surviving partial reports with zero attempts and \
+                 merging bit-identically to the unsharded run."
+                    .to_string(),
+            ),
+        ),
+    ])
+    .render();
+    std::fs::write(&output, document)
+        .unwrap_or_else(|err| die(&format!("failed to write {output}: {err}")));
+    eprintln!("wrote {output}");
+    if smoke {
+        for (path, contents) in [
+            ("FAULT_grid.json", grid_json.render()),
+            ("FAULT_resume.json", resume_json.render()),
+        ] {
+            std::fs::write(path, contents)
+                .unwrap_or_else(|err| die(&format!("failed to write {path}: {err}")));
+            eprintln!("wrote {path}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}

@@ -299,7 +299,7 @@ fn main() {
     let mut matrices = Vec::new();
     {
         let baseline_campaign = campaign.clone();
-        let optimised_campaign = campaign.clone().sim_options(quiet);
+        let optimised_campaign = campaign.clone().sim_options(quiet.clone());
         let specs = optimised_campaign
             .expand()
             .expect("benchmark campaign is valid");
@@ -337,7 +337,7 @@ fn main() {
     }
     {
         let baseline_streams = streams.clone();
-        let optimised_streams = streams.clone().sim_options(quiet);
+        let optimised_streams = streams.clone().sim_options(quiet.clone());
         let specs = optimised_streams
             .expand()
             .expect("benchmark stream campaign is valid");
@@ -382,7 +382,7 @@ fn main() {
     // machine-speed drift cancels out of the comparison instead of
     // masquerading as instrumentation cost.
     let telemetry_pair = {
-        let quiet_campaign = campaign.clone().sim_options(quiet);
+        let quiet_campaign = campaign.clone().sim_options(quiet.clone());
         let plan = SimPlanCache::new();
         quiet_campaign
             .run_with_cache(&optimised_runner(), &plan)

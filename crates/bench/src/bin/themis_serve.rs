@@ -13,6 +13,7 @@
 //! ```text
 //! themis-serve [--socket PATH] [--cache FILE] [--worker PATH]
 //!              [--work-dir DIR] [--max-cells N] [--worker-threads N]
+//!              [--max-line-bytes N]
 //! ```
 //!
 //! Without `--socket` the daemon serves stdin/stdout (one client, e.g. a
@@ -51,10 +52,13 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage: themis-serve [--socket PATH] [--cache FILE] [--worker PATH]
                     [--work-dir DIR] [--max-cells N] [--worker-threads N]
+                    [--max-line-bytes N]
 
 Serve JSONL campaign requests (one JSON object per line) against one
 resident warm plan cache. Without --socket, serves stdin/stdout; with
 --socket, serves concurrent connections on a Unix domain socket.
+Request lines longer than --max-line-bytes (default 16 MiB) are rejected
+with a structured error instead of being buffered.
 ";
 
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
@@ -92,6 +96,13 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
         ),
         None => None,
     };
+    let max_line_bytes: Option<usize> = match take_flag(&mut args, "--max-line-bytes")? {
+        Some(text) => match text.parse() {
+            Ok(bytes) if bytes > 0 => Some(bytes),
+            _ => return Err("invalid --max-line-bytes value".to_string()),
+        },
+        None => None,
+    };
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}\n{USAGE}"));
     }
@@ -109,6 +120,9 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
     }
     if let Some(threads) = worker_threads {
         options.worker_threads = threads;
+    }
+    if let Some(bytes) = max_line_bytes {
+        options.max_line_bytes = bytes;
     }
 
     let service = Service::new(options);

@@ -5,6 +5,7 @@
 //! executed through a parallel [`themis::api::Runner`], so the harness never
 //! hand-wires the schedule-then-simulate pipeline.
 
+pub mod fault_sweep;
 pub mod fig04;
 pub mod fig05;
 pub mod fig08;

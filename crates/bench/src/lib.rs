@@ -17,6 +17,7 @@
 //! | [`experiments::fig12`] | Fig. 12 — end-to-end training iteration breakdown |
 //! | [`experiments::stream_overlap`] | Sec. 4.3 applied across collectives — streaming queue vs sequential timeline |
 //! | [`experiments::sec63`] | Sec. 6.3 — BW provisioning scenarios |
+//! | [`experiments::fault_sweep`] | Fault sweep — scheduling under link degradation and failure |
 //! | [`experiments::summary`] | Sec. 6 headline numbers |
 //!
 //! Every module exposes a `run()` (or `run_with` for parameterised sweeps)

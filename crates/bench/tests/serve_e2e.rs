@@ -354,3 +354,164 @@ fn failing_shard_runs_exit_with_the_retryable_code() {
         .unwrap();
     assert_eq!(status.code(), Some(1));
 }
+
+/// Writes an executable shell script standing in for the worker binary.
+#[cfg(unix)]
+fn write_script(path: &std::path::Path, body: &str) {
+    use std::os::unix::fs::PermissionsExt;
+    std::fs::write(path, body).unwrap();
+    let mut perms = std::fs::metadata(path).unwrap().permissions();
+    perms.set_mode(0o755);
+    std::fs::set_permissions(path, perms).unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn a_worker_that_never_heartbeats_fails_as_a_spawn_timeout() {
+    let scratch = Scratch::new("spawn-timeout");
+    let worker = scratch.path("hang.sh");
+    write_script(&worker, "#!/bin/sh\nsleep 30\n");
+    let mut options = OrchestratorOptions::new(&worker);
+    options.shards = 1;
+    options.max_attempts = 1;
+    options.stall_timeout = std::time::Duration::from_millis(400);
+    options.work_dir = scratch.path("work");
+    let err = Orchestrator::new(options)
+        .run_campaign(&campaign_specs())
+        .unwrap_err();
+    assert!(err.to_string().contains("(spawn-timeout)"), "{err}");
+    assert!(err.to_string().contains("no first heartbeat"), "{err}");
+}
+
+#[cfg(unix)]
+#[test]
+fn a_worker_that_heartbeats_then_hangs_fails_as_a_stall() {
+    let scratch = Scratch::new("stall");
+    let worker = scratch.path("stall.sh");
+    // Pull `--progress` out of the worker CLI, heartbeat once, then hang:
+    // the supervisor must classify this apart from a spawn timeout.
+    write_script(
+        &worker,
+        "#!/bin/sh\n\
+         while [ $# -gt 0 ]; do\n\
+           if [ \"$1\" = \"--progress\" ]; then progress=\"$2\"; fi\n\
+           shift\n\
+         done\n\
+         echo heartbeat > \"$progress\"\n\
+         sleep 30\n",
+    );
+    let mut options = OrchestratorOptions::new(&worker);
+    options.shards = 1;
+    options.max_attempts = 1;
+    options.stall_timeout = std::time::Duration::from_secs(2);
+    options.work_dir = scratch.path("work");
+    let err = Orchestrator::new(options)
+        .run_campaign(&campaign_specs())
+        .unwrap_err();
+    assert!(err.to_string().contains("(stall)"), "{err}");
+    assert!(err.to_string().contains("stalled for more than"), "{err}");
+}
+
+#[cfg(unix)]
+#[test]
+fn a_spawn_timeout_on_the_first_attempt_is_retried_and_recorded() {
+    use themis::api::orchestrator::FailureKind;
+    let scratch = Scratch::new("timeout-retry");
+    let marker = scratch.path("first-attempt-done");
+    let worker = scratch.path("flaky.sh");
+    // First attempt: hang without ever heartbeating. Every later attempt
+    // execs the real worker, so the sweep still completes — and the
+    // supervision history names the spawn timeout.
+    write_script(
+        &worker,
+        &format!(
+            "#!/bin/sh\n\
+             if [ ! -e \"{marker}\" ]; then\n\
+               touch \"{marker}\"\n\
+               sleep 30\n\
+             fi\n\
+             exec \"{real}\" \"$@\"\n",
+            marker = marker.display(),
+            real = WORKER
+        ),
+    );
+    let specs = campaign_specs();
+    let reference = CampaignReport::new(Runner::sequential().execute(&specs).unwrap());
+    let mut options = OrchestratorOptions::new(&worker);
+    options.shards = 1;
+    options.stall_timeout = std::time::Duration::from_millis(400);
+    options.work_dir = scratch.path("work");
+    let outcome = Orchestrator::new(options).run_campaign(&specs).unwrap();
+    assert_eq!(outcome.attempts, vec![2]);
+    assert_eq!(outcome.failures.len(), 1);
+    assert_eq!(outcome.failures[0].kind, FailureKind::SpawnTimeout);
+    assert_eq!(outcome.failures[0].shard, 0);
+    assert_eq!(outcome.failures[0].attempt, 1);
+    assert_eq!(outcome.merged.campaign(), Some(&reference));
+}
+
+#[test]
+fn crashed_sweeps_resume_from_surviving_partial_reports() {
+    let specs = campaign_specs();
+    let reference = CampaignReport::new(Runner::sequential().execute(&specs).unwrap());
+    let scratch = Scratch::new("resume");
+    let sweep = format!("resume-{}", std::process::id());
+
+    // First run: shard 1's only attempt aborts after one cell, failing the
+    // sweep mid-run. The deterministic sweep directory keeps whatever
+    // partial reports were completed before the crash.
+    let mut crash = OrchestratorOptions::new(WORKER).with_sweep_id(&sweep);
+    crash.shards = 2;
+    crash.work_dir = scratch.path("work");
+    crash.max_attempts = 1;
+    crash.fail_first_attempt = vec![(1, 1)];
+    assert!(Orchestrator::new(crash).run_campaign(&specs).is_err());
+    let survivors: Vec<usize> = (0..2)
+        .filter(|shard| {
+            scratch
+                .path(&format!("work/sweep-{sweep}/shard-{shard}.partial.json"))
+                .exists()
+        })
+        .collect();
+
+    // Second run under the same sweep id: every surviving partial is adopted
+    // with zero attempts, and the merge is still bit-identical.
+    let mut resume = OrchestratorOptions::new(WORKER).with_sweep_id(&sweep);
+    resume.shards = 2;
+    resume.work_dir = scratch.path("work");
+    let outcome = Orchestrator::new(resume).run_campaign(&specs).unwrap();
+    assert_eq!(outcome.resumed_shards, survivors);
+    for &shard in &survivors {
+        assert_eq!(outcome.attempts[shard], 0, "shard {shard} was re-simulated");
+    }
+    assert_eq!(outcome.merged.campaign(), Some(&reference));
+}
+
+#[test]
+fn faulted_sweeps_cross_the_process_boundary_bit_identically() {
+    // Fault plans ride in the platform-options JSON of each shard spec, so a
+    // multi-process sweep over faulted cells merges bit-identically to the
+    // in-process runner.
+    let plan = FaultPlan::new()
+        .degrade(0.0, 0, 0.75)
+        .degrade(300_000.0, 1, 0.5)
+        .fail(600_000.0, 0)
+        .recover(900_000.0, 0);
+    let platform = Platform::preset(PresetTopology::Sw2d).with_faults(plan);
+    let specs: Vec<RunSpec> = SchedulerKind::all()
+        .into_iter()
+        .map(|kind| {
+            RunSpec::new(
+                platform.clone(),
+                Job::all_reduce_mib(32.0).chunks(8).scheduler(kind),
+            )
+        })
+        .collect();
+    let reference = CampaignReport::new(Runner::sequential().execute(&specs).unwrap());
+    let scratch = Scratch::new("faulted");
+    let outcome = orchestrator(&scratch, 2, ShardStrategy::CostBalanced)
+        .run_campaign(&specs)
+        .unwrap();
+    assert_eq!(outcome.merged.campaign(), Some(&reference));
+    assert!(outcome.failures.is_empty());
+}

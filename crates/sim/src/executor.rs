@@ -47,8 +47,11 @@ impl<'a> CollectiveExecutor<'a> {
         scheduler: &mut dyn CollectiveScheduler,
         request: &CollectiveRequest,
     ) -> Result<SimReport, SimError> {
-        let schedule = scheduler.schedule(request, self.topo)?;
-        PipelineSimulator::new(self.topo, self.options).run(&schedule)
+        // Faults active at t = 0 are static asymmetry the scheduler sees
+        // (see `FaultPlan::initial_topology`); later events stay invisible.
+        let initial = self.options.faults.initial_topology(self.topo)?;
+        let schedule = scheduler.schedule(request, initial.as_ref().unwrap_or(self.topo))?;
+        PipelineSimulator::new(self.topo, self.options.clone()).run(&schedule)
     }
 
     /// Runs `request` under one of the Table 3 scheduler configurations with
@@ -83,10 +86,14 @@ impl<'a> CollectiveExecutor<'a> {
         plan: &SimPlanCache,
         workspace: &mut SimWorkspace,
     ) -> Result<SimReport, SimError> {
-        let schedule =
-            plan.schedules()
-                .get_or_schedule(self.topo, request, chunks_per_collective, kind)?;
-        let simulator = PipelineSimulator::new(self.topo, self.options);
+        let initial = self.options.faults.initial_topology(self.topo)?;
+        let schedule = plan.schedules().get_or_schedule(
+            initial.as_ref().unwrap_or(self.topo),
+            request,
+            chunks_per_collective,
+            kind,
+        )?;
+        let simulator = PipelineSimulator::new(self.topo, self.options.clone());
         let table =
             plan.cost_tables()
                 .get_or_build(self.topo, simulator.cost_model(), &schedule)?;

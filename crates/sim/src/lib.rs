@@ -52,6 +52,7 @@
 pub mod engine;
 pub mod error;
 pub mod executor;
+pub mod faults;
 pub mod options;
 pub mod pipeline;
 pub(crate) mod readyq;
@@ -64,6 +65,7 @@ pub mod workspace;
 pub use engine::{EventQueue, ScheduledEvent};
 pub use error::SimError;
 pub use executor::CollectiveExecutor;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultTimeline};
 pub use options::SimOptions;
 pub use pipeline::PipelineSimulator;
 pub use stats::{DimReport, SimReport};

@@ -1,9 +1,10 @@
 //! Simulator configuration.
 
 use crate::error::SimError;
+use crate::faults::FaultPlan;
 
 /// Options controlling the chunk-pipeline simulation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimOptions {
     /// Maximum number of chunk operations a dimension executes concurrently.
@@ -36,6 +37,12 @@ pub struct SimOptions {
     /// the per-op bookkeeping entirely (the op log is by far the largest part
     /// of a report); all other report fields are unaffected.
     pub record_op_log: bool,
+    /// Deterministic fault schedule applied to the simulated fabric
+    /// ([`crate::faults`]): per-dimension bandwidth degradation, link
+    /// failure and recovery at fixed simulated times. Empty (the default)
+    /// means a healthy fabric, and the engines take their exact original
+    /// float paths — reports are bit-identical to a fault-free build.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimOptions {
@@ -46,6 +53,7 @@ impl Default for SimOptions {
             activity_window_ns: 100_000.0,
             cross_collective_overlap: true,
             record_op_log: true,
+            faults: FaultPlan::new(),
         }
     }
 }
@@ -108,6 +116,14 @@ impl SimOptions {
         self.record_op_log = record;
         self
     }
+
+    /// Builder-style setter for the fault schedule. Dimension bounds are
+    /// checked against the topology when a simulation runs.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +138,7 @@ mod tests {
         assert_eq!(options.activity_window_ns, 100_000.0);
         assert!(options.cross_collective_overlap);
         assert!(options.record_op_log);
+        assert!(options.faults.is_empty());
         options.validate().unwrap();
     }
 
@@ -132,12 +149,14 @@ mod tests {
             .with_enforced_order(true)
             .with_activity_window_ns(50_000.0)
             .with_cross_collective_overlap(false)
-            .with_op_log(false);
+            .with_op_log(false)
+            .with_faults(FaultPlan::new().degrade(1_000.0, 0, 0.5));
         assert_eq!(options.max_concurrent_ops_per_dim, 4);
         assert!(options.enforce_intra_dim_order);
         assert_eq!(options.activity_window_ns, 50_000.0);
         assert!(!options.cross_collective_overlap);
         assert!(!options.record_op_log);
+        assert_eq!(options.faults.len(), 1);
         options.validate().unwrap();
     }
 

@@ -9,12 +9,13 @@
 //! baseline scheduling.
 
 use crate::error::SimError;
+use crate::faults::FaultTimeline;
 use crate::options::SimOptions;
 use crate::readyq::{ReadyKey, ReadyQueue};
 use crate::stats::{LabelInterner, RawOp, SimReport};
 use crate::workspace::SimWorkspace;
 use themis_collectives::CostModel;
-use themis_core::plan::CostTable;
+use themis_core::plan::{CostTable, CostTableCache};
 use themis_core::{enforced_intra_dim_order, CollectiveSchedule, IntraDimPolicy};
 use themis_net::NetworkTopology;
 
@@ -120,6 +121,28 @@ impl<'a> PipelineSimulator<'a> {
         table: &CostTable,
         workspace: &mut SimWorkspace,
     ) -> Result<SimReport, SimError> {
+        self.run_prepared_cached(schedule, table, workspace, None)
+    }
+
+    /// Like [`PipelineSimulator::run_prepared`], but building any fault-epoch
+    /// cost tables ([`SimOptions::faults`]) through the caller's shared
+    /// [`CostTableCache`], so repeated cells of a campaign price each fault
+    /// epoch once. With an empty fault plan the cache is never consulted and
+    /// results are bit-identical to [`PipelineSimulator::run_prepared`]
+    /// (which in turn builds epoch tables uncached — also bit-identical,
+    /// cost-table construction being deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PipelineSimulator::run_prepared`], plus
+    /// [`SimError::InvalidOptions`] for a malformed fault plan.
+    pub fn run_prepared_cached(
+        &self,
+        schedule: &CollectiveSchedule,
+        table: &CostTable,
+        workspace: &mut SimWorkspace,
+        plan_cache: Option<&CostTableCache>,
+    ) -> Result<SimReport, SimError> {
         self.options.validate()?;
         schedule.validate(self.topo)?;
         if !table.matches(schedule) {
@@ -133,6 +156,20 @@ impl<'a> PipelineSimulator<'a> {
                 ),
             });
         }
+        // An empty plan compiles to nothing at all: no boundary exists, no
+        // delta is capped and the base table prices every op, so the loop
+        // below walks its exact original float path (bit-identity).
+        let fault_timeline: Option<FaultTimeline> = if self.options.faults.is_empty() {
+            None
+        } else {
+            Some(
+                self.options
+                    .faults
+                    .compile(self.topo, &self.cost, schedule, plan_cache)?,
+            )
+        };
+        let mut epoch = 0usize;
+
         let num_dims = self.topo.num_dims();
         let chunks = schedule.chunks();
         let policy = schedule.intra_dim_policy();
@@ -182,6 +219,13 @@ impl<'a> PipelineSimulator<'a> {
         let mut outstanding = 0usize;
         let mut stall_counter = 0usize;
 
+        // Ready-queue cost keys (Smallest-Chunk-First ordering) are priced at
+        // ready time: chunks seeded before the first op use the initial
+        // epoch's table.
+        let seed_table = match &fault_timeline {
+            Some(timeline) => timeline.epochs()[0].table.as_deref().unwrap_or(table),
+            None => table,
+        };
         for (chunk_idx, chunk) in chunks.iter().enumerate() {
             outstanding += chunk.stages.len();
             if let Some(first) = chunk.stages.first() {
@@ -189,16 +233,37 @@ impl<'a> PipelineSimulator<'a> {
                     arrival,
                     chunk: chunk_idx,
                     stage: 0,
-                    cost_ns: table.cost(chunk_idx, 0).transfer_ns,
+                    cost_ns: seed_table.cost(chunk_idx, 0).transfer_ns,
                 });
                 arrival += 1;
             }
         }
 
         while outstanding > 0 {
+            // The fabric state of the current fault epoch: the table pricing
+            // newly issued ops, the per-dimension issuance block, and the
+            // time of the next boundary (the loop never advances across it in
+            // one step).
+            let (cur_table, blocked, next_fault): (&CostTable, Option<&[bool]>, Option<f64>) =
+                match &fault_timeline {
+                    Some(timeline) => {
+                        let cur = &timeline.epochs()[epoch];
+                        (
+                            cur.table.as_deref().unwrap_or(table),
+                            Some(&cur.blocked),
+                            timeline.epoch_start(epoch + 1),
+                        )
+                    }
+                    None => (table, None, None),
+                };
+
             // Start as many ops as the concurrency limit and (optionally) the
-            // enforced order allow.
+            // enforced order allow. Failed dimensions issue nothing; their
+            // ready ops wait for a recovery boundary.
             for dim in 0..num_dims {
+                if blocked.is_some_and(|blocked| blocked[dim]) {
+                    continue;
+                }
                 while active[dim].len() < self.options.max_concurrent_ops_per_dim
                     && !ready[dim].is_empty()
                 {
@@ -224,7 +289,10 @@ impl<'a> PipelineSimulator<'a> {
                         // FIFO/SCF pick of `IntraDimPolicy::pick`.
                         None => ready[dim].pop_next().expect("ready queue is non-empty"),
                     };
-                    let cost = table.cost(op.chunk, op.stage);
+                    // Ops price against the table of the epoch they are
+                    // *issued* in; once started they complete at that cost
+                    // even if a fault hits mid-flight.
+                    let cost = cur_table.cost(op.chunk, op.stage);
                     // Pay the fixed delay only when the dimension is (re)starting
                     // its pipeline after an idle period; back-to-back chunk ops
                     // overlap their step latencies with the predecessor's
@@ -248,6 +316,14 @@ impl<'a> PipelineSimulator<'a> {
 
             let any_active = active.iter().any(|a| !a.is_empty());
             if !any_active {
+                // Nothing is executing. If a fault boundary lies ahead (e.g.
+                // every ready op sits on a failed dimension), jump across the
+                // idle gap to it; otherwise the simulation is stuck for good.
+                if let Some(at) = next_fault {
+                    now = at.max(now);
+                    epoch += 1;
+                    continue;
+                }
                 let pending: usize = ready.iter().map(crate::readyq::ReadyQueue::len).sum();
                 return Err(SimError::Stalled {
                     at_ns: now,
@@ -256,7 +332,9 @@ impl<'a> PipelineSimulator<'a> {
             }
 
             // Time until the earliest completion under processor sharing: an
-            // op with `k` siblings progresses at rate 1/k.
+            // op with `k` siblings progresses at rate 1/k. Capped by the next
+            // fault boundary so in-flight ops never straddle an epoch switch
+            // unobserved.
             let mut delta = f64::INFINITY;
             for dim_active in active.iter() {
                 let k = dim_active.len() as f64;
@@ -264,11 +342,19 @@ impl<'a> PipelineSimulator<'a> {
                     delta = delta.min(op.remaining_work_ns * k);
                 }
             }
+            let mut advance_to_fault = false;
+            if let Some(at) = next_fault {
+                let gap = (at - now).max(0.0);
+                if gap <= delta {
+                    delta = gap;
+                    advance_to_fault = true;
+                }
+            }
             if !delta.is_finite() {
                 delta = 0.0;
             }
 
-            if delta <= 0.0 {
+            if delta <= 0.0 && !advance_to_fault {
                 stall_counter += 1;
                 if stall_counter > STALL_GUARD {
                     return Err(SimError::Stalled {
@@ -299,7 +385,12 @@ impl<'a> PipelineSimulator<'a> {
                     op.remaining_work_ns -= delta / k;
                 }
             }
-            now += delta;
+            now = if advance_to_fault {
+                epoch += 1;
+                next_fault.expect("fault boundary exists when advancing to it")
+            } else {
+                now + delta
+            };
 
             // Collect completions into the reused scratch buffer (swap-remove,
             // then a deterministic sort by dimension and chunk — the keys are
@@ -317,6 +408,15 @@ impl<'a> PipelineSimulator<'a> {
             }
             completions.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.chunk.cmp(&b.1.chunk)));
 
+            // Successor ops become ready *after* any epoch switch above, so
+            // their SCF cost keys price against the post-boundary table.
+            // Completion-side accounting keeps the base table: `wire_bytes`
+            // depends on sizes and dimension structure only, never on
+            // bandwidth, so it is identical in every epoch table.
+            let push_table = match &fault_timeline {
+                Some(timeline) => timeline.epochs()[epoch].table.as_deref().unwrap_or(table),
+                None => table,
+            };
             for &(dim, op) in completions.iter() {
                 let cost = table.cost(op.chunk, op.stage);
                 report.dims[dim].wire_bytes += cost.wire_bytes;
@@ -339,7 +439,7 @@ impl<'a> PipelineSimulator<'a> {
                         arrival,
                         chunk: op.chunk,
                         stage: next_stage,
-                        cost_ns: table.cost(op.chunk, next_stage).transfer_ns,
+                        cost_ns: push_table.cost(op.chunk, next_stage).transfer_ns,
                     });
                     arrival += 1;
                 }
@@ -677,6 +777,84 @@ mod tests {
             without_log.total_time_ns.to_bits()
         );
         assert_eq!(with_log.dims, without_log.dims);
+    }
+
+    #[test]
+    fn bandwidth_degradation_slows_the_run_monotonically() {
+        use crate::faults::FaultPlan;
+        let topo = fig5_topology();
+        let request = CollectiveRequest::all_reduce_mib(256.0);
+        let schedule = ThemisScheduler::new(8).schedule(&request, &topo).unwrap();
+        let healthy = PipelineSimulator::new(&topo, SimOptions::default())
+            .run(&schedule)
+            .unwrap();
+        let mut last = healthy.total_time_ns;
+        for factor in [0.75, 0.5, 0.25] {
+            let faults = FaultPlan::new().degrade(healthy.total_time_ns * 0.3, 0, factor);
+            let degraded = PipelineSimulator::new(&topo, SimOptions::default().with_faults(faults))
+                .run(&schedule)
+                .unwrap();
+            assert!(
+                degraded.total_time_ns >= last - 1e-6,
+                "factor {factor}: {} < {}",
+                degraded.total_time_ns,
+                last
+            );
+            // The same bytes cross every dimension regardless of the fault.
+            assert!((degraded.total_wire_bytes() - healthy.total_wire_bytes()).abs() < 1.0);
+            last = degraded.total_time_ns;
+        }
+        assert!(last > healthy.total_time_ns);
+    }
+
+    #[test]
+    fn failure_blocks_issuance_until_recovery() {
+        use crate::faults::FaultPlan;
+        let topo = fig5_topology();
+        let request = CollectiveRequest::all_reduce_mib(256.0);
+        let schedule = ThemisScheduler::new(8).schedule(&request, &topo).unwrap();
+        let healthy = PipelineSimulator::new(&topo, SimOptions::default())
+            .run(&schedule)
+            .unwrap();
+        // Fail dim 0 outright from t = 0; recover it late. No dim-0 op can
+        // start before the recovery, so the run finishes after it.
+        let recover_at = healthy.total_time_ns * 2.0;
+        let faults = FaultPlan::new().fail(0.0, 0).recover(recover_at, 0);
+        let report = PipelineSimulator::new(&topo, SimOptions::default().with_faults(faults))
+            .run(&schedule)
+            .unwrap();
+        assert!(report.total_time_ns > recover_at);
+        assert!((report.total_wire_bytes() - healthy.total_wire_bytes()).abs() < 1.0);
+        for op in report.ops_on_dim(0) {
+            assert!(op.start_ns >= recover_at - 1e-6);
+        }
+    }
+
+    #[test]
+    fn permanent_failure_stalls_the_simulation() {
+        use crate::faults::FaultPlan;
+        let topo = fig5_topology();
+        let request = CollectiveRequest::all_reduce_mib(256.0);
+        let schedule = ThemisScheduler::new(8).schedule(&request, &topo).unwrap();
+        let faults = FaultPlan::new().fail(0.0, 0);
+        let err = PipelineSimulator::new(&topo, SimOptions::default().with_faults(faults))
+            .run(&schedule)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Stalled { .. }));
+    }
+
+    #[test]
+    fn malformed_fault_plans_are_rejected() {
+        use crate::faults::FaultPlan;
+        let topo = fig5_topology();
+        let request = CollectiveRequest::all_reduce_mib(64.0);
+        let schedule = ThemisScheduler::new(4).schedule(&request, &topo).unwrap();
+        // Dimension out of range for the topology.
+        let faults = FaultPlan::new().degrade(0.0, 9, 0.5);
+        let err = PipelineSimulator::new(&topo, SimOptions::default().with_faults(faults))
+            .run(&schedule)
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidOptions { .. }));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! reordering a collective behind its queue successors.
 
 use crate::error::SimError;
+use crate::faults::FaultTimeline;
 use crate::options::SimOptions;
 use crate::pipeline::{push_presence, PipelineSimulator};
 use crate::stats::{DimReport, LabelInterner, RawOp, SimReport};
@@ -17,7 +18,7 @@ use crate::stream::report::{CollectiveSpan, StreamReport};
 use crate::workspace::SimWorkspace;
 use std::sync::Arc;
 use themis_collectives::CostModel;
-use themis_core::plan::CostTable;
+use themis_core::plan::{CostTable, CostTableCache};
 use themis_core::{
     enforced_intra_dim_order, CollectiveSchedule, CollectiveScheduler, EnforcedOrder,
 };
@@ -86,15 +87,21 @@ impl<'a> StreamSimulator<'a> {
     ) -> Result<StreamReport, SimError> {
         self.options.validate()?;
         let order = admission_order(entries);
+        // Faults active at t = 0 are static asymmetry the bandwidth-aware
+        // schedulers get to see; mid-stream events stay invisible (see
+        // `FaultPlan::initial_topology`). The cached facade paths schedule
+        // against the same topology, so both stay bit-identical.
+        let initial = self.options.faults.initial_topology(self.topo)?;
+        let sched_topo = initial.as_ref().unwrap_or(self.topo);
         let mut schedules = Vec::with_capacity(order.len());
         for &index in &order {
-            let schedule = scheduler.schedule(&entries[index].request, self.topo)?;
+            let schedule = scheduler.schedule(&entries[index].request, sched_topo)?;
             schedule.validate(self.topo)?;
             schedules.push(Arc::new(schedule));
         }
         let tables = self.build_tables(&schedules)?;
         let mut workspace = SimWorkspace::new();
-        self.dispatch(entries, &order, &schedules, &tables, &mut workspace)
+        self.dispatch(entries, &order, &schedules, &tables, &mut workspace, None)
     }
 
     /// Evaluates the cost model over every (admission-ordered) schedule.
@@ -125,11 +132,12 @@ impl<'a> StreamSimulator<'a> {
         schedules: &[Arc<CollectiveSchedule>],
         tables: &[Arc<CostTable>],
         workspace: &mut SimWorkspace,
+        plan_cache: Option<&CostTableCache>,
     ) -> Result<StreamReport, SimError> {
         if self.options.cross_collective_overlap {
-            self.run_overlapped(entries, order, schedules, tables, workspace)
+            self.run_overlapped(entries, order, schedules, tables, workspace, plan_cache)
         } else {
-            self.run_sequential(entries, order, schedules, tables, workspace)
+            self.run_sequential(entries, order, schedules, tables, workspace, plan_cache)
         }
     }
 
@@ -157,7 +165,7 @@ impl<'a> StreamSimulator<'a> {
         let (order, ordered) = self.order_schedules(entries, schedules)?;
         let tables = self.build_tables(&ordered)?;
         let mut workspace = SimWorkspace::new();
-        self.dispatch(entries, &order, &ordered, &tables, &mut workspace)
+        self.dispatch(entries, &order, &ordered, &tables, &mut workspace, None)
     }
 
     /// Like [`StreamSimulator::run_prescheduled`], but also executing
@@ -179,6 +187,27 @@ impl<'a> StreamSimulator<'a> {
         schedules: &[Arc<CollectiveSchedule>],
         tables: &[Arc<CostTable>],
         workspace: &mut SimWorkspace,
+    ) -> Result<StreamReport, SimError> {
+        self.run_planned_cached(entries, schedules, tables, workspace, None)
+    }
+
+    /// Like [`StreamSimulator::run_planned`], but building any fault-epoch
+    /// cost tables ([`SimOptions::faults`]) through the caller's shared
+    /// [`CostTableCache`] so repeated cells price each fault epoch once.
+    /// Bit-identical to [`StreamSimulator::run_planned`] (epoch-table
+    /// construction is deterministic, cached or not).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`StreamSimulator::run_planned`], plus
+    /// [`SimError::InvalidOptions`] for a malformed fault plan.
+    pub fn run_planned_cached(
+        &self,
+        entries: &[StreamEntry],
+        schedules: &[Arc<CollectiveSchedule>],
+        tables: &[Arc<CostTable>],
+        workspace: &mut SimWorkspace,
+        plan_cache: Option<&CostTableCache>,
     ) -> Result<StreamReport, SimError> {
         self.options.validate()?;
         if tables.len() != schedules.len() {
@@ -206,7 +235,14 @@ impl<'a> StreamSimulator<'a> {
             .iter()
             .map(|&index| Arc::clone(&tables[index]))
             .collect();
-        self.dispatch(entries, &order, &ordered, &ordered_tables, workspace)
+        self.dispatch(
+            entries,
+            &order,
+            &ordered,
+            &ordered_tables,
+            workspace,
+            plan_cache,
+        )
     }
 
     /// Validates `schedules` against the entry list and topology and returns
@@ -244,8 +280,9 @@ impl<'a> StreamSimulator<'a> {
         schedules: &[Arc<CollectiveSchedule>],
         tables: &[Arc<CostTable>],
         workspace: &mut SimWorkspace,
+        plan_cache: Option<&CostTableCache>,
     ) -> Result<StreamReport, SimError> {
-        let simulator = PipelineSimulator::new(self.topo, self.options);
+        let simulator = PipelineSimulator::new(self.topo, self.options.clone());
         let mut report = StreamReport::empty(
             schedules.first().map_or("", |s| s.scheduler_name()),
             self.topo.name(),
@@ -253,10 +290,25 @@ impl<'a> StreamSimulator<'a> {
         );
         let mut network_free_at = 0.0f64;
         for (slot, &index) in order.iter().enumerate() {
-            let sim_report =
-                simulator.run_prepared(schedules[slot].as_ref(), &tables[slot], workspace)?;
             let issue_ns = entries[index].clamped_issue_ns();
             let start_ns = network_free_at.max(issue_ns);
+            // Fault times are absolute stream time; each laid-end-to-end
+            // collective runs in its own frame, so it gets the plan as seen
+            // from its start offset (past events collapsed into state at 0).
+            let sim_report = if self.options.faults.is_empty() {
+                simulator.run_prepared(schedules[slot].as_ref(), &tables[slot], workspace)?
+            } else {
+                let options = self
+                    .options
+                    .clone()
+                    .with_faults(self.options.faults.shifted(start_ns));
+                PipelineSimulator::new(self.topo, options).run_prepared_cached(
+                    schedules[slot].as_ref(),
+                    &tables[slot],
+                    workspace,
+                    plan_cache,
+                )?
+            };
             let finish_ns = start_ns + sim_report.total_time_ns;
             network_free_at = finish_ns;
             report.network_busy_ns += sim_report.total_time_ns;
@@ -293,8 +345,30 @@ impl<'a> StreamSimulator<'a> {
         schedules: &[Arc<CollectiveSchedule>],
         op_costs: &[Arc<CostTable>],
         workspace: &mut SimWorkspace,
+        plan_cache: Option<&CostTableCache>,
     ) -> Result<StreamReport, SimError> {
         let num_dims = self.topo.num_dims();
+
+        // Cost tables are per-schedule, so the fault plan compiles once per
+        // admitted collective. All timelines share the same epoch boundaries
+        // and blocked masks (one plan), only the tables differ; slot 0 acts
+        // as the representative for boundary and block lookups.
+        let fault_timelines: Option<Vec<FaultTimeline>> = if self.options.faults.is_empty() {
+            None
+        } else {
+            let cost_model = CostModel::new();
+            Some(
+                schedules
+                    .iter()
+                    .map(|schedule| {
+                        self.options
+                            .faults
+                            .compile(self.topo, &cost_model, schedule, plan_cache)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            )
+        };
+        let mut epoch = 0usize;
 
         let mut colls: Vec<CollState> = Vec::with_capacity(order.len());
         for (slot, &index) in order.iter().enumerate() {
@@ -384,6 +458,19 @@ impl<'a> StreamSimulator<'a> {
         // and collectives in flight), not O(dims × collectives).
 
         while admit_ptr < colls.len() || outstanding > 0 {
+            // The fabric state of the current fault epoch (shared across
+            // collectives: one plan, one set of boundaries and blocks).
+            let (blocked, next_fault): (Option<&[bool]>, Option<f64>) = match &fault_timelines {
+                Some(timelines) => match timelines.first() {
+                    Some(timeline) => (
+                        Some(&timeline.epochs()[epoch].blocked),
+                        timeline.epoch_start(epoch + 1),
+                    ),
+                    None => (None, None),
+                },
+                None => (None, None),
+            };
+
             // Event-driven admission: collectives whose issue time has arrived
             // enter the ready queues (their chunks' first stages).
             while admit_ptr < colls.len() && colls[admit_ptr].issue_ns <= now {
@@ -406,7 +493,9 @@ impl<'a> StreamSimulator<'a> {
                             coll,
                             chunk: chunk_idx,
                             stage: 0,
-                            cost_ns: op_costs[coll].cost(chunk_idx, 0).transfer_ns,
+                            cost_ns: epoch_table(&fault_timelines, op_costs, epoch, coll)
+                                .cost(chunk_idx, 0)
+                                .transfer_ns,
                         });
                         arrival += 1;
                     }
@@ -419,6 +508,11 @@ impl<'a> StreamSimulator<'a> {
             // collective k+1 only start on dimensions collective k is done
             // with.
             for (dim, queue) in dims.iter_mut().enumerate() {
+                // Failed dimensions issue nothing; ready ops wait for a
+                // recovery boundary.
+                if blocked.is_some_and(|blocked| blocked[dim]) {
+                    continue;
+                }
                 while queue.active.len() < self.options.max_concurrent_ops_per_dim
                     && queue.ready_len() > 0
                 {
@@ -453,7 +547,11 @@ impl<'a> StreamSimulator<'a> {
                         // the pop *is* its FIFO/SCF pick.
                         None => queue.pop_next(coll).expect("bucket is non-empty"),
                     };
-                    let cost = op_costs[op.coll].cost(op.chunk, op.stage);
+                    // Ops price against the table of the epoch they are
+                    // *issued* in; once started they complete at that cost
+                    // even if a fault hits mid-flight.
+                    let cost = epoch_table(&fault_timelines, op_costs, epoch, op.coll)
+                        .cost(op.chunk, op.stage);
                     // Pay the fixed delay only when the dimension restarts
                     // after an idle period (same rule as the pipeline
                     // simulator; the dimension does not care which collective
@@ -483,12 +581,27 @@ impl<'a> StreamSimulator<'a> {
             let any_active = dims.iter().any(|q| !q.active.is_empty());
             let next_admission = colls.get(admit_ptr).map(|c| c.issue_ns);
             if !any_active {
-                // Nothing is executing: either jump across the idle gap to the
-                // next issue, or — with work outstanding and no admissions
-                // left — declare a stall (e.g. an enforced-order deadlock).
-                if let Some(at) = next_admission {
-                    now = at.max(now);
-                    continue;
+                // Nothing is executing: jump across the idle gap to the next
+                // event — an admission or a fault boundary (e.g. the recovery
+                // of a failed dimension holding every ready op), whichever
+                // comes first — or, with neither left, declare a stall (e.g.
+                // an enforced-order deadlock or a permanent link failure).
+                match (next_admission, next_fault) {
+                    (Some(admission), Some(fault)) if fault <= admission => {
+                        now = fault.max(now);
+                        epoch += 1;
+                        continue;
+                    }
+                    (Some(admission), _) => {
+                        now = admission.max(now);
+                        continue;
+                    }
+                    (None, Some(fault)) => {
+                        now = fault.max(now);
+                        epoch += 1;
+                        continue;
+                    }
+                    (None, None) => {}
                 }
                 let pending: usize = dims.iter().map(DimQueue::ready_len).sum();
                 return Err(SimError::Stalled {
@@ -514,11 +627,25 @@ impl<'a> StreamSimulator<'a> {
                     advance_to_admission = true;
                 }
             }
+            // Fault boundaries cap the advance too; on a strict win the
+            // admission flag clears (the admission still happens next
+            // iteration once `now` has crossed its issue time).
+            let mut advance_to_fault = false;
+            if let Some(at) = next_fault {
+                let gap = (at - now).max(0.0);
+                if gap <= delta {
+                    if gap < delta {
+                        advance_to_admission = false;
+                    }
+                    delta = gap;
+                    advance_to_fault = true;
+                }
+            }
             if !delta.is_finite() {
                 delta = 0.0;
             }
 
-            if delta <= 0.0 && !advance_to_admission {
+            if delta <= 0.0 && !advance_to_admission && !advance_to_fault {
                 stall_counter += 1;
                 if stall_counter > STALL_GUARD {
                     return Err(SimError::Stalled {
@@ -594,7 +721,10 @@ impl<'a> StreamSimulator<'a> {
                     op.remaining_work_ns -= delta / k;
                 }
             }
-            now = if advance_to_admission {
+            now = if advance_to_fault {
+                epoch += 1;
+                next_fault.expect("fault boundary exists when advancing to it")
+            } else if advance_to_admission {
                 next_admission.expect("admission event exists")
             } else {
                 now + delta
@@ -647,12 +777,19 @@ impl<'a> StreamSimulator<'a> {
                 let next_stage = op.stage + 1;
                 if next_stage < schedules[op.coll].chunks()[op.chunk].stages.len() {
                     let target = schedules[op.coll].chunks()[op.chunk].stages[next_stage].dim;
+                    // Successor ops become ready after any epoch switch
+                    // above, so their SCF cost keys price against the
+                    // post-boundary table. (Completion-side `wire_bytes`
+                    // accounting keeps the base table: wire bytes never
+                    // depend on bandwidth, so every epoch table agrees.)
                     dims[target].push_ready(PendingOp {
                         arrival,
                         coll: op.coll,
                         chunk: op.chunk,
                         stage: next_stage,
-                        cost_ns: op_costs[op.coll].cost(op.chunk, next_stage).transfer_ns,
+                        cost_ns: epoch_table(&fault_timelines, op_costs, epoch, op.coll)
+                            .cost(op.chunk, next_stage)
+                            .transfer_ns,
                     });
                     arrival += 1;
                 }
@@ -724,6 +861,24 @@ impl<'a> StreamSimulator<'a> {
             );
         }
         Ok(report)
+    }
+}
+
+/// The cost table pricing collective `coll`'s ops in fault epoch `epoch`:
+/// the compiled epoch table when one exists, otherwise the collective's base
+/// table (epochs whose bandwidth multipliers are all 1 carry no table).
+fn epoch_table<'t>(
+    timelines: &'t Option<Vec<FaultTimeline>>,
+    base: &'t [Arc<CostTable>],
+    epoch: usize,
+    coll: usize,
+) -> &'t CostTable {
+    match timelines {
+        Some(timelines) => timelines[coll].epochs()[epoch]
+            .table
+            .as_deref()
+            .unwrap_or(&base[coll]),
+        None => &base[coll],
     }
 }
 
@@ -946,6 +1101,65 @@ mod tests {
         let first = run_stream(&topo, SimOptions::default(), &entries);
         let second = run_stream(&topo, SimOptions::default(), &entries);
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn mid_stream_faults_complete_deterministically_under_both_policies() {
+        use crate::faults::FaultPlan;
+        let topo = PresetTopology::SwSwSw3dHomo.build();
+        let entries = vec![
+            entry("a", 0.0, 128.0),
+            entry("b", 0.0, 128.0),
+            entry("c", 500_000.0, 64.0),
+        ];
+        let healthy = run_stream(&topo, SimOptions::default(), &entries);
+        let faults = FaultPlan::new()
+            .degrade(healthy.finish_ns * 0.25, 1, 0.5)
+            .fail(healthy.finish_ns * 0.5, 2)
+            .recover(healthy.finish_ns * 0.9, 2);
+        for overlap in [true, false] {
+            let options = SimOptions::default()
+                .with_cross_collective_overlap(overlap)
+                .with_faults(faults.clone());
+            let first = run_stream(&topo, options.clone(), &entries);
+            let second = run_stream(&topo, options, &entries);
+            assert_eq!(first, second, "overlap={overlap}");
+            // Faults slow the stream down but never lose work.
+            assert!(first.finish_ns >= healthy.finish_ns - 1e-6);
+            for (f, h) in first.dims.iter().zip(healthy.dims.iter()) {
+                assert!((f.wire_bytes - h.wire_bytes).abs() < 1.0);
+                assert_eq!(f.ops_executed, h.ops_executed);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_policy_hands_each_collective_the_shifted_plan() {
+        use crate::faults::FaultPlan;
+        let topo = PresetTopology::Sw2d.build();
+        let entries = vec![entry("a", 0.0, 64.0), entry("b", 0.0, 64.0)];
+        let healthy = run_stream(
+            &topo,
+            SimOptions::default().with_cross_collective_overlap(false),
+            &entries,
+        );
+        // A degradation landing inside the second collective's span slows
+        // only it: the first span matches the healthy run bit for bit.
+        let at = healthy.spans[0].finish_ns + healthy.spans[1].active_ns * 0.5;
+        let faults = FaultPlan::new().degrade(at, 0, 0.25);
+        let faulted = run_stream(
+            &topo,
+            SimOptions::default()
+                .with_cross_collective_overlap(false)
+                .with_faults(faults),
+            &entries,
+        );
+        assert_eq!(
+            faulted.spans[0].report, healthy.spans[0].report,
+            "fault before the second collective must not touch the first"
+        );
+        assert!(faulted.spans[1].active_ns > healthy.spans[1].active_ns);
+        assert!(faulted.finish_ns > healthy.finish_ns);
     }
 
     #[test]

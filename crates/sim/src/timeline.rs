@@ -104,9 +104,11 @@ impl<'a> TimelineSimulator<'a> {
             .iter()
             .map(|e| StreamEntry::new(e.label.clone(), e.issue_ns, e.request))
             .collect();
-        let sequential =
-            StreamSimulator::new(self.topo, self.options.with_cross_collective_overlap(false))
-                .run(scheduler, &stream_entries)?;
+        let sequential = StreamSimulator::new(
+            self.topo,
+            self.options.clone().with_cross_collective_overlap(false),
+        )
+        .run(scheduler, &stream_entries)?;
         Ok(Self::from_stream(entries, sequential))
     }
 

@@ -22,6 +22,9 @@
 //!   completes each layer, DLRM's gradient-side All-To-All), feeding the
 //!   streaming queue engine via
 //!   [`training::TrainingSimulator::simulate_iteration_streamed`].
+//! * [`faults`] — deterministic fault-scenario generators (asymmetric
+//!   bandwidth sweeps, mid-stream degradation grids, transient flap
+//!   patterns) feeding the robustness experiments.
 //!
 //! ```
 //! use themis_net::presets::PresetTopology;
@@ -42,6 +45,7 @@
 
 pub mod compute;
 pub mod error;
+pub mod faults;
 pub mod layer;
 pub mod models;
 pub mod parallelism;
@@ -51,6 +55,9 @@ pub mod workload;
 
 pub use compute::ComputeModel;
 pub use error::WorkloadError;
+pub use faults::{
+    asymmetric_degradation, midstream_degradation_grid, transient_flaps, FaultScenario,
+};
 pub use layer::{Layer, LayerKind};
 pub use models::DnnModel;
 pub use parallelism::ParallelismStrategy;

@@ -311,7 +311,7 @@ impl TrainingSimulator {
         kind: SchedulerKind,
         ctx: &mut PlanCtx<'_>,
     ) -> Result<(f64, f64), WorkloadError> {
-        let executor = CollectiveExecutor::new(topo).with_options(self.sim_options);
+        let executor = CollectiveExecutor::new(topo).with_options(self.sim_options.clone());
         let chunks = self.config.chunks_per_collective;
         let report = match ctx.plan {
             // Warm-cache path: schedule and cost table served from the shared
@@ -364,7 +364,8 @@ impl TrainingSimulator {
             })
             .collect();
         let mut boxed = scheduler.build(self.config.chunks_per_collective);
-        let stream = StreamSimulator::new(topo, self.sim_options).run(boxed.as_mut(), &entries)?;
+        let stream =
+            StreamSimulator::new(topo, self.sim_options.clone()).run(boxed.as_mut(), &entries)?;
         let comm_finish_ns = stream.finish_ns;
         Ok(StreamedIteration {
             forward_compute_ns,

@@ -179,13 +179,13 @@ impl Campaign {
                 reason: format!("chunk counts must be positive, got {zero}"),
             });
         }
-        if let Some(options) = self.sim_options {
+        if let Some(options) = &self.sim_options {
             options.validate().map_err(ThemisError::from)?;
         }
         let mut specs = Vec::with_capacity(self.matrix_size());
         for platform in &self.platforms {
-            let platform = match self.sim_options {
-                Some(options) => platform.clone().with_options(options),
+            let platform = match &self.sim_options {
+                Some(options) => platform.clone().with_options(options.clone()),
                 None => platform.clone(),
             };
             for &size in &self.sizes {

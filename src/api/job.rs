@@ -128,7 +128,9 @@ impl Job {
             return Err(ThemisError::Schedule(ScheduleError::ZeroChunks));
         }
         let mut scheduler = self.scheduler.build(self.chunks);
-        Ok(scheduler.schedule(&self.request(), platform.topology())?)
+        // Faults active at t = 0 fold into the bandwidths the scheduler sees
+        // (see `Platform::scheduling_topology`); later events stay invisible.
+        Ok(scheduler.schedule(&self.request(), platform.scheduling_topology()?.as_ref())?)
     }
 
     /// Like [`Job::schedule_on`], but served through a shared
@@ -146,7 +148,7 @@ impl Job {
         cache: &ScheduleCache,
     ) -> Result<Arc<CollectiveSchedule>, ThemisError> {
         Ok(cache.get_or_schedule(
-            platform.topology(),
+            platform.scheduling_topology()?.as_ref(),
             &self.request(),
             self.chunks,
             self.scheduler,
@@ -214,7 +216,12 @@ impl Job {
                 .get_or_build(platform.topology(), simulator.cost_model(), &schedule)
                 .map_err(ThemisError::from)?
         };
-        let report = simulator.run_prepared(&schedule, &table, workspace)?;
+        let report = simulator.run_prepared_cached(
+            &schedule,
+            &table,
+            workspace,
+            Some(plan.cost_tables()),
+        )?;
         Ok(RunResult {
             config: self.config_on(platform),
             report,

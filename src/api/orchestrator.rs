@@ -26,9 +26,10 @@ use crate::api::runner::RunSpec;
 use crate::api::shard::{merge_reports, MergedReport, ShardReport, ShardSpec, ShardStrategy};
 use crate::api::stream::StreamSpec;
 use crate::error::ThemisError;
+use std::fmt;
 use std::fs;
 use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
+use std::process::{Child, Command, ExitStatus, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use themis_core::json::Json;
@@ -75,6 +76,16 @@ pub struct OrchestratorOptions {
     pub fail_first_attempt: Vec<(usize, usize)>,
     /// Keep the sweep's scratch directory after a successful merge.
     pub keep_files: bool,
+    /// Stable sweep identity for crash-resumable sweeps. When set, the
+    /// scratch directory is the deterministic `work_dir/sweep-<id>` instead
+    /// of a per-process unique path, and before launching any worker the
+    /// orchestrator checks each shard's partial-report path: a readable
+    /// report whose shard index, shard count, cell kind and global cell
+    /// indices all match the spec is adopted as-is (marked done with
+    /// zero attempts), so a sweep killed mid-run resumes without
+    /// re-simulating completed shards. IDs may contain only ASCII
+    /// alphanumerics, `-`, `_` and `.`.
+    pub sweep_id: Option<String>,
 }
 
 impl OrchestratorOptions {
@@ -97,7 +108,15 @@ impl OrchestratorOptions {
             threads_per_worker: 1,
             fail_first_attempt: Vec::new(),
             keep_files: false,
+            sweep_id: None,
         }
+    }
+
+    /// Sets a stable sweep identity (see [`Self::sweep_id`]).
+    #[must_use]
+    pub fn with_sweep_id(mut self, id: impl Into<String>) -> Self {
+        self.sweep_id = Some(id.into());
+        self
     }
 }
 
@@ -113,13 +132,73 @@ pub struct SweepOutcome {
     /// shard order. `None` for shards whose heartbeat file was missing or
     /// predates the telemetry-carrying format.
     pub shard_perf: Vec<Option<ShardPerf>>,
+    /// Shards adopted from valid on-disk partial reports instead of being
+    /// re-simulated (ascending). Non-empty only for sweeps resumed under a
+    /// stable [`OrchestratorOptions::sweep_id`].
+    pub resumed_shards: Vec<usize>,
+    /// Every failed attempt observed during supervision, grouped by shard
+    /// in shard order (detection order within a shard). Successful sweeps
+    /// list the attempts that were retried along the way.
+    pub failures: Vec<AttemptFailure>,
 }
 
 impl SweepOutcome {
     /// Total number of retried (i.e. failed) attempts across all shards.
     pub fn retries(&self) -> u32 {
-        self.attempts.iter().sum::<u32>() - self.attempts.len() as u32
+        self.attempts.iter().sum::<u32>()
+            - self
+                .attempts
+                .iter()
+                .filter(|&&attempts| attempts > 0)
+                .count() as u32
     }
+}
+
+/// Classification of one failed worker attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The worker never wrote a first heartbeat within the stall timeout —
+    /// it hung (or died silently) before reaching its main loop.
+    SpawnTimeout,
+    /// The worker heartbeated at least once, then its heartbeat stopped
+    /// changing for the stall timeout.
+    Stall,
+    /// The worker exited with a non-zero status or was killed by a signal.
+    WorkerExit,
+    /// The worker exited cleanly but left a missing or unreadable report,
+    /// or the supervisor could not poll it.
+    BadReport,
+}
+
+impl FailureKind {
+    /// The stable string used in structured log events and JSONL responses.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FailureKind::SpawnTimeout => "spawn-timeout",
+            FailureKind::Stall => "stall",
+            FailureKind::WorkerExit => "worker-exit",
+            FailureKind::BadReport => "bad-report",
+        }
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One failed attempt in a sweep's supervision history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptFailure {
+    /// The shard whose attempt failed.
+    pub shard: usize,
+    /// The 1-based attempt number that failed.
+    pub attempt: u32,
+    /// What went wrong, coarsely.
+    pub kind: FailureKind,
+    /// Human-readable failure detail.
+    pub reason: String,
 }
 
 /// One worker's throughput, as reported by its final heartbeat.
@@ -190,11 +269,45 @@ struct Task {
     spec_path: PathBuf,
     out_path: PathBuf,
     progress_path: PathBuf,
-    /// Attempts launched so far.
+    /// Attempts launched so far (0 for shards resumed from disk).
     attempts: u32,
     /// Throughput parsed from the final heartbeat of the successful attempt.
     perf: Option<ShardPerf>,
+    /// `true` if the shard's report was adopted from a valid on-disk partial
+    /// instead of being executed by this sweep.
+    resumed: bool,
+    /// Failed attempts of this shard, in detection order.
+    failures: Vec<AttemptFailure>,
     state: TaskState,
+}
+
+/// Kill-on-drop wrapper around a spawned worker process. Whenever a
+/// `Running` state is dropped — orchestrator error return, caller panic
+/// unwinding through [`Orchestrator::run_shards`], or a plain retry
+/// replacing the state — the child is killed and reaped instead of being
+/// leaked as an orphan. Killing an already-exited child is a no-op.
+struct WorkerGuard(Child);
+
+impl WorkerGuard {
+    fn try_wait(&mut self) -> std::io::Result<Option<ExitStatus>> {
+        self.0.try_wait()
+    }
+
+    fn kill_and_wait(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+
+    #[cfg(test)]
+    fn id(&self) -> u32 {
+        self.0.id()
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        self.kill_and_wait();
+    }
 }
 
 /// Supervision state of one shard.
@@ -206,12 +319,15 @@ enum TaskState {
     },
     /// A worker process is executing the shard.
     Running {
-        /// The spawned worker.
-        child: Child,
+        /// The spawned worker, reaped on drop.
+        child: WorkerGuard,
         /// Last observed heartbeat-file content.
         last_progress: String,
         /// When the heartbeat last changed (or the process launched).
         last_change: Instant,
+        /// `true` once any heartbeat content has been observed this attempt;
+        /// separates spawn timeouts from mid-run stalls.
+        saw_heartbeat: bool,
     },
     /// The shard's partial report has been collected.
     Done(Box<ShardReport>),
@@ -225,8 +341,8 @@ enum Step {
     Launch,
     /// The worker exited cleanly and its report parsed.
     Finish(Box<ShardReport>),
-    /// The attempt failed (non-zero exit, stall, or unreadable report).
-    Retry(String),
+    /// The attempt failed (classified exit, timeout, or unreadable report).
+    Retry(FailureKind, String),
 }
 
 impl Orchestrator {
@@ -279,11 +395,27 @@ impl Orchestrator {
                 reason: "cannot orchestrate an empty shard list".to_string(),
             });
         }
-        let run_dir = self.options.work_dir.join(format!(
-            "sweep-{}-{}",
-            std::process::id(),
-            SWEEP_COUNTER.fetch_add(1, Ordering::Relaxed)
-        ));
+        let run_dir = self.options.work_dir.join(match &self.options.sweep_id {
+            Some(id) => {
+                if id.is_empty()
+                    || !id
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+                {
+                    return Err(ThemisError::Serve {
+                        reason: format!(
+                            "invalid sweep id `{id}`: use ASCII alphanumerics, `-`, `_`, `.`"
+                        ),
+                    });
+                }
+                format!("sweep-{id}")
+            }
+            None => format!(
+                "sweep-{}-{}",
+                std::process::id(),
+                SWEEP_COUNTER.fetch_add(1, Ordering::Relaxed)
+            ),
+        });
         fs::create_dir_all(&run_dir).map_err(|err| ThemisError::Serve {
             reason: format!(
                 "could not create sweep directory {}: {err}",
@@ -297,30 +429,52 @@ impl Orchestrator {
             fs::write(&spec_path, spec.to_json()).map_err(|err| ThemisError::Serve {
                 reason: format!("could not write {}: {err}", spec_path.display()),
             })?;
+            let out_path = run_dir.join(format!("shard-{index}.partial.json"));
+            // Crash resume: a valid partial report left behind by an earlier
+            // run of the same sweep id stands in for executing the shard.
+            let resumed_report = resumable_report(&out_path, spec);
+            if let Some(report) = &resumed_report {
+                log_event(
+                    LogLevel::Info,
+                    "orchestrator.resume",
+                    &[
+                        ("shard", Json::Num(index as f64)),
+                        ("cells", Json::Num(report.len() as f64)),
+                        ("report", Json::Str(out_path.display().to_string())),
+                    ],
+                );
+            }
             tasks.push(Task {
                 index,
                 spec_path,
-                out_path: run_dir.join(format!("shard-{index}.partial.json")),
+                out_path,
                 progress_path: run_dir.join(format!("shard-{index}.progress")),
                 attempts: 0,
                 perf: None,
-                state: TaskState::Waiting {
-                    until: Instant::now(),
+                resumed: resumed_report.is_some(),
+                failures: Vec::new(),
+                state: match resumed_report {
+                    Some(report) => TaskState::Done(Box::new(report)),
+                    None => TaskState::Waiting {
+                        until: Instant::now(),
+                    },
                 },
             });
         }
-        let result = self.supervise(&mut tasks);
-        if result.is_err() {
-            for task in &mut tasks {
-                if let TaskState::Running { child, .. } = &mut task.state {
-                    let _ = child.kill();
-                    let _ = child.wait();
-                }
-            }
-        }
-        result?;
+        // On error, dropping `tasks` reaps any still-running workers through
+        // each `WorkerGuard`; the same holds if the caller unwinds.
+        self.supervise(&mut tasks)?;
         let attempts: Vec<u32> = tasks.iter().map(|task| task.attempts).collect();
         let shard_perf: Vec<Option<ShardPerf>> = tasks.iter().map(|task| task.perf).collect();
+        let resumed_shards: Vec<usize> = tasks
+            .iter()
+            .filter(|task| task.resumed)
+            .map(|task| task.index)
+            .collect();
+        let failures: Vec<AttemptFailure> = tasks
+            .iter_mut()
+            .flat_map(|task| std::mem::take(&mut task.failures))
+            .collect();
         let reports: Vec<ShardReport> = tasks
             .into_iter()
             .map(|task| match task.state {
@@ -335,10 +489,8 @@ impl Orchestrator {
             &[
                 ("shards", Json::Num(shards.len() as f64)),
                 ("cells", Json::Num(merged.len() as f64)),
-                (
-                    "retries",
-                    Json::Num((attempts.iter().sum::<u32>() - attempts.len() as u32) as f64),
-                ),
+                ("retries", Json::Num(failures.len() as f64)),
+                ("resumed", Json::Num(resumed_shards.len() as f64)),
             ],
         );
         if !self.options.keep_files {
@@ -348,6 +500,8 @@ impl Orchestrator {
             merged,
             attempts,
             shard_perf,
+            resumed_shards,
+            failures,
         })
     }
 
@@ -361,7 +515,7 @@ impl Orchestrator {
                     Step::Idle => {}
                     Step::Launch => self.launch(task)?,
                     Step::Finish(report) => task.state = TaskState::Done(report),
-                    Step::Retry(reason) => self.schedule_retry(task, &reason)?,
+                    Step::Retry(kind, reason) => self.schedule_retry(task, kind, &reason)?,
                 }
                 if !matches!(task.state, TaskState::Done(_)) {
                     pending = true;
@@ -389,8 +543,12 @@ impl Orchestrator {
                 child,
                 last_progress,
                 last_change,
+                saw_heartbeat,
             } => match child.try_wait() {
-                Err(err) => Step::Retry(format!("could not poll worker: {err}")),
+                Err(err) => Step::Retry(
+                    FailureKind::BadReport,
+                    format!("could not poll worker: {err}"),
+                ),
                 Ok(Some(status)) if status.success() => {
                     match fs::read_to_string(&task.out_path)
                         .ok()
@@ -412,14 +570,18 @@ impl Orchestrator {
                             Step::Finish(Box::new(report))
                         }
                         None => Step::Retry(
+                            FailureKind::BadReport,
                             "worker exited cleanly but left no readable shard report".to_string(),
                         ),
                     }
                 }
-                Ok(Some(status)) => Step::Retry(match status.code() {
-                    Some(code) => format!("worker exited with code {code}"),
-                    None => "worker was killed by a signal".to_string(),
-                }),
+                Ok(Some(status)) => Step::Retry(
+                    FailureKind::WorkerExit,
+                    match status.code() {
+                        Some(code) => format!("worker exited with code {code}"),
+                        None => "worker was killed by a signal".to_string(),
+                    },
+                ),
                 Ok(None) => {
                     let progress = fs::read_to_string(&task.progress_path).unwrap_or_default();
                     if progress != *last_progress {
@@ -433,13 +595,26 @@ impl Orchestrator {
                         );
                         *last_progress = progress;
                         *last_change = Instant::now();
+                        *saw_heartbeat = true;
                         Step::Idle
                     } else if last_change.elapsed() > self.options.stall_timeout {
-                        let _ = child.kill();
-                        let _ = child.wait();
+                        child.kill_and_wait();
+                        // A worker that never heartbeated hung before its
+                        // main loop (spawn timeout); one that heartbeated and
+                        // stopped stalled mid-run. The two point at different
+                        // problems, so they are logged and recorded apart.
+                        let kind = if *saw_heartbeat {
+                            FailureKind::Stall
+                        } else {
+                            FailureKind::SpawnTimeout
+                        };
+                        let event = match kind {
+                            FailureKind::Stall => "orchestrator.stall",
+                            _ => "orchestrator.spawn_timeout",
+                        };
                         log_event(
                             LogLevel::Warn,
-                            "orchestrator.stall",
+                            event,
                             &[
                                 ("shard", Json::Num(task.index as f64)),
                                 (
@@ -448,10 +623,11 @@ impl Orchestrator {
                                 ),
                             ],
                         );
-                        Step::Retry(format!(
-                            "worker heartbeat stalled for more than {:?}",
-                            self.options.stall_timeout
-                        ))
+                        let detail = match kind {
+                            FailureKind::Stall => "worker heartbeat stalled for more than",
+                            _ => "worker wrote no first heartbeat within",
+                        };
+                        Step::Retry(kind, format!("{detail} {:?}", self.options.stall_timeout))
                     } else {
                         Step::Idle
                     }
@@ -513,20 +689,33 @@ impl Orchestrator {
             ],
         );
         task.state = TaskState::Running {
-            child,
+            child: WorkerGuard(child),
             last_progress: String::new(),
             last_change: Instant::now(),
+            saw_heartbeat: false,
         };
         Ok(())
     }
 
     /// Schedules a failed attempt's retry, or gives up once the shard has
-    /// exhausted its attempts.
-    fn schedule_retry(&self, task: &mut Task, reason: &str) -> Result<(), ThemisError> {
+    /// exhausted its attempts. Either way the failure joins the shard's
+    /// supervision history.
+    fn schedule_retry(
+        &self,
+        task: &mut Task,
+        kind: FailureKind,
+        reason: &str,
+    ) -> Result<(), ThemisError> {
+        task.failures.push(AttemptFailure {
+            shard: task.index,
+            attempt: task.attempts,
+            kind,
+            reason: reason.to_string(),
+        });
         if task.attempts >= self.options.max_attempts {
             return Err(ThemisError::Serve {
                 reason: format!(
-                    "shard {} failed after {} attempts: {reason}",
+                    "shard {} failed after {} attempts ({kind}): {reason}",
                     task.index, task.attempts
                 ),
             });
@@ -543,6 +732,7 @@ impl Orchestrator {
             &[
                 ("shard", Json::Num(task.index as f64)),
                 ("attempt", Json::Num(task.attempts as f64)),
+                ("kind", Json::Str(kind.as_str().to_string())),
                 ("reason", Json::Str(reason.to_string())),
                 ("backoff_ms", Json::Num(backoff.as_millis() as f64)),
             ],
@@ -551,5 +741,78 @@ impl Orchestrator {
             until: Instant::now() + backoff,
         };
         Ok(())
+    }
+}
+
+/// Checks whether `out_path` holds a shard report that can stand in for
+/// executing `spec`: readable, parseable, and an exact structural match
+/// (shard index, shard count, cell kind, and the global indices of every
+/// cell). Anything less — truncated file from a crash mid-write, a report
+/// from a different plan reusing the sweep id — is rejected and the shard
+/// is executed normally.
+fn resumable_report(out_path: &PathBuf, spec: &ShardSpec) -> Option<ShardReport> {
+    let text = fs::read_to_string(out_path).ok()?;
+    let report = ShardReport::from_json(&text).ok()?;
+    let matches = report.shard_index() == spec.shard_index()
+        && report.shard_count() == spec.shard_count()
+        && report.is_stream() == spec.is_stream()
+        && report.global_indices() == spec.global_indices();
+    matches.then_some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_kinds_have_stable_wire_names() {
+        assert_eq!(FailureKind::SpawnTimeout.as_str(), "spawn-timeout");
+        assert_eq!(FailureKind::Stall.as_str(), "stall");
+        assert_eq!(FailureKind::WorkerExit.as_str(), "worker-exit");
+        assert_eq!(FailureKind::BadReport.as_str(), "bad-report");
+        assert_eq!(FailureKind::Stall.to_string(), "stall");
+    }
+
+    #[test]
+    fn sweep_id_builder_sets_the_option() {
+        let options = OrchestratorOptions::new("worker").with_sweep_id("ci-run.7");
+        assert_eq!(options.sweep_id.as_deref(), Some("ci-run.7"));
+        assert_eq!(OrchestratorOptions::new("worker").sweep_id, None);
+    }
+
+    #[test]
+    fn invalid_sweep_ids_are_rejected_before_spawning() {
+        use crate::api::{Job, Platform};
+        use themis_net::presets::PresetTopology;
+        for bad in ["", "../escape", "a/b", "white space"] {
+            let mut options = OrchestratorOptions::new("no-such-worker-binary");
+            options.sweep_id = Some(bad.to_string());
+            let err = Orchestrator::new(options)
+                .run_campaign(&[RunSpec::new(
+                    Platform::preset(PresetTopology::Sw2d),
+                    Job::all_reduce_mib(1.0).chunks(2),
+                )])
+                .unwrap_err();
+            assert!(err.to_string().contains("invalid sweep id"), "{bad}: {err}");
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn worker_guard_reaps_the_child_on_drop() {
+        let child = Command::new("sleep")
+            .arg("30")
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn sleep");
+        let guard = WorkerGuard(child);
+        let pid = guard.id();
+        assert!(std::path::Path::new(&format!("/proc/{pid}")).exists());
+        drop(guard);
+        // Killed *and* reaped: the pid has left the process table entirely
+        // (a leaked zombie would still show up under /proc).
+        assert!(!std::path::Path::new(&format!("/proc/{pid}")).exists());
     }
 }

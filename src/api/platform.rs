@@ -2,6 +2,7 @@
 //! simulator options it is evaluated with.
 
 use crate::error::ThemisError;
+use std::borrow::Cow;
 use themis_net::presets::{preset_by_name, PresetTopology};
 use themis_net::NetworkTopology;
 use themis_sim::SimOptions;
@@ -73,9 +74,38 @@ impl Platform {
         &self.topology
     }
 
+    /// The fabric as the schedulers see it: fault events active at t = 0 (a
+    /// permanently degraded link is *static* asymmetry — exactly what a
+    /// bandwidth-aware scheduler exists to exploit) fold into the dimension
+    /// bandwidths; later events stay invisible, so mid-stream faults remain
+    /// unforeseen. Without t = 0 degradation this borrows the topology
+    /// untouched, keeping fault-free scheduling on its exact original path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThemisError::Sim`] if the fault plan does not fit the
+    /// topology.
+    pub fn scheduling_topology(&self) -> Result<Cow<'_, NetworkTopology>, ThemisError> {
+        Ok(
+            match self.options.faults.initial_topology(&self.topology)? {
+                Some(degraded) => Cow::Owned(degraded),
+                None => Cow::Borrowed(&self.topology),
+            },
+        )
+    }
+
     /// The simulator options collectives run with on this platform.
     pub fn options(&self) -> SimOptions {
-        self.options
+        self.options.clone()
+    }
+
+    /// Convenience: installs a fault schedule ([`themis_sim::FaultPlan`]) on
+    /// the current options — mid-stream bandwidth degradation, link failure
+    /// and recovery at fixed simulated times.
+    #[must_use]
+    pub fn with_faults(mut self, faults: themis_sim::FaultPlan) -> Self {
+        self.options = self.options.with_faults(faults);
+        self
     }
 }
 

@@ -26,7 +26,10 @@
 //! ```
 //!
 //! A malformed line never crashes the service — it answers with a structured
-//! `status:"error"` response and keeps serving. Request kinds:
+//! `status:"error"` response and keeps serving. Lines longer than
+//! [`ServeOptions::max_line_bytes`] are drained without ever being buffered
+//! and answered the same way, so a runaway client cannot exhaust the
+//! daemon's memory. Request kinds:
 //!
 //! | kind            | payload                                  | result |
 //! |-----------------|------------------------------------------|--------|
@@ -91,7 +94,16 @@ pub struct ServeOptions {
     pub max_resident_cells: usize,
     /// Worker threads per spawned shard worker in `sweep` requests.
     pub worker_threads: usize,
+    /// Upper bound on one request line, in bytes. A longer line is drained
+    /// without buffering it and answered with a structured `status:"error"`
+    /// response, so a hostile or buggy client can never balloon the daemon's
+    /// memory. Default 16 MiB.
+    pub max_line_bytes: usize,
 }
+
+/// Default request-line cap: 16 MiB (comfortably above any real campaign
+/// request, far below anything that could hurt a resident daemon).
+pub const DEFAULT_MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
 
 impl Default for ServeOptions {
     fn default() -> Self {
@@ -101,6 +113,7 @@ impl Default for ServeOptions {
             work_dir: PathBuf::from("serve-work"),
             max_resident_cells: 4096,
             worker_threads: 1,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
         }
     }
 }
@@ -278,16 +291,27 @@ impl Service {
     /// Returns the first I/O error on the reader or writer.
     pub fn serve_with<R: BufRead, W: Write>(
         &self,
-        reader: R,
+        mut reader: R,
         mut writer: W,
         ext: impl Fn(&Service, &str, &Json) -> Option<Result<Json, ThemisError>>,
     ) -> std::io::Result<()> {
-        for line in reader.lines() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            let response = self.handle_line_with(&line, &ext);
+        loop {
+            let response = match read_bounded_line(&mut reader, self.options.max_line_bytes)? {
+                LineOutcome::Eof => break,
+                LineOutcome::Oversized(len) => render_error(
+                    &Json::Null,
+                    &format!(
+                        "request line too long: {len} bytes exceeds the {} byte limit",
+                        self.options.max_line_bytes
+                    ),
+                ),
+                LineOutcome::Line(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    self.handle_line_with(&line, &ext)
+                }
+            };
             writer.write_all(response.as_bytes())?;
             writer.write_all(b"\n")?;
             writer.flush()?;
@@ -430,6 +454,9 @@ impl Service {
         if let Some(timeout) = request.get("stall_timeout_ms") {
             options.stall_timeout = Duration::from_millis(timeout.as_f64()? as u64);
         }
+        if let Some(id) = request.get("sweep_id") {
+            options.sweep_id = Some(id.as_str()?.to_string());
+        }
         if let Some(hook) = request.get("fail_first_attempt") {
             for entry in hook.as_arr()? {
                 options
@@ -488,6 +515,33 @@ impl Service {
                 ),
             ),
             ("retries", Json::Num(outcome.retries() as f64)),
+            (
+                "resumed_shards",
+                Json::Arr(
+                    outcome
+                        .resumed_shards
+                        .iter()
+                        .map(|&shard| Json::Num(shard as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "failures",
+                Json::Arr(
+                    outcome
+                        .failures
+                        .iter()
+                        .map(|failure| {
+                            Json::obj([
+                                ("shard", Json::Num(failure.shard as f64)),
+                                ("attempt", Json::Num(failure.attempt as f64)),
+                                ("kind", Json::Str(failure.kind.as_str().to_string())),
+                                ("reason", Json::Str(failure.reason.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             (
                 "shards",
                 Json::Arr(
@@ -585,6 +639,62 @@ impl Service {
             ("cost_tables", totals.cost_tables.to_json()),
             ("resident", self.resident_sizes_json()),
         ])
+    }
+}
+
+/// Result of one bounded line read.
+enum LineOutcome {
+    /// End of input with nothing pending.
+    Eof,
+    /// A complete line within the cap (without its newline).
+    Line(String),
+    /// The line exceeded the cap; it was consumed but **not** buffered. The
+    /// payload is the line's total length in bytes.
+    Oversized(usize),
+}
+
+/// Reads one `\n`-terminated line from `reader`, buffering at most `cap`
+/// bytes. A longer line is drained chunk by chunk through the reader's
+/// internal buffer — memory use stays O(cap) no matter how long the client's
+/// line is — and reported as [`LineOutcome::Oversized`] so the serve loop can
+/// answer with a structured error and keep the connection in sync.
+fn read_bounded_line<R: BufRead>(reader: &mut R, cap: usize) -> std::io::Result<LineOutcome> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut total = 0usize;
+    let mut oversized = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF: flush whatever an unterminated final line accumulated.
+            return Ok(if oversized {
+                LineOutcome::Oversized(total)
+            } else if total == 0 {
+                LineOutcome::Eof
+            } else {
+                LineOutcome::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        let (line_bytes, consumed, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos, pos + 1, true),
+            None => (chunk.len(), chunk.len(), false),
+        };
+        total += line_bytes;
+        if !oversized {
+            if total > cap {
+                oversized = true;
+                buf = Vec::new();
+            } else {
+                buf.extend_from_slice(&chunk[..line_bytes]);
+            }
+        }
+        reader.consume(consumed);
+        if done {
+            return Ok(if oversized {
+                LineOutcome::Oversized(total)
+            } else {
+                LineOutcome::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
     }
 }
 
@@ -885,5 +995,51 @@ mod tests {
             })
         });
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn bounded_reader_handles_exact_caps_and_unterminated_tails() {
+        let mut reader = std::io::Cursor::new(b"abcd\nefgh".to_vec());
+        match read_bounded_line(&mut reader, 4).unwrap() {
+            LineOutcome::Line(line) => assert_eq!(line, "abcd"),
+            _ => panic!("a line exactly at the cap must pass"),
+        }
+        // The unterminated final line is still delivered at EOF.
+        match read_bounded_line(&mut reader, 4).unwrap() {
+            LineOutcome::Line(line) => assert_eq!(line, "efgh"),
+            _ => panic!("unterminated tail must be delivered"),
+        }
+        assert!(matches!(
+            read_bounded_line(&mut reader, 4).unwrap(),
+            LineOutcome::Eof
+        ));
+    }
+
+    #[test]
+    fn oversized_request_lines_answer_a_structured_error_and_keep_serving() {
+        let options = ServeOptions {
+            max_line_bytes: 128,
+            ..ServeOptions::default()
+        };
+        let service = Service::new(options);
+        let long = format!(
+            "{{\"id\":1,\"kind\":\"ping\",\"pad\":\"{}\"}}\n",
+            "x".repeat(4096)
+        );
+        let input = format!("{long}{{\"id\":2,\"kind\":\"ping\"}}\n");
+        let mut out = Vec::new();
+        service
+            .serve(std::io::Cursor::new(input.into_bytes()), &mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let mut lines = text.lines();
+        let first = Json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(first.field("status").unwrap().as_str().unwrap(), "error");
+        let reason = first.field("error").unwrap().as_str().unwrap().to_string();
+        assert!(reason.contains("too long"), "{reason}");
+        // The oversized line was drained, so the next request still parses.
+        let second = Json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(second.field("status").unwrap().as_str().unwrap(), "ok");
+        assert!(lines.next().is_none());
     }
 }

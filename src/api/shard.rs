@@ -75,7 +75,7 @@ use crate::api::Job;
 use crate::error::ThemisError;
 use themis_core::SimPlanCache;
 use themis_net::{DataSize, DimensionSpec, NetworkTopology, TopologyKind};
-use themis_sim::SimOptions;
+use themis_sim::{FaultEvent, FaultKind, FaultPlan, SimOptions};
 
 /// How a [`ShardPlan`] distributes cells over shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -609,6 +609,16 @@ impl ShardReport {
         matches!(self.results, ShardResults::Stream(_))
     }
 
+    /// The global matrix indices of this report's cells, in result order.
+    /// The orchestrator compares these against a [`ShardSpec`] to decide
+    /// whether an on-disk partial report can be resumed.
+    pub fn global_indices(&self) -> Vec<usize> {
+        match &self.results {
+            ShardResults::Campaign(results) => results.iter().map(|(i, _)| *i).collect(),
+            ShardResults::Stream(results) => results.iter().map(|(i, _)| *i).collect(),
+        }
+    }
+
     /// The shard's schedule-cache counters.
     pub fn cache(&self) -> CacheStats {
         self.cache
@@ -977,9 +987,56 @@ pub(crate) fn platform_to_json(platform: &Platform) -> Json {
                     Json::Bool(options.cross_collective_overlap),
                 ),
                 ("record_op_log", Json::Bool(options.record_op_log)),
+                (
+                    "faults",
+                    Json::Arr(
+                        options
+                            .faults
+                            .events()
+                            .iter()
+                            .map(fault_event_to_json)
+                            .collect(),
+                    ),
+                ),
             ]),
         ),
     ])
+}
+
+fn fault_event_to_json(event: &FaultEvent) -> Json {
+    let mut pairs = vec![
+        ("at_ns", Json::Num(event.at_ns)),
+        ("dim", Json::Num(event.dim as f64)),
+    ];
+    match event.kind {
+        FaultKind::Degrade { factor } => {
+            pairs.push(("kind", Json::Str("degrade".to_string())));
+            pairs.push(("factor", Json::Num(factor)));
+        }
+        FaultKind::Fail => pairs.push(("kind", Json::Str("fail".to_string()))),
+        FaultKind::Recover => pairs.push(("kind", Json::Str("recover".to_string()))),
+    }
+    Json::obj(pairs)
+}
+
+fn fault_event_from_json(value: &Json) -> Result<FaultEvent, ThemisError> {
+    let kind = match value.field("kind")?.as_str()? {
+        "degrade" => FaultKind::Degrade {
+            factor: value.field("factor")?.as_f64()?,
+        },
+        "fail" => FaultKind::Fail,
+        "recover" => FaultKind::Recover,
+        other => {
+            return Err(ThemisError::Campaign {
+                reason: format!("unknown fault kind `{other}`"),
+            })
+        }
+    };
+    Ok(FaultEvent {
+        at_ns: value.field("at_ns")?.as_f64()?,
+        dim: value.field("dim")?.as_usize()?,
+        kind,
+    })
 }
 
 pub(crate) fn platform_from_json(value: &Json) -> Result<Platform, ThemisError> {
@@ -1002,12 +1059,24 @@ pub(crate) fn platform_from_json(value: &Json) -> Result<Platform, ThemisError> 
     }
     let topology = NetworkTopology::new(value.field("name")?.as_str()?, dims)?;
     let options = value.field("options")?;
+    // `faults` is optional for backward compatibility: specs serialized
+    // before fault support parse as fault-free.
+    let faults = match options.get("faults") {
+        Some(list) => FaultPlan::from_events(
+            list.as_arr()?
+                .iter()
+                .map(fault_event_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        None => FaultPlan::new(),
+    };
     Ok(Platform::custom(topology).with_options(SimOptions {
         max_concurrent_ops_per_dim: options.field("max_concurrent_ops_per_dim")?.as_usize()?,
         enforce_intra_dim_order: options.field("enforce_intra_dim_order")?.as_bool()?,
         activity_window_ns: options.field("activity_window_ns")?.as_f64()?,
         cross_collective_overlap: options.field("cross_collective_overlap")?.as_bool()?,
         record_op_log: options.field("record_op_log")?.as_bool()?,
+        faults,
     }))
 }
 

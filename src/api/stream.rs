@@ -281,11 +281,14 @@ impl StreamJob {
             return Err(ThemisError::Schedule(ScheduleError::ZeroChunks));
         }
         let entries = self.stream_entries();
+        // Faults active at t = 0 fold into the bandwidths the scheduler sees
+        // (see `Platform::scheduling_topology`); later events stay invisible.
+        let sched_topo = platform.scheduling_topology()?;
         let schedules: Vec<Arc<CollectiveSchedule>> = entries
             .iter()
             .map(|entry| {
                 cache.get_or_schedule(
-                    platform.topology(),
+                    sched_topo.as_ref(),
                     &entry.request,
                     self.chunks,
                     self.scheduler,
@@ -321,6 +324,7 @@ impl StreamJob {
             return Err(ThemisError::Schedule(ScheduleError::ZeroChunks));
         }
         let entries = self.stream_entries();
+        let sched_topo = platform.scheduling_topology()?;
         let simulator = StreamSimulator::new(platform.topology(), platform.options());
         let cost_model = themis_collectives::CostModel::new();
         let mut schedules: Vec<Arc<CollectiveSchedule>> = Vec::with_capacity(entries.len());
@@ -329,7 +333,7 @@ impl StreamJob {
             let schedule = {
                 let _span = workspace.phase_schedule_span();
                 plan.schedules().get_or_schedule(
-                    platform.topology(),
+                    sched_topo.as_ref(),
                     &entry.request,
                     self.chunks,
                     self.scheduler,
@@ -345,7 +349,13 @@ impl StreamJob {
             }
             schedules.push(schedule);
         }
-        let report = simulator.run_planned(&entries, &schedules, &tables, workspace)?;
+        let report = simulator.run_planned_cached(
+            &entries,
+            &schedules,
+            &tables,
+            workspace,
+            Some(plan.cost_tables()),
+        )?;
         Ok(StreamRunResult {
             config: self.config_on(platform),
             report,
@@ -553,13 +563,13 @@ impl StreamCampaign {
                 reason: format!("stream `{}` has no collectives", stream.name()),
             });
         }
-        if let Some(options) = self.sim_options {
+        if let Some(options) = &self.sim_options {
             options.validate().map_err(ThemisError::from)?;
         }
         let mut specs = Vec::with_capacity(self.matrix_size());
         for platform in &self.platforms {
-            let platform = match self.sim_options {
-                Some(options) => platform.clone().with_options(options),
+            let platform = match &self.sim_options {
+                Some(options) => platform.clone().with_options(options.clone()),
                 None => platform.clone(),
             };
             for stream in &self.streams {

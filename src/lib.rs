@@ -84,11 +84,11 @@ pub use themis_net::{
     presets::PresetTopology, Bandwidth, DataSize, DimensionSpec, NetworkTopology, TopologyKind,
 };
 pub use themis_sim::{
-    sim_report_trace, stream_report_trace, CollectiveExecutor, CollectiveSpan, PipelineSimulator,
-    SimOptions, SimReport, SimWorkspace, StreamEntry, StreamReport, StreamSimulator, TimelineEntry,
-    TimelineReport, TimelineSimulator,
+    sim_report_trace, stream_report_trace, CollectiveExecutor, CollectiveSpan, FaultEvent,
+    FaultKind, FaultPlan, FaultTimeline, PipelineSimulator, SimOptions, SimReport, SimWorkspace,
+    StreamEntry, StreamReport, StreamSimulator, TimelineEntry, TimelineReport, TimelineSimulator,
 };
 pub use themis_workloads::{
-    collective_stream, CommunicationPolicy, ComputeModel, IterationBreakdown, StreamedCollective,
-    StreamedIteration, TrainingConfig, TrainingSimulator, Workload,
+    collective_stream, CommunicationPolicy, ComputeModel, FaultScenario, IterationBreakdown,
+    StreamedCollective, StreamedIteration, TrainingConfig, TrainingSimulator, Workload,
 };

@@ -18,8 +18,11 @@ pub use themis_core::{
 };
 pub use themis_net::presets::PresetTopology;
 pub use themis_net::{Bandwidth, DataSize, DimensionSpec, NetworkTopology, TopologyKind};
-pub use themis_sim::{CollectiveSpan, SimOptions, SimReport, SimWorkspace, StreamReport};
+pub use themis_sim::{
+    CollectiveSpan, FaultEvent, FaultKind, FaultPlan, SimOptions, SimReport, SimWorkspace,
+    StreamReport,
+};
 pub use themis_workloads::{
-    CommunicationPolicy, IterationBreakdown, StreamedIteration, TrainingConfig, TrainingSimulator,
-    Workload,
+    CommunicationPolicy, FaultScenario, IterationBreakdown, StreamedIteration, TrainingConfig,
+    TrainingSimulator, Workload,
 };
