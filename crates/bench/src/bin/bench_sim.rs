@@ -13,8 +13,9 @@
 //!
 //! Each matrix runs in three configurations:
 //!
-//! * `baseline` — schedule cache **off**, op-log recording **on**: the
-//!   unoptimised path (what every run paid before the hot-path overhaul);
+//! * `baseline` — schedule cache **off**, op-log recording **on**, and the
+//!   heap-backed **reference event loops**: the unoptimised path (what every
+//!   run paid before the hot-path overhaul);
 //! * `cold-plan` — a fresh `SimPlanCache` per run, op-log **off**: one-shot
 //!   campaign throughput (every schedule and per-op cost table built once);
 //! * `suite-warm-plan` — one `SimPlanCache` shared across runs, op-log
@@ -43,7 +44,7 @@
 //!
 //! Emits a `BENCH_sim.json` report. In full (non-smoke) mode the run fails
 //! unless the suite-warm configuration clears the enforced floors (campaign
-//! ≥ 1.5×, stream ≥ 1.4× cells/sec over the baseline configuration);
+//! ≥ 2.5×, stream ≥ 1.8× cells/sec over the baseline configuration);
 //! `--smoke` (one iteration of a tiny matrix) only guards against breakage
 //! and still checks bit-identity.
 
@@ -56,13 +57,15 @@ use themis_bench::report::Table;
 
 /// Required suite-warm-vs-baseline throughput on the campaign matrix (full
 /// mode). The plan layer (memoised cost tables, Themis-sibling schedule
-/// sharing, cross-cell workspace reuse) lifted this from the 1.33x of the
-/// schedule-cache-only path.
-const REQUIRED_CAMPAIGN_SPEEDUP: f64 = 1.5;
+/// sharing, cross-cell workspace reuse) lifted this to 1.5x; the
+/// data-oriented event loops (structure-of-arrays op state, cost-bucket
+/// ready lanes, batched completions, quiescent-dimension skipping) raise the
+/// floor to 2.5x.
+const REQUIRED_CAMPAIGN_SPEEDUP: f64 = 2.5;
 
 /// Required suite-warm-vs-baseline throughput on the stream matrix (full
-/// mode; raised from the 1.3x floor of the schedule-cache-only path).
-const REQUIRED_STREAM_SPEEDUP: f64 = 1.4;
+/// mode; raised from 1.4x by the data-oriented event-loop rewrite).
+const REQUIRED_STREAM_SPEEDUP: f64 = 1.8;
 
 /// Maximum allowed warm-campaign slowdown with telemetry recording on vs off
 /// (full mode). The engines accumulate locally and flush once per run, so the
@@ -124,6 +127,12 @@ struct PhaseBreakdown {
     schedule_ns: f64,
     cost_ns: f64,
     event_loop_ns: f64,
+    /// Completions the fast loops retired in same-timestamp batches
+    /// (`sim.events.batched`, max over iterations).
+    events_batched: u64,
+    /// Dimension-iterations the fast loops skipped as quiescent
+    /// (`sim.dims.quiesced`, max over iterations).
+    dims_quiesced: u64,
 }
 
 impl PhaseBreakdown {
@@ -132,6 +141,8 @@ impl PhaseBreakdown {
             ("schedule_ns", Json::Num(self.schedule_ns)),
             ("cost_precompute_ns", Json::Num(self.cost_ns)),
             ("event_loop_ns", Json::Num(self.event_loop_ns)),
+            ("events_batched", Json::Num(self.events_batched as f64)),
+            ("dims_quiesced", Json::Num(self.dims_quiesced as f64)),
         ])
     }
 }
@@ -145,6 +156,8 @@ fn measure_phases(iterations: usize, execute: impl Fn(&SimPlanCache)) -> PhaseBr
         schedule_ns: f64::INFINITY,
         cost_ns: f64::INFINITY,
         event_loop_ns: f64::INFINITY,
+        events_batched: 0,
+        dims_quiesced: 0,
     };
     for _ in 0..iterations.max(1) {
         let plan = SimPlanCache::new();
@@ -161,6 +174,10 @@ fn measure_phases(iterations: usize, execute: impl Fn(&SimPlanCache)) -> PhaseBr
             (delta.span_total_ns("sim.pipeline.event_loop_ns")
                 + delta.span_total_ns("sim.stream.event_loop_ns")) as f64,
         );
+        // Per-iteration counts are identical across iterations (the engines
+        // are deterministic); `max` just guards against a zero first pass.
+        best.events_batched = best.events_batched.max(delta.counter("sim.events.batched"));
+        best.dims_quiesced = best.dims_quiesced.max(delta.counter("sim.dims.quiesced"));
     }
     best
 }
@@ -232,9 +249,17 @@ impl MatrixResult {
     }
 }
 
-/// Baseline configuration: schedule cache off, op-log recording on.
+/// Baseline configuration: schedule cache off, op-log recording on, and the
+/// heap-backed reference event loops ([`SimOptions::with_reference_engine`])
+/// — the path every run paid before the hot-path overhaul, so the measured
+/// ratio includes the data-oriented event-loop rewrite.
 fn baseline_runner() -> Runner {
     Runner::sequential().with_schedule_cache(false)
+}
+
+/// Sim options of the baseline configuration (reference engines, op-log on).
+fn baseline_options() -> SimOptions {
+    SimOptions::default().with_reference_engine(true)
 }
 
 /// Optimised configuration: schedule cache on (the default), op-log off via
@@ -254,9 +279,12 @@ fn main() {
     let (warmup, iterations) = if smoke { (0, 1) } else { (3, 15) };
 
     // Correctness gate before timing anything: with identical op-log
-    // settings, cached and uncached paths must be bit-identical.
+    // settings, the reference-engine uncached path and the fast-engine
+    // cached paths must be bit-identical.
     let campaign = campaign(smoke);
     let reference = campaign
+        .clone()
+        .sim_options(baseline_options())
         .run(&baseline_runner())
         .expect("benchmark campaign is valid");
     let cached = campaign
@@ -264,7 +292,7 @@ fn main() {
         .expect("benchmark campaign is valid");
     assert_eq!(
         reference, cached,
-        "schedule caching changed a campaign report"
+        "the optimised path changed a campaign report"
     );
     let suite = SimPlanCache::new();
     for _ in 0..2 {
@@ -275,6 +303,8 @@ fn main() {
     }
     let streams = stream_campaign(smoke);
     let stream_reference = streams
+        .clone()
+        .sim_options(baseline_options())
         .run(&baseline_runner())
         .expect("benchmark stream campaign is valid");
     let stream_cached = streams
@@ -282,7 +312,7 @@ fn main() {
         .expect("benchmark stream campaign is valid");
     assert_eq!(
         stream_reference, stream_cached,
-        "schedule caching changed a stream report"
+        "the optimised path changed a stream report"
     );
     let stream_suite = SimPlanCache::new();
     for _ in 0..2 {
@@ -298,7 +328,7 @@ fn main() {
     let quiet = SimOptions::default().with_op_log(false);
     let mut matrices = Vec::new();
     {
-        let baseline_campaign = campaign.clone();
+        let baseline_campaign = campaign.clone().sim_options(baseline_options());
         let optimised_campaign = campaign.clone().sim_options(quiet.clone());
         let specs = optimised_campaign
             .expand()
@@ -312,11 +342,16 @@ fn main() {
         matrices.push(MatrixResult {
             name: "campaign",
             cells: campaign.matrix_size(),
-            baseline: measure("campaign/cache-off+oplog-on", warmup, iterations, || {
-                baseline_campaign
-                    .run(&baseline_runner())
-                    .expect("benchmark campaign is valid");
-            }),
+            baseline: measure(
+                "campaign/reference+cache-off+oplog-on",
+                warmup,
+                iterations,
+                || {
+                    baseline_campaign
+                        .run(&baseline_runner())
+                        .expect("benchmark campaign is valid");
+                },
+            ),
             cold_plan: measure("campaign/cold-plan+oplog-off", warmup, iterations, || {
                 optimised_campaign
                     .run(&optimised_runner())
@@ -336,7 +371,7 @@ fn main() {
         });
     }
     {
-        let baseline_streams = streams.clone();
+        let baseline_streams = streams.clone().sim_options(baseline_options());
         let optimised_streams = streams.clone().sim_options(quiet.clone());
         let specs = optimised_streams
             .expand()
@@ -350,11 +385,16 @@ fn main() {
         matrices.push(MatrixResult {
             name: "stream",
             cells: streams.matrix_size(),
-            baseline: measure("stream/cache-off+oplog-on", warmup, iterations, || {
-                baseline_streams
-                    .run(&baseline_runner())
-                    .expect("benchmark stream campaign is valid");
-            }),
+            baseline: measure(
+                "stream/reference+cache-off+oplog-on",
+                warmup,
+                iterations,
+                || {
+                    baseline_streams
+                        .run(&baseline_runner())
+                        .expect("benchmark stream campaign is valid");
+                },
+            ),
             cold_plan: measure("stream/cold-plan+oplog-off", warmup, iterations, || {
                 optimised_streams
                     .run(&optimised_runner())
@@ -398,7 +438,7 @@ fn main() {
             if smoke {
                 iterations
             } else {
-                iterations.max(40)
+                iterations.max(80)
             },
             || {
                 registry.set_enabled(true);
@@ -429,7 +469,7 @@ fn main() {
             "Cells",
             "Min ms",
             "Cells/s",
-            "vs cache-off+oplog-on",
+            "vs reference baseline",
         ],
     );
     for matrix in &matrices {
@@ -447,11 +487,13 @@ fn main() {
     for matrix in &matrices {
         println!(
             "{} warm-path phases: schedule {:.2} ms, cost precompute {:.2} ms, \
-             event loop {:.2} ms",
+             event loop {:.2} ms; sim.events.batched {}, sim.dims.quiesced {}",
             matrix.name,
             matrix.phases.schedule_ns / 1e6,
             matrix.phases.cost_ns / 1e6,
             matrix.phases.event_loop_ns / 1e6,
+            matrix.phases.events_batched,
+            matrix.phases.dims_quiesced,
         );
     }
     println!(

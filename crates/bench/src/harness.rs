@@ -87,7 +87,11 @@ pub struct PairedStat {
 /// `b`, ...) rather than back to back. Machine-speed drift between the two
 /// measurement windows then hits both sides equally and cancels out of the
 /// `a`-vs-`b` comparison instead of folding into it; paired comparisons such
-/// as the telemetry-overhead gate need this on noisy shared hardware.
+/// as the telemetry-overhead gate need this on noisy shared hardware. The
+/// in-round order alternates (`a b`, `b a`, `a b`, ...): whichever side runs
+/// second inherits the first side's warmed caches and frequency state, and
+/// alternation hands that advantage to each side equally instead of folding
+/// it into the ratio.
 pub fn measure_paired<A: FnMut(), B: FnMut()>(
     name_a: impl Into<String>,
     name_b: impl Into<String>,
@@ -103,13 +107,24 @@ pub fn measure_paired<A: FnMut(), B: FnMut()>(
     let iterations = iterations.max(1);
     let mut samples_a = Vec::with_capacity(iterations);
     let mut samples_b = Vec::with_capacity(iterations);
-    for _ in 0..iterations {
-        let started = Instant::now();
-        a();
-        samples_a.push(started.elapsed().as_nanos() as f64);
-        let started = Instant::now();
-        b();
-        samples_b.push(started.elapsed().as_nanos() as f64);
+    for round in 0..iterations {
+        let mut time_a = || {
+            let started = Instant::now();
+            a();
+            samples_a.push(started.elapsed().as_nanos() as f64);
+        };
+        let mut time_b = || {
+            let started = Instant::now();
+            b();
+            samples_b.push(started.elapsed().as_nanos() as f64);
+        };
+        if round % 2 == 0 {
+            time_a();
+            time_b();
+        } else {
+            time_b();
+            time_a();
+        }
     }
     let mut ratios: Vec<f64> = samples_a
         .iter()
@@ -196,10 +211,11 @@ mod tests {
         assert_eq!(pair.b.iterations, 3);
         assert_eq!(pair.a.name, "a");
         assert_eq!(pair.b.name, "b");
-        // One warmup round plus three measured rounds, strictly alternating.
+        // One warmup round (a b) plus three measured rounds whose in-round
+        // order alternates: a b, then b a, then a b.
         assert_eq!(
             order.into_inner(),
-            vec!['a', 'b', 'a', 'b', 'a', 'b', 'a', 'b']
+            vec!['a', 'b', 'a', 'b', 'b', 'a', 'a', 'b']
         );
         assert!(pair.a.min_ns <= pair.a.median_ns && pair.a.median_ns <= pair.a.max_ns);
         assert!(pair.b.min_ns <= pair.b.median_ns && pair.b.median_ns <= pair.b.max_ns);

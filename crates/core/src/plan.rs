@@ -170,6 +170,21 @@ impl CostTable {
         self.costs[self.offsets[chunk] + stage]
     }
 
+    /// The flat chunk-offset array: `offsets()[chunk]..offsets()[chunk + 1]`
+    /// is chunk `chunk`'s range in [`CostTable::costs`]. These offsets are
+    /// the dense op-id space the data-oriented simulation loops key their
+    /// structure-of-arrays state by (`op = offsets()[chunk] + stage`).
+    #[inline(always)]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// All op costs in flat chunk-major order (see [`CostTable::offsets`]).
+    #[inline(always)]
+    pub fn costs(&self) -> &[OpCost] {
+        &self.costs
+    }
+
     /// `true` if the table's shape matches `schedule` (same chunk count, same
     /// per-chunk stage counts) — the structural precondition for executing
     /// `schedule` against this table.

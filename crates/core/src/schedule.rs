@@ -217,13 +217,28 @@ impl ChunkSchedule {
 
 /// The full schedule of one collective: one [`ChunkSchedule`] per chunk plus
 /// the intra-dimension execution policy.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CollectiveSchedule {
     request: CollectiveRequest,
     scheduler_name: String,
     intra_dim_policy: crate::intra_dim::IntraDimPolicy,
     chunks: Vec<ChunkSchedule>,
+    /// Lazy cache of [`CollectiveSchedule::cost_fingerprint`]: the schedule
+    /// is immutable after construction, so the chunk walk is paid once per
+    /// schedule instead of once per cost-table cache lookup. Excluded from
+    /// equality and (de)serialisation — it is derived content.
+    #[cfg_attr(feature = "serde", serde(skip))]
+    cost_fingerprint: std::sync::OnceLock<u64>,
+}
+
+impl PartialEq for CollectiveSchedule {
+    fn eq(&self, other: &Self) -> bool {
+        self.request == other.request
+            && self.scheduler_name == other.scheduler_name
+            && self.intra_dim_policy == other.intra_dim_policy
+            && self.chunks == other.chunks
+    }
 }
 
 impl CollectiveSchedule {
@@ -239,6 +254,7 @@ impl CollectiveSchedule {
             scheduler_name: scheduler_name.into(),
             intra_dim_policy,
             chunks,
+            cost_fingerprint: std::sync::OnceLock::new(),
         }
     }
 
@@ -276,29 +292,31 @@ impl CollectiveSchedule {
     /// vs Themis+SCF, which emit the same chunk stage orders) share one
     /// fingerprint and therefore one cached cost table.
     pub fn cost_fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut hash = OFFSET;
-        let mut mix = |value: u64| {
-            for byte in value.to_le_bytes() {
-                hash ^= u64::from(byte);
-                hash = hash.wrapping_mul(PRIME);
+        *self.cost_fingerprint.get_or_init(|| {
+            const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+            const PRIME: u64 = 0x0000_0100_0000_01b3;
+            let mut hash = OFFSET;
+            let mut mix = |value: u64| {
+                for byte in value.to_le_bytes() {
+                    hash ^= u64::from(byte);
+                    hash = hash.wrapping_mul(PRIME);
+                }
+            };
+            mix(self.chunks.len() as u64);
+            for chunk in &self.chunks {
+                mix(chunk.initial_bytes.to_bits());
+                mix(chunk.stages.len() as u64);
+                for stage in &chunk.stages {
+                    mix(stage.dim as u64);
+                    mix(match stage.op {
+                        themis_collectives::PhaseOp::ReduceScatter => 0,
+                        themis_collectives::PhaseOp::AllGather => 1,
+                        themis_collectives::PhaseOp::AllToAll => 2,
+                    });
+                }
             }
-        };
-        mix(self.chunks.len() as u64);
-        for chunk in &self.chunks {
-            mix(chunk.initial_bytes.to_bits());
-            mix(chunk.stages.len() as u64);
-            for stage in &chunk.stages {
-                mix(stage.dim as u64);
-                mix(match stage.op {
-                    themis_collectives::PhaseOp::ReduceScatter => 0,
-                    themis_collectives::PhaseOp::AllGather => 1,
-                    themis_collectives::PhaseOp::AllToAll => 2,
-                });
-            }
-        }
-        hash
+            hash
+        })
     }
 
     /// Validates every chunk schedule (see [`ChunkSchedule::validate`]).

@@ -1,0 +1,487 @@
+//! A calendar (bucket) event queue: the hot-path sibling of
+//! [`EventQueue`](crate::EventQueue).
+//!
+//! [`EventQueue`](crate::EventQueue) orders events with a binary heap —
+//! `O(log n)` per operation and a pointer-chasing sift on every push and pop.
+//! Simulation event times, however, come from a small set of per-op
+//! `A_K + N_K × B_K` costs, so they cluster into near-uniform intervals: the
+//! classic calendar-queue layout (a circular array of time buckets, each a
+//! small unordered bin) serves the same workload with `O(1)` expected pushes
+//! and pops. [`CalendarQueue`] implements that layout with a fixed ring of 64
+//! buckets, an occupancy bitmask for constant-time earliest-bucket lookup, an
+//! overflow bin for events beyond the ring's horizon, and — the piece the
+//! data-oriented engines care about — [`CalendarQueue::pop_batch`], which
+//! drains *all* events at the earliest timestamp in one call instead of
+//! pop-per-event.
+//!
+//! Ordering is exactly [`EventQueue`](crate::EventQueue)'s: events pop by
+//! `(time_ns, sequence)`,
+//! first-scheduled first among ties. The `engine_equivalence` suite
+//! property-tests that any interleaving of pushes and pops matches the heap
+//! reference on random event streams.
+//!
+//! The default-path simulators do not schedule completion events at absolute
+//! times at all (processor sharing re-times in-flight ops whenever membership
+//! changes), so their inner loops use the degenerate fixed-key form of this
+//! structure — the per-dimension cost-bucket ready lanes of the crate-private
+//! `soa` module —
+//! while `CalendarQueue` itself backs event-driven models built on the crate.
+
+use crate::engine::ScheduledEvent;
+
+/// Number of buckets in the ring: 64 keeps the occupancy mask in one word.
+const NUM_BUCKETS: usize = 64;
+
+/// A deterministic, time-ordered event queue backed by a calendar of
+/// uniform-width time buckets.
+///
+/// API-compatible with [`crate::EventQueue`] (`schedule_at`, `schedule_after`,
+/// `pop`, `peek_time_ns`), plus [`CalendarQueue::pop_batch`] for draining all
+/// events at one timestamp. The payload type is unconstrained.
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<T> {
+    /// The circular bucket array. An event at time `t` lives in slot
+    /// `vb(t) % 64`, where `vb(t) = ⌊t / width⌋` is its *virtual bucket*
+    /// number — a pure function of the timestamp, so equal times always share
+    /// a slot no matter when they were scheduled (binning relative to a
+    /// drifting float origin would let the same timestamp floor into
+    /// different buckets and break FIFO tie-breaks).
+    buckets: Vec<Vec<ScheduledEvent<T>>>,
+    /// Bit `b` set ⇔ `buckets[b]` is non-empty.
+    occupancy: u64,
+    /// Events beyond the ring's horizon, re-binned when the ring drains.
+    overflow: Vec<ScheduledEvent<T>>,
+    /// Width of one bucket; `None` until auto-calibrated by the first event.
+    bucket_width_ns: Option<f64>,
+    /// Virtual bucket number of the ring window's lower edge: the window
+    /// covers `[base_vb, base_vb + 64)`.
+    base_vb: u64,
+    len: usize,
+    next_sequence: u64,
+    now_ns: f64,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        CalendarQueue {
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            occupancy: 0,
+            overflow: Vec::new(),
+            bucket_width_ns: None,
+            base_vb: 0,
+            len: 0,
+            next_sequence: 0,
+            now_ns: 0.0,
+        }
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// Creates an empty queue at time zero. The bucket width auto-calibrates
+    /// to the first scheduled delay (events beyond the resulting horizon go
+    /// to the overflow bin, so calibration affects speed, never order).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty queue with a fixed bucket width instead of
+    /// auto-calibration. Useful when the event-time granularity is known —
+    /// and for forcing overflow/wraparound paths in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_ns` is not finite and positive.
+    pub fn with_bucket_width(width_ns: f64) -> Self {
+        assert!(
+            width_ns.is_finite() && width_ns > 0.0,
+            "bucket width must be finite and positive"
+        );
+        CalendarQueue {
+            bucket_width_ns: Some(width_ns),
+            ..Self::default()
+        }
+    }
+
+    /// Current simulation time (the time of the last popped event).
+    pub fn now_ns(&self) -> f64 {
+        self.now_ns
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of events currently parked in the overflow bin (beyond the
+    /// ring's horizon). Diagnostic: a persistently large overflow means the
+    /// bucket width is far off the event-time granularity.
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Schedules `payload` at absolute time `time_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_ns` is NaN or lies in the past of the current
+    /// simulation time (events may not be scheduled retroactively) — the same
+    /// contract as [`crate::EventQueue::schedule_at`].
+    pub fn schedule_at(&mut self, time_ns: f64, payload: T) {
+        assert!(time_ns.is_finite(), "event time must be finite");
+        assert!(
+            time_ns >= self.now_ns,
+            "event scheduled at {time_ns} ns is before the current time {} ns",
+            self.now_ns
+        );
+        let event = ScheduledEvent {
+            time_ns,
+            sequence: self.next_sequence,
+            payload,
+        };
+        self.next_sequence += 1;
+        self.len += 1;
+        if self.bucket_width_ns.is_none() {
+            // Calibrate so the first delay spans the ring: subsequent events
+            // at a similar granularity each land in their own bucket.
+            let span = (time_ns - self.now_ns).max(1e-9);
+            self.bucket_width_ns = Some(span.max(1e-9) / NUM_BUCKETS as f64);
+            self.base_vb = self.virtual_bucket(self.now_ns);
+        }
+        self.place(event);
+    }
+
+    /// Schedules `payload` at `delay_ns` after the current time (negative
+    /// delays clamp to "now", as in [`crate::EventQueue::schedule_after`]).
+    pub fn schedule_after(&mut self, delay_ns: f64, payload: T) {
+        self.schedule_at(self.now_ns + delay_ns.max(0.0), payload);
+    }
+
+    /// Virtual bucket number of an absolute time: `⌊t / width⌋`, a pure
+    /// function of the timestamp (the `as u64` cast truncates non-negative
+    /// floats and saturates on out-of-range, deterministically).
+    fn virtual_bucket(&self, time_ns: f64) -> u64 {
+        let width = self.bucket_width_ns.expect("width calibrated");
+        (time_ns / width) as u64
+    }
+
+    /// The ring slot of the current window's lower edge.
+    fn cursor(&self) -> usize {
+        (self.base_vb % NUM_BUCKETS as u64) as usize
+    }
+
+    /// Bins one event into the ring or the overflow list.
+    fn place(&mut self, event: ScheduledEvent<T>) {
+        // Clamp to the window edge: after a peek-triggered rebase the window
+        // may sit ahead of `now`, so a fresh event can precede `base_vb`. The
+        // cursor bucket is scanned first, so an early-time event parked there
+        // still pops in correct order.
+        let vb = self.virtual_bucket(event.time_ns).max(self.base_vb);
+        if vb - self.base_vb < NUM_BUCKETS as u64 {
+            let slot = (vb % NUM_BUCKETS as u64) as usize;
+            self.buckets[slot].push(event);
+            self.occupancy |= 1u64 << slot;
+        } else {
+            self.overflow.push(event);
+        }
+    }
+
+    /// The ring offset (from the cursor) of the earliest non-empty bucket.
+    fn first_occupied_offset(&self) -> Option<usize> {
+        if self.occupancy == 0 {
+            return None;
+        }
+        let rotated = self.occupancy.rotate_right(self.cursor() as u32);
+        Some(rotated.trailing_zeros() as usize)
+    }
+
+    /// Moves the ring window forward onto the overflow events: re-anchors the
+    /// window at the earliest overflow time and re-bins everything that now
+    /// fits the horizon. Called only when the ring is empty.
+    fn rebase_from_overflow(&mut self) {
+        debug_assert_eq!(self.occupancy, 0);
+        let earliest = self
+            .overflow
+            .iter()
+            .map(|e| e.time_ns)
+            .fold(f64::INFINITY, f64::min);
+        self.base_vb = self.virtual_bucket(earliest);
+        let horizon = self.base_vb + NUM_BUCKETS as u64;
+        let mut index = 0;
+        while index < self.overflow.len() {
+            if self.virtual_bucket(self.overflow[index].time_ns) < horizon {
+                let event = self.overflow.swap_remove(index);
+                self.place(event);
+            } else {
+                index += 1;
+            }
+        }
+    }
+
+    /// Location of the earliest pending `(time, sequence)` key: a ring
+    /// bucket position or an overflow index, rebasing the ring over the
+    /// overflow bin first when the ring is empty.
+    ///
+    /// The overflow bin must stay in the comparison even when the ring is
+    /// occupied: once the window has advanced, a *newly* scheduled event can
+    /// land in the ring at a later time than an event parked in overflow
+    /// under an older origin, so the ring minimum alone is not the global
+    /// minimum.
+    fn locate_min(&mut self) -> Option<EventSlot> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.occupancy == 0 {
+            self.rebase_from_overflow();
+        }
+        let ring = self.first_occupied_offset().map(|offset| {
+            let slot = (self.cursor() + offset) % NUM_BUCKETS;
+            let position = min_position(&self.buckets[slot]).expect("occupied bucket");
+            (slot, position)
+        });
+        let parked = min_position(&self.overflow);
+        match (ring, parked) {
+            (Some((slot, position)), Some(index)) => {
+                let ring_event = &self.buckets[slot][position];
+                let overflow_event = &self.overflow[index];
+                if earlier(overflow_event, ring_event) {
+                    Some(EventSlot::Overflow(index))
+                } else {
+                    Some(EventSlot::Ring(slot, position))
+                }
+            }
+            (Some((slot, position)), None) => Some(EventSlot::Ring(slot, position)),
+            (None, Some(index)) => Some(EventSlot::Overflow(index)),
+            (None, None) => None,
+        }
+    }
+
+    /// Pops the earliest pending event and advances the clock to it. Ties
+    /// resolve by scheduling order, exactly as in [`crate::EventQueue::pop`].
+    pub fn pop(&mut self) -> Option<ScheduledEvent<T>> {
+        let event = match self.locate_min()? {
+            EventSlot::Ring(slot, position) => {
+                let event = self.buckets[slot].swap_remove(position);
+                if self.buckets[slot].is_empty() {
+                    self.occupancy &= !(1u64 << slot);
+                }
+                // Advance the window to the popped bucket so future events
+                // keep landing within `[base_vb, base_vb + 64)`.
+                let steps = (slot + NUM_BUCKETS - self.cursor()) % NUM_BUCKETS;
+                self.base_vb += steps as u64;
+                event
+            }
+            EventSlot::Overflow(index) => self.overflow.swap_remove(index),
+        };
+        self.len -= 1;
+        self.now_ns = event.time_ns;
+        Some(event)
+    }
+
+    /// Peeks at the earliest pending event time without popping it.
+    pub fn peek_time_ns(&mut self) -> Option<f64> {
+        Some(match self.locate_min()? {
+            EventSlot::Ring(slot, position) => self.buckets[slot][position].time_ns,
+            EventSlot::Overflow(index) => self.overflow[index].time_ns,
+        })
+    }
+
+    /// Drains *every* event at the earliest pending timestamp into `batch`
+    /// (cleared first), in scheduling order, and advances the clock there.
+    /// Returns the number of events drained. This is the batch discipline of
+    /// the data-oriented engines: one timestamp, one drain, instead of
+    /// pop-per-event.
+    pub fn pop_batch(&mut self, batch: &mut Vec<ScheduledEvent<T>>) -> usize {
+        batch.clear();
+        let Some(first) = self.pop() else {
+            return 0;
+        };
+        let time = first.time_ns;
+        batch.push(first);
+        while self.peek_time_ns() == Some(time) {
+            batch.push(self.pop().expect("peeked event exists"));
+        }
+        // The min-scan tie-breaks on sequence wherever the events live (one
+        // bucket, or split across ring and overflow), so the batch comes out
+        // in scheduling order; assert that in debug builds.
+        debug_assert!(batch.windows(2).all(|w| w[0].sequence < w[1].sequence));
+        batch.len()
+    }
+}
+
+/// Where the queue's current minimum lives.
+enum EventSlot {
+    Ring(usize, usize),
+    Overflow(usize),
+}
+
+/// Position of the minimal `(time, sequence)` key in an unordered bin.
+fn min_position<T>(events: &[ScheduledEvent<T>]) -> Option<usize> {
+    events
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.time_ns
+                .partial_cmp(&b.time_ns)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.sequence.cmp(&b.sequence))
+        })
+        .map(|(index, _)| index)
+}
+
+/// `true` if `a`'s `(time, sequence)` key precedes `b`'s.
+fn earlier<T>(a: &ScheduledEvent<T>, b: &ScheduledEvent<T>) -> bool {
+    a.time_ns
+        .partial_cmp(&b.time_ns)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then_with(|| a.sequence.cmp(&b.sequence))
+        == std::cmp::Ordering::Less
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut queue = CalendarQueue::new();
+        queue.schedule_at(30.0, "c");
+        queue.schedule_at(10.0, "a");
+        queue.schedule_at(20.0, "b");
+        assert_eq!(queue.len(), 3);
+        assert_eq!(queue.pop().unwrap().payload, "a");
+        assert_eq!(queue.pop().unwrap().payload, "b");
+        assert_eq!(queue.pop().unwrap().payload, "c");
+        assert!(queue.is_empty());
+        assert_eq!(queue.now_ns(), 30.0);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut queue = CalendarQueue::new();
+        queue.schedule_at(5.0, 1);
+        queue.schedule_at(5.0, 2);
+        queue.schedule_at(5.0, 3);
+        assert_eq!(queue.pop().unwrap().payload, 1);
+        assert_eq!(queue.pop().unwrap().payload, 2);
+        assert_eq!(queue.pop().unwrap().payload, 3);
+    }
+
+    #[test]
+    fn pop_batch_drains_one_timestamp() {
+        let mut queue = CalendarQueue::new();
+        queue.schedule_at(5.0, "a");
+        queue.schedule_at(7.0, "later");
+        queue.schedule_at(5.0, "b");
+        let mut batch = Vec::new();
+        assert_eq!(queue.pop_batch(&mut batch), 2);
+        let payloads: Vec<&str> = batch.iter().map(|e| e.payload).collect();
+        assert_eq!(payloads, vec!["a", "b"]);
+        assert_eq!(queue.now_ns(), 5.0);
+        assert_eq!(queue.pop_batch(&mut batch), 1);
+        assert_eq!(batch[0].payload, "later");
+        assert_eq!(queue.pop_batch(&mut batch), 0);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn schedule_after_clamps_negative_delays() {
+        let mut queue = CalendarQueue::new();
+        queue.schedule_at(10.0, "first");
+        queue.pop();
+        queue.schedule_after(-5.0, "second");
+        assert_eq!(queue.pop().unwrap().time_ns, 10.0);
+    }
+
+    #[test]
+    fn overflow_events_surface_after_the_ring_drains() {
+        // Width 1.0 → horizon 64 ns: everything beyond goes to overflow and
+        // must still pop in global time order.
+        let mut queue = CalendarQueue::with_bucket_width(1.0);
+        queue.schedule_at(1000.0, "far");
+        queue.schedule_at(3.0, "near");
+        queue.schedule_at(500.0, "mid");
+        assert_eq!(queue.overflow_len(), 2);
+        assert_eq!(queue.pop().unwrap().payload, "near");
+        assert_eq!(queue.pop().unwrap().payload, "mid");
+        assert_eq!(queue.pop().unwrap().payload, "far");
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn ring_wraps_around_without_reordering() {
+        // Repeatedly pop and reschedule beyond the cursor so the ring wraps
+        // several times.
+        let mut queue = CalendarQueue::with_bucket_width(1.0);
+        queue.schedule_at(0.5, 0u32);
+        let mut popped = Vec::new();
+        for step in 1..200u32 {
+            let event = queue.pop().unwrap();
+            popped.push(event.time_ns);
+            queue.schedule_after(1.5, step);
+        }
+        assert!(popped.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn parked_overflow_events_precede_later_ring_events() {
+        // Regression shape: once the window advances, a fresh event can land
+        // in the ring at a *later* time than an event still parked in
+        // overflow — the pop must still take the global minimum.
+        let mut queue = CalendarQueue::with_bucket_width(1.0);
+        queue.schedule_at(100.0, "parked"); // beyond horizon → overflow
+        queue.schedule_at(63.0, "ring-edge");
+        assert_eq!(queue.pop().unwrap().payload, "ring-edge"); // origin → 63
+        queue.schedule_at(120.0, "late-ring"); // offset 57 → ring
+        assert_eq!(queue.pop().unwrap().payload, "parked");
+        assert_eq!(queue.pop().unwrap().payload, "late-ring");
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn equal_times_stay_fifo_across_window_advances() {
+        // Regression shape: the slot of a timestamp must be a pure function
+        // of the timestamp. Binning against a drifting float origin let two
+        // events at the *same* time floor into different buckets when they
+        // were scheduled under different window positions — and the later one
+        // could then pop first. A non-representable width (0.1) maximises the
+        // rounding drift.
+        let mut queue = CalendarQueue::with_bucket_width(0.1);
+        queue.schedule_at(3.0, 100);
+        for step in 0..20 {
+            queue.schedule_at(f64::from(step) * 0.1, step);
+        }
+        for _ in 0..20 {
+            assert!(queue.pop().unwrap().time_ns < 3.0);
+        }
+        queue.schedule_at(3.0, 200);
+        assert_eq!(queue.pop().unwrap().payload, 100);
+        assert_eq!(queue.pop().unwrap().payload, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the current time")]
+    fn retroactive_events_panic() {
+        let mut queue = CalendarQueue::new();
+        queue.schedule_at(10.0, ());
+        queue.pop();
+        queue.schedule_at(5.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_times_panic() {
+        let mut queue: CalendarQueue<()> = CalendarQueue::new();
+        queue.schedule_at(f64::NAN, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_is_rejected() {
+        let _ = CalendarQueue::<()>::with_bucket_width(0.0);
+    }
+}

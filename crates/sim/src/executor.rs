@@ -97,7 +97,7 @@ impl<'a> CollectiveExecutor<'a> {
         let table =
             plan.cost_tables()
                 .get_or_build(self.topo, simulator.cost_model(), &schedule)?;
-        simulator.run_prepared(&schedule, &table, workspace)
+        simulator.run_planned(&schedule, &table, workspace, None)
     }
 
     /// Runs `request` under all three Table 3 scheduler configurations and

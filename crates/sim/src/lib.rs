@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod calendar;
 pub mod engine;
 pub mod error;
 pub mod executor;
@@ -56,12 +57,14 @@ pub mod faults;
 pub mod options;
 pub mod pipeline;
 pub(crate) mod readyq;
+pub(crate) mod soa;
 pub mod stats;
 pub mod stream;
 pub mod timeline;
 pub mod trace;
 pub mod workspace;
 
+pub use calendar::CalendarQueue;
 pub use engine::{EventQueue, ScheduledEvent};
 pub use error::SimError;
 pub use executor::CollectiveExecutor;

@@ -43,6 +43,20 @@ pub struct SimOptions {
     /// means a healthy fabric, and the engines take their exact original
     /// float paths — reports are bit-identical to a fault-free build.
     pub faults: FaultPlan,
+    /// If `true`, both engines run their original heap-backed scan loops
+    /// (the pre-rewrite reference implementation) instead of the
+    /// data-oriented fast loops that replaced them on the default path.
+    ///
+    /// The fast engines keep per-op state in flat structure-of-arrays keyed
+    /// by the dense ids the [`themis_core::plan::CostTable`] assigns, replace
+    /// the Smallest-Chunk-First binary heaps with calendar-style cost-bucket
+    /// queues, and skip all bookkeeping for quiescent dimensions — but they
+    /// execute the exact same sequence of floating-point operations, so
+    /// reports are **bit-identical** either way (enforced by the
+    /// `differential` and `engine_equivalence` test suites). The flag exists
+    /// so the differential harness — and any suspicious user — can drive
+    /// both paths; it is `false` by default and costs nothing when unused.
+    pub reference_engine: bool,
 }
 
 impl Default for SimOptions {
@@ -54,6 +68,7 @@ impl Default for SimOptions {
             cross_collective_overlap: true,
             record_op_log: true,
             faults: FaultPlan::new(),
+            reference_engine: false,
         }
     }
 }
@@ -124,6 +139,15 @@ impl SimOptions {
         self.faults = faults;
         self
     }
+
+    /// Builder-style setter for the reference-engine path (the original
+    /// heap-backed scan loops). Reports are bit-identical either way; the
+    /// reference path is simply slower.
+    #[must_use]
+    pub fn with_reference_engine(mut self, reference: bool) -> Self {
+        self.reference_engine = reference;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +163,7 @@ mod tests {
         assert!(options.cross_collective_overlap);
         assert!(options.record_op_log);
         assert!(options.faults.is_empty());
+        assert!(!options.reference_engine);
         options.validate().unwrap();
     }
 
@@ -150,13 +175,15 @@ mod tests {
             .with_activity_window_ns(50_000.0)
             .with_cross_collective_overlap(false)
             .with_op_log(false)
-            .with_faults(FaultPlan::new().degrade(1_000.0, 0, 0.5));
+            .with_faults(FaultPlan::new().degrade(1_000.0, 0, 0.5))
+            .with_reference_engine(true);
         assert_eq!(options.max_concurrent_ops_per_dim, 4);
         assert!(options.enforce_intra_dim_order);
         assert_eq!(options.activity_window_ns, 50_000.0);
         assert!(!options.cross_collective_overlap);
         assert!(!options.record_op_log);
         assert_eq!(options.faults.len(), 1);
+        assert!(options.reference_engine);
         options.validate().unwrap();
     }
 

@@ -12,8 +12,10 @@ use crate::error::SimError;
 use crate::faults::FaultTimeline;
 use crate::options::SimOptions;
 use crate::readyq::{ReadyKey, ReadyQueue};
+use crate::soa::{self, BitIter, Completion, Lane, LaneKind};
 use crate::stats::{LabelInterner, RawOp, SimReport};
-use crate::workspace::SimWorkspace;
+use crate::workspace::{LoopCounters, SimWorkspace};
+use std::sync::Arc;
 use themis_collectives::CostModel;
 use themis_core::plan::{CostTable, CostTableCache};
 use themis_core::{enforced_intra_dim_order, CollectiveSchedule, IntraDimPolicy};
@@ -143,18 +145,72 @@ impl<'a> PipelineSimulator<'a> {
         workspace: &mut SimWorkspace,
         plan_cache: Option<&CostTableCache>,
     ) -> Result<SimReport, SimError> {
+        self.run_inner(schedule, table, workspace, plan_cache, None)
+    }
+
+    /// Like [`PipelineSimulator::run_prepared_cached`], but taking the
+    /// schedule and cost table as the shared [`Arc`]s a warm
+    /// [`themis_core::SimPlanCache`] serves. The `Arc` identities let the
+    /// workspace memoise the run's flat op arrays (the fast loop's
+    /// structure-of-arrays setup), so a repeated cell skips that build
+    /// entirely. Bit-identical to [`PipelineSimulator::run_prepared_cached`]
+    /// — matrix construction is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PipelineSimulator::run_prepared_cached`].
+    pub fn run_planned(
+        &self,
+        schedule: &Arc<CollectiveSchedule>,
+        table: &Arc<CostTable>,
+        workspace: &mut SimWorkspace,
+        plan_cache: Option<&CostTableCache>,
+    ) -> Result<SimReport, SimError> {
+        self.run_inner(
+            schedule,
+            table,
+            workspace,
+            plan_cache,
+            Some((schedule, table)),
+        )
+    }
+
+    fn run_inner(
+        &self,
+        schedule: &CollectiveSchedule,
+        table: &CostTable,
+        workspace: &mut SimWorkspace,
+        plan_cache: Option<&CostTableCache>,
+        shared: Option<(&Arc<CollectiveSchedule>, &Arc<CostTable>)>,
+    ) -> Result<SimReport, SimError> {
         self.options.validate()?;
-        schedule.validate(self.topo)?;
-        if !table.matches(schedule) {
-            return Err(SimError::InvalidOptions {
-                reason: format!(
-                    "cost table shape ({} chunks / {} ops) does not match the schedule \
-                     ({} chunks)",
-                    table.num_chunks(),
-                    table.num_ops(),
-                    schedule.chunks().len()
-                ),
-            });
+        // Plan-served runs revalidate only on first sight: both entry checks
+        // are pure functions of the schedule contents, the table shape and
+        // the dimension count, so one pass per `(schedule, table)` identity
+        // covers every later run (see [`soa::MatrixMemo`]).
+        let prevalidated = shared.is_some_and(|(schedule_arc, table_arc)| {
+            workspace
+                .matrix_memo
+                .is_validated(schedule_arc, table_arc, self.topo.num_dims())
+        });
+        if !prevalidated {
+            schedule.validate(self.topo)?;
+            if !table.matches(schedule) {
+                return Err(SimError::InvalidOptions {
+                    reason: format!(
+                        "cost table shape ({} chunks / {} ops) does not match the schedule \
+                         ({} chunks)",
+                        table.num_chunks(),
+                        table.num_ops(),
+                        schedule.chunks().len()
+                    ),
+                });
+            }
+            if let Some((schedule_arc, table_arc)) = shared {
+                workspace
+                    .matrix_memo
+                    .mark_validated(schedule_arc, table_arc, self.topo.num_dims());
+            }
         }
         // An empty plan compiles to nothing at all: no boundary exists, no
         // delta is capped and the base table prices every op, so the loop
@@ -168,6 +224,28 @@ impl<'a> PipelineSimulator<'a> {
                     .compile(self.topo, &self.cost, schedule, plan_cache)?,
             )
         };
+        // The data-oriented loop keys its dimension state by bit position in
+        // `u64` masks; the (never seen in practice) >64-dimension case falls
+        // back to the reference loop, as does an explicit
+        // [`SimOptions::reference_engine`] request.
+        if self.options.reference_engine || self.topo.num_dims() > 64 {
+            self.run_reference(schedule, table, workspace, fault_timeline)
+        } else {
+            self.run_fast(schedule, table, workspace, fault_timeline, shared)
+        }
+    }
+
+    /// The original heap-backed scan loop, kept verbatim as the reference
+    /// implementation behind [`SimOptions::reference_engine`]. The fast loop
+    /// in [`PipelineSimulator::run_fast`] must stay bit-identical to this one
+    /// — the `differential` and `engine_equivalence` suites enforce it.
+    fn run_reference(
+        &self,
+        schedule: &CollectiveSchedule,
+        table: &CostTable,
+        workspace: &mut SimWorkspace,
+        fault_timeline: Option<FaultTimeline>,
+    ) -> Result<SimReport, SimError> {
         let mut epoch = 0usize;
 
         let num_dims = self.topo.num_dims();
@@ -452,7 +530,327 @@ impl<'a> PipelineSimulator<'a> {
             // so telemetry reads them here instead of sampling in the loop.
             depth_scratch.clear();
             depth_scratch.extend(ready.iter().map(ReadyQueue::high_water));
-            telemetry.flush_run(&report.dims, now, depth_scratch, false, started.elapsed());
+            telemetry.flush_run(
+                &report.dims,
+                now,
+                depth_scratch,
+                false,
+                started.elapsed(),
+                LoopCounters::default(),
+            );
+        }
+        if self.options.record_op_log {
+            let labels = LabelInterner::for_dims(num_dims);
+            report.op_log = raw_ops
+                .iter()
+                .map(|raw| labels.materialise(raw, &chunks[raw.chunk].stages[raw.stage]))
+                .collect();
+        }
+        Ok(report)
+    }
+
+    /// The data-oriented hot loop: per-op state lives in the flat
+    /// [`soa::OpMatrix`] arrays keyed by the cost table's dense op ids, ready
+    /// ops are plain `u32`s in per-dimension [`Lane`]s (cost-rank buckets for
+    /// Smallest-Chunk-First — the bucket-queue replacement for the reference
+    /// heap), and `u64` masks let every scan skip quiescent dimensions
+    /// (no in-flight, no ready ops) without touching their state at all.
+    ///
+    /// Every simulated float operation is performed in the same order on the
+    /// same values as [`PipelineSimulator::run_reference`], so reports are
+    /// bit-identical — the invariant the `differential` fuzz suite asserts.
+    fn run_fast(
+        &self,
+        schedule: &CollectiveSchedule,
+        table: &CostTable,
+        workspace: &mut SimWorkspace,
+        fault_timeline: Option<FaultTimeline>,
+        shared: Option<(&Arc<CollectiveSchedule>, &Arc<CostTable>)>,
+    ) -> Result<SimReport, SimError> {
+        let mut epoch = 0usize;
+
+        let num_dims = self.topo.num_dims();
+        debug_assert!(num_dims <= 64, "masked loop requires <= 64 dimensions");
+        let chunks = schedule.chunks();
+        let policy = schedule.intra_dim_policy();
+
+        // Optional Sec. 4.6.2 enforced intra-dimension order.
+        let enforced = if self.options.enforce_intra_dim_order {
+            Some(enforced_intra_dim_order(schedule, self.topo)?)
+        } else {
+            None
+        };
+
+        let mut report = SimReport::empty(
+            self.topo,
+            schedule.scheduler_name(),
+            self.options.activity_window_ns,
+        );
+
+        workspace.prepare_fast_pipeline(num_dims);
+        let telemetry_on = workspace.telemetry.enabled();
+        if telemetry_on {
+            workspace.telemetry.ensure_dims(num_dims);
+        }
+        let loop_started = telemetry_on.then(std::time::Instant::now);
+        let SimWorkspace {
+            ops,
+            matrix_memo,
+            fast_lanes: lanes,
+            fast_active: active,
+            pipe_last_busy_end: last_busy_end,
+            pipe_order_ptr: order_ptr,
+            fast_completions: completions,
+            raw_ops,
+            telemetry,
+            depth_scratch,
+            ..
+        } = workspace;
+
+        let lane_kind = if enforced.is_some() {
+            // Enforced runs need targeted removal in arrival order — the
+            // same linear layout the reference queues switch to.
+            LaneKind::Linear
+        } else if policy == IntraDimPolicy::SmallestChunkFirst {
+            LaneKind::Scf
+        } else {
+            LaneKind::Fifo
+        };
+        // Plan-served cells memoise the built matrix by `Arc` identity;
+        // fault timelines are per-run inputs, so faulted runs build fresh.
+        let matrix: &soa::OpMatrix = match shared {
+            Some((schedule_arc, table_arc)) if fault_timeline.is_none() => {
+                matrix_memo.get_or_build_single(schedule_arc, table_arc, lane_kind == LaneKind::Scf)
+            }
+            _ => {
+                ops.build_single(
+                    chunks,
+                    table,
+                    fault_timeline.as_ref(),
+                    lane_kind == LaneKind::Scf,
+                );
+                ops
+            }
+        };
+        let offsets = table.offsets();
+        for lane in lanes.iter_mut().take(num_dims) {
+            lane.reset(lane_kind, matrix.num_ranks[0]);
+        }
+
+        let mut now = 0.0f64;
+        let mut outstanding = matrix.num_ops;
+        let mut stall_counter = 0usize;
+        // Bit `d` set ⇔ dimension `d` has ready (resp. in-flight) ops. Their
+        // union is the live set; everything else is quiescent and skipped.
+        let mut ready_mask = 0u64;
+        let mut busy_mask = 0u64;
+        let mut ready_total = 0usize;
+        let mut events_batched = 0u64;
+        let mut dims_quiesced = 0u64;
+
+        // Seed every chunk's first stage. Lanes receive ops in global arrival
+        // order, so bucket FIFO order reproduces the reference arrival
+        // tie-break; SCF ranks price at the initial epoch, like the reference
+        // seed table.
+        for (chunk_idx, chunk) in chunks.iter().enumerate() {
+            if chunk.stages.is_empty() {
+                continue;
+            }
+            let op = offsets[chunk_idx];
+            let dim = matrix.dim[op] as usize;
+            lanes[dim].push(op as u32, matrix.rank_at(0, op));
+            ready_mask |= 1u64 << dim;
+            ready_total += 1;
+        }
+        while outstanding > 0 {
+            let (blocked_dims, next_fault): (u64, Option<f64>) = match &fault_timeline {
+                Some(timeline) => {
+                    let cur = &timeline.epochs()[epoch];
+                    (
+                        soa::blocked_mask(Some(&cur.blocked)),
+                        timeline.epoch_start(epoch + 1),
+                    )
+                }
+                None => (0, None),
+            };
+
+            // Issue on live, unblocked dimensions only; blocked or quiescent
+            // dimensions are skipped wholesale by the mask.
+            for dim in BitIter(ready_mask & !blocked_dims) {
+                let lane = &mut lanes[dim];
+                while active[dim].len() < self.options.max_concurrent_ops_per_dim
+                    && !lane.is_empty()
+                {
+                    let op = match &enforced {
+                        Some(order) => {
+                            let Some(&(chunk, stage)) = order.for_dim(dim).get(order_ptr[dim])
+                            else {
+                                break;
+                            };
+                            match lane.take((offsets[chunk] + stage) as u32) {
+                                Some(op) => {
+                                    order_ptr[dim] += 1;
+                                    op
+                                }
+                                // The next op in the enforced order is not
+                                // ready yet: the dimension must wait.
+                                None => break,
+                            }
+                        }
+                        // The lane is policy-ordered: the pop *is* the
+                        // FIFO/SCF pick.
+                        None => lane.pop().expect("ready lane is non-empty"),
+                    };
+                    ready_total -= 1;
+                    let opx = op as usize;
+                    // Same `A_K` charging rule as the reference loop; `work`
+                    // was precomputed with the identical float addition.
+                    let resuming_after_idle =
+                        active[dim].is_empty() && now > last_busy_end[dim] + 1e-6;
+                    let starting_cold = last_busy_end[dim] == f64::NEG_INFINITY;
+                    let work_ns = if resuming_after_idle || starting_cold {
+                        matrix.work_at(epoch, opx)
+                    } else {
+                        matrix.transfer_at(epoch, opx)
+                    };
+                    active[dim].push(op, work_ns, now);
+                    busy_mask |= 1u64 << dim;
+                }
+                if lane.is_empty() {
+                    ready_mask &= !(1u64 << dim);
+                }
+            }
+
+            if busy_mask == 0 {
+                if let Some(at) = next_fault {
+                    now = at.max(now);
+                    epoch += 1;
+                    continue;
+                }
+                return Err(SimError::Stalled {
+                    at_ns: now,
+                    outstanding_ops: ready_total,
+                });
+            }
+
+            // Earliest completion under processor sharing, scanning busy
+            // dimensions only (idle ones contribute nothing to the min).
+            // `min(remaining) * k` is bitwise the reference's minimum over
+            // per-op `remaining * k` products: multiplying by the positive op
+            // count is monotone, so the order of min and multiply commutes.
+            let mut delta = f64::INFINITY;
+            for dim in BitIter(busy_mask) {
+                let set = &active[dim];
+                delta = delta.min(set.min_remaining() * set.len() as f64);
+            }
+            let mut advance_to_fault = false;
+            if let Some(at) = next_fault {
+                let gap = (at - now).max(0.0);
+                if gap <= delta {
+                    delta = gap;
+                    advance_to_fault = true;
+                }
+            }
+            if !delta.is_finite() {
+                delta = 0.0;
+            }
+
+            if delta <= 0.0 && !advance_to_fault {
+                stall_counter += 1;
+                if stall_counter > STALL_GUARD {
+                    return Err(SimError::Stalled {
+                        at_ns: now,
+                        outstanding_ops: outstanding,
+                    });
+                }
+            } else {
+                stall_counter = 0;
+            }
+
+            // Account the segment [now, now + delta) on live dimensions; the
+            // quiescent remainder skips all bookkeeping (and is counted).
+            if delta > 0.0 {
+                let live = busy_mask | ready_mask;
+                dims_quiesced += num_dims as u64 - u64::from(live.count_ones());
+                for dim in BitIter(live) {
+                    let dim_report = &mut report.dims[dim];
+                    if busy_mask & (1u64 << dim) != 0 {
+                        dim_report.busy_ns += delta;
+                    }
+                    push_presence(&mut dim_report.presence_intervals, now, now + delta);
+                }
+            }
+
+            // Charge each dimension's `delta / k` share and collect this
+            // timestamp's completions in one sweep per busy dimension, then
+            // a deterministic sort. `(dim, op id)` is the reference's
+            // `(dim, chunk)` order — op ids are monotone in chunk and each
+            // `(dim, chunk)` pair completes at most once per step (a chunk's
+            // stages run sequentially).
+            completions.clear();
+            for dim in BitIter(busy_mask) {
+                let set = &mut active[dim];
+                let share = delta / set.len() as f64;
+                if set.advance(share, dim as u32, completions) {
+                    busy_mask &= !(1u64 << dim);
+                }
+            }
+            now = if advance_to_fault {
+                epoch += 1;
+                next_fault.expect("fault boundary exists when advancing to it")
+            } else {
+                now + delta
+            };
+
+            if completions.len() > 1 {
+                completions.sort_unstable_by(|a, b| a.dim.cmp(&b.dim).then(a.op.cmp(&b.op)));
+                events_batched += completions.len() as u64;
+            }
+
+            for &Completion { dim, op, start_ns } in completions.iter() {
+                let dim = dim as usize;
+                let opx = op as usize;
+                report.dims[dim].wire_bytes += matrix.wire[opx];
+                report.dims[dim].ops_executed += 1;
+                if self.options.record_op_log {
+                    raw_ops.push(RawOp {
+                        dim,
+                        chunk: matrix.chunk[opx] as usize,
+                        stage: matrix.stage[opx] as usize,
+                        start_ns,
+                        end_ns: now,
+                    });
+                }
+                last_busy_end[dim] = now;
+                outstanding -= 1;
+                // The successor is the next dense op id; it prices (SCF rank)
+                // against the post-boundary epoch, like the reference
+                // `push_table`.
+                if !matrix.last_stage[opx] {
+                    let succ = opx + 1;
+                    let target = matrix.dim[succ] as usize;
+                    lanes[target].push(succ as u32, matrix.rank_at(epoch, succ));
+                    ready_mask |= 1u64 << target;
+                    ready_total += 1;
+                }
+            }
+        }
+
+        report.total_time_ns = now;
+        if let Some(started) = loop_started {
+            depth_scratch.clear();
+            depth_scratch.extend(lanes.iter().take(num_dims).map(Lane::high_water));
+            telemetry.flush_run(
+                &report.dims,
+                now,
+                depth_scratch,
+                false,
+                started.elapsed(),
+                LoopCounters {
+                    events_batched,
+                    dims_quiesced,
+                },
+            );
         }
         if self.options.record_op_log {
             let labels = LabelInterner::for_dims(num_dims);

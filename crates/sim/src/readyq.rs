@@ -242,6 +242,83 @@ mod tests {
     }
 
     #[test]
+    fn scf_ties_resolve_by_arrival_order() {
+        // All costs equal: SCF must degrade to pure FIFO, both against the
+        // linear policy scan and across heap sift paths.
+        let mut queue = ReadyQueue::for_policy(IntraDimPolicy::SmallestChunkFirst, false);
+        for arrival in 0..8u64 {
+            queue.push(Op {
+                arrival,
+                cost_ns: 42.0,
+            });
+        }
+        let popped: Vec<u64> =
+            std::iter::from_fn(|| queue.pop_next().map(|op| op.arrival)).collect();
+        assert_eq!(popped, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scf_interleaved_pushes_and_pops_keep_the_cost_arrival_order() {
+        // Pops interleaved with pushes: the heap must always yield the
+        // minimal (cost, arrival) among the ops queued *at that moment* —
+        // the invariant the engines rely on when successors arrive while
+        // earlier chunks are still queued.
+        let mut queue = ReadyQueue::for_policy(IntraDimPolicy::SmallestChunkFirst, false);
+        queue.push(Op {
+            arrival: 0,
+            cost_ns: 50.0,
+        });
+        queue.push(Op {
+            arrival: 1,
+            cost_ns: 10.0,
+        });
+        assert_eq!(queue.pop_next().unwrap().arrival, 1);
+        // A later arrival with the same cost as an op already queued loses
+        // the tie to it.
+        queue.push(Op {
+            arrival: 2,
+            cost_ns: 50.0,
+        });
+        assert_eq!(queue.pop_next().unwrap().arrival, 0);
+        queue.push(Op {
+            arrival: 3,
+            cost_ns: 5.0,
+        });
+        assert_eq!(queue.pop_next().unwrap().arrival, 3);
+        assert_eq!(queue.pop_next().unwrap().arrival, 2);
+        assert!(queue.pop_next().is_none());
+    }
+
+    #[test]
+    fn reshape_resets_depth_and_swaps_layout() {
+        let mut queue = ReadyQueue::for_policy(IntraDimPolicy::Fifo, false);
+        for op in ops() {
+            queue.push(op);
+        }
+        assert_eq!(queue.high_water(), 4);
+        // Same layout: reshape clears but keeps the queue variant usable.
+        queue.reshape(IntraDimPolicy::Fifo, false);
+        assert!(queue.is_empty());
+        assert_eq!(queue.high_water(), 0);
+        // Different layout: FIFO → SCF heap, pops by cost afterwards.
+        queue.reshape(IntraDimPolicy::SmallestChunkFirst, false);
+        for op in ops() {
+            queue.push(op);
+        }
+        assert_eq!(queue.pop_next().unwrap().arrival, 1);
+        // SCF + enforced goes back to the linear layout so take_matching
+        // works.
+        queue.reshape(IntraDimPolicy::SmallestChunkFirst, true);
+        for op in ops() {
+            queue.push(op);
+        }
+        assert_eq!(
+            queue.take_matching(|op| op.arrival == 3).unwrap().arrival,
+            3
+        );
+    }
+
+    #[test]
     fn enforced_runs_search_the_linear_queue() {
         let mut queue = ReadyQueue::for_policy(IntraDimPolicy::SmallestChunkFirst, true);
         for op in ops() {

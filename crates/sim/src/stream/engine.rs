@@ -12,15 +12,17 @@ use crate::error::SimError;
 use crate::faults::FaultTimeline;
 use crate::options::SimOptions;
 use crate::pipeline::{push_presence, PipelineSimulator};
+use crate::soa::{self, BitIter, Completion, Lane, LaneKind, OpMatrix};
 use crate::stats::{DimReport, LabelInterner, RawOp, SimReport};
 use crate::stream::queue::{ActiveOp, DimQueue, PendingOp, StreamEntry, VacancyTracker};
 use crate::stream::report::{CollectiveSpan, StreamReport};
-use crate::workspace::SimWorkspace;
+use crate::workspace::{LoopCounters, SimWorkspace};
 use std::sync::Arc;
 use themis_collectives::CostModel;
 use themis_core::plan::{CostTable, CostTableCache};
 use themis_core::{
     enforced_intra_dim_order, CollectiveSchedule, CollectiveScheduler, EnforcedOrder,
+    IntraDimPolicy,
 };
 use themis_net::NetworkTopology;
 
@@ -219,7 +221,19 @@ impl<'a> StreamSimulator<'a> {
                 ),
             });
         }
+        // Plan-served pairs revalidate only on first sight: both entry
+        // checks are pure functions of the schedule contents, the table
+        // shape and the dimension count, so one pass per `(schedule, table)`
+        // identity covers every later run (see [`soa::MatrixMemo`]).
+        let num_dims = self.topo.num_dims();
         for (schedule, table) in schedules.iter().zip(tables) {
+            if workspace
+                .matrix_memo
+                .is_validated(schedule, table, num_dims)
+            {
+                continue;
+            }
+            schedule.validate(self.topo)?;
             if !table.matches(schedule) {
                 return Err(SimError::InvalidOptions {
                     reason: format!(
@@ -229,8 +243,11 @@ impl<'a> StreamSimulator<'a> {
                     ),
                 });
             }
+            workspace
+                .matrix_memo
+                .mark_validated(schedule, table, num_dims);
         }
-        let (order, ordered) = self.order_schedules(entries, schedules)?;
+        let (order, ordered) = self.admission_ordered(entries, schedules)?;
         let ordered_tables: Vec<Arc<CostTable>> = order
             .iter()
             .map(|&index| Arc::clone(&tables[index]))
@@ -252,6 +269,22 @@ impl<'a> StreamSimulator<'a> {
         entries: &[StreamEntry],
         schedules: &[Arc<CollectiveSchedule>],
     ) -> Result<(Vec<usize>, Vec<Arc<CollectiveSchedule>>), SimError> {
+        let (order, ordered) = self.admission_ordered(entries, schedules)?;
+        for schedule in &ordered {
+            schedule.validate(self.topo)?;
+        }
+        Ok((order, ordered))
+    }
+
+    /// Checks the schedule list against the entry list and returns the
+    /// admission order plus the schedules re-indexed by admission slot
+    /// (without per-schedule validation — callers on the plan-cache path
+    /// validate through the workspace memo instead).
+    fn admission_ordered(
+        &self,
+        entries: &[StreamEntry],
+        schedules: &[Arc<CollectiveSchedule>],
+    ) -> Result<(Vec<usize>, Vec<Arc<CollectiveSchedule>>), SimError> {
         if schedules.len() != entries.len() {
             return Err(SimError::InvalidOptions {
                 reason: format!(
@@ -262,11 +295,10 @@ impl<'a> StreamSimulator<'a> {
             });
         }
         let order = admission_order(entries);
-        let mut ordered = Vec::with_capacity(order.len());
-        for &index in &order {
-            schedules[index].validate(self.topo)?;
-            ordered.push(Arc::clone(&schedules[index]));
-        }
+        let ordered = order
+            .iter()
+            .map(|&index| Arc::clone(&schedules[index]))
+            .collect();
         Ok((order, ordered))
     }
 
@@ -296,7 +328,7 @@ impl<'a> StreamSimulator<'a> {
             // collective runs in its own frame, so it gets the plan as seen
             // from its start offset (past events collapsed into state at 0).
             let sim_report = if self.options.faults.is_empty() {
-                simulator.run_prepared(schedules[slot].as_ref(), &tables[slot], workspace)?
+                simulator.run_planned(&schedules[slot], &tables[slot], workspace, None)?
             } else {
                 let options = self
                     .options
@@ -338,7 +370,34 @@ impl<'a> StreamSimulator<'a> {
 
     /// The overlap-aware policy: one merged event loop over all admitted
     /// collectives, with earliest-collective priority on every dimension.
+    /// Dispatches between the data-oriented fast loop (the default) and the
+    /// original reference loop ([`SimOptions::reference_engine`], or more
+    /// than 64 dimensions — the fast loop keys dimensions by bit position in
+    /// `u64` masks). Both produce bit-identical reports.
     fn run_overlapped(
+        &self,
+        entries: &[StreamEntry],
+        order: &[usize],
+        schedules: &[Arc<CollectiveSchedule>],
+        op_costs: &[Arc<CostTable>],
+        workspace: &mut SimWorkspace,
+        plan_cache: Option<&CostTableCache>,
+    ) -> Result<StreamReport, SimError> {
+        if self.options.reference_engine || self.topo.num_dims() > 64 {
+            self.run_overlapped_reference(
+                entries, order, schedules, op_costs, workspace, plan_cache,
+            )
+        } else {
+            self.run_overlapped_fast(entries, order, schedules, op_costs, workspace, plan_cache)
+        }
+    }
+
+    /// The original heap-backed merged loop, kept verbatim as the reference
+    /// implementation behind [`SimOptions::reference_engine`]. The fast loop
+    /// in [`StreamSimulator::run_overlapped_fast`] must stay bit-identical to
+    /// this one — the `differential` and `engine_equivalence` suites enforce
+    /// it.
+    fn run_overlapped_reference(
         &self,
         entries: &[StreamEntry],
         order: &[usize],
@@ -858,6 +917,565 @@ impl<'a> StreamSimulator<'a> {
                 depth_scratch,
                 true,
                 started.elapsed(),
+                LoopCounters::default(),
+            );
+        }
+        Ok(report)
+    }
+
+    /// The data-oriented merged loop: per-op state lives in the flat
+    /// [`soa::OpMatrix`] arrays (collectives concatenated into one dense op-id
+    /// space), ready ops are `u32`s in per-(dimension, collective)
+    /// [`Lane`]s — cost-rank bucket queues replacing the per-bucket heaps —
+    /// and `u64` masks let every scan skip quiescent dimensions entirely.
+    ///
+    /// Every simulated float operation happens in the same order on the same
+    /// values as [`StreamSimulator::run_overlapped_reference`], so reports
+    /// are bit-identical (enforced by the `differential` fuzz suite).
+    #[allow(clippy::too_many_lines)]
+    fn run_overlapped_fast(
+        &self,
+        entries: &[StreamEntry],
+        order: &[usize],
+        schedules: &[Arc<CollectiveSchedule>],
+        op_costs: &[Arc<CostTable>],
+        workspace: &mut SimWorkspace,
+        plan_cache: Option<&CostTableCache>,
+    ) -> Result<StreamReport, SimError> {
+        let num_dims = self.topo.num_dims();
+        debug_assert!(num_dims <= 64, "masked loop requires <= 64 dimensions");
+        let num_colls = order.len();
+
+        let fault_timelines: Option<Vec<FaultTimeline>> = if self.options.faults.is_empty() {
+            None
+        } else {
+            let cost_model = CostModel::new();
+            Some(
+                schedules
+                    .iter()
+                    .map(|schedule| {
+                        self.options
+                            .faults
+                            .compile(self.topo, &cost_model, schedule, plan_cache)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            )
+        };
+        let mut epoch = 0usize;
+
+        let mut colls: Vec<CollState> = Vec::with_capacity(num_colls);
+        for (slot, &index) in order.iter().enumerate() {
+            let enforced = if self.options.enforce_intra_dim_order {
+                Some(enforced_intra_dim_order(&schedules[slot], self.topo)?)
+            } else {
+                None
+            };
+            colls.push(CollState {
+                entry_index: index,
+                issue_ns: entries[index].clamped_issue_ns(),
+                outstanding_ops: schedules[slot]
+                    .chunks()
+                    .iter()
+                    .map(|c| c.stages.len())
+                    .sum(),
+                started: false,
+                start_ns: 0.0,
+                finish_ns: 0.0,
+                active_ns: 0.0,
+                overlapped_ns: 0.0,
+                dims: dims_template(self.topo),
+                raw_ops: Vec::new(),
+                enforced,
+                order_ptr: vec![0usize; num_dims],
+            });
+        }
+
+        let mut report = StreamReport::empty(
+            schedules.first().map_or("", |s| s.scheduler_name()),
+            self.topo.name(),
+            dims_template(self.topo),
+        );
+
+        workspace.prepare_fast_stream(num_dims, num_colls);
+        let telemetry_on = workspace.telemetry.enabled();
+        if telemetry_on {
+            workspace.telemetry.ensure_dims(num_dims);
+        }
+        let loop_started = telemetry_on.then(std::time::Instant::now);
+        let SimWorkspace {
+            ops,
+            matrix_memo,
+            fast_lanes: lanes,
+            fast_active: active,
+            fast_completions: completions,
+            fast_ready_colls: ready_colls,
+            fast_ready_count: ready_count,
+            fast_high_water: high_water,
+            pipe_last_busy_end: last_busy_end,
+            coll_active,
+            coll_busy_on_dim,
+            coll_on_dim,
+            touched,
+            active_list,
+            telemetry,
+            depth_scratch,
+            ..
+        } = workspace;
+
+        let need_ranks = !self.options.enforce_intra_dim_order
+            && schedules
+                .iter()
+                .any(|s| s.intra_dim_policy() == IntraDimPolicy::SmallestChunkFirst);
+        // Plan-served streams memoise the built matrix by `Arc` identity;
+        // fault timelines are per-run inputs, so faulted runs build fresh.
+        let matrix: &OpMatrix = if fault_timelines.is_none() {
+            matrix_memo.get_or_build_stream(schedules, op_costs, need_ranks)
+        } else {
+            ops.build_stream(schedules, op_costs, fault_timelines.as_deref(), need_ranks);
+            ops
+        };
+        for (slot, state) in colls.iter().enumerate() {
+            let kind = if state.enforced.is_some() {
+                LaneKind::Linear
+            } else if schedules[slot].intra_dim_policy() == IntraDimPolicy::SmallestChunkFirst {
+                LaneKind::Scf
+            } else {
+                LaneKind::Fifo
+            };
+            for dim in 0..num_dims {
+                lanes[dim * num_colls + slot].reset(kind, matrix.num_ranks[slot]);
+            }
+        }
+
+        let mut vacancy = VacancyTracker::from_stage_dims(
+            schedules.iter().map(|schedule| {
+                schedule
+                    .chunks()
+                    .iter()
+                    .flat_map(|chunk| chunk.stages.iter().map(|stage| stage.dim))
+            }),
+            num_dims,
+        );
+        let mut now = 0.0f64;
+        let mut outstanding = 0usize;
+        let mut admit_ptr = 0usize;
+        let mut stall_counter = 0usize;
+        let mut ready_mask = 0u64;
+        let mut busy_mask = 0u64;
+        let mut events_batched = 0u64;
+        let mut dims_quiesced = 0u64;
+
+        // Enqueues `op` of collective `coll` into its lane, maintaining the
+        // dimension's ready-coll list, count and high watermark the way the
+        // reference `DimQueue::push_ready` does. (Pushes arrive in global
+        // arrival order, so lane FIFO order is the reference tie-break.)
+        // Takes the already-indexed per-dimension slots so the borrow of each
+        // array stays local to the call site.
+        fn push_ready(
+            lane: &mut Lane,
+            ready_colls: &mut Vec<usize>,
+            ready_count: &mut usize,
+            high_water: &mut usize,
+            coll: usize,
+            op: u32,
+            rank: u32,
+        ) {
+            if lane.is_empty() {
+                ready_colls.push(coll);
+            }
+            lane.push(op, rank);
+            *ready_count += 1;
+            *high_water = (*high_water).max(*ready_count);
+        }
+
+        while admit_ptr < colls.len() || outstanding > 0 {
+            let (blocked_dims, next_fault): (u64, Option<f64>) = match &fault_timelines {
+                Some(timelines) => match timelines.first() {
+                    Some(timeline) => (
+                        soa::blocked_mask(Some(&timeline.epochs()[epoch].blocked)),
+                        timeline.epoch_start(epoch + 1),
+                    ),
+                    None => (0, None),
+                },
+                None => (0, None),
+            };
+
+            // Event-driven admission: collectives whose issue time has
+            // arrived enter the ready lanes (their chunks' first stages).
+            while admit_ptr < colls.len() && colls[admit_ptr].issue_ns <= now {
+                let coll = admit_ptr;
+                admit_ptr += 1;
+                let state = &mut colls[coll];
+                if state.outstanding_ops == 0 {
+                    // A degenerate collective with no stages completes at
+                    // admission.
+                    state.started = true;
+                    state.start_ns = now;
+                    state.finish_ns = now;
+                    continue;
+                }
+                outstanding += state.outstanding_ops;
+                let offsets = op_costs[coll].offsets();
+                for (chunk_idx, chunk) in schedules[coll].chunks().iter().enumerate() {
+                    if chunk.stages.is_empty() {
+                        continue;
+                    }
+                    let op = matrix.coll_base[coll] as usize + offsets[chunk_idx];
+                    let dim = matrix.dim[op] as usize;
+                    push_ready(
+                        &mut lanes[dim * num_colls + coll],
+                        &mut ready_colls[dim],
+                        &mut ready_count[dim],
+                        &mut high_water[dim],
+                        coll,
+                        op as u32,
+                        matrix.rank_at(epoch, op),
+                    );
+                    ready_mask |= 1u64 << dim;
+                }
+            }
+
+            // Issue on live, unblocked dimensions only. A dimension serves
+            // the earliest admitted collective that has not vacated it, so
+            // chunks of collective k+1 only start on dimensions collective k
+            // is done with.
+            for dim in BitIter(ready_mask & !blocked_dims) {
+                while active[dim].len() < self.options.max_concurrent_ops_per_dim
+                    && ready_count[dim] > 0
+                {
+                    let Some(coll) = vacancy.owner(dim, admit_ptr) else {
+                        break;
+                    };
+                    let lane = &mut lanes[dim * num_colls + coll];
+                    if lane.is_empty() {
+                        // The owner has work left on this dimension but none
+                        // of it is ready yet: the dimension waits rather than
+                        // letting a later collective in ahead of it.
+                        break;
+                    }
+                    let op = match &colls[coll].enforced {
+                        Some(enforced_order) => {
+                            let Some(&(chunk, stage)) =
+                                enforced_order.for_dim(dim).get(colls[coll].order_ptr[dim])
+                            else {
+                                break;
+                            };
+                            let target = matrix.coll_base[coll] as usize
+                                + op_costs[coll].offsets()[chunk]
+                                + stage;
+                            match lane.take(target as u32) {
+                                Some(op) => {
+                                    colls[coll].order_ptr[dim] += 1;
+                                    op
+                                }
+                                // The collective's next enforced op is not
+                                // ready yet: the dimension waits for it
+                                // rather than running a later collective out
+                                // of turn.
+                                None => break,
+                            }
+                        }
+                        // The priority collective's lane is policy-ordered:
+                        // the pop *is* its FIFO/SCF pick.
+                        None => lane.pop().expect("lane is non-empty"),
+                    };
+                    ready_count[dim] -= 1;
+                    if lanes[dim * num_colls + coll].is_empty() {
+                        let list = &mut ready_colls[dim];
+                        let position = list
+                            .iter()
+                            .position(|&c| c == coll)
+                            .expect("drained lane is listed");
+                        list.swap_remove(position);
+                    }
+                    let opx = op as usize;
+                    let resuming_after_idle =
+                        active[dim].is_empty() && now > last_busy_end[dim] + 1e-6;
+                    let starting_cold = last_busy_end[dim] == f64::NEG_INFINITY;
+                    let work_ns = if resuming_after_idle || starting_cold {
+                        matrix.work_at(epoch, opx)
+                    } else {
+                        matrix.transfer_at(epoch, opx)
+                    };
+                    if !colls[coll].started {
+                        colls[coll].started = true;
+                        colls[coll].start_ns = now;
+                    }
+                    active[dim].push(op, work_ns, now);
+                    busy_mask |= 1u64 << dim;
+                }
+                if ready_count[dim] == 0 {
+                    ready_mask &= !(1u64 << dim);
+                }
+            }
+
+            let next_admission = colls.get(admit_ptr).map(|c| c.issue_ns);
+            if busy_mask == 0 {
+                // Nothing is executing: jump across the idle gap to the next
+                // event — an admission or a fault boundary, whichever comes
+                // first — or, with neither left, declare a stall.
+                match (next_admission, next_fault) {
+                    (Some(admission), Some(fault)) if fault <= admission => {
+                        now = fault.max(now);
+                        epoch += 1;
+                        continue;
+                    }
+                    (Some(admission), _) => {
+                        now = admission.max(now);
+                        continue;
+                    }
+                    (None, Some(fault)) => {
+                        now = fault.max(now);
+                        epoch += 1;
+                        continue;
+                    }
+                    (None, None) => {}
+                }
+                let pending: usize = ready_count.iter().take(num_dims).sum();
+                return Err(SimError::Stalled {
+                    at_ns: now,
+                    outstanding_ops: pending,
+                });
+            }
+
+            // Earliest completion under processor sharing, scanning busy
+            // dimensions only; capped by the next admission and fault events.
+            // `min(remaining) * k` is bitwise the reference's minimum over
+            // per-op `remaining * k` products: multiplying by the positive op
+            // count is monotone, so the order of min and multiply commutes.
+            let mut delta = f64::INFINITY;
+            for dim in BitIter(busy_mask) {
+                let set = &active[dim];
+                delta = delta.min(set.min_remaining() * set.len() as f64);
+            }
+            let mut advance_to_admission = false;
+            if let Some(at) = next_admission {
+                let gap = (at - now).max(0.0);
+                if gap <= delta {
+                    delta = gap;
+                    advance_to_admission = true;
+                }
+            }
+            let mut advance_to_fault = false;
+            if let Some(at) = next_fault {
+                let gap = (at - now).max(0.0);
+                if gap <= delta {
+                    if gap < delta {
+                        advance_to_admission = false;
+                    }
+                    delta = gap;
+                    advance_to_fault = true;
+                }
+            }
+            if !delta.is_finite() {
+                delta = 0.0;
+            }
+
+            if delta <= 0.0 && !advance_to_admission && !advance_to_fault {
+                stall_counter += 1;
+                if stall_counter > STALL_GUARD {
+                    return Err(SimError::Stalled {
+                        at_ns: now,
+                        outstanding_ops: outstanding,
+                    });
+                }
+            } else {
+                stall_counter = 0;
+            }
+
+            // Account the segment [now, now + delta) on live dimensions; the
+            // quiescent remainder skips all bookkeeping (and is counted).
+            if delta > 0.0 {
+                active_list.clear();
+                let live = busy_mask | ready_mask;
+                dims_quiesced += num_dims as u64 - u64::from(live.count_ones());
+                for dim in BitIter(live) {
+                    if busy_mask & (1u64 << dim) != 0 {
+                        report.dims[dim].busy_ns += delta;
+                    }
+                    push_presence(&mut report.dims[dim].presence_intervals, now, now + delta);
+                    touched.clear();
+                    for &op in active[dim].ops() {
+                        let coll = matrix.coll[op as usize] as usize;
+                        if !coll_active[coll] {
+                            coll_active[coll] = true;
+                            active_list.push(coll);
+                        }
+                        coll_busy_on_dim[coll] = true;
+                        if !coll_on_dim[coll] {
+                            coll_on_dim[coll] = true;
+                            touched.push(coll);
+                        }
+                    }
+                    for &coll in ready_colls[dim].iter() {
+                        if !coll_on_dim[coll] {
+                            coll_on_dim[coll] = true;
+                            touched.push(coll);
+                        }
+                    }
+                    for &coll in touched.iter() {
+                        let state = &mut colls[coll];
+                        if coll_busy_on_dim[coll] {
+                            state.dims[dim].busy_ns += delta;
+                        }
+                        push_presence(&mut state.dims[dim].presence_intervals, now, now + delta);
+                        coll_busy_on_dim[coll] = false;
+                        coll_on_dim[coll] = false;
+                    }
+                }
+                // Per-collective accumulators are independent, so visiting
+                // the active collectives in first-seen order adds the same
+                // `delta` to the same counters as the reference loop.
+                let active_colls = active_list.len();
+                if active_colls >= 1 {
+                    report.network_busy_ns += delta;
+                }
+                if active_colls >= 2 {
+                    report.overlap_ns += delta;
+                }
+                for &coll in active_list.iter() {
+                    colls[coll].active_ns += delta;
+                    if active_colls >= 2 {
+                        colls[coll].overlapped_ns += delta;
+                    }
+                    coll_active[coll] = false;
+                }
+            }
+
+            // Charge each dimension's `delta / k` share and collect this
+            // timestamp's completions in one sweep per busy dimension, then a
+            // deterministic sort. `(dim, op id)` is the reference's
+            // `(dim, coll, chunk)` order: collective blocks are concatenated
+            // in admission order and op ids are monotone in chunk within a
+            // block.
+            completions.clear();
+            for dim in BitIter(busy_mask) {
+                let set = &mut active[dim];
+                let share = delta / set.len() as f64;
+                if set.advance(share, dim as u32, completions) {
+                    busy_mask &= !(1u64 << dim);
+                }
+            }
+            now = if advance_to_fault {
+                epoch += 1;
+                next_fault.expect("fault boundary exists when advancing to it")
+            } else if advance_to_admission {
+                next_admission.expect("admission event exists")
+            } else {
+                now + delta
+            };
+
+            if completions.len() > 1 {
+                completions.sort_unstable_by(|a, b| a.dim.cmp(&b.dim).then(a.op.cmp(&b.op)));
+                events_batched += completions.len() as u64;
+            }
+
+            for &Completion { dim, op, start_ns } in completions.iter() {
+                let dim = dim as usize;
+                let opx = op as usize;
+                let coll = matrix.coll[opx] as usize;
+                vacancy.complete(coll, dim);
+                report.dims[dim].wire_bytes += matrix.wire[opx];
+                report.dims[dim].ops_executed += 1;
+                let state = &mut colls[coll];
+                state.dims[dim].wire_bytes += matrix.wire[opx];
+                state.dims[dim].ops_executed += 1;
+                if self.options.record_op_log {
+                    state.raw_ops.push(RawOp {
+                        dim,
+                        chunk: matrix.chunk[opx] as usize,
+                        stage: matrix.stage[opx] as usize,
+                        start_ns,
+                        end_ns: now,
+                    });
+                }
+                last_busy_end[dim] = now;
+                outstanding -= 1;
+                state.outstanding_ops -= 1;
+                if state.outstanding_ops == 0 {
+                    state.finish_ns = now;
+                }
+                // The successor is the next dense op id; its SCF rank prices
+                // against the post-boundary epoch, like the reference
+                // `push_table`.
+                if !matrix.last_stage[opx] {
+                    let succ = opx + 1;
+                    let target = matrix.dim[succ] as usize;
+                    push_ready(
+                        &mut lanes[target * num_colls + coll],
+                        &mut ready_colls[target],
+                        &mut ready_count[target],
+                        &mut high_water[target],
+                        coll,
+                        succ as u32,
+                        matrix.rank_at(epoch, succ),
+                    );
+                    ready_mask |= 1u64 << target;
+                }
+            }
+        }
+
+        // Assemble spans exactly like the reference loop: shift each
+        // collective's statistics into its own time frame.
+        let labels = self
+            .options
+            .record_op_log
+            .then(|| LabelInterner::for_dims(num_dims));
+        for (slot, state) in colls.into_iter().enumerate() {
+            let start = state.start_ns;
+            let op_log = match &labels {
+                Some(labels) => state
+                    .raw_ops
+                    .iter()
+                    .map(|raw| {
+                        let stage_op = &schedules[slot].chunks()[raw.chunk].stages[raw.stage];
+                        let mut op = labels.materialise(raw, stage_op);
+                        op.start_ns -= start;
+                        op.end_ns -= start;
+                        op
+                    })
+                    .collect(),
+                None => Vec::new(),
+            };
+            let mut sim_report = SimReport {
+                scheduler_name: schedules[slot].scheduler_name().to_string(),
+                topology_name: self.topo.name().to_string(),
+                total_time_ns: (state.finish_ns - start).max(0.0),
+                activity_window_ns: self.options.activity_window_ns,
+                dims: state.dims,
+                op_log,
+            };
+            for dim in &mut sim_report.dims {
+                for interval in &mut dim.presence_intervals {
+                    interval.0 -= start;
+                    interval.1 -= start;
+                }
+            }
+            report.finish_ns = report.finish_ns.max(state.finish_ns);
+            report.spans.push(CollectiveSpan {
+                index: state.entry_index,
+                label: entries[state.entry_index].label.clone(),
+                issue_ns: state.issue_ns,
+                start_ns: state.start_ns,
+                finish_ns: state.finish_ns,
+                active_ns: state.active_ns,
+                overlapped_ns: state.overlapped_ns,
+                report: sim_report,
+            });
+        }
+        if let Some(started) = loop_started {
+            depth_scratch.clear();
+            depth_scratch.extend(high_water.iter().take(num_dims));
+            telemetry.flush_run(
+                &report.dims,
+                report.finish_ns,
+                depth_scratch,
+                true,
+                started.elapsed(),
+                LoopCounters {
+                    events_batched,
+                    dims_quiesced,
+                },
             );
         }
         Ok(report)

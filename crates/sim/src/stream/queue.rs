@@ -359,6 +359,78 @@ mod tests {
     }
 
     #[test]
+    fn dim_queue_reset_swaps_bucket_layouts_and_clears_watermarks() {
+        let mut queue = DimQueue::new([(IntraDimPolicy::SmallestChunkFirst, false)]);
+        queue.push_ready(PendingOp {
+            arrival: 0,
+            coll: 0,
+            chunk: 0,
+            stage: 0,
+            cost_ns: 1.0,
+        });
+        assert_eq!(queue.ready_high_water(), 1);
+        // Reset to an enforced-order layout with an extra bucket: the old
+        // bucket reshapes to the linear layout, state and watermark clear.
+        queue.reset([
+            (IntraDimPolicy::SmallestChunkFirst, true),
+            (IntraDimPolicy::Fifo, true),
+        ]);
+        assert!(!queue.occupied());
+        assert_eq!(queue.ready_high_water(), 0);
+        assert!(queue.ready_colls().is_empty());
+        assert_eq!(queue.last_busy_end_ns, f64::NEG_INFINITY);
+        for (arrival, chunk) in [(0u64, 2usize), (1, 0)] {
+            queue.push_ready(PendingOp {
+                arrival,
+                coll: 0,
+                chunk,
+                stage: 1,
+                cost_ns: 9.0,
+            });
+        }
+        // Enforced buckets take a specific (chunk, stage) out of turn.
+        assert_eq!(queue.take_matching(0, 0, 1).unwrap().arrival, 1);
+        // Shrinking reset drops the extra bucket.
+        queue.reset([(IntraDimPolicy::Fifo, false)]);
+        assert_eq!(queue.ready_len(), 0);
+        assert!(!queue.has_ready(1));
+    }
+
+    #[test]
+    fn vacancy_tracker_skips_collectives_with_no_work_on_a_dim() {
+        // Collective 0 never touches dim 1: it must not block collective 1
+        // there, even before completing anything.
+        let mut tracker = VacancyTracker::from_stage_dims([vec![0usize], vec![1usize]], 2);
+        assert_eq!(tracker.owner(1, 2), Some(1));
+        // An entirely empty dimension has no owner at any admission level.
+        let mut empty = VacancyTracker::from_stage_dims(vec![Vec::<usize>::new(); 2], 2);
+        assert_eq!(empty.owner(0, 2), None);
+        assert_eq!(empty.owner(1, 2), None);
+        // Nothing admitted yet: nobody owns anything.
+        assert_eq!(tracker.owner(0, 0), None);
+        // An admission count beyond the collective list clamps.
+        assert_eq!(tracker.owner(0, 99), Some(0));
+    }
+
+    #[test]
+    fn vacancy_tracker_cursor_advances_through_single_chunk_collectives() {
+        // Three single-chunk collectives on one dimension: each completion
+        // hands ownership to the next, and the forward-only cursor never
+        // revisits a vacated collective.
+        let mut tracker =
+            VacancyTracker::from_stage_dims([vec![0usize], vec![0usize], vec![0usize]], 1);
+        // Only the admitted prefix is eligible even though later collectives
+        // have work.
+        assert_eq!(tracker.owner(0, 1), Some(0));
+        tracker.complete(0, 0);
+        assert_eq!(tracker.owner(0, 1), None);
+        assert_eq!(tracker.owner(0, 2), Some(1));
+        tracker.complete(1, 0);
+        tracker.complete(2, 0);
+        assert_eq!(tracker.owner(0, 3), None);
+    }
+
+    #[test]
     fn vacancy_tracker_hands_dims_to_the_earliest_unfinished_collective() {
         // Collective 0 uses dims {0, 1}; collective 1 uses dims {0, 2}.
         let mut tracker = VacancyTracker::from_stage_dims([vec![0usize, 1, 0], vec![0usize, 2]], 3);

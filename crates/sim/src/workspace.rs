@@ -11,6 +11,7 @@
 
 use crate::pipeline::{ActiveOp, PendingOp};
 use crate::readyq::ReadyQueue;
+use crate::soa;
 use crate::stats::{DimReport, RawOp};
 use crate::stream::queue as stream_queue;
 use std::time::Duration;
@@ -27,6 +28,8 @@ pub(crate) struct SimTelemetry {
     stream_loop: Histogram,
     phase_schedule: Histogram,
     phase_cost: Histogram,
+    events_batched: Counter,
+    dims_quiesced: Counter,
     dims: Vec<DimInstruments>,
 }
 
@@ -36,6 +39,17 @@ struct DimInstruments {
     idle_ns: Counter,
     ops: Counter,
     max_queue_depth: Gauge,
+}
+
+/// Per-run tallies the fast engines accumulate in locals and flush once:
+/// completions retired in same-timestamp batches of two or more
+/// (`sim.events.batched`) and dimension-segments skipped outright by the
+/// quiescence short-cut (`sim.dims.quiesced`). The reference engines flush
+/// [`LoopCounters::default`] — both zero.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct LoopCounters {
+    pub events_batched: u64,
+    pub dims_quiesced: u64,
 }
 
 impl Default for SimTelemetry {
@@ -54,6 +68,8 @@ impl SimTelemetry {
         let stream_loop = registry.histogram("sim.stream.event_loop_ns");
         let phase_schedule = registry.histogram("phase.schedule_ns");
         let phase_cost = registry.histogram("phase.cost_precompute_ns");
+        let events_batched = registry.counter("sim.events.batched");
+        let dims_quiesced = registry.counter("sim.dims.quiesced");
         SimTelemetry {
             registry,
             runs,
@@ -61,6 +77,8 @@ impl SimTelemetry {
             stream_loop,
             phase_schedule,
             phase_cost,
+            events_batched,
+            dims_quiesced,
             dims: Vec::new(),
         }
     }
@@ -89,9 +107,13 @@ impl SimTelemetry {
     }
 
     /// Flushes one finished run: the event-loop wall time into the matching
-    /// span histogram, and per-dimension busy/idle/op counters plus the
-    /// ready-queue high watermark. Called once per run, after the loop — the
-    /// hot path itself never touches an atomic.
+    /// span histogram, per-dimension busy/idle/op counters plus the
+    /// ready-queue high watermark, and the fast engines' batching /
+    /// quiescence tallies (`sim.events.batched` counts completions that
+    /// drained in a same-timestamp batch of two or more; `sim.dims.quiesced`
+    /// counts dimension-segments the masked loops skipped outright — the
+    /// reference engines flush zeros for both). Called once per run, after
+    /// the loop — the hot path itself never touches an atomic.
     pub(crate) fn flush_run(
         &self,
         dims: &[DimReport],
@@ -99,8 +121,15 @@ impl SimTelemetry {
         depths: &[usize],
         stream: bool,
         loop_elapsed: Duration,
+        counters: LoopCounters,
     ) {
         self.runs.inc();
+        if counters.events_batched > 0 {
+            self.events_batched.add(counters.events_batched);
+        }
+        if counters.dims_quiesced > 0 {
+            self.dims_quiesced.add(counters.dims_quiesced);
+        }
         let histogram = if stream {
             &self.stream_loop
         } else {
@@ -146,6 +175,25 @@ pub struct SimWorkspace {
     pub(crate) coll_on_dim: Vec<bool>,
     pub(crate) touched: Vec<usize>,
     pub(crate) active_list: Vec<usize>,
+    // --- data-oriented fast engines ---
+    /// The flat per-op attribute arrays of the current run.
+    pub(crate) ops: soa::OpMatrix,
+    /// Memoised op matrices of plan-served cells (see [`soa::MatrixMemo`]).
+    pub(crate) matrix_memo: soa::MatrixMemo,
+    /// Ready lanes: one per dimension (pipeline) or one per
+    /// dimension × collective (stream), dimension-major.
+    pub(crate) fast_lanes: Vec<soa::Lane>,
+    /// In-flight ops per dimension, structure-of-arrays with a cached
+    /// `min(remaining)` per dimension.
+    pub(crate) fast_active: Vec<soa::ActiveSet>,
+    /// Same-timestamp completion batch scratch.
+    pub(crate) fast_completions: Vec<soa::Completion>,
+    /// Stream fast loop: per-dimension list of collectives with ready ops.
+    pub(crate) fast_ready_colls: Vec<Vec<usize>>,
+    /// Stream fast loop: per-dimension total ready-op count.
+    pub(crate) fast_ready_count: Vec<usize>,
+    /// Stream fast loop: per-dimension ready-depth high watermark.
+    pub(crate) fast_high_water: Vec<usize>,
     // --- telemetry ---
     pub(crate) telemetry: SimTelemetry,
     /// Per-dimension ready-queue high watermark of the current run.
@@ -218,6 +266,59 @@ impl SimWorkspace {
         self.pipe_order_ptr.resize(num_dims, 0);
         self.pipe_completions.clear();
         self.raw_ops.clear();
+        self.depth_scratch.clear();
+        self.depth_scratch.resize(num_dims, 0);
+    }
+
+    /// Re-initialises the data-oriented pipeline buffers for a run over
+    /// `num_dims` dimensions, reusing allocations. The lanes themselves are
+    /// reset by the engine, which knows the lane kind and rank-space size
+    /// only after building the op matrix.
+    pub(crate) fn prepare_fast_pipeline(&mut self, num_dims: usize) {
+        if self.fast_lanes.len() < num_dims {
+            self.fast_lanes.resize_with(num_dims, soa::Lane::default);
+        }
+        for active in &mut self.fast_active {
+            active.clear();
+        }
+        self.fast_active
+            .resize_with(num_dims, soa::ActiveSet::default);
+        self.pipe_last_busy_end.clear();
+        self.pipe_last_busy_end.resize(num_dims, f64::NEG_INFINITY);
+        self.pipe_order_ptr.clear();
+        self.pipe_order_ptr.resize(num_dims, 0);
+        self.fast_completions.clear();
+        self.raw_ops.clear();
+        self.depth_scratch.clear();
+        self.depth_scratch.resize(num_dims, 0);
+    }
+
+    /// Re-initialises the data-oriented stream buffers for a run over
+    /// `num_dims` dimensions and `num_colls` collectives (lanes are
+    /// dimension-major: `dim * num_colls + coll`). Also prepares the shared
+    /// per-collective flag buffers.
+    pub(crate) fn prepare_fast_stream(&mut self, num_dims: usize, num_colls: usize) {
+        self.prepare_stream(num_colls);
+        let lanes = num_dims * num_colls;
+        if self.fast_lanes.len() < lanes {
+            self.fast_lanes.resize_with(lanes, soa::Lane::default);
+        }
+        for active in &mut self.fast_active {
+            active.clear();
+        }
+        self.fast_active
+            .resize_with(num_dims, soa::ActiveSet::default);
+        self.pipe_last_busy_end.clear();
+        self.pipe_last_busy_end.resize(num_dims, f64::NEG_INFINITY);
+        for colls in &mut self.fast_ready_colls {
+            colls.clear();
+        }
+        self.fast_ready_colls.resize_with(num_dims, Vec::new);
+        self.fast_ready_count.clear();
+        self.fast_ready_count.resize(num_dims, 0);
+        self.fast_high_water.clear();
+        self.fast_high_water.resize(num_dims, 0);
+        self.fast_completions.clear();
         self.depth_scratch.clear();
         self.depth_scratch.resize(num_dims, 0);
     }

@@ -1,0 +1,340 @@
+//! Differential fuzzing of the data-oriented engines against the reference
+//! engines.
+//!
+//! Every cell draws a random topology, collective, scheduler and option set
+//! from a seeded LCG, runs it through both the fast loop (the default path)
+//! and the original heap-backed loop ([`SimOptions::reference_engine`]), and
+//! asserts the reports are **bit-identical** — full struct equality plus
+//! explicit `to_bits` checks on the headline floats. The seeds are fixed, so
+//! the tier-1 suite replays the exact same cells on every run; CI's nightly
+//! job raises the budget through `THEMIS_DIFF_CELLS`.
+
+use themis_collectives::CollectiveKind;
+use themis_core::{BaselineScheduler, CollectiveRequest, CollectiveScheduler, ThemisScheduler};
+use themis_net::{DataSize, DimensionSpec, NetworkTopology, TopologyKind};
+use themis_sim::{
+    FaultPlan, PipelineSimulator, SimError, SimOptions, SimReport, StreamEntry, StreamReport,
+    StreamSimulator,
+};
+
+/// Deterministic 64-bit LCG (Knuth's MMIX constants): the whole fuzz corpus
+/// is a pure function of the seed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() >> 11) as usize % bound.max(1)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    fn chance(&mut self, percent: usize) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// Scaling knob for CI's nightly job: multiplies every tier's cell count.
+fn budget_multiplier() -> usize {
+    std::env::var("THEMIS_DIFF_CELLS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(1, |v| v.max(1))
+}
+
+fn random_topology(rng: &mut Lcg) -> NetworkTopology {
+    let num_dims = 1 + rng.below(4);
+    let mut builder = NetworkTopology::builder(format!("fuzz-{num_dims}d"));
+    for _ in 0..num_dims {
+        let kind = match rng.below(3) {
+            0 => TopologyKind::Ring,
+            1 => TopologyKind::FullyConnected,
+            _ => TopologyKind::Switch,
+        };
+        let size = 2 + rng.below(7);
+        let bandwidth_gbps = rng.range_f64(25.0, 800.0);
+        let latency_ns = match rng.below(3) {
+            0 => 0.0,
+            1 => 50.0,
+            _ => 700.0,
+        };
+        builder = builder.dimension(
+            DimensionSpec::with_aggregate_bandwidth(kind, size, bandwidth_gbps, latency_ns)
+                .expect("generated dimension is valid"),
+        );
+    }
+    builder.build().expect("generated topology is valid")
+}
+
+fn random_request(rng: &mut Lcg) -> CollectiveRequest {
+    let kind = match rng.below(4) {
+        0 => CollectiveKind::AllReduce,
+        1 => CollectiveKind::ReduceScatter,
+        2 => CollectiveKind::AllGather,
+        _ => CollectiveKind::AllToAll,
+    };
+    CollectiveRequest::new(kind, DataSize::from_mib(rng.range_f64(0.5, 96.0)))
+}
+
+fn random_scheduler(rng: &mut Lcg) -> Box<dyn CollectiveScheduler> {
+    let chunks = [1, 2, 4, 8, 16][rng.below(5)];
+    if rng.chance(50) {
+        Box::new(BaselineScheduler::new(chunks))
+    } else {
+        Box::new(ThemisScheduler::new(chunks))
+    }
+}
+
+fn random_options(rng: &mut Lcg) -> SimOptions {
+    let mut options = SimOptions::default()
+        .with_max_concurrent_ops([1, 2, 4][rng.below(3)])
+        .with_op_log(rng.chance(50));
+    if rng.chance(25) {
+        options = options.with_enforced_order(true);
+    }
+    options
+}
+
+/// A fault plan guaranteed to leave the run completable: degradations are
+/// always recoverable-by-construction, and every `fail` is paired with a
+/// later `recover`.
+fn random_fault_plan(rng: &mut Lcg, num_dims: usize, horizon_ns: f64) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for _ in 0..=rng.below(3) {
+        let dim = rng.below(num_dims);
+        let at = rng.range_f64(0.0, horizon_ns);
+        if rng.chance(60) {
+            plan = plan.degrade(at, dim, rng.range_f64(0.1, 0.95));
+        } else {
+            plan = plan
+                .fail(at, dim)
+                .recover(at + rng.range_f64(horizon_ns * 0.05, horizon_ns * 0.8), dim);
+        }
+    }
+    plan
+}
+
+/// Asserts two engine outcomes agree exactly: bit-identical reports on
+/// success, the same error shape on failure.
+fn assert_same_sim(
+    cell: &str,
+    fast: Result<SimReport, SimError>,
+    reference: Result<SimReport, SimError>,
+) {
+    match (fast, reference) {
+        (Ok(fast), Ok(reference)) => {
+            assert_eq!(
+                fast.total_time_ns.to_bits(),
+                reference.total_time_ns.to_bits(),
+                "{cell}: makespans diverge: {} vs {}",
+                fast.total_time_ns,
+                reference.total_time_ns
+            );
+            for (dim, (f, r)) in fast.dims.iter().zip(reference.dims.iter()).enumerate() {
+                assert_eq!(
+                    f.busy_ns.to_bits(),
+                    r.busy_ns.to_bits(),
+                    "{cell}: dim {dim} busy_ns diverges"
+                );
+                assert_eq!(
+                    f.wire_bytes.to_bits(),
+                    r.wire_bytes.to_bits(),
+                    "{cell}: dim {dim} wire_bytes diverges"
+                );
+            }
+            assert_eq!(fast, reference, "{cell}: reports diverge");
+        }
+        (fast, reference) => {
+            assert_eq!(
+                format!("{fast:?}"),
+                format!("{reference:?}"),
+                "{cell}: outcomes diverge"
+            );
+        }
+    }
+}
+
+fn assert_same_stream(
+    cell: &str,
+    fast: Result<StreamReport, SimError>,
+    reference: Result<StreamReport, SimError>,
+) {
+    match (fast, reference) {
+        (Ok(fast), Ok(reference)) => {
+            assert_eq!(
+                fast.finish_ns.to_bits(),
+                reference.finish_ns.to_bits(),
+                "{cell}: finish times diverge: {} vs {}",
+                fast.finish_ns,
+                reference.finish_ns
+            );
+            assert_eq!(
+                fast.network_busy_ns.to_bits(),
+                reference.network_busy_ns.to_bits(),
+                "{cell}: network busy times diverge"
+            );
+            assert_eq!(
+                fast.overlap_ns.to_bits(),
+                reference.overlap_ns.to_bits(),
+                "{cell}: overlap times diverge"
+            );
+            assert_eq!(fast, reference, "{cell}: stream reports diverge");
+        }
+        (fast, reference) => {
+            assert_eq!(
+                format!("{fast:?}"),
+                format!("{reference:?}"),
+                "{cell}: outcomes diverge"
+            );
+        }
+    }
+}
+
+fn run_pipeline_cell(
+    cell: &str,
+    topo: &NetworkTopology,
+    options: &SimOptions,
+    rng: &mut Lcg,
+) -> bool {
+    let request = random_request(rng);
+    let mut scheduler = random_scheduler(rng);
+    let Ok(schedule) = scheduler.schedule(&request, topo) else {
+        // Some (kind, chunks, topology) draws are unschedulable; both
+        // engines would reject them in the same front-door validation.
+        return false;
+    };
+    let fast = PipelineSimulator::new(topo, options.clone()).run(&schedule);
+    let reference =
+        PipelineSimulator::new(topo, options.clone().with_reference_engine(true)).run(&schedule);
+    assert_same_sim(cell, fast, reference);
+    true
+}
+
+fn run_stream_cell(cell: &str, topo: &NetworkTopology, options: &SimOptions, rng: &mut Lcg) {
+    let num_colls = 1 + rng.below(5);
+    let entries: Vec<StreamEntry> = (0..num_colls)
+        .map(|i| {
+            let issue_ns = if rng.chance(40) {
+                0.0
+            } else {
+                rng.range_f64(0.0, 3e6)
+            };
+            StreamEntry::new(format!("coll-{i}"), issue_ns, random_request(rng))
+        })
+        .collect();
+    let chunks = [1, 2, 4, 8][rng.below(4)];
+    let themis = rng.chance(50);
+    let overlap = rng.chance(80);
+    let make_scheduler = |use_themis: bool| -> Box<dyn CollectiveScheduler> {
+        if use_themis {
+            Box::new(ThemisScheduler::new(chunks))
+        } else {
+            Box::new(BaselineScheduler::new(chunks))
+        }
+    };
+    let base = options.clone().with_cross_collective_overlap(overlap);
+    let fast = StreamSimulator::new(topo, base.clone()).run(&mut *make_scheduler(themis), &entries);
+    let reference = StreamSimulator::new(topo, base.with_reference_engine(true))
+        .run(&mut *make_scheduler(themis), &entries);
+    assert_same_stream(cell, fast, reference);
+}
+
+/// Guards against the corpus silently shrinking: at least three quarters of
+/// the drawn cells must actually have run both engines.
+fn assert_coverage(executed: usize, drawn: usize) {
+    assert!(
+        executed * 4 >= drawn * 3,
+        "only {executed} of {drawn} cells were schedulable"
+    );
+}
+
+#[test]
+fn pipeline_cells_are_bit_identical_across_engines() {
+    let cells = 70 * budget_multiplier();
+    let mut rng = Lcg::new(0x7E_15);
+    let mut executed = 0;
+    for index in 0..cells {
+        let topo = random_topology(&mut rng);
+        let options = random_options(&mut rng);
+        if run_pipeline_cell(&format!("pipeline cell {index}"), &topo, &options, &mut rng) {
+            executed += 1;
+        }
+    }
+    assert_coverage(executed, cells);
+}
+
+#[test]
+fn faulted_pipeline_cells_are_bit_identical_across_engines() {
+    let cells = 50 * budget_multiplier();
+    let mut rng = Lcg::new(0xFA_17);
+    let mut executed = 0;
+    for index in 0..cells {
+        let topo = random_topology(&mut rng);
+        let mut options = random_options(&mut rng);
+        // Scale fault times to the healthy makespan so boundaries land inside
+        // (and after) the run, exercising idle jumps and epoch switches.
+        let request = random_request(&mut rng);
+        let mut scheduler = random_scheduler(&mut rng);
+        let Ok(schedule) = scheduler.schedule(&request, &topo) else {
+            continue;
+        };
+        let Ok(healthy) = PipelineSimulator::new(&topo, options.clone()).run(&schedule) else {
+            continue;
+        };
+        options = options.with_faults(random_fault_plan(
+            &mut rng,
+            topo.num_dims(),
+            healthy.total_time_ns.max(1.0),
+        ));
+        let fast = PipelineSimulator::new(&topo, options.clone()).run(&schedule);
+        let reference = PipelineSimulator::new(&topo, options.clone().with_reference_engine(true))
+            .run(&schedule);
+        assert_same_sim(&format!("faulted pipeline cell {index}"), fast, reference);
+        executed += 1;
+    }
+    assert_coverage(executed, cells);
+}
+
+#[test]
+fn stream_cells_are_bit_identical_across_engines() {
+    let cells = 50 * budget_multiplier();
+    let mut rng = Lcg::new(0x57_2E);
+    for index in 0..cells {
+        let topo = random_topology(&mut rng);
+        let options = random_options(&mut rng);
+        run_stream_cell(&format!("stream cell {index}"), &topo, &options, &mut rng);
+    }
+}
+
+#[test]
+fn faulted_stream_cells_are_bit_identical_across_engines() {
+    let cells = 40 * budget_multiplier();
+    let mut rng = Lcg::new(0xFA_57);
+    for index in 0..cells {
+        let topo = random_topology(&mut rng);
+        let options =
+            random_options(&mut rng).with_faults(random_fault_plan(&mut rng, topo.num_dims(), 4e6));
+        run_stream_cell(
+            &format!("faulted stream cell {index}"),
+            &topo,
+            &options,
+            &mut rng,
+        );
+    }
+}

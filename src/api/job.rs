@@ -216,12 +216,8 @@ impl Job {
                 .get_or_build(platform.topology(), simulator.cost_model(), &schedule)
                 .map_err(ThemisError::from)?
         };
-        let report = simulator.run_prepared_cached(
-            &schedule,
-            &table,
-            workspace,
-            Some(plan.cost_tables()),
-        )?;
+        let report =
+            simulator.run_planned(&schedule, &table, workspace, Some(plan.cost_tables()))?;
         Ok(RunResult {
             config: self.config_on(platform),
             report,

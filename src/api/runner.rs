@@ -159,6 +159,35 @@ enum Backend {
     Parallel { threads: Option<NonZeroUsize> },
 }
 
+/// Upper bound on idle pooled workspaces; returns beyond the cap are dropped
+/// so a one-off wide parallel run does not pin its peak working set forever.
+const WORKSPACE_POOL_CAP: usize = 32;
+
+/// Process-wide pool of reusable [`SimWorkspace`]s.
+///
+/// `Runner` is a `Copy` configuration value that callers freely re-create per
+/// campaign, so the pool — not the runner — is what carries event-loop
+/// buffers and the op-matrix memo across executions. Checkout order is
+/// arbitrary; workspaces are pure caches, so which one a worker gets never
+/// affects results.
+static WORKSPACE_POOL: Mutex<Vec<SimWorkspace>> = Mutex::new(Vec::new());
+
+fn checkout_workspace() -> SimWorkspace {
+    WORKSPACE_POOL
+        .lock()
+        .ok()
+        .and_then(|mut pool| pool.pop())
+        .unwrap_or_default()
+}
+
+fn checkin_workspace(workspace: SimWorkspace) {
+    if let Ok(mut pool) = WORKSPACE_POOL.lock() {
+        if pool.len() < WORKSPACE_POOL_CAP {
+            pool.push(workspace);
+        }
+    }
+}
+
 /// Executes a list of [`RunSpec`]s and collects their [`RunResult`]s in spec
 /// order.
 ///
@@ -305,9 +334,10 @@ impl Runner {
     }
 
     /// Shared backend: runs `execute` over `items` sequentially or on the
-    /// worker pool, collecting results in item order. Every worker owns one
-    /// reusable [`SimWorkspace`], so event-loop allocations amortise across
-    /// the cells it claims.
+    /// worker pool, collecting results in item order. Every worker checks one
+    /// reusable [`SimWorkspace`] out of the process-wide pool, so event-loop
+    /// allocations and memoised op matrices amortise across the cells it
+    /// claims *and* across repeated executions.
     fn execute_tasks<T, R>(
         &self,
         items: &[T],
@@ -322,12 +352,14 @@ impl Runner {
             Backend::Parallel { .. } => self.worker_count(items.len()),
         };
         if workers <= 1 || items.len() <= 1 {
-            let mut workspace = SimWorkspace::new();
+            let mut workspace = checkout_workspace();
             // `collect` into a `Result` short-circuits at the first error.
-            return items
+            let results = items
                 .iter()
                 .map(|item| execute(item, &mut workspace))
                 .collect();
+            checkin_workspace(workspace);
+            return results;
         }
         let next = AtomicUsize::new(0);
         let errored = AtomicBool::new(false);
@@ -336,7 +368,7 @@ impl Runner {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
-                    let mut workspace = SimWorkspace::new();
+                    let mut workspace = checkout_workspace();
                     loop {
                         // Early exit: once any cell errors, stop claiming new
                         // cells instead of executing the rest of the matrix
@@ -357,6 +389,7 @@ impl Runner {
                             .lock()
                             .expect("no panics while holding the slot lock") = Some(result);
                     }
+                    checkin_workspace(workspace);
                 });
             }
         });

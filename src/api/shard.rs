@@ -987,6 +987,7 @@ pub(crate) fn platform_to_json(platform: &Platform) -> Json {
                     Json::Bool(options.cross_collective_overlap),
                 ),
                 ("record_op_log", Json::Bool(options.record_op_log)),
+                ("reference_engine", Json::Bool(options.reference_engine)),
                 (
                     "faults",
                     Json::Arr(
@@ -1077,6 +1078,13 @@ pub(crate) fn platform_from_json(value: &Json) -> Result<Platform, ThemisError> 
         cross_collective_overlap: options.field("cross_collective_overlap")?.as_bool()?,
         record_op_log: options.field("record_op_log")?.as_bool()?,
         faults,
+        // Optional for backward compatibility, like `faults`: specs
+        // serialized before the engine rewrite parse as fast-engine runs
+        // (bit-identical either way).
+        reference_engine: match options.get("reference_engine") {
+            Some(flag) => flag.as_bool()?,
+            None => false,
+        },
     }))
 }
 
