@@ -9,13 +9,16 @@
 //! ```text
 //! bench-gate BENCH_sim.json --matrix campaign --min 0.5
 //! bench-gate BENCH_sim.json --max-telemetry-overhead 25
+//! bench-gate CHAOS_report.json --chaos-scenarios 6
 //! ```
 //!
 //! With `--matrix`/`--min`, exits non-zero (with a diagnostic on stderr)
 //! when the report is missing, malformed, lacks the requested matrix, or the
 //! matrix's `speedup` field is below `--min`. With
 //! `--max-telemetry-overhead`, instead gates the report's measured
-//! telemetry-on vs telemetry-off warm-campaign slowdown percentage.
+//! telemetry-on vs telemetry-off warm-campaign slowdown percentage. With
+//! `--chaos-scenarios N`, instead gates a `bench-chaos` report: it must list
+//! at least N scenarios and every one of them must have passed.
 
 use std::process::ExitCode;
 use themis::api::json::Json;
@@ -31,12 +34,25 @@ fn gate(args: &[String]) -> Result<String, String> {
         ),
         None => None,
     };
+    let chaos_scenarios: Option<usize> = match take_flag(&mut args, "--chaos-scenarios")? {
+        Some(text) => Some(
+            text.parse()
+                .map_err(|_| "invalid --chaos-scenarios value".to_string())?,
+        ),
+        None => None,
+    };
     let [path] = args.as_slice() else {
         return Err("expected exactly one report file".to_string());
     };
     let text =
         std::fs::read_to_string(path).map_err(|err| format!("cannot read `{path}`: {err}"))?;
     let value = Json::parse(&text).map_err(|err| format!("{path}: {err}"))?;
+    if let Some(want) = chaos_scenarios {
+        if matrix.is_some() || min.is_some() || max_overhead.is_some() {
+            return Err("--chaos-scenarios cannot be combined with other gates".to_string());
+        }
+        return gate_chaos(path, &value, want);
+    }
     if value
         .field("kind")
         .and_then(|kind| kind.as_str())
@@ -93,6 +109,45 @@ fn gate(args: &[String]) -> Result<String, String> {
     }
     Ok(format!(
         "{matrix} matrix speedup {speedup:.2}x clears the {min}x floor"
+    ))
+}
+
+/// Gates a `bench-chaos` report: at least `want` scenarios, all passed.
+fn gate_chaos(path: &str, value: &Json, want: usize) -> Result<String, String> {
+    if value
+        .field("kind")
+        .and_then(|kind| kind.as_str())
+        .map_err(|err| format!("{path}: {err}"))?
+        != "chaos-bench"
+    {
+        return Err(format!("{path}: not a chaos-bench report"));
+    }
+    let scenarios = value
+        .field("scenarios")
+        .and_then(Json::as_arr)
+        .map_err(|err| format!("{path}: {err}"))?;
+    if scenarios.len() < want {
+        return Err(format!(
+            "{path}: only {} chaos scenarios ran, expected at least {want}",
+            scenarios.len()
+        ));
+    }
+    for scenario in scenarios {
+        let name = scenario
+            .field("name")
+            .and_then(Json::as_str)
+            .map_err(|err| format!("{path}: {err}"))?;
+        let passed = scenario
+            .field("passed")
+            .and_then(Json::as_bool)
+            .map_err(|err| format!("{path}: {err}"))?;
+        if !passed {
+            return Err(format!("chaos scenario `{name}` failed"));
+        }
+    }
+    Ok(format!(
+        "all {} chaos scenarios passed (floor {want})",
+        scenarios.len()
     ))
 }
 

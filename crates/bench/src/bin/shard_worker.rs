@@ -28,6 +28,7 @@
 
 use std::process::ExitCode;
 use themis::api::shard::{merge_reports, ShardPlan, ShardReport, ShardSpec, ShardStrategy};
+use themis::core::durable::{self, VerifiedRead};
 use themis::core::json::Json;
 use themis::core::telemetry::{self, log_event, LogLevel};
 use themis::prelude::*;
@@ -285,7 +286,10 @@ fn run(args: &[String]) -> Result<(), CmdError> {
     let report = spec
         .execute_with_cache_observed(&runner, &plan, observe)
         .map_err(|err| CmdError::Shard(err.to_string()))?;
-    std::fs::write(&out, report.to_json()).map_err(|err| format!("cannot write `{out}`: {err}"))?;
+    // Sealed + atomic: a worker killed mid-write can never leave a torn
+    // partial that a resume or merge would silently adopt.
+    durable::write_atomic(std::path::Path::new(&out), &report.to_json())
+        .map_err(|err| format!("cannot write `{out}`: {err}"))?;
 
     if let Some(path) = &cache_path {
         // Merge-publish: concurrent sibling workers finishing around the same
@@ -322,6 +326,19 @@ fn run(args: &[String]) -> Result<(), CmdError> {
     Ok(())
 }
 
+/// Reads one durable input file (partial report or cache dump), accepting
+/// sealed (checksum-verified) and legacy unsealed files, and failing loudly
+/// on a corrupt one — `merge`/`cache-merge` must never fold a torn file into
+/// an otherwise-good result.
+fn read_verified_body(path: &str) -> Result<String, String> {
+    match durable::read_verified(std::path::Path::new(path)) {
+        Ok(VerifiedRead::Clean(body)) | Ok(VerifiedRead::Legacy(body)) => Ok(body),
+        Ok(VerifiedRead::Corrupt { reason }) => Err(format!("`{path}` is corrupt: {reason}")),
+        Ok(VerifiedRead::Missing) => Err(format!("cannot read `{path}`: no such file")),
+        Err(err) => Err(format!("cannot read `{path}`: {err}")),
+    }
+}
+
 fn merge(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let out = take_flag(&mut args, "--out")?.ok_or("`merge` needs --out")?;
@@ -331,8 +348,7 @@ fn merge(args: &[String]) -> Result<(), String> {
     let partials = args
         .iter()
         .map(|path| {
-            let text = std::fs::read_to_string(path)
-                .map_err(|err| format!("cannot read `{path}`: {err}"))?;
+            let text = read_verified_body(path)?;
             ShardReport::from_json(&text).map_err(|err| format!("{path}: {err}"))
         })
         .collect::<Result<Vec<_>, String>>()?;
@@ -358,15 +374,14 @@ fn cache_merge(args: &[String]) -> Result<(), String> {
     }
     let dumps = args
         .iter()
-        .map(|path| {
-            std::fs::read_to_string(path).map_err(|err| format!("cannot read `{path}`: {err}"))
-        })
+        .map(|path| read_verified_body(path))
         .collect::<Result<Vec<String>, String>>()?;
     let merged = ScheduleCache::merge_dumps(dumps.iter().map(String::as_str))
         .map_err(|err| err.to_string())?;
     let entries = ScheduleCache::new();
     let loaded = entries.load(&merged).map_err(|err| err.to_string())?;
-    std::fs::write(&out, merged).map_err(|err| format!("cannot write `{out}`: {err}"))?;
+    durable::write_atomic(std::path::Path::new(&out), &merged)
+        .map_err(|err| format!("cannot write `{out}`: {err}"))?;
     eprintln!("merged {} dumps ({loaded} schedules) -> {out}", dumps.len());
     Ok(())
 }

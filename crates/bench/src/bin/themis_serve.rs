@@ -13,7 +13,7 @@
 //! ```text
 //! themis-serve [--socket PATH] [--cache FILE] [--worker PATH]
 //!              [--work-dir DIR] [--max-cells N] [--worker-threads N]
-//!              [--max-line-bytes N]
+//!              [--max-line-bytes N] [--max-in-flight N] [--deadline-ms MS]
 //! ```
 //!
 //! Without `--socket` the daemon serves stdin/stdout (one client, e.g. a
@@ -29,11 +29,22 @@
 //! it runs the requested paper figures through the **resident** plan cache
 //! (the `run_shared` suite) and reports the markdown plus the cache hit
 //! statistics — a second suite request reuses every schedule of the first.
+//!
+//! ## Resilience
+//!
+//! `--max-in-flight N` bounds concurrent heavy requests: excess clients get
+//! `status:"overloaded"` + `retry_after_ms` instead of unbounded queueing.
+//! `--deadline-ms MS` applies a default deadline to requests that carry
+//! none; deadline-exceeded simulations answer `status:"timeout"`. On
+//! SIGTERM (unix) the daemon **drains gracefully**: it stops accepting,
+//! lets in-flight requests finish, merge-publishes the warm schedule cache,
+//! and exits cleanly.
 
 use std::io::BufReader;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
 use themis::api::serve::{ServeOptions, Service};
 use themis::core::json::Json;
 use themis::core::telemetry::{log_event, LogLevel};
@@ -49,16 +60,58 @@ fn main() -> ExitCode {
     }
 }
 
+/// Latched by the SIGTERM handler; polled by the accept loop to begin a
+/// graceful drain.
+static TERMINATE: OnceLock<&'static AtomicBool> = OnceLock::new();
+
+fn terminate_flag() -> &'static AtomicBool {
+    TERMINATE.get_or_init(|| {
+        static FLAG: AtomicBool = AtomicBool::new(false);
+        &FLAG
+    })
+}
+
+/// SIGTERM → graceful drain, without a libc crate: the one symbol needed
+/// (`signal(2)`) is declared by hand, unix-only. The handler does nothing
+/// but a single atomic store — the only async-signal-safe thing it could do.
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::Ordering;
+
+    /// `SIGTERM` is 15 on every unix this workspace targets.
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigterm(_signum: i32) {
+        super::terminate_flag().store(true, Ordering::Relaxed);
+    }
+
+    /// Installs the handler. Best-effort: on failure the default
+    /// terminate-immediately disposition stays in place.
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
 const USAGE: &str = "\
 usage: themis-serve [--socket PATH] [--cache FILE] [--worker PATH]
                     [--work-dir DIR] [--max-cells N] [--worker-threads N]
-                    [--max-line-bytes N]
+                    [--max-line-bytes N] [--max-in-flight N] [--deadline-ms MS]
 
 Serve JSONL campaign requests (one JSON object per line) against one
 resident warm plan cache. Without --socket, serves stdin/stdout; with
 --socket, serves concurrent connections on a Unix domain socket.
 Request lines longer than --max-line-bytes (default 16 MiB) are rejected
-with a structured error instead of being buffered.
+with a structured error instead of being buffered. --max-in-flight sheds
+heavy requests beyond the budget with status:\"overloaded\";
+--deadline-ms applies a default deadline (status:\"timeout\") to requests
+that carry none. SIGTERM drains in-flight work, publishes the cache, and
+exits cleanly.
 ";
 
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
@@ -103,6 +156,20 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
         },
         None => None,
     };
+    let max_in_flight: Option<usize> = match take_flag(&mut args, "--max-in-flight")? {
+        Some(text) => Some(
+            text.parse()
+                .map_err(|_| "invalid --max-in-flight value".to_string())?,
+        ),
+        None => None,
+    };
+    let deadline_ms: Option<u64> = match take_flag(&mut args, "--deadline-ms")? {
+        Some(text) => Some(
+            text.parse()
+                .map_err(|_| "invalid --deadline-ms value".to_string())?,
+        ),
+        None => None,
+    };
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}\n{USAGE}"));
     }
@@ -124,6 +191,13 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
     if let Some(bytes) = max_line_bytes {
         options.max_line_bytes = bytes;
     }
+    if let Some(budget) = max_in_flight {
+        options.max_in_flight = budget;
+    }
+    options.default_deadline_ms = deadline_ms;
+
+    #[cfg(unix)]
+    sigterm::install();
 
     let service = Service::new(options);
     let loaded = service.load_cache_file().map_err(|err| err.to_string())?;
@@ -146,6 +220,16 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
         }
     }
 
+    // Graceful drain: whatever ended the serve loop (shutdown request,
+    // SIGTERM, EOF), let in-flight heavy requests finish before the warm
+    // cache is published and the process exits.
+    if !service.wait_idle(std::time::Duration::from_secs(30)) {
+        log_event(
+            LogLevel::Warn,
+            "serve.drain_timeout",
+            &[("in_flight", Json::Num(service.in_flight() as f64))],
+        );
+    }
     let published = service
         .publish_cache_file()
         .map_err(|err| err.to_string())?;
@@ -197,6 +281,14 @@ fn serve_socket(service: &Service, path: &str) -> Result<(), String> {
     let connections = AtomicU64::new(0);
     std::thread::scope(|scope| {
         while !service.shutdown_requested() {
+            if terminate_flag().load(Ordering::Relaxed) {
+                // SIGTERM: stop accepting; the scope join below drains every
+                // live connection (each finishes its current request, then
+                // its serve loop observes the shutdown flag and exits).
+                log_event(LogLevel::Info, "serve.sigterm", &[]);
+                service.begin_shutdown();
+                break;
+            }
             match listener.accept() {
                 Ok((stream, _)) => {
                     let id = connections.fetch_add(1, Ordering::Relaxed);

@@ -298,14 +298,17 @@ fn schedule_cache_merge_is_order_independent() {
     assert_eq!(ab, ba, "merge(A,B) must equal merge(B,A) byte for byte");
 
     // The merged dump warm-starts a fresh cache with every entry of both.
+    // Every file on this path is checksum-sealed, so the loads go through
+    // the verified reader.
     let merged = ScheduleCache::new();
-    let loaded = merged.load(&ab).unwrap();
+    let loaded = merged
+        .load_from_file(&scratch.path("merged-ab.json"))
+        .unwrap();
+    assert!(loaded > 0, "sealed merge output must load verified");
     let a = ScheduleCache::new();
-    a.load(&std::fs::read_to_string(scratch.path("cache-0.json")).unwrap())
-        .unwrap();
+    a.load_from_file(&scratch.path("cache-0.json")).unwrap();
     let b = ScheduleCache::new();
-    b.load(&std::fs::read_to_string(scratch.path("cache-1.json")).unwrap())
-        .unwrap();
+    b.load_from_file(&scratch.path("cache-1.json")).unwrap();
     assert!(loaded >= a.len().max(b.len()));
 }
 
@@ -514,4 +517,57 @@ fn faulted_sweeps_cross_the_process_boundary_bit_identically() {
         .unwrap();
     assert_eq!(outcome.merged.campaign(), Some(&reference));
     assert!(outcome.failures.is_empty());
+}
+
+#[test]
+fn resume_quarantines_corrupt_partials_and_reruns_the_shard() {
+    use themis::core::durable;
+
+    let specs = campaign_specs();
+    let reference = CampaignReport::new(Runner::sequential().execute(&specs).unwrap());
+    let scratch = Scratch::new("corrupt-resume");
+    let sweep = format!("corrupt-{}", std::process::id());
+
+    // Kill the sweep mid-run: shard 1's only attempt aborts after one cell,
+    // leaving shard 0's finished partial in the deterministic sweep dir.
+    let mut crash = OrchestratorOptions::new(WORKER).with_sweep_id(&sweep);
+    crash.shards = 2;
+    crash.work_dir = scratch.path("work");
+    crash.max_attempts = 1;
+    crash.fail_first_attempt = vec![(1, 1)];
+    assert!(Orchestrator::new(crash).run_campaign(&specs).is_err());
+    let partial = scratch.path(&format!("work/sweep-{sweep}/shard-0.partial.json"));
+    assert!(partial.exists(), "crash run left no shard-0 partial");
+
+    // Corrupt the survivor mid-body with the checksum trailer intact — the
+    // nastiest case, because the body still looks like plausible JSON.
+    let sealed = std::fs::read_to_string(&partial).unwrap();
+    let trailer_at = sealed
+        .rfind(durable::TRAILER_PREFIX)
+        .expect("partials are checksum-sealed");
+    let torn = format!("{}{}", &sealed[..trailer_at / 2], &sealed[trailer_at..]);
+    std::fs::write(&partial, torn).unwrap();
+
+    // The resume must NOT adopt the garbage: the torn partial is quarantined
+    // and shard 0 is re-simulated, merging bit-identically anyway.
+    let mut resume = OrchestratorOptions::new(WORKER).with_sweep_id(&sweep);
+    resume.shards = 2;
+    resume.work_dir = scratch.path("work");
+    resume.keep_files = true;
+    let outcome = Orchestrator::new(resume).run_campaign(&specs).unwrap();
+    assert_eq!(
+        outcome.resumed_shards,
+        Vec::<usize>::new(),
+        "a corrupt partial must never be adopted"
+    );
+    assert!(outcome.attempts[0] >= 1, "shard 0 was not re-run");
+    assert!(
+        scratch
+            .path(&format!(
+                "work/sweep-{sweep}/shard-0.partial.json.corrupt-0"
+            ))
+            .exists(),
+        "the torn partial was not quarantined"
+    );
+    assert_eq!(outcome.merged.campaign(), Some(&reference));
 }

@@ -21,12 +21,14 @@
 //! return the same `Arc` — either way the contents are identical, so reports
 //! stay bit-for-bit equal to the uncached path.
 
+use crate::durable::{self, VerifiedRead};
 use crate::error::ScheduleError;
 use crate::intra_dim::IntraDimPolicy;
 use crate::json::Json;
 use crate::schedule::{ChunkSchedule, CollectiveRequest, CollectiveSchedule, StageOp};
 use crate::scheduler::SchedulerKind;
 use crate::splitter::Splitter;
+use crate::telemetry::{log_event, LogLevel};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -363,17 +365,39 @@ impl ScheduleCache {
     /// cache. A missing file is a cold start, not an error: the method
     /// returns `Ok(0)`. Returns the number of entries inserted.
     ///
+    /// The file's checksum trailer (see [`crate::durable`]) is verified
+    /// first; legacy files without a trailer stay readable. A corrupt file —
+    /// a torn write, a flipped byte, or unparseable contents — is **not** an
+    /// error either: it is quarantined to `<path>.corrupt-<n>` (with a
+    /// structured log event and a bump of the `cache.corrupt_quarantined`
+    /// counter) and the load reports a cold start, so a damaged cache file
+    /// can never wedge a campaign. The cache simply rebuilds from scratch.
+    ///
     /// # Errors
     ///
-    /// Returns [`ScheduleError::Io`] when the file exists but cannot be read
-    /// and [`ScheduleError::Serialization`] when its contents are malformed.
+    /// Returns [`ScheduleError::Io`] when the file exists but cannot be read.
     pub fn load_from_file(&self, path: &Path) -> Result<usize, ScheduleError> {
-        match std::fs::read_to_string(path) {
-            Ok(text) => self.load(&text),
-            Err(err) if err.kind() == std::io::ErrorKind::NotFound => Ok(0),
-            Err(err) => Err(ScheduleError::Io {
-                reason: format!("cannot read `{}`: {err}", path.display()),
-            }),
+        let body = match durable::read_verified(path).map_err(|err| ScheduleError::Io {
+            reason: format!("cannot read `{}`: {err}", path.display()),
+        })? {
+            VerifiedRead::Missing => return Ok(0),
+            VerifiedRead::Clean(body) | VerifiedRead::Legacy(body) => body,
+            VerifiedRead::Corrupt { reason } => {
+                // Quarantine is best-effort: losing the rename race to a
+                // concurrent quarantine still ends in a clean cold start.
+                let _ = durable::quarantine(path, &reason);
+                return Ok(0);
+            }
+        };
+        match self.load(&body) {
+            Ok(inserted) => Ok(inserted),
+            Err(ScheduleError::Serialization { reason }) => {
+                // The checksum matched (or the file predates checksums) but
+                // the payload is not a cache dump: same quarantine treatment.
+                let _ = durable::quarantine(path, &reason);
+                Ok(0)
+            }
+            Err(err) => Err(err),
         }
     }
 
@@ -390,28 +414,23 @@ impl ScheduleCache {
     /// present keep their in-memory `Arc`s; the hit/miss counters are
     /// untouched. Returns the number of entries in the published union.
     ///
+    /// The written file is sealed with a checksum trailer and landed by
+    /// [`durable::write_atomic`], so a publisher killed mid-write leaves
+    /// either the previous complete file or the new complete file — never a
+    /// torn one. A pre-existing corrupt file is quarantined (see
+    /// [`ScheduleCache::load_from_file`]) and the publish rebuilds the file
+    /// from this cache's entries alone.
+    ///
     /// # Errors
     ///
     /// Returns [`ScheduleError::Io`] when the lock cannot be acquired within
-    /// its bounded wait or the file cannot be read/written, and
-    /// [`ScheduleError::Serialization`] when the existing file is malformed
-    /// (the file is left untouched in that case).
+    /// its bounded wait or the file cannot be read/written.
     pub fn publish_to_file(&self, path: &Path) -> Result<usize, ScheduleError> {
         let _lock = DumpFileLock::acquire(path)?;
         self.load_from_file(path)?;
         let dump = self.dump();
-        // Unique temp name per process so two publishers racing *between*
-        // lock generations never clobber each other's temp file.
-        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        std::fs::write(&tmp, &dump).map_err(|err| ScheduleError::Io {
-            reason: format!("cannot write `{}`: {err}", tmp.display()),
-        })?;
-        std::fs::rename(&tmp, path).map_err(|err| ScheduleError::Io {
-            reason: format!(
-                "cannot rename `{}` to `{}`: {err}",
-                tmp.display(),
-                path.display()
-            ),
+        durable::write_atomic(path, &dump).map_err(|err| ScheduleError::Io {
+            reason: format!("cannot write `{}`: {err}", path.display()),
         })?;
         Ok(self.len())
     }
@@ -491,7 +510,16 @@ impl DumpFileLock {
                             .and_then(|at| at.elapsed().ok())
                             .is_some_and(|age| age > Self::STALE);
                         if stale {
-                            let _ = std::fs::remove_file(&path);
+                            if std::fs::remove_file(&path).is_ok() {
+                                crate::telemetry::global()
+                                    .counter("cache.lock_takeover")
+                                    .inc();
+                                log_event(
+                                    LogLevel::Warn,
+                                    "cache.lock_takeover",
+                                    &[("lock", Json::Str(path.display().to_string()))],
+                                );
+                            }
                             continue;
                         }
                     }
@@ -966,13 +994,19 @@ mod tests {
 
         let merged = ScheduleCache::new();
         assert_eq!(merged.load_from_file(&path).unwrap(), 3);
-        // The published file equals the order-independent dump merge.
+        // The published file is sealed and its body equals the
+        // order-independent dump merge.
         let expected = ScheduleCache::merge_dumps([
             cache_with_sizes(&[16.0, 32.0]).dump().as_str(),
             cache_with_sizes(&[32.0, 64.0]).dump().as_str(),
         ])
         .unwrap();
-        assert_eq!(std::fs::read_to_string(&path).unwrap(), expected);
+        match durable::read_verified(&path).unwrap() {
+            VerifiedRead::Clean(body) => {
+                assert_eq!(body.trim_end_matches('\n'), expected.trim_end_matches('\n'));
+            }
+            other => panic!("published file should verify Clean, got {other:?}"),
+        }
         // The lock sentinel was released.
         assert!(!dir.file("schedules.json.lock").exists());
     }
@@ -982,12 +1016,58 @@ mod tests {
         let dir = TempDir::new("load");
         let cache = ScheduleCache::new();
         assert_eq!(cache.load_from_file(&dir.file("absent.json")).unwrap(), 0);
+        // A malformed (legacy, unsealed) file is quarantined, not fatal: the
+        // load reports a cold start and the evidence moves aside.
         let bad = dir.file("bad.json");
         std::fs::write(&bad, "not json").unwrap();
+        assert_eq!(cache.load_from_file(&bad).unwrap(), 0);
+        assert!(!bad.exists());
+        assert!(dir.file("bad.json.corrupt-0").exists());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn torn_cache_files_are_quarantined_and_rebuilt() {
+        let dir = TempDir::new("torn");
+        let path = dir.file("schedules.json");
+        cache_with_sizes(&[16.0, 32.0])
+            .publish_to_file(&path)
+            .unwrap();
+
+        // Tear the file: drop half the body but keep the checksum trailer,
+        // exactly what a killed non-atomic writer would leave behind.
+        let sealed = std::fs::read_to_string(&path).unwrap();
+        let trailer_at = sealed.rfind(durable::TRAILER_PREFIX).unwrap();
+        let torn = format!("{}{}", &sealed[..trailer_at / 2], &sealed[trailer_at..]);
+        std::fs::write(&path, torn).unwrap();
+
+        // The next load detects the tear, quarantines, and cold-starts.
+        let cache = ScheduleCache::new();
+        assert_eq!(cache.load_from_file(&path).unwrap(), 0);
+        assert!(!path.exists());
+        assert!(dir.file("schedules.json.corrupt-0").exists());
+
+        // A publish over the quarantined path rebuilds a verifiable file.
+        cache_with_sizes(&[64.0]).publish_to_file(&path).unwrap();
         assert!(matches!(
-            cache.load_from_file(&bad),
-            Err(ScheduleError::Serialization { .. })
+            durable::read_verified(&path).unwrap(),
+            VerifiedRead::Clean(_)
         ));
+        let rebuilt = ScheduleCache::new();
+        assert_eq!(rebuilt.load_from_file(&path).unwrap(), 1);
+    }
+
+    #[test]
+    fn legacy_unsealed_dumps_stay_loadable() {
+        let dir = TempDir::new("legacy");
+        let path = dir.file("schedules.json");
+        // A file written by `fs::write(path, cache.dump())` before sealing
+        // existed has no trailer — it must load, not quarantine.
+        let warm = cache_with_sizes(&[16.0]);
+        std::fs::write(&path, warm.dump()).unwrap();
+        let cache = ScheduleCache::new();
+        assert_eq!(cache.load_from_file(&path).unwrap(), 1);
+        assert!(path.exists());
     }
 
     #[test]
@@ -1012,14 +1092,45 @@ mod tests {
         let dir = TempDir::new("stale");
         let path = dir.file("schedules.json");
         let lock = dir.file("schedules.json.lock");
+        // Simulate a worker that died holding the lock: an orphaned sentinel
+        // backdated beyond the stale horizon.
         std::fs::write(&lock, "dead").unwrap();
-        // Backdate the sentinel beyond the stale horizon.
         let old = std::time::SystemTime::now() - Duration::from_secs(120);
         let file = std::fs::OpenOptions::new().write(true).open(&lock).unwrap();
         file.set_modified(old).unwrap();
         drop(file);
+        let takeovers_before = crate::telemetry::global()
+            .counter("cache.lock_takeover")
+            .get();
         cache_with_sizes(&[16.0]).publish_to_file(&path).unwrap();
         assert!(!lock.exists());
+        // The takeover was counted (observable via the `metrics` request).
+        assert_eq!(
+            crate::telemetry::global()
+                .counter("cache.lock_takeover")
+                .get(),
+            takeovers_before + 1
+        );
+    }
+
+    #[test]
+    fn fresh_locks_are_not_taken_over() {
+        let dir = TempDir::new("fresh-lock");
+        let lock = dir.file("schedules.json.lock");
+        std::fs::write(&lock, "alive").unwrap();
+        let takeovers_before = crate::telemetry::global()
+            .counter("cache.lock_takeover")
+            .get();
+        // A young sentinel blocks publishers until the bounded wait expires.
+        let held = DumpFileLock::acquire(&dir.file("other.json")).unwrap();
+        drop(held);
+        assert!(lock.exists());
+        assert_eq!(
+            crate::telemetry::global()
+                .counter("cache.lock_takeover")
+                .get(),
+            takeovers_before
+        );
     }
 
     #[test]

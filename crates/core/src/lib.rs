@@ -42,6 +42,7 @@
 pub mod baseline;
 pub mod cache;
 pub mod consistency;
+pub mod durable;
 pub mod error;
 pub mod ideal;
 pub mod intra_dim;
@@ -58,6 +59,7 @@ pub mod themis;
 pub use baseline::BaselineScheduler;
 pub use cache::{ScheduleCache, ScheduleKey};
 pub use consistency::{enforced_intra_dim_order, EnforcedOrder};
+pub use durable::VerifiedRead;
 pub use error::ScheduleError;
 pub use ideal::IdealEstimator;
 pub use intra_dim::IntraDimPolicy;

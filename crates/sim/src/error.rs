@@ -29,6 +29,12 @@ pub enum SimError {
         /// Number of chunk operations still outstanding.
         outstanding_ops: usize,
     },
+    /// The run was cooperatively cancelled (an explicit cancel or an expired
+    /// deadline on the workspace's [`CancelToken`](crate::CancelToken)).
+    Cancelled {
+        /// Simulation time at which the cancellation was observed, ns.
+        at_ns: f64,
+    },
     /// An underlying scheduling error.
     Schedule(ScheduleError),
     /// An underlying topology error.
@@ -47,6 +53,9 @@ impl fmt::Display for SimError {
                 f,
                 "simulation stalled at {at_ns} ns with {outstanding_ops} chunk operations outstanding"
             ),
+            SimError::Cancelled { at_ns } => {
+                write!(f, "simulation cancelled at {at_ns} ns (deadline exceeded or explicit cancel)")
+            }
             SimError::Schedule(err) => write!(f, "scheduling error: {err}"),
             SimError::Net(err) => write!(f, "topology error: {err}"),
         }
@@ -93,6 +102,7 @@ mod tests {
                 at_ns: 10.0,
                 outstanding_ops: 4,
             },
+            SimError::Cancelled { at_ns: 5.0 },
             SimError::Schedule(ScheduleError::EmptyCollective),
             SimError::Net(NetError::EmptyTopology),
         ];

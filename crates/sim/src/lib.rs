@@ -50,6 +50,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod calendar;
+pub mod cancel;
 pub mod engine;
 pub mod error;
 pub mod executor;
@@ -65,6 +66,7 @@ pub mod trace;
 pub mod workspace;
 
 pub use calendar::CalendarQueue;
+pub use cancel::CancelToken;
 pub use engine::{EventQueue, ScheduledEvent};
 pub use error::SimError;
 pub use executor::CollectiveExecutor;

@@ -276,6 +276,10 @@ impl<'a> PipelineSimulator<'a> {
             workspace.telemetry.ensure_dims(num_dims);
         }
         let loop_started = telemetry_on.then(std::time::Instant::now);
+        // Cloned out before the destructure; absent a token the per-iteration
+        // check is one `Option` test and the float path is untouched.
+        let cancel = workspace.cancel.clone();
+        let mut cancel_iter: u64 = 0;
         let SimWorkspace {
             pipe_ready: ready,
             pipe_active: active,
@@ -318,6 +322,12 @@ impl<'a> PipelineSimulator<'a> {
         }
 
         while outstanding > 0 {
+            if let Some(token) = &cancel {
+                if token.should_stop(cancel_iter) {
+                    return Err(SimError::Cancelled { at_ns: now });
+                }
+                cancel_iter += 1;
+            }
             // The fabric state of the current fault epoch: the table pricing
             // newly issued ops, the per-dimension issuance block, and the
             // time of the next boundary (the loop never advances across it in
@@ -593,6 +603,9 @@ impl<'a> PipelineSimulator<'a> {
             workspace.telemetry.ensure_dims(num_dims);
         }
         let loop_started = telemetry_on.then(std::time::Instant::now);
+        // Same cooperative-cancellation poll as the reference loop.
+        let cancel = workspace.cancel.clone();
+        let mut cancel_iter: u64 = 0;
         let SimWorkspace {
             ops,
             matrix_memo,
@@ -663,6 +676,12 @@ impl<'a> PipelineSimulator<'a> {
             ready_total += 1;
         }
         while outstanding > 0 {
+            if let Some(token) = &cancel {
+                if token.should_stop(cancel_iter) {
+                    return Err(SimError::Cancelled { at_ns: now });
+                }
+                cancel_iter += 1;
+            }
             let (blocked_dims, next_fault): (u64, Option<f64>) = match &fault_timeline {
                 Some(timeline) => {
                     let cur = &timeline.epochs()[epoch];

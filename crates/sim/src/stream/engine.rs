@@ -471,6 +471,10 @@ impl<'a> StreamSimulator<'a> {
             workspace.telemetry.ensure_dims(num_dims);
         }
         let loop_started = telemetry_on.then(std::time::Instant::now);
+        // Cloned out before the destructure; absent a token the per-iteration
+        // check is one `Option` test and the float path is untouched.
+        let cancel = workspace.cancel.clone();
+        let mut cancel_iter: u64 = 0;
         let SimWorkspace {
             stream_dims: dims,
             stream_completions: completions,
@@ -517,6 +521,12 @@ impl<'a> StreamSimulator<'a> {
         // and collectives in flight), not O(dims × collectives).
 
         while admit_ptr < colls.len() || outstanding > 0 {
+            if let Some(token) = &cancel {
+                if token.should_stop(cancel_iter) {
+                    return Err(SimError::Cancelled { at_ns: now });
+                }
+                cancel_iter += 1;
+            }
             // The fabric state of the current fault epoch (shared across
             // collectives: one plan, one set of boundaries and blocks).
             let (blocked, next_fault): (Option<&[bool]>, Option<f64>) = match &fault_timelines {
@@ -1002,6 +1012,9 @@ impl<'a> StreamSimulator<'a> {
             workspace.telemetry.ensure_dims(num_dims);
         }
         let loop_started = telemetry_on.then(std::time::Instant::now);
+        // Same cooperative-cancellation poll as the reference loop.
+        let cancel = workspace.cancel.clone();
+        let mut cancel_iter: u64 = 0;
         let SimWorkspace {
             ops,
             matrix_memo,
@@ -1089,6 +1102,12 @@ impl<'a> StreamSimulator<'a> {
         }
 
         while admit_ptr < colls.len() || outstanding > 0 {
+            if let Some(token) = &cancel {
+                if token.should_stop(cancel_iter) {
+                    return Err(SimError::Cancelled { at_ns: now });
+                }
+                cancel_iter += 1;
+            }
             let (blocked_dims, next_fault): (u64, Option<f64>) = match &fault_timelines {
                 Some(timelines) => match timelines.first() {
                     Some(timeline) => (

@@ -198,6 +198,12 @@ pub struct SimWorkspace {
     pub(crate) telemetry: SimTelemetry,
     /// Per-dimension ready-queue high watermark of the current run.
     pub(crate) depth_scratch: Vec<usize>,
+    // --- cancellation ---
+    /// The cooperative cancellation token of the current request, if any.
+    /// Both engines poll it at event-loop iteration boundaries; without a
+    /// token the checks reduce to one `Option` test per iteration and results
+    /// are bit-identical to a token-free run.
+    pub(crate) cancel: Option<crate::cancel::CancelToken>,
 }
 
 impl SimWorkspace {
@@ -220,6 +226,25 @@ impl SimWorkspace {
     /// The telemetry registry runs through this workspace flush into.
     pub fn telemetry(&self) -> &Registry {
         self.telemetry.registry()
+    }
+
+    /// Installs `token` as the cancellation token polled by every subsequent
+    /// run through this workspace (until [`SimWorkspace::clear_cancel`]).
+    pub fn set_cancel(&mut self, token: crate::cancel::CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Removes the installed cancellation token, returning the workspace to
+    /// the zero-cost uncancellable state. Callers that pool workspaces must
+    /// clear the token before checking a workspace back in, or an expired
+    /// deadline would leak into an unrelated request.
+    pub fn clear_cancel(&mut self) {
+        self.cancel = None;
+    }
+
+    /// The installed cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&crate::cancel::CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// Starts a `phase.schedule_ns` span through a pre-registered handle (no

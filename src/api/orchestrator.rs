@@ -28,10 +28,11 @@ use crate::api::stream::StreamSpec;
 use crate::error::ThemisError;
 use std::fmt;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, ExitStatus, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+use themis_core::durable::{self, VerifiedRead};
 use themis_core::json::Json;
 use themis_core::telemetry::{log_event, LogLevel};
 
@@ -549,32 +550,27 @@ impl Orchestrator {
                     FailureKind::BadReport,
                     format!("could not poll worker: {err}"),
                 ),
-                Ok(Some(status)) if status.success() => {
-                    match fs::read_to_string(&task.out_path)
-                        .ok()
-                        .and_then(|text| ShardReport::from_json(&text).ok())
-                    {
-                        Some(report) => {
-                            task.perf = fs::read_to_string(&task.progress_path)
-                                .ok()
-                                .and_then(|text| ShardPerf::from_heartbeat(&text));
-                            let mut fields = vec![
-                                ("shard", Json::Num(task.index as f64)),
-                                ("cells", Json::Num(report.len() as f64)),
-                                ("attempt", Json::Num(task.attempts as f64)),
-                            ];
-                            if let Some(perf) = task.perf {
-                                fields.push(("cells_per_sec", Json::Num(perf.cells_per_sec())));
-                            }
-                            log_event(LogLevel::Info, "orchestrator.shard_done", &fields);
-                            Step::Finish(Box::new(report))
+                Ok(Some(status)) if status.success() => match read_shard_report(&task.out_path) {
+                    Some(report) => {
+                        task.perf = fs::read_to_string(&task.progress_path)
+                            .ok()
+                            .and_then(|text| ShardPerf::from_heartbeat(&text));
+                        let mut fields = vec![
+                            ("shard", Json::Num(task.index as f64)),
+                            ("cells", Json::Num(report.len() as f64)),
+                            ("attempt", Json::Num(task.attempts as f64)),
+                        ];
+                        if let Some(perf) = task.perf {
+                            fields.push(("cells_per_sec", Json::Num(perf.cells_per_sec())));
                         }
-                        None => Step::Retry(
-                            FailureKind::BadReport,
-                            "worker exited cleanly but left no readable shard report".to_string(),
-                        ),
+                        log_event(LogLevel::Info, "orchestrator.shard_done", &fields);
+                        Step::Finish(Box::new(report))
                     }
-                }
+                    None => Step::Retry(
+                        FailureKind::BadReport,
+                        "worker exited cleanly but left no verifiable shard report".to_string(),
+                    ),
+                },
                 Ok(Some(status)) => Step::Retry(
                     FailureKind::WorkerExit,
                     match status.code() {
@@ -744,15 +740,38 @@ impl Orchestrator {
     }
 }
 
+/// Reads a worker's partial report with checksum verification: a sealed
+/// file must verify (a torn or tampered one is quarantined to
+/// `<path>.corrupt-<n>` and rejected), a legacy unsealed file is parsed
+/// as-is, and a verified-but-unparseable payload is quarantined too. `None`
+/// always means "treat the shard as not done".
+fn read_shard_report(out_path: &Path) -> Option<ShardReport> {
+    let body = match durable::read_verified(out_path) {
+        Ok(VerifiedRead::Clean(body)) | Ok(VerifiedRead::Legacy(body)) => body,
+        Ok(VerifiedRead::Corrupt { reason }) => {
+            let _ = durable::quarantine(out_path, &reason);
+            return None;
+        }
+        Ok(VerifiedRead::Missing) | Err(_) => return None,
+    };
+    match ShardReport::from_json(&body) {
+        Ok(report) => Some(report),
+        Err(err) => {
+            let _ = durable::quarantine(out_path, &err.to_string());
+            None
+        }
+    }
+}
+
 /// Checks whether `out_path` holds a shard report that can stand in for
-/// executing `spec`: readable, parseable, and an exact structural match
+/// executing `spec`: verified ([`read_shard_report`] — a truncated or
+/// corrupted file from a crash mid-write is quarantined and rejected, so
+/// resume can never adopt garbage), parseable, and an exact structural match
 /// (shard index, shard count, cell kind, and the global indices of every
-/// cell). Anything less — truncated file from a crash mid-write, a report
-/// from a different plan reusing the sweep id — is rejected and the shard
-/// is executed normally.
-fn resumable_report(out_path: &PathBuf, spec: &ShardSpec) -> Option<ShardReport> {
-    let text = fs::read_to_string(out_path).ok()?;
-    let report = ShardReport::from_json(&text).ok()?;
+/// cell). Anything less — e.g. a report from a different plan reusing the
+/// sweep id — is rejected and the shard is executed normally.
+fn resumable_report(out_path: &Path, spec: &ShardSpec) -> Option<ShardReport> {
+    let report = read_shard_report(out_path)?;
     let matches = report.shard_index() == spec.shard_index()
         && report.shard_count() == spec.shard_count()
         && report.is_stream() == spec.is_stream()

@@ -48,6 +48,32 @@
 //! served from the plan cache) — the second identical campaign request
 //! reports `cells.hits > 0` without simulating anything.
 //!
+//! ## Deadlines, backpressure, and panic isolation
+//!
+//! Beyond `ok` and `error`, two structured statuses make overload and
+//! slowness first-class protocol citizens instead of hung connections:
+//!
+//! * **`timeout`** — `campaign`/`stream` requests may carry a `deadline_ms`
+//!   field (or inherit [`ServeOptions::default_deadline_ms`]). The deadline
+//!   becomes a [`CancelToken`] polled at the simulation event-loop epochs;
+//!   an expired request answers `status:"timeout"` and its partially
+//!   computed cell is *forgotten*, never memoised. Counted in
+//!   `serve.timeouts`.
+//! * **`overloaded`** — with [`ServeOptions::max_in_flight`] set, heavy
+//!   requests past the in-flight budget are **shed immediately** with
+//!   `status:"overloaded"` + `retry_after_ms` rather than queued, so a
+//!   flood degrades into prompt retry advice instead of unbounded latency.
+//!   Light kinds (`ping`, `cache-stats`, `cache-publish`, `metrics`,
+//!   `shutdown`) bypass admission so health checks work under load. Counted
+//!   in `serve.shed`.
+//!
+//! A panicking request handler (or cell computation) is caught, answered as
+//! a structured `status:"error"` response, and counted in `serve.panics`;
+//! only the panicking cell's cache slot is poisoned — the daemon and every
+//! concurrent request keep running. Both defaults are off: with no deadline
+//! and no budget configured, behavior (and every report byte) is identical
+//! to the unhardened service.
+//!
 //! ## Cell dedup across concurrent requests
 //!
 //! Identical cells are deduplicated with a single-flight result cache: when
@@ -68,13 +94,14 @@ use crate::api::stream::{StreamCampaignReport, StreamRunResult, StreamSpec};
 use crate::error::ThemisError;
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use themis_core::telemetry::{CacheStats, Registry};
 use themis_core::SimPlanCache;
-use themis_sim::SimWorkspace;
+use themis_sim::{CancelToken, SimWorkspace};
 
 /// Configuration of a [`Service`].
 #[derive(Debug, Clone, PartialEq)]
@@ -99,6 +126,19 @@ pub struct ServeOptions {
     /// response, so a hostile or buggy client can never balloon the daemon's
     /// memory. Default 16 MiB.
     pub max_line_bytes: usize,
+    /// Admission budget: how many *heavy* requests (campaign, stream, shard,
+    /// sweep, extension kinds) may be in flight at once. Requests beyond the
+    /// budget are **shed** with a `status:"overloaded"` response carrying a
+    /// `retry_after_ms` hint instead of queueing unboundedly. `0` (the
+    /// default) disables admission control entirely — the unconfigured
+    /// service behaves exactly as before.
+    pub max_in_flight: usize,
+    /// Deadline applied to requests that do not carry their own
+    /// `deadline_ms` field, in milliseconds. `None` (the default) means no
+    /// implicit deadline.
+    pub default_deadline_ms: Option<u64>,
+    /// The `retry_after_ms` hint attached to `status:"overloaded"` responses.
+    pub retry_after_ms: u64,
 }
 
 /// Default request-line cap: 16 MiB (comfortably above any real campaign
@@ -114,9 +154,16 @@ impl Default for ServeOptions {
             max_resident_cells: 4096,
             worker_threads: 1,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            max_in_flight: 0,
+            default_deadline_ms: None,
+            retry_after_ms: DEFAULT_RETRY_AFTER_MS,
         }
     }
 }
+
+/// Default `retry_after_ms` hint on shed responses: long enough for a typical
+/// cell to finish, short enough that a polite client retries promptly.
+pub const DEFAULT_RETRY_AFTER_MS: u64 = 100;
 
 /// The resident campaign service: a persistent warm [`SimPlanCache`], a
 /// single-flight result cache, and a JSONL request handler.
@@ -141,6 +188,10 @@ pub struct Service {
     plan: SimPlanCache,
     cells: CellCache,
     shutdown: AtomicBool,
+    /// Heavy requests currently being dispatched; the admission budget
+    /// ([`ServeOptions::max_in_flight`]) caps it and [`Service::wait_idle`]
+    /// drains it.
+    in_flight: AtomicUsize,
     /// Per-instance telemetry: per-kind request counters, latency histograms,
     /// and the sim counters of every workspace this service creates. The
     /// `metrics` request kind snapshots it.
@@ -162,6 +213,7 @@ impl Service {
             plan: SimPlanCache::new(),
             cells,
             shutdown: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
             telemetry: Registry::new(),
         }
     }
@@ -186,10 +238,37 @@ impl Service {
         self.cells.len()
     }
 
-    /// `true` once a `shutdown` request has been handled; serve loops exit
-    /// and socket daemons stop accepting.
+    /// `true` once a `shutdown` request has been handled (or
+    /// [`Service::begin_shutdown`] was called — e.g. from a signal handler);
+    /// serve loops exit and socket daemons stop accepting.
     pub fn shutdown_requested(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Requests a graceful shutdown from outside the protocol (the
+    /// `themis-serve` binary calls this from its SIGTERM handler): serve
+    /// loops stop accepting new work; in-flight requests run to completion
+    /// and are drained with [`Service::wait_idle`].
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Number of heavy requests currently being dispatched.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until no heavy request is in flight (the graceful-drain half of
+    /// shutdown) or `timeout` elapses. Returns `true` when idle was reached.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.in_flight() > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
     }
 
     /// Warm-starts the schedule cache from [`ServeOptions::cache_file`]
@@ -249,8 +328,33 @@ impl Service {
         self.telemetry
             .counter(format!("serve.requests.{kind}"))
             .inc();
+        // Bounded admission: heavy kinds are shed — never queued — beyond
+        // the in-flight budget, so a client flood degrades into prompt
+        // `overloaded` responses instead of unbounded latency and memory.
+        let _permit = if is_heavy_kind(&kind) {
+            match InFlightPermit::acquire(self) {
+                Some(permit) => Some(permit),
+                None => {
+                    self.telemetry.counter("serve.shed").inc();
+                    return render_overloaded(&id, &kind, self.options.retry_after_ms);
+                }
+            }
+        } else {
+            None
+        };
         let started = Instant::now();
-        let result = self.dispatch(&kind, &request, ext);
+        // Panic isolation: a panicking handler answers a structured error on
+        // this request and leaves the daemon (and every other request) alive.
+        // Cell computations carry their own inner guard (see
+        // `compute_isolated`) so a panicking cell also releases its
+        // single-flight slot; this outer net catches everything else.
+        let result = catch_unwind(AssertUnwindSafe(|| self.dispatch(&kind, &request, ext)))
+            .unwrap_or_else(|payload| {
+                self.telemetry.counter("serve.panics").inc();
+                Err(ThemisError::Serve {
+                    reason: format!("request panicked: {}", panic_message(payload.as_ref())),
+                })
+            });
         self.telemetry
             .histogram(format!("serve.latency_ns.{kind}"))
             .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
@@ -265,6 +369,10 @@ impl Service {
                     ("cache", delta.to_json(self)),
                 ])
                 .render()
+            }
+            Err(err) if err.is_cancelled() => {
+                self.telemetry.counter("serve.timeouts").inc();
+                render_timeout(&id, &kind)
             }
             Err(err) => {
                 self.telemetry.counter(format!("serve.errors.{kind}")).inc();
@@ -359,6 +467,9 @@ impl Service {
     /// [`Runner::execute`] on the same specs.
     fn handle_campaign(&self, request: &Json) -> Result<Json, ThemisError> {
         let mut workspace = SimWorkspace::with_telemetry(self.telemetry.clone());
+        if let Some(token) = self.deadline_token(request)? {
+            workspace.set_cancel(token);
+        }
         let mut results = Vec::new();
         for cell in request.field("cells")?.as_arr()? {
             let spec = RunSpec::new(
@@ -372,13 +483,13 @@ impl Service {
                 platform_to_json(&spec.platform).render(),
                 job_to_json(&spec.job).render()
             );
-            let value = self.cells.get_or_compute(key, || {
+            let value = self.compute_isolated(&key, || {
                 spec.execute_planned(&self.plan, &mut workspace)
                     .map(CellValue::Campaign)
             })?;
             match value {
                 CellValue::Campaign(result) => results.push(result),
-                CellValue::Stream(_) => unreachable!("campaign keys hold campaign results"),
+                _ => unreachable!("campaign keys hold campaign results"),
             }
         }
         Ok(CampaignReport::new(results).to_json_value())
@@ -388,6 +499,9 @@ impl Service {
     /// [`Service::handle_campaign`].
     fn handle_stream(&self, request: &Json) -> Result<Json, ThemisError> {
         let mut workspace = SimWorkspace::with_telemetry(self.telemetry.clone());
+        if let Some(token) = self.deadline_token(request)? {
+            workspace.set_cancel(token);
+        }
         let mut results = Vec::new();
         for cell in request.field("cells")?.as_arr()? {
             let spec = StreamSpec::new(
@@ -399,16 +513,92 @@ impl Service {
                 platform_to_json(&spec.platform).render(),
                 stream_job_to_json(&spec.job).render()
             );
-            let value = self.cells.get_or_compute(key, || {
+            let value = self.compute_isolated(&key, || {
                 spec.execute_planned(&self.plan, &mut workspace)
                     .map(CellValue::Stream)
             })?;
             match value {
                 CellValue::Stream(result) => results.push(result),
-                CellValue::Campaign(_) => unreachable!("stream keys hold stream results"),
+                _ => unreachable!("stream keys hold stream results"),
             }
         }
         Ok(StreamCampaignReport::new(results).to_json_value())
+    }
+
+    /// The request's cooperative-cancellation token: its `deadline_ms` field
+    /// if present, the service's [`ServeOptions::default_deadline_ms`]
+    /// otherwise, `None` when neither is configured (the common case — no
+    /// token means the simulation event loops skip the deadline poll
+    /// entirely).
+    fn deadline_token(&self, request: &Json) -> Result<Option<CancelToken>, ThemisError> {
+        let ms = match request.get("deadline_ms") {
+            Some(value) => Some(value.as_f64()?),
+            None => self.options.default_deadline_ms.map(|ms| ms as f64),
+        };
+        Ok(ms.map(|ms| CancelToken::with_timeout(Duration::from_secs_f64(ms.max(0.0) / 1000.0))))
+    }
+
+    /// Runs one cell computation through the single-flight cache with panic
+    /// isolation and timeout-aware memoisation:
+    ///
+    /// * a panic inside the simulator becomes a structured error (counted in
+    ///   `serve.panics`) that poisons **only this cell's slot** — the daemon
+    ///   and every concurrent request keep running;
+    /// * a cancelled (deadline-exceeded) run is *forgotten* instead of
+    ///   memoised, so a later request with a saner deadline recomputes the
+    ///   cell instead of replaying the timeout forever.
+    fn compute_isolated(
+        &self,
+        key: &str,
+        compute: impl FnOnce() -> Result<CellValue, ThemisError>,
+    ) -> Result<CellValue, ThemisError> {
+        let result = self.cells.get_or_compute(key.to_string(), || {
+            match catch_unwind(AssertUnwindSafe(compute)) {
+                Ok(result) => result,
+                Err(payload) => {
+                    self.telemetry.counter("serve.panics").inc();
+                    Err(ThemisError::Serve {
+                        reason: format!(
+                            "cell computation panicked: {}",
+                            panic_message(payload.as_ref())
+                        ),
+                    })
+                }
+            }
+        });
+        if let Err(err) = &result {
+            if err.is_cancelled() {
+                self.cells.forget(key);
+            }
+        }
+        result
+    }
+
+    /// Runs an extension-hook computation through the resident single-flight
+    /// cell cache with the same guarantees as built-in cells: identical keys
+    /// — sequential or racing across threads — compute once, a panic poisons
+    /// only this key's slot (structured error, `serve.panics` counted), and a
+    /// cancelled run is forgotten instead of memoised. For use from the
+    /// `ext` hook of [`Service::handle_line_with`]; prefix keys with the
+    /// extension's kind to stay clear of the built-in `campaign:`/`stream:`
+    /// namespaces.
+    ///
+    /// # Errors
+    ///
+    /// Returns the computation's own error (memoised, so a deterministic
+    /// failure fails identically on every repeat), or a
+    /// [`ThemisError::Serve`] if `key` collides with a non-extension cell.
+    pub fn compute_cell(
+        &self,
+        key: &str,
+        compute: impl FnOnce() -> Result<Json, ThemisError>,
+    ) -> Result<Json, ThemisError> {
+        match self.compute_isolated(key, || compute().map(CellValue::Ext))? {
+            CellValue::Ext(value) => Ok(value),
+            _ => Err(ThemisError::Serve {
+                reason: format!("cell key `{key}` already holds a built-in cell result"),
+            }),
+        }
     }
 
     /// Executes a `shard` request against the resident plan cache.
@@ -594,10 +784,27 @@ impl Service {
     /// rates.
     fn handle_metrics(&self) -> Json {
         let snapshot = self.telemetry.snapshot();
+        // Corruption quarantines and lock takeovers happen inside
+        // `themis_core`, which only sees the process-wide registry — surface
+        // them here so one `metrics` request covers both layers.
+        let global = themis_core::telemetry::global().snapshot();
         let totals = self.counters();
         Json::obj([
             ("snapshot", snapshot.to_json()),
             ("prometheus", Json::Str(snapshot.to_prometheus())),
+            (
+                "global",
+                Json::obj([
+                    (
+                        "cache.corrupt_quarantined",
+                        Json::Num(global.counter("cache.corrupt_quarantined") as f64),
+                    ),
+                    (
+                        "cache.lock_takeover",
+                        Json::Num(global.counter("cache.lock_takeover") as f64),
+                    ),
+                ]),
+            ),
             ("caches", self.cache_stats_json()),
             (
                 "hit_rates",
@@ -708,6 +915,102 @@ fn render_error(id: &Json, reason: &str) -> String {
     .render()
 }
 
+/// Renders a `status:"overloaded"` load-shed response with its retry hint.
+fn render_overloaded(id: &Json, kind: &str, retry_after_ms: u64) -> String {
+    Json::obj([
+        ("id", id.clone()),
+        ("status", Json::Str("overloaded".to_string())),
+        ("kind", Json::Str(kind.to_string())),
+        ("retry_after_ms", Json::Num(retry_after_ms as f64)),
+        (
+            "error",
+            Json::Str("in-flight request budget exhausted; retry later".to_string()),
+        ),
+    ])
+    .render()
+}
+
+/// Renders a `status:"timeout"` deadline-exceeded response.
+fn render_timeout(id: &Json, kind: &str) -> String {
+    Json::obj([
+        ("id", id.clone()),
+        ("status", Json::Str("timeout".to_string())),
+        ("kind", Json::Str(kind.to_string())),
+        (
+            "error",
+            Json::Str("request deadline exceeded; the simulation was cancelled".to_string()),
+        ),
+    ])
+    .render()
+}
+
+/// Heavy kinds run simulations or spawn processes and are subject to
+/// admission control; light kinds (cheap introspection and shutdown) always
+/// pass so a saturated daemon stays observable and stoppable. Unknown kinds
+/// count as heavy — extension hooks (e.g. the figure-suite runner) do real
+/// work too.
+fn is_heavy_kind(kind: &str) -> bool {
+    !matches!(
+        kind,
+        "ping" | "cache-stats" | "cache-publish" | "metrics" | "shutdown"
+    )
+}
+
+/// Best-effort panic payload message (panics carry `&str` or `String` in
+/// practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// RAII admission slot: acquired before dispatching a heavy request,
+/// released (and the `serve.in_flight` gauge updated) on drop — error paths
+/// and panics included.
+struct InFlightPermit<'a> {
+    service: &'a Service,
+}
+
+impl<'a> InFlightPermit<'a> {
+    /// Tries to take one admission slot. Returns `None` when the budget
+    /// ([`ServeOptions::max_in_flight`] > 0) is exhausted.
+    fn acquire(service: &'a Service) -> Option<Self> {
+        let cap = service.options.max_in_flight;
+        let admitted = service
+            .in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |current| {
+                if cap > 0 && current >= cap {
+                    None
+                } else {
+                    Some(current + 1)
+                }
+            })
+            .is_ok();
+        if !admitted {
+            return None;
+        }
+        service
+            .telemetry
+            .gauge("serve.in_flight")
+            .set(service.in_flight.load(Ordering::Relaxed) as u64);
+        Some(InFlightPermit { service })
+    }
+}
+
+impl Drop for InFlightPermit<'_> {
+    fn drop(&mut self) {
+        let now = self.service.in_flight.fetch_sub(1, Ordering::AcqRel) - 1;
+        self.service
+            .telemetry
+            .gauge("serve.in_flight")
+            .set(now as u64);
+    }
+}
+
 /// Cumulative cache counters at one instant — one [`CacheStats`] per memo
 /// layer, so deltas and serialization reuse the shared view instead of
 /// hand-rolled per-field subtraction.
@@ -745,6 +1048,8 @@ enum CellValue {
     Campaign(RunResult),
     /// A stream-campaign cell.
     Stream(StreamRunResult),
+    /// An extension-hook cell ([`Service::compute_cell`]).
+    Ext(Json),
 }
 
 /// State of one cell slot: being computed by its first requester, or done.
@@ -848,12 +1153,20 @@ impl CellCache {
         };
         if owner {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            // Even if `compute` unwinds, the slot must reach `Done` —
+            // otherwise every concurrent waiter on this cell blocks forever
+            // on a condvar nobody will ever signal.
+            let mut completion = SlotCompletionGuard {
+                slot: &slot,
+                completed: false,
+            };
             let result = compute();
             let memo = match &result {
                 Ok(value) => Ok(value.clone()),
                 Err(err) => Err(err.to_string()),
             };
             *slot.state.lock().expect("cell slot lock is never poisoned") = SlotState::Done(memo);
+            completion.completed = true;
             slot.ready.notify_all();
             result
         } else {
@@ -872,6 +1185,41 @@ impl CellCache {
                 }),
                 SlotState::InFlight => unreachable!("the wait loop exits only on Done"),
             }
+        }
+    }
+
+    /// Drops the memo for `key` (waiters already holding the slot's `Arc`
+    /// still observe its final state). Used for request-scoped failures —
+    /// deadline timeouts — that must not poison the cell for later requests.
+    fn forget(&self, key: &str) {
+        let mut slots = self
+            .slots
+            .lock()
+            .expect("cell cache lock is never poisoned");
+        if slots.map.remove(key).is_some() {
+            slots.order.retain(|entry| entry != key);
+        }
+    }
+}
+
+/// Backstop ensuring an owner that unwinds mid-computation still completes
+/// its slot: waiters get a structured error instead of a hang.
+struct SlotCompletionGuard<'a> {
+    slot: &'a CellSlot,
+    completed: bool,
+}
+
+impl Drop for SlotCompletionGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            *self
+                .slot
+                .state
+                .lock()
+                .expect("cell slot lock is never poisoned") = SlotState::Done(Err(
+                "cell computation panicked before completing".to_string(),
+            ));
+            self.slot.ready.notify_all();
         }
     }
 }

@@ -48,6 +48,16 @@ pub enum ThemisError {
     },
 }
 
+impl ThemisError {
+    /// `true` when this error is a cooperative cancellation — an expired
+    /// request deadline or an explicit cancel observed by a simulation event
+    /// loop ([`SimError::Cancelled`]). The service layer maps these to
+    /// `status:"timeout"` responses instead of generic errors.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, ThemisError::Sim(SimError::Cancelled { .. }))
+    }
+}
+
 impl fmt::Display for ThemisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

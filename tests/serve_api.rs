@@ -354,3 +354,254 @@ fn orchestrating_zero_shards_is_rejected() {
     let err = orchestrator.run_shards(&[]).unwrap_err();
     assert!(matches!(err, ThemisError::Serve { .. }));
 }
+
+/// Deterministic 64-bit LCG (Knuth MMIX constants) for the parser fuzz test:
+/// the seed is fixed, so a failure reproduces exactly.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() >> 16) as usize % bound.max(1)
+    }
+}
+
+#[test]
+fn fuzzed_request_lines_always_get_structured_responses() {
+    let service = Service::default();
+    let base = request(
+        77,
+        "campaign",
+        vec![("cells", campaign_cells_to_json(&campaign_specs()))],
+    );
+    let mut rng = Lcg(0xD15EA5E);
+    for round in 0..500usize {
+        let mut bytes = base.clone().into_bytes();
+        match round % 3 {
+            // Replace a few bytes with random printable ASCII (valid UTF-8,
+            // rarely valid JSON).
+            0 => {
+                for _ in 0..1 + rng.below(4) {
+                    let at = rng.below(bytes.len());
+                    bytes[at] = 0x20 + (rng.below(0x5f) as u8);
+                }
+            }
+            // Truncate the line anywhere, including inside a token.
+            1 => bytes.truncate(rng.below(bytes.len())),
+            // Truncate, then mutate what is left.
+            _ => {
+                bytes.truncate(1 + rng.below(bytes.len() - 1));
+                let at = rng.below(bytes.len());
+                bytes[at] = 0x20 + (rng.below(0x5f) as u8);
+            }
+        }
+        let line = String::from_utf8(bytes).unwrap();
+        // The contract: never a panic or hang — always one parseable response
+        // with a status, echoing the request id whenever one survived.
+        let response = Json::parse(&service.handle_line(&line)).unwrap_or_else(|err| {
+            panic!("round {round}: unstructured response to {line:?}: {err}")
+        });
+        response
+            .field("status")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|err| panic!("round {round}: response without status: {err}"));
+        if let Ok(request) = Json::parse(&line) {
+            if let Some(id) = request.get("id") {
+                assert_eq!(
+                    response.get("id"),
+                    Some(id),
+                    "round {round}: id not echoed for {line:?}"
+                );
+            }
+        }
+    }
+    // The service survived the whole run.
+    parse_ok(&service.handle_line(&request(78, "ping", vec![])));
+}
+
+#[test]
+fn zero_deadline_requests_time_out_with_structured_status() {
+    let service = Service::default();
+    // deadline_ms:0 expires before the first simulator epoch: deterministic.
+    let response = Json::parse(&service.handle_line(&request(
+        1,
+        "campaign",
+        vec![
+            ("cells", campaign_cells_to_json(&campaign_specs())),
+            ("deadline_ms", Json::Num(0.0)),
+        ],
+    )))
+    .unwrap();
+    assert_eq!(
+        response.field("status").unwrap().as_str().unwrap(),
+        "timeout"
+    );
+    assert_eq!(response.field("id").unwrap().as_usize().unwrap(), 1);
+    assert_eq!(service.telemetry().snapshot().counter("serve.timeouts"), 1);
+
+    // The timed-out cell was forgotten, not memoised: the identical request
+    // without a deadline simulates cleanly and bit-identically.
+    let reference = CampaignReport::new(Runner::sequential().execute(&campaign_specs()).unwrap());
+    let response = parse_ok(&service.handle_line(&request(
+        2,
+        "campaign",
+        vec![("cells", campaign_cells_to_json(&campaign_specs()))],
+    )));
+    let report = CampaignReport::from_json(&response.field("result").unwrap().render()).unwrap();
+    assert_eq!(report, reference);
+}
+
+#[test]
+fn requests_past_the_admission_budget_are_shed_not_queued() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Condvar, Mutex};
+
+    let service = Service::new(ServeOptions {
+        max_in_flight: 1,
+        ..ServeOptions::default()
+    });
+    let release = (Mutex::new(false), Condvar::new());
+    let occupied = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // One ext-hook request blocks inside its handler, holding the whole
+        // in-flight budget.
+        let blocker = scope.spawn(|| {
+            service.handle_line_with(&request(1, "block", vec![]), |_, kind, _| {
+                (kind == "block").then(|| {
+                    occupied.store(true, Ordering::Release);
+                    let (lock, signal) = &release;
+                    let mut released = lock.lock().unwrap();
+                    while !*released {
+                        released = signal.wait(released).unwrap();
+                    }
+                    Ok(Json::obj([("ok", Json::Bool(true))]))
+                })
+            })
+        });
+        while !occupied.load(Ordering::Acquire) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(service.in_flight(), 1);
+        // Heavy requests past the budget: shed immediately with retry advice.
+        let response = Json::parse(&service.handle_line(&request(
+            2,
+            "campaign",
+            vec![("cells", campaign_cells_to_json(&campaign_specs()))],
+        )))
+        .unwrap();
+        assert_eq!(
+            response.field("status").unwrap().as_str().unwrap(),
+            "overloaded"
+        );
+        assert!(response.field("retry_after_ms").unwrap().as_f64().unwrap() > 0.0);
+        // Light requests bypass admission entirely, even under full load.
+        parse_ok(&service.handle_line(&request(3, "ping", vec![])));
+        let (lock, signal) = &release;
+        *lock.lock().unwrap() = true;
+        signal.notify_all();
+        parse_ok(&blocker.join().unwrap());
+    });
+    assert_eq!(service.telemetry().snapshot().counter("serve.shed"), 1);
+    // Budget released: the shed campaign now succeeds, and wait_idle drains.
+    parse_ok(&service.handle_line(&request(
+        4,
+        "campaign",
+        vec![("cells", campaign_cells_to_json(&campaign_specs()))],
+    )));
+    assert!(service.wait_idle(std::time::Duration::from_secs(5)));
+    assert_eq!(service.in_flight(), 0);
+}
+
+#[test]
+fn a_panicking_handler_answers_a_structured_error_and_the_service_survives() {
+    let service = Service::default();
+    let response = Json::parse(
+        &service.handle_line_with(&request(9, "explode", vec![]), |_, kind, _| {
+            (kind == "explode").then(|| panic!("boom in handler"))
+        }),
+    )
+    .unwrap();
+    assert_eq!(response.field("status").unwrap().as_str().unwrap(), "error");
+    assert!(
+        response
+            .field("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("boom in handler"),
+        "panic message is surfaced: {response:?}"
+    );
+    assert_eq!(response.field("id").unwrap().as_usize().unwrap(), 9);
+    assert_eq!(service.telemetry().snapshot().counter("serve.panics"), 1);
+    // The daemon survives and the in-flight permit was released on unwind.
+    assert_eq!(service.in_flight(), 0);
+    parse_ok(&service.handle_line(&request(10, "ping", vec![])));
+}
+
+#[test]
+fn a_panicking_cell_poisons_only_its_cache_slot() {
+    let service = Service::default();
+    // Two different cells: one panics, one succeeds. The panic is memoised
+    // as a structured error for its own key only.
+    for round in 0..2 {
+        let response = Json::parse(&service.handle_line_with(
+            &request(round, "cell", vec![("which", Json::Str("bad".to_string()))]),
+            |service, kind, request| {
+                (kind == "cell").then(|| {
+                    let which = request.field("which")?.as_str()?.to_string();
+                    service.compute_cell(&format!("test-cell-{which}"), move || {
+                        if which == "bad" {
+                            panic!("cell exploded");
+                        }
+                        Ok(Json::obj([("value", Json::Str(which))]))
+                    })
+                })
+            },
+        ))
+        .unwrap();
+        assert_eq!(response.field("status").unwrap().as_str().unwrap(), "error");
+        assert!(
+            response
+                .field("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("cell exploded"),
+            "round {round}: {response:?}"
+        );
+    }
+    // The panic ran once and was replayed from the poisoned slot the second
+    // time; a different cell on the same service is unaffected.
+    assert_eq!(service.telemetry().snapshot().counter("serve.panics"), 1);
+    let response = parse_ok(&service.handle_line_with(
+        &request(2, "cell", vec![("which", Json::Str("good".to_string()))]),
+        |service, kind, request| {
+            (kind == "cell").then(|| {
+                let which = request.field("which")?.as_str()?.to_string();
+                service.compute_cell(&format!("test-cell-{which}"), move || {
+                    if which == "bad" {
+                        panic!("cell exploded");
+                    }
+                    Ok(Json::obj([("value", Json::Str(which))]))
+                })
+            })
+        },
+    ));
+    assert_eq!(
+        response
+            .field("result")
+            .unwrap()
+            .field("value")
+            .unwrap()
+            .as_str()
+            .unwrap(),
+        "good"
+    );
+}
